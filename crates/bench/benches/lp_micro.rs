@@ -1,0 +1,60 @@
+//! Microbenchmarks of the LP substrate and of building/solving the paper's
+//! steady-state model at small network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnet_core::lp_model::{LpObjective, SteadyStateModel};
+use qnet_core::rates::RateMatrices;
+use qnet_lp::{LinearProgram, Objective};
+use qnet_topology::{builders, NodeId, NodePair};
+
+fn dense_random_lp(vars: usize, constraints: usize) -> LinearProgram {
+    // A deterministic pseudo-random LP: maximise Σ x subject to row sums.
+    let mut lp = LinearProgram::new();
+    let xs: Vec<_> = (0..vars).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 1000.0 + 0.1
+    };
+    for r in 0..constraints {
+        let terms: Vec<_> = xs.iter().map(|&v| (v, next())).collect();
+        lp.add_le(format!("row{r}"), terms, 10.0 + next());
+    }
+    lp.set_objective(Objective::Maximize(xs.iter().map(|&v| (v, 1.0)).collect()));
+    lp
+}
+
+fn simplex_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_solve");
+    group.sample_size(20);
+    for &(vars, cons) in &[(20usize, 10usize), (60, 30), (120, 60)] {
+        let lp = dense_random_lp(vars, cons);
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{vars}x{cons}")),
+            &lp,
+            |b, lp| b.iter(|| qnet_lp::simplex::solve(lp)),
+        );
+    }
+    group.finish();
+}
+
+fn steady_state_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_lp");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let graph = builders::cycle(n);
+        let capacity = RateMatrices::uniform_generation(&graph, 1.0);
+        let mut demand = RateMatrices::zeros(n);
+        demand.set_consumption(NodePair::new(NodeId(0), NodeId::from(n / 2)), 0.25);
+        let model = SteadyStateModel::new(&capacity, &demand);
+        group.bench_with_input(BenchmarkId::new("min_total_generation", n), &model, |b, m| {
+            b.iter(|| m.solve(LpObjective::MinTotalGeneration))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simplex_benchmark, steady_state_benchmark);
+criterion_main!(benches);

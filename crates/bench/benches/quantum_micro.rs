@@ -1,0 +1,57 @@
+//! Microbenchmarks of the quantum substrate: teleportation, entanglement
+//! swapping at the state-vector level, Werner-state construction and the
+//! distillation planner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnet_quantum::bell::werner_state;
+use qnet_quantum::complex::Complex;
+use qnet_quantum::distill::{plan_distillation, DistillationProtocol};
+use qnet_quantum::swap::{chain_swap_fidelity, swap_ideal};
+use qnet_quantum::teleport::teleport_over_werner;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn teleport_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum_teleport");
+    group.sample_size(50);
+    group.bench_function("werner_channel_f95", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| {
+            teleport_over_werner(Complex::real(0.6), Complex::real(0.8), 0.95, &mut rng).fidelity
+        })
+    });
+    group.finish();
+}
+
+fn swap_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum_swap");
+    group.sample_size(50);
+    group.bench_function("state_vector_swap", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        b.iter(|| swap_ideal(&mut rng).fidelity)
+    });
+    for &n in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("werner_chain", n), &n, |b, &n| {
+            b.iter(|| chain_swap_fidelity(0.98, n))
+        });
+    }
+    group.finish();
+}
+
+fn werner_and_distill_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum_werner_distill");
+    group.sample_size(50);
+    group.bench_function("werner_state_build", |b| b.iter(|| werner_state(0.85).purity()));
+    group.bench_function("distillation_plan_0.75_to_0.99", |b| {
+        b.iter(|| plan_distillation(DistillationProtocol::Bbpssw, 0.75, 0.99, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    teleport_benchmark,
+    swap_benchmark,
+    werner_and_distill_benchmark
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the discrete-event engine: raw event throughput and
+//! end-to-end simulation-steps-per-second of the quantum-network model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnet_core::classical::KnowledgeModel;
+use qnet_core::experiment::{Experiment, ExperimentConfig, ProtocolMode};
+use qnet_core::workload::WorkloadSpec;
+use qnet_core::NetworkConfig;
+use qnet_sim::{Engine, EventQueue, SimDuration, SimTime, World};
+use qnet_topology::Topology;
+
+struct PingWorld {
+    remaining: u64,
+}
+
+impl World for PingWorld {
+    type Event = ();
+    fn handle(&mut self, now: SimTime, _event: (), queue: &mut EventQueue<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            queue.schedule_after(now, SimDuration::from_nanos(10), ());
+        }
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(30);
+    for &events in &[10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("event_chain", events), &events, |b, &events| {
+            b.iter(|| {
+                let mut engine = Engine::new(PingWorld { remaining: events });
+                engine.queue_mut().schedule_at(SimTime::ZERO, ());
+                engine.run_to_completion();
+                engine.delivered()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn network_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_simulation");
+    group.sample_size(10);
+    for &nodes in &[9usize, 16] {
+        let config = ExperimentConfig {
+            network: NetworkConfig::new(Topology::Cycle { nodes }),
+            workload: WorkloadSpec::paper_default(nodes).with_requests(10),
+            mode: ProtocolMode::Oblivious,
+            knowledge: KnowledgeModel::Global,
+            seed: 3,
+            max_sim_time_s: 1_500.0,
+        };
+        group.bench_with_input(BenchmarkId::new("oblivious_run", nodes), &config, |b, config| {
+            b.iter(|| Experiment::new(config.clone()).run().swaps_performed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, network_simulation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the topology substrate: builders and shortest paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnet_topology::shortest_path::all_pairs_distances;
+use qnet_topology::{bfs_path, builders, NodeId, Topology};
+
+fn builder_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_builders");
+    group.sample_size(30);
+    for &side in &[5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("random_connected_grid", side), &side, |b, &side| {
+            b.iter(|| builders::random_connected_grid(side, 42).edge_count())
+        });
+    }
+    group.bench_function("erdos_renyi_100", |b| {
+        b.iter(|| builders::erdos_renyi_connected(100, 0.05, 7).edge_count())
+    });
+    group.finish();
+}
+
+fn shortest_path_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_shortest_paths");
+    group.sample_size(30);
+    for &side in &[5usize, 10] {
+        let g = Topology::TorusGrid { side }.build_deterministic();
+        group.bench_with_input(BenchmarkId::new("all_pairs_bfs", side * side), &g, |b, g| {
+            b.iter(|| all_pairs_distances(g).len())
+        });
+        group.bench_with_input(BenchmarkId::new("single_bfs_path", side * side), &g, |b, g| {
+            b.iter(|| {
+                bfs_path(g, NodeId(0), NodeId::from(side * side - 1))
+                    .map(|p| p.hops())
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, builder_benchmark, shortest_path_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 4** of the paper: swap overhead versus the
+//! distillation overhead `D` at |N| = 25, for the cycle, torus-grid and
+//! random-connected-grid generation graphs.
+//!
+//! Run the full paper-scale sweep with
+//! `cargo run -p qnet-bench --bin fig4 --release`; pass `--quick` for a
+//! smoke-test-sized sweep. The table and a CSV block are printed to stdout
+//! and the CSV is also written to `target/fig4.csv`.
+
+use qnet_bench::{figure4_rows, print_rows, SweepScale};
+
+fn main() {
+    let scale = SweepScale::from_args();
+    let rows = figure4_rows(scale);
+    let csv = print_rows(
+        "Figure 4 — swap overhead vs distillation overhead D (path-oblivious balancing)",
+        &rows,
+    );
+    let out = std::path::Path::new("target").join("fig4.csv");
+    if std::fs::create_dir_all("target").is_ok() && std::fs::write(&out, csv).is_ok() {
+        println!("wrote {}", out.display());
+    }
+    println!(
+        "\nExpected shape (paper): overhead ≥ 1 everywhere, grows sharply with D; \
+         |N| fixed at the paper's 25 (9 under --quick)."
+    );
+}

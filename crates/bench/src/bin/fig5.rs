@@ -1,0 +1,24 @@
+//! Regenerates **Figure 5** of the paper: swap overhead versus network size
+//! |N| at D = 1, for the cycle, torus-grid and random-connected-grid
+//! generation graphs.
+//!
+//! Run with `cargo run -p qnet-bench --bin fig5 --release`; pass `--quick`
+//! for a smoke-test-sized sweep. Output goes to stdout and `target/fig5.csv`.
+
+use qnet_bench::{figure5_rows, print_rows, SweepScale};
+
+fn main() {
+    let scale = SweepScale::from_args();
+    let rows = figure5_rows(scale);
+    let csv = print_rows(
+        "Figure 5 — swap overhead vs network size |N| (D = 1, path-oblivious balancing)",
+        &rows,
+    );
+    let out = std::path::Path::new("target").join("fig5.csv");
+    if std::fs::create_dir_all("target").is_ok() && std::fs::write(&out, csv).is_ok() {
+        println!("wrote {}", out.display());
+    }
+    println!(
+        "\nExpected shape (paper): overhead grows slowly as |N| increases at D = 1."
+    );
+}

@@ -1,0 +1,82 @@
+//! Experiment E3: the §3.3 steady-state LP objectives, evaluated on small
+//! cycle and grid generation graphs with a few consumer pairs.
+//!
+//! There is no figure for this in the paper (the LP is presented
+//! analytically); this binary reports, for each objective, the total
+//! generation, total consumption, total swap rate and (where applicable) the
+//! proportional-fairness factor α, in both a generation-sufficient and a
+//! generation-deficient demand regime.
+//!
+//! Run with `cargo run -p qnet-bench --bin lp_objectives --release`.
+
+use qnet_core::lp_model::{LpObjective, SteadyStateModel};
+use qnet_core::rates::RateMatrices;
+use qnet_topology::{builders, NodeId, NodePair};
+
+fn demand_pairs(n: usize) -> Vec<(NodePair, f64)> {
+    // A handful of consumer pairs spread across the graph.
+    let far = |a: usize, b: usize| NodePair::new(NodeId::from(a), NodeId::from(b % n));
+    vec![
+        (far(0, n / 2), 1.0),
+        (far(1, 1 + n / 3), 1.0),
+        (far(2, 2 + n / 2), 1.0),
+    ]
+}
+
+fn report(label: &str, graph: &qnet_topology::Graph, demand_scale: f64) {
+    let capacity = RateMatrices::uniform_generation(graph, 1.0);
+    let mut demand = RateMatrices::zeros(graph.node_count());
+    for (pair, base) in demand_pairs(graph.node_count()) {
+        demand.set_consumption(pair, base * demand_scale);
+    }
+    let model = SteadyStateModel::new(&capacity, &demand);
+    println!("\n--- {label} (demand scale {demand_scale}) ---");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>8} {:>12}",
+        "objective", "total g", "total c", "swap rate", "alpha", "status"
+    );
+    for objective in [
+        LpObjective::MinTotalGeneration,
+        LpObjective::MinMaxGeneration,
+        LpObjective::MaxTotalConsumption,
+        LpObjective::MaxMinConsumption,
+        LpObjective::MaxProportionalAlpha,
+    ] {
+        let sol = model.solve(objective);
+        println!(
+            "{:<24} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>12}",
+            format!("{objective:?}"),
+            sol.total_generation(),
+            sol.total_consumption(),
+            sol.total_swap_rate(),
+            sol.alpha
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{:?}", sol.status),
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (cycle_n, grid_side) = if quick { (6, 3) } else { (9, 3) };
+    let cycle = builders::cycle(cycle_n);
+    let grid = builders::torus_grid(grid_side);
+
+    // Generation-sufficient regime: modest demand, the generation-minimising
+    // objectives are the interesting ones.
+    report(&format!("cycle-{cycle_n}"), &cycle, 0.2);
+    report(&format!("torus-{grid_side}x{grid_side}"), &grid, 0.2);
+
+    // Generation-deficient regime: demand exceeds what the capacities can
+    // deliver, so the consumption-maximising objectives bind.
+    report(&format!("cycle-{cycle_n}"), &cycle, 2.0);
+    report(&format!("torus-{grid_side}x{grid_side}"), &grid, 2.0);
+
+    println!(
+        "\nReading guide: in the sufficient regime MinTotalGeneration reports the cheapest \
+         provisioning that meets the demand; in the deficient regime MaxTotalConsumption \
+         saturates the bottleneck cut, MaxMinConsumption trades total throughput for \
+         fairness, and alpha is the uniform fraction of demand that can be served."
+    );
+}

@@ -1,0 +1,70 @@
+//! Experiment E7: the §3.2 overhead extensions of the steady-state LP —
+//! sweeping the distillation overhead `D`, the loss/survival fraction `L`
+//! and the QEC thinning `R`, and reporting how much generation is needed to
+//! sustain a fixed demand.
+//!
+//! Run with `cargo run -p qnet-bench --bin lp_overheads --release`.
+
+use qnet_core::lp_model::{LpObjective, SteadyStateModel};
+use qnet_core::rates::RateMatrices;
+use qnet_quantum::distill::{overhead_factor, DistillationProtocol};
+use qnet_quantum::qec::QecCode;
+use qnet_topology::{builders, NodeId, NodePair};
+
+fn model(survival: f64, distillation: f64, qec_overhead: f64) -> SteadyStateModel {
+    let graph = builders::cycle(8);
+    // High per-edge capacity so the LP stays feasible across the sweep.
+    let capacity =
+        RateMatrices::uniform_generation(&graph, 64.0).with_qec_thinning(qec_overhead);
+    let mut demand = RateMatrices::zeros(8);
+    demand.set_consumption(NodePair::new(NodeId(0), NodeId(4)), 0.5);
+    demand.set_consumption(NodePair::new(NodeId(1), NodeId(3)), 0.5);
+    SteadyStateModel::new(&capacity, &demand).with_overheads(survival, distillation)
+}
+
+fn main() {
+    println!("== E7: LP with decoherence / distillation / QEC overheads (cycle-8, fixed demand) ==");
+    println!(
+        "{:>6} {:>6} {:>6} {:>14} {:>14} {:>10}",
+        "L", "D", "R", "total gen", "total swaps", "status"
+    );
+    for &survival in &[1.0, 0.8, 0.5] {
+        for &distillation in &[1.0, 2.0, 3.0] {
+            for &qec in &[1.0, 2.0] {
+                let sol = model(survival, distillation, qec).solve(LpObjective::MinTotalGeneration);
+                println!(
+                    "{:>6.2} {:>6.1} {:>6.1} {:>14.3} {:>14.3} {:>10}",
+                    survival,
+                    distillation,
+                    qec,
+                    sol.total_generation(),
+                    sol.total_swap_rate(),
+                    format!("{:?}", sol.status),
+                );
+            }
+        }
+    }
+
+    println!("\n== Physics-derived distillation overheads (BBPSSW, target fidelity 0.95) ==");
+    println!("{:>14} {:>12}", "raw fidelity", "D (pairs)");
+    for &f in &[0.99, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7] {
+        let d = overhead_factor(DistillationProtocol::Bbpssw, f, 0.95);
+        println!(
+            "{:>14.2} {:>12}",
+            f,
+            d.map(|d| format!("{d:.2}")).unwrap_or_else(|| "∞".into())
+        );
+    }
+
+    println!("\n== QEC thinning factors R (surface-code model, p = 1e-3) ==");
+    println!("{:>10} {:>10} {:>16}", "distance", "R", "logical error");
+    for &d in &[1u32, 3, 5, 7] {
+        let code = QecCode::surface(d, 1e-3);
+        println!(
+            "{:>10} {:>10.0} {:>16.2e}",
+            d,
+            code.overhead_factor(),
+            code.logical_error_rate()
+        );
+    }
+}

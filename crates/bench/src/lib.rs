@@ -1,0 +1,284 @@
+//! # qnet-bench — figure regeneration and benchmark harness
+//!
+//! One binary per experiment in DESIGN.md's per-experiment index regenerates
+//! the corresponding table/figure of the paper; the Criterion benches under
+//! `benches/` measure the engineering-level costs (balancer step, LP solve,
+//! simulator throughput, quantum primitives).
+//!
+//! The sweep helpers here are shared between the binaries, the benches and
+//! the integration tests: a [`SweepScale`] selects between the paper-scale
+//! parameters (|N| = 25, 35 consumer pairs, several seeds) and a quick scale
+//! suitable for CI or `--quick` runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qnet_core::config::DistillationSpec;
+use qnet_core::experiment::{mean_overhead_over_seeds, ExperimentConfig, ProtocolMode};
+use qnet_core::classical::KnowledgeModel;
+use qnet_core::workload::WorkloadSpec;
+use qnet_core::NetworkConfig;
+use qnet_topology::Topology;
+use serde::Serialize;
+
+/// How big a sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScale {
+    /// The paper's §5 scale: |N| = 25, 35 consumer pairs, multiple seeds.
+    Paper,
+    /// A reduced scale for smoke tests and Criterion benches.
+    Quick,
+}
+
+impl SweepScale {
+    /// Parse from command-line arguments (`--quick` selects the quick scale).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            SweepScale::Quick
+        } else {
+            SweepScale::Paper
+        }
+    }
+
+    /// Seeds to average over.
+    pub fn seeds(&self) -> Vec<u64> {
+        match self {
+            SweepScale::Paper => vec![11, 23, 37],
+            SweepScale::Quick => vec![11],
+        }
+    }
+
+    /// Number of consumption requests per run.
+    pub fn requests(&self) -> usize {
+        match self {
+            SweepScale::Paper => 35,
+            SweepScale::Quick => 12,
+        }
+    }
+
+    /// Simulated-time horizon per run, in seconds.
+    pub fn horizon_s(&self) -> f64 {
+        match self {
+            SweepScale::Paper => 40_000.0,
+            SweepScale::Quick => 4_000.0,
+        }
+    }
+}
+
+/// One row of a figure: a topology/parameter point and its measured overhead.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureRow {
+    /// Experiment identifier (e.g. "fig4").
+    pub experiment: String,
+    /// Topology label.
+    pub topology: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Distillation overhead `D`.
+    pub distillation: f64,
+    /// Protocol mode.
+    pub mode: String,
+    /// Mean swap overhead over the seeds (`None` if no run produced a
+    /// non-zero denominator).
+    pub swap_overhead: Option<f64>,
+    /// Fraction of requests satisfied across all seeds.
+    pub satisfaction: f64,
+}
+
+impl FigureRow {
+    /// Render as a CSV line (matching [`csv_header`]).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.4}",
+            self.experiment,
+            self.topology,
+            self.nodes,
+            self.distillation,
+            self.mode,
+            self.swap_overhead
+                .map(|o| format!("{o:.4}"))
+                .unwrap_or_else(|| "".to_string()),
+            self.satisfaction
+        )
+    }
+}
+
+/// CSV header matching [`FigureRow::to_csv`].
+pub fn csv_header() -> &'static str {
+    "experiment,topology,nodes,distillation,mode,swap_overhead,satisfaction"
+}
+
+/// Build the §5 experiment configuration for a topology / distillation /
+/// protocol point at the given scale.
+pub fn section5_config(
+    topology: Topology,
+    distillation: f64,
+    mode: ProtocolMode,
+    scale: SweepScale,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        network: NetworkConfig::new(topology)
+            .with_distillation(DistillationSpec::Uniform(distillation)),
+        workload: WorkloadSpec::paper_default(topology.node_count())
+            .with_requests(scale.requests()),
+        mode,
+        knowledge: KnowledgeModel::Global,
+        seed: 1,
+        max_sim_time_s: scale.horizon_s(),
+    }
+}
+
+/// Run one figure point: average the swap overhead over the scale's seeds.
+pub fn run_point(
+    experiment: &str,
+    topology: Topology,
+    distillation: f64,
+    mode: ProtocolMode,
+    scale: SweepScale,
+) -> FigureRow {
+    let config = section5_config(topology, distillation, mode, scale);
+    let (overhead, satisfaction) = mean_overhead_over_seeds(&config, &scale.seeds());
+    FigureRow {
+        experiment: experiment.to_string(),
+        topology: topology.label(),
+        nodes: topology.node_count(),
+        distillation,
+        mode: format!("{mode:?}"),
+        swap_overhead: overhead,
+        satisfaction,
+    }
+}
+
+/// The topologies of the paper's Figures 4 and 5 ("three graphs"): the cycle,
+/// the full wraparound grid, and the random-connected wraparound grid.
+pub fn figure_topologies(nodes: usize) -> Vec<Topology> {
+    let side = (nodes as f64).sqrt().round() as usize;
+    vec![
+        Topology::Cycle { nodes },
+        Topology::TorusGrid { side },
+        Topology::RandomConnectedGrid { side },
+    ]
+}
+
+/// Figure 4 sweep: |N| = 25, varying D, per topology.
+pub fn figure4_rows(scale: SweepScale) -> Vec<FigureRow> {
+    let ds: &[f64] = match scale {
+        SweepScale::Paper => &[1.0, 2.0, 3.0],
+        SweepScale::Quick => &[1.0, 2.0],
+    };
+    let nodes = match scale {
+        SweepScale::Paper => 25,
+        SweepScale::Quick => 9,
+    };
+    let mut rows = Vec::new();
+    for topology in figure_topologies(nodes) {
+        for &d in ds {
+            rows.push(run_point("fig4", topology, d, ProtocolMode::Oblivious, scale));
+        }
+    }
+    rows
+}
+
+/// Figure 5 sweep: D = 1, varying |N|, per topology.
+pub fn figure5_rows(scale: SweepScale) -> Vec<FigureRow> {
+    let sizes: &[usize] = match scale {
+        SweepScale::Paper => &[9, 16, 25, 36, 49],
+        SweepScale::Quick => &[9, 16],
+    };
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        for topology in figure_topologies(nodes) {
+            rows.push(run_point("fig5", topology, 1.0, ProtocolMode::Oblivious, scale));
+        }
+    }
+    rows
+}
+
+/// Print rows as an aligned table plus CSV, and return the CSV text.
+pub fn print_rows(title: &str, rows: &[FigureRow]) -> String {
+    println!("== {title} ==");
+    println!(
+        "{:<18} {:>5} {:>5} {:>26} {:>10} {:>12}",
+        "topology", "N", "D", "mode", "overhead", "satisfied"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>5} {:>5} {:>26} {:>10} {:>11.0}%",
+            r.topology,
+            r.nodes,
+            r.distillation,
+            r.mode,
+            r.swap_overhead
+                .map(|o| format!("{o:.3}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            r.satisfaction * 100.0
+        );
+    }
+    let mut csv = String::from(csv_header());
+    csv.push('\n');
+    for r in rows {
+        csv.push_str(&r.to_csv());
+        csv.push('\n');
+    }
+    println!("\n--- CSV ---\n{csv}");
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_parameters() {
+        assert_eq!(SweepScale::Quick.seeds(), vec![11]);
+        assert_eq!(SweepScale::Quick.requests(), 12);
+        assert!(SweepScale::Paper.requests() >= 35);
+    }
+
+    #[test]
+    fn figure_topologies_have_requested_size() {
+        for t in figure_topologies(25) {
+            assert_eq!(t.node_count(), 25, "{}", t.label());
+        }
+        for t in figure_topologies(9) {
+            assert_eq!(t.node_count(), 9);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let row = FigureRow {
+            experiment: "fig4".into(),
+            topology: "cycle-9".into(),
+            nodes: 9,
+            distillation: 2.0,
+            mode: "Oblivious".into(),
+            swap_overhead: Some(1.5),
+            satisfaction: 1.0,
+        };
+        let line = row.to_csv();
+        assert_eq!(line.split(',').count(), csv_header().split(',').count());
+        assert!(line.contains("1.5000"));
+        let empty = FigureRow {
+            swap_overhead: None,
+            ..row
+        };
+        assert_eq!(empty.to_csv().split(',').count(), 7);
+    }
+
+    #[test]
+    fn run_point_produces_sane_overhead() {
+        let row = run_point(
+            "smoke",
+            Topology::Cycle { nodes: 7 },
+            1.0,
+            ProtocolMode::Oblivious,
+            SweepScale::Quick,
+        );
+        assert_eq!(row.nodes, 7);
+        assert!(row.satisfaction > 0.5);
+        if let Some(o) = row.swap_overhead {
+            assert!(o >= 1.0);
+        }
+    }
+}

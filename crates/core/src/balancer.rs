@@ -1,0 +1,363 @@
+//! The max-min distributed swapping protocol (paper §4).
+//!
+//! Each node `x` maintains (or learns) the counts `C_x(y)` of Bell pairs it
+//! shares with every other node. For any two entanglement peers `y` and `y'`,
+//! the swap `y' ← x → y` is **preferable** when
+//!
+//! ```text
+//! C_y(y') + 1 ≤ min( C_x(y) − D_{x,y} ,  C_x(y') − D_{x,y'} )
+//! ```
+//!
+//! i.e. `x` only reduces its own counts if doing so aids a pair whose count
+//! would still be no larger after the swap, leaving a distillation margin on
+//! both of its own pools. If several candidates are preferable, `x` performs
+//! the one with minimal `C_y(y')` (ties broken deterministically by the
+//! target pair's node ids, so that simulations are reproducible).
+//!
+//! Were generation and consumption to cease, repeatedly applying preferable
+//! swaps drives the inventory toward a max-min fair allocation: no pool's
+//! count can be increased without decreasing one that is already smaller
+//! (see `run_to_quiescence` and its tests).
+
+use crate::inventory::Inventory;
+use qnet_topology::{NodeId, NodePair};
+use serde::{Deserialize, Serialize};
+
+/// A read-only view of pair counts. The ground-truth [`Inventory`] implements
+/// it; the gossip layer's possibly-stale view (paper §6, "classical
+/// overheads") implements it too.
+pub trait CountView {
+    /// The viewed count of Bell pairs between the endpoints of `pair`.
+    fn count(&self, pair: NodePair) -> u64;
+}
+
+impl CountView for Inventory {
+    fn count(&self, pair: NodePair) -> u64 {
+        Inventory::count(self, pair)
+    }
+}
+
+/// A swap the balancer has decided to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapCandidate {
+    /// The repeater performing the swap (the paper's `x`).
+    pub repeater: NodeId,
+    /// One entanglement peer (the paper's `y`).
+    pub left: NodeId,
+    /// The other entanglement peer (the paper's `y'`).
+    pub right: NodeId,
+    /// The (viewed) count `C_y(y')` of the beneficiary pair at decision time.
+    pub target_count: u64,
+}
+
+impl SwapCandidate {
+    /// The pair that gains a Bell pair from this swap.
+    pub fn beneficiary(&self) -> NodePair {
+        NodePair::new(self.left, self.right)
+    }
+}
+
+/// The §4 balancing policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancerPolicy;
+
+impl BalancerPolicy {
+    /// Find the preferable swap node `x` should perform, if any.
+    ///
+    /// * `local` supplies `x`'s own pool counts and entanglement peers — a
+    ///   node always knows its own buffers exactly.
+    /// * `remote` supplies the counts of *other* pairs (`C_y(y')`), which may
+    ///   be a stale gossip view.
+    /// * `overhead` maps a pair to its distillation overhead `D`.
+    pub fn find_preferable_swap(
+        &self,
+        local: &Inventory,
+        remote: &dyn CountView,
+        node: NodeId,
+        overhead: &dyn Fn(NodePair) -> f64,
+    ) -> Option<SwapCandidate> {
+        let peers = local.entangled_peers(node);
+        if peers.len() < 2 {
+            return None;
+        }
+
+        let mut best: Option<SwapCandidate> = None;
+        for (i, &left) in peers.iter().enumerate() {
+            let left_pair = NodePair::new(node, left);
+            let left_margin = local.count(left_pair) as f64 - overhead(left_pair);
+            for &right in &peers[i + 1..] {
+                let right_pair = NodePair::new(node, right);
+                let right_margin = local.count(right_pair) as f64 - overhead(right_pair);
+                let beneficiary = NodePair::new(left, right);
+                let target_count = remote.count(beneficiary);
+                let preferable =
+                    (target_count as f64 + 1.0) <= left_margin.min(right_margin) + 1e-12;
+                if !preferable {
+                    continue;
+                }
+                let candidate = SwapCandidate {
+                    repeater: node,
+                    left,
+                    right,
+                    target_count,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        target_count < b.target_count
+                            || (target_count == b.target_count
+                                && candidate.beneficiary() < b.beneficiary())
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best
+    }
+
+    /// Execute one balancing scan at `node`: if a preferable swap exists,
+    /// apply it to the inventory (consuming `⌈D⌉` pairs on each side) and
+    /// return it.
+    pub fn scan_and_swap(
+        &self,
+        inventory: &mut Inventory,
+        node: NodeId,
+        overhead: &dyn Fn(NodePair) -> f64,
+    ) -> Option<SwapCandidate> {
+        let candidate = {
+            let view: &Inventory = inventory;
+            self.find_preferable_swap(view, view, node, overhead)?
+        };
+        let cost_left = overhead(NodePair::new(node, candidate.left)).ceil() as u64;
+        let cost_right = overhead(NodePair::new(node, candidate.right)).ceil() as u64;
+        inventory
+            .apply_swap(node, candidate.left, candidate.right, cost_left, cost_right)
+            .expect("preferable swap must be executable");
+        Some(candidate)
+    }
+
+    /// Repeatedly apply preferable swaps (scanning nodes in id order, round
+    /// after round) until no node has one. Returns the executed swaps.
+    ///
+    /// This is the "generation and consumption cease" setting of §4, used to
+    /// check that the protocol converges to a max-min-fair balance; the live
+    /// simulation interleaves scans with generation and consumption instead.
+    pub fn run_to_quiescence(
+        &self,
+        inventory: &mut Inventory,
+        overhead: &dyn Fn(NodePair) -> f64,
+        max_swaps: usize,
+    ) -> Vec<SwapCandidate> {
+        let n = inventory.node_count();
+        let mut executed = Vec::new();
+        loop {
+            let mut any = false;
+            for node in (0..n).map(NodeId::from) {
+                if executed.len() >= max_swaps {
+                    return executed;
+                }
+                if let Some(c) = self.scan_and_swap(inventory, node, overhead) {
+                    executed.push(c);
+                    any = true;
+                }
+            }
+            if !any {
+                return executed;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    fn uniform(d: f64) -> impl Fn(NodePair) -> f64 {
+        move |_| d
+    }
+
+    #[test]
+    fn no_swap_without_two_peers() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(4);
+        inv.add_pair(pair(1, 0)).unwrap();
+        inv.add_pair(pair(1, 0)).unwrap();
+        assert!(policy
+            .find_preferable_swap(&inv, &inv, NodeId(1), &uniform(1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn preferable_swap_respects_margin() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(3);
+        // Node 1 shares 3 pairs with node 0 and 3 with node 2; pair (0,2) has
+        // none. With D = 1: target 0 + 1 ≤ min(3−1, 3−1) = 2 → preferable.
+        for _ in 0..3 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(1, 2)).unwrap();
+        }
+        let c = policy
+            .find_preferable_swap(&inv, &inv, NodeId(1), &uniform(1.0))
+            .expect("preferable");
+        assert_eq!(c.repeater, NodeId(1));
+        assert_eq!(c.beneficiary(), pair(0, 2));
+        assert_eq!(c.target_count, 0);
+
+        // With D = 2 the margin shrinks: 0 + 1 ≤ min(3−2, 3−2) = 1 → still
+        // preferable (boundary case).
+        assert!(policy
+            .find_preferable_swap(&inv, &inv, NodeId(1), &uniform(2.0))
+            .is_some());
+        // With D = 3 the margin is 0 → not preferable.
+        assert!(policy
+            .find_preferable_swap(&inv, &inv, NodeId(1), &uniform(3.0))
+            .is_none());
+    }
+
+    #[test]
+    fn does_not_help_a_richer_pair() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(3);
+        for _ in 0..3 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(1, 2)).unwrap();
+        }
+        // The beneficiary pair already holds 4 pairs — more than either pool
+        // of the repeater: not preferable.
+        for _ in 0..4 {
+            inv.add_pair(pair(0, 2)).unwrap();
+        }
+        assert!(policy
+            .find_preferable_swap(&inv, &inv, NodeId(1), &uniform(1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn picks_the_poorest_beneficiary() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(4);
+        // Node 0 shares plenty with 1, 2 and 3.
+        for _ in 0..6 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(0, 2)).unwrap();
+            inv.add_pair(pair(0, 3)).unwrap();
+        }
+        // Pair (1,2) already has 2; pair (1,3) has 1; pair (2,3) has none.
+        inv.add_pair(pair(1, 2)).unwrap();
+        inv.add_pair(pair(1, 2)).unwrap();
+        inv.add_pair(pair(1, 3)).unwrap();
+        let c = policy
+            .find_preferable_swap(&inv, &inv, NodeId(0), &uniform(1.0))
+            .expect("preferable");
+        assert_eq!(c.beneficiary(), pair(2, 3));
+        assert_eq!(c.target_count, 0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(4);
+        for _ in 0..5 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(0, 2)).unwrap();
+            inv.add_pair(pair(0, 3)).unwrap();
+        }
+        // All beneficiaries have count 0; the smallest pair (1,2) wins.
+        let c = policy
+            .find_preferable_swap(&inv, &inv, NodeId(0), &uniform(1.0))
+            .unwrap();
+        assert_eq!(c.beneficiary(), pair(1, 2));
+    }
+
+    #[test]
+    fn scan_and_swap_applies_distillation_cost() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(3);
+        for _ in 0..5 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(1, 2)).unwrap();
+        }
+        let c = policy
+            .scan_and_swap(&mut inv, NodeId(1), &uniform(2.0))
+            .expect("swap executed");
+        assert_eq!(c.beneficiary(), pair(0, 2));
+        assert_eq!(inv.count(pair(0, 1)), 3);
+        assert_eq!(inv.count(pair(1, 2)), 3);
+        assert_eq!(inv.count(pair(0, 2)), 1);
+    }
+
+    #[test]
+    fn quiescence_on_a_path_spreads_pairs() {
+        // Path 0—1—2 with a big stock on each generation edge: balancing
+        // should populate the (0,2) pool until counts are (max-min) level.
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(3);
+        for _ in 0..9 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(1, 2)).unwrap();
+        }
+        let swaps = policy.run_to_quiescence(&mut inv, &uniform(1.0), 10_000);
+        assert!(!swaps.is_empty());
+        // After quiescence no preferable swap remains anywhere.
+        for node in 0..3 {
+            assert!(policy
+                .find_preferable_swap(&inv, &inv, NodeId(node), &uniform(1.0))
+                .is_none());
+        }
+        // Max-min property at the repeater: the beneficiary pool is within
+        // one distillation margin of the donor pools.
+        let c01 = inv.count(pair(0, 1));
+        let c12 = inv.count(pair(1, 2));
+        let c02 = inv.count(pair(0, 2));
+        assert!(c02 >= 1, "some pairs must have been pushed to (0,2)");
+        assert!(c02 + 1 > c01.min(c12).saturating_sub(1), "no further swap is preferable");
+        // Conservation: every swap destroys one net pair.
+        assert_eq!(
+            (c01 + c12 + c02) as usize,
+            18 - swaps.len()
+        );
+    }
+
+    #[test]
+    fn quiescence_respects_max_swaps_budget() {
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(3);
+        for _ in 0..50 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(1, 2)).unwrap();
+        }
+        let swaps = policy.run_to_quiescence(&mut inv, &uniform(1.0), 3);
+        assert_eq!(swaps.len(), 3);
+    }
+
+    #[test]
+    fn stale_remote_view_changes_the_decision() {
+        // A gossip view that believes pair (0,2) already has many pairs makes
+        // the repeater skip the swap even though ground truth is zero.
+        struct Pessimist;
+        impl CountView for Pessimist {
+            fn count(&self, _pair: NodePair) -> u64 {
+                100
+            }
+        }
+        let policy = BalancerPolicy;
+        let mut inv = Inventory::new(3);
+        for _ in 0..5 {
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.add_pair(pair(1, 2)).unwrap();
+        }
+        assert!(policy
+            .find_preferable_swap(&inv, &inv, NodeId(1), &uniform(1.0))
+            .is_some());
+        assert!(policy
+            .find_preferable_swap(&inv, &Pessimist, NodeId(1), &uniform(1.0))
+            .is_none());
+    }
+}

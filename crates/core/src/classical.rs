@@ -1,0 +1,143 @@
+//! Classical-communication cost accounting.
+//!
+//! Swapping, teleportation and distillation all require classical messages
+//! (paper §2 "Classical overheads" and the §4 note about sharing the
+//! `|N| choose 2` edge counts). The simulation does not model classical
+//! latency — the paper argues high-speed classical networks make it feasible
+//! — but it *does* count the messages and bits each knowledge model incurs,
+//! so the §6 gossip experiment can quantify the savings.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated classical-communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassicalStats {
+    /// Messages carrying a swap's 2-bit Bell-measurement result to one of
+    /// the newly entangled endpoints.
+    pub correction_messages: u64,
+    /// Total correction payload in bits (2 per correction message).
+    pub correction_bits: u64,
+    /// Messages carrying buffer-count updates between nodes.
+    pub count_update_messages: u64,
+    /// Messages used to deliver consumption (teleportation) corrections.
+    pub teleport_messages: u64,
+}
+
+impl ClassicalStats {
+    /// New, all-zero counters.
+    pub fn new() -> Self {
+        ClassicalStats::default()
+    }
+
+    /// Record the classical completion of one swap: the 2-bit measurement
+    /// result is sent to one endpoint.
+    pub fn record_swap_correction(&mut self) {
+        self.correction_messages += 1;
+        self.correction_bits += 2;
+    }
+
+    /// Record the classical completion of one teleportation (2 bits to the
+    /// destination).
+    pub fn record_teleportation(&mut self) {
+        self.teleport_messages += 1;
+        self.correction_bits += 2;
+    }
+
+    /// Record `messages` buffer-count update messages.
+    pub fn record_count_updates(&mut self, messages: u64) {
+        self.count_update_messages += messages;
+    }
+
+    /// Total messages of any kind.
+    pub fn total_messages(&self) -> u64 {
+        self.correction_messages + self.count_update_messages + self.teleport_messages
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &ClassicalStats) {
+        self.correction_messages += other.correction_messages;
+        self.correction_bits += other.correction_bits;
+        self.count_update_messages += other.count_update_messages;
+        self.teleport_messages += other.teleport_messages;
+    }
+}
+
+/// How nodes learn the network-wide buffer counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KnowledgeModel {
+    /// The paper's baseline assumption: immediate global knowledge of every
+    /// `C_x(y)`. Each inventory change is broadcast to all other nodes.
+    Global,
+    /// The §6 BitTorrent-like relaxation: on each swap scan a node refreshes
+    /// the counts of only `peers_per_refresh` rotating peers.
+    Gossip {
+        /// How many peers' count rows are refreshed per scan.
+        peers_per_refresh: usize,
+    },
+}
+
+impl KnowledgeModel {
+    /// Count-update messages incurred when one inventory change is
+    /// disseminated under this model to a network of `n` nodes.
+    pub fn messages_per_change(&self, n: usize) -> u64 {
+        match self {
+            // The two endpoints already know; everyone else must be told.
+            KnowledgeModel::Global => n.saturating_sub(2) as u64,
+            // Changes are *not* pushed; peers pull during their refresh.
+            KnowledgeModel::Gossip { .. } => 0,
+        }
+    }
+
+    /// Count-update messages incurred by one node's swap scan.
+    pub fn messages_per_scan(&self) -> u64 {
+        match self {
+            KnowledgeModel::Global => 0,
+            KnowledgeModel::Gossip { peers_per_refresh } => *peers_per_refresh as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = ClassicalStats::new();
+        s.record_swap_correction();
+        s.record_swap_correction();
+        s.record_teleportation();
+        s.record_count_updates(10);
+        assert_eq!(s.correction_messages, 2);
+        assert_eq!(s.correction_bits, 6);
+        assert_eq!(s.teleport_messages, 1);
+        assert_eq!(s.count_update_messages, 10);
+        assert_eq!(s.total_messages(), 13);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ClassicalStats::new();
+        a.record_swap_correction();
+        let mut b = ClassicalStats::new();
+        b.record_count_updates(5);
+        b.record_teleportation();
+        a.merge(&b);
+        assert_eq!(a.correction_messages, 1);
+        assert_eq!(a.count_update_messages, 5);
+        assert_eq!(a.teleport_messages, 1);
+        assert_eq!(a.total_messages(), 7);
+    }
+
+    #[test]
+    fn knowledge_model_message_counts() {
+        let global = KnowledgeModel::Global;
+        assert_eq!(global.messages_per_change(25), 23);
+        assert_eq!(global.messages_per_change(2), 0);
+        assert_eq!(global.messages_per_scan(), 0);
+
+        let gossip = KnowledgeModel::Gossip { peers_per_refresh: 3 };
+        assert_eq!(gossip.messages_per_change(25), 0);
+        assert_eq!(gossip.messages_per_scan(), 3);
+    }
+}

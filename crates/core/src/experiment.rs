@@ -1,0 +1,342 @@
+//! The experiment runner: configuration → simulation → results.
+//!
+//! [`Experiment`] owns the full recipe of one §5-style run (network
+//! configuration, workload, protocol mode, knowledge model, seed, horizon),
+//! drives the discrete-event engine to completion and returns an
+//! [`ExperimentResult`] that carries both the headline swap-overhead number
+//! and the full [`RunMetrics`] for deeper analysis. Sweeps (Figures 4 and 5,
+//! the ablations) are thin loops over `Experiment` in `qnet-bench`.
+
+use crate::classical::KnowledgeModel;
+use crate::config::NetworkConfig;
+use crate::metrics::RunMetrics;
+pub use crate::network::ProtocolMode;
+use crate::network::QuantumNetworkWorld;
+use crate::workload::{Workload, WorkloadSpec};
+use qnet_sim::{Engine, EventQueue, SimTime, StopCondition};
+use qnet_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to reproduce one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The physical-network configuration.
+    pub network: NetworkConfig,
+    /// The consumption workload specification.
+    pub workload: WorkloadSpec,
+    /// Which protocol to run.
+    pub mode: ProtocolMode,
+    /// How nodes learn remote buffer counts.
+    pub knowledge: KnowledgeModel,
+    /// Root RNG seed (drives topology randomness, workload selection,
+    /// generation arrivals and scan staggering).
+    pub seed: u64,
+    /// Simulated-time horizon in seconds; runs stop earlier if every request
+    /// is satisfied.
+    pub max_sim_time_s: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        let topology = Topology::Cycle { nodes: 9 };
+        ExperimentConfig {
+            network: NetworkConfig::new(topology),
+            workload: WorkloadSpec::paper_default(topology.node_count()),
+            mode: ProtocolMode::Oblivious,
+            knowledge: KnowledgeModel::Global,
+            seed: 1,
+            max_sim_time_s: 5_000.0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's §5 configuration for a given topology and distillation
+    /// overhead: `g = 1` on generation edges, 35 consumer pairs, sequential
+    /// requests, oblivious protocol with global knowledge.
+    pub fn paper_section5(topology: Topology, distillation: f64, seed: u64) -> Self {
+        ExperimentConfig {
+            network: NetworkConfig::new(topology)
+                .with_topology_seed(seed)
+                .with_distillation(crate::config::DistillationSpec::Uniform(distillation)),
+            workload: WorkloadSpec::paper_default(topology.node_count()),
+            mode: ProtocolMode::Oblivious,
+            knowledge: KnowledgeModel::Global,
+            seed,
+            max_sim_time_s: 20_000.0,
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Label of the topology that was simulated.
+    pub topology: String,
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Protocol mode.
+    pub mode: ProtocolMode,
+    /// Resolved distillation overhead `D`.
+    pub distillation_overhead: f64,
+    /// Number of satisfied consumption requests.
+    pub satisfied_requests: usize,
+    /// Number of requests still pending at the end.
+    pub unsatisfied_requests: u64,
+    /// Total swap operations performed.
+    pub swaps_performed: u64,
+    /// Simulated seconds the run covered.
+    pub simulated_seconds: f64,
+    /// The full metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+impl ExperimentResult {
+    /// The paper's swap-overhead metric (`None` if the denominator is zero).
+    pub fn swap_overhead(&self) -> Option<f64> {
+        self.metrics.swap_overhead()
+    }
+
+    /// Fraction of requests satisfied.
+    pub fn satisfaction_ratio(&self) -> f64 {
+        self.metrics.satisfaction_ratio()
+    }
+
+    /// One line of human-readable summary (used by the figure binaries).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{topo:>16}  N={n:<3} D={d:<4} mode={mode:?}  satisfied={sat}/{tot}  swaps={swaps}  overhead={overhead}",
+            topo = self.topology,
+            n = self.node_count,
+            d = self.distillation_overhead,
+            mode = self.mode,
+            sat = self.satisfied_requests,
+            tot = self.satisfied_requests as u64 + self.unsatisfied_requests,
+            swaps = self.swaps_performed,
+            overhead = self
+                .swap_overhead()
+                .map(|o| format!("{o:.3}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+        )
+    }
+}
+
+/// A runnable experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Wrap a configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Experiment { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Run the simulation to completion (all requests satisfied) or to the
+    /// configured horizon, and collect the results.
+    pub fn run(&self) -> ExperimentResult {
+        let workload: Workload = {
+            // The workload spec's node count must match the topology.
+            let mut spec = self.config.workload;
+            spec.node_count = self.config.network.node_count();
+            spec.generate(self.config.seed)
+        };
+        self.run_with_workload(workload)
+    }
+
+    /// Run with an explicitly supplied workload (used by ablations that pin
+    /// the request sequence across configurations).
+    pub fn run_with_workload(&self, workload: Workload) -> ExperimentResult {
+        let mut staging = EventQueue::new();
+        let world = QuantumNetworkWorld::new(
+            self.config.network.clone(),
+            workload,
+            self.config.mode,
+            self.config.knowledge,
+            self.config.seed,
+            &mut staging,
+        );
+        let mut engine: Engine<QuantumNetworkWorld> = Engine::new(world);
+        while let Some(ev) = staging.pop() {
+            engine.queue_mut().schedule_at(ev.time, ev.event);
+        }
+
+        let horizon = SimTime::from_secs_f64(self.config.max_sim_time_s);
+        engine.run(StopCondition::at_horizon(horizon));
+        let ended = engine.now();
+        let world = engine.into_world();
+        let metrics = world.metrics();
+
+        ExperimentResult {
+            topology: self.config.network.topology.label(),
+            node_count: self.config.network.node_count(),
+            mode: self.config.mode,
+            distillation_overhead: self.config.network.distillation_overhead(),
+            satisfied_requests: metrics.satisfied.len(),
+            unsatisfied_requests: metrics.unsatisfied_requests,
+            swaps_performed: metrics.swaps_performed,
+            simulated_seconds: ended.as_secs_f64(),
+            metrics,
+        }
+    }
+}
+
+/// Run the same experiment with several seeds and average the swap overhead
+/// (ignoring runs whose denominator is zero). Returns
+/// `(mean overhead, satisfied fraction)`.
+pub fn mean_overhead_over_seeds(config: &ExperimentConfig, seeds: &[u64]) -> (Option<f64>, f64) {
+    let mut overheads = Vec::new();
+    let mut satisfied = 0usize;
+    let mut total = 0usize;
+    for &seed in seeds {
+        let mut c = config.clone();
+        c.seed = seed;
+        c.network.topology_seed = seed;
+        let result = Experiment::new(c).run();
+        if let Some(o) = result.swap_overhead() {
+            overheads.push(o);
+        }
+        satisfied += result.satisfied_requests;
+        total += result.satisfied_requests + result.unsatisfied_requests as usize;
+    }
+    let mean = if overheads.is_empty() {
+        None
+    } else {
+        Some(overheads.iter().sum::<f64>() / overheads.len() as f64)
+    };
+    let ratio = if total == 0 {
+        1.0
+    } else {
+        satisfied as f64 / total as f64
+    };
+    (mean, ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistillationSpec;
+    use crate::workload::RequestDiscipline;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            network: NetworkConfig::new(Topology::Cycle { nodes: 7 }),
+            workload: WorkloadSpec {
+                node_count: 7,
+                consumer_pairs: 6,
+                requests: 10,
+                discipline: RequestDiscipline::UniformRandom,
+            },
+            mode: ProtocolMode::Oblivious,
+            knowledge: KnowledgeModel::Global,
+            seed: 5,
+            max_sim_time_s: 2_000.0,
+        }
+    }
+
+    #[test]
+    fn oblivious_run_completes_and_reports() {
+        let result = Experiment::new(small_config()).run();
+        assert_eq!(result.node_count, 7);
+        assert_eq!(result.topology, "cycle-7");
+        assert!(result.satisfied_requests >= 8, "{result:?}");
+        assert!(result.swaps_performed > 0);
+        if let Some(o) = result.swap_overhead() {
+            assert!(o >= 1.0, "overhead {o}");
+        }
+        assert!(result.simulated_seconds > 0.0);
+        assert!(!result.summary_line().is_empty());
+    }
+
+    #[test]
+    fn identical_seeds_identical_results() {
+        let a = Experiment::new(small_config()).run();
+        let b = Experiment::new(small_config()).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planned_mode_uses_fewer_or_equal_swaps_than_oblivious_spends() {
+        // The planned baseline performs only the swaps each request needs;
+        // the oblivious balancer spends extra swaps positioning pairs.
+        let mut oblivious = small_config();
+        oblivious.workload.requests = 6;
+        let mut planned = oblivious.clone();
+        planned.mode = ProtocolMode::PlannedConnectionOriented;
+        let ro = Experiment::new(oblivious).run();
+        let rp = Experiment::new(planned).run();
+        assert!(rp.satisfied_requests >= 5);
+        assert!(ro.satisfied_requests >= 5);
+        assert!(
+            rp.swaps_performed <= ro.swaps_performed,
+            "planned {} vs oblivious {}",
+            rp.swaps_performed,
+            ro.swaps_performed
+        );
+    }
+
+    #[test]
+    fn hybrid_mode_satisfies_at_least_as_many_requests() {
+        let mut base = small_config();
+        base.workload.requests = 8;
+        base.max_sim_time_s = 400.0;
+        let mut hybrid = base.clone();
+        hybrid.mode = ProtocolMode::Hybrid;
+        let rb = Experiment::new(base).run();
+        let rh = Experiment::new(hybrid).run();
+        assert!(rh.satisfied_requests >= rb.satisfied_requests);
+    }
+
+    #[test]
+    fn higher_distillation_increases_overhead() {
+        let mut d1 = small_config();
+        d1.workload.requests = 8;
+        let mut d2 = d1.clone();
+        d2.network = d2
+            .network
+            .with_distillation(DistillationSpec::Uniform(2.0));
+        let r1 = Experiment::new(d1).run();
+        let r2 = Experiment::new(d2).run();
+        let (o1, o2) = (r1.swap_overhead(), r2.swap_overhead());
+        if let (Some(o1), Some(o2)) = (o1, o2) {
+            assert!(o2 >= o1 * 0.8, "D=2 overhead {o2} vs D=1 {o1}");
+        }
+    }
+
+    #[test]
+    fn paper_section5_config_matches_description() {
+        let c = ExperimentConfig::paper_section5(Topology::Cycle { nodes: 25 }, 2.0, 9);
+        assert_eq!(c.network.node_count(), 25);
+        assert_eq!(c.network.distillation_overhead(), 2.0);
+        assert_eq!(c.workload.consumer_pairs, 35);
+        assert_eq!(c.mode, ProtocolMode::Oblivious);
+    }
+
+    #[test]
+    fn mean_overhead_over_seeds_aggregates() {
+        let mut c = small_config();
+        c.workload.requests = 5;
+        c.max_sim_time_s = 1_000.0;
+        let (mean, ratio) = mean_overhead_over_seeds(&c, &[1, 2]);
+        assert!(ratio > 0.0);
+        if let Some(m) = mean {
+            assert!(m >= 1.0);
+        }
+    }
+
+    #[test]
+    fn unreachable_horizon_reports_unsatisfied() {
+        // A tiny horizon cannot satisfy far-apart requests.
+        let mut c = small_config();
+        c.max_sim_time_s = 0.05;
+        let r = Experiment::new(c).run();
+        assert!(r.unsatisfied_requests > 0);
+        assert!(r.satisfaction_ratio() < 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Partial-knowledge (gossip) dissemination of buffer counts — paper §6.
+//!
+//! The baseline protocol assumes every node knows every `C_x(y)` instantly,
+//! which costs `O(|N|)` messages per inventory change. The paper suggests a
+//! BitTorrent-like relaxation where each node tracks only a rotating, small
+//! set of peers. [`GossipState`] models that: every node keeps a *stale copy*
+//! of the global count matrix and, on each of its swap scans, refreshes the
+//! rows of a few peers (chosen round-robin so coverage rotates). The
+//! balancer then consults the stale copy for remote counts while always
+//! using ground truth for the node's own pools.
+
+use crate::balancer::CountView;
+use crate::inventory::Inventory;
+use qnet_topology::{NodeId, NodePair, PairMatrix};
+
+/// Per-node stale views of the pair-count matrix.
+#[derive(Debug, Clone)]
+pub struct GossipState {
+    /// `views[x]` is node `x`'s belief about every pair count.
+    views: Vec<PairMatrix<u64>>,
+    /// Next peer index each node will refresh (rotates).
+    cursor: Vec<usize>,
+    /// Peers refreshed per scan.
+    peers_per_refresh: usize,
+}
+
+impl GossipState {
+    /// Create a gossip state for `n` nodes where each scan refreshes
+    /// `peers_per_refresh` peers' rows.
+    pub fn new(n: usize, peers_per_refresh: usize) -> Self {
+        assert!(peers_per_refresh >= 1, "must refresh at least one peer per scan");
+        GossipState {
+            views: vec![PairMatrix::new(n); n],
+            cursor: vec![0; n],
+            peers_per_refresh,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Peers refreshed per scan.
+    pub fn peers_per_refresh(&self) -> usize {
+        self.peers_per_refresh
+    }
+
+    /// Node `node` refreshes its view of the next `peers_per_refresh` peers
+    /// (round-robin over all other nodes), copying those peers' count rows
+    /// from the ground-truth inventory. Returns the number of peers actually
+    /// refreshed (= messages exchanged).
+    pub fn refresh(&mut self, node: NodeId, truth: &Inventory) -> u64 {
+        let n = self.node_count();
+        if n <= 1 {
+            return 0;
+        }
+        let mut refreshed = 0;
+        for _ in 0..self.peers_per_refresh.min(n - 1) {
+            // Advance the cursor, skipping the node itself.
+            let mut peer = self.cursor[node.index()] % n;
+            if peer == node.index() {
+                peer = (peer + 1) % n;
+            }
+            self.cursor[node.index()] = (peer + 1) % n;
+            let peer_id = NodeId::from(peer);
+            // Copy the peer's row: every pair that contains the peer.
+            for other in (0..n).map(NodeId::from) {
+                if other == peer_id {
+                    continue;
+                }
+                let pair = NodePair::new(peer_id, other);
+                self.views[node.index()].set(pair, truth.count(pair));
+            }
+            refreshed += 1;
+        }
+        refreshed
+    }
+
+    /// The (possibly stale) count view held by `node`.
+    pub fn view_of(&self, node: NodeId) -> StaleView<'_> {
+        StaleView {
+            counts: &self.views[node.index()],
+        }
+    }
+
+    /// Update `node`'s own knowledge of a pair it participates in (a node
+    /// always knows its own buffers; this keeps the stale matrix consistent
+    /// for pairs the node can see directly).
+    pub fn observe_local(&mut self, node: NodeId, pair: NodePair, count: u64) {
+        if pair.contains(node) {
+            self.views[node.index()].set(pair, count);
+        }
+    }
+}
+
+/// A borrowed stale count view implementing [`CountView`].
+#[derive(Debug, Clone, Copy)]
+pub struct StaleView<'a> {
+    counts: &'a PairMatrix<u64>,
+}
+
+impl CountView for StaleView<'_> {
+    fn count(&self, pair: NodePair) -> u64 {
+        *self.counts.get(pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::{BalancerPolicy, CountView};
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn fresh_state_sees_zero_everywhere() {
+        let g = GossipState::new(5, 2);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.view_of(NodeId(0)).count(pair(1, 2)), 0);
+    }
+
+    #[test]
+    fn refresh_copies_peer_rows() {
+        let mut truth = Inventory::new(4);
+        truth.add_pair(pair(1, 2)).unwrap();
+        truth.add_pair(pair(1, 2)).unwrap();
+        truth.add_pair(pair(2, 3)).unwrap();
+
+        let mut g = GossipState::new(4, 1);
+        // Node 0's first refresh targets peer 1 (cursor starts at 0 = itself,
+        // skipped): it learns the counts of pairs containing node 1.
+        let msgs = g.refresh(NodeId(0), &truth);
+        assert_eq!(msgs, 1);
+        assert_eq!(g.view_of(NodeId(0)).count(pair(1, 2)), 2);
+        // Pairs not containing the refreshed peer stay stale.
+        assert_eq!(g.view_of(NodeId(0)).count(pair(2, 3)), 0);
+        // The next refresh targets peer 2 and picks up the remaining pair.
+        g.refresh(NodeId(0), &truth);
+        assert_eq!(g.view_of(NodeId(0)).count(pair(2, 3)), 1);
+    }
+
+    #[test]
+    fn rotation_covers_all_peers() {
+        let mut truth = Inventory::new(5);
+        for other in 1..5u32 {
+            truth.add_pair(pair(0, other)).unwrap();
+        }
+        let mut g = GossipState::new(5, 1);
+        // Node 3 refreshes four times: every other node's rows must have been
+        // visited, so all pairs containing node 0 that also contain a visited
+        // peer are known. After visiting peer 0 itself, all of them are.
+        for _ in 0..4 {
+            g.refresh(NodeId(3), &truth);
+        }
+        for other in 1..5u32 {
+            assert_eq!(g.view_of(NodeId(3)).count(pair(0, other)), 1, "pair (0,{other})");
+        }
+    }
+
+    #[test]
+    fn observe_local_updates_own_pairs_only() {
+        let mut g = GossipState::new(4, 1);
+        g.observe_local(NodeId(1), pair(1, 3), 7);
+        g.observe_local(NodeId(1), pair(0, 2), 9); // not its pair: ignored
+        assert_eq!(g.view_of(NodeId(1)).count(pair(1, 3)), 7);
+        assert_eq!(g.view_of(NodeId(1)).count(pair(0, 2)), 0);
+    }
+
+    #[test]
+    fn stale_view_feeds_the_balancer() {
+        let mut truth = Inventory::new(3);
+        for _ in 0..4 {
+            truth.add_pair(pair(0, 1)).unwrap();
+            truth.add_pair(pair(1, 2)).unwrap();
+        }
+        let policy = BalancerPolicy;
+        let overhead = |_: NodePair| 1.0;
+
+        // With a never-refreshed view the remote count reads 0, so the swap
+        // looks preferable (same decision as ground truth here).
+        let g = GossipState::new(3, 1);
+        let view = g.view_of(NodeId(1));
+        assert!(policy
+            .find_preferable_swap(&truth, &view, NodeId(1), &overhead)
+            .is_some());
+
+        // Make ground truth rich on (0,2) but keep the view stale: the
+        // balancer over-eagerly swaps — exactly the kind of inefficiency the
+        // gossip ablation quantifies.
+        for _ in 0..10 {
+            truth.add_pair(pair(0, 2)).unwrap();
+        }
+        assert!(policy
+            .find_preferable_swap(&truth, &truth, NodeId(1), &overhead)
+            .is_none());
+        assert!(policy
+            .find_preferable_swap(&truth, &view, NodeId(1), &overhead)
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_peer_refresh_panics() {
+        let _ = GossipState::new(3, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Hybrid oblivious + minimal planning — paper §6.
+//!
+//! Path-oblivious balancing can be viewed as *seeding*: when a consumption
+//! request arrives and the needed pair is not immediately available, the
+//! consuming pair can look for a shortest path **among the existing Bell
+//! pairs** (which may be much shorter than the generation-graph path, thanks
+//! to the seeding) and perform just the few swaps needed to close the gap.
+//! The paper proposes this as a mitigation for the starvation effect it
+//! observed; the hybrid ablation experiment measures how much it helps.
+
+use crate::inventory::Inventory;
+use qnet_topology::{bfs_path, Graph, NodeId, NodePair};
+
+/// Build the *entanglement graph*: nodes are the network nodes, and an edge
+/// joins `x` and `y` whenever the inventory currently stores at least
+/// `min_count` pairs `[x, y]`.
+pub fn entanglement_graph(inventory: &Inventory, min_count: u64) -> Graph {
+    let mut g = Graph::with_nodes(inventory.node_count());
+    for (pair, count) in inventory.nonzero_pairs() {
+        if count >= min_count {
+            g.add_edge(pair.lo(), pair.hi());
+        }
+    }
+    g
+}
+
+/// Find the shortest path between the endpoints of `pair` in the entanglement
+/// graph induced by pools holding at least `min_count` pairs. Returns `None`
+/// if no such path exists.
+pub fn entanglement_path(
+    inventory: &Inventory,
+    pair: NodePair,
+    min_count: u64,
+) -> Option<Vec<NodeId>> {
+    let graph = entanglement_graph(inventory, min_count);
+    bfs_path(&graph, pair.lo(), pair.hi()).map(|p| p.nodes)
+}
+
+/// Attempt the §6 hybrid repair: if the consuming pair is not directly
+/// satisfiable, find a shortest path over the existing Bell pairs and execute
+/// nested swapping along it so that `need` pairs of `pair` become available.
+/// Returns the number of repair swaps performed, or `None` if no
+/// entanglement path could provide them.
+pub fn hybrid_repair(
+    inventory: &mut Inventory,
+    pair: NodePair,
+    need: u64,
+    k: u64,
+) -> Option<u64> {
+    if inventory.count(pair) >= need {
+        return Some(0);
+    }
+    // Require only k pairs per hop when searching; the nested executor will
+    // verify exact availability (and is atomic on failure).
+    let path = entanglement_path(inventory, pair, k)?;
+    if path.len() < 2 {
+        return None;
+    }
+    crate::planned::execute_nested_along_path(inventory, &path, need, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn entanglement_graph_reflects_counts() {
+        let mut inv = Inventory::new(4);
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(1, 2)).unwrap();
+        let g1 = entanglement_graph(&inv, 1);
+        assert!(g1.has_edge(NodeId(0), NodeId(1)));
+        assert!(g1.has_edge(NodeId(1), NodeId(2)));
+        assert!(!g1.has_edge(NodeId(2), NodeId(3)));
+        let g2 = entanglement_graph(&inv, 2);
+        assert!(g2.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g2.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn entanglement_path_can_shortcut_the_generation_graph() {
+        // Suppose balancing already produced a long-distance pair (0,3): the
+        // entanglement path from 0 to 4 is then just 0—3—4, regardless of how
+        // far apart they are in the generation graph.
+        let mut inv = Inventory::new(5);
+        inv.add_pair(pair(0, 3)).unwrap();
+        inv.add_pair(pair(3, 4)).unwrap();
+        let path = entanglement_path(&inv, pair(0, 4), 1).unwrap();
+        assert_eq!(path, vec![NodeId(0), NodeId(3), NodeId(4)]);
+        assert!(entanglement_path(&inv, pair(0, 2), 1).is_none());
+    }
+
+    #[test]
+    fn hybrid_repair_produces_the_needed_pair() {
+        let mut inv = Inventory::new(5);
+        inv.add_pair(pair(0, 3)).unwrap();
+        inv.add_pair(pair(3, 4)).unwrap();
+        let swaps = hybrid_repair(&mut inv, pair(0, 4), 1, 1).unwrap();
+        assert_eq!(swaps, 1);
+        assert_eq!(inv.count(pair(0, 4)), 1);
+    }
+
+    #[test]
+    fn hybrid_repair_noop_when_already_available() {
+        let mut inv = Inventory::new(3);
+        inv.add_pair(pair(0, 2)).unwrap();
+        assert_eq!(hybrid_repair(&mut inv, pair(0, 2), 1, 1), Some(0));
+        assert_eq!(inv.count(pair(0, 2)), 1, "nothing consumed by the repair");
+    }
+
+    #[test]
+    fn hybrid_repair_fails_gracefully() {
+        let mut inv = Inventory::new(4);
+        inv.add_pair(pair(0, 1)).unwrap();
+        // No path from 0 to 3 over existing pairs.
+        assert!(hybrid_repair(&mut inv, pair(0, 3), 1, 1).is_none());
+        // A path exists but lacks the quantity needed for k = 2: the nested
+        // executor refuses and leaves the inventory untouched.
+        inv.add_pair(pair(1, 3)).unwrap();
+        let before = inv.clone();
+        assert!(hybrid_repair(&mut inv, pair(0, 3), 1, 2).is_none());
+        assert_eq!(inv, before);
+    }
+}

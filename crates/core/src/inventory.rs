@@ -1,0 +1,326 @@
+//! The network-wide Bell-pair inventory.
+//!
+//! Because Bell pairs are interchangeable (paper §1), the global state the
+//! protocol cares about is just the count `C_x(y) = C_y(x)` of pairs whose
+//! qubits sit at `x` and `y`. [`Inventory`] stores those counts in a
+//! [`PairMatrix`] and implements the three primitive mutations — generate,
+//! swap, consume — with the bookkeeping (per-node qubit totals, cumulative
+//! counters) the balancer, the buffer-limit model and the metrics need.
+
+use qnet_topology::{NodeId, NodePair, PairMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Reasons an inventory mutation can be refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InventoryError {
+    /// Not enough pairs of the requested kind are stored.
+    InsufficientPairs {
+        /// How many were requested.
+        requested: u64,
+        /// How many are stored.
+        available: u64,
+    },
+    /// A node's buffer limit would be exceeded.
+    BufferFull {
+        /// The node whose buffer is full.
+        node: u32,
+    },
+}
+
+/// The global Bell-pair count state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inventory {
+    counts: PairMatrix<u64>,
+    /// Number of stored qubit halves per node (each stored pair contributes
+    /// one half to each endpoint).
+    node_load: Vec<u64>,
+    /// Optional per-node buffer limit.
+    buffer_limit: Option<u64>,
+    /// Cumulative number of pairs ever added (generated or produced by swap).
+    total_added: u64,
+    /// Cumulative number of pairs ever removed (consumed or used by swap).
+    total_removed: u64,
+}
+
+impl Inventory {
+    /// An empty inventory over `n` nodes with unlimited buffers.
+    pub fn new(n: usize) -> Self {
+        Inventory {
+            counts: PairMatrix::new(n),
+            node_load: vec![0; n],
+            buffer_limit: None,
+            total_added: 0,
+            total_removed: 0,
+        }
+    }
+
+    /// An empty inventory with a per-node buffer limit.
+    pub fn with_buffer_limit(n: usize, limit: u64) -> Self {
+        Inventory {
+            buffer_limit: Some(limit),
+            ..Inventory::new(n)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_load.len()
+    }
+
+    /// Count of stored pairs between the endpoints of `pair`.
+    pub fn count(&self, pair: NodePair) -> u64 {
+        *self.counts.get(pair)
+    }
+
+    /// Number of stored qubit halves at `node`.
+    pub fn node_load(&self, node: NodeId) -> u64 {
+        self.node_load[node.index()]
+    }
+
+    /// Total number of stored pairs.
+    pub fn total_pairs(&self) -> u64 {
+        self.counts.total()
+    }
+
+    /// Cumulative number of pairs ever added.
+    pub fn total_added(&self) -> u64 {
+        self.total_added
+    }
+
+    /// Cumulative number of pairs ever removed.
+    pub fn total_removed(&self) -> u64 {
+        self.total_removed
+    }
+
+    /// The nodes that currently share at least one pair with `node`
+    /// (its *entanglement neighbors*), in ascending id order.
+    pub fn entangled_peers(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.node_count())
+            .map(NodeId::from)
+            .filter(|&other| other != node && self.count(NodePair::new(node, other)) > 0)
+            .collect()
+    }
+
+    /// Iterate over all pairs with a non-zero count.
+    pub fn nonzero_pairs(&self) -> Vec<(NodePair, u64)> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, &c)| (p, c))
+            .collect()
+    }
+
+    /// Record the generation (or swap-production) of one pair between the
+    /// endpoints of `pair`.
+    pub fn add_pair(&mut self, pair: NodePair) -> Result<(), InventoryError> {
+        if let Some(limit) = self.buffer_limit {
+            for node in [pair.lo(), pair.hi()] {
+                if self.node_load[node.index()] >= limit {
+                    return Err(InventoryError::BufferFull { node: node.0 });
+                }
+            }
+        }
+        *self.counts.get_mut(pair) += 1;
+        self.node_load[pair.lo().index()] += 1;
+        self.node_load[pair.hi().index()] += 1;
+        self.total_added += 1;
+        Ok(())
+    }
+
+    /// Remove `count` pairs between the endpoints of `pair` (consumption or
+    /// swap input usage).
+    pub fn remove_pairs(&mut self, pair: NodePair, count: u64) -> Result<(), InventoryError> {
+        let available = self.count(pair);
+        if available < count {
+            return Err(InventoryError::InsufficientPairs {
+                requested: count,
+                available,
+            });
+        }
+        *self.counts.get_mut(pair) -= count;
+        self.node_load[pair.lo().index()] -= count;
+        self.node_load[pair.hi().index()] -= count;
+        self.total_removed += count;
+        Ok(())
+    }
+
+    /// Perform the swap `y ← x → y'` in count space: consume `cost_left`
+    /// pairs of `[x, y]` and `cost_right` pairs of `[x, y']`, produce one
+    /// pair `[y, y']`.
+    ///
+    /// The costs are the `⌈D⌉` factors of the distill-before-swap model
+    /// described in DESIGN.md; with `D = 1` this is the textbook swap that
+    /// consumes one pair on each side.
+    pub fn apply_swap(
+        &mut self,
+        repeater: NodeId,
+        left: NodeId,
+        right: NodeId,
+        cost_left: u64,
+        cost_right: u64,
+    ) -> Result<(), InventoryError> {
+        assert!(left != right && left != repeater && right != repeater, "degenerate swap");
+        let left_pair = NodePair::new(repeater, left);
+        let right_pair = NodePair::new(repeater, right);
+        // Validate both removals before mutating anything so a failure leaves
+        // the inventory untouched.
+        if self.count(left_pair) < cost_left {
+            return Err(InventoryError::InsufficientPairs {
+                requested: cost_left,
+                available: self.count(left_pair),
+            });
+        }
+        if self.count(right_pair) < cost_right {
+            return Err(InventoryError::InsufficientPairs {
+                requested: cost_right,
+                available: self.count(right_pair),
+            });
+        }
+        self.remove_pairs(left_pair, cost_left).expect("checked");
+        self.remove_pairs(right_pair, cost_right).expect("checked");
+        self.add_pair(NodePair::new(left, right))
+    }
+
+    /// The minimum pair count over a set of pairs (used by balance tests).
+    pub fn min_count_over(&self, pairs: &[NodePair]) -> Option<u64> {
+        pairs.iter().map(|&p| self.count(p)).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut inv = Inventory::new(4);
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(2, 3)).unwrap();
+        assert_eq!(inv.count(pair(1, 0)), 2);
+        assert_eq!(inv.count(pair(2, 3)), 1);
+        assert_eq!(inv.count(pair(0, 2)), 0);
+        assert_eq!(inv.total_pairs(), 3);
+        assert_eq!(inv.total_added(), 3);
+        assert_eq!(inv.node_load(NodeId(0)), 2);
+        assert_eq!(inv.node_load(NodeId(3)), 1);
+        assert_eq!(inv.entangled_peers(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(inv.nonzero_pairs().len(), 2);
+    }
+
+    #[test]
+    fn remove_pairs_checks_availability() {
+        let mut inv = Inventory::new(3);
+        inv.add_pair(pair(0, 1)).unwrap();
+        assert_eq!(
+            inv.remove_pairs(pair(0, 1), 2),
+            Err(InventoryError::InsufficientPairs {
+                requested: 2,
+                available: 1
+            })
+        );
+        inv.remove_pairs(pair(0, 1), 1).unwrap();
+        assert_eq!(inv.count(pair(0, 1)), 0);
+        assert_eq!(inv.total_removed(), 1);
+        assert_eq!(inv.node_load(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn swap_moves_entanglement() {
+        // A—C and C—B become A—B (Fig. 2 of the paper).
+        let mut inv = Inventory::new(3);
+        let (a, c, b) = (NodeId(0), NodeId(2), NodeId(1));
+        inv.add_pair(NodePair::new(a, c)).unwrap();
+        inv.add_pair(NodePair::new(c, b)).unwrap();
+        inv.apply_swap(c, a, b, 1, 1).unwrap();
+        assert_eq!(inv.count(NodePair::new(a, b)), 1);
+        assert_eq!(inv.count(NodePair::new(a, c)), 0);
+        assert_eq!(inv.count(NodePair::new(c, b)), 0);
+        // The repeater's qubits are measured out: its load drops to zero.
+        assert_eq!(inv.node_load(c), 0);
+        assert_eq!(inv.node_load(a), 1);
+        assert_eq!(inv.node_load(b), 1);
+    }
+
+    #[test]
+    fn swap_with_distillation_cost_consumes_more() {
+        let mut inv = Inventory::new(3);
+        let (a, c, b) = (NodeId(0), NodeId(2), NodeId(1));
+        for _ in 0..3 {
+            inv.add_pair(NodePair::new(a, c)).unwrap();
+            inv.add_pair(NodePair::new(c, b)).unwrap();
+        }
+        inv.apply_swap(c, a, b, 2, 3).unwrap();
+        assert_eq!(inv.count(NodePair::new(a, c)), 1);
+        assert_eq!(inv.count(NodePair::new(c, b)), 0);
+        assert_eq!(inv.count(NodePair::new(a, b)), 1);
+    }
+
+    #[test]
+    fn swap_fails_atomically() {
+        let mut inv = Inventory::new(3);
+        let (a, c, b) = (NodeId(0), NodeId(2), NodeId(1));
+        inv.add_pair(NodePair::new(a, c)).unwrap();
+        // Missing the C—B pair entirely.
+        let err = inv.apply_swap(c, a, b, 1, 1).unwrap_err();
+        assert!(matches!(err, InventoryError::InsufficientPairs { .. }));
+        // Nothing was consumed.
+        assert_eq!(inv.count(NodePair::new(a, c)), 1);
+        assert_eq!(inv.total_removed(), 0);
+    }
+
+    #[test]
+    fn swap_never_increases_node_pair_total() {
+        // Paper §3: "a swap never increases the number of Bell pairs held at
+        // a node".
+        let mut inv = Inventory::new(4);
+        for _ in 0..5 {
+            inv.add_pair(pair(0, 2)).unwrap();
+            inv.add_pair(pair(2, 3)).unwrap();
+        }
+        let before: Vec<u64> = (0..4).map(|i| inv.node_load(NodeId(i))).collect();
+        inv.apply_swap(NodeId(2), NodeId(0), NodeId(3), 1, 1).unwrap();
+        for i in 0..4 {
+            assert!(inv.node_load(NodeId(i)) <= before[i as usize]);
+        }
+        assert_eq!(inv.total_pairs(), 9);
+    }
+
+    #[test]
+    fn buffer_limit_is_enforced() {
+        let mut inv = Inventory::with_buffer_limit(3, 2);
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(0, 2)).unwrap();
+        // Node 0 now holds two halves; a third is refused.
+        assert_eq!(
+            inv.add_pair(pair(0, 1)),
+            Err(InventoryError::BufferFull { node: 0 })
+        );
+        // Other nodes still have room.
+        inv.add_pair(pair(1, 2)).unwrap();
+        assert_eq!(inv.total_pairs(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_swap_panics() {
+        let mut inv = Inventory::new(3);
+        let _ = inv.apply_swap(NodeId(0), NodeId(1), NodeId(1), 1, 1);
+    }
+
+    #[test]
+    fn min_count_over_pairs() {
+        let mut inv = Inventory::new(4);
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(1, 2)).unwrap();
+        let pairs = [pair(0, 1), pair(1, 2), pair(2, 3)];
+        assert_eq!(inv.min_count_over(&pairs), Some(0));
+        assert_eq!(inv.min_count_over(&pairs[..2]), Some(1));
+        assert_eq!(inv.min_count_over(&[]), None);
+    }
+}

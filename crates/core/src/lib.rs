@@ -1,0 +1,68 @@
+//! # qnet-core — path-oblivious entanglement swapping
+//!
+//! This crate implements the primary contribution of *"Path-Oblivious
+//! Entanglement Swapping for the Quantum Internet"* (HotNets 2025):
+//!
+//! * the **steady-state LP formulation** of generation / swap / consumption
+//!   rates (§3), including the decoherence / distillation / QEC extensions of
+//!   §3.2 and the optimisation objectives of §3.3 ([`lp_model`]),
+//! * the **max-min distributed balancing protocol** of §4 ([`balancer`]),
+//! * the **planned-path baselines** the paper compares against — the nested
+//!   swapping cost recursion used as the swap-overhead denominator, and
+//!   executable connection-oriented / connectionless protocols ([`planned`],
+//!   [`nested`]),
+//! * the **simulation harness** of §5: generation and swapping processes on
+//!   cycle / grid generation graphs, the 35-consumer-pair sequential
+//!   workload, and the swap-overhead metric ([`network`], [`workload`],
+//!   [`experiment`], [`metrics`]),
+//! * the §6 extensions: hybrid oblivious + minimal planning ([`hybrid`]),
+//!   partial-knowledge (gossip) dissemination of buffer counts ([`gossip`]),
+//!   and classical-overhead accounting ([`classical`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qnet_core::config::{DistillationSpec, NetworkConfig};
+//! use qnet_core::experiment::{Experiment, ExperimentConfig, ProtocolMode};
+//! use qnet_core::workload::WorkloadSpec;
+//! use qnet_topology::Topology;
+//!
+//! let config = ExperimentConfig {
+//!     network: NetworkConfig::new(Topology::Cycle { nodes: 9 })
+//!         .with_distillation(DistillationSpec::Uniform(1.0)),
+//!     workload: WorkloadSpec::paper_default(9).with_requests(40),
+//!     mode: ProtocolMode::Oblivious,
+//!     seed: 7,
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = Experiment::new(config).run();
+//! assert!(result.satisfied_requests > 0);
+//! assert!(result.swap_overhead().unwrap() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod classical;
+pub mod config;
+pub mod experiment;
+pub mod gossip;
+pub mod hybrid;
+pub mod inventory;
+pub mod lp_model;
+pub mod metrics;
+pub mod nested;
+pub mod network;
+pub mod planned;
+pub mod rates;
+pub mod workload;
+
+pub use balancer::{BalancerPolicy, SwapCandidate};
+pub use config::{DistillationSpec, NetworkConfig};
+pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, ProtocolMode};
+pub use inventory::Inventory;
+pub use lp_model::{LpObjective, SteadyStateModel};
+pub use nested::nested_swap_cost;
+pub use rates::RateMatrices;
+pub use workload::{ConsumptionRequest, Workload, WorkloadSpec};

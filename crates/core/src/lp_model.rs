@@ -1,0 +1,647 @@
+//! The paper's steady-state LP formulation (§3).
+//!
+//! For every unordered pair `{x, y}` the arrival and departure rates of
+//! Bell pairs `[x, y]` are (Eqs. 1–4, including the §3.2 overhead extension):
+//!
+//! ```text
+//! r⁺(x,y) = L · ( g(x,y) + Σ_i σ_i(x,y) )
+//! r⁻(x,y) = D · ( c(x,y) + Σ_i ( σ_x(i,y) + σ_y(i,x) ) )
+//! ```
+//!
+//! where `σ_i(x,y)` is the rate at which node `i` performs the swap
+//! `x ← i → y`, `L ∈ (0, 1]` is the survival fraction of fully distilled
+//! pairs (loss), and `D ≥ 1` is the distillation overhead. In steady state
+//! `r⁺ = r⁻` for every pair. The external inputs are the generation
+//! capacities `γ(x,y)` and the desired consumption rates `κ(x,y)`; the swap
+//! rates (and, depending on the objective, `g` and `c`) are the decision
+//! variables.
+//!
+//! [`SteadyStateModel::solve`] builds and solves the LP for each of the §3.3
+//! objectives.
+
+use crate::rates::RateMatrices;
+use qnet_lp::{max_min_allocation, LinearProgram, Objective, Solution, SolveStatus, VarId};
+use qnet_topology::{NodeId, NodePair, PairMatrix};
+use serde::{Deserialize, Serialize};
+
+/// The §3.3 optimisation objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpObjective {
+    /// Generation is sufficient: satisfy the full demand while minimising
+    /// total generation `Σ g(x,y)`.
+    MinTotalGeneration,
+    /// Generation is sufficient: satisfy the full demand while minimising the
+    /// maximum per-pair generation rate.
+    MinMaxGeneration,
+    /// Generation is insufficient: maximise total consumption `Σ c(x,y)`
+    /// subject to `g ≤ γ` and `c ≤ κ`.
+    MaxTotalConsumption,
+    /// Generation is insufficient: maximise the minimum consumption rate over
+    /// the demanding pairs (lexicographic max-min, by progressive filling).
+    MaxMinConsumption,
+    /// Generation is insufficient: find the largest `α` such that every
+    /// demanding pair gets `c(x,y) = α·κ(x,y)` (proportional fairness knob).
+    MaxProportionalAlpha,
+}
+
+/// A swap rate `σ_i(x, y)` in a solved model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapRate {
+    /// The repeater `i`.
+    pub repeater: NodeId,
+    /// The pair `{x, y}` whose entanglement the swap produces.
+    pub produces: NodePair,
+    /// The rate (swaps per second).
+    pub rate: f64,
+}
+
+/// The solved steady-state allocation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SteadyStateSolution {
+    /// Which objective was solved.
+    pub objective: LpObjective,
+    /// Solver status.
+    pub status: SolveStatus,
+    /// Objective value (sense depends on the objective).
+    pub objective_value: f64,
+    /// Chosen generation rates `g(x, y)`.
+    pub generation: PairMatrix<f64>,
+    /// Achieved consumption rates `c(x, y)`.
+    pub consumption: PairMatrix<f64>,
+    /// Non-zero swap rates.
+    pub swap_rates: Vec<SwapRate>,
+    /// The proportional-fairness factor `α` (only for
+    /// [`LpObjective::MaxProportionalAlpha`]).
+    pub alpha: Option<f64>,
+}
+
+impl SteadyStateSolution {
+    /// The chosen generation rate for one pair.
+    pub fn generation(&self, pair: NodePair) -> f64 {
+        *self.generation.get(pair)
+    }
+    /// The achieved consumption rate for one pair.
+    pub fn consumption(&self, pair: NodePair) -> f64 {
+        *self.consumption.get(pair)
+    }
+    /// Total generation rate in the solution.
+    pub fn total_generation(&self) -> f64 {
+        self.generation.total()
+    }
+    /// Total consumption rate in the solution.
+    pub fn total_consumption(&self) -> f64 {
+        self.consumption.total()
+    }
+    /// Total swap rate in the solution.
+    pub fn total_swap_rate(&self) -> f64 {
+        self.swap_rates.iter().map(|s| s.rate).sum()
+    }
+    /// True when the underlying LP solved to optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}
+
+/// Builder/solver for the steady-state LP.
+#[derive(Debug, Clone)]
+pub struct SteadyStateModel {
+    node_count: usize,
+    /// Generation capacity `γ(x, y)`.
+    capacity: PairMatrix<f64>,
+    /// Desired consumption `κ(x, y)`.
+    demand: PairMatrix<f64>,
+    /// Survival fraction `L ∈ (0, 1]`.
+    survival: f64,
+    /// Distillation overhead `D ≥ 1`.
+    distillation: f64,
+}
+
+/// Internal: variable bookkeeping for one LP build.
+struct VarMap {
+    sigma: Vec<(NodeId, NodePair, VarId)>,
+    generation: Vec<(NodePair, VarId)>,
+    consumption: Vec<(NodePair, VarId)>,
+    aux: Option<VarId>,
+}
+
+impl SteadyStateModel {
+    /// Create a model from generation capacities and a demand matrix, with no
+    /// loss and unit distillation.
+    pub fn new(rates: &RateMatrices, demand_rates: &RateMatrices) -> Self {
+        assert_eq!(rates.node_count(), demand_rates.node_count());
+        let n = rates.node_count();
+        let mut capacity = PairMatrix::new(n);
+        let mut demand = PairMatrix::new(n);
+        for pair in qnet_topology::pairs::all_pairs(n) {
+            capacity.set(pair, rates.generation(pair));
+            demand.set(pair, demand_rates.consumption(pair));
+        }
+        SteadyStateModel {
+            node_count: n,
+            capacity,
+            demand,
+            survival: 1.0,
+            distillation: 1.0,
+        }
+    }
+
+    /// Builder: set the §3.2 overheads (survival fraction `L` and
+    /// distillation overhead `D`).
+    pub fn with_overheads(mut self, survival: f64, distillation: f64) -> Self {
+        assert!(survival > 0.0 && survival <= 1.0, "survival must be in (0, 1]");
+        assert!(distillation >= 1.0, "distillation overhead must be ≥ 1");
+        self.survival = survival;
+        self.distillation = distillation;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of swap-rate variables `σ_i(x, y)` the LP will contain.
+    pub fn sigma_count(&self) -> usize {
+        let n = self.node_count;
+        n * (n - 1) * (n - 2) / 2
+    }
+
+    /// The demanding pairs (κ > 0).
+    pub fn demand_pairs(&self) -> Vec<NodePair> {
+        self.demand.positive_pairs()
+    }
+
+    /// Build the LP skeleton shared by all objectives.
+    ///
+    /// `generation_is_variable` / `consumption_is_variable` control whether
+    /// `g` / `c` are decision variables or constants fixed to their input
+    /// values; `alpha` adds the proportional-fairness variable and ties
+    /// consumption to `α·κ`.
+    fn build(
+        &self,
+        generation_is_variable: bool,
+        consumption_is_variable: bool,
+        with_alpha: bool,
+    ) -> (LinearProgram, VarMap) {
+        let n = self.node_count;
+        let mut lp = LinearProgram::new();
+        let mut map = VarMap {
+            sigma: Vec::new(),
+            generation: Vec::new(),
+            consumption: Vec::new(),
+            aux: None,
+        };
+
+        // Swap-rate variables σ_i(x, y) for every repeater i and pair {x, y}
+        // not containing i.
+        for i in (0..n).map(NodeId::from) {
+            for pair in qnet_topology::pairs::all_pairs(n) {
+                if pair.contains(i) {
+                    continue;
+                }
+                let v = lp.add_variable(format!("sigma[{i}][{pair}]"));
+                map.sigma.push((i, pair, v));
+            }
+        }
+
+        // Generation variables (bounded by capacity) when requested.
+        if generation_is_variable {
+            for pair in qnet_topology::pairs::all_pairs(n) {
+                let cap = *self.capacity.get(pair);
+                if cap > 0.0 {
+                    let v = lp.add_bounded_variable(format!("g[{pair}]"), cap);
+                    map.generation.push((pair, v));
+                }
+            }
+        }
+
+        // Consumption variables (bounded by demand) when requested.
+        if consumption_is_variable {
+            for pair in self.demand_pairs() {
+                let cap = *self.demand.get(pair);
+                let v = lp.add_bounded_variable(format!("c[{pair}]"), cap);
+                map.consumption.push((pair, v));
+            }
+        }
+
+        // Proportional-fairness variable.
+        if with_alpha {
+            let v = lp.add_bounded_variable("alpha", 1.0);
+            map.aux = Some(v);
+        }
+
+        // Steady-state constraint per pair:
+        //   L·g + L·Σσ_i(x,y) − D·c − D·Σ(σ_x(i,y)+σ_y(i,x)) = 0
+        for pair in qnet_topology::pairs::all_pairs(n) {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            let mut rhs = 0.0;
+
+            // Arrivals from swaps at third parties.
+            for (i, p, v) in &map.sigma {
+                if *p == pair {
+                    terms.push((*v, self.survival));
+                }
+                // Departures: swaps performed *at* x or y that consume a pair
+                // of {x, y}: σ_x(i, y) consumes [x,y] and [x,i]; in our
+                // variable indexing that is the variable (repeater = x,
+                // produces = {i, y}) for any i — it consumes one pair from
+                // [x, i] and one from [x, y]. So a σ with repeater x whose
+                // produced pair contains y consumes from [x, y].
+                let (x, y) = pair.endpoints();
+                if (*i == x && p.contains(y)) || (*i == y && p.contains(x)) {
+                    terms.push((*v, -self.distillation));
+                }
+            }
+
+            // Generation contribution.
+            let cap = *self.capacity.get(pair);
+            if generation_is_variable {
+                if let Some((_, v)) = map.generation.iter().find(|(p, _)| *p == pair) {
+                    terms.push((*v, self.survival));
+                }
+            } else if cap > 0.0 {
+                rhs -= self.survival * cap;
+            }
+
+            // Consumption contribution.
+            let kappa = *self.demand.get(pair);
+            if with_alpha {
+                if kappa > 0.0 {
+                    let alpha = map.aux.expect("alpha variable exists");
+                    terms.push((alpha, -self.distillation * kappa));
+                }
+            } else if consumption_is_variable {
+                if let Some((_, v)) = map.consumption.iter().find(|(p, _)| *p == pair) {
+                    terms.push((*v, -self.distillation));
+                }
+            } else if kappa > 0.0 {
+                rhs += self.distillation * kappa;
+            }
+
+            lp.add_eq(format!("steady[{pair}]"), terms, rhs);
+        }
+
+        (lp, map)
+    }
+
+    /// Solve the model for the given objective.
+    pub fn solve(&self, objective: LpObjective) -> SteadyStateSolution {
+        match objective {
+            LpObjective::MinTotalGeneration => self.solve_generation(false),
+            LpObjective::MinMaxGeneration => self.solve_generation(true),
+            LpObjective::MaxTotalConsumption => self.solve_consumption_total(),
+            LpObjective::MaxMinConsumption => self.solve_consumption_maxmin(),
+            LpObjective::MaxProportionalAlpha => self.solve_alpha(),
+        }
+    }
+
+    fn solve_generation(&self, minimize_maximum: bool) -> SteadyStateSolution {
+        let (mut lp, mut map) = self.build(true, false, false);
+        if minimize_maximum {
+            let m = lp.add_variable("max-generation");
+            for (_, v) in &map.generation {
+                lp.add_le("g-below-max", vec![(*v, 1.0), (m, -1.0)], 0.0);
+            }
+            lp.set_objective(Objective::Minimize(vec![(m, 1.0)]));
+            map.aux = Some(m);
+        } else {
+            let terms: Vec<(VarId, f64)> =
+                map.generation.iter().map(|(_, v)| (*v, 1.0)).collect();
+            lp.set_objective(Objective::Minimize(terms));
+        }
+        let sol = qnet_lp::simplex::solve(&lp);
+        self.extract(
+            if minimize_maximum {
+                LpObjective::MinMaxGeneration
+            } else {
+                LpObjective::MinTotalGeneration
+            },
+            &map,
+            &sol,
+            // Consumption was fixed to the demand.
+            Some(&self.demand),
+        )
+    }
+
+    fn solve_consumption_total(&self) -> SteadyStateSolution {
+        let (mut lp, map) = self.build(true, true, false);
+        let terms: Vec<(VarId, f64)> = map.consumption.iter().map(|(_, v)| (*v, 1.0)).collect();
+        lp.set_objective(Objective::Maximize(terms));
+        let sol = qnet_lp::simplex::solve(&lp);
+        self.extract(LpObjective::MaxTotalConsumption, &map, &sol, None)
+    }
+
+    fn solve_consumption_maxmin(&self) -> SteadyStateSolution {
+        let (lp, map) = self.build(true, true, false);
+        let targets: Vec<VarId> = map.consumption.iter().map(|(_, v)| *v).collect();
+        if targets.is_empty() {
+            // No demand at all: the zero solution is trivially max-min fair.
+            return self.extract(
+                LpObjective::MaxMinConsumption,
+                &map,
+                &Solution {
+                    status: SolveStatus::Optimal,
+                    objective: 0.0,
+                    values: vec![0.0; lp.variable_count()],
+                },
+                None,
+            );
+        }
+        match max_min_allocation(&lp, &targets) {
+            Ok(result) => {
+                let sol = Solution {
+                    status: SolveStatus::Optimal,
+                    objective: result
+                        .target_values
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min),
+                    values: result.assignment[..lp.variable_count()].to_vec(),
+                };
+                self.extract(LpObjective::MaxMinConsumption, &map, &sol, None)
+            }
+            Err(status) => self.extract(
+                LpObjective::MaxMinConsumption,
+                &map,
+                &Solution {
+                    status,
+                    objective: 0.0,
+                    values: vec![0.0; lp.variable_count()],
+                },
+                None,
+            ),
+        }
+    }
+
+    fn solve_alpha(&self) -> SteadyStateSolution {
+        let (mut lp, map) = self.build(true, false, true);
+        let alpha = map.aux.expect("alpha variable");
+        lp.set_objective(Objective::Maximize(vec![(alpha, 1.0)]));
+        let sol = qnet_lp::simplex::solve(&lp);
+        let mut out = self.extract(LpObjective::MaxProportionalAlpha, &map, &sol, None);
+        if sol.is_optimal() {
+            let a = sol.value(alpha);
+            out.alpha = Some(a);
+            // Consumption is α·κ by construction.
+            let mut consumption = PairMatrix::new(self.node_count);
+            for pair in self.demand_pairs() {
+                consumption.set(pair, a * *self.demand.get(pair));
+            }
+            out.consumption = consumption;
+            out.objective_value = a;
+        }
+        out
+    }
+
+    fn extract(
+        &self,
+        objective: LpObjective,
+        map: &VarMap,
+        sol: &Solution,
+        fixed_consumption: Option<&PairMatrix<f64>>,
+    ) -> SteadyStateSolution {
+        let n = self.node_count;
+        let mut generation = PairMatrix::new(n);
+        let mut consumption = PairMatrix::new(n);
+        let mut swap_rates = Vec::new();
+
+        if sol.is_optimal() {
+            for (pair, v) in &map.generation {
+                generation.set(*pair, sol.value(*v));
+            }
+            if map.generation.is_empty() {
+                // Generation was fixed to capacity.
+                for pair in qnet_topology::pairs::all_pairs(n) {
+                    generation.set(pair, *self.capacity.get(pair));
+                }
+            }
+            match fixed_consumption {
+                Some(fixed) => {
+                    for pair in qnet_topology::pairs::all_pairs(n) {
+                        consumption.set(pair, *fixed.get(pair));
+                    }
+                }
+                None => {
+                    for (pair, v) in &map.consumption {
+                        consumption.set(*pair, sol.value(*v));
+                    }
+                }
+            }
+            for (i, pair, v) in &map.sigma {
+                let rate = sol.value(*v);
+                if rate > 1e-9 {
+                    swap_rates.push(SwapRate {
+                        repeater: *i,
+                        produces: *pair,
+                        rate,
+                    });
+                }
+            }
+        }
+
+        SteadyStateSolution {
+            objective,
+            status: sol.status,
+            objective_value: sol.objective,
+            generation,
+            consumption,
+            swap_rates,
+            alpha: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::builders::{cycle, path};
+    use qnet_topology::NodeId;
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    /// A 3-node path 0—1—2 with capacity 1 on each edge and demand between
+    /// the path's endpoints.
+    fn path3_model(demand: f64) -> SteadyStateModel {
+        let g = path(3);
+        let capacity = RateMatrices::uniform_generation(&g, 1.0);
+        let mut demand_rates = RateMatrices::zeros(3);
+        demand_rates.set_consumption(pair(0, 2), demand);
+        SteadyStateModel::new(&capacity, &demand_rates)
+    }
+
+    #[test]
+    fn sigma_count_formula() {
+        let m = path3_model(0.1);
+        assert_eq!(m.sigma_count(), 3);
+        let g = cycle(6);
+        let m6 = SteadyStateModel::new(
+            &RateMatrices::uniform_generation(&g, 1.0),
+            &RateMatrices::zeros(6),
+        );
+        assert_eq!(m6.sigma_count(), 6 * 5 * 4 / 2);
+    }
+
+    #[test]
+    fn min_generation_on_path_charges_both_edges() {
+        // Serving c(0,2) = 0.4 requires swaps at node 1 at rate 0.4, which
+        // consume pairs on both edges, so g(0,1) = g(1,2) = 0.4 and the
+        // minimum total generation is 0.8.
+        let m = path3_model(0.4);
+        let sol = m.solve(LpObjective::MinTotalGeneration);
+        assert!(sol.is_optimal());
+        assert!((sol.total_generation() - 0.8).abs() < 1e-5, "{}", sol.total_generation());
+        assert!((sol.objective_value - 0.8).abs() < 1e-5);
+        // The swap must happen at node 1.
+        assert!(sol
+            .swap_rates
+            .iter()
+            .any(|s| s.repeater == NodeId(1) && s.produces == pair(0, 2) && s.rate > 0.39));
+        assert!((sol.total_consumption() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_generation_infeasible_when_demand_exceeds_capacity() {
+        // Edge capacity is 1, so end-to-end demand of 1.5 cannot be met.
+        let m = path3_model(1.5);
+        let sol = m.solve(LpObjective::MinTotalGeneration);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn min_max_generation_balances_edges() {
+        let m = path3_model(0.4);
+        let sol = m.solve(LpObjective::MinMaxGeneration);
+        assert!(sol.is_optimal());
+        // Both edges need 0.4, so the minimised maximum is 0.4.
+        assert!((sol.objective_value - 0.4).abs() < 1e-5);
+        assert!((sol.generation(pair(0, 1)) - 0.4).abs() < 1e-5);
+        assert!((sol.generation(pair(1, 2)) - 0.4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_total_consumption_saturates_bottleneck() {
+        // With capacity 1 per edge and the end-to-end pair as the only
+        // consumer, the maximum steady consumption is 1 (limited by either
+        // edge), as long as the demand cap allows it.
+        let m = path3_model(5.0);
+        let sol = m.solve(LpObjective::MaxTotalConsumption);
+        assert!(sol.is_optimal());
+        assert!((sol.total_consumption() - 1.0).abs() < 1e-5, "{}", sol.total_consumption());
+    }
+
+    #[test]
+    fn max_total_consumption_with_competing_direct_demand() {
+        // Demand on (0,1) competes with the end-to-end demand for edge (0,1).
+        // Total consumption is maximised by serving the direct pair only:
+        // c(0,1) = 1 and c(0,2) = ...; serving (0,2) costs both edges, so the
+        // total-throughput optimum favours the cheap pair.
+        let g = path(3);
+        let capacity = RateMatrices::uniform_generation(&g, 1.0);
+        let mut demand = RateMatrices::zeros(3);
+        demand.set_consumption(pair(0, 2), 2.0);
+        demand.set_consumption(pair(0, 1), 2.0);
+        let m = SteadyStateModel::new(&capacity, &demand);
+        let sol = m.solve(LpObjective::MaxTotalConsumption);
+        assert!(sol.is_optimal());
+        // Every unit of c(0,2) consumes a unit of edge (0,1) that c(0,1)
+        // could have used directly (and a unit of edge (1,2) on top), so the
+        // total is capped by edge (0,1)'s capacity: max total = 1. Multiple
+        // optimal splits achieve it, so only the total is asserted.
+        assert!((sol.total_consumption() - 1.0).abs() < 1e-5, "{}", sol.total_consumption());
+        assert!(lp_split_is_consistent(&sol));
+    }
+
+    /// Helper: the reported per-pair consumptions sum to the reported total.
+    fn lp_split_is_consistent(sol: &SteadyStateSolution) -> bool {
+        let sum: f64 = sol
+            .consumption
+            .iter()
+            .map(|(_, &v)| v)
+            .sum();
+        (sum - sol.total_consumption()).abs() < 1e-9
+    }
+
+    #[test]
+    fn max_min_consumption_shares_the_bottleneck() {
+        // Same competing-demand setting: max-min fairness splits edge (0,1)
+        // between the direct pair and the end-to-end pair: both get 0.5.
+        let g = path(3);
+        let capacity = RateMatrices::uniform_generation(&g, 1.0);
+        let mut demand = RateMatrices::zeros(3);
+        demand.set_consumption(pair(0, 2), 2.0);
+        demand.set_consumption(pair(0, 1), 2.0);
+        let m = SteadyStateModel::new(&capacity, &demand);
+        let sol = m.solve(LpObjective::MaxMinConsumption);
+        assert!(sol.is_optimal());
+        assert!((sol.consumption(pair(0, 1)) - 0.5).abs() < 1e-4, "{}", sol.consumption(pair(0, 1)));
+        assert!((sol.consumption(pair(0, 2)) - 0.5).abs() < 1e-4, "{}", sol.consumption(pair(0, 2)));
+    }
+
+    #[test]
+    fn alpha_objective_scales_demand_uniformly() {
+        let g = path(3);
+        let capacity = RateMatrices::uniform_generation(&g, 1.0);
+        let mut demand = RateMatrices::zeros(3);
+        demand.set_consumption(pair(0, 2), 2.0);
+        demand.set_consumption(pair(0, 1), 2.0);
+        let m = SteadyStateModel::new(&capacity, &demand);
+        let sol = m.solve(LpObjective::MaxProportionalAlpha);
+        assert!(sol.is_optimal());
+        let alpha = sol.alpha.expect("alpha present");
+        // Edge (0,1) carries 2α (direct) + 2α (swapped) ≤ 1 → α = 0.25.
+        assert!((alpha - 0.25).abs() < 1e-4, "alpha {alpha}");
+        assert!((sol.consumption(pair(0, 1)) - 0.5).abs() < 1e-4);
+        assert!((sol.consumption(pair(0, 2)) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn distillation_overhead_multiplies_generation_need() {
+        // With D = 2 every departure costs two arrivals, so serving
+        // c(0,2) = 0.2 needs g = 2·(2·0.2) per edge? — the swap at node 1
+        // departs at rate D·σ from each edge pool and the consumption departs
+        // at D·c from the (0,2) pool which is fed by σ·L. Working through:
+        // σ = D·c / L = 0.4; per-edge g = D·σ / L = 0.8; total 1.6.
+        let m = path3_model(0.2).with_overheads(1.0, 2.0);
+        let sol = m.solve(LpObjective::MinTotalGeneration);
+        assert!(sol.is_optimal());
+        assert!((sol.total_generation() - 1.6).abs() < 1e-4, "{}", sol.total_generation());
+    }
+
+    #[test]
+    fn loss_scales_generation_inversely() {
+        // With survival L = 0.5 every arrival is halved: serving c = 0.2
+        // needs twice the generation of the lossless case (0.4 per edge →
+        // 0.8 total becomes 1.6? — σ·L = c → σ = 0.4; edge: g·L = σ →
+        // g = 0.8; total 1.6).
+        let m = path3_model(0.2).with_overheads(0.5, 1.0);
+        let sol = m.solve(LpObjective::MinTotalGeneration);
+        assert!(sol.is_optimal());
+        assert!((sol.total_generation() - 1.6).abs() < 1e-4, "{}", sol.total_generation());
+    }
+
+    #[test]
+    fn cycle_uses_both_directions() {
+        // On a 4-cycle with demand between opposite corners, max total
+        // consumption can route via either two-hop side; capacity 1 per edge
+        // allows up to 2 in total (1 via each side).
+        let g = cycle(4);
+        let capacity = RateMatrices::uniform_generation(&g, 1.0);
+        let mut demand = RateMatrices::zeros(4);
+        demand.set_consumption(pair(0, 2), 10.0);
+        let m = SteadyStateModel::new(&capacity, &demand);
+        let sol = m.solve(LpObjective::MaxTotalConsumption);
+        assert!(sol.is_optimal());
+        assert!((sol.total_consumption() - 2.0).abs() < 1e-4, "{}", sol.total_consumption());
+        // Swaps happen at nodes 1 and 3.
+        let repeaters: Vec<u32> = sol.swap_rates.iter().map(|s| s.repeater.0).collect();
+        assert!(repeaters.contains(&1) && repeaters.contains(&3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_overheads_panic() {
+        let _ = path3_model(0.1).with_overheads(0.0, 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Experiment metrics, headed by the paper's swap-overhead measure.
+//!
+//! §5 defines **swap overhead** as the number of swaps the distributed
+//! algorithm performs divided by `Σ_c s(ℓ(c))`: the nested-swapping optimum
+//! summed over the satisfied consumption events' shortest-path lengths. The
+//! measure is ≥ 1 by construction (the denominator is the minimum possible);
+//! the paper notes it is conservative because practical planned-path systems
+//! rarely achieve the optimum and because leftover swapped pairs retain
+//! value.
+
+use crate::classical::ClassicalStats;
+use crate::nested::overhead_denominator;
+use qnet_sim::SimTime;
+use qnet_topology::NodePair;
+use serde::{Deserialize, Serialize};
+
+/// One satisfied consumption event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SatisfiedRequest {
+    /// Position in the request sequence.
+    pub sequence: u64,
+    /// The consuming pair.
+    pub pair: NodePair,
+    /// Simulated time of satisfaction.
+    pub satisfied_at: SimTime,
+    /// Hop count of the shortest generation-graph path between the pair's
+    /// endpoints (the `ℓ(c)` of the overhead denominator).
+    pub shortest_path_hops: usize,
+    /// Swaps the hybrid repair step performed specifically for this request
+    /// (0 in pure oblivious mode).
+    pub repair_swaps: u64,
+}
+
+/// Aggregate metrics of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Distillation overhead `D` used for the denominator.
+    pub distillation_overhead: f64,
+    /// Total swap operations performed (balancer + any planned/hybrid
+    /// execution swaps).
+    pub swaps_performed: u64,
+    /// Bell pairs generated.
+    pub pairs_generated: u64,
+    /// Bell pairs lost to decoherence/loss before being stored.
+    pub pairs_lost: u64,
+    /// The satisfied requests, in satisfaction order.
+    pub satisfied: Vec<SatisfiedRequest>,
+    /// Requests that remained unsatisfied when the simulation ended.
+    pub unsatisfied_requests: u64,
+    /// Classical message counters.
+    pub classical: ClassicalStats,
+    /// Simulated time at which the run ended.
+    pub ended_at: SimTime,
+    /// Pairs still stored in the inventory at the end of the run (the
+    /// "leftover value" the paper's conservative-scoring note mentions).
+    pub leftover_pairs: u64,
+}
+
+impl RunMetrics {
+    /// Number of satisfied requests.
+    pub fn satisfied_count(&self) -> usize {
+        self.satisfied.len()
+    }
+
+    /// The swap-overhead denominator `Σ_c s(ℓ(c))`.
+    pub fn overhead_denominator(&self) -> f64 {
+        let lengths: Vec<usize> = self
+            .satisfied
+            .iter()
+            .map(|s| s.shortest_path_hops)
+            .collect();
+        overhead_denominator(&lengths, self.distillation_overhead)
+    }
+
+    /// The paper's swap-overhead metric. `None` when the denominator is zero
+    /// (no satisfied request, or all satisfied requests were single-hop with
+    /// `s(1) = 0`).
+    pub fn swap_overhead(&self) -> Option<f64> {
+        let denom = self.overhead_denominator();
+        if denom <= 0.0 {
+            None
+        } else {
+            Some(self.swaps_performed as f64 / denom)
+        }
+    }
+
+    /// Mean time between consecutive satisfactions (a throughput proxy);
+    /// `None` with fewer than two satisfactions.
+    pub fn mean_inter_satisfaction_time(&self) -> Option<f64> {
+        if self.satisfied.len() < 2 {
+            return None;
+        }
+        let first = self.satisfied.first().unwrap().satisfied_at;
+        let last = self.satisfied.last().unwrap().satisfied_at;
+        Some(last.saturating_since(first).as_secs_f64() / (self.satisfied.len() - 1) as f64)
+    }
+
+    /// Fraction of requests satisfied.
+    pub fn satisfaction_ratio(&self) -> f64 {
+        let total = self.satisfied.len() as u64 + self.unsatisfied_requests;
+        if total == 0 {
+            1.0
+        } else {
+            self.satisfied.len() as f64 / total as f64
+        }
+    }
+
+    /// Total swaps spent on hybrid repairs.
+    pub fn repair_swaps(&self) -> u64 {
+        self.satisfied.iter().map(|s| s.repair_swaps).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::NodeId;
+
+    fn satisfied(seq: u64, hops: usize, at_secs: u64) -> SatisfiedRequest {
+        SatisfiedRequest {
+            sequence: seq,
+            pair: NodePair::new(NodeId(0), NodeId(1)),
+            satisfied_at: SimTime::from_secs(at_secs),
+            shortest_path_hops: hops,
+            repair_swaps: 0,
+        }
+    }
+
+    fn base_metrics() -> RunMetrics {
+        RunMetrics {
+            distillation_overhead: 1.0,
+            swaps_performed: 10,
+            pairs_generated: 100,
+            pairs_lost: 0,
+            satisfied: vec![satisfied(0, 2, 1), satisfied(1, 4, 3), satisfied(2, 3, 5)],
+            unsatisfied_requests: 1,
+            classical: ClassicalStats::new(),
+            ended_at: SimTime::from_secs(10),
+            leftover_pairs: 7,
+        }
+    }
+
+    #[test]
+    fn denominator_and_overhead() {
+        let m = base_metrics();
+        // s(2)=1, s(4)=2, s(3)=1 at D=1 → denominator 4.
+        assert!((m.overhead_denominator() - 4.0).abs() < 1e-12);
+        assert!((m.swap_overhead().unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(m.satisfied_count(), 3);
+    }
+
+    #[test]
+    fn overhead_none_when_denominator_zero() {
+        let mut m = base_metrics();
+        m.satisfied = vec![satisfied(0, 1, 1)];
+        assert!(m.swap_overhead().is_none());
+        m.satisfied.clear();
+        assert!(m.swap_overhead().is_none());
+    }
+
+    #[test]
+    fn distillation_scales_denominator() {
+        let mut m = base_metrics();
+        m.distillation_overhead = 2.0;
+        // s(2)=2, s(4)=8, s(3)=4 → 14.
+        assert!((m.overhead_denominator() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfaction_ratio_and_timing() {
+        let m = base_metrics();
+        assert!((m.satisfaction_ratio() - 0.75).abs() < 1e-12);
+        // Satisfactions at t = 1, 3, 5 → mean gap 2s.
+        assert!((m.mean_inter_satisfaction_time().unwrap() - 2.0).abs() < 1e-9);
+        let empty = RunMetrics {
+            satisfied: vec![],
+            unsatisfied_requests: 0,
+            ..base_metrics()
+        };
+        assert_eq!(empty.satisfaction_ratio(), 1.0);
+        assert!(empty.mean_inter_satisfaction_time().is_none());
+    }
+
+    #[test]
+    fn repair_swaps_summed() {
+        let mut m = base_metrics();
+        m.satisfied[1].repair_swaps = 3;
+        m.satisfied[2].repair_swaps = 2;
+        assert_eq!(m.repair_swaps(), 5);
+    }
+}

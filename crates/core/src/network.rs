@@ -1,0 +1,591 @@
+//! The discrete-event simulation model of the quantum network (§5).
+//!
+//! The model wires together the substrates: Bell-pair generation processes on
+//! every generation-graph edge, per-node swap-scan processes running the §4
+//! balancer (or one of the baseline/ablation protocols), and the sequential
+//! consumption workload. It implements [`qnet_sim::World`] so the generic
+//! engine drives it; [`crate::experiment`] owns the engine and extracts the
+//! metrics.
+
+use crate::balancer::BalancerPolicy;
+use crate::classical::{ClassicalStats, KnowledgeModel};
+use crate::config::NetworkConfig;
+use crate::gossip::GossipState;
+use crate::hybrid::hybrid_repair;
+use crate::inventory::Inventory;
+use crate::metrics::{RunMetrics, SatisfiedRequest};
+use crate::planned::execute_nested_along_path;
+use crate::workload::{ConsumptionRequest, Workload};
+use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimTime, SimRng, World};
+use qnet_topology::{bfs_path, Graph, NodeId, NodePair};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which protocol the simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolMode {
+    /// The paper's path-oblivious max-min balancing protocol (§4).
+    Oblivious,
+    /// Oblivious balancing plus the §6 consumer-side repair over existing
+    /// Bell pairs when the head request is not directly satisfiable.
+    Hybrid,
+    /// Planned-path, connection-oriented baseline: each request executes
+    /// nested swapping along its shortest generation-graph path, in request
+    /// order.
+    PlannedConnectionOriented,
+    /// Planned-path, connectionless baseline: every pending request may
+    /// execute as soon as its path has the pairs (no head-of-line blocking),
+    /// competing for pairs at shared links.
+    PlannedConnectionless,
+}
+
+impl ProtocolMode {
+    /// True for the two planned-path baselines.
+    pub fn is_planned(&self) -> bool {
+        matches!(
+            self,
+            ProtocolMode::PlannedConnectionOriented | ProtocolMode::PlannedConnectionless
+        )
+    }
+}
+
+/// Events driving the network model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A Bell-pair generation attempt completes on a generation edge.
+    Generate {
+        /// The generation edge.
+        edge: NodePair,
+    },
+    /// A node runs its swap scan.
+    SwapScan {
+        /// The scanning node.
+        node: NodeId,
+    },
+}
+
+/// The simulation model.
+#[derive(Debug)]
+pub struct QuantumNetworkWorld {
+    config: NetworkConfig,
+    mode: ProtocolMode,
+    knowledge: KnowledgeModel,
+    graph: Graph,
+    inventory: Inventory,
+    balancer: BalancerPolicy,
+    gossip: Option<GossipState>,
+    pending: VecDeque<ConsumptionRequest>,
+    rng: SimRng,
+    generation: PoissonProcess,
+    // Statistics.
+    swaps_performed: u64,
+    pairs_generated: u64,
+    pairs_lost: u64,
+    satisfied: Vec<SatisfiedRequest>,
+    classical: ClassicalStats,
+    last_event_time: SimTime,
+}
+
+impl QuantumNetworkWorld {
+    /// Build the model and seed the event queue with the initial generation
+    /// and scan events.
+    pub fn new(
+        config: NetworkConfig,
+        workload: Workload,
+        mode: ProtocolMode,
+        knowledge: KnowledgeModel,
+        seed: u64,
+        queue: &mut EventQueue<NetEvent>,
+    ) -> Self {
+        let graph = config.build_graph();
+        let n = graph.node_count();
+        let inventory = match config.buffer_limit {
+            Some(limit) => Inventory::with_buffer_limit(n, limit),
+            None => Inventory::new(n),
+        };
+        let gossip = match knowledge {
+            KnowledgeModel::Gossip { peers_per_refresh } => {
+                Some(GossipState::new(n, peers_per_refresh))
+            }
+            KnowledgeModel::Global => None,
+        };
+        let rng = SimRng::new(seed).derive("network");
+        let generation = PoissonProcess::new(config.generation_rate);
+
+        let mut world = QuantumNetworkWorld {
+            config,
+            mode,
+            knowledge,
+            graph,
+            inventory,
+            balancer: BalancerPolicy,
+            gossip,
+            pending: workload.requests.into(),
+            rng,
+            generation,
+            swaps_performed: 0,
+            pairs_generated: 0,
+            pairs_lost: 0,
+            satisfied: Vec::new(),
+            classical: ClassicalStats::new(),
+            last_event_time: SimTime::ZERO,
+        };
+        world.seed_events(queue);
+        world
+    }
+
+    fn seed_events(&mut self, queue: &mut EventQueue<NetEvent>) {
+        let edges: Vec<(NodeId, NodeId)> = self.graph.edges().collect();
+        for (a, b) in edges {
+            let edge = NodePair::new(a, b);
+            if let Some(at) = self.next_generation_time(SimTime::ZERO) {
+                queue.schedule_at(at, NetEvent::Generate { edge });
+            }
+        }
+        if !self.mode.is_planned() {
+            let scan_interval = SimDuration::from_secs_f64(1.0 / self.config.swap_scan_rate);
+            for node in self.graph.nodes() {
+                // Stagger the first scans so all nodes do not fire in lockstep.
+                let offset = scan_interval.mul_f64(self.rng.uniform());
+                queue.schedule_at(SimTime::ZERO + offset, NetEvent::SwapScan { node });
+            }
+        }
+    }
+
+    fn next_generation_time(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.config.poisson_generation {
+            self.generation.next_arrival(now, &mut self.rng)
+        } else {
+            Some(now + SimDuration::from_secs_f64(1.0 / self.config.generation_rate))
+        }
+    }
+
+    /// True when every consumption request has been satisfied.
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Current inventory (read-only).
+    pub fn inventory(&self) -> &Inventory {
+        &self.inventory
+    }
+
+    /// The generation graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of swaps performed so far.
+    pub fn swaps_performed(&self) -> u64 {
+        self.swaps_performed
+    }
+
+    /// Shortest-path hop count between the endpoints of `pair` in the
+    /// generation graph.
+    fn shortest_hops(&self, pair: NodePair) -> usize {
+        bfs_path(&self.graph, pair.lo(), pair.hi())
+            .map(|p| p.hops())
+            .unwrap_or(usize::MAX)
+    }
+
+    fn record_inventory_change(&mut self) {
+        let msgs = self.knowledge.messages_per_change(self.graph.node_count());
+        self.classical.record_count_updates(msgs);
+    }
+
+    /// Consume `k` pairs for the head request if possible; record it.
+    fn try_satisfy(&mut self, now: SimTime) {
+        loop {
+            let Some(head) = self.pending.front().copied() else {
+                return;
+            };
+            // Connectionless planned mode handles *all* pending requests, not
+            // just the head; it is dealt with separately.
+            if self.mode == ProtocolMode::PlannedConnectionless {
+                self.try_satisfy_connectionless(now);
+                return;
+            }
+            let k = self.config.pairs_per_distilled();
+            let mut repair_swaps = 0u64;
+
+            let directly_available = self.inventory.count(head.pair) >= k;
+            if !directly_available {
+                match self.mode {
+                    ProtocolMode::Oblivious => return,
+                    ProtocolMode::Hybrid => {
+                        match hybrid_repair(&mut self.inventory, head.pair, k, k) {
+                            Some(swaps) => {
+                                repair_swaps = swaps;
+                                self.swaps_performed += swaps;
+                                for _ in 0..swaps {
+                                    self.classical.record_swap_correction();
+                                    self.record_inventory_change();
+                                }
+                            }
+                            None => return,
+                        }
+                    }
+                    ProtocolMode::PlannedConnectionOriented => {
+                        let Some(path) =
+                            bfs_path(&self.graph, head.pair.lo(), head.pair.hi())
+                        else {
+                            // Unreachable consumer: drop the request so the
+                            // simulation cannot livelock.
+                            self.pending.pop_front();
+                            continue;
+                        };
+                        match execute_nested_along_path(&mut self.inventory, &path.nodes, k, k) {
+                            Some(swaps) => {
+                                repair_swaps = swaps;
+                                self.swaps_performed += swaps;
+                                for _ in 0..swaps {
+                                    self.classical.record_swap_correction();
+                                    self.record_inventory_change();
+                                }
+                            }
+                            None => return,
+                        }
+                    }
+                    ProtocolMode::PlannedConnectionless => unreachable!("handled above"),
+                }
+            }
+
+            if self.inventory.count(head.pair) < k {
+                return;
+            }
+            self.inventory
+                .remove_pairs(head.pair, k)
+                .expect("checked availability");
+            self.classical.record_teleportation();
+            self.record_inventory_change();
+            self.satisfied.push(SatisfiedRequest {
+                sequence: head.sequence,
+                pair: head.pair,
+                satisfied_at: now,
+                shortest_path_hops: self.shortest_hops(head.pair),
+                repair_swaps,
+            });
+            self.pending.pop_front();
+        }
+    }
+
+    /// Connectionless planned mode: attempt every pending request, in
+    /// sequence order, satisfying any whose path currently has the pairs.
+    fn try_satisfy_connectionless(&mut self, now: SimTime) {
+        let k = self.config.pairs_per_distilled();
+        let mut remaining = VecDeque::new();
+        while let Some(req) = self.pending.pop_front() {
+            let mut repair_swaps = 0u64;
+            let mut ok = self.inventory.count(req.pair) >= k;
+            if !ok {
+                if let Some(path) = bfs_path(&self.graph, req.pair.lo(), req.pair.hi()) {
+                    if let Some(swaps) =
+                        execute_nested_along_path(&mut self.inventory, &path.nodes, k, k)
+                    {
+                        repair_swaps = swaps;
+                        self.swaps_performed += swaps;
+                        for _ in 0..swaps {
+                            self.classical.record_swap_correction();
+                            self.record_inventory_change();
+                        }
+                        ok = self.inventory.count(req.pair) >= k;
+                    }
+                }
+            }
+            if ok {
+                self.inventory
+                    .remove_pairs(req.pair, k)
+                    .expect("checked availability");
+                self.classical.record_teleportation();
+                self.record_inventory_change();
+                self.satisfied.push(SatisfiedRequest {
+                    sequence: req.sequence,
+                    pair: req.pair,
+                    satisfied_at: now,
+                    shortest_path_hops: self.shortest_hops(req.pair),
+                    repair_swaps,
+                });
+            } else {
+                remaining.push_back(req);
+            }
+        }
+        self.pending = remaining;
+    }
+
+    fn handle_generate(&mut self, now: SimTime, edge: NodePair, queue: &mut EventQueue<NetEvent>) {
+        // §3.2 loss: only a fraction 1/L of raw generations survive to be
+        // stored as usable pairs.
+        let survives = self.rng.chance(1.0 / self.config.loss_factor);
+        if survives {
+            if self.inventory.add_pair(edge).is_ok() {
+                self.pairs_generated += 1;
+                self.record_inventory_change();
+                self.try_satisfy(now);
+            } else {
+                // Buffer full: the freshly generated pair is dropped.
+                self.pairs_lost += 1;
+            }
+        } else {
+            self.pairs_lost += 1;
+        }
+        if !self.is_done() {
+            if let Some(at) = self.next_generation_time(now) {
+                queue.schedule_at(at, NetEvent::Generate { edge });
+            }
+        }
+    }
+
+    fn handle_swap_scan(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent>) {
+        // Gossip refresh (and its classical cost) happens before the decision.
+        if let Some(gossip) = &mut self.gossip {
+            let msgs = gossip.refresh(node, &self.inventory);
+            self.classical.record_count_updates(msgs);
+        }
+
+        let overhead = {
+            let d = self.config.distillation_overhead();
+            move |_: NodePair| d
+        };
+
+        let candidate = match &self.gossip {
+            Some(gossip) => {
+                let view = gossip.view_of(node);
+                self.balancer
+                    .find_preferable_swap(&self.inventory, &view, node, &overhead)
+            }
+            None => self
+                .balancer
+                .find_preferable_swap(&self.inventory, &self.inventory, node, &overhead),
+        };
+
+        if let Some(c) = candidate {
+            let k = self.config.pairs_per_distilled();
+            if self
+                .inventory
+                .apply_swap(c.repeater, c.left, c.right, k, k)
+                .is_ok()
+            {
+                self.swaps_performed += 1;
+                self.classical.record_swap_correction();
+                self.record_inventory_change();
+                self.try_satisfy(now);
+            }
+        }
+
+        if !self.is_done() {
+            let interval = SimDuration::from_secs_f64(1.0 / self.config.swap_scan_rate);
+            queue.schedule_after(now, interval, NetEvent::SwapScan { node });
+        }
+    }
+
+    /// Extract the run metrics (consumes nothing; can be called at any time).
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            distillation_overhead: self.config.distillation_overhead(),
+            swaps_performed: self.swaps_performed,
+            pairs_generated: self.pairs_generated,
+            pairs_lost: self.pairs_lost,
+            satisfied: self.satisfied.clone(),
+            unsatisfied_requests: self.pending.len() as u64,
+            classical: self.classical,
+            ended_at: self.last_event_time,
+            leftover_pairs: self.inventory.total_pairs(),
+        }
+    }
+}
+
+impl World for QuantumNetworkWorld {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        self.last_event_time = now;
+        match event {
+            NetEvent::Generate { edge } => self.handle_generate(now, edge, queue),
+            NetEvent::SwapScan { node } => self.handle_swap_scan(now, node, queue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistillationSpec;
+    use crate::workload::Workload;
+    use qnet_sim::{Engine, StopCondition};
+    use qnet_topology::Topology;
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    fn run_world(
+        config: NetworkConfig,
+        workload: Workload,
+        mode: ProtocolMode,
+        seed: u64,
+        horizon_s: u64,
+    ) -> QuantumNetworkWorld {
+        let mut engine = {
+            let mut queue = EventQueue::new();
+            let world = QuantumNetworkWorld::new(
+                config,
+                workload,
+                mode,
+                KnowledgeModel::Global,
+                seed,
+                &mut queue,
+            );
+            let mut engine = Engine::new(world);
+            // Move the pre-seeded events into the engine's queue.
+            while let Some(ev) = queue.pop() {
+                engine.queue_mut().schedule_at(ev.time, ev.event);
+            }
+            engine
+        };
+        engine.run(StopCondition::at_horizon(SimTime::from_secs(horizon_s)));
+        engine.into_world()
+    }
+
+    #[test]
+    fn oblivious_mode_satisfies_neighbor_requests_quickly() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 5 });
+        let workload = Workload::from_pairs(vec![pair(0, 1), pair(2, 3), pair(3, 4)]);
+        let world = run_world(config, workload, ProtocolMode::Oblivious, 1, 60);
+        assert!(world.is_done(), "neighbor pairs are directly generated");
+        let m = world.metrics();
+        assert_eq!(m.satisfied.len(), 3);
+        assert!(m.pairs_generated > 0);
+        // Requests were satisfied in sequence order.
+        let seqs: Vec<u64> = m.satisfied.iter().map(|s| s.sequence).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oblivious_mode_serves_distant_pairs_via_swaps() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
+        let workload = Workload::from_pairs(vec![pair(0, 3)]);
+        let world = run_world(config, workload, ProtocolMode::Oblivious, 3, 600);
+        assert!(world.is_done(), "balancing must eventually reach pair (0,3)");
+        let m = world.metrics();
+        assert!(m.swaps_performed > 0, "a 3-hop pair needs swaps");
+        assert_eq!(m.satisfied[0].shortest_path_hops, 3);
+        assert!(m.swap_overhead().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn planned_connection_oriented_mode_executes_nested_swaps() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
+        let workload = Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
+        let world = run_world(
+            config,
+            workload,
+            ProtocolMode::PlannedConnectionOriented,
+            5,
+            600,
+        );
+        assert!(world.is_done());
+        let m = world.metrics();
+        // Each 3-hop request takes exactly 2 swaps at D = 1 in planned mode.
+        assert_eq!(m.swaps_performed, 4);
+        assert!(m.satisfied.iter().all(|s| s.repair_swaps == 2));
+    }
+
+    #[test]
+    fn connectionless_mode_ignores_head_of_line_blocking() {
+        // First request is between far-apart nodes; a later neighbor request
+        // should still be served promptly in connectionless mode.
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 8 });
+        let workload = Workload::from_pairs(vec![pair(0, 4), pair(5, 6)]);
+        let world = run_world(
+            config,
+            workload,
+            ProtocolMode::PlannedConnectionless,
+            7,
+            600,
+        );
+        let m = world.metrics();
+        assert!(m.satisfied.iter().any(|s| s.pair == pair(5, 6)));
+        // In connectionless mode satisfaction order need not follow sequence
+        // order.
+        if m.satisfied.len() == 2 {
+            assert!(m.satisfied[0].pair == pair(5, 6) || m.satisfied[0].sequence == 0);
+        }
+    }
+
+    #[test]
+    fn hybrid_mode_repairs_from_seeded_pairs() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 9 });
+        let workload = Workload::from_pairs(vec![pair(0, 4)]);
+        let world = run_world(config, workload, ProtocolMode::Hybrid, 11, 600);
+        assert!(world.is_done());
+        let m = world.metrics();
+        assert_eq!(m.satisfied.len(), 1);
+    }
+
+    #[test]
+    fn distillation_overhead_increases_work() {
+        let workload = || Workload::from_pairs(vec![pair(0, 2), pair(1, 3)]);
+        let base = NetworkConfig::new(Topology::Cycle { nodes: 6 });
+        let d1 = run_world(base.clone(), workload(), ProtocolMode::Oblivious, 13, 900);
+        let d2 = run_world(
+            base.with_distillation(DistillationSpec::Uniform(2.0)),
+            workload(),
+            ProtocolMode::Oblivious,
+            13,
+            900,
+        );
+        let m1 = d1.metrics();
+        let m2 = d2.metrics();
+        assert!(m1.satisfied.len() >= 1);
+        assert!(m2.satisfied.len() >= 1);
+        // More raw pairs must be generated per satisfied request when D = 2.
+        let per1 = m1.pairs_generated as f64 / m1.satisfied.len() as f64;
+        let per2 = m2.pairs_generated as f64 / m2.satisfied.len() as f64;
+        assert!(per2 > per1, "D=2 should consume more raw pairs ({per1} vs {per2})");
+    }
+
+    #[test]
+    fn buffer_limit_causes_losses() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 5 }).with_buffer_limit(2);
+        // An unsatisfiable far request keeps the simulation generating.
+        let workload = Workload::from_pairs(vec![pair(0, 2)]);
+        let world = run_world(config, workload, ProtocolMode::Oblivious, 17, 120);
+        let m = world.metrics();
+        assert!(m.pairs_lost > 0, "full buffers must drop pairs");
+    }
+
+    #[test]
+    fn gossip_knowledge_still_makes_progress() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
+        let workload = Workload::from_pairs(vec![pair(0, 3)]);
+        let mut queue = EventQueue::new();
+        let world = QuantumNetworkWorld::new(
+            config,
+            workload,
+            ProtocolMode::Oblivious,
+            KnowledgeModel::Gossip { peers_per_refresh: 2 },
+            19,
+            &mut queue,
+        );
+        let mut engine = Engine::new(world);
+        while let Some(ev) = queue.pop() {
+            engine.queue_mut().schedule_at(ev.time, ev.event);
+        }
+        engine.run(StopCondition::at_horizon(SimTime::from_secs(600)));
+        let world = engine.into_world();
+        let m = world.metrics();
+        assert_eq!(m.satisfied.len(), 1, "gossip view is stale but sufficient");
+        assert!(m.classical.count_update_messages > 0, "gossip pulls cost messages");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 6 });
+        let workload = Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
+        let a = run_world(config.clone(), workload.clone(), ProtocolMode::Oblivious, 23, 300);
+        let b = run_world(config.clone(), workload.clone(), ProtocolMode::Oblivious, 23, 300);
+        let c = run_world(config, workload, ProtocolMode::Oblivious, 24, 300);
+        assert_eq!(a.metrics(), b.metrics());
+        assert_ne!(a.metrics(), c.metrics());
+    }
+}

@@ -1,0 +1,285 @@
+//! Generation and consumption rate matrices.
+//!
+//! The paper's LP inputs (§3) are the symmetric rate functions `g(x, y)`
+//! (pairwise Bell-pair generation capability, non-zero only on generation-
+//! graph edges) and `c(x, y)` (teleportation demand). [`RateMatrices`] bundles
+//! both, provides the feasibility sanity checks the paper derives
+//! (`Σ_y c(x, y) ≤ Σ_y g(x, y)` per node, consumers connected in the
+//! generation graph), and applies the §3.2 QEC thinning.
+
+use qnet_topology::{Graph, NodePair, PairMatrix};
+use serde::{Deserialize, Serialize};
+
+/// The symmetric generation and consumption rate matrices over `n` nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateMatrices {
+    node_count: usize,
+    generation: PairMatrix<f64>,
+    consumption: PairMatrix<f64>,
+}
+
+/// Problems detected by [`RateMatrices::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateValidationError {
+    /// A node consumes faster than it can possibly receive pairs
+    /// (`Σ_y c(x, y) > Σ_y g(x, y)`).
+    NodeOverSubscribed {
+        /// The offending node index.
+        node: usize,
+        /// Its total consumption rate.
+        consumption: f64,
+        /// Its total generation rate.
+        generation: f64,
+    },
+    /// A consumer pair lies in two different connected components of the
+    /// generation graph, so no sequence of swaps can ever serve it.
+    ConsumerDisconnected {
+        /// The consumer pair.
+        pair: (usize, usize),
+    },
+}
+
+impl RateMatrices {
+    /// All-zero rates over `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        RateMatrices {
+            node_count: n,
+            generation: PairMatrix::new(n),
+            consumption: PairMatrix::new(n),
+        }
+    }
+
+    /// Uniform generation rate on every edge of a generation graph, zero
+    /// elsewhere, zero consumption (the paper's §5 setting with
+    /// `g(x, y) = 1`).
+    pub fn uniform_generation(graph: &Graph, rate: f64) -> Self {
+        let mut r = RateMatrices::zeros(graph.node_count());
+        for (a, b) in graph.edges() {
+            r.generation.set(NodePair::new(a, b), rate);
+        }
+        r
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Generation rate `g(x, y)`.
+    pub fn generation(&self, pair: NodePair) -> f64 {
+        *self.generation.get(pair)
+    }
+
+    /// Consumption rate `c(x, y)`.
+    pub fn consumption(&self, pair: NodePair) -> f64 {
+        *self.consumption.get(pair)
+    }
+
+    /// Set `g(x, y)`.
+    pub fn set_generation(&mut self, pair: NodePair, rate: f64) {
+        assert!(rate >= 0.0 && rate.is_finite(), "rates must be finite and ≥ 0");
+        self.generation.set(pair, rate);
+    }
+
+    /// Set `c(x, y)`.
+    pub fn set_consumption(&mut self, pair: NodePair, rate: f64) {
+        assert!(rate >= 0.0 && rate.is_finite(), "rates must be finite and ≥ 0");
+        self.consumption.set(pair, rate);
+    }
+
+    /// Pairs with `g(x, y) > 0` (the generation-graph edges).
+    pub fn generation_pairs(&self) -> Vec<NodePair> {
+        self.generation.positive_pairs()
+    }
+
+    /// Pairs with `c(x, y) > 0` (the consumers).
+    pub fn consumption_pairs(&self) -> Vec<NodePair> {
+        self.consumption.positive_pairs()
+    }
+
+    /// Total generation rate `Σ_{x<y} g(x, y)`.
+    pub fn total_generation(&self) -> f64 {
+        self.generation.total()
+    }
+
+    /// Total consumption rate `Σ_{x<y} c(x, y)`.
+    pub fn total_consumption(&self) -> f64 {
+        self.consumption.total()
+    }
+
+    /// Per-node total generation rate `Σ_y g(x, y)`.
+    pub fn node_generation(&self, node: usize) -> f64 {
+        self.node_total(&self.generation, node)
+    }
+
+    /// Per-node total consumption rate `Σ_y c(x, y)`.
+    pub fn node_consumption(&self, node: usize) -> f64 {
+        self.node_total(&self.consumption, node)
+    }
+
+    fn node_total(&self, m: &PairMatrix<f64>, node: usize) -> f64 {
+        m.iter()
+            .filter(|(p, _)| p.lo().index() == node || p.hi().index() == node)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// The generation graph induced by the positive generation rates.
+    pub fn generation_graph(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.node_count);
+        for pair in self.generation_pairs() {
+            g.add_edge(pair.lo(), pair.hi());
+        }
+        g
+    }
+
+    /// Apply the §3.2 QEC thinning: replace every `g(x, y)` with
+    /// `g(x, y) / overhead` (the paper's `R`).
+    pub fn with_qec_thinning(mut self, overhead: f64) -> Self {
+        assert!(overhead >= 1.0, "QEC overhead must be ≥ 1");
+        let pairs = self.generation_pairs();
+        for pair in pairs {
+            let g = self.generation(pair);
+            self.generation.set(pair, g / overhead);
+        }
+        self
+    }
+
+    /// Run the paper's feasibility sanity checks.
+    pub fn validate(&self) -> Result<(), Vec<RateValidationError>> {
+        let mut errors = Vec::new();
+        for node in 0..self.node_count {
+            let c = self.node_consumption(node);
+            let g = self.node_generation(node);
+            if c > g + 1e-12 {
+                errors.push(RateValidationError::NodeOverSubscribed {
+                    node,
+                    consumption: c,
+                    generation: g,
+                });
+            }
+        }
+        let graph = self.generation_graph();
+        let components = qnet_topology::connectivity::connected_components(&graph);
+        if components.len() > 1 {
+            let component_of = |node: qnet_topology::NodeId| {
+                components
+                    .iter()
+                    .position(|c| c.contains(&node))
+                    .expect("node belongs to a component")
+            };
+            for pair in self.consumption_pairs() {
+                if component_of(pair.lo()) != component_of(pair.hi()) {
+                    errors.push(RateValidationError::ConsumerDisconnected {
+                        pair: (pair.lo().index(), pair.hi().index()),
+                    });
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::builders::cycle;
+    use qnet_topology::NodeId;
+
+    fn pair(a: u32, b: u32) -> NodePair {
+        NodePair::new(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn uniform_generation_on_cycle() {
+        let g = cycle(5);
+        let r = RateMatrices::uniform_generation(&g, 1.0);
+        assert_eq!(r.node_count(), 5);
+        assert_eq!(r.generation_pairs().len(), 5);
+        assert_eq!(r.generation(pair(0, 1)), 1.0);
+        assert_eq!(r.generation(pair(0, 4)), 1.0);
+        assert_eq!(r.generation(pair(0, 2)), 0.0);
+        assert_eq!(r.total_generation(), 5.0);
+        assert_eq!(r.total_consumption(), 0.0);
+        assert_eq!(r.node_generation(0), 2.0);
+    }
+
+    #[test]
+    fn generation_graph_round_trip() {
+        let g = cycle(6);
+        let r = RateMatrices::uniform_generation(&g, 2.0);
+        let rebuilt = r.generation_graph();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn set_and_query_consumption() {
+        let mut r = RateMatrices::zeros(4);
+        r.set_consumption(pair(0, 2), 0.5);
+        r.set_consumption(pair(1, 3), 0.25);
+        assert_eq!(r.consumption(pair(2, 0)), 0.5);
+        assert_eq!(r.consumption_pairs().len(), 2);
+        assert_eq!(r.total_consumption(), 0.75);
+        assert_eq!(r.node_consumption(3), 0.25);
+    }
+
+    #[test]
+    fn qec_thinning_divides_generation() {
+        let g = cycle(4);
+        let r = RateMatrices::uniform_generation(&g, 8.0).with_qec_thinning(4.0);
+        assert_eq!(r.generation(pair(0, 1)), 2.0);
+        assert_eq!(r.total_generation(), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn qec_overhead_below_one_panics() {
+        let g = cycle(4);
+        let _ = RateMatrices::uniform_generation(&g, 1.0).with_qec_thinning(0.5);
+    }
+
+    #[test]
+    fn validation_catches_oversubscription() {
+        let g = cycle(4);
+        let mut r = RateMatrices::uniform_generation(&g, 1.0);
+        // Node 0 generates at total rate 2 but consumes at rate 3.
+        r.set_consumption(pair(0, 2), 3.0);
+        let errs = r.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            RateValidationError::NodeOverSubscribed { node: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn validation_catches_disconnected_consumers() {
+        let mut r = RateMatrices::zeros(4);
+        r.set_generation(pair(0, 1), 1.0);
+        r.set_generation(pair(2, 3), 1.0);
+        r.set_consumption(pair(0, 3), 0.1);
+        let errs = r.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, RateValidationError::ConsumerDisconnected { pair: (0, 3) })));
+    }
+
+    #[test]
+    fn validation_passes_for_modest_demand() {
+        let g = cycle(6);
+        let mut r = RateMatrices::uniform_generation(&g, 1.0);
+        r.set_consumption(pair(0, 3), 0.5);
+        r.set_consumption(pair(1, 4), 0.5);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rate_panics() {
+        let mut r = RateMatrices::zeros(3);
+        r.set_generation(pair(0, 1), -1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests of the protocol layer: inventory invariants under
+//! arbitrary operation sequences, the §4 preferable-swap rule, nested-cost
+//! monotonicity, workload generation and the planned-path executor.
+
+use proptest::prelude::*;
+use qnet_core::balancer::BalancerPolicy;
+use qnet_core::inventory::Inventory;
+use qnet_core::nested::{nested_swap_cost, nested_swap_cost_with_joins};
+use qnet_core::planned::{execute_nested_along_path, planned_path_swap_cost};
+use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_topology::{builders, NodeId, NodePair};
+
+/// Apply a random sequence of adds/removes/swaps and check the inventory's
+/// global invariants at every step.
+fn pair_from(n: usize, a: usize, b: usize) -> Option<NodePair> {
+    let a = a % n;
+    let b = b % n;
+    if a == b {
+        None
+    } else {
+        Some(NodePair::new(NodeId::from(a), NodeId::from(b)))
+    }
+}
+
+proptest! {
+    /// Node load always equals the number of stored pairs touching the node,
+    /// totals reconcile with the add/remove counters, and a swap decreases
+    /// the global pair count by exactly the pairs it consumes minus one.
+    #[test]
+    fn inventory_invariants_hold_under_random_ops(
+        n in 3usize..8,
+        ops in proptest::collection::vec((0usize..3, 0usize..8, 0usize..8, 0usize..8), 0..120),
+    ) {
+        let mut inv = Inventory::new(n);
+        for (op, a, b, c) in ops {
+            match op {
+                0 => {
+                    if let Some(p) = pair_from(n, a, b) {
+                        inv.add_pair(p).unwrap();
+                    }
+                }
+                1 => {
+                    if let Some(p) = pair_from(n, a, b) {
+                        let have = inv.count(p);
+                        if have > 0 {
+                            inv.remove_pairs(p, 1).unwrap();
+                        } else {
+                            prop_assert!(inv.remove_pairs(p, 1).is_err());
+                        }
+                    }
+                }
+                _ => {
+                    let (r, l, x) = (a % n, b % n, c % n);
+                    if r != l && r != x && l != x {
+                        let total_before = inv.total_pairs();
+                        let repeater = NodeId::from(r);
+                        let left = NodeId::from(l);
+                        let right = NodeId::from(x);
+                        let ok = inv.apply_swap(repeater, left, right, 1, 1).is_ok();
+                        if ok {
+                            prop_assert_eq!(inv.total_pairs(), total_before - 1);
+                        } else {
+                            prop_assert_eq!(inv.total_pairs(), total_before);
+                        }
+                    }
+                }
+            }
+            // Cross-check node loads against a recount from the pair table.
+            for node in 0..n {
+                let recount: u64 = inv
+                    .nonzero_pairs()
+                    .into_iter()
+                    .filter(|(p, _)| p.contains(NodeId::from(node)))
+                    .map(|(_, c)| c)
+                    .sum();
+                prop_assert_eq!(inv.node_load(NodeId::from(node)), recount);
+            }
+            prop_assert_eq!(inv.total_added() - inv.total_removed(), inv.total_pairs());
+        }
+    }
+
+    /// Whenever the balancer proposes a swap, the §4 preferability inequality
+    /// holds and the swap is executable; applying it never leaves a pool
+    /// negative and benefits the poorest candidate pool.
+    #[test]
+    fn proposed_swaps_satisfy_the_preferability_rule(
+        n in 3usize..7,
+        stock in proptest::collection::vec((0usize..7, 0usize..7, 1u64..6), 1..20),
+        d in 1u64..3,
+    ) {
+        let mut inv = Inventory::new(n);
+        for (a, b, count) in stock {
+            if let Some(p) = pair_from(n, a, b) {
+                for _ in 0..count {
+                    inv.add_pair(p).unwrap();
+                }
+            }
+        }
+        let policy = BalancerPolicy;
+        let overhead = move |_: NodePair| d as f64;
+        for node in (0..n).map(NodeId::from) {
+            if let Some(c) = policy.find_preferable_swap(&inv, &inv, node, &overhead) {
+                let left_pool = inv.count(NodePair::new(node, c.left));
+                let right_pool = inv.count(NodePair::new(node, c.right));
+                let target = inv.count(c.beneficiary());
+                prop_assert_eq!(target, c.target_count);
+                prop_assert!(
+                    (target + 1) as f64 <= (left_pool as f64 - d as f64).min(right_pool as f64 - d as f64) + 1e-9
+                );
+                // Executable with the ⌈D⌉ draw on both sides.
+                let mut clone = inv.clone();
+                prop_assert!(clone.apply_swap(c.repeater, c.left, c.right, d, d).is_ok());
+                prop_assert_eq!(clone.count(c.beneficiary()), target + 1);
+            }
+        }
+    }
+
+    /// Quiescence always terminates (bounded by the total pair count) and
+    /// leaves no preferable swap anywhere.
+    #[test]
+    fn quiescence_terminates_with_no_preferable_swap(side in 2usize..4, per_edge in 1u64..8, seed in any::<u64>()) {
+        let graph = builders::random_connected_grid(side, seed);
+        let mut inv = Inventory::new(graph.node_count());
+        for (a, b) in graph.edges() {
+            for _ in 0..per_edge {
+                inv.add_pair(NodePair::new(a, b)).unwrap();
+            }
+        }
+        let policy = BalancerPolicy;
+        let overhead = |_: NodePair| 1.0;
+        let total = inv.total_pairs() as usize;
+        let swaps = policy.run_to_quiescence(&mut inv, &overhead, total + 1);
+        prop_assert!(swaps.len() <= total, "cannot swap more times than pairs exist");
+        for node in graph.nodes() {
+            prop_assert!(policy.find_preferable_swap(&inv, &inv, node, &overhead).is_none());
+        }
+    }
+
+    /// The paper's nested cost is monotone in both arguments, dominated by
+    /// the with-joins variant, and both match the closed forms at powers of
+    /// two.
+    #[test]
+    fn nested_cost_properties(n in 1usize..64, d in 1.0f64..4.0) {
+        let base = nested_swap_cost(n, d);
+        prop_assert!(base >= 0.0);
+        prop_assert!(nested_swap_cost(n + 1, d) + 1e-12 >= base);
+        prop_assert!(nested_swap_cost(n, d + 0.5) + 1e-12 >= base);
+        prop_assert!(nested_swap_cost_with_joins(n, d) + 1e-12 >= base);
+        if n.is_power_of_two() && n >= 2 {
+            let levels = n.trailing_zeros() as i32;
+            // s(2^k) = 2^{k-1} · D^k.
+            let expected = 2f64.powi(levels - 1) * d.powi(levels);
+            prop_assert!((base - expected).abs() < 1e-6, "n={n} d={d}: {base} vs {expected}");
+        }
+    }
+
+    /// The planned-path executor's swap count matches the closed-form cost
+    /// whenever the edge pools are stocked to the closed-form base-pair
+    /// requirement, for unit draw factor.
+    #[test]
+    fn planned_executor_matches_cost_formula(hops in 1usize..7) {
+        let nodes: Vec<NodeId> = (0..=hops as u32).map(NodeId).collect();
+        let mut inv = Inventory::new(hops + 1);
+        for w in nodes.windows(2) {
+            inv.add_pair(NodePair::new(w[0], w[1])).unwrap();
+        }
+        let swaps = execute_nested_along_path(&mut inv, &nodes, 1, 1).unwrap();
+        prop_assert_eq!(swaps, planned_path_swap_cost(hops, 1));
+        prop_assert_eq!(inv.count(NodePair::new(nodes[0], nodes[hops])), 1);
+        prop_assert_eq!(inv.total_pairs(), 1);
+    }
+
+    /// Workload generation: the requested number of distinct consumer pairs
+    /// (capped by the number of node pairs), requests drawn only from that
+    /// set, sequence numbers dense, and the result seed-stable.
+    #[test]
+    fn workloads_are_well_formed(nodes in 2usize..30, pairs in 1usize..50, requests in 0usize..80, seed in any::<u64>()) {
+        let spec = WorkloadSpec {
+            node_count: nodes,
+            consumer_pairs: pairs,
+            requests,
+            discipline: RequestDiscipline::UniformRandom,
+        };
+        let w = spec.generate(seed);
+        let max_pairs = nodes * (nodes - 1) / 2;
+        prop_assert_eq!(w.consumers.len(), pairs.min(max_pairs).max(1));
+        prop_assert_eq!(w.requests.len(), requests);
+        let mut sorted = w.consumers.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), w.consumers.len(), "consumers must be distinct");
+        for (k, r) in w.requests.iter().enumerate() {
+            prop_assert_eq!(r.sequence, k as u64);
+            prop_assert!(w.consumers.contains(&r.pair));
+        }
+        prop_assert_eq!(spec.generate(seed), w);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qnet-lp — a small linear-programming solver
+//!
+//! The paper (§3) formulates path-oblivious swapping as a linear program over
+//! the swap rates `σ_i(x, y)`, with objectives ranging from "minimise total
+//! generation" to "maximise the minimum consumption" (§3.3). None of the
+//! crates on this workspace's allowed dependency list solve LPs, so this
+//! crate implements the classic dense **two-phase primal simplex** method
+//! with Bland's anti-cycling rule, plus:
+//!
+//! * a small modelling API ([`problem::LinearProgram`]) with named variables,
+//!   optional upper bounds, and ≤ / = / ≥ constraints,
+//! * auxiliary-variable helpers for *minimise-the-maximum* and
+//!   *maximise-the-minimum* objectives, and
+//! * a progressive-filling routine ([`maxmin::max_min_allocation`]) that
+//!   computes the lexicographic max-min fair allocation the paper's §4
+//!   balancing protocol aims for.
+//!
+//! The solver is dense and unoptimised by design (clarity over speed); the
+//! LPs in this workspace's experiments have at most a few thousand variables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod maxmin;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use maxmin::max_min_allocation;
+pub use problem::{Constraint, LinearProgram, Objective, Relation, VarId};
+pub use solution::{Solution, SolveStatus};

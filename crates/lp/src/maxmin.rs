@@ -1,0 +1,227 @@
+//! Max-min fair allocation by progressive filling.
+//!
+//! The paper's §4 balancing protocol aims for a *max-min fair* allocation of
+//! Bell pairs: "no buffer count can be increased without reducing another
+//! that was already smaller" (citing Jaffe's bottleneck flow control). The
+//! centralised counterpart of that statement is the lexicographic max-min
+//! allocation over an LP's feasible region, which this module computes by the
+//! classic progressive-filling algorithm:
+//!
+//! 1. maximise a common floor `t` with every unfixed target `xᵢ ≥ t`;
+//! 2. targets that cannot rise above `t` (their bottleneck is tight) are
+//!    fixed at `t`;
+//! 3. repeat with the remaining targets until all are fixed.
+
+use crate::problem::{LinearProgram, Objective, VarId};
+use crate::simplex::solve;
+use crate::solution::{Solution, SolveStatus};
+
+/// The result of a max-min computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxMinResult {
+    /// The fair value assigned to each target, in the same order as the
+    /// `targets` argument.
+    pub target_values: Vec<f64>,
+    /// A full variable assignment achieving those target values.
+    pub assignment: Vec<f64>,
+    /// Number of progressive-filling rounds performed.
+    pub rounds: usize,
+}
+
+/// Compute the lexicographic max-min fair values of `targets` over the
+/// feasible region of `base` (whose objective is ignored).
+///
+/// Returns `Err` with the solver status if the base program is infeasible or
+/// unbounded in a way that prevents the computation.
+pub fn max_min_allocation(
+    base: &LinearProgram,
+    targets: &[VarId],
+) -> Result<MaxMinResult, SolveStatus> {
+    assert!(!targets.is_empty(), "max-min over an empty target set");
+
+    let mut fixed: Vec<Option<f64>> = vec![None; targets.len()];
+    let mut rounds = 0usize;
+
+    while fixed.iter().any(|f| f.is_none()) {
+        rounds += 1;
+
+        // Step 1: maximise the common floor over the active targets.
+        let (mut lp, t) = floor_program(base, targets, &fixed);
+        lp.set_objective(Objective::Maximize(vec![(t, 1.0)]));
+        let sol = solve(&lp);
+        if !sol.is_optimal() {
+            return Err(sol.status);
+        }
+        let floor = sol.value(t);
+
+        // Step 2: find the active targets that are stuck at the floor.
+        let mut newly_fixed = 0usize;
+        for (k, target) in targets.iter().enumerate() {
+            if fixed[k].is_some() {
+                continue;
+            }
+            let (mut probe, t2) = floor_program(base, targets, &fixed);
+            // Keep every active target at least at the computed floor while
+            // probing how far this one can rise.
+            probe.add_ge("floor-hold", vec![(t2, 1.0)], floor);
+            probe.set_objective(Objective::Maximize(vec![(*target, 1.0)]));
+            let probe_sol = solve(&probe);
+            if !probe_sol.is_optimal() {
+                return Err(probe_sol.status);
+            }
+            if probe_sol.value(*target) <= floor + 1e-6 {
+                fixed[k] = Some(floor);
+                newly_fixed += 1;
+            }
+        }
+
+        // Safety: progressive filling always fixes at least one target per
+        // round in exact arithmetic; guard against numerical stalemates.
+        if newly_fixed == 0 {
+            for f in fixed.iter_mut() {
+                if f.is_none() {
+                    *f = Some(floor);
+                }
+            }
+        }
+    }
+
+    // Final pass: find a full assignment consistent with the fixed values.
+    let target_values: Vec<f64> = fixed.iter().map(|f| f.unwrap()).collect();
+    let mut final_lp = base.clone();
+    for (k, target) in targets.iter().enumerate() {
+        final_lp.add_ge("maxmin-fix", vec![(*target, 1.0)], target_values[k]);
+    }
+    final_lp.set_objective(Objective::Minimize(Vec::new()));
+    let final_sol: Solution = solve(&final_lp);
+    if !final_sol.is_optimal() {
+        return Err(final_sol.status);
+    }
+
+    Ok(MaxMinResult {
+        target_values,
+        assignment: final_sol.values,
+        rounds,
+    })
+}
+
+/// Build a copy of `base` with an extra floor variable `t`, constraints
+/// `xᵢ ≥ t` for every active target, and `xᵢ ≥ fixed_value` for fixed ones
+/// (the fixed value is a floor rather than an equality so that flows may
+/// exceed it if that helps others — max-min fixes the *guarantee*, not the
+/// exact amount).
+fn floor_program(
+    base: &LinearProgram,
+    targets: &[VarId],
+    fixed: &[Option<f64>],
+) -> (LinearProgram, VarId) {
+    let mut lp = base.clone();
+    let t = lp.add_variable("maxmin-floor");
+    for (k, target) in targets.iter().enumerate() {
+        match fixed[k] {
+            Some(v) => lp.add_ge("fixed-floor", vec![(*target, 1.0)], v),
+            None => lp.add_ge("active-floor", vec![(*target, 1.0), (t, -1.0)], 0.0),
+        }
+    }
+    (lp, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_bottleneck_shared_equally() {
+        // Two flows share a capacity-10 link: both get 5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_le("link", vec![(x, 1.0), (y, 1.0)], 10.0);
+        let r = max_min_allocation(&lp, &[x, y]).unwrap();
+        assert_close(r.target_values[0], 5.0);
+        assert_close(r.target_values[1], 5.0);
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Flows A and B share link 1 (cap 10); flows B and C share link 2
+        // (cap 4). Max-min: B is bottlenecked at 2 on link 2 (shared with C),
+        // C gets 2, and A takes the rest of link 1: 8.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_variable("a");
+        let b = lp.add_variable("b");
+        let c = lp.add_variable("c");
+        lp.add_le("link1", vec![(a, 1.0), (b, 1.0)], 10.0);
+        lp.add_le("link2", vec![(b, 1.0), (c, 1.0)], 4.0);
+        let r = max_min_allocation(&lp, &[a, b, c]).unwrap();
+        assert_close(r.target_values[1], 2.0);
+        assert_close(r.target_values[2], 2.0);
+        assert_close(r.target_values[0], 8.0);
+        assert!(r.rounds >= 2);
+    }
+
+    #[test]
+    fn demand_caps_are_respected() {
+        // Two flows share cap 10, but the first only wants 2; the other gets 8.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_bounded_variable("x", 2.0);
+        let y = lp.add_variable("y");
+        lp.add_le("link", vec![(x, 1.0), (y, 1.0)], 10.0);
+        let r = max_min_allocation(&lp, &[x, y]).unwrap();
+        assert_close(r.target_values[0], 2.0);
+        assert_close(r.target_values[1], 8.0);
+    }
+
+    #[test]
+    fn assignment_is_feasible_for_base() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        let z = lp.add_variable("z");
+        lp.add_le("l1", vec![(x, 1.0), (y, 1.0)], 6.0);
+        lp.add_le("l2", vec![(y, 1.0), (z, 1.0)], 3.0);
+        let r = max_min_allocation(&lp, &[x, y, z]).unwrap();
+        assert!(lp.is_feasible(&r.assignment[..3], 1e-5));
+        // Fair shares: y and z split link 2 (1.5 each), x fills link 1 (4.5).
+        assert_close(r.target_values[1], 1.5);
+        assert_close(r.target_values[2], 1.5);
+        assert_close(r.target_values[0], 4.5);
+    }
+
+    #[test]
+    fn infeasible_base_is_reported() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        lp.add_le("hi", vec![(x, 1.0)], 1.0);
+        lp.add_ge("lo", vec![(x, 1.0)], 2.0);
+        assert_eq!(
+            max_min_allocation(&lp, &[x]).unwrap_err(),
+            SolveStatus::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_target_is_reported() {
+        let lp_and_x = {
+            let mut lp = LinearProgram::new();
+            let x = lp.add_variable("x");
+            (lp, x)
+        };
+        let (lp, x) = lp_and_x;
+        assert_eq!(
+            max_min_allocation(&lp, &[x]).unwrap_err(),
+            SolveStatus::Unbounded
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_targets_panic() {
+        let lp = LinearProgram::new();
+        let _ = max_min_allocation(&lp, &[]);
+    }
+}

@@ -1,0 +1,282 @@
+//! LP modelling API.
+//!
+//! A [`LinearProgram`] is a set of non-negative variables (optionally with an
+//! upper bound), a list of linear constraints, and an objective. The model is
+//! kept in "natural" form; conversion to the standard form the simplex
+//! tableau needs happens inside [`crate::simplex`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a variable within one [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    LessEq,
+    /// `Σ aᵢxᵢ = b`
+    Equal,
+    /// `Σ aᵢxᵢ ≥ b`
+    GreaterEq,
+}
+
+/// One linear constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse list of `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// The relation between the linear form and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Optional label (used in error messages and debugging output).
+    pub label: String,
+}
+
+/// Objective sense plus coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximise `Σ cᵢxᵢ`.
+    Maximize(Vec<(VarId, f64)>),
+    /// Minimise `Σ cᵢxᵢ`.
+    Minimize(Vec<(VarId, f64)>),
+}
+
+/// A variable's metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Human-readable name.
+    pub name: String,
+    /// Optional upper bound (all variables are implicitly ≥ 0).
+    pub upper_bound: Option<f64>,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    variables: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    objective: Objective,
+}
+
+impl Default for LinearProgram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearProgram {
+    /// An empty program with a zero (maximise-nothing) objective.
+    pub fn new() -> Self {
+        LinearProgram {
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            objective: Objective::Maximize(Vec::new()),
+        }
+    }
+
+    /// Add a non-negative variable and return its id.
+    pub fn add_variable(&mut self, name: impl Into<String>) -> VarId {
+        self.variables.push(Variable {
+            name: name.into(),
+            upper_bound: None,
+        });
+        VarId(self.variables.len() - 1)
+    }
+
+    /// Add a variable bounded to `[0, upper]`.
+    pub fn add_bounded_variable(&mut self, name: impl Into<String>, upper: f64) -> VarId {
+        assert!(upper >= 0.0, "upper bound must be non-negative");
+        self.variables.push(Variable {
+            name: name.into(),
+            upper_bound: Some(upper),
+        });
+        VarId(self.variables.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn variable_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints (not counting variable bounds).
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variable metadata for `id`.
+    pub fn variable(&self, id: VarId) -> &Variable {
+        &self.variables[id.index()]
+    }
+
+    /// All variables, in id order.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Set the objective.
+    pub fn set_objective(&mut self, objective: Objective) {
+        self.validate_terms(match &objective {
+            Objective::Maximize(t) | Objective::Minimize(t) => t,
+        });
+        self.objective = objective;
+    }
+
+    /// Add a constraint (terms with out-of-range variables panic).
+    pub fn add_constraint(
+        &mut self,
+        label: impl Into<String>,
+        terms: Vec<(VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) {
+        self.validate_terms(&terms);
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+            label: label.into(),
+        });
+    }
+
+    /// Convenience: `lhs ≤ rhs`.
+    pub fn add_le(&mut self, label: impl Into<String>, terms: Vec<(VarId, f64)>, rhs: f64) {
+        self.add_constraint(label, terms, Relation::LessEq, rhs);
+    }
+
+    /// Convenience: `lhs = rhs`.
+    pub fn add_eq(&mut self, label: impl Into<String>, terms: Vec<(VarId, f64)>, rhs: f64) {
+        self.add_constraint(label, terms, Relation::Equal, rhs);
+    }
+
+    /// Convenience: `lhs ≥ rhs`.
+    pub fn add_ge(&mut self, label: impl Into<String>, terms: Vec<(VarId, f64)>, rhs: f64) {
+        self.add_constraint(label, terms, Relation::GreaterEq, rhs);
+    }
+
+    fn validate_terms(&self, terms: &[(VarId, f64)]) {
+        for (v, c) in terms {
+            assert!(
+                v.index() < self.variables.len(),
+                "variable {v:?} not in program"
+            );
+            assert!(c.is_finite(), "non-finite coefficient for {v:?}");
+        }
+    }
+
+    /// Evaluate the objective for a candidate assignment (used by tests and
+    /// by the max-min driver).
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        let terms = match &self.objective {
+            Objective::Maximize(t) | Objective::Minimize(t) => t,
+        };
+        terms.iter().map(|(v, c)| c * values[v.index()]).sum()
+    }
+
+    /// Check whether an assignment satisfies every constraint and bound to
+    /// within `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.variables.len() {
+            return false;
+        }
+        for (i, var) in self.variables.iter().enumerate() {
+            if values[i] < -tol {
+                return false;
+            }
+            if let Some(ub) = var.upper_bound {
+                if values[i] > ub + tol {
+                    return false;
+                }
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, a)| a * values[v.index()]).sum();
+            let ok = match c.relation {
+                Relation::LessEq => lhs <= c.rhs + tol,
+                Relation::Equal => (lhs - c.rhs).abs() <= tol,
+                Relation::GreaterEq => lhs >= c.rhs - tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_program() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_bounded_variable("y", 5.0);
+        lp.add_le("cap", vec![(x, 1.0), (y, 2.0)], 10.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0), (y, 1.0)]));
+        assert_eq!(lp.variable_count(), 2);
+        assert_eq!(lp.constraint_count(), 1);
+        assert_eq!(lp.variable(x).name, "x");
+        assert_eq!(lp.variable(y).upper_bound, Some(5.0));
+        assert_eq!(lp.objective_value(&[2.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_bounded_variable("y", 4.0);
+        lp.add_le("sum", vec![(x, 1.0), (y, 1.0)], 6.0);
+        lp.add_ge("min-x", vec![(x, 1.0)], 1.0);
+        lp.add_eq("tie", vec![(x, 1.0), (y, -1.0)], 0.0);
+        assert!(lp.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.5, 0.5], 1e-9), "violates min-x");
+        assert!(!lp.is_feasible(&[5.0, 5.0], 1e-9), "violates bound and cap");
+        assert!(!lp.is_feasible(&[2.0, 3.0], 1e-9), "violates equality");
+        assert!(!lp.is_feasible(&[-1.0, -1.0], 1e-9), "negative");
+        assert!(!lp.is_feasible(&[1.0], 1e-9), "wrong arity");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_variable_in_constraint_panics() {
+        let mut lp = LinearProgram::new();
+        let _x = lp.add_variable("x");
+        lp.add_le("bad", vec![(VarId(7), 1.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_coefficient_panics() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        lp.add_le("bad", vec![(x, f64::NAN)], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_upper_bound_panics() {
+        let mut lp = LinearProgram::new();
+        let _ = lp.add_bounded_variable("x", -1.0);
+    }
+}

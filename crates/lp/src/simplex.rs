@@ -1,0 +1,529 @@
+//! Dense two-phase primal simplex.
+//!
+//! The implementation keeps a dense tableau (rows = constraints, columns =
+//! structural + slack + surplus + artificial variables, plus the right-hand
+//! side) and pivots in place. Entering variables are chosen by the Dantzig
+//! rule (most negative reduced cost) for speed, with an automatic switch to
+//! Bland's rule after a run of non-improving (degenerate) pivots so that the
+//! solver cannot cycle.
+//!
+//! The solver is exact enough for the experiment-scale problems in this
+//! workspace; it is not intended to compete with industrial LP codes.
+
+use crate::problem::{LinearProgram, Objective, Relation};
+use crate::solution::{Solution, SolveStatus};
+
+const EPS: f64 = 1e-9;
+/// Consecutive non-improving pivots before switching to Bland's rule.
+const DEGENERATE_SWITCH: usize = 32;
+
+/// Solve a linear program.
+pub fn solve(lp: &LinearProgram) -> Solution {
+    Tableau::build(lp).solve(lp)
+}
+
+struct Row {
+    coeffs: Vec<f64>,
+    rhs: f64,
+    relation: Relation,
+}
+
+struct Tableau {
+    /// Dense matrix, one row per constraint; `cols` columns followed by rhs.
+    rows: Vec<Vec<f64>>,
+    /// Total number of variable columns (structural + slack + artificial).
+    cols: usize,
+    /// Number of structural (user) variables.
+    structural: usize,
+    /// Index of the basic variable for each row.
+    basis: Vec<usize>,
+    /// Column indices that are artificial variables.
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n = lp.variable_count();
+
+        // Gather rows: user constraints plus upper-bound rows.
+        let mut raw_rows: Vec<Row> = Vec::new();
+        for c in lp.constraints() {
+            let mut coeffs = vec![0.0; n];
+            for (v, a) in &c.terms {
+                coeffs[v.index()] += a;
+            }
+            raw_rows.push(Row {
+                coeffs,
+                rhs: c.rhs,
+                relation: c.relation,
+            });
+        }
+        for (i, var) in lp.variables().iter().enumerate() {
+            if let Some(ub) = var.upper_bound {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                raw_rows.push(Row {
+                    coeffs,
+                    rhs: ub,
+                    relation: Relation::LessEq,
+                });
+            }
+        }
+
+        // Normalise to non-negative rhs.
+        for row in &mut raw_rows {
+            if row.rhs < 0.0 {
+                row.rhs = -row.rhs;
+                for a in &mut row.coeffs {
+                    *a = -*a;
+                }
+                row.relation = match row.relation {
+                    Relation::LessEq => Relation::GreaterEq,
+                    Relation::Equal => Relation::Equal,
+                    Relation::GreaterEq => Relation::LessEq,
+                };
+            }
+        }
+
+        // Count auxiliary columns.
+        let m = raw_rows.len();
+        let mut slack_count = 0usize;
+        let mut artificial_count = 0usize;
+        for row in &raw_rows {
+            match row.relation {
+                Relation::LessEq => slack_count += 1,
+                Relation::GreaterEq => {
+                    slack_count += 1; // surplus
+                    artificial_count += 1;
+                }
+                Relation::Equal => artificial_count += 1,
+            }
+        }
+        let artificial_start = n + slack_count;
+        let cols = artificial_start + artificial_count;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_artificial = artificial_start;
+        for (i, raw) in raw_rows.iter().enumerate() {
+            let mut row = vec![0.0; cols + 1];
+            row[..n].copy_from_slice(&raw.coeffs);
+            row[cols] = raw.rhs;
+            match raw.relation {
+                Relation::LessEq => {
+                    row[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::GreaterEq => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                    row[next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    next_artificial += 1;
+                }
+                Relation::Equal => {
+                    row[next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    next_artificial += 1;
+                }
+            }
+            rows.push(row);
+        }
+
+        Tableau {
+            rows,
+            cols,
+            structural: n,
+            basis,
+            artificial_start,
+        }
+    }
+
+    /// Reduced-cost row for minimising `cost` (length `cols`): `r = c − c_B·T`.
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let mut r = cost.to_vec();
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb == 0.0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                r[j] -= cb * self.rows[i][j];
+            }
+        }
+        r
+    }
+
+    fn current_objective(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| cost[b] * self.rows[i][self.cols])
+            .sum()
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_value = self.rows[row][col];
+        debug_assert!(pivot_value.abs() > EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / pivot_value;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() <= EPS {
+                // Still clear tiny residue for numerical hygiene.
+                if factor != 0.0 {
+                    for (v, &p) in r.iter_mut().zip(pivot_row.iter()) {
+                        *v -= factor * p;
+                    }
+                }
+                continue;
+            }
+            for (v, &p) in r.iter_mut().zip(pivot_row.iter()) {
+                *v -= factor * p;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Minimise `Σ cost_j x_j`, with `banned` columns excluded from entering
+    /// the basis. Returns the status.
+    fn run_phase(&mut self, cost: &[f64], banned_from: usize) -> SolveStatus {
+        let m = self.rows.len();
+        let max_iters = 200 * (m + self.cols) + 1_000;
+        let mut degenerate_run = 0usize;
+        let mut last_obj = self.current_objective(cost);
+
+        for _ in 0..max_iters {
+            let reduced = self.reduced_costs(cost);
+            let use_bland = degenerate_run >= DEGENERATE_SWITCH;
+
+            // Entering column.
+            let mut entering: Option<usize> = None;
+            if use_bland {
+                for (j, &rj) in reduced.iter().enumerate().take(banned_from) {
+                    if rj < -EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for (j, &rj) in reduced.iter().enumerate().take(banned_from) {
+                    if rj < best {
+                        best = rj;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return SolveStatus::Optimal;
+            };
+
+            // Leaving row by minimum ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                let a = self.rows[i][col];
+                if a > EPS {
+                    let ratio = self.rows[i][self.cols] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if leaving.is_none() || better {
+                        if ratio < best_ratio {
+                            best_ratio = ratio;
+                        }
+                        leaving = Some(i);
+                    }
+                }
+            }
+            let Some(row) = leaving else {
+                return SolveStatus::Unbounded;
+            };
+
+            self.pivot(row, col);
+
+            let obj = self.current_objective(cost);
+            if obj < last_obj - EPS {
+                degenerate_run = 0;
+            } else {
+                degenerate_run += 1;
+            }
+            last_obj = obj;
+        }
+        SolveStatus::IterationLimit
+    }
+
+    /// Try to pivot artificial variables out of the basis after phase 1; rows
+    /// where that is impossible are redundant and are dropped.
+    fn purge_artificials(&mut self) {
+        let mut i = 0;
+        while i < self.rows.len() {
+            if self.basis[i] >= self.artificial_start {
+                // Find any non-artificial column with a usable pivot element.
+                let col = (0..self.artificial_start)
+                    .find(|&j| self.rows[i][j].abs() > 1e-7);
+                match col {
+                    Some(j) => {
+                        self.pivot(i, j);
+                        i += 1;
+                    }
+                    None => {
+                        // Redundant row: remove it.
+                        self.rows.remove(i);
+                        self.basis.remove(i);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> Solution {
+        let n = self.structural;
+        let infeasible = |status| Solution {
+            status,
+            objective: 0.0,
+            values: vec![0.0; n],
+        };
+
+        // Phase 1: minimise the sum of artificial variables.
+        if self.artificial_start < self.cols {
+            let mut cost = vec![0.0; self.cols];
+            for c in cost.iter_mut().skip(self.artificial_start) {
+                *c = 1.0;
+            }
+            match self.run_phase(&cost, self.cols) {
+                SolveStatus::Optimal => {}
+                SolveStatus::Unbounded => return infeasible(SolveStatus::Infeasible),
+                s => return infeasible(s),
+            }
+            if self.current_objective(&cost) > 1e-6 {
+                return infeasible(SolveStatus::Infeasible);
+            }
+            self.purge_artificials();
+        }
+
+        // Phase 2: the user's objective, as a minimisation, with artificial
+        // columns banned from entering.
+        let mut cost = vec![0.0; self.cols];
+        let (terms, maximize) = match lp.objective() {
+            Objective::Maximize(t) => (t, true),
+            Objective::Minimize(t) => (t, false),
+        };
+        for (v, c) in terms {
+            cost[v.index()] += if maximize { -c } else { *c };
+        }
+        let status = self.run_phase(&cost, self.artificial_start);
+        if status != SolveStatus::Optimal {
+            return infeasible(status);
+        }
+
+        // Extract structural variable values.
+        let mut values = vec![0.0; n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < n {
+                values[b] = self.rows[i][self.cols].max(0.0);
+            }
+        }
+        let objective = lp.objective_value(&values);
+        Solution {
+            status: SolveStatus::Optimal,
+            objective,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearProgram, Objective};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  → x=2, y=6, obj=36.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_le("c1", vec![(x, 1.0)], 4.0);
+        lp.add_le("c2", vec![(y, 2.0)], 12.0);
+        lp.add_le("c3", vec![(x, 3.0), (y, 2.0)], 18.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 3.0), (y, 5.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn minimisation_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2, y ≥ 3 → x=7, y=3, obj=23.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_ge("sum", vec![(x, 1.0), (y, 1.0)], 10.0);
+        lp.add_ge("xmin", vec![(x, 1.0)], 2.0);
+        lp.add_ge("ymin", vec![(y, 1.0)], 3.0);
+        lp.set_objective(Objective::Minimize(vec![(x, 2.0), (y, 3.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 23.0);
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 5, x - y ≤ 1 → x=3, y=2? obj = 7;
+        // actually pushing y up: y ≤ 5, x = 5 - y, x - y = 5 - 2y ≤ 1 → y ≥ 2.
+        // obj = x + 2y = 5 + y, maximised at y = 5, x = 0 → obj 10, check
+        // x - y = -5 ≤ 1 ok.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_eq("sum", vec![(x, 1.0), (y, 1.0)], 5.0);
+        lp.add_le("diff", vec![(x, 1.0), (y, -1.0)], 1.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0), (y, 2.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 10.0);
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.value(y), 5.0);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_bounded_variable("x", 3.0);
+        let y = lp.add_bounded_variable("y", 2.0);
+        lp.add_le("cap", vec![(x, 1.0), (y, 1.0)], 10.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0), (y, 1.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 5.0);
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn infeasible_program_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        lp.add_le("hi", vec![(x, 1.0)], 1.0);
+        lp.add_ge("lo", vec![(x, 1.0)], 2.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0)]));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_ge("floor", vec![(x, 1.0), (y, 1.0)], 1.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0), (y, 1.0)]));
+        let sol = solve(&lp);
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // x - y ≥ -3  ⇔  y - x ≤ 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_ge("neg", vec![(x, 1.0), (y, -1.0)], -3.0);
+        lp.add_le("capx", vec![(x, 1.0)], 1.0);
+        lp.set_objective(Objective::Maximize(vec![(y, 1.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.value(y), 4.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate corner: several constraints meet at the same
+        // vertex. The solver must not cycle.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        let z = lp.add_variable("z");
+        lp.add_le("a", vec![(x, 1.0), (y, 1.0), (z, 1.0)], 1.0);
+        lp.add_le("b", vec![(x, 1.0)], 1.0);
+        lp.add_le("c", vec![(y, 1.0)], 1.0);
+        lp.add_le("d", vec![(x, 1.0), (y, 1.0)], 1.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0), (y, 1.0), (z, 1.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // The same equality twice: phase 1 leaves a redundant artificial row.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_eq("e1", vec![(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_eq("e2", vec![(x, 2.0), (y, 2.0)], 8.0);
+        lp.set_objective(Objective::Maximize(vec![(x, 1.0)]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable("x");
+        lp.add_ge("lo", vec![(x, 1.0)], 2.0);
+        lp.add_le("hi", vec![(x, 1.0)], 5.0);
+        // Default objective is "maximise nothing".
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn transportation_style_problem() {
+        // Two sources (capacity 20, 30), two sinks (demand 25 each); cost
+        // matrix [[1, 3], [2, 1]]. Optimal cost = 20·1 + 5·2 + 25·1 = 55.
+        let mut lp = LinearProgram::new();
+        let x11 = lp.add_variable("x11");
+        let x12 = lp.add_variable("x12");
+        let x21 = lp.add_variable("x21");
+        let x22 = lp.add_variable("x22");
+        lp.add_le("s1", vec![(x11, 1.0), (x12, 1.0)], 20.0);
+        lp.add_le("s2", vec![(x21, 1.0), (x22, 1.0)], 30.0);
+        lp.add_eq("d1", vec![(x11, 1.0), (x21, 1.0)], 25.0);
+        lp.add_eq("d2", vec![(x12, 1.0), (x22, 1.0)], 25.0);
+        lp.set_objective(Objective::Minimize(vec![
+            (x11, 1.0),
+            (x12, 3.0),
+            (x21, 2.0),
+            (x22, 1.0),
+        ]));
+        let sol = solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 55.0);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+}

@@ -1,0 +1,64 @@
+//! Solver results.
+
+use crate::problem::VarId;
+use serde::{Deserialize, Serialize};
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration limit was hit before convergence (should not happen with
+    /// Bland's rule on well-posed problems; reported rather than hidden).
+    IterationLimit,
+}
+
+/// The outcome of solving a [`crate::LinearProgram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Objective value in the *original* sense (maximisation objectives
+    /// report the maximum). Meaningful only when `status == Optimal`.
+    pub objective: f64,
+    /// Value of each variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// True if an optimal solution was found.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution {
+            status: SolveStatus::Optimal,
+            objective: 3.5,
+            values: vec![1.0, 2.5],
+        };
+        assert!(s.is_optimal());
+        assert_eq!(s.value(VarId(1)), 2.5);
+        let bad = Solution {
+            status: SolveStatus::Infeasible,
+            objective: 0.0,
+            values: vec![],
+        };
+        assert!(!bad.is_optimal());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the LP solver: optimal solutions are feasible,
+//! dominate random feasible points, and respond monotonically to relaxations.
+
+use proptest::prelude::*;
+use qnet_lp::{max_min_allocation, LinearProgram, Objective, SolveStatus, VarId};
+
+/// A random "packing" LP: maximise Σ cᵢxᵢ subject to row constraints
+/// Σ aᵢⱼxⱼ ≤ bᵢ with non-negative data — always feasible (x = 0) and bounded
+/// whenever every variable appears in at least one row with a positive
+/// coefficient, which the generator guarantees by adding a final box row.
+fn packing_lp(
+    costs: &[f64],
+    rows: &[(Vec<f64>, f64)],
+) -> (LinearProgram, Vec<VarId>) {
+    let mut lp = LinearProgram::new();
+    let vars: Vec<VarId> = (0..costs.len())
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
+    for (r, (coeffs, rhs)) in rows.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = vars
+            .iter()
+            .zip(coeffs.iter())
+            .map(|(&v, &a)| (v, a))
+            .collect();
+        lp.add_le(format!("row{r}"), terms, *rhs);
+    }
+    // Box row keeps the problem bounded.
+    lp.add_le(
+        "box",
+        vars.iter().map(|&v| (v, 1.0)).collect(),
+        100.0,
+    );
+    lp.set_objective(Objective::Maximize(
+        vars.iter().zip(costs.iter()).map(|(&v, &c)| (v, c)).collect(),
+    ));
+    (lp, vars)
+}
+
+fn lp_inputs() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<f64>, f64)>)> {
+    (2usize..6).prop_flat_map(|nvars| {
+        let costs = proptest::collection::vec(0.1f64..5.0, nvars);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..3.0, nvars), 1.0f64..20.0),
+            1..5,
+        );
+        (costs, rows)
+    })
+}
+
+proptest! {
+    /// The solver's optimum is feasible and at least as good as the origin
+    /// and as a family of scaled feasible points.
+    #[test]
+    fn optimum_is_feasible_and_dominates((costs, rows) in lp_inputs()) {
+        let (lp, _vars) = packing_lp(&costs, &rows);
+        let sol = qnet_lp::simplex::solve(&lp);
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+        // The origin is feasible with objective 0 for packing problems.
+        prop_assert!(sol.objective >= -1e-9);
+        // Shrinking the optimal point stays feasible and never beats it.
+        for &shrink in &[0.25, 0.5, 0.75] {
+            let scaled: Vec<f64> = sol.values.iter().map(|v| v * shrink).collect();
+            prop_assert!(lp.is_feasible(&scaled, 1e-6));
+            prop_assert!(lp.objective_value(&scaled) <= sol.objective + 1e-6);
+        }
+        // Optimal value is consistent with the reported assignment.
+        prop_assert!((lp.objective_value(&sol.values) - sol.objective).abs() < 1e-6);
+    }
+
+    /// Relaxing every right-hand side can only improve a maximisation
+    /// objective (monotonicity / LP duality sanity check).
+    #[test]
+    fn relaxing_constraints_never_hurts((costs, rows) in lp_inputs(), slack in 0.1f64..10.0) {
+        let (tight, _) = packing_lp(&costs, &rows);
+        let relaxed_rows: Vec<(Vec<f64>, f64)> =
+            rows.iter().map(|(a, b)| (a.clone(), b + slack)).collect();
+        let (loose, _) = packing_lp(&costs, &relaxed_rows);
+        let t = qnet_lp::simplex::solve(&tight);
+        let l = qnet_lp::simplex::solve(&loose);
+        prop_assert_eq!(t.status, SolveStatus::Optimal);
+        prop_assert_eq!(l.status, SolveStatus::Optimal);
+        prop_assert!(l.objective + 1e-6 >= t.objective);
+    }
+
+    /// Scaling the objective scales the optimum (homogeneity).
+    #[test]
+    fn objective_scaling_is_homogeneous((costs, rows) in lp_inputs(), k in 0.5f64..4.0) {
+        let (lp, _) = packing_lp(&costs, &rows);
+        let scaled_costs: Vec<f64> = costs.iter().map(|c| c * k).collect();
+        let (lp_scaled, _) = packing_lp(&scaled_costs, &rows);
+        let a = qnet_lp::simplex::solve(&lp);
+        let b = qnet_lp::simplex::solve(&lp_scaled);
+        prop_assert!((b.objective - k * a.objective).abs() < 1e-4 * (1.0 + a.objective.abs()));
+    }
+
+    /// Equality-constrained transportation problems balance supply exactly.
+    #[test]
+    fn transportation_balances_supply(supply in 1.0f64..20.0, split in 0.1f64..0.9) {
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_variable("x1");
+        let x2 = lp.add_variable("x2");
+        let d1 = supply * split;
+        let d2 = supply - d1;
+        lp.add_eq("d1", vec![(x1, 1.0)], d1);
+        lp.add_eq("d2", vec![(x2, 1.0)], d2);
+        lp.set_objective(Objective::Minimize(vec![(x1, 1.0), (x2, 2.0)]));
+        let sol = qnet_lp::simplex::solve(&lp);
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        prop_assert!((sol.values[0] + sol.values[1] - supply).abs() < 1e-6);
+        prop_assert!((sol.objective - (d1 + 2.0 * d2)).abs() < 1e-6);
+    }
+
+    /// Max-min over symmetric sharers of a single bottleneck gives equal
+    /// shares summing to the capacity.
+    #[test]
+    fn max_min_shares_a_link_equally(flows in 2usize..6, capacity in 1.0f64..50.0) {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<VarId> = (0..flows).map(|i| lp.add_variable(format!("f{i}"))).collect();
+        lp.add_le("link", vars.iter().map(|&v| (v, 1.0)).collect(), capacity);
+        let result = max_min_allocation(&lp, &vars).unwrap();
+        let expected = capacity / flows as f64;
+        for &v in &result.target_values {
+            prop_assert!((v - expected).abs() < 1e-4, "{v} vs {expected}");
+        }
+    }
+
+    /// Max-min never allocates anyone less than an equal split of their
+    /// tightest shared bottleneck, and the allocation is feasible.
+    #[test]
+    fn max_min_is_feasible_and_fair(caps in proptest::collection::vec(1.0f64..20.0, 2..5)) {
+        // Chain of links: flow i uses links i and i+1 (cyclically), so each
+        // link is shared by exactly two flows.
+        let n = caps.len();
+        let mut lp = LinearProgram::new();
+        let vars: Vec<VarId> = (0..n).map(|i| lp.add_variable(format!("f{i}"))).collect();
+        for (l, &cap) in caps.iter().enumerate() {
+            let a = vars[l];
+            let b = vars[(l + 1) % n];
+            lp.add_le(format!("link{l}"), vec![(a, 1.0), (b, 1.0)], cap);
+        }
+        let result = max_min_allocation(&lp, &vars).unwrap();
+        prop_assert!(lp.is_feasible(&result.assignment[..n], 1e-4));
+        let min_cap = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        for &v in &result.target_values {
+            prop_assert!(v + 1e-6 >= min_cap / 2.0 - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # qnet — path-oblivious entanglement swapping for the Quantum Internet
+//!
+//! Facade crate re-exporting the `qnet` workspace, a reproduction of
+//! *"Path-Oblivious Entanglement Swapping for the Quantum Internet"*
+//! (HotNets 2025). Depend on this crate to get the whole stack under one
+//! namespace:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine,
+//! * [`topology`] — generation-graph topologies, shortest paths, pair keys,
+//! * [`quantum`] — state-vector/density-matrix substrate, teleportation,
+//!   swapping, distillation, decoherence and QEC models,
+//! * [`lp`] — two-phase simplex and max-min fairness helpers,
+//! * [`core`] — the paper's contribution: the steady-state LP formulation,
+//!   the §4 max-min balancer, planned-path baselines, and the §5 simulation
+//!   and metrics.
+//!
+//! ```
+//! use qnet::core::experiment::{Experiment, ExperimentConfig};
+//!
+//! let result = Experiment::new(ExperimentConfig::default()).run();
+//! assert!(result.satisfied_requests + result.unsatisfied_requests as usize > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's contribution: balancer, LP model, baselines, experiments.
+pub use qnet_core as core;
+/// Linear-programming substrate.
+pub use qnet_lp as lp;
+/// Quantum-state substrate.
+pub use qnet_quantum as quantum;
+/// Discrete-event simulation substrate.
+pub use qnet_sim as sim;
+/// Graph/topology substrate.
+pub use qnet_topology as topology;
+
+/// Commonly used items, for glob import in examples and quick experiments.
+pub mod prelude {
+    pub use qnet_core::balancer::{BalancerPolicy, SwapCandidate};
+    pub use qnet_core::classical::KnowledgeModel;
+    pub use qnet_core::config::{DistillationSpec, NetworkConfig};
+    pub use qnet_core::experiment::{
+        Experiment, ExperimentConfig, ExperimentResult, ProtocolMode,
+    };
+    pub use qnet_core::inventory::Inventory;
+    pub use qnet_core::lp_model::{LpObjective, SteadyStateModel};
+    pub use qnet_core::nested::nested_swap_cost;
+    pub use qnet_core::rates::RateMatrices;
+    pub use qnet_core::workload::{Workload, WorkloadSpec};
+    pub use qnet_sim::{SimDuration, SimRng, SimTime};
+    pub use qnet_topology::{Graph, NodeId, NodePair, Topology};
+}

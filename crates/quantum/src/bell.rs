@@ -1,0 +1,157 @@
+//! Bell states and Werner states.
+//!
+//! A *Bell pair* in the paper is ideally the maximally entangled state
+//! `|Φ⁺⟩ = (|00⟩ + |11⟩)/√2`. Real pairs are noisy; the standard
+//! single-parameter noise model is the **Werner state**
+//! `ρ_W(F) = F·|Φ⁺⟩⟨Φ⁺| + (1-F)/3 · (|Φ⁻⟩⟨Φ⁻| + |Ψ⁺⟩⟨Ψ⁺| + |Ψ⁻⟩⟨Ψ⁻|)`,
+//! whose fidelity with `|Φ⁺⟩` is exactly `F`. Werner states are closed under
+//! entanglement swapping and are the canonical input to the BBPSSW
+//! distillation recurrence used for the paper's `D` overheads.
+
+use crate::complex::Complex;
+use crate::density::DensityMatrix;
+use crate::state::StateVector;
+
+/// The four Bell states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BellState {
+    /// `(|00⟩ + |11⟩)/√2`
+    PhiPlus,
+    /// `(|00⟩ - |11⟩)/√2`
+    PhiMinus,
+    /// `(|01⟩ + |10⟩)/√2`
+    PsiPlus,
+    /// `(|01⟩ - |10⟩)/√2`
+    PsiMinus,
+}
+
+impl BellState {
+    /// All four Bell states.
+    pub const ALL: [BellState; 4] = [
+        BellState::PhiPlus,
+        BellState::PhiMinus,
+        BellState::PsiPlus,
+        BellState::PsiMinus,
+    ];
+
+    /// The two-qubit state vector of this Bell state (qubit 0 and qubit 1).
+    pub fn state_vector(self) -> StateVector {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let amp = |v: f64| Complex::real(v * s);
+        let amplitudes = match self {
+            BellState::PhiPlus => vec![amp(1.0), Complex::ZERO, Complex::ZERO, amp(1.0)],
+            BellState::PhiMinus => vec![amp(1.0), Complex::ZERO, Complex::ZERO, amp(-1.0)],
+            BellState::PsiPlus => vec![Complex::ZERO, amp(1.0), amp(1.0), Complex::ZERO],
+            BellState::PsiMinus => vec![Complex::ZERO, amp(1.0), amp(-1.0), Complex::ZERO],
+        };
+        StateVector::from_amplitudes(amplitudes)
+    }
+
+    /// The Pauli correction (x, z) that maps this Bell state back to `|Φ⁺⟩`
+    /// when applied to the second qubit: apply X if `x`, Z if `z`.
+    pub fn correction_to_phi_plus(self) -> (bool, bool) {
+        match self {
+            BellState::PhiPlus => (false, false),
+            BellState::PhiMinus => (false, true),
+            BellState::PsiPlus => (true, false),
+            BellState::PsiMinus => (true, true),
+        }
+    }
+}
+
+/// The Werner state with fidelity `F` to `|Φ⁺⟩` (clamped to `[1/4, 1]`;
+/// below 1/4 the parametrisation stops describing a physical mixture of this
+/// form).
+pub fn werner_state(fidelity: f64) -> DensityMatrix {
+    let f = fidelity.clamp(0.25, 1.0);
+    let rest = (1.0 - f) / 3.0;
+    let parts: Vec<(f64, DensityMatrix)> = BellState::ALL
+        .iter()
+        .map(|&b| {
+            let w = if b == BellState::PhiPlus { f } else { rest };
+            (w, DensityMatrix::from_pure(&b.state_vector()))
+        })
+        .collect();
+    DensityMatrix::mixture(&parts)
+}
+
+/// Convert a Werner fidelity `F` to the Werner parameter
+/// `W = (4F - 1) / 3` (the weight of the pure Bell state in the
+/// `ρ = W|Φ⁺⟩⟨Φ⁺| + (1-W)·I/4` parametrisation).
+pub fn fidelity_to_werner_parameter(fidelity: f64) -> f64 {
+    (4.0 * fidelity - 1.0) / 3.0
+}
+
+/// Convert a Werner parameter back to a fidelity: `F = (3W + 1) / 4`.
+pub fn werner_parameter_to_fidelity(w: f64) -> f64 {
+    (3.0 * w + 1.0) / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_states_are_normalised_and_orthogonal() {
+        for (i, a) in BellState::ALL.iter().enumerate() {
+            let sa = a.state_vector();
+            assert!((sa.total_probability() - 1.0).abs() < 1e-12);
+            for (j, b) in BellState::ALL.iter().enumerate() {
+                let f = sa.fidelity(&b.state_vector());
+                if i == j {
+                    assert!((f - 1.0).abs() < 1e-12);
+                } else {
+                    assert!(f < 1e-12, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrections_map_back_to_phi_plus() {
+        use crate::gates::Gate;
+        for b in BellState::ALL {
+            let mut s = b.state_vector();
+            let (x, z) = b.correction_to_phi_plus();
+            if x {
+                s.apply_gate(&Gate::x(), 1);
+            }
+            if z {
+                s.apply_gate(&Gate::z(), 1);
+            }
+            let f = s.fidelity(&BellState::PhiPlus.state_vector());
+            assert!((f - 1.0).abs() < 1e-9, "{b:?} fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn werner_state_fidelity_matches_parameter() {
+        for &f in &[0.25, 0.5, 0.75, 0.9, 1.0] {
+            let w = werner_state(f);
+            let measured = w.fidelity_with_pure(&BellState::PhiPlus.state_vector());
+            assert!((measured - f).abs() < 1e-12, "F={f} measured {measured}");
+            assert!((w.trace().re - 1.0).abs() < 1e-12);
+            assert!(w.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn werner_state_clamps_fidelity() {
+        let w = werner_state(0.0);
+        let measured = w.fidelity_with_pure(&BellState::PhiPlus.state_vector());
+        assert!((measured - 0.25).abs() < 1e-12);
+        let w1 = werner_state(1.5);
+        let m1 = w1.fidelity_with_pure(&BellState::PhiPlus.state_vector());
+        assert!((m1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn werner_parameter_round_trip() {
+        for &f in &[0.25, 0.5, 0.8, 1.0] {
+            let w = fidelity_to_werner_parameter(f);
+            assert!((werner_parameter_to_fidelity(w) - f).abs() < 1e-12);
+        }
+        assert!((fidelity_to_werner_parameter(1.0) - 1.0).abs() < 1e-12);
+        assert!(fidelity_to_werner_parameter(0.25).abs() < 1e-12);
+    }
+}

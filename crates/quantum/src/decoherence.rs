@@ -1,0 +1,173 @@
+//! Decoherence of stored Bell pairs.
+//!
+//! Bell pairs sitting in quantum memories decohere (paper §2): the Werner
+//! parameter decays exponentially with a characteristic memory coherence
+//! time, dragging the fidelity towards the maximally mixed value of 1/4.
+//! The paper's LP extension (§3.2) models this as a constant loss rate
+//! `L_{x,y}`; this module provides both the physical decay curve and the
+//! cutoff policy ("reject aged Bell pairs", §6) that a transport layer can
+//! use to decide when a stored pair should be discarded.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponential-decay memory model with a single coherence time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecoherenceModel {
+    /// Memory coherence time in seconds (the 1/e time of the Werner
+    /// parameter). `f64::INFINITY` models the paper's idealised long-lived
+    /// memories.
+    pub coherence_time_s: f64,
+}
+
+impl DecoherenceModel {
+    /// A model with effectively infinite coherence (no decay).
+    pub fn ideal() -> Self {
+        DecoherenceModel {
+            coherence_time_s: f64::INFINITY,
+        }
+    }
+
+    /// A model with the given coherence time in seconds.
+    pub fn with_coherence_time(seconds: f64) -> Self {
+        assert!(seconds > 0.0, "coherence time must be positive");
+        DecoherenceModel {
+            coherence_time_s: seconds,
+        }
+    }
+
+    /// Fidelity of a pair that started at `f0` after being stored for
+    /// `age_s` seconds: the Werner parameter decays as `W(t) = W₀·e^{-t/T}`,
+    /// i.e. `F(t) = 1/4 + (F₀ − 1/4)·e^{-t/T}`.
+    pub fn fidelity_after(&self, f0: f64, age_s: f64) -> f64 {
+        let f0 = f0.clamp(0.25, 1.0);
+        if self.coherence_time_s.is_infinite() || age_s <= 0.0 {
+            return f0;
+        }
+        0.25 + (f0 - 0.25) * (-age_s / self.coherence_time_s).exp()
+    }
+
+    /// The age at which a pair starting at `f0` drops below `f_min`, or
+    /// `None` if it never does (ideal memory, or `f0 ≤ f_min` already at age
+    /// 0 returns `Some(0)`).
+    pub fn age_at_fidelity(&self, f0: f64, f_min: f64) -> Option<f64> {
+        let f0 = f0.clamp(0.25, 1.0);
+        let f_min = f_min.clamp(0.25, 1.0);
+        if f0 <= f_min {
+            return Some(0.0);
+        }
+        if self.coherence_time_s.is_infinite() || f_min <= 0.25 {
+            return None;
+        }
+        // Solve 1/4 + (f0 - 1/4) e^{-t/T} = f_min.
+        let ratio = (f_min - 0.25) / (f0 - 0.25);
+        Some(-self.coherence_time_s * ratio.ln())
+    }
+
+    /// Survival probability over `age_s` when decoherence is modelled as an
+    /// exponential *loss* process (the LP's `L` factor interpretation): the
+    /// probability that the pair is still usable.
+    pub fn survival_probability(&self, age_s: f64) -> f64 {
+        if self.coherence_time_s.is_infinite() || age_s <= 0.0 {
+            return 1.0;
+        }
+        (-age_s / self.coherence_time_s).exp()
+    }
+}
+
+/// A transport-layer cutoff policy: discard pairs older than `max_age_s`
+/// (paper §6 suggests "rejection of aged Bell pairs" as transport-layer
+/// functionality).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutoffPolicy {
+    /// Maximum allowed storage age in seconds (`f64::INFINITY` disables the
+    /// cutoff).
+    pub max_age_s: f64,
+}
+
+impl CutoffPolicy {
+    /// No cutoff: pairs are kept forever.
+    pub fn none() -> Self {
+        CutoffPolicy {
+            max_age_s: f64::INFINITY,
+        }
+    }
+
+    /// Cutoff tuned so that pairs are discarded once their fidelity (starting
+    /// from `f0`) would fall below `f_min` under `model`.
+    pub fn from_fidelity_floor(model: &DecoherenceModel, f0: f64, f_min: f64) -> Self {
+        match model.age_at_fidelity(f0, f_min) {
+            Some(age) => CutoffPolicy { max_age_s: age },
+            None => CutoffPolicy::none(),
+        }
+    }
+
+    /// Should a pair of the given age be discarded?
+    pub fn should_discard(&self, age_s: f64) -> bool {
+        age_s > self.max_age_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_memory_never_decays() {
+        let m = DecoherenceModel::ideal();
+        assert_eq!(m.fidelity_after(0.9, 1e9), 0.9);
+        assert_eq!(m.survival_probability(1e9), 1.0);
+        assert_eq!(m.age_at_fidelity(0.9, 0.6), None);
+    }
+
+    #[test]
+    fn fidelity_decays_towards_quarter() {
+        let m = DecoherenceModel::with_coherence_time(1.0);
+        let f0 = 1.0;
+        assert!((m.fidelity_after(f0, 0.0) - 1.0).abs() < 1e-12);
+        let f1 = m.fidelity_after(f0, 1.0);
+        let f2 = m.fidelity_after(f0, 2.0);
+        assert!(f1 > f2 && f2 > 0.25);
+        // After one coherence time, F = 1/4 + 3/4·e^{-1}.
+        assert!((f1 - (0.25 + 0.75 * (-1.0f64).exp())).abs() < 1e-12);
+        // In the long-time limit the state is maximally mixed.
+        assert!((m.fidelity_after(f0, 100.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn age_at_fidelity_inverts_decay() {
+        let m = DecoherenceModel::with_coherence_time(2.0);
+        let age = m.age_at_fidelity(0.95, 0.7).unwrap();
+        assert!(age > 0.0);
+        let f = m.fidelity_after(0.95, age);
+        assert!((f - 0.7).abs() < 1e-9);
+        // Already below the floor.
+        assert_eq!(m.age_at_fidelity(0.6, 0.7), Some(0.0));
+    }
+
+    #[test]
+    fn survival_probability_decays() {
+        let m = DecoherenceModel::with_coherence_time(10.0);
+        assert!((m.survival_probability(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.survival_probability(10.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(m.survival_probability(5.0) > m.survival_probability(20.0));
+    }
+
+    #[test]
+    fn cutoff_policy() {
+        let m = DecoherenceModel::with_coherence_time(1.0);
+        let p = CutoffPolicy::from_fidelity_floor(&m, 0.95, 0.8);
+        assert!(p.max_age_s > 0.0 && p.max_age_s.is_finite());
+        assert!(!p.should_discard(p.max_age_s * 0.5));
+        assert!(p.should_discard(p.max_age_s * 1.5));
+        let none = CutoffPolicy::none();
+        assert!(!none.should_discard(1e12));
+        let ideal = CutoffPolicy::from_fidelity_floor(&DecoherenceModel::ideal(), 0.95, 0.8);
+        assert!(!ideal.should_discard(1e12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_coherence_time_panics() {
+        let _ = DecoherenceModel::with_coherence_time(0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Density matrices for small numbers of qubits.
+//!
+//! Mixed states are needed wherever noise enters: Werner states (imperfect
+//! Bell pairs), depolarised memories, and the outputs of teleportation over
+//! noisy channels. Matrices are dense and row-major; with at most four
+//! qubits in play (16×16) this is perfectly adequate.
+
+use crate::complex::Complex;
+use crate::state::StateVector;
+
+/// A density matrix over `n` qubits (a `2^n × 2^n` Hermitian, unit-trace,
+/// positive-semidefinite matrix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    qubits: usize,
+    dim: usize,
+    /// Row-major entries.
+    entries: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// The maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(qubits: usize) -> Self {
+        assert!(qubits > 0 && qubits <= 10, "unsupported qubit count");
+        let dim = 1usize << qubits;
+        let mut dm = DensityMatrix {
+            qubits,
+            dim,
+            entries: vec![Complex::ZERO; dim * dim],
+        };
+        for i in 0..dim {
+            dm.set(i, i, Complex::real(1.0 / dim as f64));
+        }
+        dm
+    }
+
+    /// The pure-state density matrix `|ψ⟩⟨ψ|`.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let dim = state.amplitudes().len();
+        let mut entries = vec![Complex::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                entries[i * dim + j] = state.amplitude(i) * state.amplitude(j).conj();
+            }
+        }
+        DensityMatrix {
+            qubits: state.qubit_count(),
+            dim,
+            entries,
+        }
+    }
+
+    /// A convex mixture `Σ wᵢ ρᵢ`. Weights are normalised to sum to one.
+    ///
+    /// # Panics
+    /// Panics if the list is empty, dimensions differ, or all weights are
+    /// zero/negative.
+    pub fn mixture(parts: &[(f64, DensityMatrix)]) -> Self {
+        assert!(!parts.is_empty(), "mixture of nothing");
+        let dim = parts[0].1.dim;
+        let qubits = parts[0].1.qubits;
+        let total: f64 = parts.iter().map(|(w, _)| w.max(0.0)).sum();
+        assert!(total > 0.0, "mixture weights must be positive");
+        let mut entries = vec![Complex::ZERO; dim * dim];
+        for (w, dm) in parts {
+            assert_eq!(dm.dim, dim, "mixture dimension mismatch");
+            let w = w.max(0.0) / total;
+            for (e, &x) in entries.iter_mut().zip(dm.entries.iter()) {
+                *e += x.scale(w);
+            }
+        }
+        DensityMatrix { qubits, dim, entries }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubits
+    }
+
+    /// Matrix dimension (`2^n`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        self.entries[row * self.dim + col]
+    }
+
+    /// Set entry `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        self.entries[row * self.dim + col] = value;
+    }
+
+    /// Trace of the matrix.
+    pub fn trace(&self) -> Complex {
+        (0..self.dim).fold(Complex::ZERO, |acc, i| acc + self.get(i, i))
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for the maximally mixed
+    /// state.
+    pub fn purity(&self) -> f64 {
+        let mut acc = Complex::ZERO;
+        for i in 0..self.dim {
+            for k in 0..self.dim {
+                acc += self.get(i, k) * self.get(k, i);
+            }
+        }
+        acc.re
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` with a pure state (this is the Jozsa fidelity when
+    /// one argument is pure).
+    pub fn fidelity_with_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(psi.amplitudes().len(), self.dim, "dimension mismatch");
+        let mut acc = Complex::ZERO;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                acc += psi.amplitude(i).conj() * self.get(i, j) * psi.amplitude(j);
+            }
+        }
+        acc.re
+    }
+
+    /// Apply the depolarising channel with error probability `p` to the whole
+    /// register: `ρ → (1-p)ρ + p·I/2^n`.
+    pub fn depolarize(&self, p: f64) -> DensityMatrix {
+        let p = p.clamp(0.0, 1.0);
+        DensityMatrix::mixture(&[
+            (1.0 - p, self.clone()),
+            (p, DensityMatrix::maximally_mixed(self.qubits)),
+        ])
+    }
+
+    /// True if the matrix is Hermitian to within `eps`.
+    pub fn is_hermitian(&self, eps: f64) -> bool {
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if !self.get(i, j).approx_eq(self.get(j, i).conj(), eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::Gate;
+
+    fn bell_phi_plus() -> StateVector {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(&Gate::h(), 0);
+        s.apply_cnot(0, 1);
+        s
+    }
+
+    #[test]
+    fn pure_state_density_matrix_properties() {
+        let dm = DensityMatrix::from_pure(&bell_phi_plus());
+        assert_eq!(dm.dim(), 4);
+        assert!((dm.trace().re - 1.0).abs() < 1e-12);
+        assert!(dm.trace().im.abs() < 1e-12);
+        assert!((dm.purity() - 1.0).abs() < 1e-12);
+        assert!(dm.is_hermitian(1e-12));
+        assert!((dm.fidelity_with_pure(&bell_phi_plus()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let dm = DensityMatrix::maximally_mixed(2);
+        assert!((dm.trace().re - 1.0).abs() < 1e-12);
+        assert!((dm.purity() - 0.25).abs() < 1e-12);
+        // Fidelity of the maximally mixed 2-qubit state with any pure state
+        // is 1/4.
+        assert!((dm.fidelity_with_pure(&bell_phi_plus()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_weights_normalise() {
+        let pure = DensityMatrix::from_pure(&bell_phi_plus());
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let m = DensityMatrix::mixture(&[(3.0, pure.clone()), (1.0, mixed)]);
+        assert!((m.trace().re - 1.0).abs() < 1e-12);
+        // Fidelity with Φ+ should be 0.75·1 + 0.25·0.25 = 0.8125.
+        assert!((m.fidelity_with_pure(&bell_phi_plus()) - 0.8125).abs() < 1e-12);
+        assert!(m.purity() < 1.0);
+        assert!(m.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn depolarize_limits() {
+        let pure = DensityMatrix::from_pure(&bell_phi_plus());
+        let unchanged = pure.depolarize(0.0);
+        assert!((unchanged.purity() - 1.0).abs() < 1e-12);
+        let fully = pure.depolarize(1.0);
+        assert!((fully.purity() - 0.25).abs() < 1e-12);
+        let half = pure.depolarize(0.5);
+        let f = half.fidelity_with_pure(&bell_phi_plus());
+        assert!((f - (0.5 + 0.5 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mixture_panics() {
+        let _ = DensityMatrix::mixture(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = DensityMatrix::maximally_mixed(1);
+        let b = DensityMatrix::maximally_mixed(2);
+        let _ = DensityMatrix::mixture(&[(1.0, a), (1.0, b)]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Entanglement distillation (purification).
+//!
+//! Distillation consumes low-fidelity Bell pairs to produce fewer,
+//! higher-fidelity pairs (paper §2, "Fidelity"). The paper's protocol layer
+//! abstracts the whole process into a single per-pair overhead `D_{x,y}`:
+//! the expected number of *raw* operations needed per usable pair. This
+//! module supplies both the underlying physics (the BBPSSW recurrence for
+//! Werner pairs) and the mapping from a fidelity target to the overhead
+//! factor the rest of the workspace consumes.
+//!
+//! The BBPSSW recurrence for two Werner pairs of fidelity `F`:
+//!
+//! * success probability
+//!   `p = F² + 2·F·(1−F)/3 + 5·((1−F)/3)²`
+//! * output fidelity (on success)
+//!   `F' = (F² + ((1−F)/3)²) / p`
+//!
+//! The recurrence has a fixed point at `F = 1` and only improves fidelity
+//! for `F > 1/2`, which is why [`crate::fidelity::FidelityBand::Unusable`]
+//! starts at 0.5.
+
+use serde::{Deserialize, Serialize};
+
+/// Which distillation model to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistillationProtocol {
+    /// The BBPSSW recurrence (probabilistic success, Werner inputs).
+    Bbpssw,
+    /// An idealised protocol that always succeeds and reaches the BBPSSW
+    /// output fidelity; useful for LP ballparking where only the pair
+    /// *count* overhead matters.
+    Ideal,
+}
+
+/// The result of one distillation round on two equal-fidelity pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistillationStep {
+    /// Fidelity of the surviving pair, conditioned on success.
+    pub output_fidelity: f64,
+    /// Probability that the round succeeds (both pairs are lost otherwise).
+    pub success_probability: f64,
+}
+
+/// One round of the chosen protocol on two Werner pairs of fidelity `f`.
+pub fn distill_step(protocol: DistillationProtocol, f: f64) -> DistillationStep {
+    let f = f.clamp(0.25, 1.0);
+    let q = (1.0 - f) / 3.0;
+    let p_success = f * f + 2.0 * f * q + 5.0 * q * q;
+    let f_out = (f * f + q * q) / p_success;
+    match protocol {
+        DistillationProtocol::Bbpssw => DistillationStep {
+            output_fidelity: f_out,
+            success_probability: p_success,
+        },
+        DistillationProtocol::Ideal => DistillationStep {
+            output_fidelity: f_out,
+            success_probability: 1.0,
+        },
+    }
+}
+
+/// Result of pumping the recurrence until a fidelity target is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistillationPlan {
+    /// Number of recurrence rounds required.
+    pub rounds: u32,
+    /// Fidelity actually achieved after those rounds.
+    pub achieved_fidelity: f64,
+    /// Expected number of raw input pairs consumed per produced pair
+    /// (accounting for failures); this is the paper's `D`.
+    pub expected_raw_pairs: f64,
+}
+
+/// Error cases for [`plan_distillation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistillationError {
+    /// The input fidelity is at or below the 1/2 distillability threshold.
+    NotDistillable,
+    /// The target cannot be reached within the round budget.
+    TargetUnreachable,
+}
+
+/// Compute how many nested recurrence rounds are needed to raise pairs of
+/// fidelity `f_in` to at least `f_target`, and the expected raw-pair cost.
+///
+/// The cost model assumes *entanglement pumping on identical inputs*: a round
+/// at level `k` consumes two level-`k` pairs and succeeds with probability
+/// `p_k`, so the expected raw cost satisfies `cost_{k+1} = 2·cost_k / p_k`.
+pub fn plan_distillation(
+    protocol: DistillationProtocol,
+    f_in: f64,
+    f_target: f64,
+    max_rounds: u32,
+) -> Result<DistillationPlan, DistillationError> {
+    let f_in = f_in.clamp(0.25, 1.0);
+    let f_target = f_target.clamp(0.25, 1.0);
+    if f_in >= f_target {
+        return Ok(DistillationPlan {
+            rounds: 0,
+            achieved_fidelity: f_in,
+            expected_raw_pairs: 1.0,
+        });
+    }
+    if f_in <= 0.5 {
+        return Err(DistillationError::NotDistillable);
+    }
+    let mut f = f_in;
+    let mut cost = 1.0f64;
+    for round in 1..=max_rounds {
+        let step = distill_step(protocol, f);
+        // Guard against a recurrence that stops improving (numerically stuck
+        // just below the target).
+        if step.output_fidelity <= f + 1e-15 {
+            return Err(DistillationError::TargetUnreachable);
+        }
+        cost = 2.0 * cost / step.success_probability;
+        f = step.output_fidelity;
+        if f >= f_target {
+            return Ok(DistillationPlan {
+                rounds: round,
+                achieved_fidelity: f,
+                expected_raw_pairs: cost,
+            });
+        }
+    }
+    Err(DistillationError::TargetUnreachable)
+}
+
+/// The paper's per-pair distillation overhead `D` for raising `f_in` to
+/// `f_target`: the expected number of raw pairs consumed per produced pair,
+/// or `None` when the target is unreachable.
+pub fn overhead_factor(
+    protocol: DistillationProtocol,
+    f_in: f64,
+    f_target: f64,
+) -> Option<f64> {
+    plan_distillation(protocol, f_in, f_target, 64)
+        .ok()
+        .map(|p| p.expected_raw_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_improves_fidelity_above_half() {
+        for &f in &[0.55, 0.7, 0.85, 0.95] {
+            let step = distill_step(DistillationProtocol::Bbpssw, f);
+            assert!(step.output_fidelity > f, "F={f}");
+            assert!(step.success_probability > 0.0 && step.success_probability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn recurrence_fixed_points() {
+        let at_one = distill_step(DistillationProtocol::Bbpssw, 1.0);
+        assert!((at_one.output_fidelity - 1.0).abs() < 1e-12);
+        assert!((at_one.success_probability - 1.0).abs() < 1e-12);
+        // F = 1/4 (maximally mixed) is also a fixed point.
+        let mixed = distill_step(DistillationProtocol::Bbpssw, 0.25);
+        assert!((mixed.output_fidelity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_threshold_does_not_improve() {
+        let step = distill_step(DistillationProtocol::Bbpssw, 0.45);
+        assert!(step.output_fidelity <= 0.45 + 1e-12);
+    }
+
+    #[test]
+    fn known_value_at_three_quarters() {
+        // F = 0.75: q = 1/12; p = 9/16 + 2·(3/4)(1/12) + 5/144
+        //         = 0.5625 + 0.125 + 0.034722… = 0.722222…
+        // F' = (0.5625 + 0.006944…)/0.722222… = 0.788461…
+        let step = distill_step(DistillationProtocol::Bbpssw, 0.75);
+        assert!((step.success_probability - 0.7222222222).abs() < 1e-9);
+        assert!((step.output_fidelity - 0.7884615385).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_protocol_same_fidelity_certain_success() {
+        let b = distill_step(DistillationProtocol::Bbpssw, 0.8);
+        let i = distill_step(DistillationProtocol::Ideal, 0.8);
+        assert_eq!(b.output_fidelity, i.output_fidelity);
+        assert_eq!(i.success_probability, 1.0);
+    }
+
+    #[test]
+    fn plan_reaches_target() {
+        let plan =
+            plan_distillation(DistillationProtocol::Bbpssw, 0.8, 0.95, 32).expect("reachable");
+        assert!(plan.rounds >= 1);
+        assert!(plan.achieved_fidelity >= 0.95);
+        assert!(plan.expected_raw_pairs > 2.0, "at least one round costs > 2");
+        // The ideal protocol costs exactly 2^rounds.
+        let ideal =
+            plan_distillation(DistillationProtocol::Ideal, 0.8, 0.95, 32).expect("reachable");
+        assert!((ideal.expected_raw_pairs - 2f64.powi(ideal.rounds as i32)).abs() < 1e-9);
+        assert!(plan.expected_raw_pairs >= ideal.expected_raw_pairs);
+    }
+
+    #[test]
+    fn plan_trivial_when_already_good_enough() {
+        let plan =
+            plan_distillation(DistillationProtocol::Bbpssw, 0.97, 0.9, 32).expect("trivial");
+        assert_eq!(plan.rounds, 0);
+        assert_eq!(plan.expected_raw_pairs, 1.0);
+    }
+
+    #[test]
+    fn plan_rejects_undistillable_input() {
+        assert_eq!(
+            plan_distillation(DistillationProtocol::Bbpssw, 0.5, 0.9, 32),
+            Err(DistillationError::NotDistillable)
+        );
+        assert_eq!(
+            plan_distillation(DistillationProtocol::Bbpssw, 0.3, 0.9, 32),
+            Err(DistillationError::NotDistillable)
+        );
+    }
+
+    #[test]
+    fn plan_rejects_unreachable_target() {
+        // BBPSSW cannot reach 1.0 exactly from below in finite rounds.
+        assert_eq!(
+            plan_distillation(DistillationProtocol::Bbpssw, 0.8, 1.0, 8),
+            Err(DistillationError::TargetUnreachable)
+        );
+    }
+
+    #[test]
+    fn overhead_factor_monotone_in_target() {
+        let d1 = overhead_factor(DistillationProtocol::Bbpssw, 0.8, 0.85).unwrap();
+        let d2 = overhead_factor(DistillationProtocol::Bbpssw, 0.8, 0.95).unwrap();
+        let d3 = overhead_factor(DistillationProtocol::Bbpssw, 0.8, 0.99).unwrap();
+        assert!(d1 <= d2 && d2 <= d3, "{d1} {d2} {d3}");
+        assert!(overhead_factor(DistillationProtocol::Bbpssw, 0.4, 0.9).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Fidelity measures.
+//!
+//! Fidelity (Jozsa [18] in the paper's bibliography) quantifies how close a
+//! possibly-noisy state is to the desired one. Three cases are needed by the
+//! workspace and provided here:
+//!
+//! * pure vs pure: `F = |⟨ψ|φ⟩|²`,
+//! * pure vs mixed: `F = ⟨ψ|ρ|ψ⟩`,
+//! * Werner vs Werner with the same target Bell state: closed form.
+
+use crate::bell::BellState;
+use crate::density::DensityMatrix;
+use crate::state::StateVector;
+
+/// Fidelity between two pure states, `|⟨a|b⟩|²`.
+pub fn fidelity_pure_pure(a: &StateVector, b: &StateVector) -> f64 {
+    a.fidelity(b)
+}
+
+/// Fidelity between a pure state and a density matrix, `⟨ψ|ρ|ψ⟩`.
+pub fn fidelity_pure_mixed(psi: &StateVector, rho: &DensityMatrix) -> f64 {
+    rho.fidelity_with_pure(psi)
+}
+
+/// The fidelity of a Bell-pair density matrix with the ideal `|Φ⁺⟩` target.
+pub fn bell_pair_fidelity(rho: &DensityMatrix) -> f64 {
+    rho.fidelity_with_pure(&BellState::PhiPlus.state_vector())
+}
+
+/// Classify a fidelity value into the qualitative bands used in experiment
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityBand {
+    /// `F ≥ 0.99`: effectively ideal.
+    Excellent,
+    /// `0.9 ≤ F < 0.99`: usable without distillation for many applications.
+    Good,
+    /// `0.5 < F < 0.9`: distillable (above the 1/2 threshold for Werner
+    /// states).
+    Distillable,
+    /// `F ≤ 0.5`: not distillable by the standard recurrence protocols.
+    Unusable,
+}
+
+/// Band classification for a fidelity value.
+pub fn classify(fidelity: f64) -> FidelityBand {
+    if fidelity >= 0.99 {
+        FidelityBand::Excellent
+    } else if fidelity >= 0.9 {
+        FidelityBand::Good
+    } else if fidelity > 0.5 {
+        FidelityBand::Distillable
+    } else {
+        FidelityBand::Unusable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::werner_state;
+    use crate::complex::Complex;
+
+    #[test]
+    fn pure_pure_fidelity() {
+        let zero = StateVector::zero(1);
+        let one = StateVector::qubit(Complex::ZERO, Complex::ONE);
+        assert!((fidelity_pure_pure(&zero, &zero) - 1.0).abs() < 1e-12);
+        assert!(fidelity_pure_pure(&zero, &one) < 1e-12);
+    }
+
+    #[test]
+    fn pure_mixed_fidelity_for_werner() {
+        for &f in &[0.25, 0.6, 0.85, 1.0] {
+            let rho = werner_state(f);
+            let target = BellState::PhiPlus.state_vector();
+            assert!((fidelity_pure_mixed(&target, &rho) - f).abs() < 1e-12);
+            assert!((bell_pair_fidelity(&rho) - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classification_bands() {
+        assert_eq!(classify(1.0), FidelityBand::Excellent);
+        assert_eq!(classify(0.95), FidelityBand::Good);
+        assert_eq!(classify(0.7), FidelityBand::Distillable);
+        assert_eq!(classify(0.5), FidelityBand::Unusable);
+        assert_eq!(classify(0.1), FidelityBand::Unusable);
+    }
+}

@@ -1,0 +1,166 @@
+//! Single-qubit gate matrices.
+//!
+//! A single-qubit gate is a 2×2 unitary. Teleportation and swapping need
+//! only the Hadamard, the Paulis and (as two-qubit operations applied by
+//! [`crate::state::StateVector::apply_cnot`]) the CNOT.
+
+use crate::complex::Complex;
+
+/// A 2×2 complex matrix, row-major: `[[a, b], [c, d]]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gate {
+    /// Matrix entries `[row][col]`.
+    pub m: [[Complex; 2]; 2],
+}
+
+impl Gate {
+    /// Construct from rows.
+    pub const fn new(m: [[Complex; 2]; 2]) -> Self {
+        Gate { m }
+    }
+
+    /// Identity.
+    pub fn identity() -> Self {
+        Gate::new([[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]])
+    }
+
+    /// Pauli-X (bit flip).
+    pub fn x() -> Self {
+        Gate::new([[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]])
+    }
+
+    /// Pauli-Y.
+    pub fn y() -> Self {
+        Gate::new([
+            [Complex::ZERO, Complex::new(0.0, -1.0)],
+            [Complex::new(0.0, 1.0), Complex::ZERO],
+        ])
+    }
+
+    /// Pauli-Z (phase flip).
+    pub fn z() -> Self {
+        Gate::new([
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::real(-1.0)],
+        ])
+    }
+
+    /// Hadamard.
+    pub fn h() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Gate::new([
+            [Complex::real(s), Complex::real(s)],
+            [Complex::real(s), Complex::real(-s)],
+        ])
+    }
+
+    /// Phase gate S = diag(1, i).
+    pub fn s() -> Self {
+        Gate::new([[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]])
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Gate) -> Gate {
+        let mut out = [[Complex::ZERO; 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                for k in 0..2 {
+                    *cell += self.m[i][k] * other.m[k][j];
+                }
+            }
+        }
+        Gate::new(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Gate {
+        Gate::new([
+            [self.m[0][0].conj(), self.m[1][0].conj()],
+            [self.m[0][1].conj(), self.m[1][1].conj()],
+        ])
+    }
+
+    /// True if this matrix is unitary to within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        let id = Gate::identity();
+        (0..2).all(|i| (0..2).all(|j| p.m[i][j].approx_eq(id.m[i][j], eps)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for g in [
+            Gate::identity(),
+            Gate::x(),
+            Gate::y(),
+            Gate::z(),
+            Gate::h(),
+            Gate::s(),
+        ] {
+            assert!(g.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // X² = Y² = Z² = I, and XZ = -iY.
+        let id = Gate::identity();
+        assert_eq!(Gate::x().matmul(&Gate::x()), id);
+        assert_eq!(Gate::z().matmul(&Gate::z()), id);
+        let xz = Gate::x().matmul(&Gate::z());
+        let minus_i_y = Gate::new([
+            [
+                Gate::y().m[0][0] * Complex::new(0.0, -1.0),
+                Gate::y().m[0][1] * Complex::new(0.0, -1.0),
+            ],
+            [
+                Gate::y().m[1][0] * Complex::new(0.0, -1.0),
+                Gate::y().m[1][1] * Complex::new(0.0, -1.0),
+            ],
+        ]);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(xz.m[i][j].approx_eq(minus_i_y.m[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_is_involutive() {
+        let hh = Gate::h().matmul(&Gate::h());
+        let id = Gate::identity();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(hh.m[i][j].approx_eq(id.m[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let ss = Gate::s().matmul(&Gate::s());
+        let z = Gate::z();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(ss.m[i][j].approx_eq(z.m[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_of_s_is_inverse() {
+        let p = Gate::s().matmul(&Gate::s().dagger());
+        assert!(p.is_unitary(1e-12));
+        let id = Gate::identity();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(p.m[i][j].approx_eq(id.m[i][j], 1e-12));
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # qnet-quantum — quantum-state substrate
+//!
+//! The paper's protocol layer treats Bell pairs as opaque, countable
+//! resources characterised by a fidelity, a distillation overhead `D`, a loss
+//! rate `L` and a QEC overhead `R`. This crate provides the quantum-mechanical
+//! machinery *underneath* those abstractions, so that the abstractions used
+//! by `qnet-core` are validated against real state evolution rather than
+//! assumed:
+//!
+//! * [`complex`], [`state`], [`gates`], [`density`] — a small, exact
+//!   state-vector and density-matrix simulator for the handful of qubits
+//!   involved in teleportation and swapping (Figures 1–3 of the paper),
+//! * [`bell`] — Bell states and Werner states (the standard noise model for
+//!   imperfect Bell pairs),
+//! * [`fidelity`] — Jozsa fidelity between states,
+//! * [`teleport`] — the teleportation protocol of Fig. 1, including the
+//!   2-classical-bit correction step,
+//! * [`swap`] — the entanglement-swapping operation of Fig. 2 and the
+//!   resulting fidelity when Werner pairs are swapped,
+//! * [`distill`] — BBPSSW/DEJMPS purification recurrences and the expected
+//!   distillation overhead `D` used throughout §3–§5,
+//! * [`decoherence`] — exponential fidelity decay in quantum memories and
+//!   cutoff policies,
+//! * [`qec`] — a simple quantum-error-correction overhead model (`R` physical
+//!   qubits per logical qubit, §3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bell;
+pub mod complex;
+pub mod decoherence;
+pub mod density;
+pub mod distill;
+pub mod fidelity;
+pub mod gates;
+pub mod qec;
+pub mod state;
+pub mod swap;
+pub mod teleport;
+
+pub use bell::{BellState, werner_state};
+pub use complex::Complex;
+pub use density::DensityMatrix;
+pub use distill::{DistillationProtocol, DistillationStep};
+pub use state::StateVector;

@@ -1,0 +1,155 @@
+//! Quantum error correction overhead model.
+//!
+//! The paper's §3.2 observes that QEC can be folded into the LP simply by
+//! *thinning* the generation rate: if the code uses `R` physical qubits per
+//! logical qubit, the effective logical generation rate is `g(x, y) / R`.
+//! This module supplies a small parametric model of `R` and of the logical
+//! error rate, so the experiments can sweep realistic overheads rather than
+//! guessing a constant.
+//!
+//! The model is the standard surface-code scaling: a distance-`d` (rotated)
+//! surface code uses `d²` data qubits plus `d² − 1` ancillas (≈ `2d²`
+//! physical qubits per logical qubit), and suppresses the logical error rate
+//! as `p_L ≈ A·(p/p_th)^{⌈d/2⌉}`.
+
+use serde::{Deserialize, Serialize};
+
+/// A QEC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QecCode {
+    /// Code distance (odd, ≥ 1; distance 1 means "no encoding").
+    pub distance: u32,
+    /// Physical error probability per operation.
+    pub physical_error_rate: f64,
+    /// Threshold error rate of the code family.
+    pub threshold: f64,
+}
+
+impl QecCode {
+    /// The trivial "no QEC" configuration (`R = 1`).
+    pub fn unencoded(physical_error_rate: f64) -> Self {
+        QecCode {
+            distance: 1,
+            physical_error_rate,
+            threshold: 0.01,
+        }
+    }
+
+    /// A surface-code-like configuration at the given distance.
+    ///
+    /// # Panics
+    /// Panics if the distance is even or zero.
+    pub fn surface(distance: u32, physical_error_rate: f64) -> Self {
+        assert!(distance >= 1 && distance % 2 == 1, "distance must be odd and ≥ 1");
+        QecCode {
+            distance,
+            physical_error_rate,
+            threshold: 0.01,
+        }
+    }
+
+    /// Physical qubits per logical qubit — the paper's `R`.
+    pub fn overhead_factor(&self) -> f64 {
+        if self.distance <= 1 {
+            1.0
+        } else {
+            2.0 * (self.distance as f64).powi(2)
+        }
+    }
+
+    /// Approximate logical error rate per logical operation.
+    pub fn logical_error_rate(&self) -> f64 {
+        if self.distance <= 1 {
+            return self.physical_error_rate.clamp(0.0, 1.0);
+        }
+        let ratio = self.physical_error_rate / self.threshold;
+        let exponent = self.distance.div_ceil(2);
+        (0.1 * ratio.powi(exponent as i32)).clamp(0.0, 1.0)
+    }
+
+    /// The paper's §3.2 rate thinning: the logical generation rate available
+    /// when raw pairs are generated at `raw_rate`.
+    pub fn thinned_rate(&self, raw_rate: f64) -> f64 {
+        raw_rate / self.overhead_factor()
+    }
+
+    /// The smallest odd distance whose logical error rate is at or below
+    /// `target`, up to `max_distance`; `None` if even `max_distance` cannot
+    /// reach it (e.g. operating above threshold).
+    pub fn distance_for_target(
+        physical_error_rate: f64,
+        target: f64,
+        max_distance: u32,
+    ) -> Option<u32> {
+        let mut d = 1;
+        while d <= max_distance {
+            let code = QecCode::surface(d, physical_error_rate);
+            if code.logical_error_rate() <= target {
+                return Some(d);
+            }
+            d += 2;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unencoded_has_unit_overhead() {
+        let c = QecCode::unencoded(1e-3);
+        assert_eq!(c.overhead_factor(), 1.0);
+        assert_eq!(c.logical_error_rate(), 1e-3);
+        assert_eq!(c.thinned_rate(10.0), 10.0);
+    }
+
+    #[test]
+    fn overhead_grows_quadratically() {
+        let d3 = QecCode::surface(3, 1e-3);
+        let d5 = QecCode::surface(5, 1e-3);
+        let d7 = QecCode::surface(7, 1e-3);
+        assert_eq!(d3.overhead_factor(), 18.0);
+        assert_eq!(d5.overhead_factor(), 50.0);
+        assert_eq!(d7.overhead_factor(), 98.0);
+        assert!(d7.thinned_rate(98.0) - 1.0 < 1e-12);
+    }
+
+    #[test]
+    fn below_threshold_logical_error_falls_with_distance() {
+        let rates: Vec<f64> = [3u32, 5, 7, 9]
+            .iter()
+            .map(|&d| QecCode::surface(d, 1e-3).logical_error_rate())
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] < w[0], "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn above_threshold_distance_does_not_help() {
+        let d3 = QecCode::surface(3, 0.02).logical_error_rate();
+        let d9 = QecCode::surface(9, 0.02).logical_error_rate();
+        assert!(d9 >= d3);
+        assert_eq!(QecCode::distance_for_target(0.02, 1e-9, 31), None);
+    }
+
+    #[test]
+    fn distance_for_target_finds_minimal_distance() {
+        let d = QecCode::distance_for_target(1e-3, 1e-6, 31).unwrap();
+        assert!(d % 2 == 1);
+        let code = QecCode::surface(d, 1e-3);
+        assert!(code.logical_error_rate() <= 1e-6);
+        if d > 1 {
+            let smaller = QecCode::surface(d - 2, 1e-3);
+            assert!(smaller.logical_error_rate() > 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_distance_panics() {
+        let _ = QecCode::surface(4, 1e-3);
+    }
+}

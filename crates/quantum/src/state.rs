@@ -1,0 +1,408 @@
+//! Pure-state (state-vector) simulation of a few qubits.
+//!
+//! The amplitudes of an `n`-qubit state are stored as a dense vector of
+//! length `2^n`. Qubit `k` corresponds to bit `k` of the basis-state index
+//! (bit 0 is the least-significant bit), so basis state `|q_{n-1} … q_1 q_0⟩`
+//! has index `Σ q_k · 2^k`.
+//!
+//! This simulator is intentionally small: teleportation needs 3 qubits and
+//! entanglement swapping needs 4, so clarity is preferred over the
+//! bit-twiddling optimisations a general-purpose simulator would use.
+
+use crate::complex::Complex;
+use crate::gates::Gate;
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩` on `qubits` qubits.
+    ///
+    /// # Panics
+    /// Panics if `qubits` is 0 or large enough to overflow the vector
+    /// (more than 20 qubits is refused as a guard against accidents).
+    pub fn zero(qubits: usize) -> Self {
+        assert!(qubits > 0, "a state needs at least one qubit");
+        assert!(qubits <= 20, "refusing to allocate > 2^20 amplitudes");
+        let mut amplitudes = vec![Complex::ZERO; 1 << qubits];
+        amplitudes[0] = Complex::ONE;
+        StateVector { qubits, amplitudes }
+    }
+
+    /// A single-qubit state `α|0⟩ + β|1⟩` (normalised on construction).
+    ///
+    /// # Panics
+    /// Panics if both amplitudes are (numerically) zero.
+    pub fn qubit(alpha: Complex, beta: Complex) -> Self {
+        let norm = (alpha.norm_sqr() + beta.norm_sqr()).sqrt();
+        assert!(norm > 1e-12, "cannot normalise the zero vector");
+        StateVector {
+            qubits: 1,
+            amplitudes: vec![alpha.scale(1.0 / norm), beta.scale(1.0 / norm)],
+        }
+    }
+
+    /// Construct from raw amplitudes (length must be a power of two ≥ 2);
+    /// the state is normalised.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        let len = amplitudes.len();
+        assert!(len >= 2 && len.is_power_of_two(), "length must be a power of two ≥ 2");
+        let qubits = len.trailing_zeros() as usize;
+        let mut sv = StateVector { qubits, amplitudes };
+        sv.normalize();
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubits
+    }
+
+    /// The amplitude of basis state `index`.
+    pub fn amplitude(&self, index: usize) -> Complex {
+        self.amplitudes[index]
+    }
+
+    /// All amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// The probability of observing basis state `index` if all qubits were
+    /// measured.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// Sum of all probabilities (1 for a normalised state).
+    pub fn total_probability(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Normalise in place.
+    pub fn normalize(&mut self) {
+        let total = self.total_probability();
+        assert!(total > 1e-300, "cannot normalise the zero vector");
+        let k = 1.0 / total.sqrt();
+        for a in &mut self.amplitudes {
+            *a = a.scale(k);
+        }
+    }
+
+    /// Tensor product `self ⊗ other`.
+    ///
+    /// The qubits of `self` keep their indices `0..self.n`; the qubits of
+    /// `other` are shifted up to `self.n..self.n + other.n`.
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        let qubits = self.qubits + other.qubits;
+        assert!(qubits <= 20, "tensor product would exceed 20 qubits");
+        let mut amplitudes = vec![Complex::ZERO; 1 << qubits];
+        for (j, &b) in other.amplitudes.iter().enumerate() {
+            for (i, &a) in self.amplitudes.iter().enumerate() {
+                amplitudes[(j << self.qubits) | i] = a * b;
+            }
+        }
+        StateVector { qubits, amplitudes }
+    }
+
+    /// Apply a single-qubit gate to qubit `target`.
+    pub fn apply_gate(&mut self, gate: &Gate, target: usize) {
+        assert!(target < self.qubits, "gate target out of range");
+        let bit = 1usize << target;
+        for base in 0..self.amplitudes.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = self.amplitudes[i0];
+            let a1 = self.amplitudes[i1];
+            self.amplitudes[i0] = gate.m[0][0] * a0 + gate.m[0][1] * a1;
+            self.amplitudes[i1] = gate.m[1][0] * a0 + gate.m[1][1] * a1;
+        }
+    }
+
+    /// Apply a CNOT with the given control and target qubits.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.qubits && target < self.qubits, "CNOT qubit out of range");
+        assert_ne!(control, target, "CNOT control and target must differ");
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for i in 0..self.amplitudes.len() {
+            // Swap amplitudes of |…c=1…t=0…⟩ and |…c=1…t=1…⟩ exactly once.
+            if i & cbit != 0 && i & tbit == 0 {
+                self.amplitudes.swap(i, i | tbit);
+            }
+        }
+    }
+
+    /// Apply a controlled-Z between two qubits (symmetric in its arguments).
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.qubits && b < self.qubits, "CZ qubit out of range");
+        assert_ne!(a, b, "CZ qubits must differ");
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amplitudes.len() {
+            if i & abit != 0 && i & bbit != 0 {
+                self.amplitudes[i] = -self.amplitudes[i];
+            }
+        }
+    }
+
+    /// The probability that measuring qubit `target` yields 1.
+    pub fn probability_of_one(&self, target: usize) -> f64 {
+        assert!(target < self.qubits);
+        let bit = 1usize << target;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Measure qubit `target` in the computational basis, collapsing the
+    /// state. Returns the observed bit.
+    pub fn measure(&mut self, target: usize, rng: &mut impl Rng) -> u8 {
+        let p1 = self.probability_of_one(target);
+        let outcome = if rng.gen::<f64>() < p1 { 1u8 } else { 0u8 };
+        self.collapse(target, outcome);
+        outcome
+    }
+
+    /// Project qubit `target` onto the given outcome and renormalise.
+    ///
+    /// # Panics
+    /// Panics if the outcome has zero probability (the projection would be
+    /// the zero vector).
+    pub fn collapse(&mut self, target: usize, outcome: u8) {
+        assert!(target < self.qubits);
+        let bit = 1usize << target;
+        for (i, a) in self.amplitudes.iter_mut().enumerate() {
+            let this_bit = if i & bit != 0 { 1 } else { 0 };
+            if this_bit != outcome {
+                *a = Complex::ZERO;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.qubits, other.qubits, "dimension mismatch");
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amplitudes.iter().zip(other.amplitudes.iter()) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another pure state.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// The reduced single-qubit state of `target`, as the 2×2 density matrix
+    /// entries `[[ρ00, ρ01], [ρ10, ρ11]]`, obtained by tracing out all other
+    /// qubits.
+    pub fn reduced_single_qubit(&self, target: usize) -> [[Complex; 2]; 2] {
+        assert!(target < self.qubits);
+        let bit = 1usize << target;
+        let mut rho = [[Complex::ZERO; 2]; 2];
+        for (i, &a) in self.amplitudes.iter().enumerate() {
+            for (j, &b) in self.amplitudes.iter().enumerate() {
+                // Keep only index pairs identical outside the target qubit.
+                if (i & !bit) != (j & !bit) {
+                    continue;
+                }
+                let qi = usize::from(i & bit != 0);
+                let qj = usize::from(j & bit != 0);
+                rho[qi][qj] += a * b.conj();
+            }
+        }
+        rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_state_shape() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.qubit_count(), 3);
+        assert_eq!(s.amplitudes().len(), 8);
+        assert_eq!(s.probability(0), 1.0);
+        assert!((s.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubit_constructor_normalises() {
+        let s = StateVector::qubit(Complex::real(3.0), Complex::real(4.0));
+        assert!((s.probability(0) - 0.36).abs() < 1e-12);
+        assert!((s.probability(1) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_amplitudes_panic() {
+        let _ = StateVector::qubit(Complex::ZERO, Complex::ZERO);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut s = StateVector::zero(1);
+        s.apply_gate(&Gate::h(), 0);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_target_only() {
+        let mut s = StateVector::zero(3);
+        s.apply_gate(&Gate::x(), 1);
+        assert!((s.probability(0b010) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_entangles() {
+        // H on qubit 0, then CNOT 0→1 gives the Bell state (|00⟩+|11⟩)/√2.
+        let mut s = StateVector::zero(2);
+        s.apply_gate(&Gate::h(), 0);
+        s.apply_cnot(0, 1);
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01) < 1e-12);
+        assert!(s.probability(0b10) < 1e-12);
+    }
+
+    #[test]
+    fn cz_adds_phase_only_on_11() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(&Gate::h(), 0);
+        s.apply_gate(&Gate::h(), 1);
+        s.apply_cz(0, 1);
+        assert!(s.amplitude(0b11).approx_eq(Complex::real(-0.5), 1e-12));
+        assert!(s.amplitude(0b00).approx_eq(Complex::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn tensor_product_indices() {
+        // |1⟩ ⊗ |0⟩: qubit 0 comes from the left factor.
+        let one = StateVector::qubit(Complex::ZERO, Complex::ONE);
+        let zero = StateVector::zero(1);
+        let t = one.tensor(&zero);
+        assert_eq!(t.qubit_count(), 2);
+        assert!((t.probability(0b01) - 1.0).abs() < 1e-12);
+        let t2 = zero.tensor(&one);
+        assert!((t2.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_match_probabilities() {
+        let mut counts = [0u32; 2];
+        let mut r = rng();
+        for _ in 0..4000 {
+            let mut s = StateVector::zero(1);
+            s.apply_gate(&Gate::h(), 0);
+            let m = s.measure(0, &mut r);
+            counts[m as usize] += 1;
+        }
+        let frac1 = counts[1] as f64 / 4000.0;
+        assert!((frac1 - 0.5).abs() < 0.05, "frac1 {frac1}");
+    }
+
+    #[test]
+    fn measurement_collapses_entangled_partner() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let mut s = StateVector::zero(2);
+            s.apply_gate(&Gate::h(), 0);
+            s.apply_cnot(0, 1);
+            let m0 = s.measure(0, &mut r);
+            // After measuring qubit 0, qubit 1 must be perfectly correlated.
+            let p1 = s.probability_of_one(1);
+            if m0 == 1 {
+                assert!((p1 - 1.0).abs() < 1e-9);
+            } else {
+                assert!(p1 < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_zero_probability_panics() {
+        let s = StateVector::zero(1);
+        let result = std::panic::catch_unwind(move || {
+            let mut s = s;
+            s.collapse(0, 1);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let zero = StateVector::zero(1);
+        let one = StateVector::qubit(Complex::ZERO, Complex::ONE);
+        assert!(zero.fidelity(&one) < 1e-12);
+        assert!((zero.fidelity(&zero) - 1.0).abs() < 1e-12);
+        let mut plus = StateVector::zero(1);
+        plus.apply_gate(&Gate::h(), 0);
+        assert!((zero.fidelity(&plus) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_state_of_bell_pair_is_maximally_mixed() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(&Gate::h(), 0);
+        s.apply_cnot(0, 1);
+        let rho = s.reduced_single_qubit(0);
+        assert!(rho[0][0].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(rho[1][1].approx_eq(Complex::real(0.5), 1e-12));
+        assert!(rho[0][1].approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn reduced_state_of_product_state_is_pure() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate(&Gate::h(), 1);
+        let rho = s.reduced_single_qubit(1);
+        assert!(rho[0][1].approx_eq(Complex::real(0.5), 1e-12));
+        let purity = (rho[0][0] * rho[0][0]
+            + rho[0][1] * rho[1][0]
+            + rho[1][0] * rho[0][1]
+            + rho[1][1] * rho[1][1])
+            .re;
+        assert!((purity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_amplitudes_normalises() {
+        let s = StateVector::from_amplitudes(vec![
+            Complex::real(1.0),
+            Complex::real(1.0),
+            Complex::real(1.0),
+            Complex::real(1.0),
+        ]);
+        assert_eq!(s.qubit_count(), 2);
+        assert!((s.probability(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_amplitudes_rejects_non_power_of_two() {
+        let _ = StateVector::from_amplitudes(vec![Complex::ONE; 3]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Quantum teleportation (Figure 1 of the paper).
+//!
+//! The origin holds a message qubit `|ψ⟩ = α|0⟩ + β|1⟩` and one half of a
+//! Bell pair whose other half sits at the destination. The origin applies a
+//! CNOT (message → its Bell half) and a Hadamard on the message, measures
+//! both qubits, and transmits the two classical bits. The destination applies
+//! `X^{b₂} Z^{b₁}` and recovers `|ψ⟩` exactly — *if* the shared pair really
+//! was `|Φ⁺⟩`. With a noisy (Werner) pair the recovered state's fidelity
+//! degrades; [`teleport_over_werner`] measures by how much.
+
+use crate::bell::{BellState, werner_state};
+use crate::complex::Complex;
+use crate::gates::Gate;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// The outcome of a single teleportation run.
+#[derive(Debug, Clone)]
+pub struct TeleportOutcome {
+    /// The two classical bits sent from origin to destination
+    /// (measurement of the message qubit, measurement of the origin's Bell
+    /// half).
+    pub classical_bits: (u8, u8),
+    /// Fidelity of the destination qubit's state with the original message
+    /// state after corrections.
+    pub fidelity: f64,
+}
+
+/// Teleport the single-qubit state `α|0⟩ + β|1⟩` over an ideal `|Φ⁺⟩` pair.
+pub fn teleport_ideal(alpha: Complex, beta: Complex, rng: &mut impl Rng) -> TeleportOutcome {
+    teleport_over_bell_state(alpha, beta, BellState::PhiPlus, rng)
+}
+
+/// Teleport over a specific (pure) Bell state. The destination *always*
+/// applies the `|Φ⁺⟩` corrections, so teleporting over a different Bell state
+/// models an un-heralded Pauli error on the channel.
+pub fn teleport_over_bell_state(
+    alpha: Complex,
+    beta: Complex,
+    channel: BellState,
+    rng: &mut impl Rng,
+) -> TeleportOutcome {
+    let message = StateVector::qubit(alpha, beta);
+    // Qubit layout: 0 = message (origin), 1 = origin's Bell half,
+    // 2 = destination's Bell half.
+    let mut system = message.tensor(&channel.state_vector());
+
+    // Origin local operations (Fig. 1b): CNOT message→half, H on message.
+    system.apply_cnot(0, 1);
+    system.apply_gate(&Gate::h(), 0);
+
+    // Origin measurement (Fig. 1c).
+    let b1 = system.measure(0, rng);
+    let b2 = system.measure(1, rng);
+
+    // Destination repair (Fig. 1d): X^{b2} then Z^{b1} on qubit 2.
+    if b2 == 1 {
+        system.apply_gate(&Gate::x(), 2);
+    }
+    if b1 == 1 {
+        system.apply_gate(&Gate::z(), 2);
+    }
+
+    // Compare the destination qubit with the original message state.
+    let rho = system.reduced_single_qubit(2);
+    let target = StateVector::qubit(alpha, beta);
+    let f = (target.amplitude(0).conj()
+        * (rho[0][0] * target.amplitude(0) + rho[0][1] * target.amplitude(1))
+        + target.amplitude(1).conj()
+            * (rho[1][0] * target.amplitude(0) + rho[1][1] * target.amplitude(1)))
+    .re;
+
+    TeleportOutcome {
+        classical_bits: (b1, b2),
+        fidelity: f,
+    }
+}
+
+/// Teleport over a Werner channel of the given fidelity, by Monte-Carlo
+/// unravelling: a Werner state of fidelity `F` is the mixture that is `|Φ⁺⟩`
+/// with probability `F` and each other Bell state with probability
+/// `(1-F)/3`, so a run samples which Bell state the channel "really" was.
+pub fn teleport_over_werner(
+    alpha: Complex,
+    beta: Complex,
+    channel_fidelity: f64,
+    rng: &mut impl Rng,
+) -> TeleportOutcome {
+    let f = channel_fidelity.clamp(0.25, 1.0);
+    let u: f64 = rng.gen();
+    let channel = if u < f {
+        BellState::PhiPlus
+    } else {
+        let others = [BellState::PhiMinus, BellState::PsiPlus, BellState::PsiMinus];
+        let rest = (u - f) / ((1.0 - f) / 3.0);
+        others[(rest as usize).min(2)]
+    };
+    teleport_over_bell_state(alpha, beta, channel, rng)
+}
+
+/// The analytical average fidelity of teleporting a uniformly random pure
+/// qubit over a Werner channel of fidelity `F`:
+/// `F_avg = (2F + 1) / 3` (the standard channel-fidelity ↔ entanglement-
+/// fidelity relation for a depolarising-type channel).
+pub fn average_teleport_fidelity(channel_fidelity: f64) -> f64 {
+    let f = channel_fidelity.clamp(0.25, 1.0);
+    (2.0 * f + 1.0) / 3.0
+}
+
+/// Verify that the Werner density matrix used for sampling is consistent
+/// with the channel fidelity (used in tests and the quantum examples).
+pub fn werner_channel_fidelity(channel_fidelity: f64) -> f64 {
+    werner_state(channel_fidelity).fidelity_with_pure(&BellState::PhiPlus.state_vector())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn ideal_teleportation_is_perfect() {
+        let mut r = rng();
+        // A handful of message states, including non-trivial phases.
+        let cases = [
+            (Complex::ONE, Complex::ZERO),
+            (Complex::ZERO, Complex::ONE),
+            (Complex::real(0.6), Complex::real(0.8)),
+            (Complex::real(0.6), Complex::new(0.0, 0.8)),
+            (Complex::new(0.5, 0.5), Complex::new(0.5, -0.5)),
+        ];
+        for (a, b) in cases {
+            for _ in 0..8 {
+                let out = teleport_ideal(a, b, &mut r);
+                assert!(
+                    (out.fidelity - 1.0).abs() < 1e-9,
+                    "fidelity {} for ({a}, {b})",
+                    out.fidelity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classical_bits_are_uniformly_distributed() {
+        let mut r = rng();
+        let mut counts = [0u32; 4];
+        for _ in 0..2000 {
+            let out = teleport_ideal(Complex::real(0.6), Complex::real(0.8), &mut r);
+            counts[(out.classical_bits.0 * 2 + out.classical_bits.1) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 2000.0;
+            assert!((frac - 0.25).abs() < 0.05, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn wrong_bell_state_breaks_some_messages() {
+        let mut r = rng();
+        // Teleporting |0⟩ over Ψ+ without heralding flips the output to |1⟩.
+        let out = teleport_over_bell_state(Complex::ONE, Complex::ZERO, BellState::PsiPlus, &mut r);
+        assert!(out.fidelity < 0.01);
+        // But |+⟩ = (|0⟩+|1⟩)/√2 survives an X error.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let out2 = teleport_over_bell_state(
+            Complex::real(s),
+            Complex::real(s),
+            BellState::PsiPlus,
+            &mut r,
+        );
+        assert!((out2.fidelity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn werner_channel_average_fidelity_matches_formula() {
+        let mut r = rng();
+        let channel_f = 0.85;
+        // Average over Monte-Carlo runs of a fixed "typical" message state.
+        // The analytical (2F+1)/3 formula is for Haar-average messages; a
+        // fixed equatorial state has the same average under Pauli noise.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                teleport_over_werner(Complex::real(s), Complex::new(0.0, s), channel_f, &mut r)
+                    .fidelity
+            })
+            .sum::<f64>()
+            / n as f64;
+        let expected = average_teleport_fidelity(channel_f);
+        assert!(
+            (mean - expected).abs() < 0.03,
+            "mean {mean} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn perfect_werner_channel_is_ideal() {
+        let mut r = rng();
+        for _ in 0..16 {
+            let out = teleport_over_werner(Complex::real(0.6), Complex::real(0.8), 1.0, &mut r);
+            assert!((out.fidelity - 1.0).abs() < 1e-9);
+        }
+        assert!((average_teleport_fidelity(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn werner_channel_consistency_helper() {
+        assert!((werner_channel_fidelity(0.75) - 0.75).abs() < 1e-12);
+    }
+}

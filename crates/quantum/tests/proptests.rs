@@ -1,0 +1,175 @@
+//! Property-based tests of the quantum substrate: unitarity/normalisation
+//! invariants, protocol correctness for arbitrary message states, and
+//! monotonicity of the noise/distillation models.
+
+use proptest::prelude::*;
+use qnet_quantum::bell::{werner_state, BellState};
+use qnet_quantum::complex::Complex;
+use qnet_quantum::decoherence::DecoherenceModel;
+use qnet_quantum::density::DensityMatrix;
+use qnet_quantum::distill::{distill_step, overhead_factor, DistillationProtocol};
+use qnet_quantum::gates::Gate;
+use qnet_quantum::state::StateVector;
+use qnet_quantum::swap::{chain_swap_fidelity, swap_werner_fidelity};
+use qnet_quantum::teleport::{teleport_ideal, teleport_over_werner};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Strategy for a normalisable single-qubit state (α, β not both ~zero).
+fn qubit_amplitudes() -> impl Strategy<Value = (Complex, Complex)> {
+    (
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+    )
+        .prop_filter_map("degenerate amplitudes", |(ar, ai, br, bi)| {
+            let alpha = Complex::new(ar, ai);
+            let beta = Complex::new(br, bi);
+            if alpha.norm_sqr() + beta.norm_sqr() > 1e-3 {
+                Some((alpha, beta))
+            } else {
+                None
+            }
+        })
+}
+
+proptest! {
+    /// Applying any sequence of standard gates preserves normalisation.
+    #[test]
+    fn gates_preserve_normalisation(ops in proptest::collection::vec((0usize..5, 0usize..3), 0..40)) {
+        let mut s = StateVector::zero(3);
+        s.apply_gate(&Gate::h(), 0);
+        s.apply_cnot(0, 1);
+        for (which, target) in ops {
+            match which {
+                0 => s.apply_gate(&Gate::h(), target),
+                1 => s.apply_gate(&Gate::x(), target),
+                2 => s.apply_gate(&Gate::z(), target),
+                3 => s.apply_cnot(target, (target + 1) % 3),
+                _ => s.apply_cz(target, (target + 1) % 3),
+            }
+        }
+        prop_assert!((s.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    /// Teleportation over an ideal Bell pair is perfect for *every* message
+    /// state and every measurement outcome.
+    #[test]
+    fn ideal_teleportation_is_always_perfect((alpha, beta) in qubit_amplitudes(), seed in any::<u64>()) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let out = teleport_ideal(alpha, beta, &mut rng);
+        prop_assert!((out.fidelity - 1.0).abs() < 1e-9, "fidelity {}", out.fidelity);
+        prop_assert!(out.classical_bits.0 <= 1 && out.classical_bits.1 <= 1);
+    }
+
+    /// Teleportation fidelity over a Werner channel is always a valid
+    /// probability and perfect channels never degrade the message.
+    #[test]
+    fn werner_teleportation_fidelity_in_range((alpha, beta) in qubit_amplitudes(), f in 0.25f64..1.0, seed in any::<u64>()) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let out = teleport_over_werner(alpha, beta, f, &mut rng);
+        prop_assert!(out.fidelity >= -1e-9 && out.fidelity <= 1.0 + 1e-9);
+        let perfect = teleport_over_werner(alpha, beta, 1.0, &mut rng);
+        prop_assert!((perfect.fidelity - 1.0).abs() < 1e-9);
+    }
+
+    /// The Werner swap formula stays within physical bounds, never exceeds
+    /// either input fidelity, and is symmetric.
+    #[test]
+    fn swap_fidelity_bounds(f1 in 0.25f64..1.0, f2 in 0.25f64..1.0) {
+        let out = swap_werner_fidelity(f1, f2);
+        prop_assert!(out >= 0.25 - 1e-12 && out <= 1.0 + 1e-12);
+        prop_assert!(out <= f1.min(f2) + 1e-12);
+        prop_assert!((out - swap_werner_fidelity(f2, f1)).abs() < 1e-12);
+    }
+
+    /// Chain fidelity is monotonically non-increasing in the chain length.
+    #[test]
+    fn chain_fidelity_monotone(f in 0.25f64..1.0, n in 1usize..12) {
+        prop_assert!(chain_swap_fidelity(f, n + 1) <= chain_swap_fidelity(f, n) + 1e-12);
+        prop_assert!(chain_swap_fidelity(f, n) >= 0.25 - 1e-12);
+    }
+
+    /// One BBPSSW round improves any distillable fidelity (F > 0.5) and its
+    /// success probability is a valid probability.
+    #[test]
+    fn distillation_improves_distillable_pairs(f in 0.501f64..0.999) {
+        let step = distill_step(DistillationProtocol::Bbpssw, f);
+        prop_assert!(step.output_fidelity > f);
+        prop_assert!(step.output_fidelity <= 1.0 + 1e-12);
+        prop_assert!(step.success_probability > 0.0 && step.success_probability <= 1.0);
+    }
+
+    /// The distillation overhead D is ≥ 1, and is monotone in the target
+    /// fidelity whenever both targets are reachable.
+    #[test]
+    fn distillation_overhead_monotone(f_in in 0.6f64..0.95, t1 in 0.7f64..0.99, t2 in 0.7f64..0.99) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        if let (Some(dlo), Some(dhi)) = (
+            overhead_factor(DistillationProtocol::Bbpssw, f_in, lo),
+            overhead_factor(DistillationProtocol::Bbpssw, f_in, hi),
+        ) {
+            prop_assert!(dlo >= 1.0 && dhi >= 1.0);
+            prop_assert!(dhi + 1e-9 >= dlo);
+        }
+    }
+
+    /// Werner states are valid density matrices whose Φ⁺ fidelity equals the
+    /// parameter, and mixing them preserves trace and Hermiticity.
+    #[test]
+    fn werner_states_are_physical(f in 0.25f64..1.0, g in 0.25f64..1.0, w in 0.01f64..0.99) {
+        let a = werner_state(f);
+        let b = werner_state(g);
+        prop_assert!((a.trace().re - 1.0).abs() < 1e-9);
+        prop_assert!(a.is_hermitian(1e-9));
+        let target = BellState::PhiPlus.state_vector();
+        prop_assert!((a.fidelity_with_pure(&target) - f).abs() < 1e-9);
+        let mixed = DensityMatrix::mixture(&[(w, a), (1.0 - w, b)]);
+        prop_assert!((mixed.trace().re - 1.0).abs() < 1e-9);
+        prop_assert!(mixed.is_hermitian(1e-9));
+        let expect = w * f + (1.0 - w) * g;
+        prop_assert!((mixed.fidelity_with_pure(&target) - expect).abs() < 1e-9);
+        prop_assert!(mixed.purity() <= 1.0 + 1e-9 && mixed.purity() >= 0.25 - 1e-9);
+    }
+
+    /// Decoherence never raises fidelity, never drops it below 1/4, and the
+    /// inverse (age-at-fidelity) is consistent with the forward decay.
+    #[test]
+    fn decoherence_decay_bounds(f0 in 0.3f64..1.0, t in 0.0f64..100.0, coherence in 0.1f64..50.0) {
+        let m = DecoherenceModel::with_coherence_time(coherence);
+        let f = m.fidelity_after(f0, t);
+        prop_assert!(f <= f0 + 1e-12);
+        prop_assert!(f >= 0.25 - 1e-12);
+        if let Some(age) = m.age_at_fidelity(f0, 0.5) {
+            if age > 0.0 {
+                prop_assert!((m.fidelity_after(f0, age) - 0.5).abs() < 1e-6);
+            }
+        }
+        prop_assert!(m.survival_probability(t) <= 1.0 && m.survival_probability(t) >= 0.0);
+    }
+
+    /// The reduced single-qubit state of any evolved pure state has unit
+    /// trace and purity in [1/2, 1].
+    #[test]
+    fn reduced_states_are_physical(ops in proptest::collection::vec((0usize..4, 0usize..2), 0..20)) {
+        let mut s = StateVector::zero(2);
+        for (which, target) in ops {
+            match which {
+                0 => s.apply_gate(&Gate::h(), target),
+                1 => s.apply_gate(&Gate::x(), target),
+                2 => s.apply_gate(&Gate::s(), target),
+                _ => s.apply_cnot(target, 1 - target),
+            }
+        }
+        let rho = s.reduced_single_qubit(0);
+        let trace = (rho[0][0] + rho[1][1]).re;
+        prop_assert!((trace - 1.0).abs() < 1e-9);
+        let purity = (rho[0][0] * rho[0][0]
+            + rho[0][1] * rho[1][0]
+            + rho[1][0] * rho[0][1]
+            + rho[1][1] * rho[1][1])
+            .re;
+        prop_assert!(purity >= 0.5 - 1e-9 && purity <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Arrival processes.
+//!
+//! Simulation models frequently need "this happens repeatedly at rate λ"
+//! (Poisson) or "this happens every Δt" (fixed interval). These helpers
+//! produce the next arrival time; the model is responsible for scheduling the
+//! corresponding event.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A Poisson (memoryless) arrival process with a fixed rate in events per
+/// simulated second.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate_per_sec: f64,
+}
+
+impl PoissonProcess {
+    /// Create a process with the given rate (events per second). Rates that
+    /// are zero or negative yield a process that never fires.
+    pub fn new(rate_per_sec: f64) -> Self {
+        PoissonProcess { rate_per_sec }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// True if this process never fires.
+    pub fn is_silent(&self) -> bool {
+        self.rate_per_sec <= 0.0
+    }
+
+    /// Sample the next arrival strictly after `now`, or `None` if the process
+    /// never fires.
+    pub fn next_arrival(&self, now: SimTime, rng: &mut SimRng) -> Option<SimTime> {
+        if self.is_silent() {
+            return None;
+        }
+        let gap = rng.sample_exponential(self.rate_per_sec);
+        if !gap.is_finite() {
+            return None;
+        }
+        Some(now.saturating_add(SimDuration::from_secs_f64(gap)))
+    }
+}
+
+/// A deterministic fixed-interval arrival process.
+#[derive(Debug, Clone)]
+pub struct FixedIntervalProcess {
+    interval: SimDuration,
+}
+
+impl FixedIntervalProcess {
+    /// Create a process that fires every `interval`. A zero interval is
+    /// permitted but the caller must take care to avoid infinite same-time
+    /// loops.
+    pub fn new(interval: SimDuration) -> Self {
+        FixedIntervalProcess { interval }
+    }
+
+    /// Create from a rate in events per second (interval = 1/rate).
+    /// A non-positive rate yields a process that never fires.
+    pub fn from_rate(rate_per_sec: f64) -> Self {
+        if rate_per_sec <= 0.0 {
+            FixedIntervalProcess {
+                interval: SimDuration::MAX,
+            }
+        } else {
+            FixedIntervalProcess {
+                interval: SimDuration::from_secs_f64(1.0 / rate_per_sec),
+            }
+        }
+    }
+
+    /// The interval between arrivals.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The next arrival after `now`, or `None` if the process never fires.
+    pub fn next_arrival(&self, now: SimTime) -> Option<SimTime> {
+        if self.interval == SimDuration::MAX {
+            return None;
+        }
+        Some(now.saturating_add(self.interval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_interarrival_matches_rate() {
+        let p = PoissonProcess::new(10.0);
+        let mut rng = SimRng::new(99);
+        let mut now = SimTime::ZERO;
+        let n = 10_000;
+        for _ in 0..n {
+            now = p.next_arrival(now, &mut rng).unwrap();
+        }
+        let mean_gap = now.as_secs_f64() / n as f64;
+        assert!((mean_gap - 0.1).abs() < 0.01, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn poisson_silent_never_fires() {
+        let p = PoissonProcess::new(0.0);
+        let mut rng = SimRng::new(1);
+        assert!(p.is_silent());
+        assert!(p.next_arrival(SimTime::ZERO, &mut rng).is_none());
+    }
+
+    #[test]
+    fn poisson_arrivals_strictly_progress() {
+        let p = PoissonProcess::new(1000.0);
+        let mut rng = SimRng::new(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let next = p.next_arrival(now, &mut rng).unwrap();
+            assert!(next >= now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn fixed_interval_is_exact() {
+        let p = FixedIntervalProcess::new(SimDuration::from_millis(5));
+        let t1 = p.next_arrival(SimTime::ZERO).unwrap();
+        let t2 = p.next_arrival(t1).unwrap();
+        assert_eq!(t1, SimTime::from_millis(5));
+        assert_eq!(t2, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn fixed_interval_from_rate() {
+        let p = FixedIntervalProcess::from_rate(4.0);
+        assert_eq!(p.interval(), SimDuration::from_millis(250));
+        let silent = FixedIntervalProcess::from_rate(0.0);
+        assert!(silent.next_arrival(SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,244 @@
+//! Simulated time.
+//!
+//! Time is represented as an unsigned 64-bit count of **nanoseconds** since
+//! the start of the simulation. At nanosecond resolution a `u64` covers more
+//! than 580 simulated years, far beyond any experiment in this workspace.
+//! Using an integer (rather than `f64`) keeps event ordering exact and makes
+//! simulations bit-reproducible across platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in nanoseconds from simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in nanoseconds.
+///
+/// `SimDuration` is an alias-like wrapper with the same representation as
+/// [`SimTime`]; the two are kept distinct so that the type system catches
+/// accidental "time + time" arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds of simulated time.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from a floating-point number of seconds, rounding to the
+    /// nearest nanosecond. NaN and negative inputs saturate to zero; values
+    /// too large to represent (including +∞) saturate to [`SimTime::MAX`].
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = (secs * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Time as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier` is
+    /// actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+    /// Construct from floating-point seconds (rounded to nanoseconds;
+    /// negative / non-finite saturates to zero).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(SimTime::from_secs_f64(secs).0)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Duration as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by an integer factor (saturating).
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Scale by a floating-point factor, rounding to nanoseconds.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_nanos(11).as_nanos(), 11);
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn float_conversion_is_close() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_conversion_saturates() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        let d = t - SimTime::from_secs(1);
+        assert_eq!(d, SimDuration::from_millis(500));
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_nanos(3);
+        assert_eq!(u.as_nanos(), 3);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::from_secs(1).saturating_since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(2).mul_f64(0.25);
+        assert_eq!(d, SimDuration::from_millis(500));
+        assert_eq!(SimDuration::from_millis(10).saturating_mul(4), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_nanos(1) > SimDuration::ZERO);
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500000s");
+    }
+}

@@ -1,0 +1,192 @@
+//! Lightweight tracing for simulation models.
+//!
+//! A [`Tracer`] receives structured trace records as the simulation runs.
+//! Production experiment runs use [`NullTracer`] (no overhead); tests and
+//! debugging sessions can use [`MemoryTracer`] to capture records, or
+//! [`StderrTracer`] to print them.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Severity / verbosity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// High-volume, per-event detail.
+    Debug,
+    /// Normal protocol events (swaps, consumptions, generations).
+    Info,
+    /// Unusual but non-fatal conditions (starvation, expiry).
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLevel::Debug => write!(f, "DEBUG"),
+            TraceLevel::Info => write!(f, "INFO"),
+            TraceLevel::Warn => write!(f, "WARN"),
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the record.
+    pub time: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A sink for trace records.
+pub trait Tracer {
+    /// Record a message at the given simulated time and level.
+    fn trace(&mut self, time: SimTime, level: TraceLevel, message: &str);
+
+    /// Whether records at `level` will be kept; models may use this to avoid
+    /// building expensive messages that would be dropped.
+    fn enabled(&self, level: TraceLevel) -> bool {
+        let _ = level;
+        true
+    }
+}
+
+/// A tracer that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn trace(&mut self, _time: SimTime, _level: TraceLevel, _message: &str) {}
+    fn enabled(&self, _level: TraceLevel) -> bool {
+        false
+    }
+}
+
+/// A tracer that stores records in memory (useful in tests).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryTracer {
+    /// Captured records, in arrival order.
+    pub records: Vec<TraceRecord>,
+    /// Minimum level to keep (records below are dropped).
+    pub min_level: Option<TraceLevel>,
+}
+
+impl MemoryTracer {
+    /// Create a tracer that keeps everything.
+    pub fn new() -> Self {
+        MemoryTracer::default()
+    }
+
+    /// Create a tracer that keeps only records at or above `level`.
+    pub fn with_min_level(level: TraceLevel) -> Self {
+        MemoryTracer {
+            records: Vec::new(),
+            min_level: Some(level),
+        }
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate over messages containing `needle`.
+    pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.message.contains(needle))
+    }
+}
+
+impl Tracer for MemoryTracer {
+    fn trace(&mut self, time: SimTime, level: TraceLevel, message: &str) {
+        if let Some(min) = self.min_level {
+            if level < min {
+                return;
+            }
+        }
+        self.records.push(TraceRecord {
+            time,
+            level,
+            message: message.to_owned(),
+        });
+    }
+
+    fn enabled(&self, level: TraceLevel) -> bool {
+        match self.min_level {
+            Some(min) => level >= min,
+            None => true,
+        }
+    }
+}
+
+/// A tracer that prints to standard error, prefixed with the simulated time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrTracer {
+    /// Minimum level to print.
+    pub min_level: TraceLevel,
+}
+
+impl Default for TraceLevel {
+    fn default() -> Self {
+        TraceLevel::Info
+    }
+}
+
+impl Tracer for StderrTracer {
+    fn trace(&mut self, time: SimTime, level: TraceLevel, message: &str) {
+        if level >= self.min_level {
+            eprintln!("[{time} {level}] {message}");
+        }
+    }
+
+    fn enabled(&self, level: TraceLevel) -> bool {
+        level >= self.min_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_tracer_captures_in_order() {
+        let mut t = MemoryTracer::new();
+        t.trace(SimTime::from_secs(1), TraceLevel::Info, "swap at R3");
+        t.trace(SimTime::from_secs(2), TraceLevel::Warn, "starved consumer");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records[0].message, "swap at R3");
+        assert_eq!(t.records[1].level, TraceLevel::Warn);
+        assert_eq!(t.matching("swap").count(), 1);
+    }
+
+    #[test]
+    fn memory_tracer_min_level_filters() {
+        let mut t = MemoryTracer::with_min_level(TraceLevel::Warn);
+        assert!(!t.enabled(TraceLevel::Debug));
+        assert!(t.enabled(TraceLevel::Warn));
+        t.trace(SimTime::ZERO, TraceLevel::Debug, "noise");
+        t.trace(SimTime::ZERO, TraceLevel::Warn, "signal");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records[0].message, "signal");
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        let mut t = NullTracer;
+        assert!(!t.enabled(TraceLevel::Warn));
+        t.trace(SimTime::ZERO, TraceLevel::Info, "dropped");
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+        assert_eq!(format!("{}", TraceLevel::Info), "INFO");
+    }
+}

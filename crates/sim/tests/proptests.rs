@@ -1,0 +1,148 @@
+//! Property-based tests of the simulation substrate: event ordering, time
+//! arithmetic, RNG stream stability and statistics collectors.
+
+use proptest::prelude::*;
+use qnet_sim::event::EventQueue;
+use qnet_sim::rng::SimRng;
+use qnet_sim::stats::{Histogram, RunningStats, TimeWeighted};
+use qnet_sim::time::{SimDuration, SimTime};
+use rand::RngCore;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// insertion order, and same-time events pop in insertion order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_popped_time = None;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last_time);
+            if Some(ev.time) == last_popped_time {
+                // Same timestamp: insertion index must increase.
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < ev.event));
+            } else {
+                seen_at_time.clear();
+            }
+            seen_at_time.push(ev.event);
+            last_time = ev.time;
+            last_popped_time = Some(ev.time);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Popping returns exactly as many events as were scheduled.
+    #[test]
+    fn event_queue_conserves_events(times in proptest::collection::vec(0u64..10_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule_at(SimTime::from_nanos(t), ());
+        }
+        let mut popped = 0usize;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+        prop_assert_eq!(q.scheduled_total(), times.len() as u64);
+    }
+
+    /// Time arithmetic: (t + d) - t == d for values that do not overflow.
+    #[test]
+    fn time_addition_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert!(time.saturating_add(dur) >= time);
+    }
+
+    /// Float/second conversions agree to nanosecond precision for sane spans.
+    #[test]
+    fn time_float_round_trip(secs in 0.0f64..1.0e6) {
+        let t = SimTime::from_secs_f64(secs);
+        prop_assert!((t.as_secs_f64() - secs).abs() < 1e-6);
+    }
+
+    /// Identical seeds give identical streams; derived streams are stable.
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = SimRng::new(seed).derive(&label);
+        let mut b = SimRng::new(seed).derive(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Exponential samples are positive and finite for positive rates.
+    #[test]
+    fn exponential_samples_positive(seed in any::<u64>(), rate in 0.01f64..1000.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            let x = rng.sample_exponential(rate);
+            prop_assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    /// Shuffling preserves the multiset of elements.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut xs in proptest::collection::vec(0u32..1000, 0..64)) {
+        let mut rng = SimRng::new(seed);
+        let mut original = xs.clone();
+        rng.shuffle(&mut xs);
+        original.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(original, xs);
+    }
+
+    /// Running statistics: the mean lies between the minimum and the maximum,
+    /// and the variance is non-negative.
+    #[test]
+    fn running_stats_bounds(xs in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert!(s.variance() >= -1e-9);
+        let min = s.min().unwrap();
+        let max = s.max().unwrap();
+        prop_assert!(min <= max);
+        prop_assert!(s.mean() >= min - 1e-6 && s.mean() <= max + 1e-6);
+    }
+
+    /// Histogram: total count equals the number of observations and the
+    /// quantiles are within the configured range and monotone.
+    #[test]
+    fn histogram_quantiles_monotone(xs in proptest::collection::vec(-10.0f64..10.0, 1..300)) {
+        let mut h = Histogram::new(-5.0, 5.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let q25 = h.quantile(0.25).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q75 = h.quantile(0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-9 && q50 <= q75 + 1e-9);
+        prop_assert!((-5.0..=5.0).contains(&q25) && (-5.0..=5.0).contains(&q75));
+    }
+
+    /// Time-weighted mean of a piecewise-constant signal is bounded by the
+    /// extremes of the recorded values.
+    #[test]
+    fn time_weighted_mean_bounded(values in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, values[0]);
+        let mut t = SimTime::ZERO;
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            t = SimTime::from_secs(i as u64);
+            tw.update(t, v);
+        }
+        let end = t + SimDuration::from_secs(1);
+        let mean = tw.mean(end);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+}

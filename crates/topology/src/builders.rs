@@ -1,0 +1,520 @@
+//! Topology builders.
+//!
+//! The paper's evaluation (§5) uses two generation-graph topologies:
+//!
+//! * a **cycle graph** over `|N|` nodes numbered `0 .. |N|-1` with
+//!   `g(x, y) > 0 ⇔ y = x ± 1 (mod |N|)`, and
+//! * an embedding on a **wraparound `√N × √N` grid** where generation edges
+//!   are drawn uniformly at random from the torus edges *until the generation
+//!   graph connects all nodes*.
+//!
+//! Both are provided here, along with the full torus, and a handful of other
+//! standard topologies used by the workspace's ablation experiments.
+
+use crate::connectivity::UnionFind;
+use crate::graph::{Graph, NodeId};
+use qnet_sim_shim::SimRng;
+use serde::{Deserialize, Serialize};
+
+// qnet-topology deliberately does not depend on qnet-sim (it sits below it in
+// the layering); it only needs a deterministic RNG. To avoid a dependency
+// cycle we re-implement the tiny seeding shim here on top of rand_chacha.
+mod qnet_sim_shim {
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    /// Minimal deterministic RNG used by the random topology builders.
+    #[derive(Debug, Clone)]
+    pub struct SimRng(ChaCha12Rng);
+
+    impl SimRng {
+        /// Seeded constructor.
+        pub fn new(seed: u64) -> Self {
+            SimRng(ChaCha12Rng::seed_from_u64(seed))
+        }
+        /// Uniform index in `0..n`.
+        pub fn index(&mut self, n: usize) -> usize {
+            self.0.gen_range(0..n)
+        }
+        /// Bernoulli(p).
+        pub fn chance(&mut self, p: f64) -> bool {
+            if p <= 0.0 {
+                false
+            } else if p >= 1.0 {
+                true
+            } else {
+                self.0.gen::<f64>() < p
+            }
+        }
+        /// Fisher–Yates shuffle.
+        pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+            if xs.len() < 2 {
+                return;
+            }
+            for i in (1..xs.len()).rev() {
+                let j = self.0.gen_range(0..=i);
+                xs.swap(i, j);
+            }
+        }
+    }
+}
+
+/// A named topology recipe. `build` turns a recipe plus a seed into a
+/// concrete [`Graph`]; deterministic recipes ignore the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Cycle over `nodes` nodes: `i — i+1 (mod nodes)`.
+    Cycle {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// Simple path `0 — 1 — … — nodes-1`.
+    Path {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// Star: node 0 joined to every other node.
+    Star {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// Complete graph on `nodes` nodes.
+    Complete {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// Full wraparound (torus) grid of `side × side` nodes.
+    TorusGrid {
+        /// Side length; the node count is `side * side`.
+        side: usize,
+    },
+    /// Non-wrapping (planar) grid of `side × side` nodes.
+    PlanarGrid {
+        /// Side length; the node count is `side * side`.
+        side: usize,
+    },
+    /// The paper's grid construction: torus edges added uniformly at random
+    /// until the graph is connected.
+    RandomConnectedGrid {
+        /// Side length; the node count is `side * side`.
+        side: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`, re-sampled with extra random edges until
+    /// connected (so the result is always usable as a generation graph).
+    ErdosRenyiConnected {
+        /// Number of nodes.
+        nodes: usize,
+        /// Independent edge probability, clamped to [0, 1].
+        edge_probability: f64,
+    },
+    /// A uniformly random spanning tree (random connected graph with the
+    /// minimum number of edges).
+    RandomTree {
+        /// Number of nodes.
+        nodes: usize,
+    },
+}
+
+impl Topology {
+    /// Human-readable label used in experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Cycle { nodes } => format!("cycle-{nodes}"),
+            Topology::Path { nodes } => format!("path-{nodes}"),
+            Topology::Star { nodes } => format!("star-{nodes}"),
+            Topology::Complete { nodes } => format!("complete-{nodes}"),
+            Topology::TorusGrid { side } => format!("torus-{side}x{side}"),
+            Topology::PlanarGrid { side } => format!("grid-{side}x{side}"),
+            Topology::RandomConnectedGrid { side } => format!("rand-grid-{side}x{side}"),
+            Topology::ErdosRenyiConnected {
+                nodes,
+                edge_probability,
+            } => format!("er-{nodes}-p{edge_probability}"),
+            Topology::RandomTree { nodes } => format!("tree-{nodes}"),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            Topology::Cycle { nodes }
+            | Topology::Path { nodes }
+            | Topology::Star { nodes }
+            | Topology::Complete { nodes }
+            | Topology::ErdosRenyiConnected { nodes, .. }
+            | Topology::RandomTree { nodes } => nodes,
+            Topology::TorusGrid { side }
+            | Topology::PlanarGrid { side }
+            | Topology::RandomConnectedGrid { side } => side * side,
+        }
+    }
+
+    /// True if the recipe uses randomness (i.e. the seed matters).
+    pub fn is_random(&self) -> bool {
+        matches!(
+            self,
+            Topology::RandomConnectedGrid { .. }
+                | Topology::ErdosRenyiConnected { .. }
+                | Topology::RandomTree { .. }
+        )
+    }
+
+    /// Build the graph with the given seed.
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            Topology::Cycle { nodes } => cycle(nodes),
+            Topology::Path { nodes } => path(nodes),
+            Topology::Star { nodes } => star(nodes),
+            Topology::Complete { nodes } => complete(nodes),
+            Topology::TorusGrid { side } => torus_grid(side),
+            Topology::PlanarGrid { side } => planar_grid(side),
+            Topology::RandomConnectedGrid { side } => random_connected_grid(side, seed),
+            Topology::ErdosRenyiConnected {
+                nodes,
+                edge_probability,
+            } => erdos_renyi_connected(nodes, edge_probability, seed),
+            Topology::RandomTree { nodes } => random_tree(nodes, seed),
+        }
+    }
+
+    /// Build a deterministic recipe (seed 0 is used for the random ones).
+    pub fn build_deterministic(&self) -> Graph {
+        self.build(0)
+    }
+}
+
+/// Cycle graph on `n` nodes (`n ≥ 3` gives a true cycle; `n = 2` degenerates
+/// to a single edge, `n ≤ 1` has no edges).
+pub fn cycle(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if i != j {
+            g.add_edge(NodeId::from(i), NodeId::from(j));
+        }
+    }
+    g
+}
+
+/// Path graph on `n` nodes.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::from(i - 1), NodeId::from(i));
+    }
+    g
+}
+
+/// Star graph: node 0 is the hub.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::from(0usize), NodeId::from(i));
+    }
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::from(i), NodeId::from(j));
+        }
+    }
+    g
+}
+
+/// Node id of grid coordinate `(row, col)` on a `side × side` grid.
+pub fn grid_node(side: usize, row: usize, col: usize) -> NodeId {
+    NodeId::from(row * side + col)
+}
+
+/// Grid coordinate of a node id on a `side × side` grid.
+pub fn grid_coords(side: usize, node: NodeId) -> (usize, usize) {
+    (node.index() / side, node.index() % side)
+}
+
+/// All edges of the wraparound (torus) `side × side` grid, each listed once.
+pub fn torus_edges(side: usize) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    if side == 0 {
+        return edges;
+    }
+    for r in 0..side {
+        for c in 0..side {
+            let here = grid_node(side, r, c);
+            let right = grid_node(side, r, (c + 1) % side);
+            let down = grid_node(side, (r + 1) % side, c);
+            if here != right {
+                edges.push(order(here, right));
+            }
+            if here != down {
+                edges.push(order(here, down));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn order(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Full wraparound grid (torus) of `side × side` nodes.
+pub fn torus_grid(side: usize) -> Graph {
+    let mut g = Graph::with_nodes(side * side);
+    for (a, b) in torus_edges(side) {
+        g.add_edge(a, b);
+    }
+    g
+}
+
+/// Non-wrapping planar grid of `side × side` nodes.
+pub fn planar_grid(side: usize) -> Graph {
+    let mut g = Graph::with_nodes(side * side);
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                g.add_edge(grid_node(side, r, c), grid_node(side, r, c + 1));
+            }
+            if r + 1 < side {
+                g.add_edge(grid_node(side, r, c), grid_node(side, r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The paper's grid construction (§5): starting from the empty graph on the
+/// `side × side` torus, add torus edges uniformly at random (without
+/// replacement) until the graph is connected.
+pub fn random_connected_grid(side: usize, seed: u64) -> Graph {
+    let mut g = Graph::with_nodes(side * side);
+    if side * side <= 1 {
+        return g;
+    }
+    let mut rng = SimRng::new(seed);
+    let mut edges = torus_edges(side);
+    rng.shuffle(&mut edges);
+    let mut uf = UnionFind::new(side * side);
+    for (a, b) in edges {
+        g.add_edge(a, b);
+        uf.union(a, b);
+        if uf.component_count() == 1 {
+            break;
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`, then patched to connectivity by joining random
+/// representatives of distinct components until one component remains.
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    if n <= 1 {
+        return g;
+    }
+    let mut rng = SimRng::new(seed);
+    let p = p.clamp(0.0, 1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(p) {
+                g.add_edge(NodeId::from(i), NodeId::from(j));
+            }
+        }
+    }
+    // Patch to connectivity.
+    let mut uf = UnionFind::new(n);
+    for (a, b) in g.edges().collect::<Vec<_>>() {
+        uf.union(a, b);
+    }
+    while uf.component_count() > 1 {
+        let a = NodeId::from(rng.index(n));
+        let b = NodeId::from(rng.index(n));
+        if a != b && !uf.connected(a, b) {
+            g.add_edge(a, b);
+            uf.union(a, b);
+        }
+    }
+    g
+}
+
+/// A random spanning tree over `n` nodes: each node `i ≥ 1` attaches to a
+/// uniformly random earlier node (a random recursive tree).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    let mut rng = SimRng::new(seed);
+    for i in 1..n {
+        let parent = rng.index(i);
+        g.add_edge(NodeId::from(parent), NodeId::from(i));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(25);
+        assert_eq!(g.node_count(), 25);
+        assert_eq!(g.edge_count(), 25);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(g.has_edge(NodeId(0), NodeId(24)), "wraparound edge present");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn tiny_cycles() {
+        assert_eq!(cycle(0).edge_count(), 0);
+        assert_eq!(cycle(1).edge_count(), 0);
+        let two = cycle(2);
+        assert_eq!(two.edge_count(), 1);
+    }
+
+    #[test]
+    fn path_star_complete_shapes() {
+        let p = path(6);
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.degree(NodeId(0)), 1);
+        assert_eq!(p.degree(NodeId(3)), 2);
+
+        let s = star(6);
+        assert_eq!(s.edge_count(), 5);
+        assert_eq!(s.degree(NodeId(0)), 5);
+        assert!(s.nodes().skip(1).all(|v| s.degree(v) == 1));
+
+        let k = complete(6);
+        assert_eq!(k.edge_count(), 15);
+        assert!(k.nodes().all(|v| k.degree(v) == 5));
+    }
+
+    #[test]
+    fn torus_grid_shape() {
+        // 5x5 wraparound grid: every node has degree 4, 2*N edges.
+        let g = torus_grid(5);
+        assert_eq!(g.node_count(), 25);
+        assert_eq!(g.edge_count(), 50);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+        // Wraparound edges exist.
+        assert!(g.has_edge(grid_node(5, 0, 0), grid_node(5, 0, 4)));
+        assert!(g.has_edge(grid_node(5, 0, 0), grid_node(5, 4, 0)));
+    }
+
+    #[test]
+    fn torus_grid_small_sides() {
+        // side=2 torus collapses parallel edges; still connected.
+        let g = torus_grid(2);
+        assert_eq!(g.node_count(), 4);
+        assert!(is_connected(&g));
+        assert_eq!(torus_grid(1).edge_count(), 0);
+        assert_eq!(torus_grid(0).node_count(), 0);
+    }
+
+    #[test]
+    fn planar_grid_shape() {
+        let g = planar_grid(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 24);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(grid_node(4, 0, 0)), 2);
+        assert_eq!(g.degree(grid_node(4, 1, 1)), 4);
+        assert!(!g.has_edge(grid_node(4, 0, 0), grid_node(4, 0, 3)));
+    }
+
+    #[test]
+    fn grid_coordinate_round_trip() {
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(grid_coords(5, grid_node(5, r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_grid_is_connected_subgraph_of_torus() {
+        for seed in 0..10 {
+            let g = random_connected_grid(5, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            let torus = torus_grid(5);
+            for (a, b) in g.edges() {
+                assert!(torus.has_edge(a, b), "non-torus edge {a}-{b}");
+            }
+            // Connectivity needs at least a spanning tree.
+            assert!(g.edge_count() >= 24);
+            assert!(g.edge_count() <= 50);
+        }
+    }
+
+    #[test]
+    fn random_connected_grid_is_deterministic_per_seed() {
+        let a = random_connected_grid(6, 42);
+        let b = random_connected_grid(6, 42);
+        let c = random_connected_grid(6, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_always_connected() {
+        for seed in 0..5 {
+            let g = erdos_renyi_connected(30, 0.05, seed);
+            assert_eq!(g.node_count(), 30);
+            assert!(is_connected(&g), "seed {seed}");
+        }
+        // Even p = 0 must come out connected via patching.
+        let g = erdos_renyi_connected(10, 0.0, 7);
+        assert!(is_connected(&g));
+        assert!(g.edge_count() >= 9);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(40, seed);
+            assert_eq!(g.edge_count(), 39);
+            assert!(is_connected(&g));
+        }
+        assert_eq!(random_tree(1, 0).edge_count(), 0);
+        assert_eq!(random_tree(0, 0).node_count(), 0);
+    }
+
+    #[test]
+    fn topology_enum_roundtrip() {
+        let topos = [
+            Topology::Cycle { nodes: 25 },
+            Topology::Path { nodes: 10 },
+            Topology::Star { nodes: 10 },
+            Topology::Complete { nodes: 8 },
+            Topology::TorusGrid { side: 5 },
+            Topology::PlanarGrid { side: 5 },
+            Topology::RandomConnectedGrid { side: 5 },
+            Topology::ErdosRenyiConnected {
+                nodes: 20,
+                edge_probability: 0.2,
+            },
+            Topology::RandomTree { nodes: 20 },
+        ];
+        for t in topos {
+            let g = t.build(123);
+            assert_eq!(g.node_count(), t.node_count(), "{}", t.label());
+            assert!(is_connected(&g), "{}", t.label());
+            assert!(!t.label().is_empty());
+        }
+        assert!(Topology::RandomTree { nodes: 3 }.is_random());
+        assert!(!Topology::Cycle { nodes: 3 }.is_random());
+    }
+}

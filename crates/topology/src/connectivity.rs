@@ -1,0 +1,169 @@
+//! Connectivity: union-find and connected components.
+//!
+//! The paper's grid topology is built by "adding generation edges uniformly
+//! at random on the grid **until the underlying generation graph connects all
+//! nodes**" (§5); union-find is the natural tool for that construction and
+//! for validating that a generation graph can serve all consumer pairs
+//! (pairs in distinct components can never share a Bell pair, §3).
+
+use crate::graph::{Graph, NodeId};
+
+/// Disjoint-set (union-find) structure over dense node ids.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Create a structure with `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Find the representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: NodeId) -> NodeId {
+        let mut root = x.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x.0;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        NodeId(root)
+    }
+
+    /// Merge the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra.index()] >= self.rank[rb.index()] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo.index()] = hi.0;
+        if self.rank[hi.index()] == self.rank[lo.index()] {
+            self.rank[hi.index()] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// True if the graph is connected (the empty graph and single-node graph are
+/// considered connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    connected_components(graph).len() <= 1
+}
+
+/// The connected components of a graph, each as a sorted list of nodes;
+/// components are ordered by their smallest node.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    for (a, b) in graph.edges() {
+        uf.union(a, b);
+    }
+    let mut by_root: Vec<Vec<NodeId>> = Vec::new();
+    let mut root_index: Vec<Option<usize>> = vec![None; n];
+    for node in graph.nodes() {
+        let root = uf.find(node);
+        let idx = match root_index[root.index()] {
+            Some(i) => i,
+            None => {
+                by_root.push(Vec::new());
+                root_index[root.index()] = Some(by_root.len() - 1);
+                by_root.len() - 1
+            }
+        };
+        by_root[idx].push(node);
+    }
+    by_root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::Topology;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(NodeId(0), NodeId(1)));
+        assert!(uf.union(NodeId(1), NodeId(2)));
+        assert!(!uf.union(NodeId(0), NodeId(2)), "already merged");
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(NodeId(0), NodeId(2)));
+        assert!(!uf.connected(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn union_find_empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_is_connected() {
+        let g = Topology::Cycle { nodes: 8 }.build_deterministic();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_connected() {
+        assert!(is_connected(&Graph::with_nodes(0)));
+        assert!(is_connected(&Graph::with_nodes(1)));
+        assert!(!is_connected(&Graph::with_nodes(2)));
+    }
+}

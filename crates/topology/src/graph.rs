@@ -1,0 +1,228 @@
+//! Compact undirected graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (repeater) in a graph.
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node id out of range"))
+    }
+}
+
+/// An undirected simple graph (no self-loops, no parallel edges) with dense
+/// node ids and adjacency lists kept in sorted order for determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Create a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Add one node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len()).map(NodeId::from)
+    }
+
+    /// True if `id` names a node of this graph.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.adjacency.len()
+    }
+
+    /// Add an undirected edge `(a, b)`.
+    ///
+    /// Returns `true` if the edge was added, `false` if it already existed.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a node of this graph or if `a == b`
+    /// (self-loops carry no meaning for Bell-pair generation).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(self.contains(a) && self.contains(b), "edge endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        if self.has_edge(a, b) {
+            return false;
+        }
+        let insert_sorted = |list: &mut Vec<NodeId>, v: NodeId| {
+            let pos = list.partition_point(|&x| x < v);
+            list.insert(pos, v);
+        };
+        insert_sorted(&mut self.adjacency[a.index()], b);
+        insert_sorted(&mut self.adjacency[b.index()], a);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Remove the undirected edge `(a, b)` if present; returns whether it was
+    /// removed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if !self.has_edge(a, b) {
+            return false;
+        }
+        self.adjacency[a.index()].retain(|&x| x != b);
+        self.adjacency[b.index()].retain(|&x| x != a);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// True if the undirected edge `(a, b)` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.contains(a) || !self.contains(b) {
+            return false;
+        }
+        self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// The neighbors of `id`, in ascending id order.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adjacency[id.index()]
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.adjacency[id.index()].len()
+    }
+
+    /// Iterate over all undirected edges as `(a, b)` with `a < b`, in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, nbrs)| {
+            let a = NodeId::from(i);
+            nbrs.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::with_nodes(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::with_nodes(3);
+        let d = g.add_node();
+        assert_eq!(d, NodeId(3));
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(g.add_edge(NodeId(1), NodeId(2)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)), "duplicate edge rejected");
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_and_unique() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(1));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(g.remove_edge(NodeId(1), NodeId(0)));
+        assert!(!g.remove_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn has_edge_out_of_range_is_false() {
+        let g = Graph::with_nodes(2);
+        assert!(!g.has_edge(NodeId(0), NodeId(9)));
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        assert_eq!(format!("{}", NodeId(7)), "N7");
+        assert_eq!(NodeId::from(3usize), NodeId(3));
+        assert_eq!(NodeId(4).index(), 4);
+    }
+}

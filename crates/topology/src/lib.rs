@@ -1,0 +1,33 @@
+//! # qnet-topology — generation-graph substrate
+//!
+//! The paper formulates path-oblivious swapping over a *generation graph*
+//! `G`: an undirected graph over the repeater nodes with an edge `(x, y)`
+//! wherever the pair can generate Bell pairs directly (`g(x, y) > 0`).
+//! This crate provides:
+//!
+//! * a compact undirected [`Graph`] type with stable [`NodeId`]s,
+//! * the topology builders used in the paper's evaluation (cycle graph,
+//!   wraparound grid, random-connected grid) plus extras used in ablations
+//!   (path, star, complete, Erdős–Rényi, random tree),
+//! * shortest-path algorithms (BFS and Dijkstra) used both by the
+//!   planned-path baselines and by the swap-overhead metric's denominator,
+//! * connectivity utilities (union-find, connected components), and
+//! * [`NodePair`] / [`PairMatrix`], the canonical unordered-pair key and a
+//!   symmetric matrix keyed by it — the natural container for `g(x, y)`,
+//!   `c(x, y)` and the inventory counts `C_x(y)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod connectivity;
+pub mod graph;
+pub mod metrics;
+pub mod pairs;
+pub mod shortest_path;
+
+pub use builders::Topology;
+pub use connectivity::UnionFind;
+pub use graph::{Graph, NodeId};
+pub use pairs::{NodePair, PairMatrix};
+pub use shortest_path::{bfs_distances, bfs_path, dijkstra, PathResult};

@@ -1,0 +1,142 @@
+//! Structural graph metrics.
+//!
+//! Used by experiment reports to characterise the generation graphs the
+//! protocols run over (diameter, mean path length, degree statistics), and by
+//! tests as independent cross-checks of the builders.
+
+use crate::graph::Graph;
+use crate::shortest_path::all_pairs_distances;
+
+/// Summary statistics of a graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Graph diameter (longest shortest path); `None` if disconnected or
+    /// trivial.
+    pub diameter: Option<u32>,
+    /// Mean shortest-path length over connected ordered pairs; `None` if
+    /// there are no such pairs.
+    pub mean_path_length: Option<f64>,
+    /// True if the graph is connected.
+    pub connected: bool,
+}
+
+/// Compute [`GraphMetrics`] (O(V·E) due to all-pairs BFS; intended for the
+/// experiment-scale graphs in this workspace, not for huge graphs).
+pub fn graph_metrics(graph: &Graph) -> GraphMetrics {
+    let nodes = graph.node_count();
+    let edges = graph.edge_count();
+    let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    let min_degree = degrees.iter().copied().min().unwrap_or(0);
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let mean_degree = if nodes == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / nodes as f64
+    };
+
+    let d = all_pairs_distances(graph);
+    let mut diameter = 0u32;
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    let mut all_reachable = true;
+    for i in 0..nodes {
+        for j in 0..nodes {
+            if i == j {
+                continue;
+            }
+            match d[i][j] {
+                Some(h) => {
+                    diameter = diameter.max(h);
+                    sum += h as u64;
+                    count += 1;
+                }
+                None => all_reachable = false,
+            }
+        }
+    }
+    let connected = nodes <= 1 || all_reachable;
+    GraphMetrics {
+        nodes,
+        edges,
+        min_degree,
+        max_degree,
+        mean_degree,
+        diameter: if connected && nodes > 1 { Some(diameter) } else { None },
+        mean_path_length: if count > 0 {
+            Some(sum as f64 / count as f64)
+        } else {
+            None
+        },
+        connected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, planar_grid, star, torus_grid};
+    use crate::graph::NodeId;
+
+    #[test]
+    fn cycle_metrics() {
+        let m = graph_metrics(&cycle(10));
+        assert_eq!(m.nodes, 10);
+        assert_eq!(m.edges, 10);
+        assert_eq!(m.min_degree, 2);
+        assert_eq!(m.max_degree, 2);
+        assert!((m.mean_degree - 2.0).abs() < 1e-12);
+        assert_eq!(m.diameter, Some(5));
+        assert!(m.connected);
+    }
+
+    #[test]
+    fn star_metrics() {
+        let m = graph_metrics(&star(9));
+        assert_eq!(m.diameter, Some(2));
+        assert_eq!(m.max_degree, 8);
+        assert_eq!(m.min_degree, 1);
+    }
+
+    #[test]
+    fn torus_diameter() {
+        // 5x5 torus: max hop distance is floor(5/2)+floor(5/2) = 4.
+        let m = graph_metrics(&torus_grid(5));
+        assert_eq!(m.diameter, Some(4));
+        // Planar 5x5 grid: corner to corner is 8.
+        let p = graph_metrics(&planar_grid(5));
+        assert_eq!(p.diameter, Some(8));
+        assert!(p.mean_path_length.unwrap() > m.mean_path_length.unwrap());
+    }
+
+    #[test]
+    fn disconnected_graph_metrics() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        let m = graph_metrics(&g);
+        assert!(!m.connected);
+        assert_eq!(m.diameter, None);
+        // The connected pair still contributes to mean path length.
+        assert_eq!(m.mean_path_length, Some(1.0));
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let m = graph_metrics(&Graph::with_nodes(0));
+        assert_eq!(m.nodes, 0);
+        assert!(m.connected);
+        assert_eq!(m.mean_path_length, None);
+        let m1 = graph_metrics(&Graph::with_nodes(1));
+        assert!(m1.connected);
+        assert_eq!(m1.diameter, None);
+    }
+}

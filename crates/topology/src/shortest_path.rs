@@ -1,0 +1,320 @@
+//! Shortest paths on generation graphs.
+//!
+//! Two users in this workspace:
+//!
+//! * the **planned-path baselines** select the shortest path between the
+//!   consumer endpoints and swap along it, and
+//! * the **swap-overhead metric** (§5) divides the number of swaps performed
+//!   by `Σ_c s(ℓ(c))` where `ℓ(c)` is the shortest-path hop count between the
+//!   consumption pair's endpoints in the generation graph.
+//!
+//! Generation graphs are unweighted, so BFS is the workhorse; a Dijkstra
+//! variant over `f64` edge weights is provided for fidelity- or
+//! latency-weighted extensions (§6).
+
+use crate::graph::{Graph, NodeId};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Result of a point-to-point path query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// The nodes along the path, starting at the source and ending at the
+    /// target (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// Total cost: hop count for BFS, summed weights for Dijkstra.
+    pub cost: f64,
+}
+
+impl PathResult {
+    /// Number of hops (edges) along the path.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+/// Single-source BFS hop distances. Unreachable nodes get `None`.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let n = graph.node_count();
+    let mut dist = vec![None; n];
+    if source.index() >= n {
+        return dist;
+    }
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued node has distance");
+        for &v in graph.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest (fewest-hops) path between two nodes, or `None` if unreachable.
+/// Ties are broken deterministically by preferring smaller-id predecessors.
+pub fn bfs_path(graph: &Graph, source: NodeId, target: NodeId) -> Option<PathResult> {
+    let n = graph.node_count();
+    if source.index() >= n || target.index() >= n {
+        return None;
+    }
+    if source == target {
+        return Some(PathResult {
+            nodes: vec![source],
+            cost: 0.0,
+        });
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[source.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                prev[v.index()] = Some(u);
+                if v == target {
+                    return Some(reconstruct(&prev, source, target));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// All-pairs hop distances (BFS from every node). `dist[i][j]` is `None` when
+/// `j` is unreachable from `i`.
+pub fn all_pairs_distances(graph: &Graph) -> Vec<Vec<Option<u32>>> {
+    graph.nodes().map(|s| bfs_distances(graph, s)).collect()
+}
+
+fn reconstruct(prev: &[Option<NodeId>], source: NodeId, target: NodeId) -> PathResult {
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = prev[cur.index()].expect("path reconstruction hit a gap");
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    let cost = (nodes.len() - 1) as f64;
+    PathResult { nodes, cost }
+}
+
+/// Dijkstra over non-negative edge weights supplied by `weight(a, b)`.
+/// Returns the minimum-total-weight path, or `None` if unreachable.
+///
+/// # Panics
+/// Panics (in debug builds) if a negative weight is supplied.
+pub fn dijkstra(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    mut weight: impl FnMut(NodeId, NodeId) -> f64,
+) -> Option<PathResult> {
+    use std::cmp::Ordering;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: NodeId,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on (cost, node id) — the node id tie-break keeps the
+            // search deterministic.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+
+    let n = graph.node_count();
+    if source.index() >= n || target.index() >= n {
+        return None;
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == target {
+            let mut nodes = vec![target];
+            let mut cur = target;
+            while cur != source {
+                cur = prev[cur.index()].expect("path reconstruction hit a gap");
+                nodes.push(cur);
+            }
+            nodes.reverse();
+            return Some(PathResult { nodes, cost });
+        }
+        for &v in graph.neighbors(node) {
+            if done[v.index()] {
+                continue;
+            }
+            let w = weight(node, v);
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let next = cost + w;
+            if next < dist[v.index()] {
+                dist[v.index()] = next;
+                prev[v.index()] = Some(node);
+                heap.push(Entry { cost: next, node: v });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, path, planar_grid, torus_grid};
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_distances_unreachable() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn bfs_path_on_cycle_takes_short_way_round() {
+        let g = cycle(10);
+        let p = bfs_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.hops(), 3);
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let q = bfs_path(&g, NodeId(0), NodeId(7)).unwrap();
+        assert_eq!(q.hops(), 3, "wraps around the other way");
+        assert_eq!(q.nodes, vec![NodeId(0), NodeId(9), NodeId(8), NodeId(7)]);
+    }
+
+    #[test]
+    fn bfs_path_same_node_is_trivial() {
+        let g = cycle(4);
+        let p = bfs_path(&g, NodeId(2), NodeId(2)).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost, 0.0);
+    }
+
+    #[test]
+    fn bfs_path_none_when_disconnected_or_out_of_range() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(bfs_path(&g, NodeId(0), NodeId(3)).is_none());
+        assert!(bfs_path(&g, NodeId(0), NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn bfs_on_torus_uses_wraparound() {
+        let g = torus_grid(5);
+        // (0,0) to (0,4) is one hop across the wrap, not four.
+        let p = bfs_path(&g, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.hops(), 1);
+        // Opposite corner (2,2) is 2+2 = 4 hops.
+        let q = bfs_path(&g, NodeId(0), NodeId(12)).unwrap();
+        assert_eq!(q.hops(), 4);
+    }
+
+    #[test]
+    fn planar_grid_has_no_wraparound_shortcut() {
+        let g = planar_grid(5);
+        let p = bfs_path(&g, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.hops(), 4);
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = torus_grid(4);
+        let d = all_pairs_distances(&g);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+            assert_eq!(d[i][i], Some(0));
+        }
+    }
+
+    #[test]
+    fn path_result_endpoints_are_correct() {
+        let g = planar_grid(4);
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                let p = bfs_path(&g, NodeId(s), NodeId(t)).unwrap();
+                assert_eq!(p.nodes[0], NodeId(s));
+                assert_eq!(*p.nodes.last().unwrap(), NodeId(t));
+                // Consecutive nodes must be adjacent.
+                for w in p.nodes.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_matches_bfs() {
+        let g = torus_grid(5);
+        for s in 0..25u32 {
+            for t in 0..25u32 {
+                let b = bfs_path(&g, NodeId(s), NodeId(t)).unwrap();
+                let d = dijkstra(&g, NodeId(s), NodeId(t), |_, _| 1.0).unwrap();
+                assert_eq!(b.hops() as f64, d.cost, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // Triangle where the direct edge is expensive.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(2));
+        let w = |a: NodeId, b: NodeId| {
+            if (a.0, b.0) == (0, 2) || (a.0, b.0) == (2, 0) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let p = dijkstra(&g, NodeId(0), NodeId(2), w).unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p.cost, 2.0);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(dijkstra(&g, NodeId(0), NodeId(2), |_, _| 1.0).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests of the §4 balancer: topology builders feed
+//! inventories, the balancer runs to quiescence, and the outcome is checked
+//! against the max-min fairness property and against the LP's centralised
+//! max-min allocation on a small instance.
+
+use qnet::prelude::*;
+use qnet::topology::builders;
+
+fn stock_edges(graph: &Graph, per_edge: u64) -> Inventory {
+    let mut inv = Inventory::new(graph.node_count());
+    for (a, b) in graph.edges() {
+        for _ in 0..per_edge {
+            inv.add_pair(NodePair::new(a, b)).unwrap();
+        }
+    }
+    inv
+}
+
+#[test]
+fn quiescence_has_no_remaining_preferable_swap_on_any_topology() {
+    let policy = BalancerPolicy;
+    let overhead = |_: NodePair| 1.0;
+    for topology in [
+        Topology::Cycle { nodes: 10 },
+        Topology::TorusGrid { side: 4 },
+        Topology::RandomConnectedGrid { side: 4 },
+        Topology::Star { nodes: 8 },
+        Topology::RandomTree { nodes: 12 },
+    ] {
+        let graph = topology.build(5);
+        let mut inv = stock_edges(&graph, 6);
+        let swaps = policy.run_to_quiescence(&mut inv, &overhead, 1_000_000);
+        for node in graph.nodes() {
+            assert!(
+                policy
+                    .find_preferable_swap(&inv, &inv, node, &overhead)
+                    .is_none(),
+                "{}: node {node} still has a preferable swap after {} swaps",
+                topology.label(),
+                swaps.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn balancing_conserves_or_reduces_pairs_and_never_inflates_node_load() {
+    // Paper §3: a swap never increases the number of Bell pairs held at a
+    // node, and each swap reduces the total pair count by exactly one (at
+    // D = 1, two consumed, one produced).
+    let policy = BalancerPolicy;
+    let overhead = |_: NodePair| 1.0;
+    let graph = builders::torus_grid(4);
+    let mut inv = stock_edges(&graph, 5);
+    let initial_total = inv.total_pairs();
+    let initial_loads: Vec<u64> = graph.nodes().map(|v| inv.node_load(v)).collect();
+    let swaps = policy.run_to_quiescence(&mut inv, &overhead, 1_000_000);
+    assert_eq!(inv.total_pairs(), initial_total - swaps.len() as u64);
+    for (i, node) in graph.nodes().enumerate() {
+        assert!(inv.node_load(node) <= initial_loads[i]);
+    }
+}
+
+#[test]
+fn balancer_spreads_pairs_towards_distant_pools() {
+    // On a path the only way the far-end pool gains pairs is through the
+    // balancer; after quiescence with a healthy stock, the end-to-end pool
+    // must be non-empty even though it can never be generated directly.
+    let policy = BalancerPolicy;
+    let overhead = |_: NodePair| 1.0;
+    let graph = builders::path(5);
+    let mut inv = stock_edges(&graph, 16);
+    policy.run_to_quiescence(&mut inv, &overhead, 1_000_000);
+    let multi_hop_pools = inv
+        .nonzero_pairs()
+        .into_iter()
+        .filter(|(pair, _)| !graph.has_edge(pair.lo(), pair.hi()))
+        .count();
+    assert!(
+        multi_hop_pools >= 3,
+        "balancing should seed several multi-hop pools, found {multi_hop_pools}"
+    );
+}
+
+#[test]
+fn distillation_margin_suppresses_swapping() {
+    // With a distillation overhead larger than the stock, no swap is ever
+    // preferable and the inventory is left untouched.
+    let policy = BalancerPolicy;
+    let graph = builders::cycle(6);
+    let mut inv = stock_edges(&graph, 3);
+    let before = inv.clone();
+    let swaps = policy.run_to_quiescence(&mut inv, &|_| 4.0, 1_000_000);
+    assert!(swaps.is_empty());
+    assert_eq!(inv, before);
+}
+
+#[test]
+fn balancer_matches_lp_maxmin_on_a_three_node_path() {
+    // Centralised check: on the 3-node path with symmetric stock, the §4
+    // balancer's quiescent allocation gives the (0,2) pool roughly the same
+    // share as the LP's max-min fair steady-state consumption split implies
+    // (a third of the edge throughput each, i.e. counts within one margin of
+    // each other).
+    let policy = BalancerPolicy;
+    let overhead = |_: NodePair| 1.0;
+    let graph = builders::path(3);
+    let mut inv = stock_edges(&graph, 12);
+    policy.run_to_quiescence(&mut inv, &overhead, 1_000_000);
+    let c01 = inv.count(NodePair::new(NodeId(0), NodeId(1)));
+    let c12 = inv.count(NodePair::new(NodeId(1), NodeId(2)));
+    let c02 = inv.count(NodePair::new(NodeId(0), NodeId(2)));
+    assert!(c02 > 0);
+    // Quiescence condition: the beneficiary pool is within the margin of the
+    // donors (no count can be raised without dropping a smaller one).
+    assert!(c02 + 1 >= c01.min(c12).saturating_sub(1));
+    // And the donors stay ahead of the beneficiary by at most the margin + 1
+    // swap's worth.
+    assert!(c01.min(c12) + 2 >= c02);
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests of the §3 LP formulation: consistency of the
+//! steady-state solutions with flow conservation, agreement between
+//! objectives, and agreement with hand-computable small cases.
+
+use qnet::core::lp_model::{LpObjective, SteadyStateModel};
+use qnet::prelude::*;
+use qnet::topology::builders;
+
+fn torus_model(side: usize, demand: &[((u32, u32), f64)]) -> SteadyStateModel {
+    let graph = builders::torus_grid(side);
+    let capacity = RateMatrices::uniform_generation(&graph, 1.0);
+    let mut d = RateMatrices::zeros(graph.node_count());
+    for &((a, b), rate) in demand {
+        d.set_consumption(NodePair::new(NodeId(a), NodeId(b)), rate);
+    }
+    SteadyStateModel::new(&capacity, &d)
+}
+
+/// Check the steady-state balance r⁺ = r⁻ for every pair of a solution.
+fn steady_state_holds(
+    n: usize,
+    sol: &qnet::core::lp_model::SteadyStateSolution,
+    survival: f64,
+    distillation: f64,
+) -> bool {
+    for pair in qnet::topology::pairs::all_pairs(n) {
+        let arrivals: f64 = sol
+            .swap_rates
+            .iter()
+            .filter(|s| s.produces == pair)
+            .map(|s| s.rate)
+            .sum::<f64>()
+            + sol.generation(pair);
+        let departures: f64 = sol
+            .swap_rates
+            .iter()
+            .filter(|s| pair.contains(s.repeater) && {
+                let other = s.produces;
+                other.contains(pair.other(s.repeater).unwrap())
+            })
+            .map(|s| s.rate)
+            .sum::<f64>()
+            + sol.consumption(pair);
+        if (survival * arrivals - distillation * departures).abs() > 1e-4 {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn max_total_consumption_solution_satisfies_flow_balance() {
+    let model = torus_model(3, &[((0, 4), 3.0), ((2, 6), 3.0)]);
+    let sol = model.solve(LpObjective::MaxTotalConsumption);
+    assert!(sol.is_optimal());
+    assert!(sol.total_consumption() > 0.5);
+    assert!(steady_state_holds(9, &sol, 1.0, 1.0));
+}
+
+#[test]
+fn min_generation_solution_satisfies_flow_balance_with_overheads() {
+    let model = torus_model(3, &[((0, 4), 0.3)]).with_overheads(0.8, 2.0);
+    let sol = model.solve(LpObjective::MinTotalGeneration);
+    assert!(sol.is_optimal());
+    assert!(steady_state_holds(9, &sol, 0.8, 2.0));
+    // Generation must exceed the naive no-overhead need of 0.6.
+    assert!(sol.total_generation() > 0.6);
+}
+
+#[test]
+fn objectives_are_ordered_sensibly() {
+    let model = torus_model(3, &[((0, 4), 5.0), ((1, 5), 5.0)]);
+    let total = model.solve(LpObjective::MaxTotalConsumption);
+    let fair = model.solve(LpObjective::MaxMinConsumption);
+    let alpha = model.solve(LpObjective::MaxProportionalAlpha);
+    assert!(total.is_optimal() && fair.is_optimal() && alpha.is_optimal());
+    // Total throughput under the fair objectives can never exceed the
+    // throughput-maximising objective.
+    assert!(fair.total_consumption() <= total.total_consumption() + 1e-6);
+    assert!(alpha.total_consumption() <= total.total_consumption() + 1e-6);
+    // The max-min floor is at least the proportional allocation's floor.
+    let fair_min = model
+        .demand_pairs()
+        .iter()
+        .map(|&p| fair.consumption(p))
+        .fold(f64::INFINITY, f64::min);
+    let alpha_min = model
+        .demand_pairs()
+        .iter()
+        .map(|&p| alpha.consumption(p))
+        .fold(f64::INFINITY, f64::min);
+    assert!(fair_min + 1e-6 >= alpha_min);
+}
+
+#[test]
+fn qec_thinning_scales_required_generation() {
+    // Halving the effective generation capacity (R = 2) doubles nothing in
+    // the *minimum generation* sense (the demand is what it is), but it can
+    // make a previously feasible demand infeasible.
+    let graph = builders::cycle(6);
+    let mut demand = RateMatrices::zeros(6);
+    // 1.2 pairs/s end-to-end fits when both 3-hop routes offer capacity 1
+    // each, but not once QEC thinning halves every edge to 0.5 (total 1.0).
+    demand.set_consumption(NodePair::new(NodeId(0), NodeId(3)), 1.2);
+
+    let full = SteadyStateModel::new(&RateMatrices::uniform_generation(&graph, 1.0), &demand);
+    assert!(full.solve(LpObjective::MinTotalGeneration).is_optimal());
+
+    let thinned = SteadyStateModel::new(
+        &RateMatrices::uniform_generation(&graph, 1.0).with_qec_thinning(2.0),
+        &demand,
+    );
+    let sol = thinned.solve(LpObjective::MinTotalGeneration);
+    assert!(
+        !sol.is_optimal(),
+        "after R = 2 thinning the network cannot carry 1.2 pairs/s end-to-end"
+    );
+}
+
+#[test]
+fn lp_relates_to_nested_swap_costs() {
+    // For a single consumer pair n hops apart on a path, the minimum total
+    // swap rate in the LP equals (n − 1)·c at D = 1 (one swap per hop
+    // joint), which is what the executable planned-path baseline performs,
+    // and is ≥ the paper's nested lower bound s(n)·c.
+    for hops in 2..6usize {
+        let graph = builders::path(hops + 1);
+        let capacity = RateMatrices::uniform_generation(&graph, 10.0);
+        let mut demand = RateMatrices::zeros(hops + 1);
+        let endpoints = NodePair::new(NodeId(0), NodeId::from(hops));
+        let rate = 0.5;
+        demand.set_consumption(endpoints, rate);
+        let model = SteadyStateModel::new(&capacity, &demand);
+        let sol = model.solve(LpObjective::MinTotalGeneration);
+        assert!(sol.is_optimal(), "hops {hops}");
+        let total_swaps = sol.total_swap_rate();
+        let executed = (hops as f64 - 1.0) * rate;
+        let lower_bound = nested_swap_cost(hops, 1.0) * rate;
+        assert!((total_swaps - executed).abs() < 1e-4, "hops {hops}: {total_swaps} vs {executed}");
+        assert!(total_swaps + 1e-6 >= lower_bound);
+    }
+}
