@@ -25,20 +25,24 @@ fn scan_benchmark(c: &mut Criterion) {
         let inv = stocked_torus(side, 6);
         let policy = BalancerPolicy;
         let overhead = |_: NodePair| 1.0;
-        group.bench_with_input(BenchmarkId::new("find_preferable", side * side), &inv, |b, inv| {
-            b.iter(|| {
-                let mut found = 0;
-                for node in 0..inv.node_count() {
-                    if policy
-                        .find_preferable_swap(inv, inv, NodeId::from(node), &overhead)
-                        .is_some()
-                    {
-                        found += 1;
+        group.bench_with_input(
+            BenchmarkId::new("find_preferable", side * side),
+            &inv,
+            |b, inv| {
+                b.iter(|| {
+                    let mut found = 0;
+                    for node in 0..inv.node_count() {
+                        if policy
+                            .find_preferable_swap(inv, inv, NodeId::from(node), &overhead)
+                            .is_some()
+                        {
+                            found += 1;
+                        }
                     }
-                }
-                found
-            })
-        });
+                    found
+                })
+            },
+        );
     }
     group.finish();
 }

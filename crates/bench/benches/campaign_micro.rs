@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the campaign engine: grid expansion, serial vs.
+//! parallel execution of a fixed scenario batch, and aggregation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
+use qnet_core::experiment::ProtocolMode;
+use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_topology::Topology;
+
+fn bench_grid() -> ScenarioGrid {
+    ScenarioGrid::new(3)
+        .with_topologies(vec![
+            Topology::Cycle { nodes: 7 },
+            Topology::TorusGrid { side: 3 },
+        ])
+        .with_modes(vec![
+            ProtocolMode::Oblivious,
+            ProtocolMode::PlannedConnectionOriented,
+        ])
+        .with_workloads(vec![WorkloadSpec {
+            node_count: 0,
+            consumer_pairs: 5,
+            requests: 5,
+            discipline: RequestDiscipline::UniformRandom,
+        }])
+        .with_replicates(4)
+        .with_horizon_s(800.0)
+}
+
+fn campaign_benches(c: &mut Criterion) {
+    let grid = bench_grid();
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+
+    group.bench_function("grid_expansion", |b| {
+        b.iter(|| {
+            let scenarios: Vec<_> = grid.scenarios().collect();
+            assert_eq!(scenarios.len(), grid.scenario_count());
+            scenarios
+        })
+    });
+
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("run", threads), &threads, |b, &threads| {
+            b.iter(|| run_campaign(&grid, &RunnerConfig::with_threads(threads)))
+        });
+    }
+
+    let result = run_campaign(&grid, &RunnerConfig::default());
+    group.bench_function("aggregate", |b| b.iter(|| aggregate(&grid, &result)));
+
+    group.finish();
+}
+
+criterion_group!(benches, campaign_benches);
+criterion_main!(benches);

@@ -10,7 +10,9 @@ use qnet_topology::{builders, NodeId, NodePair};
 fn dense_random_lp(vars: usize, constraints: usize) -> LinearProgram {
     // A deterministic pseudo-random LP: maximise Σ x subject to row sums.
     let mut lp = LinearProgram::new();
-    let xs: Vec<_> = (0..vars).map(|i| lp.add_variable(format!("x{i}"))).collect();
+    let xs: Vec<_> = (0..vars)
+        .map(|i| lp.add_variable(format!("x{i}")))
+        .collect();
     let mut state = 0x9E3779B97F4A7C15u64;
     let mut next = || {
         state ^= state << 13;
@@ -49,9 +51,11 @@ fn steady_state_benchmark(c: &mut Criterion) {
         let mut demand = RateMatrices::zeros(n);
         demand.set_consumption(NodePair::new(NodeId(0), NodeId::from(n / 2)), 0.25);
         let model = SteadyStateModel::new(&capacity, &demand);
-        group.bench_with_input(BenchmarkId::new("min_total_generation", n), &model, |b, m| {
-            b.iter(|| m.solve(LpObjective::MinTotalGeneration))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("min_total_generation", n),
+            &model,
+            |b, m| b.iter(|| m.solve(LpObjective::MinTotalGeneration)),
+        );
     }
     group.finish();
 }

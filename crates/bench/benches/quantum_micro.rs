@@ -41,7 +41,9 @@ fn swap_benchmark(c: &mut Criterion) {
 fn werner_and_distill_benchmark(c: &mut Criterion) {
     let mut group = c.benchmark_group("quantum_werner_distill");
     group.sample_size(50);
-    group.bench_function("werner_state_build", |b| b.iter(|| werner_state(0.85).purity()));
+    group.bench_function("werner_state_build", |b| {
+        b.iter(|| werner_state(0.85).purity())
+    });
     group.bench_function("distillation_plan_0.75_to_0.99", |b| {
         b.iter(|| plan_distillation(DistillationProtocol::Bbpssw, 0.75, 0.99, 64))
     });

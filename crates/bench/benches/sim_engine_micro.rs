@@ -27,14 +27,18 @@ fn engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine");
     group.sample_size(30);
     for &events in &[10_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("event_chain", events), &events, |b, &events| {
-            b.iter(|| {
-                let mut engine = Engine::new(PingWorld { remaining: events });
-                engine.queue_mut().schedule_at(SimTime::ZERO, ());
-                engine.run_to_completion();
-                engine.delivered()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("event_chain", events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let mut engine = Engine::new(PingWorld { remaining: events });
+                    engine.queue_mut().schedule_at(SimTime::ZERO, ());
+                    engine.run_to_completion();
+                    engine.delivered()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -51,9 +55,11 @@ fn network_simulation_throughput(c: &mut Criterion) {
             seed: 3,
             max_sim_time_s: 1_500.0,
         };
-        group.bench_with_input(BenchmarkId::new("oblivious_run", nodes), &config, |b, config| {
-            b.iter(|| Experiment::new(config.clone()).run().swaps_performed)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_run", nodes),
+            &config,
+            |b, config| b.iter(|| Experiment::new(*config).run().swaps_performed),
+        );
     }
     group.finish();
 }

@@ -8,9 +8,11 @@ fn builder_benchmark(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_builders");
     group.sample_size(30);
     for &side in &[5usize, 10, 20] {
-        group.bench_with_input(BenchmarkId::new("random_connected_grid", side), &side, |b, &side| {
-            b.iter(|| builders::random_connected_grid(side, 42).edge_count())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_connected_grid", side),
+            &side,
+            |b, &side| b.iter(|| builders::random_connected_grid(side, 42).edge_count()),
+        );
     }
     group.bench_function("erdos_renyi_100", |b| {
         b.iter(|| builders::erdos_renyi_connected(100, 0.05, 7).edge_count())
@@ -23,16 +25,22 @@ fn shortest_path_benchmark(c: &mut Criterion) {
     group.sample_size(30);
     for &side in &[5usize, 10] {
         let g = Topology::TorusGrid { side }.build_deterministic();
-        group.bench_with_input(BenchmarkId::new("all_pairs_bfs", side * side), &g, |b, g| {
-            b.iter(|| all_pairs_distances(g).len())
-        });
-        group.bench_with_input(BenchmarkId::new("single_bfs_path", side * side), &g, |b, g| {
-            b.iter(|| {
-                bfs_path(g, NodeId(0), NodeId::from(side * side - 1))
-                    .map(|p| p.hops())
-                    .unwrap_or(0)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_pairs_bfs", side * side),
+            &g,
+            |b, g| b.iter(|| all_pairs_distances(g).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_bfs_path", side * side),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    bfs_path(g, NodeId(0), NodeId::from(side * side - 1))
+                        .map(|p| p.hops())
+                        .unwrap_or(0)
+                })
+            },
+        );
     }
     group.finish();
 }

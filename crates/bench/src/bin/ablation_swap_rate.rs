@@ -18,7 +18,10 @@ fn main() {
     };
     let topology = Topology::Cycle { nodes };
     println!("== E4: swap-scan-rate ablation (cycle-{nodes}, D = 1) ==");
-    println!("{:>16} {:>12} {:>12}", "scan rate (/s)", "overhead", "satisfied");
+    println!(
+        "{:>16} {:>12} {:>12}",
+        "scan rate (/s)", "overhead", "satisfied"
+    );
     for &rate in &[1.0, 2.0, 4.0, 8.0, 16.0] {
         let mut config = section5_config(topology, 1.0, ProtocolMode::Oblivious, scale);
         config.network = config.network.with_swap_scan_rate(rate);

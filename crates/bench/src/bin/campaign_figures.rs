@@ -1,0 +1,110 @@
+//! Regenerate the Figure 4 and Figure 5 sweeps through the `qnet-campaign`
+//! engine: one declarative grid per figure, executed in parallel, reported
+//! as per-cell statistics with confidence intervals — the campaign-engine
+//! successor to the serial `fig4` / `fig5` binaries.
+//!
+//! ```sh
+//! cargo run --release -p qnet-bench --bin campaign_figures            # paper scale
+//! cargo run --release -p qnet-bench --bin campaign_figures -- --quick # CI scale
+//! ```
+
+use qnet_bench::{figure4_scale, figure5_sizes, figure_topologies, SweepScale};
+use qnet_campaign::{aggregate, run_campaign, CampaignReport, RunnerConfig, ScenarioGrid};
+use qnet_core::experiment::ProtocolMode;
+use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+
+fn workload(scale: SweepScale) -> WorkloadSpec {
+    WorkloadSpec {
+        node_count: 0, // patched per topology
+        consumer_pairs: 35,
+        requests: scale.requests(),
+        discipline: RequestDiscipline::UniformRandom,
+    }
+}
+
+/// Figure 4: overhead vs distillation overhead `D` at fixed |N|.
+fn fig4_grid(scale: SweepScale) -> ScenarioGrid {
+    let (nodes, ds) = figure4_scale(scale);
+    ScenarioGrid::new(11)
+        .with_topologies(figure_topologies(nodes))
+        .with_modes(vec![ProtocolMode::Oblivious])
+        .with_distillations(ds)
+        .with_workloads(vec![workload(scale)])
+        .with_replicates(scale.seeds().len() as u32)
+        .with_horizon_s(scale.horizon_s())
+}
+
+/// Figure 5: overhead vs network size |N| at `D = 1`.
+fn fig5_grids(scale: SweepScale) -> Vec<ScenarioGrid> {
+    figure5_sizes(scale)
+        .into_iter()
+        .map(|nodes| {
+            ScenarioGrid::new(11)
+                .with_topologies(figure_topologies(nodes))
+                .with_modes(vec![ProtocolMode::Oblivious])
+                .with_workloads(vec![workload(scale)])
+                .with_replicates(scale.seeds().len() as u32)
+                .with_horizon_s(scale.horizon_s())
+        })
+        .collect()
+}
+
+fn print_report(title: &str, report: &CampaignReport) {
+    println!("== {title} ==");
+    println!(
+        "{:<18} {:>5} {:>5} {:>10} {:>8} {:>10}",
+        "topology", "N", "D", "overhead", "±95%", "satisfied"
+    );
+    for cell in &report.cell_reports {
+        println!(
+            "{:<18} {:>5} {:>5} {:>10} {:>8} {:>9.0}%",
+            cell.key.topology,
+            cell.key.nodes,
+            cell.key.distillation,
+            cell.overhead_mean
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            cell.overhead_ci95
+                .map(|c| format!("{c:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            cell.satisfaction_mean * 100.0,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let scale = SweepScale::from_args();
+    let runner = RunnerConfig::default();
+
+    let grid4 = fig4_grid(scale);
+    let run4 = run_campaign(&grid4, &runner);
+    eprintln!(
+        "fig4 campaign: {} scenarios in {:.2}s on {} threads",
+        run4.outcomes.len(),
+        run4.wall_seconds,
+        run4.threads_used
+    );
+    print_report(
+        "Figure 4 — swap overhead vs distillation overhead D (campaign engine)",
+        &aggregate(&grid4, &run4),
+    );
+
+    for grid5 in fig5_grids(scale) {
+        let run5 = run_campaign(&grid5, &runner);
+        eprintln!(
+            "fig5 campaign (N={}): {} scenarios in {:.2}s on {} threads",
+            grid5.topologies[0].node_count(),
+            run5.outcomes.len(),
+            run5.wall_seconds,
+            run5.threads_used
+        );
+        print_report(
+            &format!(
+                "Figure 5 — swap overhead at |N| = {} (campaign engine)",
+                grid5.topologies[0].node_count()
+            ),
+            &aggregate(&grid5, &run5),
+        );
+    }
+}

@@ -18,7 +18,5 @@ fn main() {
     if std::fs::create_dir_all("target").is_ok() && std::fs::write(&out, csv).is_ok() {
         println!("wrote {}", out.display());
     }
-    println!(
-        "\nExpected shape (paper): overhead grows slowly as |N| increases at D = 1."
-    );
+    println!("\nExpected shape (paper): overhead grows slowly as |N| increases at D = 1.");
 }

@@ -14,8 +14,7 @@ use qnet_topology::{builders, NodeId, NodePair};
 fn model(survival: f64, distillation: f64, qec_overhead: f64) -> SteadyStateModel {
     let graph = builders::cycle(8);
     // High per-edge capacity so the LP stays feasible across the sweep.
-    let capacity =
-        RateMatrices::uniform_generation(&graph, 64.0).with_qec_thinning(qec_overhead);
+    let capacity = RateMatrices::uniform_generation(&graph, 64.0).with_qec_thinning(qec_overhead);
     let mut demand = RateMatrices::zeros(8);
     demand.set_consumption(NodePair::new(NodeId(0), NodeId(4)), 0.5);
     demand.set_consumption(NodePair::new(NodeId(1), NodeId(3)), 0.5);
@@ -23,7 +22,9 @@ fn model(survival: f64, distillation: f64, qec_overhead: f64) -> SteadyStateMode
 }
 
 fn main() {
-    println!("== E7: LP with decoherence / distillation / QEC overheads (cycle-8, fixed demand) ==");
+    println!(
+        "== E7: LP with decoherence / distillation / QEC overheads (cycle-8, fixed demand) =="
+    );
     println!(
         "{:>6} {:>6} {:>6} {:>14} {:>14} {:>10}",
         "L", "D", "R", "total gen", "total swaps", "status"

@@ -13,9 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use qnet_core::classical::KnowledgeModel;
 use qnet_core::config::DistillationSpec;
 use qnet_core::experiment::{mean_overhead_over_seeds, ExperimentConfig, ProtocolMode};
-use qnet_core::classical::KnowledgeModel;
 use qnet_core::workload::WorkloadSpec;
 use qnet_core::NetworkConfig;
 use qnet_topology::Topology;
@@ -97,7 +97,7 @@ impl FigureRow {
             self.mode,
             self.swap_overhead
                 .map(|o| format!("{o:.4}"))
-                .unwrap_or_else(|| "".to_string()),
+                .unwrap_or_default(),
             self.satisfaction
         )
     }
@@ -160,20 +160,39 @@ pub fn figure_topologies(nodes: usize) -> Vec<Topology> {
     ]
 }
 
+/// Figure 4's parameter table at a scale: the network size and the
+/// distillation overheads swept. Shared by the serial `fig4` binary and
+/// the campaign-engine regeneration so the two cannot diverge.
+pub fn figure4_scale(scale: SweepScale) -> (usize, Vec<f64>) {
+    match scale {
+        SweepScale::Paper => (25, vec![1.0, 2.0, 3.0]),
+        SweepScale::Quick => (9, vec![1.0, 2.0]),
+    }
+}
+
+/// Figure 5's parameter table at a scale: the network sizes swept at
+/// D = 1. Shared by the serial `fig5` binary and the campaign-engine
+/// regeneration.
+pub fn figure5_sizes(scale: SweepScale) -> Vec<usize> {
+    match scale {
+        SweepScale::Paper => vec![9, 16, 25, 36, 49],
+        SweepScale::Quick => vec![9, 16],
+    }
+}
+
 /// Figure 4 sweep: |N| = 25, varying D, per topology.
 pub fn figure4_rows(scale: SweepScale) -> Vec<FigureRow> {
-    let ds: &[f64] = match scale {
-        SweepScale::Paper => &[1.0, 2.0, 3.0],
-        SweepScale::Quick => &[1.0, 2.0],
-    };
-    let nodes = match scale {
-        SweepScale::Paper => 25,
-        SweepScale::Quick => 9,
-    };
+    let (nodes, ds) = figure4_scale(scale);
     let mut rows = Vec::new();
     for topology in figure_topologies(nodes) {
-        for &d in ds {
-            rows.push(run_point("fig4", topology, d, ProtocolMode::Oblivious, scale));
+        for &d in &ds {
+            rows.push(run_point(
+                "fig4",
+                topology,
+                d,
+                ProtocolMode::Oblivious,
+                scale,
+            ));
         }
     }
     rows
@@ -181,14 +200,16 @@ pub fn figure4_rows(scale: SweepScale) -> Vec<FigureRow> {
 
 /// Figure 5 sweep: D = 1, varying |N|, per topology.
 pub fn figure5_rows(scale: SweepScale) -> Vec<FigureRow> {
-    let sizes: &[usize] = match scale {
-        SweepScale::Paper => &[9, 16, 25, 36, 49],
-        SweepScale::Quick => &[9, 16],
-    };
     let mut rows = Vec::new();
-    for &nodes in sizes {
+    for nodes in figure5_sizes(scale) {
         for topology in figure_topologies(nodes) {
-            rows.push(run_point("fig5", topology, 1.0, ProtocolMode::Oblivious, scale));
+            rows.push(run_point(
+                "fig5",
+                topology,
+                1.0,
+                ProtocolMode::Oblivious,
+                scale,
+            ));
         }
     }
     rows

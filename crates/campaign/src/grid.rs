@@ -1,0 +1,508 @@
+//! Scenario grids: declarative cartesian products of experiment axes.
+//!
+//! A [`ScenarioGrid`] names the axes of a sweep — topology families,
+//! protocol modes, distillation overheads, knowledge models, workload specs,
+//! decoherence settings — plus a replicate count and a master seed, and
+//! expands them into a deterministic sequence of [`Scenario`]s. Every
+//! scenario's RNG seed is derived from `(master seed, environment index,
+//! replicate)` with a SplitMix64-style mix, where the *environment index*
+//! spans only the world-defining axes (topology, distillation, coherence,
+//! workload) and deliberately excludes the protocol axes (mode,
+//! knowledge). Consequences:
+//!
+//! * the same grid + master seed always produces the same scenarios, in the
+//!   same order, regardless of how many worker threads execute them,
+//! * replicates within a cell get decorrelated seeds without any global
+//!   draw ordering the runner would have to reproduce, and
+//! * cells that differ only in protocol (mode / knowledge) run on
+//!   **identical** random-graph instances and workloads, so cross-mode
+//!   comparisons (the oblivious-vs-planned ratio rows) are properly
+//!   paired rather than confounded by graph-instance variance.
+//!
+//! The expansion order is row-major over the axes in the order they appear
+//! in the struct (topology outermost, replicate innermost); scenario ids
+//! are dense `0..grid.scenario_count()` indices into that order.
+
+use qnet_core::classical::KnowledgeModel;
+use qnet_core::config::{DistillationSpec, NetworkConfig};
+use qnet_core::experiment::{ExperimentConfig, ProtocolMode};
+use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_quantum::decoherence::DecoherenceModel;
+use qnet_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// One fully resolved cell of the grid: every axis pinned to a value.
+///
+/// Replicates share a cell; aggregation happens per cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Dense index of this cell in the grid's expansion order.
+    pub cell: usize,
+    /// Topology label (e.g. `cycle-25`).
+    pub topology: String,
+    /// Node count of the topology.
+    pub nodes: usize,
+    /// Protocol mode.
+    pub mode: ProtocolMode,
+    /// Distillation overhead `D`.
+    pub distillation: f64,
+    /// Knowledge model.
+    pub knowledge: KnowledgeModel,
+    /// Consumer pairs in the workload.
+    pub consumer_pairs: usize,
+    /// Requests in the workload.
+    pub requests: usize,
+    /// How requests are drawn from the consumer pairs.
+    pub discipline: RequestDiscipline,
+    /// Memory coherence time in seconds (`None` = ideal memories).
+    pub coherence_time_s: Option<f64>,
+}
+
+/// One runnable scenario: a cell plus a replicate index and derived seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Dense scenario id (`0..grid.scenario_count()`).
+    pub id: usize,
+    /// The cell this scenario belongs to.
+    pub cell: usize,
+    /// Replicate index within the cell (`0..replicates`).
+    pub replicate: u32,
+    /// The derived RNG seed.
+    pub seed: u64,
+    /// The fully assembled experiment configuration.
+    pub config: ExperimentConfig,
+}
+
+/// A declarative sweep: cartesian product of axes × replicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// Topology axis (outermost loop).
+    pub topologies: Vec<Topology>,
+    /// Protocol-mode axis.
+    pub modes: Vec<ProtocolMode>,
+    /// Distillation-overhead axis (`D ≥ 1`).
+    pub distillations: Vec<f64>,
+    /// Knowledge-model axis.
+    pub knowledge: Vec<KnowledgeModel>,
+    /// Memory coherence-time axis (`None` = ideal memories).
+    pub coherence_times_s: Vec<Option<f64>>,
+    /// Consumer pairs / request counts; `node_count` is patched per
+    /// topology at expansion time.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Replicates per cell (innermost loop).
+    pub replicates: u32,
+    /// Master seed all scenario seeds derive from.
+    pub master_seed: u64,
+    /// Simulated-time horizon per run, in seconds.
+    pub max_sim_time_s: f64,
+    /// Bell-pair generation rate on every generation edge.
+    pub generation_rate: f64,
+    /// Per-node swap-scan rate.
+    pub swap_scan_rate: f64,
+}
+
+impl ScenarioGrid {
+    /// A grid with the paper's §5 defaults on every axis: one cycle-9
+    /// topology, oblivious mode, `D = 1`, global knowledge, ideal memories,
+    /// the paper-default workload, one replicate.
+    pub fn new(master_seed: u64) -> Self {
+        ScenarioGrid {
+            topologies: vec![Topology::Cycle { nodes: 9 }],
+            modes: vec![ProtocolMode::Oblivious],
+            distillations: vec![1.0],
+            knowledge: vec![KnowledgeModel::Global],
+            coherence_times_s: vec![None],
+            workloads: vec![WorkloadSpec::paper_default(9)],
+            replicates: 1,
+            master_seed,
+            max_sim_time_s: 20_000.0,
+            generation_rate: 1.0,
+            swap_scan_rate: 4.0,
+        }
+    }
+
+    /// Builder: set the topology axis.
+    pub fn with_topologies(mut self, topologies: impl Into<Vec<Topology>>) -> Self {
+        self.topologies = topologies.into();
+        assert!(!self.topologies.is_empty(), "topology axis cannot be empty");
+        self
+    }
+
+    /// Builder: set the protocol-mode axis.
+    pub fn with_modes(mut self, modes: impl Into<Vec<ProtocolMode>>) -> Self {
+        self.modes = modes.into();
+        assert!(!self.modes.is_empty(), "mode axis cannot be empty");
+        self
+    }
+
+    /// Builder: set the distillation axis.
+    pub fn with_distillations(mut self, ds: impl Into<Vec<f64>>) -> Self {
+        self.distillations = ds.into();
+        assert!(
+            self.distillations.iter().all(|&d| d >= 1.0),
+            "distillation overheads must be ≥ 1"
+        );
+        assert!(
+            !self.distillations.is_empty(),
+            "distillation axis cannot be empty"
+        );
+        self
+    }
+
+    /// Builder: set the knowledge-model axis.
+    pub fn with_knowledge(mut self, ks: impl Into<Vec<KnowledgeModel>>) -> Self {
+        self.knowledge = ks.into();
+        assert!(!self.knowledge.is_empty(), "knowledge axis cannot be empty");
+        self
+    }
+
+    /// Builder: set the coherence-time axis (`None` = ideal memories).
+    pub fn with_coherence_times(mut self, ts: impl Into<Vec<Option<f64>>>) -> Self {
+        self.coherence_times_s = ts.into();
+        assert!(
+            !self.coherence_times_s.is_empty(),
+            "coherence-time axis cannot be empty"
+        );
+        self
+    }
+
+    /// Builder: set the workload axis.
+    pub fn with_workloads(mut self, ws: impl Into<Vec<WorkloadSpec>>) -> Self {
+        self.workloads = ws.into();
+        assert!(!self.workloads.is_empty(), "workload axis cannot be empty");
+        self
+    }
+
+    /// Builder: set replicates per cell.
+    pub fn with_replicates(mut self, replicates: u32) -> Self {
+        assert!(replicates >= 1, "need at least one replicate per cell");
+        self.replicates = replicates;
+        self
+    }
+
+    /// Builder: set the per-run horizon.
+    pub fn with_horizon_s(mut self, horizon: f64) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        self.max_sim_time_s = horizon;
+        self
+    }
+
+    /// Builder: set the generation rate.
+    pub fn with_generation_rate(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "generation rate must be positive");
+        self.generation_rate = rate;
+        self
+    }
+
+    /// Builder: set the swap-scan rate.
+    pub fn with_swap_scan_rate(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "swap scan rate must be positive");
+        self.swap_scan_rate = rate;
+        self
+    }
+
+    /// Number of distinct cells.
+    pub fn cell_count(&self) -> usize {
+        self.topologies.len()
+            * self.modes.len()
+            * self.distillations.len()
+            * self.knowledge.len()
+            * self.coherence_times_s.len()
+            * self.workloads.len()
+    }
+
+    /// Total number of scenarios (`cells × replicates`).
+    pub fn scenario_count(&self) -> usize {
+        self.cell_count() * self.replicates as usize
+    }
+
+    /// The axis values of cell `cell` (row-major decode of the expansion
+    /// order).
+    fn cell_axes(
+        &self,
+        cell: usize,
+    ) -> (
+        Topology,
+        ProtocolMode,
+        f64,
+        KnowledgeModel,
+        Option<f64>,
+        WorkloadSpec,
+    ) {
+        let [t, m, d, k, c, w] = self.decode_cell(cell);
+        (
+            self.topologies[t],
+            self.modes[m],
+            self.distillations[d],
+            self.knowledge[k],
+            self.coherence_times_s[c],
+            self.workloads[w],
+        )
+    }
+
+    /// Row-major decode of a cell index into per-axis indices, ordered
+    /// `[topology, mode, distillation, knowledge, coherence, workload]`
+    /// (topology outermost). The single source of truth for the expansion
+    /// order — both the axis lookup and the environment index derive from
+    /// it.
+    fn decode_cell(&self, cell: usize) -> [usize; 6] {
+        let mut rest = cell;
+        let w = rest % self.workloads.len();
+        rest /= self.workloads.len();
+        let c = rest % self.coherence_times_s.len();
+        rest /= self.coherence_times_s.len();
+        let k = rest % self.knowledge.len();
+        rest /= self.knowledge.len();
+        let d = rest % self.distillations.len();
+        rest /= self.distillations.len();
+        let m = rest % self.modes.len();
+        rest /= self.modes.len();
+        let t = rest;
+        assert!(t < self.topologies.len(), "cell index out of range");
+        [t, m, d, k, c, w]
+    }
+
+    /// The *environment* index of a cell: its coordinates along the axes
+    /// that define the simulated world (topology, distillation, coherence,
+    /// workload), excluding the protocol axes (mode, knowledge).
+    ///
+    /// Scenario seeds derive from this index, so cells that differ only in
+    /// protocol run on **identical graph instances, workloads and arrival
+    /// randomness** — the oblivious-vs-planned ratio rows compare protocols
+    /// on the same worlds, matching how the serial figure pipeline pairs
+    /// seeds across modes.
+    fn environment_index(&self, cell: usize) -> u64 {
+        let [t, _m, d, _k, c, w] = self.decode_cell(cell);
+        (((t * self.distillations.len() + d) * self.coherence_times_s.len() + c)
+            * self.workloads.len()
+            + w) as u64
+    }
+
+    /// The report key of cell `cell`.
+    pub fn cell_key(&self, cell: usize) -> CellKey {
+        let (topology, mode, distillation, knowledge, coherence, workload) = self.cell_axes(cell);
+        CellKey {
+            cell,
+            topology: topology.label(),
+            nodes: topology.node_count(),
+            mode,
+            distillation,
+            knowledge,
+            consumer_pairs: workload.consumer_pairs,
+            requests: workload.requests,
+            discipline: workload.discipline,
+            coherence_time_s: coherence,
+        }
+    }
+
+    /// All cell keys, in expansion order.
+    pub fn cell_keys(&self) -> Vec<CellKey> {
+        (0..self.cell_count()).map(|c| self.cell_key(c)).collect()
+    }
+
+    /// Materialise scenario `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= scenario_count()`.
+    pub fn scenario(&self, id: usize) -> Scenario {
+        assert!(id < self.scenario_count(), "scenario id out of range");
+        let replicates = self.replicates as usize;
+        let cell = id / replicates;
+        let replicate = (id % replicates) as u32;
+        let (topology, mode, distillation, knowledge, coherence, mut workload) =
+            self.cell_axes(cell);
+
+        let seed = derive_seed(
+            self.master_seed,
+            self.environment_index(cell),
+            replicate as u64,
+        );
+        workload.node_count = topology.node_count();
+
+        let mut network = NetworkConfig::new(topology)
+            .with_topology_seed(seed)
+            .with_generation_rate(self.generation_rate)
+            .with_swap_scan_rate(self.swap_scan_rate)
+            .with_distillation(DistillationSpec::Uniform(distillation));
+        if let Some(t) = coherence {
+            network.decoherence = DecoherenceModel::with_coherence_time(t);
+        }
+
+        Scenario {
+            id,
+            cell,
+            replicate,
+            seed,
+            config: ExperimentConfig {
+                network,
+                workload,
+                mode,
+                knowledge,
+                seed,
+                max_sim_time_s: self.max_sim_time_s,
+            },
+        }
+    }
+
+    /// Iterate over every scenario in id order.
+    pub fn scenarios(&self) -> impl Iterator<Item = Scenario> + '_ {
+        (0..self.scenario_count()).map(|id| self.scenario(id))
+    }
+}
+
+/// SplitMix64-style mixing of the master seed with cell and replicate
+/// indices. Stable across platforms and rustc versions: the derivation is
+/// pure integer arithmetic on fixed constants.
+pub fn derive_seed(master: u64, cell: u64, replicate: u64) -> u64 {
+    let mut z = master
+        ^ cell.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ replicate.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid::new(7)
+            .with_topologies(vec![
+                Topology::Cycle { nodes: 7 },
+                Topology::TorusGrid { side: 3 },
+            ])
+            .with_modes(vec![
+                ProtocolMode::Oblivious,
+                ProtocolMode::PlannedConnectionOriented,
+            ])
+            .with_distillations(vec![1.0, 2.0])
+            .with_workloads(vec![WorkloadSpec {
+                node_count: 0,
+                consumer_pairs: 5,
+                requests: 6,
+                discipline: RequestDiscipline::UniformRandom,
+            }])
+            .with_replicates(3)
+    }
+
+    #[test]
+    fn counts_multiply() {
+        let g = small_grid();
+        assert_eq!(g.cell_count(), 2 * 2 * 2);
+        assert_eq!(g.scenario_count(), 8 * 3);
+        assert_eq!(g.scenarios().count(), 24);
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_dense() {
+        let g = small_grid();
+        let a: Vec<Scenario> = g.scenarios().collect();
+        let b: Vec<Scenario> = g.scenarios().collect();
+        assert_eq!(a, b);
+        for (i, s) in a.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert_eq!(s.cell, i / 3);
+            assert_eq!(s.replicate as usize, i % 3);
+            // Workload node counts are patched to the topology.
+            assert_eq!(s.config.workload.node_count, s.config.network.node_count());
+        }
+    }
+
+    #[test]
+    fn seeds_are_decorrelated_across_environments() {
+        // Distinct (topology, distillation, coherence, workload, replicate)
+        // coordinates must get distinct seeds; the mode axis shares them by
+        // design (see `environment_paired_seeds_across_modes`).
+        let g = small_grid();
+        let mut seeds: Vec<u64> = g.scenarios().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        // 2 topologies × 2 distillations × 1 workload × 3 replicates.
+        assert_eq!(seeds.len(), 2 * 2 * 3, "environment seed collision");
+    }
+
+    #[test]
+    fn environment_paired_seeds_across_modes() {
+        // Cells differing only in mode share seeds, graphs and workloads,
+        // so oblivious-vs-planned ratios compare identical worlds.
+        let g = small_grid();
+        let scenarios: Vec<Scenario> = g.scenarios().collect();
+        for a in &scenarios {
+            for b in &scenarios {
+                let ka = g.cell_key(a.cell);
+                let kb = g.cell_key(b.cell);
+                let same_env = ka.topology == kb.topology
+                    && ka.distillation == kb.distillation
+                    && ka.coherence_time_s == kb.coherence_time_s
+                    && ka.consumer_pairs == kb.consumer_pairs
+                    && ka.requests == kb.requests
+                    && ka.discipline == kb.discipline
+                    && a.replicate == b.replicate;
+                if same_env {
+                    assert_eq!(a.seed, b.seed, "cells {} vs {}", a.cell, b.cell);
+                    assert_eq!(
+                        a.config.network.topology_seed,
+                        b.config.network.topology_seed
+                    );
+                    // Identical workload materialisation follows from the
+                    // shared seed.
+                    assert_eq!(
+                        a.config.workload.generate(a.seed),
+                        b.config.workload.generate(b.seed)
+                    );
+                }
+            }
+        }
+        // And the pairing is non-trivial: the grid really does have
+        // same-environment cells in different modes.
+        assert!(scenarios
+            .iter()
+            .any(|s| g.cell_key(s.cell).mode != ProtocolMode::Oblivious));
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = small_grid();
+        let mut b = small_grid();
+        b.master_seed = 8;
+        let sa: Vec<u64> = a.scenarios().map(|s| s.seed).collect();
+        let sb: Vec<u64> = b.scenarios().map(|s| s.seed).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn cell_keys_match_scenarios() {
+        let g = small_grid();
+        for s in g.scenarios() {
+            let key = g.cell_key(s.cell);
+            assert_eq!(key.cell, s.cell);
+            assert_eq!(key.topology, s.config.network.topology.label());
+            assert_eq!(key.mode, s.config.mode);
+            assert_eq!(key.distillation, s.config.network.distillation_overhead());
+            assert_eq!(key.requests, s.config.workload.requests);
+        }
+        assert_eq!(g.cell_keys().len(), g.cell_count());
+    }
+
+    #[test]
+    fn axes_decode_row_major() {
+        let g = small_grid();
+        // Cell 0: first value of every axis; last cell: last values.
+        let first = g.cell_key(0);
+        assert_eq!(first.topology, "cycle-7");
+        assert_eq!(first.mode, ProtocolMode::Oblivious);
+        assert_eq!(first.distillation, 1.0);
+        let last = g.cell_key(g.cell_count() - 1);
+        assert_eq!(last.topology, "torus-3x3");
+        assert_eq!(last.mode, ProtocolMode::PlannedConnectionOriented);
+        assert_eq!(last.distillation, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_scenario_panics() {
+        let g = small_grid();
+        let _ = g.scenario(g.scenario_count());
+    }
+}

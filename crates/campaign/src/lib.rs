@@ -1,0 +1,68 @@
+//! # qnet-campaign — parallel scenario campaigns for sweep experiments
+//!
+//! The paper's headline results (Figures 4 and 5: swap overhead vs.
+//! distillation rounds and vs. network size) are parameter sweeps over
+//! topology × workload × protocol mode. This crate turns such sweeps from
+//! ad-hoc loops into declarative, parallel, reproducible **campaigns**:
+//!
+//! 1. **Declare** a [`ScenarioGrid`]: the cartesian product of topology
+//!    families, protocol modes, distillation overheads, knowledge models,
+//!    coherence times and workload specs, × a replicate count. The grid
+//!    expands into dense, deterministic [`Scenario`]s whose RNG seeds
+//!    derive from `(master seed, cell, replicate)`.
+//! 2. **Execute** with [`run_campaign`]: a chunked `std::thread` pool claims
+//!    scenario ids through an atomic cursor and runs each
+//!    [`qnet_core::Experiment`] independently — thousands of runs saturate
+//!    all cores with zero external dependencies.
+//! 3. **Aggregate** with [`aggregate`]: per-cell Welford mean/variance,
+//!    exact percentiles, 95% confidence intervals, satisfaction and
+//!    classical-message totals, plus matched oblivious-vs-planned
+//!    [`OverheadRatioRow`]s reproducing the Fig 4/5 comparisons.
+//! 4. **Report** with [`write_jsonl`]: self-describing JSON-lines output
+//!    that is byte-identical no matter how many worker threads ran the
+//!    campaign (see the determinism tests).
+//!
+//! The `campaign` CLI binary wraps all four steps; `qnet-bench` adds micro
+//! benchmarks and a sweep binary on top of the same API.
+//!
+//! ## Example
+//!
+//! ```
+//! use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
+//! use qnet_core::experiment::ProtocolMode;
+//! use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+//! use qnet_topology::Topology;
+//!
+//! let grid = ScenarioGrid::new(7)
+//!     .with_topologies(vec![Topology::Cycle { nodes: 5 }])
+//!     .with_modes(vec![ProtocolMode::Oblivious])
+//!     .with_workloads(vec![WorkloadSpec {
+//!         node_count: 0, // patched per topology
+//!         consumer_pairs: 4,
+//!         requests: 4,
+//!         discipline: RequestDiscipline::UniformRandom,
+//!     }])
+//!     .with_replicates(2)
+//!     .with_horizon_s(500.0);
+//!
+//! let result = run_campaign(&grid, &RunnerConfig::default());
+//! let report = aggregate(&grid, &result);
+//! assert_eq!(report.cell_reports.len(), 1);
+//! assert_eq!(report.scenarios, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod report;
+pub mod runner;
+
+pub use grid::{derive_seed, CellKey, Scenario, ScenarioGrid};
+pub use report::{
+    aggregate, overhead_ratios, to_jsonl_string, write_jsonl, CampaignReport, CellReport,
+    OverheadRatioRow,
+};
+pub use runner::{
+    run_campaign, run_campaign_with_progress, CampaignResult, RunnerConfig, ScenarioOutcome,
+};

@@ -1,0 +1,406 @@
+//! `campaign` — run a scenario-grid sweep from the command line.
+//!
+//! ```text
+//! campaign [OPTIONS]
+//!
+//!   --topologies LIST   comma-separated topology specs (default:
+//!                       cycle:9,rand-grid:3,ws:9:4:0.2)
+//!                       cycle:N | path:N | star:N | complete:N | torus:S |
+//!                       grid:S | rand-grid:S | er:N:P | ws:N:K:P | tree:N
+//!   --modes LIST        oblivious|planned|connectionless|hybrid
+//!                       (default: oblivious,planned,hybrid)
+//!   --dist LIST         distillation overheads (default: 1,2)
+//!   --gossip K          add a gossip knowledge axis with K peers/refresh
+//!   --pairs N           consumer pairs per workload (default: 10)
+//!   --requests N        requests per run (default: 12)
+//!   --replicates N      replicates per cell (default: 6)
+//!   --seed N            master seed (default: 1)
+//!   --horizon S         simulated-seconds horizon (default: 4000)
+//!   --threads N         worker threads (default: all cores)
+//!   --out FILE          write the JSONL report to FILE (default: stdout)
+//!   --compare-serial    also run single-threaded; verify byte-identical
+//!                       reports and print the parallel speedup
+//!   --dry-run           print the grid shape and exit without running
+//! ```
+//!
+//! The JSON-lines report goes to stdout (or `--out`); the human summary and
+//! timing go to stderr, so `campaign > sweep.jsonl` composes cleanly.
+
+use qnet_campaign::{aggregate, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid};
+use qnet_core::classical::KnowledgeModel;
+use qnet_core::experiment::ProtocolMode;
+use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_topology::Topology;
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Options {
+    topologies: Vec<Topology>,
+    modes: Vec<ProtocolMode>,
+    distillations: Vec<f64>,
+    knowledge: Vec<KnowledgeModel>,
+    pairs: usize,
+    requests: usize,
+    replicates: u32,
+    seed: u64,
+    horizon: f64,
+    threads: usize,
+    out: Option<String>,
+    compare_serial: bool,
+    dry_run: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            topologies: vec![
+                Topology::Cycle { nodes: 9 },
+                Topology::RandomConnectedGrid { side: 3 },
+                Topology::WattsStrogatz {
+                    nodes: 9,
+                    neighbors: 4,
+                    rewire_probability: 0.2,
+                },
+            ],
+            modes: vec![
+                ProtocolMode::Oblivious,
+                ProtocolMode::PlannedConnectionOriented,
+                ProtocolMode::Hybrid,
+            ],
+            distillations: vec![1.0, 2.0],
+            knowledge: vec![KnowledgeModel::Global],
+            pairs: 10,
+            requests: 12,
+            replicates: 6,
+            seed: 1,
+            horizon: 4_000.0,
+            threads: 0,
+            out: None,
+            compare_serial: false,
+            dry_run: false,
+        }
+    }
+}
+
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let n = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("{spec}: missing parameter {i}"))?
+            .parse()
+            .map_err(|_| format!("{spec}: bad integer parameter"))
+    };
+    let f = |i: usize| -> Result<f64, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("{spec}: missing parameter {i}"))?
+            .parse()
+            .map_err(|_| format!("{spec}: bad float parameter"))
+    };
+    match parts[0] {
+        "cycle" => Ok(Topology::Cycle { nodes: n(1)? }),
+        "path" => Ok(Topology::Path { nodes: n(1)? }),
+        "star" => Ok(Topology::Star { nodes: n(1)? }),
+        "complete" => Ok(Topology::Complete { nodes: n(1)? }),
+        "torus" => Ok(Topology::TorusGrid { side: n(1)? }),
+        "grid" => Ok(Topology::PlanarGrid { side: n(1)? }),
+        "rand-grid" => Ok(Topology::RandomConnectedGrid { side: n(1)? }),
+        "er" => Ok(Topology::ErdosRenyiConnected {
+            nodes: n(1)?,
+            edge_probability: f(2)?,
+        }),
+        "ws" => Ok(Topology::WattsStrogatz {
+            nodes: n(1)?,
+            neighbors: n(2)?,
+            rewire_probability: f(3)?,
+        }),
+        "tree" => Ok(Topology::RandomTree { nodes: n(1)? }),
+        other => Err(format!("unknown topology family '{other}'")),
+    }
+}
+
+fn parse_mode(spec: &str) -> Result<ProtocolMode, String> {
+    match spec {
+        "oblivious" => Ok(ProtocolMode::Oblivious),
+        "planned" => Ok(ProtocolMode::PlannedConnectionOriented),
+        "connectionless" => Ok(ProtocolMode::PlannedConnectionless),
+        "hybrid" => Ok(ProtocolMode::Hybrid),
+        other => Err(format!(
+            "unknown mode '{other}' (oblivious|planned|connectionless|hybrid)"
+        )),
+    }
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    name: &str,
+    value: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    let items: Vec<T> = value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(format!("{name} needs at least one value"));
+    }
+    Ok(items)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--topologies" => {
+                opts.topologies =
+                    parse_list("--topologies", value("--topologies")?, parse_topology)?
+            }
+            "--modes" => opts.modes = parse_list("--modes", value("--modes")?, parse_mode)?,
+            "--dist" => {
+                opts.distillations = parse_list("--dist", value("--dist")?, |s| {
+                    s.parse::<f64>().map_err(|e| e.to_string())
+                })?
+            }
+            "--gossip" => {
+                let k: usize = value("--gossip")?
+                    .parse()
+                    .map_err(|_| "--gossip needs an integer".to_string())?;
+                if k < 1 {
+                    return Err("--gossip must refresh at least one peer per scan".to_string());
+                }
+                opts.knowledge = vec![
+                    KnowledgeModel::Global,
+                    KnowledgeModel::Gossip {
+                        peers_per_refresh: k,
+                    },
+                ];
+            }
+            "--pairs" => {
+                opts.pairs = value("--pairs")?
+                    .parse()
+                    .map_err(|_| "--pairs needs an integer".to_string())?
+            }
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests needs an integer".to_string())?
+            }
+            "--replicates" => {
+                opts.replicates = value("--replicates")?
+                    .parse()
+                    .map_err(|_| "--replicates needs an integer".to_string())?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--horizon" => {
+                opts.horizon = value("--horizon")?
+                    .parse()
+                    .map_err(|_| "--horizon needs a number".to_string())?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?
+            }
+            "--out" => opts.out = Some(value("--out")?.clone()),
+            "--compare-serial" => opts.compare_serial = true,
+            "--dry-run" => opts.dry_run = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    // Validate here so bad input exits with a message, not a panic from the
+    // grid builder's asserts.
+    if opts.replicates < 1 {
+        return Err("--replicates must be at least 1".to_string());
+    }
+    if let Some(d) = opts.distillations.iter().find(|&&d| d < 1.0) {
+        return Err(format!("--dist values must be ≥ 1 (got {d})"));
+    }
+    if opts.horizon <= 0.0 {
+        return Err("--horizon must be positive".to_string());
+    }
+    if opts.pairs < 1 || opts.requests < 1 {
+        return Err("--pairs and --requests must be at least 1".to_string());
+    }
+    if let Some(t) = opts.topologies.iter().find(|t| t.node_count() < 2) {
+        return Err(format!(
+            "topology {} has fewer than 2 nodes; consumer pairs need at least 2",
+            t.label()
+        ));
+    }
+    Ok(opts)
+}
+
+fn build_grid(opts: &Options) -> ScenarioGrid {
+    ScenarioGrid::new(opts.seed)
+        .with_topologies(opts.topologies.clone())
+        .with_modes(opts.modes.clone())
+        .with_distillations(opts.distillations.clone())
+        .with_knowledge(opts.knowledge.clone())
+        .with_workloads(vec![WorkloadSpec {
+            node_count: 0, // patched per topology at expansion time
+            consumer_pairs: opts.pairs,
+            requests: opts.requests,
+            discipline: RequestDiscipline::UniformRandom,
+        }])
+        .with_replicates(opts.replicates)
+        .with_horizon_s(opts.horizon)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg == "help" {
+                eprint!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("campaign: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let grid = build_grid(&opts);
+    eprintln!(
+        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge)",
+        grid.cell_count(),
+        grid.replicates,
+        grid.scenario_count(),
+        grid.topologies.len(),
+        grid.modes.len(),
+        grid.distillations.len(),
+        grid.knowledge.len(),
+    );
+    if opts.dry_run {
+        for key in grid.cell_keys() {
+            eprintln!(
+                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}",
+                key.cell,
+                key.topology,
+                key.nodes,
+                key.mode,
+                key.distillation,
+                key.consumer_pairs,
+                key.requests,
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let runner = RunnerConfig {
+        threads: opts.threads,
+        chunk_size: 0,
+    };
+    let result = run_campaign(&grid, &runner);
+    let report = aggregate(&grid, &result);
+    let jsonl = to_jsonl_string(&report);
+
+    eprintln!(
+        "campaign: {} scenarios on {} threads in {:.2}s ({:.1} scenarios/s)",
+        result.outcomes.len(),
+        result.threads_used,
+        result.wall_seconds,
+        result.outcomes.len() as f64 / result.wall_seconds.max(1e-9),
+    );
+
+    if opts.compare_serial {
+        let serial = run_campaign(&grid, &RunnerConfig::serial());
+        let serial_report = aggregate(&grid, &serial);
+        let serial_jsonl = to_jsonl_string(&serial_report);
+        assert_eq!(
+            jsonl, serial_jsonl,
+            "parallel and serial reports must be byte-identical"
+        );
+        eprintln!(
+            "campaign: serial run {:.2}s → speedup {:.2}× on {} threads (reports byte-identical ✓)",
+            serial.wall_seconds,
+            serial.wall_seconds / result.wall_seconds.max(1e-9),
+            result.threads_used,
+        );
+    }
+
+    // Human summary of the headline metric.
+    for cell in &report.cell_reports {
+        let knowledge = match cell.key.knowledge {
+            KnowledgeModel::Global => String::new(),
+            KnowledgeModel::Gossip { peers_per_refresh } => {
+                format!(" gossip:{peers_per_refresh}")
+            }
+        };
+        eprintln!(
+            "  {:<16} N={:<3} {:>26}{knowledge} D={:<4} overhead {:>8} ±{:>6} sat {:>5.1}%",
+            cell.key.topology,
+            cell.key.nodes,
+            format!("{:?}", cell.key.mode),
+            cell.key.distillation,
+            cell.overhead_mean
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            cell.overhead_ci95
+                .map(|c| format!("{c:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            cell.satisfaction_mean * 100.0,
+        );
+    }
+    for ratio in &report.ratios {
+        eprintln!(
+            "  ratio {:<16} D={:<4} {:?}/{:?} = {:.3}",
+            ratio.topology,
+            ratio.distillation,
+            ratio.numerator_mode,
+            ratio.denominator_mode,
+            ratio.ratio,
+        );
+    }
+
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("campaign: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("campaign: wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(jsonl.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "\
+campaign — run a qnet scenario-grid sweep
+
+USAGE:
+  campaign [OPTIONS]                      run the sweep, JSONL on stdout
+  campaign --dry-run [OPTIONS]            print the grid shape and exit
+
+OPTIONS:
+  --topologies LIST  cycle:N path:N star:N complete:N torus:S grid:S
+                     rand-grid:S er:N:P ws:N:K:P tree:N   (comma-separated)
+  --modes LIST       oblivious planned connectionless hybrid
+  --dist LIST        distillation overheads, e.g. 1,2,3
+  --gossip K         add a gossip knowledge axis (K peers per refresh)
+  --pairs N          consumer pairs per workload        [10]
+  --requests N       requests per run                   [12]
+  --replicates N     replicates per cell                [6]
+  --seed N           master seed                        [1]
+  --horizon S        simulated-seconds horizon          [4000]
+  --threads N        worker threads                     [all cores]
+  --out FILE         write JSONL report to FILE         [stdout]
+  --compare-serial   verify 1-thread determinism, print speedup
+  --dry-run          print the grid shape and exit
+";

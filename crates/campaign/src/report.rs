@@ -1,0 +1,443 @@
+//! Per-cell streaming aggregation and report rendering.
+//!
+//! Aggregation consumes [`ScenarioOutcome`]s strictly in scenario-id order
+//! (the runner guarantees that order regardless of thread count), folding
+//! each cell's replicates into a [`CellReport`]: Welford mean/variance of
+//! the swap overhead, exact percentiles over the replicate samples, a 95%
+//! normal-approximation confidence interval, and satisfaction / swap /
+//! message totals. A second pass pairs oblivious cells with their
+//! planned-mode twins into [`OverheadRatioRow`]s — the oblivious-vs-planned
+//! comparison behind the paper's Figures 4 and 5.
+//!
+//! Reports serialize to JSON lines: one self-describing object per line
+//! (`"kind": "cell"` / `"ratio"` / `"campaign"`), so sweeps can be streamed,
+//! `grep`ed and diffed. All numeric content derives from seeded simulation
+//! only — byte-identical across runs and thread counts.
+
+use crate::grid::{CellKey, ScenarioGrid};
+use crate::runner::{CampaignResult, ScenarioOutcome};
+use qnet_core::experiment::ProtocolMode;
+use qnet_sim::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Aggregated statistics over one cell's replicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// The cell's axis values.
+    pub key: CellKey,
+    /// Replicates executed.
+    pub replicates: u32,
+    /// Replicates whose swap-overhead denominator was non-zero.
+    pub overhead_samples: u64,
+    /// Mean swap overhead over the valid samples (`None` if none).
+    pub overhead_mean: Option<f64>,
+    /// Unbiased sample variance of the swap overhead.
+    pub overhead_variance: Option<f64>,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (normal approximation, `1.96·σ/√n`; `None` below 2 samples).
+    pub overhead_ci95: Option<f64>,
+    /// 10th/50th/90th percentile of the swap overhead samples.
+    pub overhead_p10: Option<f64>,
+    /// Median swap overhead.
+    pub overhead_p50: Option<f64>,
+    /// 90th percentile swap overhead.
+    pub overhead_p90: Option<f64>,
+    /// Minimum observed overhead.
+    pub overhead_min: Option<f64>,
+    /// Maximum observed overhead.
+    pub overhead_max: Option<f64>,
+    /// Mean satisfaction ratio over all replicates.
+    pub satisfaction_mean: f64,
+    /// Total swaps across replicates.
+    pub swaps_total: u64,
+    /// Total Bell pairs generated across replicates.
+    pub pairs_generated_total: u64,
+    /// Mean simulated seconds per replicate.
+    pub simulated_seconds_mean: f64,
+    /// Total classical count-update messages across replicates.
+    pub count_update_messages_total: u64,
+}
+
+/// Oblivious-vs-planned comparison for one matched pair of cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRatioRow {
+    /// Topology label shared by both cells.
+    pub topology: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Distillation overhead `D`.
+    pub distillation: f64,
+    /// Requests per run.
+    pub requests: usize,
+    /// The numerator mode (an oblivious-family mode).
+    pub numerator_mode: ProtocolMode,
+    /// The denominator mode (a planned-family mode).
+    pub denominator_mode: ProtocolMode,
+    /// Mean overhead of the numerator cell.
+    pub numerator_overhead: f64,
+    /// Mean overhead of the denominator cell.
+    pub denominator_overhead: f64,
+    /// `numerator / denominator` (the Fig 4/5 comparison).
+    pub ratio: f64,
+}
+
+/// A whole campaign: header metadata plus the per-cell reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Master seed the grid ran with.
+    pub master_seed: u64,
+    /// Cells in the grid.
+    pub cells: usize,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Replicates per cell.
+    pub replicates: u32,
+    /// The per-cell aggregates, in cell order.
+    pub cell_reports: Vec<CellReport>,
+    /// Matched oblivious-vs-planned ratios.
+    pub ratios: Vec<OverheadRatioRow>,
+}
+
+/// Exact percentile over a sorted sample set (nearest-rank method).
+fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Fold one cell's outcomes (already in replicate order) into a report.
+fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
+    let mut overhead = RunningStats::new();
+    let mut samples: Vec<f64> = Vec::with_capacity(outcomes.len());
+    let mut satisfaction = 0.0f64;
+    let mut swaps_total = 0u64;
+    let mut pairs_total = 0u64;
+    let mut sim_seconds = 0.0f64;
+    let mut messages = 0u64;
+
+    for o in outcomes {
+        if let Some(x) = o.swap_overhead {
+            overhead.record(x);
+            samples.push(x);
+        }
+        satisfaction += o.satisfaction_ratio();
+        swaps_total += o.swaps_performed;
+        pairs_total += o.pairs_generated;
+        sim_seconds += o.simulated_seconds;
+        messages += o.count_update_messages;
+    }
+    samples.sort_by(f64::total_cmp);
+
+    let n = overhead.count();
+    let replicates = outcomes.len() as u32;
+    let ci95 = overhead.ci95_half_width();
+
+    CellReport {
+        key,
+        replicates,
+        overhead_samples: n,
+        overhead_mean: (n > 0).then(|| overhead.mean()),
+        overhead_variance: (n > 1).then(|| overhead.variance()),
+        overhead_ci95: ci95,
+        overhead_p10: percentile_of_sorted(&samples, 0.10),
+        overhead_p50: percentile_of_sorted(&samples, 0.50),
+        overhead_p90: percentile_of_sorted(&samples, 0.90),
+        overhead_min: overhead.min(),
+        overhead_max: overhead.max(),
+        satisfaction_mean: if replicates == 0 {
+            1.0
+        } else {
+            satisfaction / replicates as f64
+        },
+        swaps_total,
+        pairs_generated_total: pairs_total,
+        simulated_seconds_mean: if replicates == 0 {
+            0.0
+        } else {
+            sim_seconds / replicates as f64
+        },
+        count_update_messages_total: messages,
+    }
+}
+
+/// True for the oblivious protocol family (ratio numerators).
+fn is_oblivious_family(mode: ProtocolMode) -> bool {
+    matches!(mode, ProtocolMode::Oblivious | ProtocolMode::Hybrid)
+}
+
+/// True for the planned-path family (ratio denominators).
+fn is_planned_family(mode: ProtocolMode) -> bool {
+    matches!(
+        mode,
+        ProtocolMode::PlannedConnectionOriented | ProtocolMode::PlannedConnectionless
+    )
+}
+
+/// Pair each oblivious-family cell with every planned-family cell that
+/// matches it on all non-mode axes, and compute the overhead ratio.
+pub fn overhead_ratios(cell_reports: &[CellReport]) -> Vec<OverheadRatioRow> {
+    let mut rows = Vec::new();
+    for num in cell_reports {
+        if !is_oblivious_family(num.key.mode) {
+            continue;
+        }
+        let Some(num_overhead) = num.overhead_mean else {
+            continue;
+        };
+        for den in cell_reports {
+            if !is_planned_family(den.key.mode) {
+                continue;
+            }
+            let same_axes = num.key.topology == den.key.topology
+                && num.key.distillation == den.key.distillation
+                && num.key.knowledge == den.key.knowledge
+                && num.key.consumer_pairs == den.key.consumer_pairs
+                && num.key.requests == den.key.requests
+                && num.key.discipline == den.key.discipline
+                && num.key.coherence_time_s == den.key.coherence_time_s;
+            if !same_axes {
+                continue;
+            }
+            let Some(den_overhead) = den.overhead_mean else {
+                continue;
+            };
+            if den_overhead <= 0.0 {
+                continue;
+            }
+            rows.push(OverheadRatioRow {
+                topology: num.key.topology.clone(),
+                nodes: num.key.nodes,
+                distillation: num.key.distillation,
+                requests: num.key.requests,
+                numerator_mode: num.key.mode,
+                denominator_mode: den.key.mode,
+                numerator_overhead: num_overhead,
+                denominator_overhead: den_overhead,
+                ratio: num_overhead / den_overhead,
+            });
+        }
+    }
+    rows
+}
+
+/// Aggregate a finished campaign into its deterministic report.
+pub fn aggregate(grid: &ScenarioGrid, result: &CampaignResult) -> CampaignReport {
+    let replicates = grid.replicates as usize;
+    let mut cell_reports = Vec::with_capacity(grid.cell_count());
+    for cell in 0..grid.cell_count() {
+        let start = cell * replicates;
+        let end = start + replicates;
+        let outcomes = &result.outcomes[start..end];
+        debug_assert!(outcomes.iter().all(|o| o.cell == cell));
+        cell_reports.push(aggregate_cell(grid.cell_key(cell), outcomes));
+    }
+    let ratios = overhead_ratios(&cell_reports);
+    CampaignReport {
+        master_seed: grid.master_seed,
+        cells: grid.cell_count(),
+        scenarios: grid.scenario_count(),
+        replicates: grid.replicates,
+        cell_reports,
+        ratios,
+    }
+}
+
+/// Serialize a campaign report as JSON lines: one `campaign` header line,
+/// one `cell` line per cell (cell order), one `ratio` line per matched
+/// pair. Deterministic byte-for-byte for a given grid + master seed.
+pub fn write_jsonl<W: Write>(report: &CampaignReport, out: &mut W) -> io::Result<()> {
+    let header = serde_json::Value::Map(vec![
+        ("kind".into(), serde_json::Value::Str("campaign".into())),
+        (
+            "master_seed".into(),
+            serde_json::Value::U64(report.master_seed),
+        ),
+        ("cells".into(), serde_json::Value::U64(report.cells as u64)),
+        (
+            "scenarios".into(),
+            serde_json::Value::U64(report.scenarios as u64),
+        ),
+        (
+            "replicates".into(),
+            serde_json::Value::U64(report.replicates as u64),
+        ),
+    ]);
+    writeln!(
+        out,
+        "{}",
+        serde_json::to_string(&header).expect("header to_string")
+    )?;
+    for cell in &report.cell_reports {
+        writeln!(out, "{}", tagged_line("cell", cell))?;
+    }
+    for ratio in &report.ratios {
+        writeln!(out, "{}", tagged_line("ratio", ratio))?;
+    }
+    Ok(())
+}
+
+/// Render the full report to a string (used by tests and the CLI).
+pub fn to_jsonl_string(report: &CampaignReport) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(report, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("JSON output is UTF-8")
+}
+
+/// One JSONL line: the record's fields prefixed with a `kind` tag.
+fn tagged_line<T: serde::Serialize>(kind: &str, record: &T) -> String {
+    let mut value = serde_json::to_value(record).expect("record to_value");
+    if let serde_json::Value::Map(entries) = &mut value {
+        entries.insert(0, ("kind".to_string(), serde_json::Value::Str(kind.into())));
+    }
+    serde_json::to_string(&value).expect("record to_string")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::derive_seed;
+    use qnet_core::classical::KnowledgeModel;
+    use qnet_core::workload::RequestDiscipline;
+
+    fn key(cell: usize, mode: ProtocolMode, d: f64) -> CellKey {
+        CellKey {
+            cell,
+            topology: "cycle-7".into(),
+            nodes: 7,
+            mode,
+            distillation: d,
+            knowledge: KnowledgeModel::Global,
+            consumer_pairs: 5,
+            requests: 6,
+            discipline: RequestDiscipline::UniformRandom,
+            coherence_time_s: None,
+        }
+    }
+
+    fn outcome(id: usize, cell: usize, replicate: u32, overhead: Option<f64>) -> ScenarioOutcome {
+        ScenarioOutcome {
+            id,
+            cell,
+            replicate,
+            seed: derive_seed(1, cell as u64, replicate as u64),
+            swap_overhead: overhead,
+            satisfied_requests: 6,
+            unsatisfied_requests: 0,
+            swaps_performed: 10,
+            pairs_generated: 40,
+            simulated_seconds: 100.0,
+            count_update_messages: 5,
+        }
+    }
+
+    #[test]
+    fn cell_aggregation_statistics() {
+        let outcomes: Vec<ScenarioOutcome> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| outcome(i, 0, i as u32, Some(x)))
+            .collect();
+        let report = aggregate_cell(key(0, ProtocolMode::Oblivious, 1.0), &outcomes);
+        assert_eq!(report.replicates, 8);
+        assert_eq!(report.overhead_samples, 8);
+        assert!((report.overhead_mean.unwrap() - 5.0).abs() < 1e-12);
+        assert!((report.overhead_variance.unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(report.overhead_min, Some(2.0));
+        assert_eq!(report.overhead_max, Some(9.0));
+        assert_eq!(report.overhead_p50, Some(4.0));
+        assert_eq!(report.overhead_p90, Some(9.0));
+        assert!(report.overhead_ci95.unwrap() > 0.0);
+        assert_eq!(report.swaps_total, 80);
+        assert_eq!(report.satisfaction_mean, 1.0);
+    }
+
+    #[test]
+    fn none_overheads_are_excluded_from_stats_but_not_totals() {
+        let outcomes = vec![
+            outcome(0, 0, 0, Some(3.0)),
+            outcome(1, 0, 1, None),
+            outcome(2, 0, 2, Some(5.0)),
+        ];
+        let report = aggregate_cell(key(0, ProtocolMode::Oblivious, 1.0), &outcomes);
+        assert_eq!(report.replicates, 3);
+        assert_eq!(report.overhead_samples, 2);
+        assert!((report.overhead_mean.unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(report.swaps_total, 30);
+    }
+
+    #[test]
+    fn empty_cell_report_is_well_formed() {
+        let report = aggregate_cell(key(0, ProtocolMode::Oblivious, 1.0), &[]);
+        assert_eq!(report.overhead_samples, 0);
+        assert!(report.overhead_mean.is_none());
+        assert!(report.overhead_p50.is_none());
+        assert_eq!(report.satisfaction_mean, 1.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_of_sorted(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile_of_sorted(&xs, 0.25), Some(1.0));
+        assert_eq!(percentile_of_sorted(&xs, 0.5), Some(2.0));
+        assert_eq!(percentile_of_sorted(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile_of_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn ratio_pairs_matching_cells_only() {
+        let mut oblivious = aggregate_cell(
+            key(0, ProtocolMode::Oblivious, 1.0),
+            &[outcome(0, 0, 0, Some(6.0))],
+        );
+        let mut planned = aggregate_cell(
+            key(1, ProtocolMode::PlannedConnectionOriented, 1.0),
+            &[outcome(1, 1, 0, Some(2.0))],
+        );
+        let other_d = aggregate_cell(
+            key(2, ProtocolMode::PlannedConnectionOriented, 2.0),
+            &[outcome(2, 2, 0, Some(2.0))],
+        );
+        let rows = overhead_ratios(&[oblivious.clone(), planned.clone(), other_d]);
+        assert_eq!(rows.len(), 1, "only the matching-D pair forms a ratio");
+        assert!((rows[0].ratio - 3.0).abs() < 1e-12);
+        assert_eq!(rows[0].numerator_mode, ProtocolMode::Oblivious);
+
+        // No ratio when either side lacks samples.
+        oblivious.overhead_mean = None;
+        assert!(overhead_ratios(&[oblivious.clone(), planned.clone()]).is_empty());
+        oblivious.overhead_mean = Some(6.0);
+        planned.overhead_mean = None;
+        assert!(overhead_ratios(&[oblivious, planned]).is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_is_tagged() {
+        let cell = aggregate_cell(
+            key(0, ProtocolMode::Oblivious, 1.0),
+            &[outcome(0, 0, 0, Some(3.0)), outcome(1, 0, 1, Some(5.0))],
+        );
+        let report = CampaignReport {
+            master_seed: 9,
+            cells: 1,
+            scenarios: 2,
+            replicates: 2,
+            cell_reports: vec![cell],
+            ratios: vec![],
+        };
+        let text = to_jsonl_string(&report);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let header: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(header["kind"], "campaign");
+        assert_eq!(header["scenarios"], 2);
+        let cell_line: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(cell_line["kind"], "cell");
+        assert_eq!(cell_line["key"]["topology"], "cycle-7");
+        assert_eq!(cell_line["overhead_samples"], 2);
+    }
+}

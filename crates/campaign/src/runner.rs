@@ -1,0 +1,308 @@
+//! The parallel campaign runner: work-chunked threads over a scenario grid.
+//!
+//! Scenarios are embarrassingly parallel (each `Experiment` is a
+//! self-contained, seeded, single-threaded simulation), so the runner is a
+//! classic chunked work-stealing pool built from `std::thread` and an
+//! atomic cursor — no external dependencies:
+//!
+//! * the scenario id space `0..n` is claimed in contiguous chunks via a
+//!   shared [`AtomicUsize`], which keeps cache-friendly locality and makes
+//!   the claim operation a single `fetch_add`,
+//! * workers re-materialise each [`Scenario`] from the grid by id (the grid
+//!   is `Sync`; materialisation is cheap relative to a simulation run), run
+//!   it, and send `(id, outcome)` back over an [`mpsc`] channel,
+//! * the collector stores outcomes into a dense `Vec` slot per id.
+//!
+//! **Determinism:** outcomes carry no wall-clock data, every scenario's seed
+//! comes from the grid (not from execution order), and downstream
+//! aggregation consumes outcomes strictly in id order. Running with 1 or N
+//! threads therefore produces byte-identical reports — the property the
+//! `campaign_determinism` tests pin down.
+
+use crate::grid::ScenarioGrid;
+use qnet_core::experiment::{Experiment, ExperimentResult};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// How the runner schedules work.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunnerConfig {
+    /// Worker threads. `0` means "use available parallelism".
+    pub threads: usize,
+    /// Scenario ids claimed per cursor fetch. `0` picks a chunk size that
+    /// gives each thread ~8 claims, clamped to `[1, 64]`.
+    pub chunk_size: usize,
+}
+
+impl RunnerConfig {
+    /// A serial runner (one worker, useful as the determinism baseline).
+    pub fn serial() -> Self {
+        RunnerConfig {
+            threads: 1,
+            chunk_size: 0,
+        }
+    }
+
+    /// A runner with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        RunnerConfig {
+            threads,
+            chunk_size: 0,
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    fn resolved_chunk(&self, scenarios: usize, threads: usize) -> usize {
+        if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            (scenarios / (threads * 8).max(1)).clamp(1, 64)
+        }
+    }
+}
+
+/// The outcome of one scenario: the replicate coordinates plus the scalar
+/// measurements aggregation consumes. Deliberately wall-clock-free so
+/// reports are deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario id.
+    pub id: usize,
+    /// Cell the scenario belongs to.
+    pub cell: usize,
+    /// Replicate index within the cell.
+    pub replicate: u32,
+    /// The derived seed the run used.
+    pub seed: u64,
+    /// The paper's swap-overhead metric (`None` if the denominator was 0).
+    pub swap_overhead: Option<f64>,
+    /// Satisfied requests.
+    pub satisfied_requests: usize,
+    /// Requests still pending at the end.
+    pub unsatisfied_requests: u64,
+    /// Total swaps performed.
+    pub swaps_performed: u64,
+    /// Bell pairs generated.
+    pub pairs_generated: u64,
+    /// Simulated seconds the run covered.
+    pub simulated_seconds: f64,
+    /// Classical count-update messages (knowledge-model cost).
+    pub count_update_messages: u64,
+}
+
+impl ScenarioOutcome {
+    fn from_result(
+        id: usize,
+        cell: usize,
+        replicate: u32,
+        seed: u64,
+        result: &ExperimentResult,
+    ) -> Self {
+        ScenarioOutcome {
+            id,
+            cell,
+            replicate,
+            seed,
+            swap_overhead: result.swap_overhead(),
+            satisfied_requests: result.satisfied_requests,
+            unsatisfied_requests: result.unsatisfied_requests,
+            swaps_performed: result.swaps_performed,
+            pairs_generated: result.metrics.pairs_generated,
+            simulated_seconds: result.simulated_seconds,
+            count_update_messages: result.metrics.classical.count_update_messages,
+        }
+    }
+
+    /// Fraction of requests satisfied.
+    pub fn satisfaction_ratio(&self) -> f64 {
+        let total = self.satisfied_requests as u64 + self.unsatisfied_requests;
+        if total == 0 {
+            1.0
+        } else {
+            self.satisfied_requests as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a campaign run produced: the dense outcome vector (id order)
+/// plus execution metadata that is *not* part of the deterministic report.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// One outcome per scenario, in scenario-id order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+    /// Wall-clock seconds the run took (informational only; never written
+    /// into deterministic reports).
+    pub wall_seconds: f64,
+}
+
+/// Execute every scenario of `grid` and return outcomes in id order.
+///
+/// Progress callback: `on_progress(done, total)` is invoked from the
+/// collector as outcomes arrive (pass `|_, _| {}` to ignore).
+pub fn run_campaign_with_progress(
+    grid: &ScenarioGrid,
+    config: &RunnerConfig,
+    mut on_progress: impl FnMut(usize, usize),
+) -> CampaignResult {
+    let total = grid.scenario_count();
+    let threads = config.resolved_threads().min(total.max(1));
+    let chunk = config.resolved_chunk(total, threads);
+    let started = std::time::Instant::now();
+
+    let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
+    slots.resize_with(total, || None);
+
+    if total > 0 {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<ScenarioOutcome>();
+
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
+                        return;
+                    }
+                    let end = (start + chunk).min(total);
+                    for id in start..end {
+                        let scenario = grid.scenario(id);
+                        let result = Experiment::new(scenario.config).run();
+                        let outcome = ScenarioOutcome::from_result(
+                            scenario.id,
+                            scenario.cell,
+                            scenario.replicate,
+                            scenario.seed,
+                            &result,
+                        );
+                        if tx.send(outcome).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut done = 0usize;
+            while let Ok(outcome) = rx.recv() {
+                let id = outcome.id;
+                debug_assert!(slots[id].is_none(), "duplicate outcome for scenario {id}");
+                slots[id] = Some(outcome);
+                done += 1;
+                on_progress(done, total);
+            }
+        });
+    }
+
+    let outcomes: Vec<ScenarioOutcome> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(id, slot)| slot.unwrap_or_else(|| panic!("scenario {id} produced no outcome")))
+        .collect();
+
+    CampaignResult {
+        outcomes,
+        threads_used: threads,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// [`run_campaign_with_progress`] without a progress callback.
+pub fn run_campaign(grid: &ScenarioGrid, config: &RunnerConfig) -> CampaignResult {
+    run_campaign_with_progress(grid, config, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_core::experiment::ProtocolMode;
+    use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+    use qnet_topology::Topology;
+
+    fn tiny_grid(replicates: u32) -> ScenarioGrid {
+        ScenarioGrid::new(11)
+            .with_topologies(vec![Topology::Cycle { nodes: 5 }])
+            .with_modes(vec![ProtocolMode::Oblivious, ProtocolMode::Hybrid])
+            .with_workloads(vec![WorkloadSpec {
+                node_count: 0,
+                consumer_pairs: 4,
+                requests: 4,
+                discipline: RequestDiscipline::UniformRandom,
+            }])
+            .with_replicates(replicates)
+            .with_horizon_s(500.0)
+    }
+
+    #[test]
+    fn runs_every_scenario_exactly_once() {
+        let grid = tiny_grid(3);
+        let result = run_campaign(&grid, &RunnerConfig::with_threads(4));
+        assert_eq!(result.outcomes.len(), grid.scenario_count());
+        for (i, o) in result.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i);
+            assert_eq!(o.cell, i / 3);
+        }
+        assert!(result.wall_seconds >= 0.0);
+        assert!(result.threads_used >= 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_outcomes_are_identical() {
+        let grid = tiny_grid(2);
+        let serial = run_campaign(&grid, &RunnerConfig::serial());
+        let parallel = run_campaign(&grid, &RunnerConfig::with_threads(4));
+        assert_eq!(serial.outcomes, parallel.outcomes);
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let grid = tiny_grid(1);
+        let mut last = 0;
+        let result =
+            run_campaign_with_progress(&grid, &RunnerConfig::with_threads(2), |done, total| {
+                assert!(done <= total);
+                last = done;
+            });
+        assert_eq!(last, grid.scenario_count());
+        assert_eq!(result.outcomes.len(), grid.scenario_count());
+    }
+
+    #[test]
+    fn outcome_satisfaction_ratio() {
+        let grid = tiny_grid(1);
+        let result = run_campaign(&grid, &RunnerConfig::serial());
+        for o in &result.outcomes {
+            let r = o.satisfaction_ratio();
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn chunk_resolution_bounds() {
+        let c = RunnerConfig::default();
+        assert!(c.resolved_chunk(1000, 8) >= 1);
+        assert!(c.resolved_chunk(0, 1) >= 1);
+        assert_eq!(
+            RunnerConfig {
+                threads: 2,
+                chunk_size: 5
+            }
+            .resolved_chunk(1000, 2),
+            5
+        );
+    }
+}

@@ -317,12 +317,12 @@ mod tests {
         let c12 = inv.count(pair(1, 2));
         let c02 = inv.count(pair(0, 2));
         assert!(c02 >= 1, "some pairs must have been pushed to (0,2)");
-        assert!(c02 + 1 > c01.min(c12).saturating_sub(1), "no further swap is preferable");
-        // Conservation: every swap destroys one net pair.
-        assert_eq!(
-            (c01 + c12 + c02) as usize,
-            18 - swaps.len()
+        assert!(
+            c02 + 1 > c01.min(c12).saturating_sub(1),
+            "no further swap is preferable"
         );
+        // Conservation: every swap destroys one net pair.
+        assert_eq!((c01 + c12 + c02) as usize, 18 - swaps.len());
     }
 
     #[test]

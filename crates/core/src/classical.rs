@@ -136,7 +136,9 @@ mod tests {
         assert_eq!(global.messages_per_change(2), 0);
         assert_eq!(global.messages_per_scan(), 0);
 
-        let gossip = KnowledgeModel::Gossip { peers_per_refresh: 3 };
+        let gossip = KnowledgeModel::Gossip {
+            peers_per_refresh: 3,
+        };
         assert_eq!(gossip.messages_per_change(25), 0);
         assert_eq!(gossip.messages_per_scan(), 3);
     }

@@ -48,7 +48,11 @@ impl DistillationSpec {
 }
 
 /// Full description of the simulated quantum network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// All-scalar and `Copy`: cloning is a register-width memcpy, so sweep
+/// engines (`qnet-campaign`) can fan thousands of configs across worker
+/// threads without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
     /// Generation-graph topology recipe.
     pub topology: Topology,

@@ -18,7 +18,12 @@ use qnet_topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Everything needed to reproduce one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy + Send`: the whole recipe is a small, flat value, so parallel
+/// sweep runners can hand configs to worker threads by value (see the
+/// `configs_are_cheap_to_clone_and_send` test for the compile-time
+/// guarantees `qnet-campaign` relies on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// The physical-network configuration.
     pub network: NetworkConfig,
@@ -122,7 +127,7 @@ impl ExperimentResult {
 }
 
 /// A runnable experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Experiment {
     config: ExperimentConfig,
 }
@@ -155,7 +160,7 @@ impl Experiment {
     pub fn run_with_workload(&self, workload: Workload) -> ExperimentResult {
         let mut staging = EventQueue::new();
         let world = QuantumNetworkWorld::new(
-            self.config.network.clone(),
+            self.config.network,
             workload,
             self.config.mode,
             self.config.knowledge,
@@ -195,7 +200,7 @@ pub fn mean_overhead_over_seeds(config: &ExperimentConfig, seeds: &[u64]) -> (Op
     let mut satisfied = 0usize;
     let mut total = 0usize;
     for &seed in seeds {
-        let mut c = config.clone();
+        let mut c = *config;
         c.seed = seed;
         c.network.topology_seed = seed;
         let result = Experiment::new(c).run();
@@ -267,7 +272,7 @@ mod tests {
         // the oblivious balancer spends extra swaps positioning pairs.
         let mut oblivious = small_config();
         oblivious.workload.requests = 6;
-        let mut planned = oblivious.clone();
+        let mut planned = oblivious;
         planned.mode = ProtocolMode::PlannedConnectionOriented;
         let ro = Experiment::new(oblivious).run();
         let rp = Experiment::new(planned).run();
@@ -286,7 +291,7 @@ mod tests {
         let mut base = small_config();
         base.workload.requests = 8;
         base.max_sim_time_s = 400.0;
-        let mut hybrid = base.clone();
+        let mut hybrid = base;
         hybrid.mode = ProtocolMode::Hybrid;
         let rb = Experiment::new(base).run();
         let rh = Experiment::new(hybrid).run();
@@ -297,10 +302,8 @@ mod tests {
     fn higher_distillation_increases_overhead() {
         let mut d1 = small_config();
         d1.workload.requests = 8;
-        let mut d2 = d1.clone();
-        d2.network = d2
-            .network
-            .with_distillation(DistillationSpec::Uniform(2.0));
+        let mut d2 = d1;
+        d2.network = d2.network.with_distillation(DistillationSpec::Uniform(2.0));
         let r1 = Experiment::new(d1).run();
         let r2 = Experiment::new(d2).run();
         let (o1, o2) = (r1.swap_overhead(), r2.swap_overhead());
@@ -328,6 +331,23 @@ mod tests {
         if let Some(m) = mean {
             assert!(m >= 1.0);
         }
+    }
+
+    #[test]
+    fn configs_are_cheap_to_clone_and_send() {
+        // Compile-time guarantees the qnet-campaign parallel runner relies
+        // on: configs and experiments are plain `Copy + Send + Sync` values
+        // (no heap, no interior mutability), and results are `Send`.
+        fn assert_copy_send_sync<T: Copy + Send + Sync + 'static>() {}
+        fn assert_send<T: Send + 'static>() {}
+        assert_copy_send_sync::<ExperimentConfig>();
+        assert_copy_send_sync::<Experiment>();
+        assert_copy_send_sync::<NetworkConfig>();
+        assert_copy_send_sync::<WorkloadSpec>();
+        assert_send::<ExperimentResult>();
+        // And "cheap" stays true: a config is a flat value well under a
+        // cache line's worth of pointers-to-heap (i.e. zero heap).
+        assert!(std::mem::size_of::<ExperimentConfig>() <= 256);
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl GossipState {
     /// Create a gossip state for `n` nodes where each scan refreshes
     /// `peers_per_refresh` peers' rows.
     pub fn new(n: usize, peers_per_refresh: usize) -> Self {
-        assert!(peers_per_refresh >= 1, "must refresh at least one peer per scan");
+        assert!(
+            peers_per_refresh >= 1,
+            "must refresh at least one peer per scan"
+        );
         GossipState {
             views: vec![PairMatrix::new(n); n],
             cursor: vec![0; n],
@@ -156,7 +159,11 @@ mod tests {
             g.refresh(NodeId(3), &truth);
         }
         for other in 1..5u32 {
-            assert_eq!(g.view_of(NodeId(3)).count(pair(0, other)), 1, "pair (0,{other})");
+            assert_eq!(
+                g.view_of(NodeId(3)).count(pair(0, other)),
+                1,
+                "pair (0,{other})"
+            );
         }
     }
 

@@ -41,12 +41,7 @@ pub fn entanglement_path(
 /// nested swapping along it so that `need` pairs of `pair` become available.
 /// Returns the number of repair swaps performed, or `None` if no
 /// entanglement path could provide them.
-pub fn hybrid_repair(
-    inventory: &mut Inventory,
-    pair: NodePair,
-    need: u64,
-    k: u64,
-) -> Option<u64> {
+pub fn hybrid_repair(inventory: &mut Inventory, pair: NodePair, need: u64, k: u64) -> Option<u64> {
     if inventory.count(pair) >= need {
         return Some(0);
     }

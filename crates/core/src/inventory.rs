@@ -159,7 +159,10 @@ impl Inventory {
         cost_left: u64,
         cost_right: u64,
     ) -> Result<(), InventoryError> {
-        assert!(left != right && left != repeater && right != repeater, "degenerate swap");
+        assert!(
+            left != right && left != repeater && right != repeater,
+            "degenerate swap"
+        );
         let left_pair = NodePair::new(repeater, left);
         let right_pair = NodePair::new(repeater, right);
         // Validate both removals before mutating anything so a failure leaves
@@ -283,7 +286,8 @@ mod tests {
             inv.add_pair(pair(2, 3)).unwrap();
         }
         let before: Vec<u64> = (0..4).map(|i| inv.node_load(NodeId(i))).collect();
-        inv.apply_swap(NodeId(2), NodeId(0), NodeId(3), 1, 1).unwrap();
+        inv.apply_swap(NodeId(2), NodeId(0), NodeId(3), 1, 1)
+            .unwrap();
         for i in 0..4 {
             assert!(inv.node_load(NodeId(i)) <= before[i as usize]);
         }

@@ -148,7 +148,10 @@ impl SteadyStateModel {
     /// Builder: set the §3.2 overheads (survival fraction `L` and
     /// distillation overhead `D`).
     pub fn with_overheads(mut self, survival: f64, distillation: f64) -> Self {
-        assert!(survival > 0.0 && survival <= 1.0, "survival must be in (0, 1]");
+        assert!(
+            survival > 0.0 && survival <= 1.0,
+            "survival must be in (0, 1]"
+        );
         assert!(distillation >= 1.0, "distillation overhead must be ≥ 1");
         self.survival = survival;
         self.distillation = distillation;
@@ -305,8 +308,7 @@ impl SteadyStateModel {
             lp.set_objective(Objective::Minimize(vec![(m, 1.0)]));
             map.aux = Some(m);
         } else {
-            let terms: Vec<(VarId, f64)> =
-                map.generation.iter().map(|(_, v)| (*v, 1.0)).collect();
+            let terms: Vec<(VarId, f64)> = map.generation.iter().map(|(_, v)| (*v, 1.0)).collect();
             lp.set_objective(Objective::Minimize(terms));
         }
         let sol = qnet_lp::simplex::solve(&lp);
@@ -491,7 +493,11 @@ mod tests {
         let m = path3_model(0.4);
         let sol = m.solve(LpObjective::MinTotalGeneration);
         assert!(sol.is_optimal());
-        assert!((sol.total_generation() - 0.8).abs() < 1e-5, "{}", sol.total_generation());
+        assert!(
+            (sol.total_generation() - 0.8).abs() < 1e-5,
+            "{}",
+            sol.total_generation()
+        );
         assert!((sol.objective_value - 0.8).abs() < 1e-5);
         // The swap must happen at node 1.
         assert!(sol
@@ -528,7 +534,11 @@ mod tests {
         let m = path3_model(5.0);
         let sol = m.solve(LpObjective::MaxTotalConsumption);
         assert!(sol.is_optimal());
-        assert!((sol.total_consumption() - 1.0).abs() < 1e-5, "{}", sol.total_consumption());
+        assert!(
+            (sol.total_consumption() - 1.0).abs() < 1e-5,
+            "{}",
+            sol.total_consumption()
+        );
     }
 
     #[test]
@@ -549,17 +559,17 @@ mod tests {
         // could have used directly (and a unit of edge (1,2) on top), so the
         // total is capped by edge (0,1)'s capacity: max total = 1. Multiple
         // optimal splits achieve it, so only the total is asserted.
-        assert!((sol.total_consumption() - 1.0).abs() < 1e-5, "{}", sol.total_consumption());
+        assert!(
+            (sol.total_consumption() - 1.0).abs() < 1e-5,
+            "{}",
+            sol.total_consumption()
+        );
         assert!(lp_split_is_consistent(&sol));
     }
 
     /// Helper: the reported per-pair consumptions sum to the reported total.
     fn lp_split_is_consistent(sol: &SteadyStateSolution) -> bool {
-        let sum: f64 = sol
-            .consumption
-            .iter()
-            .map(|(_, &v)| v)
-            .sum();
+        let sum: f64 = sol.consumption.iter().map(|(_, &v)| v).sum();
         (sum - sol.total_consumption()).abs() < 1e-9
     }
 
@@ -575,8 +585,16 @@ mod tests {
         let m = SteadyStateModel::new(&capacity, &demand);
         let sol = m.solve(LpObjective::MaxMinConsumption);
         assert!(sol.is_optimal());
-        assert!((sol.consumption(pair(0, 1)) - 0.5).abs() < 1e-4, "{}", sol.consumption(pair(0, 1)));
-        assert!((sol.consumption(pair(0, 2)) - 0.5).abs() < 1e-4, "{}", sol.consumption(pair(0, 2)));
+        assert!(
+            (sol.consumption(pair(0, 1)) - 0.5).abs() < 1e-4,
+            "{}",
+            sol.consumption(pair(0, 1))
+        );
+        assert!(
+            (sol.consumption(pair(0, 2)) - 0.5).abs() < 1e-4,
+            "{}",
+            sol.consumption(pair(0, 2))
+        );
     }
 
     #[test]
@@ -606,7 +624,11 @@ mod tests {
         let m = path3_model(0.2).with_overheads(1.0, 2.0);
         let sol = m.solve(LpObjective::MinTotalGeneration);
         assert!(sol.is_optimal());
-        assert!((sol.total_generation() - 1.6).abs() < 1e-4, "{}", sol.total_generation());
+        assert!(
+            (sol.total_generation() - 1.6).abs() < 1e-4,
+            "{}",
+            sol.total_generation()
+        );
     }
 
     #[test]
@@ -618,7 +640,11 @@ mod tests {
         let m = path3_model(0.2).with_overheads(0.5, 1.0);
         let sol = m.solve(LpObjective::MinTotalGeneration);
         assert!(sol.is_optimal());
-        assert!((sol.total_generation() - 1.6).abs() < 1e-4, "{}", sol.total_generation());
+        assert!(
+            (sol.total_generation() - 1.6).abs() < 1e-4,
+            "{}",
+            sol.total_generation()
+        );
     }
 
     #[test]
@@ -633,7 +659,11 @@ mod tests {
         let m = SteadyStateModel::new(&capacity, &demand);
         let sol = m.solve(LpObjective::MaxTotalConsumption);
         assert!(sol.is_optimal());
-        assert!((sol.total_consumption() - 2.0).abs() < 1e-4, "{}", sol.total_consumption());
+        assert!(
+            (sol.total_consumption() - 2.0).abs() < 1e-4,
+            "{}",
+            sol.total_consumption()
+        );
         // Swaps happen at nodes 1 and 3.
         let repeaters: Vec<u32> = sol.swap_rates.iter().map(|s| s.repeater.0).collect();
         assert!(repeaters.contains(&1) && repeaters.contains(&3));

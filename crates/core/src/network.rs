@@ -16,7 +16,7 @@ use crate::inventory::Inventory;
 use crate::metrics::{RunMetrics, SatisfiedRequest};
 use crate::planned::execute_nested_along_path;
 use crate::workload::{ConsumptionRequest, Workload};
-use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimTime, SimRng, World};
+use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimRng, SimTime, World};
 use qnet_topology::{bfs_path, Graph, NodeId, NodePair};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -226,8 +226,7 @@ impl QuantumNetworkWorld {
                         }
                     }
                     ProtocolMode::PlannedConnectionOriented => {
-                        let Some(path) =
-                            bfs_path(&self.graph, head.pair.lo(), head.pair.hi())
+                        let Some(path) = bfs_path(&self.graph, head.pair.lo(), head.pair.hi())
                         else {
                             // Unreachable consumer: drop the request so the
                             // simulation cannot livelock.
@@ -353,9 +352,12 @@ impl QuantumNetworkWorld {
                 self.balancer
                     .find_preferable_swap(&self.inventory, &view, node, &overhead)
             }
-            None => self
-                .balancer
-                .find_preferable_swap(&self.inventory, &self.inventory, node, &overhead),
+            None => self.balancer.find_preferable_swap(
+                &self.inventory,
+                &self.inventory,
+                node,
+                &overhead,
+            ),
         };
 
         if let Some(c) = candidate {
@@ -465,7 +467,10 @@ mod tests {
         let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
         let workload = Workload::from_pairs(vec![pair(0, 3)]);
         let world = run_world(config, workload, ProtocolMode::Oblivious, 3, 600);
-        assert!(world.is_done(), "balancing must eventually reach pair (0,3)");
+        assert!(
+            world.is_done(),
+            "balancing must eventually reach pair (0,3)"
+        );
         let m = world.metrics();
         assert!(m.swaps_performed > 0, "a 3-hop pair needs swaps");
         assert_eq!(m.satisfied[0].shortest_path_hops, 3);
@@ -526,7 +531,7 @@ mod tests {
     fn distillation_overhead_increases_work() {
         let workload = || Workload::from_pairs(vec![pair(0, 2), pair(1, 3)]);
         let base = NetworkConfig::new(Topology::Cycle { nodes: 6 });
-        let d1 = run_world(base.clone(), workload(), ProtocolMode::Oblivious, 13, 900);
+        let d1 = run_world(base, workload(), ProtocolMode::Oblivious, 13, 900);
         let d2 = run_world(
             base.with_distillation(DistillationSpec::Uniform(2.0)),
             workload(),
@@ -536,12 +541,15 @@ mod tests {
         );
         let m1 = d1.metrics();
         let m2 = d2.metrics();
-        assert!(m1.satisfied.len() >= 1);
-        assert!(m2.satisfied.len() >= 1);
+        assert!(!m1.satisfied.is_empty());
+        assert!(!m2.satisfied.is_empty());
         // More raw pairs must be generated per satisfied request when D = 2.
         let per1 = m1.pairs_generated as f64 / m1.satisfied.len() as f64;
         let per2 = m2.pairs_generated as f64 / m2.satisfied.len() as f64;
-        assert!(per2 > per1, "D=2 should consume more raw pairs ({per1} vs {per2})");
+        assert!(
+            per2 > per1,
+            "D=2 should consume more raw pairs ({per1} vs {per2})"
+        );
     }
 
     #[test]
@@ -563,7 +571,9 @@ mod tests {
             config,
             workload,
             ProtocolMode::Oblivious,
-            KnowledgeModel::Gossip { peers_per_refresh: 2 },
+            KnowledgeModel::Gossip {
+                peers_per_refresh: 2,
+            },
             19,
             &mut queue,
         );
@@ -575,15 +585,18 @@ mod tests {
         let world = engine.into_world();
         let m = world.metrics();
         assert_eq!(m.satisfied.len(), 1, "gossip view is stale but sufficient");
-        assert!(m.classical.count_update_messages > 0, "gossip pulls cost messages");
+        assert!(
+            m.classical.count_update_messages > 0,
+            "gossip pulls cost messages"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let config = NetworkConfig::new(Topology::Cycle { nodes: 6 });
         let workload = Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
-        let a = run_world(config.clone(), workload.clone(), ProtocolMode::Oblivious, 23, 300);
-        let b = run_world(config.clone(), workload.clone(), ProtocolMode::Oblivious, 23, 300);
+        let a = run_world(config, workload.clone(), ProtocolMode::Oblivious, 23, 300);
+        let b = run_world(config, workload.clone(), ProtocolMode::Oblivious, 23, 300);
         let c = run_world(config, workload, ProtocolMode::Oblivious, 24, 300);
         assert_eq!(a.metrics(), b.metrics());
         assert_ne!(a.metrics(), c.metrics());

@@ -159,10 +159,14 @@ mod tests {
     fn insufficient_base_pairs_is_atomic() {
         let mut inv = stocked_inventory(5, 1);
         // Remove one base pair so the execution must fail.
-        inv.remove_pairs(NodePair::new(NodeId(2), NodeId(3)), 1).unwrap();
+        inv.remove_pairs(NodePair::new(NodeId(2), NodeId(3)), 1)
+            .unwrap();
         let before = inv.clone();
         assert!(execute_nested_along_path(&mut inv, &path_nodes(5), 1, 1).is_none());
-        assert_eq!(inv, before, "failed execution must not mutate the inventory");
+        assert_eq!(
+            inv, before,
+            "failed execution must not mutate the inventory"
+        );
     }
 
     #[test]

@@ -77,13 +77,19 @@ impl RateMatrices {
 
     /// Set `g(x, y)`.
     pub fn set_generation(&mut self, pair: NodePair, rate: f64) {
-        assert!(rate >= 0.0 && rate.is_finite(), "rates must be finite and ≥ 0");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "rates must be finite and ≥ 0"
+        );
         self.generation.set(pair, rate);
     }
 
     /// Set `c(x, y)`.
     pub fn set_consumption(&mut self, pair: NodePair, rate: f64) {
-        assert!(rate >= 0.0 && rate.is_finite(), "rates must be finite and ≥ 0");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "rates must be finite and ≥ 0"
+        );
         self.consumption.set(pair, rate);
     }
 
@@ -249,10 +255,9 @@ mod tests {
         // Node 0 generates at total rate 2 but consumes at rate 3.
         r.set_consumption(pair(0, 2), 3.0);
         let errs = r.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(
-            e,
-            RateValidationError::NodeOverSubscribed { node: 0, .. }
-        )));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, RateValidationError::NodeOverSubscribed { node: 0, .. })));
     }
 
     #[test]
@@ -262,9 +267,10 @@ mod tests {
         r.set_generation(pair(2, 3), 1.0);
         r.set_consumption(pair(0, 3), 0.1);
         let errs = r.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, RateValidationError::ConsumerDisconnected { pair: (0, 3) })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            RateValidationError::ConsumerDisconnected { pair: (0, 3) }
+        )));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl WorkloadSpec {
     /// Materialise the workload with the given RNG seed.
     pub fn generate(&self, seed: u64) -> Workload {
         let max_pairs = self.node_count * self.node_count.saturating_sub(1) / 2;
-        assert!(max_pairs > 0, "need at least two nodes to form consumer pairs");
+        assert!(
+            max_pairs > 0,
+            "need at least two nodes to form consumer pairs"
+        );
         let wanted = self.consumer_pairs.min(max_pairs).max(1);
 
         let mut rng = SimRng::new(seed).derive("workload");
@@ -232,7 +235,10 @@ mod tests {
         };
         let w = spec.generate(11);
         for c in &w.consumers {
-            assert!(w.requests.iter().any(|r| r.pair == *c), "{c} never requested");
+            assert!(
+                w.requests.iter().any(|r| r.pair == *c),
+                "{c} never requested"
+            );
         }
     }
 

@@ -149,8 +149,8 @@ impl Tableau {
             if cb == 0.0 {
                 continue;
             }
-            for j in 0..self.cols {
-                r[j] -= cb * self.rows[i][j];
+            for (rj, &aij) in r.iter_mut().zip(self.rows[i].iter()) {
+                *rj -= cb * aij;
             }
         }
         r
@@ -269,8 +269,7 @@ impl Tableau {
         while i < self.rows.len() {
             if self.basis[i] >= self.artificial_start {
                 // Find any non-artificial column with a usable pivot element.
-                let col = (0..self.artificial_start)
-                    .find(|&j| self.rows[i][j].abs() > 1e-7);
+                let col = (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > 1e-7);
                 match col {
                     Some(j) => {
                         self.pivot(i, j);

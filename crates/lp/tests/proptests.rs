@@ -8,10 +8,7 @@ use qnet_lp::{max_min_allocation, LinearProgram, Objective, SolveStatus, VarId};
 /// Σ aᵢⱼxⱼ ≤ bᵢ with non-negative data — always feasible (x = 0) and bounded
 /// whenever every variable appears in at least one row with a positive
 /// coefficient, which the generator guarantees by adding a final box row.
-fn packing_lp(
-    costs: &[f64],
-    rows: &[(Vec<f64>, f64)],
-) -> (LinearProgram, Vec<VarId>) {
+fn packing_lp(costs: &[f64], rows: &[(Vec<f64>, f64)]) -> (LinearProgram, Vec<VarId>) {
     let mut lp = LinearProgram::new();
     let vars: Vec<VarId> = (0..costs.len())
         .map(|i| lp.add_variable(format!("x{i}")))
@@ -25,13 +22,12 @@ fn packing_lp(
         lp.add_le(format!("row{r}"), terms, *rhs);
     }
     // Box row keeps the problem bounded.
-    lp.add_le(
-        "box",
-        vars.iter().map(|&v| (v, 1.0)).collect(),
-        100.0,
-    );
+    lp.add_le("box", vars.iter().map(|&v| (v, 1.0)).collect(), 100.0);
     lp.set_objective(Objective::Maximize(
-        vars.iter().zip(costs.iter()).map(|(&v, &c)| (v, c)).collect(),
+        vars.iter()
+            .zip(costs.iter())
+            .map(|(&v, &c)| (v, c))
+            .collect(),
     ));
     (lp, vars)
 }

@@ -12,7 +12,9 @@
 //! * [`lp`] — two-phase simplex and max-min fairness helpers,
 //! * [`core`] — the paper's contribution: the steady-state LP formulation,
 //!   the §4 max-min balancer, planned-path baselines, and the §5 simulation
-//!   and metrics.
+//!   and metrics,
+//! * [`campaign`] — declarative scenario grids executed by a parallel
+//!   runner, with deterministic per-cell aggregation and JSONL reports.
 //!
 //! ```
 //! use qnet::core::experiment::{Experiment, ExperimentConfig};
@@ -20,10 +22,52 @@
 //! let result = Experiment::new(ExperimentConfig::default()).run();
 //! assert!(result.satisfied_requests + result.unsatisfied_requests as usize > 0);
 //! ```
+//!
+//! ## Running sweeps
+//!
+//! Single experiments answer single questions; the paper's figures — and
+//! any scaling study — are *sweeps* over topology × protocol × parameter
+//! grids. The [`campaign`] crate makes those first-class: declare a
+//! [`campaign::ScenarioGrid`], run it across all cores with
+//! [`campaign::run_campaign`], and aggregate into per-cell statistics with
+//! [`campaign::aggregate`]. Reports are byte-identical regardless of the
+//! worker-thread count, so sweep outputs can be diffed and cached.
+//!
+//! ```
+//! use qnet::campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
+//! use qnet::prelude::*;
+//! use qnet::core::workload::RequestDiscipline;
+//!
+//! let grid = ScenarioGrid::new(42)
+//!     .with_topologies(vec![
+//!         Topology::Cycle { nodes: 7 },
+//!         Topology::TorusGrid { side: 3 },
+//!     ])
+//!     .with_modes(vec![ProtocolMode::Oblivious, ProtocolMode::Hybrid])
+//!     .with_workloads(vec![WorkloadSpec {
+//!         node_count: 0, // patched per topology
+//!         consumer_pairs: 5,
+//!         requests: 5,
+//!         discipline: RequestDiscipline::UniformRandom,
+//!     }])
+//!     .with_replicates(2)
+//!     .with_horizon_s(500.0);
+//!
+//! let result = run_campaign(&grid, &RunnerConfig::default());
+//! let report = aggregate(&grid, &result);
+//! assert_eq!(report.cell_reports.len(), 4);
+//! ```
+//!
+//! The same engine backs the `campaign` CLI binary (`cargo run --release
+//! -p qnet-campaign --bin campaign -- --help`), which emits the JSONL
+//! report on stdout and a human summary (with an optional serial-vs-parallel
+//! determinism check) on stderr.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Parallel scenario-campaign engine for sweep experiments.
+pub use qnet_campaign as campaign;
 /// The paper's contribution: balancer, LP model, baselines, experiments.
 pub use qnet_core as core;
 /// Linear-programming substrate.
@@ -37,12 +81,11 @@ pub use qnet_topology as topology;
 
 /// Commonly used items, for glob import in examples and quick experiments.
 pub mod prelude {
+    pub use qnet_campaign::{RunnerConfig, ScenarioGrid};
     pub use qnet_core::balancer::{BalancerPolicy, SwapCandidate};
     pub use qnet_core::classical::KnowledgeModel;
     pub use qnet_core::config::{DistillationSpec, NetworkConfig};
-    pub use qnet_core::experiment::{
-        Experiment, ExperimentConfig, ExperimentResult, ProtocolMode,
-    };
+    pub use qnet_core::experiment::{Experiment, ExperimentConfig, ExperimentResult, ProtocolMode};
     pub use qnet_core::inventory::Inventory;
     pub use qnet_core::lp_model::{LpObjective, SteadyStateModel};
     pub use qnet_core::nested::nested_swap_cost;

@@ -69,7 +69,11 @@ impl DensityMatrix {
                 *e += x.scale(w);
             }
         }
-        DensityMatrix { qubits, dim, entries }
+        DensityMatrix {
+            qubits,
+            dim,
+            entries,
+        }
     }
 
     /// Number of qubits.

@@ -129,11 +129,7 @@ pub fn plan_distillation(
 /// The paper's per-pair distillation overhead `D` for raising `f_in` to
 /// `f_target`: the expected number of raw pairs consumed per produced pair,
 /// or `None` when the target is unreachable.
-pub fn overhead_factor(
-    protocol: DistillationProtocol,
-    f_in: f64,
-    f_target: f64,
-) -> Option<f64> {
+pub fn overhead_factor(protocol: DistillationProtocol, f_in: f64, f_target: f64) -> Option<f64> {
     plan_distillation(protocol, f_in, f_target, 64)
         .ok()
         .map(|p| p.expected_raw_pairs)
@@ -192,7 +188,10 @@ mod tests {
             plan_distillation(DistillationProtocol::Bbpssw, 0.8, 0.95, 32).expect("reachable");
         assert!(plan.rounds >= 1);
         assert!(plan.achieved_fidelity >= 0.95);
-        assert!(plan.expected_raw_pairs > 2.0, "at least one round costs > 2");
+        assert!(
+            plan.expected_raw_pairs > 2.0,
+            "at least one round costs > 2"
+        );
         // The ideal protocol costs exactly 2^rounds.
         let ideal =
             plan_distillation(DistillationProtocol::Ideal, 0.8, 0.95, 32).expect("reachable");
@@ -202,8 +201,7 @@ mod tests {
 
     #[test]
     fn plan_trivial_when_already_good_enough() {
-        let plan =
-            plan_distillation(DistillationProtocol::Bbpssw, 0.97, 0.9, 32).expect("trivial");
+        let plan = plan_distillation(DistillationProtocol::Bbpssw, 0.97, 0.9, 32).expect("trivial");
         assert_eq!(plan.rounds, 0);
         assert_eq!(plan.expected_raw_pairs, 1.0);
     }

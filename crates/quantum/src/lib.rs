@@ -39,7 +39,7 @@ pub mod state;
 pub mod swap;
 pub mod teleport;
 
-pub use bell::{BellState, werner_state};
+pub use bell::{werner_state, BellState};
 pub use complex::Complex;
 pub use density::DensityMatrix;
 pub use distill::{DistillationProtocol, DistillationStep};

@@ -40,7 +40,10 @@ impl QecCode {
     /// # Panics
     /// Panics if the distance is even or zero.
     pub fn surface(distance: u32, physical_error_rate: f64) -> Self {
-        assert!(distance >= 1 && distance % 2 == 1, "distance must be odd and ≥ 1");
+        assert!(
+            distance >= 1 && distance % 2 == 1,
+            "distance must be odd and ≥ 1"
+        );
         QecCode {
             distance,
             physical_error_rate,

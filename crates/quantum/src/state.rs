@@ -51,7 +51,10 @@ impl StateVector {
     /// the state is normalised.
     pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
         let len = amplitudes.len();
-        assert!(len >= 2 && len.is_power_of_two(), "length must be a power of two ≥ 2");
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "length must be a power of two ≥ 2"
+        );
         let qubits = len.trailing_zeros() as usize;
         let mut sv = StateVector { qubits, amplitudes };
         sv.normalize();
@@ -129,7 +132,10 @@ impl StateVector {
 
     /// Apply a CNOT with the given control and target qubits.
     pub fn apply_cnot(&mut self, control: usize, target: usize) {
-        assert!(control < self.qubits && target < self.qubits, "CNOT qubit out of range");
+        assert!(
+            control < self.qubits && target < self.qubits,
+            "CNOT qubit out of range"
+        );
         assert_ne!(control, target, "CNOT control and target must differ");
         let cbit = 1usize << control;
         let tbit = 1usize << target;

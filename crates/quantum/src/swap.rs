@@ -31,11 +31,7 @@ pub struct SwapOutcome {
 ///
 /// Qubit layout: 0 = A, 1 = C (half shared with A), 2 = C (half shared with
 /// B), 3 = B.
-pub fn swap_with_inputs(
-    left: BellState,
-    right: BellState,
-    rng: &mut impl Rng,
-) -> SwapOutcome {
+pub fn swap_with_inputs(left: BellState, right: BellState, rng: &mut impl Rng) -> SwapOutcome {
     // Build |left⟩_{0,1} ⊗ |right⟩_{2,3}.
     let mut system = left.state_vector().tensor(&right.state_vector());
 
@@ -57,10 +53,10 @@ pub fn swap_with_inputs(
     // are in the definite states (b1, b2). Compare against the corresponding
     // full 4-qubit product state.
     let mut expected = BellState::PhiPlus.state_vector(); // will become qubits {0,3}
-    // Build expected 4-qubit state: qubit0 = A-half, qubit1 = b1, qubit2 = b2,
-    // qubit3 = B-half. Start from the 2-qubit Φ⁺ on (A,B) and interleave the
-    // measured qubits by tensoring in order: (A) ⊗ (b1) ⊗ (b2) ⊗ (B) would
-    // reorder the pair, so instead construct amplitudes directly.
+                                                          // Build expected 4-qubit state: qubit0 = A-half, qubit1 = b1, qubit2 = b2,
+                                                          // qubit3 = B-half. Start from the 2-qubit Φ⁺ on (A,B) and interleave the
+                                                          // measured qubits by tensoring in order: (A) ⊗ (b1) ⊗ (b2) ⊗ (B) would
+                                                          // reorder the pair, so instead construct amplitudes directly.
     let mut amps = vec![crate::complex::Complex::ZERO; 16];
     for a_bit in 0..2usize {
         for b_bit in 0..2usize {
@@ -180,8 +176,20 @@ mod tests {
         // enumeration of the 16 input combinations and their Werner weights.
         let f1: f64 = 0.9;
         let f2: f64 = 0.8;
-        let w1 = |b: BellState| if b == BellState::PhiPlus { f1 } else { (1.0 - f1) / 3.0 };
-        let w2 = |b: BellState| if b == BellState::PhiPlus { f2 } else { (1.0 - f2) / 3.0 };
+        let w1 = |b: BellState| {
+            if b == BellState::PhiPlus {
+                f1
+            } else {
+                (1.0 - f1) / 3.0
+            }
+        };
+        let w2 = |b: BellState| {
+            if b == BellState::PhiPlus {
+                f2
+            } else {
+                (1.0 - f2) / 3.0
+            }
+        };
         let mut rtot = 0.0;
         let mut r = rng();
         for left in BellState::ALL {
@@ -195,7 +203,10 @@ mod tests {
             }
         }
         let expected = swap_werner_fidelity(f1, f2);
-        assert!((rtot - expected).abs() < 1e-9, "mc {rtot} formula {expected}");
+        assert!(
+            (rtot - expected).abs() < 1e-9,
+            "mc {rtot} formula {expected}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! was `|Φ⁺⟩`. With a noisy (Werner) pair the recovered state's fidelity
 //! degrades; [`teleport_over_werner`] measures by how much.
 
-use crate::bell::{BellState, werner_state};
+use crate::bell::{werner_state, BellState};
 use crate::complex::Complex;
 use crate::gates::Gate;
 use crate::state::StateVector;

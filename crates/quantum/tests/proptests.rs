@@ -17,13 +17,9 @@ use rand_chacha::ChaCha12Rng;
 
 /// Strategy for a normalisable single-qubit state (α, β not both ~zero).
 fn qubit_amplitudes() -> impl Strategy<Value = (Complex, Complex)> {
-    (
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-    )
-        .prop_filter_map("degenerate amplitudes", |(ar, ai, br, bi)| {
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_filter_map(
+        "degenerate amplitudes",
+        |(ar, ai, br, bi)| {
             let alpha = Complex::new(ar, ai);
             let beta = Complex::new(br, bi);
             if alpha.norm_sqr() + beta.norm_sqr() > 1e-3 {
@@ -31,7 +27,8 @@ fn qubit_amplitudes() -> impl Strategy<Value = (Complex, Complex)> {
             } else {
                 None
             }
-        })
+        },
+    )
 }
 
 proptest! {
@@ -79,7 +76,7 @@ proptest! {
     #[test]
     fn swap_fidelity_bounds(f1 in 0.25f64..1.0, f2 in 0.25f64..1.0) {
         let out = swap_werner_fidelity(f1, f2);
-        prop_assert!(out >= 0.25 - 1e-12 && out <= 1.0 + 1e-12);
+        prop_assert!((0.25 - 1e-12..=1.0 + 1e-12).contains(&out));
         prop_assert!(out <= f1.min(f2) + 1e-12);
         prop_assert!((out - swap_werner_fidelity(f2, f1)).abs() < 1e-12);
     }
@@ -170,6 +167,6 @@ proptest! {
             + rho[1][0] * rho[0][1]
             + rho[1][1] * rho[1][1])
             .re;
-        prop_assert!(purity >= 0.5 - 1e-9 && purity <= 1.0 + 1e-9);
+        prop_assert!((0.5 - 1e-9..=1.0 + 1e-9).contains(&purity));
     }
 }

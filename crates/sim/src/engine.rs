@@ -149,7 +149,8 @@ impl<W: World> Engine<W> {
                 self.now
             );
             self.now = scheduled.time;
-            self.world.handle(self.now, scheduled.event, &mut self.queue);
+            self.world
+                .handle(self.now, scheduled.event, &mut self.queue);
             self.delivered += 1;
             budget -= 1;
         }

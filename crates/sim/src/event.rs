@@ -75,7 +75,11 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent { time: at, seq, event });
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedule `event` for delivery `after` the given `now`.

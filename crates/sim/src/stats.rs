@@ -89,6 +89,40 @@ impl RunningStats {
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// Merge another accumulator into this one (Chan et al.'s parallel
+    /// Welford combination), as if every observation of `other` had been
+    /// recorded here. Used by sweep aggregation to fold per-worker partial
+    /// statistics without replaying samples.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on
+    /// the mean (`1.96·σ/√n`). `None` below two observations, where the
+    /// sample deviation is undefined.
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        if self.n < 2 {
+            None
+        } else {
+            Some(1.96 * self.std_dev() / (self.n as f64).sqrt())
+        }
+    }
     /// Minimum observation (`None` if empty).
     pub fn min(&self) -> Option<f64> {
         if self.n == 0 {
@@ -249,6 +283,63 @@ mod tests {
         assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), Some(2.0));
         assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        // Split at every point and merge the halves.
+        for split in 0..=xs.len() {
+            let (left, right) = xs.split_at(split);
+            let mut a = RunningStats::new();
+            let mut b = RunningStats::new();
+            left.iter().for_each(|&x| a.record(x));
+            right.iter().for_each(|&x| b.record(x));
+            a.merge(&b);
+            assert_eq!(a.count(), all.count());
+            assert!((a.mean() - all.mean()).abs() < 1e-12, "split {split}");
+            assert!(
+                (a.variance() - all.variance()).abs() < 1e-12,
+                "split {split}"
+            );
+            assert_eq!(a.min(), all.min());
+            assert_eq!(a.max(), all.max());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.record(3.0);
+        a.record(5.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_samples() {
+        let mut a = RunningStats::new();
+        a.record(1.0);
+        assert!(a.ci95_half_width().is_none());
+        a.record(3.0);
+        let wide = a.ci95_half_width().unwrap();
+        for _ in 0..98 {
+            a.record(1.0);
+            a.record(3.0);
+        }
+        let narrow = a.ci95_half_width().unwrap();
+        assert!(narrow < wide);
+        assert!(narrow > 0.0);
     }
 
     #[test]

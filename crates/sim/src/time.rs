@@ -11,7 +11,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, measured in nanoseconds from simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time in nanoseconds.
@@ -19,7 +21,9 @@ pub struct SimTime(pub u64);
 /// `SimDuration` is an alias-like wrapper with the same representation as
 /// [`SimTime`]; the two are kept distinct so that the type system catches
 /// accidental "time + time" arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -232,7 +236,10 @@ mod tests {
     fn duration_scaling() {
         let d = SimDuration::from_secs(2).mul_f64(0.25);
         assert_eq!(d, SimDuration::from_millis(500));
-        assert_eq!(SimDuration::from_millis(10).saturating_mul(4), SimDuration::from_millis(40));
+        assert_eq!(
+            SimDuration::from_millis(10).saturating_mul(4),
+            SimDuration::from_millis(40)
+        );
     }
 
     #[test]

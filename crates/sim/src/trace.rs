@@ -9,11 +9,12 @@ use crate::time::SimTime;
 use std::fmt;
 
 /// Severity / verbosity of a trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum TraceLevel {
     /// High-volume, per-event detail.
     Debug,
     /// Normal protocol events (swaps, consumptions, generations).
+    #[default]
     Info,
     /// Unusual but non-fatal conditions (starvation, expiry).
     Warn,
@@ -99,7 +100,9 @@ impl MemoryTracer {
 
     /// Iterate over messages containing `needle`.
     pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
-        self.records.iter().filter(move |r| r.message.contains(needle))
+        self.records
+            .iter()
+            .filter(move |r| r.message.contains(needle))
     }
 }
 
@@ -130,12 +133,6 @@ impl Tracer for MemoryTracer {
 pub struct StderrTracer {
     /// Minimum level to print.
     pub min_level: TraceLevel,
-}
-
-impl Default for TraceLevel {
-    fn default() -> Self {
-        TraceLevel::Info
-    }
 }
 
 impl Tracer for StderrTracer {

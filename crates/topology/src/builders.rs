@@ -113,6 +113,21 @@ pub enum Topology {
         /// Number of nodes.
         nodes: usize,
     },
+    /// Watts–Strogatz small world: a ring lattice where each node connects
+    /// to its `neighbors` nearest ring neighbours, with every lattice edge
+    /// rewired to a uniformly random endpoint with probability
+    /// `rewire_probability`, then patched back to connectivity. `p = 0`
+    /// gives the regular lattice, `p = 1` approaches a random graph;
+    /// intermediate values give the short-path/high-clustering regime
+    /// quantum-internet backbones are often modelled with.
+    WattsStrogatz {
+        /// Number of nodes.
+        nodes: usize,
+        /// Ring-lattice degree (rounded down to an even count, minimum 2).
+        neighbors: usize,
+        /// Per-edge rewiring probability, clamped to [0, 1].
+        rewire_probability: f64,
+    },
 }
 
 impl Topology {
@@ -131,6 +146,11 @@ impl Topology {
                 edge_probability,
             } => format!("er-{nodes}-p{edge_probability}"),
             Topology::RandomTree { nodes } => format!("tree-{nodes}"),
+            Topology::WattsStrogatz {
+                nodes,
+                neighbors,
+                rewire_probability,
+            } => format!("ws-{nodes}-k{neighbors}-p{rewire_probability}"),
         }
     }
 
@@ -142,7 +162,8 @@ impl Topology {
             | Topology::Star { nodes }
             | Topology::Complete { nodes }
             | Topology::ErdosRenyiConnected { nodes, .. }
-            | Topology::RandomTree { nodes } => nodes,
+            | Topology::RandomTree { nodes }
+            | Topology::WattsStrogatz { nodes, .. } => nodes,
             Topology::TorusGrid { side }
             | Topology::PlanarGrid { side }
             | Topology::RandomConnectedGrid { side } => side * side,
@@ -156,6 +177,7 @@ impl Topology {
             Topology::RandomConnectedGrid { .. }
                 | Topology::ErdosRenyiConnected { .. }
                 | Topology::RandomTree { .. }
+                | Topology::WattsStrogatz { .. }
         )
     }
 
@@ -174,6 +196,11 @@ impl Topology {
                 edge_probability,
             } => erdos_renyi_connected(nodes, edge_probability, seed),
             Topology::RandomTree { nodes } => random_tree(nodes, seed),
+            Topology::WattsStrogatz {
+                nodes,
+                neighbors,
+                rewire_probability,
+            } => watts_strogatz(nodes, neighbors, rewire_probability, seed),
         }
     }
 
@@ -349,6 +376,69 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
     g
 }
 
+/// Watts–Strogatz small-world graph over `n` nodes: a ring lattice of
+/// degree `k` (each node joined to its `k/2` nearest neighbours on each
+/// side), with each lattice edge independently rewired with probability `p`
+/// to a uniformly random non-adjacent endpoint, then patched back to
+/// connectivity by joining random representatives of distinct components
+/// (the same patching used by [`erdos_renyi_connected`], so the result is
+/// always usable as a generation graph).
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    if n <= 1 {
+        return g;
+    }
+    let half = (k.max(2) / 2).min(n.saturating_sub(1) / 2).max(1);
+    let p = p.clamp(0.0, 1.0);
+    let mut rng = SimRng::new(seed);
+
+    // Ring lattice: i — i+j (mod n) for j = 1..=half.
+    for i in 0..n {
+        for j in 1..=half {
+            let t = (i + j) % n;
+            if i != t {
+                g.add_edge(NodeId::from(i), NodeId::from(t));
+            }
+        }
+    }
+
+    // Rewire pass in deterministic lattice order.
+    for i in 0..n {
+        for j in 1..=half {
+            let old = (i + j) % n;
+            if i == old || !rng.chance(p) {
+                continue;
+            }
+            // Draw a replacement endpoint that is neither `i` nor already a
+            // neighbour; bail after a few attempts on dense graphs.
+            for _ in 0..8 {
+                let t = NodeId::from(rng.index(n));
+                let a = NodeId::from(i);
+                if t != a && !g.has_edge(a, t) {
+                    g.remove_edge(a, NodeId::from(old));
+                    g.add_edge(a, t);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Patch to connectivity (rewiring can strand components).
+    let mut uf = UnionFind::new(n);
+    for (a, b) in g.edges().collect::<Vec<_>>() {
+        uf.union(a, b);
+    }
+    while uf.component_count() > 1 {
+        let a = NodeId::from(rng.index(n));
+        let b = NodeId::from(rng.index(n));
+        if a != b && !uf.connected(a, b) {
+            g.add_edge(a, b);
+            uf.union(a, b);
+        }
+    }
+    g
+}
+
 /// A random spanning tree over `n` nodes: each node `i ≥ 1` attaches to a
 /// uniformly random earlier node (a random recursive tree).
 pub fn random_tree(n: usize, seed: u64) -> Graph {
@@ -493,6 +583,47 @@ mod tests {
     }
 
     #[test]
+    fn watts_strogatz_shapes() {
+        // p = 0: the pure ring lattice of degree 4.
+        let lattice = watts_strogatz(12, 4, 0.0, 1);
+        assert_eq!(lattice.node_count(), 12);
+        assert_eq!(lattice.edge_count(), 24);
+        assert!(lattice.nodes().all(|v| lattice.degree(v) == 4));
+        assert!(is_connected(&lattice));
+
+        // Intermediate p: still connected, same node count, edge count close
+        // to the lattice (rewiring moves edges; patching may add a few).
+        for seed in 0..10 {
+            let g = watts_strogatz(20, 4, 0.3, seed);
+            assert_eq!(g.node_count(), 20);
+            assert!(is_connected(&g), "seed {seed}");
+            assert!(g.edge_count() >= 19, "at least spanning, seed {seed}");
+            // No self-loops.
+            for (a, b) in g.edges() {
+                assert_ne!(a, b);
+            }
+        }
+
+        // p = 1: heavy rewiring still yields a connected graph.
+        let scrambled = watts_strogatz(16, 4, 1.0, 3);
+        assert!(is_connected(&scrambled));
+
+        // Determinism per seed.
+        assert_eq!(watts_strogatz(15, 4, 0.5, 9), watts_strogatz(15, 4, 0.5, 9));
+    }
+
+    #[test]
+    fn watts_strogatz_tiny_and_degenerate() {
+        assert_eq!(watts_strogatz(0, 4, 0.5, 1).node_count(), 0);
+        assert_eq!(watts_strogatz(1, 4, 0.5, 1).edge_count(), 0);
+        let two = watts_strogatz(2, 4, 0.5, 1);
+        assert!(is_connected(&two));
+        // k larger than n is clamped.
+        let clamped = watts_strogatz(5, 10, 0.0, 1);
+        assert!(is_connected(&clamped));
+    }
+
+    #[test]
     fn topology_enum_roundtrip() {
         let topos = [
             Topology::Cycle { nodes: 25 },
@@ -507,6 +638,11 @@ mod tests {
                 edge_probability: 0.2,
             },
             Topology::RandomTree { nodes: 20 },
+            Topology::WattsStrogatz {
+                nodes: 20,
+                neighbors: 4,
+                rewire_probability: 0.25,
+            },
         ];
         for t in topos {
             let g = t.build(123);
@@ -515,6 +651,12 @@ mod tests {
             assert!(!t.label().is_empty());
         }
         assert!(Topology::RandomTree { nodes: 3 }.is_random());
+        assert!(Topology::WattsStrogatz {
+            nodes: 8,
+            neighbors: 4,
+            rewire_probability: 0.1
+        }
+        .is_random());
         assert!(!Topology::Cycle { nodes: 3 }.is_random());
     }
 }

@@ -86,7 +86,10 @@ impl Graph {
     /// Panics if either endpoint is not a node of this graph or if `a == b`
     /// (self-loops carry no meaning for Bell-pair generation).
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        assert!(self.contains(a) && self.contains(b), "edge endpoint out of range");
+        assert!(
+            self.contains(a) && self.contains(b),
+            "edge endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         if self.has_edge(a, b) {
             return false;

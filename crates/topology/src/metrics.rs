@@ -49,15 +49,15 @@ pub fn graph_metrics(graph: &Graph) -> GraphMetrics {
     let mut sum = 0u64;
     let mut count = 0u64;
     let mut all_reachable = true;
-    for i in 0..nodes {
-        for j in 0..nodes {
+    for (i, row) in d.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
             if i == j {
                 continue;
             }
-            match d[i][j] {
+            match cell {
                 Some(h) => {
-                    diameter = diameter.max(h);
-                    sum += h as u64;
+                    diameter = diameter.max(*h);
+                    sum += *h as u64;
                     count += 1;
                 }
                 None => all_reachable = false,
@@ -71,7 +71,11 @@ pub fn graph_metrics(graph: &Graph) -> GraphMetrics {
         min_degree,
         max_degree,
         mean_degree,
-        diameter: if connected && nodes > 1 { Some(diameter) } else { None },
+        diameter: if connected && nodes > 1 {
+            Some(diameter)
+        } else {
+            None
+        },
         mean_path_length: if count > 0 {
             Some(sum as f64 / count as f64)
         } else {

@@ -240,11 +240,11 @@ mod tests {
         m.set(NodePair::new(NodeId(0), NodeId(2)), 2.5);
         let entries: Vec<_> = m.iter().map(|(p, &v)| (p, v)).collect();
         assert_eq!(entries.len(), 6);
+        assert_eq!(entries[1], (NodePair::new(NodeId(0), NodeId(2)), 2.5));
         assert_eq!(
-            entries[1],
-            (NodePair::new(NodeId(0), NodeId(2)), 2.5)
+            m.positive_pairs(),
+            vec![NodePair::new(NodeId(0), NodeId(2))]
         );
-        assert_eq!(m.positive_pairs(), vec![NodePair::new(NodeId(0), NodeId(2))]);
         assert!((m.total() - 2.5).abs() < 1e-12);
     }
 

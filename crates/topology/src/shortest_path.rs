@@ -179,7 +179,10 @@ pub fn dijkstra(
             if next < dist[v.index()] {
                 dist[v.index()] = next;
                 prev[v.index()] = Some(node);
-                heap.push(Entry { cost: next, node: v });
+                heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
             }
         }
     }
@@ -256,11 +259,11 @@ mod tests {
     fn all_pairs_is_symmetric() {
         let g = torus_grid(4);
         let d = all_pairs_distances(&g);
-        for i in 0..16 {
-            for j in 0..16 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, d[j][i]);
             }
-            assert_eq!(d[i][i], Some(0));
+            assert_eq!(row[i], Some(0));
         }
     }
 

@@ -1,0 +1,72 @@
+//! Example: declare and run a small sweep campaign, then print the
+//! aggregated oblivious-vs-planned comparison.
+//!
+//! ```sh
+//! cargo run --release --example campaign_sweep
+//! ```
+
+use qnet::campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
+use qnet::core::workload::RequestDiscipline;
+use qnet::prelude::*;
+
+fn main() {
+    // Axes: two topology families × two protocol modes × two distillation
+    // overheads, five replicates each — 40 experiments.
+    let grid = ScenarioGrid::new(7)
+        .with_topologies(vec![
+            Topology::Cycle { nodes: 9 },
+            Topology::TorusGrid { side: 3 },
+        ])
+        .with_modes(vec![
+            ProtocolMode::Oblivious,
+            ProtocolMode::PlannedConnectionOriented,
+        ])
+        .with_distillations(vec![1.0, 2.0])
+        .with_workloads(vec![WorkloadSpec {
+            node_count: 0, // patched to each topology
+            consumer_pairs: 8,
+            requests: 10,
+            discipline: RequestDiscipline::UniformRandom,
+        }])
+        .with_replicates(5)
+        .with_horizon_s(3_000.0);
+
+    println!(
+        "running {} scenarios ({} cells × {} replicates)…",
+        grid.scenario_count(),
+        grid.cell_count(),
+        grid.replicates
+    );
+
+    let result = run_campaign(&grid, &RunnerConfig::default());
+    println!(
+        "finished in {:.2}s on {} threads",
+        result.wall_seconds, result.threads_used
+    );
+
+    let report = aggregate(&grid, &result);
+    println!("\nper-cell swap overhead (mean ± 95% CI):");
+    for cell in &report.cell_reports {
+        println!(
+            "  {:<12} D={:<3} {:>26}  {} ± {}  (sat {:.0}%)",
+            cell.key.topology,
+            cell.key.distillation,
+            format!("{:?}", cell.key.mode),
+            cell.overhead_mean
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            cell.overhead_ci95
+                .map(|c| format!("{c:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            cell.satisfaction_mean * 100.0
+        );
+    }
+
+    println!("\noblivious / planned overhead ratios:");
+    for r in &report.ratios {
+        println!(
+            "  {:<12} D={:<3} ratio {:.3}  ({:.3} vs {:.3})",
+            r.topology, r.distillation, r.ratio, r.numerator_overhead, r.denominator_overhead
+        );
+    }
+}

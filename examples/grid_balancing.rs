@@ -13,7 +13,10 @@ fn main() {
     let side = 4;
     let graph = builders::torus_grid(side);
     let n = graph.node_count();
-    println!("Torus grid {side}×{side}: {n} nodes, {} generation edges", graph.edge_count());
+    println!(
+        "Torus grid {side}×{side}: {n} nodes, {} generation edges",
+        graph.edge_count()
+    );
 
     // Stock every generation edge with a burst of freshly generated pairs.
     let per_edge = 8;
@@ -33,7 +36,10 @@ fn main() {
     let policy = BalancerPolicy;
     let overhead = |_: NodePair| 1.0;
     let swaps = policy.run_to_quiescence(&mut inventory, &overhead, 1_000_000);
-    println!("Balancer performed {} swaps before reaching quiescence.", swaps.len());
+    println!(
+        "Balancer performed {} swaps before reaching quiescence.",
+        swaps.len()
+    );
 
     // Summarise the resulting distribution of pool counts by hop distance.
     let mut by_distance: Vec<(usize, u64, u64)> = Vec::new(); // (hops, pools, pairs)

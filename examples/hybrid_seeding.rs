@@ -19,8 +19,15 @@ fn main() {
         max_sim_time_s: 8_000.0,
     };
 
-    println!("Topology: {} ({} nodes)", topology.label(), topology.node_count());
-    println!("Workload: {} sequential consumption requests\n", base.workload.requests);
+    println!(
+        "Topology: {} ({} nodes)",
+        topology.label(),
+        topology.node_count()
+    );
+    println!(
+        "Workload: {} sequential consumption requests\n",
+        base.workload.requests
+    );
     println!(
         "{:>28} {:>10} {:>9} {:>11} {:>9} {:>12}",
         "mode", "overhead", "swaps", "satisfied", "repairs", "sim seconds"
@@ -31,7 +38,7 @@ fn main() {
         ProtocolMode::PlannedConnectionOriented,
         ProtocolMode::PlannedConnectionless,
     ] {
-        let config = ExperimentConfig { mode, ..base.clone() };
+        let config = ExperimentConfig { mode, ..base };
         let r = Experiment::new(config).run();
         println!(
             "{:>28} {:>10} {:>9} {:>11} {:>9} {:>12.1}",

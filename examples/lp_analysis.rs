@@ -24,7 +24,10 @@ fn main() {
     println!("Demand: three consumer pairs, 1 pair/s each\n");
 
     let model = SteadyStateModel::new(&capacity, &demand);
-    println!("{:<26} {:>10} {:>10} {:>10} {:>8}", "objective", "Σ g", "Σ c", "Σ σ", "α");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>8}",
+        "objective", "Σ g", "Σ c", "Σ σ", "α"
+    );
     for objective in [
         LpObjective::MaxTotalConsumption,
         LpObjective::MaxMinConsumption,
@@ -37,7 +40,9 @@ fn main() {
             sol.total_generation(),
             sol.total_consumption(),
             sol.total_swap_rate(),
-            sol.alpha.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+            sol.alpha
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 
@@ -73,6 +78,9 @@ fn main() {
     let fair = model.solve(LpObjective::MaxMinConsumption);
     println!("\nSwap schedule of the max-min plan (rate ≥ 0.05 only):");
     for s in fair.swap_rates.iter().filter(|s| s.rate >= 0.05) {
-        println!("  node {} swaps for pair {} at {:.3} /s", s.repeater, s.produces, s.rate);
+        println!(
+            "  node {} swaps for pair {} at {:.3} /s",
+            s.repeater, s.produces, s.rate
+        );
     }
 }

@@ -13,8 +13,7 @@ fn main() {
     // balancing protocol with global buffer knowledge.
     let topology = Topology::Cycle { nodes: 25 };
     let config = ExperimentConfig {
-        network: NetworkConfig::new(topology)
-            .with_distillation(DistillationSpec::Uniform(1.0)),
+        network: NetworkConfig::new(topology).with_distillation(DistillationSpec::Uniform(1.0)),
         workload: WorkloadSpec::paper_default(topology.node_count()),
         mode: ProtocolMode::Oblivious,
         knowledge: KnowledgeModel::Global,
@@ -36,7 +35,9 @@ fn main() {
         "swap overhead      : {}",
         result
             .swap_overhead()
-            .map(|o| format!("{o:.3} (≥ 1 by construction; 1 would be the nested-swapping optimum)"))
+            .map(|o| format!(
+                "{o:.3} (≥ 1 by construction; 1 would be the nested-swapping optimum)"
+            ))
             .unwrap_or_else(|| "n/a".into())
     );
     println!(

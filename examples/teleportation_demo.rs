@@ -18,7 +18,10 @@ fn main() {
     let mut rng = ChaCha12Rng::seed_from_u64(7);
 
     println!("== Teleportation over Werner channels (Fig. 1) ==");
-    println!("{:>18} {:>22} {:>22}", "channel fidelity", "measured avg fidelity", "analytic (2F+1)/3");
+    println!(
+        "{:>18} {:>22} {:>22}",
+        "channel fidelity", "measured avg fidelity", "analytic (2F+1)/3"
+    );
     let s = std::f64::consts::FRAC_1_SQRT_2;
     for &f in &[1.0, 0.95, 0.85, 0.75] {
         let runs = 2000;
@@ -28,7 +31,12 @@ fn main() {
             })
             .sum::<f64>()
             / runs as f64;
-        println!("{:>18.2} {:>22.4} {:>22.4}", f, mean, average_teleport_fidelity(f));
+        println!(
+            "{:>18.2} {:>22.4} {:>22.4}",
+            f,
+            mean,
+            average_teleport_fidelity(f)
+        );
     }
 
     println!("\n== Entanglement swapping (Fig. 2) ==");
@@ -39,11 +47,17 @@ fn main() {
     );
     println!("Werner-pair swaps, closed form:");
     for &(f1, f2) in &[(0.99, 0.99), (0.95, 0.9), (0.85, 0.85)] {
-        println!("  F₁={f1:.2}, F₂={f2:.2} → F_out = {:.4}", swap_werner_fidelity(f1, f2));
+        println!(
+            "  F₁={f1:.2}, F₂={f2:.2} → F_out = {:.4}",
+            swap_werner_fidelity(f1, f2)
+        );
     }
 
     println!("\n== Fidelity along repeater chains (why distillation is needed) ==");
-    println!("{:>10} {:>14} {:>14}", "hops", "F/hop = 0.98", "F/hop = 0.95");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "hops", "F/hop = 0.98", "F/hop = 0.95"
+    );
     for &n in &[1usize, 2, 4, 8, 16] {
         println!(
             "{:>10} {:>14.4} {:>14.4}",

@@ -1,0 +1,118 @@
+//! Workspace-level tests of the campaign engine: grid → parallel run →
+//! aggregate → JSONL, with the central determinism guarantee pinned down:
+//! the same grid and master seed produce **byte-identical** reports whether
+//! the campaign runs on one worker thread or many.
+
+use qnet::campaign::{
+    aggregate, overhead_ratios, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid,
+};
+use qnet::core::workload::RequestDiscipline;
+use qnet::prelude::*;
+
+fn test_grid(master_seed: u64) -> ScenarioGrid {
+    ScenarioGrid::new(master_seed)
+        .with_topologies(vec![
+            Topology::Cycle { nodes: 7 },
+            Topology::RandomConnectedGrid { side: 3 },
+        ])
+        .with_modes(vec![
+            ProtocolMode::Oblivious,
+            ProtocolMode::PlannedConnectionOriented,
+        ])
+        .with_distillations(vec![1.0, 2.0])
+        .with_workloads(vec![WorkloadSpec {
+            node_count: 0, // patched per topology
+            consumer_pairs: 6,
+            requests: 6,
+            discipline: RequestDiscipline::UniformRandom,
+        }])
+        .with_replicates(3)
+        .with_horizon_s(1_500.0)
+}
+
+#[test]
+fn one_and_many_threads_produce_byte_identical_reports() {
+    let grid = test_grid(2024);
+
+    let serial = run_campaign(&grid, &RunnerConfig::serial());
+    let parallel = run_campaign(&grid, &RunnerConfig::with_threads(4));
+    // Tiny chunks force maximal interleaving of the work-claim order.
+    let chopped = run_campaign(
+        &grid,
+        &RunnerConfig {
+            threads: 3,
+            chunk_size: 1,
+        },
+    );
+
+    assert_eq!(serial.outcomes, parallel.outcomes);
+    assert_eq!(serial.outcomes, chopped.outcomes);
+
+    let serial_jsonl = to_jsonl_string(&aggregate(&grid, &serial));
+    let parallel_jsonl = to_jsonl_string(&aggregate(&grid, &parallel));
+    let chopped_jsonl = to_jsonl_string(&aggregate(&grid, &chopped));
+    assert_eq!(serial_jsonl, parallel_jsonl);
+    assert_eq!(serial_jsonl, chopped_jsonl);
+    assert!(!serial_jsonl.is_empty());
+}
+
+#[test]
+fn reports_depend_on_the_master_seed() {
+    let a = test_grid(1);
+    let b = test_grid(2);
+    let ra = to_jsonl_string(&aggregate(&a, &run_campaign(&a, &RunnerConfig::default())));
+    let rb = to_jsonl_string(&aggregate(&b, &run_campaign(&b, &RunnerConfig::default())));
+    assert_ne!(ra, rb, "different master seeds must change the report");
+}
+
+#[test]
+fn campaign_covers_the_grid_and_aggregates_sanely() {
+    let grid = test_grid(7);
+    assert_eq!(grid.cell_count(), 2 * 2 * 2);
+    assert_eq!(grid.scenario_count(), 8 * 3);
+
+    let result = run_campaign(&grid, &RunnerConfig::default());
+    let report = aggregate(&grid, &result);
+    assert_eq!(report.cell_reports.len(), grid.cell_count());
+    assert_eq!(report.scenarios, grid.scenario_count());
+
+    for cell in &report.cell_reports {
+        assert_eq!(cell.replicates, 3);
+        assert!((0.0..=1.0).contains(&cell.satisfaction_mean));
+        if let Some(mean) = cell.overhead_mean {
+            assert!(mean >= 1.0, "{}: overhead {mean}", cell.key.topology);
+            let (p10, p90) = (cell.overhead_p10.unwrap(), cell.overhead_p90.unwrap());
+            assert!(p10 <= p90);
+            assert!(cell.overhead_min.unwrap() <= cell.overhead_max.unwrap());
+        }
+    }
+
+    // Every (topology, D) pair with both modes present yields a ratio, and
+    // ratios are well-formed.
+    let ratios = overhead_ratios(&report.cell_reports);
+    assert!(
+        !ratios.is_empty(),
+        "matched oblivious/planned cells expected"
+    );
+    for r in &ratios {
+        assert!(r.ratio > 0.0);
+        assert_eq!(r.numerator_mode, ProtocolMode::Oblivious);
+        assert_eq!(r.denominator_mode, ProtocolMode::PlannedConnectionOriented);
+    }
+}
+
+#[test]
+fn jsonl_report_parses_back_line_by_line() {
+    let grid = test_grid(99);
+    let report = aggregate(&grid, &run_campaign(&grid, &RunnerConfig::default()));
+    let text = to_jsonl_string(&report);
+    let mut kinds = std::collections::BTreeMap::<String, usize>::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        let kind = v["kind"].as_str().expect("kind tag").to_string();
+        *kinds.entry(kind).or_default() += 1;
+    }
+    assert_eq!(kinds["campaign"], 1);
+    assert_eq!(kinds["cell"], grid.cell_count());
+    assert!(kinds.get("ratio").copied().unwrap_or(0) >= 1);
+}

@@ -34,9 +34,11 @@ fn steady_state_holds(
         let departures: f64 = sol
             .swap_rates
             .iter()
-            .filter(|s| pair.contains(s.repeater) && {
-                let other = s.produces;
-                other.contains(pair.other(s.repeater).unwrap())
+            .filter(|s| {
+                pair.contains(s.repeater) && {
+                    let other = s.produces;
+                    other.contains(pair.other(s.repeater).unwrap())
+                }
             })
             .map(|s| s.rate)
             .sum::<f64>()
@@ -136,7 +138,10 @@ fn lp_relates_to_nested_swap_costs() {
         let total_swaps = sol.total_swap_rate();
         let executed = (hops as f64 - 1.0) * rate;
         let lower_bound = nested_swap_cost(hops, 1.0) * rate;
-        assert!((total_swaps - executed).abs() < 1e-4, "hops {hops}: {total_swaps} vs {executed}");
+        assert!(
+            (total_swaps - executed).abs() < 1e-4,
+            "hops {hops}: {total_swaps} vs {executed}"
+        );
         assert!(total_swaps + 1e-6 >= lower_bound);
     }
 }

@@ -5,11 +5,11 @@
 use qnet::core::config::{DistillationSpec, NetworkConfig};
 use qnet::prelude::*;
 use qnet::quantum::bell::{werner_state, BellState};
+use qnet::quantum::complex::Complex;
 use qnet::quantum::decoherence::{CutoffPolicy, DecoherenceModel};
 use qnet::quantum::distill::{overhead_factor, plan_distillation, DistillationProtocol};
 use qnet::quantum::swap::{chain_swap_fidelity, swap_werner_fidelity};
 use qnet::quantum::teleport::{average_teleport_fidelity, teleport_over_werner};
-use qnet::quantum::complex::Complex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
@@ -131,5 +131,8 @@ fn end_to_end_story_chain_swap_then_distill_then_teleport() {
     };
     let before = mean(raw_chain, &mut rng);
     let after = mean(plan.achieved_fidelity, &mut rng);
-    assert!(after > before, "distillation must pay off: {before:.3} vs {after:.3}");
+    assert!(
+        after > before,
+        "distillation must pay off: {before:.3} vs {after:.3}"
+    );
 }

@@ -1,0 +1,198 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! Implements the ChaCha stream cipher's block function (Bernstein, 2008)
+//! as a counter-mode RNG with 8, 12 or 20 rounds, exposing the same type
+//! names as the `rand_chacha` crate. The keystream is a faithful ChaCha
+//! keystream over a 256-bit key / 64-bit counter / 64-bit nonce layout;
+//! seeds expand via the `rand 0.8` SplitMix64 convention. Streams are
+//! deterministic and platform-independent, which is the property the
+//! workspace relies on for reproducible experiments.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 16 output words from key/counter/nonce, `rounds` must
+/// be even.
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = nonce as u32;
+    state[15] = (nonce >> 32) as u32;
+
+    let mut working = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        working[i] = working[i].wrapping_add(state[i]);
+    }
+    working
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            nonce: u64,
+            buffer: [u32; 16],
+            /// Next unread word in `buffer`; 16 means "refill".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, self.nonce, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            /// Select a keystream stream (nonce); resets buffered output.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.nonce = stream;
+                self.counter = 0;
+                self.index = 16;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    nonce: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds as a deterministic RNG."
+);
+chacha_rng!(
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds as a deterministic RNG."
+);
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds as a deterministic RNG."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn ietf_chacha20_test_vector_block_zero() {
+        // RFC 7539 §2.3.2 uses a 32-bit counter and 96-bit nonce, so it is
+        // not directly comparable to this 64/64 layout; instead check the
+        // all-zero key/counter/nonce keystream is the well-known ChaCha20
+        // zero-block (same layout as the original Bernstein spec).
+        let key = [0u32; 8];
+        let block = chacha_block(&key, 0, 0, 20);
+        // First keystream words of the published all-zero ChaCha20 block
+        // (bytes 76 b8 e0 ad a0 f1 3d 90 … little-endian).
+        assert_eq!(block[0], 0xade0_b876);
+        assert_eq!(block[1], 0x903d_f1a0);
+        // Regression pin for the tail of the block.
+        assert_eq!(block[15], 0x8665_eeb2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha12Rng::seed_from_u64(9);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_sampling_is_uniformish() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = ChaCha20Rng::seed_from_u64(1);
+        let mut b = ChaCha20Rng::seed_from_u64(1);
+        b.set_stream(5);
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut c = ChaCha8Rng::seed_from_u64(1);
+        let _ = c.next_u64();
+    }
+}

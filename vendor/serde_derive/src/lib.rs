@@ -1,0 +1,464 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! is written against the raw `proc_macro` API (no `syn`/`quote`). It parses
+//! the subset of Rust item grammar the workspace uses — plain structs
+//! (named, tuple, unit), plain enums (unit / tuple / struct variants), and
+//! at most simple type generics like `<T>` — and emits impls of the local
+//! `serde` shim's `Serialize`/`Deserialize` traits, following serde's
+//! conventions: named structs become JSON objects, newtype structs are
+//! transparent, tuple structs/variants become arrays, and enums use the
+//! externally-tagged representation.
+//!
+//! `#[serde(...)]` attributes are not supported (none are used in this
+//! workspace); unsupported shapes fail the build with a clear message
+//! rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Bare generic type parameter names (e.g. `["T"]`).
+    generics: Vec<String>,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the local serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input).expect("serde_derive: unsupported item shape");
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+/// Derive the local serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input).expect("serde_derive: unsupported item shape");
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos)? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos)? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos);
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Some(Item {
+                name,
+                generics,
+                body: Body::NamedStruct(parse_named_fields(g.stream())),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Some(Item {
+                name,
+                generics,
+                body: Body::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Some(Item {
+                name,
+                generics,
+                body: Body::UnitStruct,
+            }),
+            _ => None,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Some(Item {
+                name,
+                generics,
+                body: Body::Enum(parse_variants(g.stream())),
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Skip leading `#[...]` attributes (including doc comments) and any
+/// `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(*pos) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<T, U: Bound, ...>` into bare parameter names; advances past the
+/// closing `>`. Lifetimes and const generics are rejected (unused in this
+/// workspace).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *pos += 1,
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *pos += 1;
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expecting_param = false,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetime generics are not supported")
+            }
+            TokenTree::Ident(id) if expecting_param && depth == 1 => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde_derive: const generics are not supported");
+                }
+                params.push(s);
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Split a token stream on top-level commas (angle-bracket aware).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                segments.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments.retain(|s| !s.is_empty());
+    segments
+}
+
+/// Field names of a named-field body `{ a: T, pub b: U }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&segment, &mut pos);
+            match segment.get(pos) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Arity of a tuple body `(pub A, B<C>)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&segment, &mut pos);
+            let name = match segment.get(pos) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            pos += 1;
+            let shape = match segment.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                None => VariantShape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde_derive: explicit discriminants are not supported")
+                }
+                other => panic!("serde_derive: unexpected variant shape {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let args = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}> ",
+            bounds.join(", "),
+            item.name,
+            args
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let ty = &item.name;
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get_field(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if value.as_map().is_none() {{ return ::std::result::Result::Err(::serde::DeError::expected(\"{ty} object\", value)); }} \
+                 ::std::result::Result::Ok({ty} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({ty}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| ::serde::DeError::custom(\"{ty}: tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| ::serde::DeError::expected(\"{ty} array\", value))?; \
+                 ::std::result::Result::Ok({ty}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({ty})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| ::serde::DeError::custom(\"{ty}::{vn}: tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"{ty}::{vn} array\", inner))?; ::std::result::Result::Ok({ty}::{vn}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(inner.get_field(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({ty}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {units} \
+                     other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown {ty} variant {{other}}\"))), \
+                   }}, \
+                   ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                     let (tag, inner) = &entries[0]; \
+                     match tag.as_str() {{ \
+                       {datas} \
+                       other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown {ty} variant {{other}}\"))), \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"{ty} variant\", value)), \
+                 }}",
+                units = unit_arms.join(" "),
+                datas = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "{header}{{ fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize"),
+    )
+}
