@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
-use qnet_core::experiment::ProtocolMode;
+use qnet_core::policy::PolicyId;
 use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
 use qnet_topology::Topology;
 
@@ -13,10 +13,7 @@ fn bench_grid() -> ScenarioGrid {
             Topology::Cycle { nodes: 7 },
             Topology::TorusGrid { side: 3 },
         ])
-        .with_modes(vec![
-            ProtocolMode::Oblivious,
-            ProtocolMode::PlannedConnectionOriented,
-        ])
+        .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
         .with_workloads(vec![WorkloadSpec {
             node_count: 0,
             consumer_pairs: 5,

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnet_core::classical::KnowledgeModel;
-use qnet_core::experiment::{Experiment, ExperimentConfig, ProtocolMode};
+use qnet_core::experiment::{Experiment, ExperimentConfig};
+use qnet_core::policy::PolicyId;
 use qnet_core::workload::WorkloadSpec;
 use qnet_core::NetworkConfig;
 use qnet_sim::{Engine, EventQueue, SimDuration, SimTime, World};
@@ -50,7 +51,7 @@ fn network_simulation_throughput(c: &mut Criterion) {
         let config = ExperimentConfig {
             network: NetworkConfig::new(Topology::Cycle { nodes }),
             workload: WorkloadSpec::paper_default(nodes).with_requests(10),
-            mode: ProtocolMode::Oblivious,
+            mode: PolicyId::OBLIVIOUS,
             knowledge: KnowledgeModel::Global,
             seed: 3,
             max_sim_time_s: 1_500.0,

@@ -7,7 +7,8 @@
 
 use qnet_bench::{section5_config, SweepScale};
 use qnet_core::classical::KnowledgeModel;
-use qnet_core::experiment::{Experiment, ProtocolMode};
+use qnet_core::experiment::Experiment;
+use qnet_core::policy::PolicyId;
 use qnet_topology::Topology;
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
         ));
     }
     for (label, knowledge) in models {
-        let mut config = section5_config(topology, 1.0, ProtocolMode::Oblivious, scale);
+        let mut config = section5_config(topology, 1.0, PolicyId::OBLIVIOUS, scale);
         config.knowledge = knowledge;
         let result = Experiment::new(config).run();
         println!(

@@ -6,7 +6,8 @@
 //! (`--quick` shrinks the sweep).
 
 use qnet_bench::{section5_config, SweepScale};
-use qnet_core::experiment::{Experiment, ProtocolMode};
+use qnet_core::experiment::Experiment;
+use qnet_core::policy::PolicyId;
 use qnet_topology::Topology;
 
 fn main() {
@@ -23,10 +24,11 @@ fn main() {
         "mode", "overhead", "swaps", "satisfied", "repairs", "sim seconds"
     );
     for mode in [
-        ProtocolMode::Oblivious,
-        ProtocolMode::Hybrid,
-        ProtocolMode::PlannedConnectionOriented,
-        ProtocolMode::PlannedConnectionless,
+        PolicyId::OBLIVIOUS,
+        PolicyId::HYBRID,
+        PolicyId::GREEDY,
+        PolicyId::PLANNED,
+        PolicyId::CONNECTIONLESS,
     ] {
         let config = section5_config(topology, 1.0, mode, scale);
         let result = Experiment::new(config).run();

@@ -7,7 +7,8 @@
 //! (`--quick` shrinks the network and request count).
 
 use qnet_bench::{section5_config, SweepScale};
-use qnet_core::experiment::{mean_overhead_over_seeds, ProtocolMode};
+use qnet_core::experiment::mean_overhead_over_seeds;
+use qnet_core::policy::PolicyId;
 use qnet_topology::Topology;
 
 fn main() {
@@ -23,7 +24,7 @@ fn main() {
         "scan rate (/s)", "overhead", "satisfied"
     );
     for &rate in &[1.0, 2.0, 4.0, 8.0, 16.0] {
-        let mut config = section5_config(topology, 1.0, ProtocolMode::Oblivious, scale);
+        let mut config = section5_config(topology, 1.0, PolicyId::OBLIVIOUS, scale);
         config.network = config.network.with_swap_scan_rate(rate);
         let (overhead, satisfaction) = mean_overhead_over_seeds(&config, &scale.seeds());
         println!(

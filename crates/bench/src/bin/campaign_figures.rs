@@ -10,7 +10,7 @@
 
 use qnet_bench::{figure4_scale, figure5_sizes, figure_topologies, SweepScale};
 use qnet_campaign::{aggregate, run_campaign, CampaignReport, RunnerConfig, ScenarioGrid};
-use qnet_core::experiment::ProtocolMode;
+use qnet_core::policy::PolicyId;
 use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
 
 fn workload(scale: SweepScale) -> WorkloadSpec {
@@ -27,7 +27,7 @@ fn fig4_grid(scale: SweepScale) -> ScenarioGrid {
     let (nodes, ds) = figure4_scale(scale);
     ScenarioGrid::new(11)
         .with_topologies(figure_topologies(nodes))
-        .with_modes(vec![ProtocolMode::Oblivious])
+        .with_modes(vec![PolicyId::OBLIVIOUS])
         .with_distillations(ds)
         .with_workloads(vec![workload(scale)])
         .with_replicates(scale.seeds().len() as u32)
@@ -41,7 +41,7 @@ fn fig5_grids(scale: SweepScale) -> Vec<ScenarioGrid> {
         .map(|nodes| {
             ScenarioGrid::new(11)
                 .with_topologies(figure_topologies(nodes))
-                .with_modes(vec![ProtocolMode::Oblivious])
+                .with_modes(vec![PolicyId::OBLIVIOUS])
                 .with_workloads(vec![workload(scale)])
                 .with_replicates(scale.seeds().len() as u32)
                 .with_horizon_s(scale.horizon_s())

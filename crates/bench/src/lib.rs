@@ -15,7 +15,8 @@
 
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::config::DistillationSpec;
-use qnet_core::experiment::{mean_overhead_over_seeds, ExperimentConfig, ProtocolMode};
+use qnet_core::experiment::{mean_overhead_over_seeds, ExperimentConfig};
+use qnet_core::policy::PolicyId;
 use qnet_core::workload::WorkloadSpec;
 use qnet_core::NetworkConfig;
 use qnet_topology::Topology;
@@ -113,7 +114,7 @@ pub fn csv_header() -> &'static str {
 pub fn section5_config(
     topology: Topology,
     distillation: f64,
-    mode: ProtocolMode,
+    mode: PolicyId,
     scale: SweepScale,
 ) -> ExperimentConfig {
     ExperimentConfig {
@@ -133,7 +134,7 @@ pub fn run_point(
     experiment: &str,
     topology: Topology,
     distillation: f64,
-    mode: ProtocolMode,
+    mode: PolicyId,
     scale: SweepScale,
 ) -> FigureRow {
     let config = section5_config(topology, distillation, mode, scale);
@@ -186,13 +187,7 @@ pub fn figure4_rows(scale: SweepScale) -> Vec<FigureRow> {
     let mut rows = Vec::new();
     for topology in figure_topologies(nodes) {
         for &d in &ds {
-            rows.push(run_point(
-                "fig4",
-                topology,
-                d,
-                ProtocolMode::Oblivious,
-                scale,
-            ));
+            rows.push(run_point("fig4", topology, d, PolicyId::OBLIVIOUS, scale));
         }
     }
     rows
@@ -203,13 +198,7 @@ pub fn figure5_rows(scale: SweepScale) -> Vec<FigureRow> {
     let mut rows = Vec::new();
     for nodes in figure5_sizes(scale) {
         for topology in figure_topologies(nodes) {
-            rows.push(run_point(
-                "fig5",
-                topology,
-                1.0,
-                ProtocolMode::Oblivious,
-                scale,
-            ));
+            rows.push(run_point("fig5", topology, 1.0, PolicyId::OBLIVIOUS, scale));
         }
     }
     rows
@@ -293,7 +282,7 @@ mod tests {
             "smoke",
             Topology::Cycle { nodes: 7 },
             1.0,
-            ProtocolMode::Oblivious,
+            PolicyId::OBLIVIOUS,
             SweepScale::Quick,
         );
         assert_eq!(row.nodes, 7);

@@ -25,7 +25,8 @@
 
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::config::{DistillationSpec, NetworkConfig};
-use qnet_core::experiment::{ExperimentConfig, ProtocolMode};
+use qnet_core::experiment::ExperimentConfig;
+use qnet_core::policy::PolicyId;
 use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
 use qnet_quantum::decoherence::DecoherenceModel;
 use qnet_topology::Topology;
@@ -42,8 +43,9 @@ pub struct CellKey {
     pub topology: String,
     /// Node count of the topology.
     pub nodes: usize,
-    /// Protocol mode.
-    pub mode: ProtocolMode,
+    /// Swap policy (serialized under its legacy `ProtocolMode` label for
+    /// the built-ins, so pre-refactor reports keep their bytes).
+    pub mode: PolicyId,
     /// Distillation overhead `D`.
     pub distillation: f64,
     /// Knowledge model.
@@ -78,8 +80,8 @@ pub struct Scenario {
 pub struct ScenarioGrid {
     /// Topology axis (outermost loop).
     pub topologies: Vec<Topology>,
-    /// Protocol-mode axis.
-    pub modes: Vec<ProtocolMode>,
+    /// Swap-policy axis.
+    pub modes: Vec<PolicyId>,
     /// Distillation-overhead axis (`D ≥ 1`).
     pub distillations: Vec<f64>,
     /// Knowledge-model axis.
@@ -108,7 +110,7 @@ impl ScenarioGrid {
     pub fn new(master_seed: u64) -> Self {
         ScenarioGrid {
             topologies: vec![Topology::Cycle { nodes: 9 }],
-            modes: vec![ProtocolMode::Oblivious],
+            modes: vec![PolicyId::OBLIVIOUS],
             distillations: vec![1.0],
             knowledge: vec![KnowledgeModel::Global],
             coherence_times_s: vec![None],
@@ -128,8 +130,8 @@ impl ScenarioGrid {
         self
     }
 
-    /// Builder: set the protocol-mode axis.
-    pub fn with_modes(mut self, modes: impl Into<Vec<ProtocolMode>>) -> Self {
+    /// Builder: set the swap-policy axis.
+    pub fn with_modes(mut self, modes: impl Into<Vec<PolicyId>>) -> Self {
         self.modes = modes.into();
         assert!(!self.modes.is_empty(), "mode axis cannot be empty");
         self
@@ -223,7 +225,7 @@ impl ScenarioGrid {
         cell: usize,
     ) -> (
         Topology,
-        ProtocolMode,
+        PolicyId,
         f64,
         KnowledgeModel,
         Option<f64>,
@@ -372,10 +374,7 @@ mod tests {
                 Topology::Cycle { nodes: 7 },
                 Topology::TorusGrid { side: 3 },
             ])
-            .with_modes(vec![
-                ProtocolMode::Oblivious,
-                ProtocolMode::PlannedConnectionOriented,
-            ])
+            .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
             .with_distillations(vec![1.0, 2.0])
             .with_workloads(vec![WorkloadSpec {
                 node_count: 0,
@@ -458,7 +457,7 @@ mod tests {
         // same-environment cells in different modes.
         assert!(scenarios
             .iter()
-            .any(|s| g.cell_key(s.cell).mode != ProtocolMode::Oblivious));
+            .any(|s| g.cell_key(s.cell).mode != PolicyId::OBLIVIOUS));
     }
 
     #[test]
@@ -491,11 +490,11 @@ mod tests {
         // Cell 0: first value of every axis; last cell: last values.
         let first = g.cell_key(0);
         assert_eq!(first.topology, "cycle-7");
-        assert_eq!(first.mode, ProtocolMode::Oblivious);
+        assert_eq!(first.mode, PolicyId::OBLIVIOUS);
         assert_eq!(first.distillation, 1.0);
         let last = g.cell_key(g.cell_count() - 1);
         assert_eq!(last.topology, "torus-3x3");
-        assert_eq!(last.mode, ProtocolMode::PlannedConnectionOriented);
+        assert_eq!(last.mode, PolicyId::PLANNED);
         assert_eq!(last.distillation, 2.0);
     }
 

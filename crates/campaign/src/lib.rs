@@ -6,7 +6,8 @@
 //! ad-hoc loops into declarative, parallel, reproducible **campaigns**:
 //!
 //! 1. **Declare** a [`ScenarioGrid`]: the cartesian product of topology
-//!    families, protocol modes, distillation overheads, knowledge models,
+//!    families, swap policies (by registry name — see
+//!    [`qnet_core::policy`]), distillation overheads, knowledge models,
 //!    coherence times and workload specs, × a replicate count. The grid
 //!    expands into dense, deterministic [`Scenario`]s whose RNG seeds
 //!    derive from `(master seed, cell, replicate)`.
@@ -29,13 +30,13 @@
 //!
 //! ```
 //! use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
-//! use qnet_core::experiment::ProtocolMode;
+//! use qnet_core::policy::PolicyId;
 //! use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
 //! use qnet_topology::Topology;
 //!
 //! let grid = ScenarioGrid::new(7)
 //!     .with_topologies(vec![Topology::Cycle { nodes: 5 }])
-//!     .with_modes(vec![ProtocolMode::Oblivious])
+//!     .with_modes(vec![PolicyId::OBLIVIOUS])
 //!     .with_workloads(vec![WorkloadSpec {
 //!         node_count: 0, // patched per topology
 //!         consumer_pairs: 4,
@@ -57,6 +58,31 @@
 pub mod grid;
 pub mod report;
 pub mod runner;
+
+use qnet_core::policy::{registered_policies, PolicyFamily};
+
+/// The `campaign --list-policies` text: one line per policy in the
+/// process-global registry (built-ins plus anything registered through
+/// [`qnet_core::policy::register`]), in registration order.
+pub fn policy_listing() -> String {
+    let mut out = String::new();
+    for entry in registered_policies() {
+        let family = match entry.family {
+            PolicyFamily::Oblivious => "oblivious",
+            PolicyFamily::Planned => "planned",
+        };
+        let aliases = if entry.aliases.is_empty() {
+            String::new()
+        } else {
+            format!("  [aliases: {}]", entry.aliases.join(", "))
+        };
+        out.push_str(&format!(
+            "{:<16} {:<10} {}{}\n",
+            entry.name, family, entry.summary, aliases
+        ));
+    }
+    out
+}
 
 pub use grid::{derive_seed, CellKey, Scenario, ScenarioGrid};
 pub use report::{

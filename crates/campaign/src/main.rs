@@ -7,8 +7,8 @@
 //!                       cycle:9,rand-grid:3,ws:9:4:0.2)
 //!                       cycle:N | path:N | star:N | complete:N | torus:S |
 //!                       grid:S | rand-grid:S | er:N:P | ws:N:K:P | tree:N
-//!   --modes LIST        oblivious|planned|connectionless|hybrid
-//!                       (default: oblivious,planned,hybrid)
+//!   --modes LIST        swap policies by registry name (default:
+//!                       oblivious,planned,hybrid); see --list-policies
 //!   --dist LIST         distillation overheads (default: 1,2)
 //!   --gossip K          add a gossip knowledge axis with K peers/refresh
 //!   --pairs N           consumer pairs per workload (default: 10)
@@ -20,15 +20,18 @@
 //!   --out FILE          write the JSONL report to FILE (default: stdout)
 //!   --compare-serial    also run single-threaded; verify byte-identical
 //!                       reports and print the parallel speedup
-//!   --dry-run           print the grid shape and exit without running
+//!   --dry-run           print the grid shape and exit
+//!   --list-policies     print the registered swap policies and exit without running
 //! ```
 //!
 //! The JSON-lines report goes to stdout (or `--out`); the human summary and
 //! timing go to stderr, so `campaign > sweep.jsonl` composes cleanly.
 
-use qnet_campaign::{aggregate, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid};
+use qnet_campaign::{
+    aggregate, policy_listing, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid,
+};
 use qnet_core::classical::KnowledgeModel;
-use qnet_core::experiment::ProtocolMode;
+use qnet_core::policy::PolicyId;
 use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
 use qnet_topology::Topology;
 use std::io::Write;
@@ -36,7 +39,7 @@ use std::process::ExitCode;
 
 struct Options {
     topologies: Vec<Topology>,
-    modes: Vec<ProtocolMode>,
+    modes: Vec<PolicyId>,
     distillations: Vec<f64>,
     knowledge: Vec<KnowledgeModel>,
     pairs: usize,
@@ -62,11 +65,7 @@ impl Default for Options {
                     rewire_probability: 0.2,
                 },
             ],
-            modes: vec![
-                ProtocolMode::Oblivious,
-                ProtocolMode::PlannedConnectionOriented,
-                ProtocolMode::Hybrid,
-            ],
+            modes: vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED, PolicyId::HYBRID],
             distillations: vec![1.0, 2.0],
             knowledge: vec![KnowledgeModel::Global],
             pairs: 10,
@@ -120,16 +119,10 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
     }
 }
 
-fn parse_mode(spec: &str) -> Result<ProtocolMode, String> {
-    match spec {
-        "oblivious" => Ok(ProtocolMode::Oblivious),
-        "planned" => Ok(ProtocolMode::PlannedConnectionOriented),
-        "connectionless" => Ok(ProtocolMode::PlannedConnectionless),
-        "hybrid" => Ok(ProtocolMode::Hybrid),
-        other => Err(format!(
-            "unknown mode '{other}' (oblivious|planned|connectionless|hybrid)"
-        )),
-    }
+fn parse_mode(spec: &str) -> Result<PolicyId, String> {
+    // Any name, alias or legacy label in the policy registry is accepted —
+    // `campaign --list-policies` prints them.
+    PolicyId::parse(spec)
 }
 
 fn parse_list<T, E: std::fmt::Display>(
@@ -211,6 +204,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--threads needs an integer".to_string())?
             }
             "--out" => opts.out = Some(value("--out")?.clone()),
+            "--list-policies" => return Err("list-policies".to_string()),
             "--compare-serial" => opts.compare_serial = true,
             "--dry-run" => opts.dry_run = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -263,6 +257,10 @@ fn main() -> ExitCode {
         Err(msg) => {
             if msg == "help" {
                 eprint!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            if msg == "list-policies" {
+                print!("{}", policy_listing());
                 return ExitCode::SUCCESS;
             }
             eprintln!("campaign: {msg}");
@@ -391,7 +389,7 @@ USAGE:
 OPTIONS:
   --topologies LIST  cycle:N path:N star:N complete:N torus:S grid:S
                      rand-grid:S er:N:P ws:N:K:P tree:N   (comma-separated)
-  --modes LIST       oblivious planned connectionless hybrid
+  --modes LIST       swap policies by name (see --list-policies)
   --dist LIST        distillation overheads, e.g. 1,2,3
   --gossip K         add a gossip knowledge axis (K peers per refresh)
   --pairs N          consumer pairs per workload        [10]
@@ -403,4 +401,5 @@ OPTIONS:
   --out FILE         write JSONL report to FILE         [stdout]
   --compare-serial   verify 1-thread determinism, print speedup
   --dry-run          print the grid shape and exit
+  --list-policies    print the registered swap policies and exit
 ";

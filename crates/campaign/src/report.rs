@@ -16,7 +16,7 @@
 
 use crate::grid::{CellKey, ScenarioGrid};
 use crate::runner::{CampaignResult, ScenarioOutcome};
-use qnet_core::experiment::ProtocolMode;
+use qnet_core::policy::{PolicyFamily, PolicyId};
 use qnet_sim::stats::RunningStats;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
@@ -70,10 +70,10 @@ pub struct OverheadRatioRow {
     pub distillation: f64,
     /// Requests per run.
     pub requests: usize,
-    /// The numerator mode (an oblivious-family mode).
-    pub numerator_mode: ProtocolMode,
-    /// The denominator mode (a planned-family mode).
-    pub denominator_mode: ProtocolMode,
+    /// The numerator policy (an oblivious-family policy).
+    pub numerator_mode: PolicyId,
+    /// The denominator policy (a planned-family policy).
+    pub denominator_mode: PolicyId,
     /// Mean overhead of the numerator cell.
     pub numerator_overhead: f64,
     /// Mean overhead of the denominator cell.
@@ -164,17 +164,14 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
     }
 }
 
-/// True for the oblivious protocol family (ratio numerators).
-fn is_oblivious_family(mode: ProtocolMode) -> bool {
-    matches!(mode, ProtocolMode::Oblivious | ProtocolMode::Hybrid)
+/// True for the oblivious policy family (ratio numerators).
+fn is_oblivious_family(mode: PolicyId) -> bool {
+    mode.family() == PolicyFamily::Oblivious
 }
 
 /// True for the planned-path family (ratio denominators).
-fn is_planned_family(mode: ProtocolMode) -> bool {
-    matches!(
-        mode,
-        ProtocolMode::PlannedConnectionOriented | ProtocolMode::PlannedConnectionless
-    )
+fn is_planned_family(mode: PolicyId) -> bool {
+    mode.family() == PolicyFamily::Planned
 }
 
 /// Pair each oblivious-family cell with every planned-family cell that
@@ -303,7 +300,7 @@ mod tests {
     use qnet_core::classical::KnowledgeModel;
     use qnet_core::workload::RequestDiscipline;
 
-    fn key(cell: usize, mode: ProtocolMode, d: f64) -> CellKey {
+    fn key(cell: usize, mode: PolicyId, d: f64) -> CellKey {
         CellKey {
             cell,
             topology: "cycle-7".into(),
@@ -341,7 +338,7 @@ mod tests {
             .enumerate()
             .map(|(i, &x)| outcome(i, 0, i as u32, Some(x)))
             .collect();
-        let report = aggregate_cell(key(0, ProtocolMode::Oblivious, 1.0), &outcomes);
+        let report = aggregate_cell(key(0, PolicyId::OBLIVIOUS, 1.0), &outcomes);
         assert_eq!(report.replicates, 8);
         assert_eq!(report.overhead_samples, 8);
         assert!((report.overhead_mean.unwrap() - 5.0).abs() < 1e-12);
@@ -362,7 +359,7 @@ mod tests {
             outcome(1, 0, 1, None),
             outcome(2, 0, 2, Some(5.0)),
         ];
-        let report = aggregate_cell(key(0, ProtocolMode::Oblivious, 1.0), &outcomes);
+        let report = aggregate_cell(key(0, PolicyId::OBLIVIOUS, 1.0), &outcomes);
         assert_eq!(report.replicates, 3);
         assert_eq!(report.overhead_samples, 2);
         assert!((report.overhead_mean.unwrap() - 4.0).abs() < 1e-12);
@@ -371,7 +368,7 @@ mod tests {
 
     #[test]
     fn empty_cell_report_is_well_formed() {
-        let report = aggregate_cell(key(0, ProtocolMode::Oblivious, 1.0), &[]);
+        let report = aggregate_cell(key(0, PolicyId::OBLIVIOUS, 1.0), &[]);
         assert_eq!(report.overhead_samples, 0);
         assert!(report.overhead_mean.is_none());
         assert!(report.overhead_p50.is_none());
@@ -391,21 +388,21 @@ mod tests {
     #[test]
     fn ratio_pairs_matching_cells_only() {
         let mut oblivious = aggregate_cell(
-            key(0, ProtocolMode::Oblivious, 1.0),
+            key(0, PolicyId::OBLIVIOUS, 1.0),
             &[outcome(0, 0, 0, Some(6.0))],
         );
         let mut planned = aggregate_cell(
-            key(1, ProtocolMode::PlannedConnectionOriented, 1.0),
+            key(1, PolicyId::PLANNED, 1.0),
             &[outcome(1, 1, 0, Some(2.0))],
         );
         let other_d = aggregate_cell(
-            key(2, ProtocolMode::PlannedConnectionOriented, 2.0),
+            key(2, PolicyId::PLANNED, 2.0),
             &[outcome(2, 2, 0, Some(2.0))],
         );
         let rows = overhead_ratios(&[oblivious.clone(), planned.clone(), other_d]);
         assert_eq!(rows.len(), 1, "only the matching-D pair forms a ratio");
         assert!((rows[0].ratio - 3.0).abs() < 1e-12);
-        assert_eq!(rows[0].numerator_mode, ProtocolMode::Oblivious);
+        assert_eq!(rows[0].numerator_mode, PolicyId::OBLIVIOUS);
 
         // No ratio when either side lacks samples.
         oblivious.overhead_mean = None;
@@ -418,7 +415,7 @@ mod tests {
     #[test]
     fn jsonl_round_trips_and_is_tagged() {
         let cell = aggregate_cell(
-            key(0, ProtocolMode::Oblivious, 1.0),
+            key(0, PolicyId::OBLIVIOUS, 1.0),
             &[outcome(0, 0, 0, Some(3.0)), outcome(1, 0, 1, Some(5.0))],
         );
         let report = CampaignReport {

@@ -8,7 +8,8 @@
 //! * the scenario id space `0..n` is claimed in contiguous chunks via a
 //!   shared [`AtomicUsize`], which keeps cache-friendly locality and makes
 //!   the claim operation a single `fetch_add`,
-//! * workers re-materialise each [`Scenario`] from the grid by id (the grid
+//! * workers re-materialise each [`crate::grid::Scenario`] from the grid by
+//!   id (the grid
 //!   is `Sync`; materialisation is cheap relative to a simulation run), run
 //!   it, and send `(id, outcome)` back over an [`mpsc`] channel,
 //! * the collector stores outcomes into a dense `Vec` slot per id.
@@ -229,14 +230,14 @@ pub fn run_campaign(grid: &ScenarioGrid, config: &RunnerConfig) -> CampaignResul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qnet_core::experiment::ProtocolMode;
+    use qnet_core::policy::PolicyId;
     use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
     use qnet_topology::Topology;
 
     fn tiny_grid(replicates: u32) -> ScenarioGrid {
         ScenarioGrid::new(11)
             .with_topologies(vec![Topology::Cycle { nodes: 5 }])
-            .with_modes(vec![ProtocolMode::Oblivious, ProtocolMode::Hybrid])
+            .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::HYBRID])
             .with_workloads(vec![WorkloadSpec {
                 node_count: 0,
                 consumer_pairs: 4,

@@ -1,17 +1,18 @@
 //! The experiment runner: configuration → simulation → results.
 //!
 //! [`Experiment`] owns the full recipe of one §5-style run (network
-//! configuration, workload, protocol mode, knowledge model, seed, horizon),
-//! drives the discrete-event engine to completion and returns an
-//! [`ExperimentResult`] that carries both the headline swap-overhead number
-//! and the full [`RunMetrics`] for deeper analysis. Sweeps (Figures 4 and 5,
-//! the ablations) are thin loops over `Experiment` in `qnet-bench`.
+//! configuration, workload, swap policy, knowledge model, seed, horizon),
+//! resolves the policy from the [`crate::policy`] registry, drives the
+//! discrete-event engine to completion and returns an [`ExperimentResult`]
+//! that carries both the headline swap-overhead number and the full
+//! [`RunMetrics`] for deeper analysis. Sweeps (Figures 4 and 5, the
+//! ablations) are thin loops over `Experiment` in `qnet-bench`.
 
 use crate::classical::KnowledgeModel;
 use crate::config::NetworkConfig;
 use crate::metrics::RunMetrics;
-pub use crate::network::ProtocolMode;
 use crate::network::QuantumNetworkWorld;
+pub use crate::policy::{PolicyId, ProtocolMode};
 use crate::workload::{Workload, WorkloadSpec};
 use qnet_sim::{Engine, EventQueue, SimTime, StopCondition};
 use qnet_topology::Topology;
@@ -19,9 +20,10 @@ use serde::{Deserialize, Serialize};
 
 /// Everything needed to reproduce one simulation run.
 ///
-/// `Copy + Send`: the whole recipe is a small, flat value, so parallel
-/// sweep runners can hand configs to worker threads by value (see the
-/// `configs_are_cheap_to_clone_and_send` test for the compile-time
+/// `Copy + Send`: the whole recipe is a small, flat value (the policy is
+/// selected by its interned [`PolicyId`] name and instantiated per run), so
+/// parallel sweep runners can hand configs to worker threads by value (see
+/// the `configs_are_cheap_to_clone_and_send` test for the compile-time
 /// guarantees `qnet-campaign` relies on).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -29,8 +31,9 @@ pub struct ExperimentConfig {
     pub network: NetworkConfig,
     /// The consumption workload specification.
     pub workload: WorkloadSpec,
-    /// Which protocol to run.
-    pub mode: ProtocolMode,
+    /// Which swap policy to run, by registry name. (The field keeps its
+    /// pre-plugin-API name `mode` so serialized configs round-trip.)
+    pub mode: PolicyId,
     /// How nodes learn remote buffer counts.
     pub knowledge: KnowledgeModel,
     /// Root RNG seed (drives topology randomness, workload selection,
@@ -47,7 +50,7 @@ impl Default for ExperimentConfig {
         ExperimentConfig {
             network: NetworkConfig::new(topology),
             workload: WorkloadSpec::paper_default(topology.node_count()),
-            mode: ProtocolMode::Oblivious,
+            mode: PolicyId::OBLIVIOUS,
             knowledge: KnowledgeModel::Global,
             seed: 1,
             max_sim_time_s: 5_000.0,
@@ -65,11 +68,18 @@ impl ExperimentConfig {
                 .with_topology_seed(seed)
                 .with_distillation(crate::config::DistillationSpec::Uniform(distillation)),
             workload: WorkloadSpec::paper_default(topology.node_count()),
-            mode: ProtocolMode::Oblivious,
+            mode: PolicyId::OBLIVIOUS,
             knowledge: KnowledgeModel::Global,
             seed,
             max_sim_time_s: 20_000.0,
         }
+    }
+
+    /// Builder: select the swap policy (anything convertible to a
+    /// [`PolicyId`], including the legacy [`ProtocolMode`] variants).
+    pub fn with_policy(mut self, policy: impl Into<PolicyId>) -> Self {
+        self.mode = policy.into();
+        self
     }
 }
 
@@ -80,8 +90,8 @@ pub struct ExperimentResult {
     pub topology: String,
     /// Number of nodes.
     pub node_count: usize,
-    /// Protocol mode.
-    pub mode: ProtocolMode,
+    /// The swap policy that ran.
+    pub mode: PolicyId,
     /// Resolved distillation overhead `D`.
     pub distillation_overhead: f64,
     /// Number of satisfied consumption requests.
@@ -162,7 +172,7 @@ impl Experiment {
         let world = QuantumNetworkWorld::new(
             self.config.network,
             workload,
-            self.config.mode,
+            self.config.mode.instantiate(),
             self.config.knowledge,
             self.config.seed,
             &mut staging,
@@ -175,7 +185,8 @@ impl Experiment {
         let horizon = SimTime::from_secs_f64(self.config.max_sim_time_s);
         engine.run(StopCondition::at_horizon(horizon));
         let ended = engine.now();
-        let world = engine.into_world();
+        let mut world = engine.into_world();
+        world.finish();
         let metrics = world.metrics();
 
         ExperimentResult {
@@ -238,7 +249,7 @@ mod tests {
                 requests: 10,
                 discipline: RequestDiscipline::UniformRandom,
             },
-            mode: ProtocolMode::Oblivious,
+            mode: PolicyId::OBLIVIOUS,
             knowledge: KnowledgeModel::Global,
             seed: 5,
             max_sim_time_s: 2_000.0,
@@ -272,8 +283,7 @@ mod tests {
         // the oblivious balancer spends extra swaps positioning pairs.
         let mut oblivious = small_config();
         oblivious.workload.requests = 6;
-        let mut planned = oblivious;
-        planned.mode = ProtocolMode::PlannedConnectionOriented;
+        let planned = oblivious.with_policy(PolicyId::PLANNED);
         let ro = Experiment::new(oblivious).run();
         let rp = Experiment::new(planned).run();
         assert!(rp.satisfied_requests >= 5);
@@ -291,11 +301,22 @@ mod tests {
         let mut base = small_config();
         base.workload.requests = 8;
         base.max_sim_time_s = 400.0;
-        let mut hybrid = base;
-        hybrid.mode = ProtocolMode::Hybrid;
+        let hybrid = base.with_policy(PolicyId::HYBRID);
         let rb = Experiment::new(base).run();
         let rh = Experiment::new(hybrid).run();
         assert!(rh.satisfied_requests >= rb.satisfied_requests);
+    }
+
+    #[test]
+    fn legacy_protocol_mode_still_selects_policies() {
+        // The ProtocolMode shim converts into the same runs as PolicyId.
+        let direct = small_config().with_policy(PolicyId::HYBRID);
+        let shimmed = small_config().with_policy(ProtocolMode::Hybrid);
+        assert_eq!(direct, shimmed);
+        assert_eq!(
+            Experiment::new(direct).run(),
+            Experiment::new(shimmed).run()
+        );
     }
 
     #[test]
@@ -318,7 +339,7 @@ mod tests {
         assert_eq!(c.network.node_count(), 25);
         assert_eq!(c.network.distillation_overhead(), 2.0);
         assert_eq!(c.workload.consumer_pairs, 35);
-        assert_eq!(c.mode, ProtocolMode::Oblivious);
+        assert_eq!(c.mode, PolicyId::OBLIVIOUS);
     }
 
     #[test]
@@ -344,6 +365,7 @@ mod tests {
         assert_copy_send_sync::<Experiment>();
         assert_copy_send_sync::<NetworkConfig>();
         assert_copy_send_sync::<WorkloadSpec>();
+        assert_copy_send_sync::<PolicyId>();
         assert_send::<ExperimentResult>();
         // And "cheap" stays true: a config is a flat value well under a
         // cache line's worth of pointers-to-heap (i.e. zero heap).

@@ -23,7 +23,8 @@
 //!
 //! ```
 //! use qnet_core::config::{DistillationSpec, NetworkConfig};
-//! use qnet_core::experiment::{Experiment, ExperimentConfig, ProtocolMode};
+//! use qnet_core::experiment::{Experiment, ExperimentConfig};
+//! use qnet_core::policy::PolicyId;
 //! use qnet_core::workload::WorkloadSpec;
 //! use qnet_topology::Topology;
 //!
@@ -31,7 +32,7 @@
 //!     network: NetworkConfig::new(Topology::Cycle { nodes: 9 })
 //!         .with_distillation(DistillationSpec::Uniform(1.0)),
 //!     workload: WorkloadSpec::paper_default(9).with_requests(40),
-//!     mode: ProtocolMode::Oblivious,
+//!     mode: PolicyId::OBLIVIOUS,
 //!     seed: 7,
 //!     ..ExperimentConfig::default()
 //! };
@@ -39,6 +40,10 @@
 //! assert!(result.satisfied_requests > 0);
 //! assert!(result.swap_overhead().unwrap() >= 1.0);
 //! ```
+//!
+//! Swapping disciplines are plugins: see [`policy`] for the [`SwapPolicy`]
+//! trait, the registry, and the built-in implementations, and [`observer`]
+//! for the metrics-sink hooks the simulation world fires.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,8 +59,12 @@ pub mod lp_model;
 pub mod metrics;
 pub mod nested;
 pub mod network;
+pub mod observer;
 pub mod planned;
+pub mod policy;
 pub mod rates;
+#[cfg(test)]
+pub(crate) mod test_support;
 pub mod workload;
 
 pub use balancer::{BalancerPolicy, SwapCandidate};
@@ -64,5 +73,9 @@ pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, ProtocolMod
 pub use inventory::Inventory;
 pub use lp_model::{LpObjective, SteadyStateModel};
 pub use nested::nested_swap_cost;
+pub use observer::{MetricsRecorder, RunObserver};
+pub use policy::{
+    PolicyCtx, PolicyFamily, PolicyId, PolicyRegistry, QueueDiscipline, RequestAction, SwapPolicy,
+};
 pub use rates::RateMatrices;
 pub use workload::{ConsumptionRequest, Workload, WorkloadSpec};

@@ -47,6 +47,9 @@ pub struct RunMetrics {
     pub satisfied: Vec<SatisfiedRequest>,
     /// Requests that remained unsatisfied when the simulation ended.
     pub unsatisfied_requests: u64,
+    /// Requests the policy dropped as unsatisfiable (e.g. disconnected
+    /// endpoints); counted in neither `satisfied` nor `unsatisfied`.
+    pub dropped_requests: u64,
     /// Classical message counters.
     pub classical: ClassicalStats,
     /// Simulated time at which the run ended.
@@ -134,6 +137,7 @@ mod tests {
             pairs_lost: 0,
             satisfied: vec![satisfied(0, 2, 1), satisfied(1, 4, 3), satisfied(2, 3, 5)],
             unsatisfied_requests: 1,
+            dropped_requests: 0,
             classical: ClassicalStats::new(),
             ended_at: SimTime::from_secs(10),
             leftover_pairs: 7,

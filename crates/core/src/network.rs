@@ -1,53 +1,31 @@
-//! The discrete-event simulation model of the quantum network (§5).
+//! The discrete-event simulation substrate of the quantum network (§5).
 //!
-//! The model wires together the substrates: Bell-pair generation processes on
-//! every generation-graph edge, per-node swap-scan processes running the §4
-//! balancer (or one of the baseline/ablation protocols), and the sequential
-//! consumption workload. It implements [`qnet_sim::World`] so the generic
-//! engine drives it; [`crate::experiment`] owns the engine and extracts the
-//! metrics.
+//! The model wires together the physical substrates — Bell-pair generation
+//! processes on every generation-graph edge, the inventory, the knowledge
+//! (gossip) layer and the sequential consumption workload — and delegates
+//! every protocol *decision* to a pluggable [`SwapPolicy`]: which swap a
+//! scanning node performs, how a blocked request is handled, and in which
+//! order the request queue drains. Statistics are not baked in either: the
+//! world fires [`crate::observer::RunObserver`] hooks, and the standard
+//! [`MetricsRecorder`] observer folds them into [`RunMetrics`].
+//!
+//! It implements [`qnet_sim::World`] so the generic engine drives it;
+//! [`crate::experiment`] owns the engine, resolves a policy from the
+//! registry and extracts the metrics.
 
-use crate::balancer::BalancerPolicy;
-use crate::classical::{ClassicalStats, KnowledgeModel};
+use crate::classical::KnowledgeModel;
 use crate::config::NetworkConfig;
 use crate::gossip::GossipState;
-use crate::hybrid::hybrid_repair;
 use crate::inventory::Inventory;
 use crate::metrics::{RunMetrics, SatisfiedRequest};
-use crate::planned::execute_nested_along_path;
+use crate::observer::{MetricsRecorder, RunObserver, SwapKind};
+use crate::policy::{PolicyCtx, QueueDiscipline, RequestAction, SwapPolicy};
 use crate::workload::{ConsumptionRequest, Workload};
 use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimRng, SimTime, World};
 use qnet_topology::{bfs_path, Graph, NodeId, NodePair};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// Which protocol the simulation runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ProtocolMode {
-    /// The paper's path-oblivious max-min balancing protocol (§4).
-    Oblivious,
-    /// Oblivious balancing plus the §6 consumer-side repair over existing
-    /// Bell pairs when the head request is not directly satisfiable.
-    Hybrid,
-    /// Planned-path, connection-oriented baseline: each request executes
-    /// nested swapping along its shortest generation-graph path, in request
-    /// order.
-    PlannedConnectionOriented,
-    /// Planned-path, connectionless baseline: every pending request may
-    /// execute as soon as its path has the pairs (no head-of-line blocking),
-    /// competing for pairs at shared links.
-    PlannedConnectionless,
-}
-
-impl ProtocolMode {
-    /// True for the two planned-path baselines.
-    pub fn is_planned(&self) -> bool {
-        matches!(
-            self,
-            ProtocolMode::PlannedConnectionOriented | ProtocolMode::PlannedConnectionless
-        )
-    }
-}
+pub use crate::policy::ProtocolMode;
 
 /// Events driving the network model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,26 +42,21 @@ pub enum NetEvent {
     },
 }
 
-/// The simulation model.
+/// The simulation substrate: policy-agnostic world state plus the attached
+/// policy and observers.
 #[derive(Debug)]
 pub struct QuantumNetworkWorld {
     config: NetworkConfig,
-    mode: ProtocolMode,
+    policy: Box<dyn SwapPolicy>,
     knowledge: KnowledgeModel,
     graph: Graph,
     inventory: Inventory,
-    balancer: BalancerPolicy,
     gossip: Option<GossipState>,
     pending: VecDeque<ConsumptionRequest>,
     rng: SimRng,
     generation: PoissonProcess,
-    // Statistics.
-    swaps_performed: u64,
-    pairs_generated: u64,
-    pairs_lost: u64,
-    satisfied: Vec<SatisfiedRequest>,
-    classical: ClassicalStats,
-    last_event_time: SimTime,
+    recorder: MetricsRecorder,
+    extra_observers: Vec<Box<dyn RunObserver>>,
 }
 
 impl QuantumNetworkWorld {
@@ -92,7 +65,7 @@ impl QuantumNetworkWorld {
     pub fn new(
         config: NetworkConfig,
         workload: Workload,
-        mode: ProtocolMode,
+        policy: Box<dyn SwapPolicy>,
         knowledge: KnowledgeModel,
         seed: u64,
         queue: &mut EventQueue<NetEvent>,
@@ -114,24 +87,39 @@ impl QuantumNetworkWorld {
 
         let mut world = QuantumNetworkWorld {
             config,
-            mode,
+            policy,
             knowledge,
             graph,
             inventory,
-            balancer: BalancerPolicy,
             gossip,
             pending: workload.requests.into(),
             rng,
             generation,
-            swaps_performed: 0,
-            pairs_generated: 0,
-            pairs_lost: 0,
-            satisfied: Vec::new(),
-            classical: ClassicalStats::new(),
-            last_event_time: SimTime::ZERO,
+            recorder: MetricsRecorder::new(),
+            extra_observers: Vec::new(),
         };
         world.seed_events(queue);
         world
+    }
+
+    /// Attach an additional [`RunObserver`]; hooks fire in attachment order
+    /// after the built-in metrics recorder.
+    pub fn add_observer(&mut self, observer: Box<dyn RunObserver>) {
+        self.extra_observers.push(observer);
+    }
+
+    /// Detach and return the extra observers (for post-run inspection).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn RunObserver>> {
+        std::mem::take(&mut self.extra_observers)
+    }
+
+    /// Fire an observer hook on the metrics recorder and every extra
+    /// observer, in order.
+    fn notify(&mut self, mut hook: impl FnMut(&mut dyn RunObserver)) {
+        hook(&mut self.recorder);
+        for o in &mut self.extra_observers {
+            hook(o.as_mut());
+        }
     }
 
     fn seed_events(&mut self, queue: &mut EventQueue<NetEvent>) {
@@ -142,7 +130,7 @@ impl QuantumNetworkWorld {
                 queue.schedule_at(at, NetEvent::Generate { edge });
             }
         }
-        if !self.mode.is_planned() {
+        if self.policy.schedules_swap_scans() {
             let scan_interval = SimDuration::from_secs_f64(1.0 / self.config.swap_scan_rate);
             for node in self.graph.nodes() {
                 // Stagger the first scans so all nodes do not fire in lockstep.
@@ -160,7 +148,7 @@ impl QuantumNetworkWorld {
         }
     }
 
-    /// True when every consumption request has been satisfied.
+    /// True when every consumption request has been satisfied (or dropped).
     pub fn is_done(&self) -> bool {
         self.pending.is_empty()
     }
@@ -175,9 +163,14 @@ impl QuantumNetworkWorld {
         &self.graph
     }
 
+    /// The attached policy.
+    pub fn policy(&self) -> &dyn SwapPolicy {
+        self.policy.as_ref()
+    }
+
     /// Number of swaps performed so far.
     pub fn swaps_performed(&self) -> u64 {
-        self.swaps_performed
+        self.recorder.swaps_performed()
     }
 
     /// Shortest-path hop count between the endpoints of `pair` in the
@@ -188,122 +181,120 @@ impl QuantumNetworkWorld {
             .unwrap_or(usize::MAX)
     }
 
-    fn record_inventory_change(&mut self) {
+    fn record_inventory_change(&mut self, now: SimTime) {
         let msgs = self.knowledge.messages_per_change(self.graph.node_count());
-        self.classical.record_count_updates(msgs);
+        self.notify(|o| o.on_count_updates(now, msgs));
     }
 
-    /// Consume `k` pairs for the head request if possible; record it.
+    /// Hand the policy a decision context over the split-borrowed substrate.
+    fn blocked_request_action(&mut self, request: &ConsumptionRequest) -> RequestAction {
+        let QuantumNetworkWorld {
+            policy,
+            config,
+            graph,
+            inventory,
+            gossip,
+            ..
+        } = self;
+        let mut ctx = PolicyCtx {
+            config,
+            graph,
+            inventory,
+            gossip: gossip.as_ref(),
+        };
+        policy.on_blocked_request(&mut ctx, request)
+    }
+
+    /// Account `swaps` repair swaps performed inside a policy hook.
+    fn account_repair_swaps(&mut self, now: SimTime, swaps: u64) {
+        for _ in 0..swaps {
+            self.notify(|o| o.on_swap(now, SwapKind::Repair));
+            self.notify(|o| o.on_swap_correction(now));
+            self.record_inventory_change(now);
+        }
+    }
+
+    /// Consume `k` pairs for `request` and record the satisfaction.
+    fn consume(&mut self, now: SimTime, request: ConsumptionRequest, k: u64, repair_swaps: u64) {
+        self.inventory
+            .remove_pairs(request.pair, k)
+            .expect("checked availability");
+        self.notify(|o| o.on_teleportation(now));
+        self.record_inventory_change(now);
+        let satisfied = SatisfiedRequest {
+            sequence: request.sequence,
+            pair: request.pair,
+            satisfied_at: now,
+            shortest_path_hops: self.shortest_hops(request.pair),
+            repair_swaps,
+        };
+        self.notify(|o| o.on_request_satisfied(now, &satisfied));
+    }
+
+    /// Drain the request queue under the policy's discipline.
     fn try_satisfy(&mut self, now: SimTime) {
+        match self.policy.queue_discipline() {
+            QueueDiscipline::HeadOfLine => self.try_satisfy_head_of_line(now),
+            QueueDiscipline::AnyOrder => self.try_satisfy_any_order(now),
+        }
+    }
+
+    /// Head-of-line draining: only the oldest pending request may proceed.
+    fn try_satisfy_head_of_line(&mut self, now: SimTime) {
         loop {
             let Some(head) = self.pending.front().copied() else {
                 return;
             };
-            // Connectionless planned mode handles *all* pending requests, not
-            // just the head; it is dealt with separately.
-            if self.mode == ProtocolMode::PlannedConnectionless {
-                self.try_satisfy_connectionless(now);
-                return;
-            }
             let k = self.config.pairs_per_distilled();
             let mut repair_swaps = 0u64;
 
-            let directly_available = self.inventory.count(head.pair) >= k;
-            if !directly_available {
-                match self.mode {
-                    ProtocolMode::Oblivious => return,
-                    ProtocolMode::Hybrid => {
-                        match hybrid_repair(&mut self.inventory, head.pair, k, k) {
-                            Some(swaps) => {
-                                repair_swaps = swaps;
-                                self.swaps_performed += swaps;
-                                for _ in 0..swaps {
-                                    self.classical.record_swap_correction();
-                                    self.record_inventory_change();
-                                }
-                            }
-                            None => return,
-                        }
+            if self.inventory.count(head.pair) < k {
+                match self.blocked_request_action(&head) {
+                    RequestAction::Wait => return,
+                    RequestAction::Drop => {
+                        self.pending.pop_front();
+                        self.notify(|o| o.on_request_dropped(now, &head));
+                        continue;
                     }
-                    ProtocolMode::PlannedConnectionOriented => {
-                        let Some(path) = bfs_path(&self.graph, head.pair.lo(), head.pair.hi())
-                        else {
-                            // Unreachable consumer: drop the request so the
-                            // simulation cannot livelock.
-                            self.pending.pop_front();
-                            continue;
-                        };
-                        match execute_nested_along_path(&mut self.inventory, &path.nodes, k, k) {
-                            Some(swaps) => {
-                                repair_swaps = swaps;
-                                self.swaps_performed += swaps;
-                                for _ in 0..swaps {
-                                    self.classical.record_swap_correction();
-                                    self.record_inventory_change();
-                                }
-                            }
-                            None => return,
-                        }
+                    RequestAction::Repaired(swaps) => {
+                        repair_swaps = swaps;
+                        self.account_repair_swaps(now, swaps);
                     }
-                    ProtocolMode::PlannedConnectionless => unreachable!("handled above"),
                 }
             }
 
             if self.inventory.count(head.pair) < k {
                 return;
             }
-            self.inventory
-                .remove_pairs(head.pair, k)
-                .expect("checked availability");
-            self.classical.record_teleportation();
-            self.record_inventory_change();
-            self.satisfied.push(SatisfiedRequest {
-                sequence: head.sequence,
-                pair: head.pair,
-                satisfied_at: now,
-                shortest_path_hops: self.shortest_hops(head.pair),
-                repair_swaps,
-            });
+            self.consume(now, head, k, repair_swaps);
             self.pending.pop_front();
         }
     }
 
-    /// Connectionless planned mode: attempt every pending request, in
-    /// sequence order, satisfying any whose path currently has the pairs.
-    fn try_satisfy_connectionless(&mut self, now: SimTime) {
+    /// Any-order draining: offer every pending request, in sequence order,
+    /// satisfying any whose pairs are (or can be made) available.
+    fn try_satisfy_any_order(&mut self, now: SimTime) {
         let k = self.config.pairs_per_distilled();
         let mut remaining = VecDeque::new();
         while let Some(req) = self.pending.pop_front() {
             let mut repair_swaps = 0u64;
             let mut ok = self.inventory.count(req.pair) >= k;
             if !ok {
-                if let Some(path) = bfs_path(&self.graph, req.pair.lo(), req.pair.hi()) {
-                    if let Some(swaps) =
-                        execute_nested_along_path(&mut self.inventory, &path.nodes, k, k)
-                    {
+                match self.blocked_request_action(&req) {
+                    RequestAction::Wait => {}
+                    RequestAction::Drop => {
+                        self.notify(|o| o.on_request_dropped(now, &req));
+                        continue;
+                    }
+                    RequestAction::Repaired(swaps) => {
                         repair_swaps = swaps;
-                        self.swaps_performed += swaps;
-                        for _ in 0..swaps {
-                            self.classical.record_swap_correction();
-                            self.record_inventory_change();
-                        }
+                        self.account_repair_swaps(now, swaps);
                         ok = self.inventory.count(req.pair) >= k;
                     }
                 }
             }
             if ok {
-                self.inventory
-                    .remove_pairs(req.pair, k)
-                    .expect("checked availability");
-                self.classical.record_teleportation();
-                self.record_inventory_change();
-                self.satisfied.push(SatisfiedRequest {
-                    sequence: req.sequence,
-                    pair: req.pair,
-                    satisfied_at: now,
-                    shortest_path_hops: self.shortest_hops(req.pair),
-                    repair_swaps,
-                });
+                self.consume(now, req, k, repair_swaps);
             } else {
                 remaining.push_back(req);
             }
@@ -315,17 +306,13 @@ impl QuantumNetworkWorld {
         // §3.2 loss: only a fraction 1/L of raw generations survive to be
         // stored as usable pairs.
         let survives = self.rng.chance(1.0 / self.config.loss_factor);
-        if survives {
-            if self.inventory.add_pair(edge).is_ok() {
-                self.pairs_generated += 1;
-                self.record_inventory_change();
-                self.try_satisfy(now);
-            } else {
-                // Buffer full: the freshly generated pair is dropped.
-                self.pairs_lost += 1;
-            }
+        if survives && self.inventory.add_pair(edge).is_ok() {
+            self.notify(|o| o.on_pair_generated(now, edge));
+            self.record_inventory_change(now);
+            self.try_satisfy(now);
         } else {
-            self.pairs_lost += 1;
+            // Lost before storage, or dropped on a full buffer.
+            self.notify(|o| o.on_pair_lost(now, edge));
         }
         if !self.is_done() {
             if let Some(at) = self.next_generation_time(now) {
@@ -335,29 +322,29 @@ impl QuantumNetworkWorld {
     }
 
     fn handle_swap_scan(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent>) {
-        // Gossip refresh (and its classical cost) happens before the decision.
+        // Knowledge refresh (and its classical cost) happens before the
+        // policy's decision.
         if let Some(gossip) = &mut self.gossip {
             let msgs = gossip.refresh(node, &self.inventory);
-            self.classical.record_count_updates(msgs);
+            self.notify(|o| o.on_count_updates(now, msgs));
         }
 
-        let overhead = {
-            let d = self.config.distillation_overhead();
-            move |_: NodePair| d
-        };
-
-        let candidate = match &self.gossip {
-            Some(gossip) => {
-                let view = gossip.view_of(node);
-                self.balancer
-                    .find_preferable_swap(&self.inventory, &view, node, &overhead)
-            }
-            None => self.balancer.find_preferable_swap(
-                &self.inventory,
-                &self.inventory,
-                node,
-                &overhead,
-            ),
+        let candidate = {
+            let QuantumNetworkWorld {
+                policy,
+                config,
+                graph,
+                inventory,
+                gossip,
+                ..
+            } = self;
+            let mut ctx = PolicyCtx {
+                config,
+                graph,
+                inventory,
+                gossip: gossip.as_ref(),
+            };
+            policy.on_swap_scan(&mut ctx, node)
         };
 
         if let Some(c) = candidate {
@@ -367,9 +354,9 @@ impl QuantumNetworkWorld {
                 .apply_swap(c.repeater, c.left, c.right, k, k)
                 .is_ok()
             {
-                self.swaps_performed += 1;
-                self.classical.record_swap_correction();
-                self.record_inventory_change();
+                self.notify(|o| o.on_swap(now, SwapKind::Balancing));
+                self.notify(|o| o.on_swap_correction(now));
+                self.record_inventory_change(now);
                 self.try_satisfy(now);
             }
         }
@@ -380,19 +367,32 @@ impl QuantumNetworkWorld {
         }
     }
 
+    /// Give the policy its end-of-run accounting hook.
+    pub fn finish(&mut self) {
+        let QuantumNetworkWorld {
+            policy,
+            config,
+            graph,
+            inventory,
+            gossip,
+            ..
+        } = self;
+        let mut ctx = PolicyCtx {
+            config,
+            graph,
+            inventory,
+            gossip: gossip.as_ref(),
+        };
+        policy.on_run_end(&mut ctx);
+    }
+
     /// Extract the run metrics (consumes nothing; can be called at any time).
     pub fn metrics(&self) -> RunMetrics {
-        RunMetrics {
-            distillation_overhead: self.config.distillation_overhead(),
-            swaps_performed: self.swaps_performed,
-            pairs_generated: self.pairs_generated,
-            pairs_lost: self.pairs_lost,
-            satisfied: self.satisfied.clone(),
-            unsatisfied_requests: self.pending.len() as u64,
-            classical: self.classical,
-            ended_at: self.last_event_time,
-            leftover_pairs: self.inventory.total_pairs(),
-        }
+        self.recorder.snapshot(
+            self.config.distillation_overhead(),
+            self.pending.len() as u64,
+            self.inventory.total_pairs(),
+        )
     }
 }
 
@@ -400,7 +400,7 @@ impl World for QuantumNetworkWorld {
     type Event = NetEvent;
 
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
-        self.last_event_time = now;
+        self.notify(|o| o.on_event(now));
         match event {
             NetEvent::Generate { edge } => self.handle_generate(now, edge, queue),
             NetEvent::SwapScan { node } => self.handle_swap_scan(now, node, queue),
@@ -412,130 +412,21 @@ impl World for QuantumNetworkWorld {
 mod tests {
     use super::*;
     use crate::config::DistillationSpec;
+    use crate::observer::EventCounts;
+    use crate::policy::PolicyId;
+    use crate::test_support::{pair, run_world, run_world_with_knowledge};
     use crate::workload::Workload;
-    use qnet_sim::{Engine, StopCondition};
     use qnet_topology::Topology;
-
-    fn pair(a: u32, b: u32) -> NodePair {
-        NodePair::new(NodeId(a), NodeId(b))
-    }
-
-    fn run_world(
-        config: NetworkConfig,
-        workload: Workload,
-        mode: ProtocolMode,
-        seed: u64,
-        horizon_s: u64,
-    ) -> QuantumNetworkWorld {
-        let mut engine = {
-            let mut queue = EventQueue::new();
-            let world = QuantumNetworkWorld::new(
-                config,
-                workload,
-                mode,
-                KnowledgeModel::Global,
-                seed,
-                &mut queue,
-            );
-            let mut engine = Engine::new(world);
-            // Move the pre-seeded events into the engine's queue.
-            while let Some(ev) = queue.pop() {
-                engine.queue_mut().schedule_at(ev.time, ev.event);
-            }
-            engine
-        };
-        engine.run(StopCondition::at_horizon(SimTime::from_secs(horizon_s)));
-        engine.into_world()
-    }
-
-    #[test]
-    fn oblivious_mode_satisfies_neighbor_requests_quickly() {
-        let config = NetworkConfig::new(Topology::Cycle { nodes: 5 });
-        let workload = Workload::from_pairs(vec![pair(0, 1), pair(2, 3), pair(3, 4)]);
-        let world = run_world(config, workload, ProtocolMode::Oblivious, 1, 60);
-        assert!(world.is_done(), "neighbor pairs are directly generated");
-        let m = world.metrics();
-        assert_eq!(m.satisfied.len(), 3);
-        assert!(m.pairs_generated > 0);
-        // Requests were satisfied in sequence order.
-        let seqs: Vec<u64> = m.satisfied.iter().map(|s| s.sequence).collect();
-        assert_eq!(seqs, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn oblivious_mode_serves_distant_pairs_via_swaps() {
-        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
-        let workload = Workload::from_pairs(vec![pair(0, 3)]);
-        let world = run_world(config, workload, ProtocolMode::Oblivious, 3, 600);
-        assert!(
-            world.is_done(),
-            "balancing must eventually reach pair (0,3)"
-        );
-        let m = world.metrics();
-        assert!(m.swaps_performed > 0, "a 3-hop pair needs swaps");
-        assert_eq!(m.satisfied[0].shortest_path_hops, 3);
-        assert!(m.swap_overhead().unwrap() >= 1.0);
-    }
-
-    #[test]
-    fn planned_connection_oriented_mode_executes_nested_swaps() {
-        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
-        let workload = Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
-        let world = run_world(
-            config,
-            workload,
-            ProtocolMode::PlannedConnectionOriented,
-            5,
-            600,
-        );
-        assert!(world.is_done());
-        let m = world.metrics();
-        // Each 3-hop request takes exactly 2 swaps at D = 1 in planned mode.
-        assert_eq!(m.swaps_performed, 4);
-        assert!(m.satisfied.iter().all(|s| s.repair_swaps == 2));
-    }
-
-    #[test]
-    fn connectionless_mode_ignores_head_of_line_blocking() {
-        // First request is between far-apart nodes; a later neighbor request
-        // should still be served promptly in connectionless mode.
-        let config = NetworkConfig::new(Topology::Cycle { nodes: 8 });
-        let workload = Workload::from_pairs(vec![pair(0, 4), pair(5, 6)]);
-        let world = run_world(
-            config,
-            workload,
-            ProtocolMode::PlannedConnectionless,
-            7,
-            600,
-        );
-        let m = world.metrics();
-        assert!(m.satisfied.iter().any(|s| s.pair == pair(5, 6)));
-        // In connectionless mode satisfaction order need not follow sequence
-        // order.
-        if m.satisfied.len() == 2 {
-            assert!(m.satisfied[0].pair == pair(5, 6) || m.satisfied[0].sequence == 0);
-        }
-    }
-
-    #[test]
-    fn hybrid_mode_repairs_from_seeded_pairs() {
-        let config = NetworkConfig::new(Topology::Cycle { nodes: 9 });
-        let workload = Workload::from_pairs(vec![pair(0, 4)]);
-        let world = run_world(config, workload, ProtocolMode::Hybrid, 11, 600);
-        assert!(world.is_done());
-        let m = world.metrics();
-        assert_eq!(m.satisfied.len(), 1);
-    }
 
     #[test]
     fn distillation_overhead_increases_work() {
         let workload = || Workload::from_pairs(vec![pair(0, 2), pair(1, 3)]);
         let base = NetworkConfig::new(Topology::Cycle { nodes: 6 });
-        let d1 = run_world(base, workload(), ProtocolMode::Oblivious, 13, 900);
+        let d1 = run_world(base, workload(), PolicyId::OBLIVIOUS, 13, 900);
         let d2 = run_world(
             base.with_distillation(DistillationSpec::Uniform(2.0)),
             workload(),
-            ProtocolMode::Oblivious,
+            PolicyId::OBLIVIOUS,
             13,
             900,
         );
@@ -557,7 +448,7 @@ mod tests {
         let config = NetworkConfig::new(Topology::Cycle { nodes: 5 }).with_buffer_limit(2);
         // An unsatisfiable far request keeps the simulation generating.
         let workload = Workload::from_pairs(vec![pair(0, 2)]);
-        let world = run_world(config, workload, ProtocolMode::Oblivious, 17, 120);
+        let world = run_world(config, workload, PolicyId::OBLIVIOUS, 17, 120);
         let m = world.metrics();
         assert!(m.pairs_lost > 0, "full buffers must drop pairs");
     }
@@ -566,23 +457,16 @@ mod tests {
     fn gossip_knowledge_still_makes_progress() {
         let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
         let workload = Workload::from_pairs(vec![pair(0, 3)]);
-        let mut queue = EventQueue::new();
-        let world = QuantumNetworkWorld::new(
+        let world = run_world_with_knowledge(
             config,
             workload,
-            ProtocolMode::Oblivious,
+            PolicyId::OBLIVIOUS,
             KnowledgeModel::Gossip {
                 peers_per_refresh: 2,
             },
             19,
-            &mut queue,
+            600,
         );
-        let mut engine = Engine::new(world);
-        while let Some(ev) = queue.pop() {
-            engine.queue_mut().schedule_at(ev.time, ev.event);
-        }
-        engine.run(StopCondition::at_horizon(SimTime::from_secs(600)));
-        let world = engine.into_world();
         let m = world.metrics();
         assert_eq!(m.satisfied.len(), 1, "gossip view is stale but sufficient");
         assert!(
@@ -595,10 +479,41 @@ mod tests {
     fn deterministic_given_seed() {
         let config = NetworkConfig::new(Topology::Cycle { nodes: 6 });
         let workload = Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
-        let a = run_world(config, workload.clone(), ProtocolMode::Oblivious, 23, 300);
-        let b = run_world(config, workload.clone(), ProtocolMode::Oblivious, 23, 300);
-        let c = run_world(config, workload, ProtocolMode::Oblivious, 24, 300);
+        let a = run_world(config, workload.clone(), PolicyId::OBLIVIOUS, 23, 300);
+        let b = run_world(config, workload.clone(), PolicyId::OBLIVIOUS, 23, 300);
+        let c = run_world(config, workload, PolicyId::OBLIVIOUS, 24, 300);
         assert_eq!(a.metrics(), b.metrics());
         assert_ne!(a.metrics(), c.metrics());
+    }
+
+    #[test]
+    fn extra_observers_see_the_run() {
+        use qnet_sim::{Engine, StopCondition};
+        use std::sync::{Arc, Mutex};
+
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 });
+        let workload = Workload::from_pairs(vec![pair(0, 3)]);
+        let mut queue = EventQueue::new();
+        let mut world = QuantumNetworkWorld::new(
+            config,
+            workload,
+            PolicyId::OBLIVIOUS.instantiate(),
+            KnowledgeModel::Global,
+            3,
+            &mut queue,
+        );
+        let counts = Arc::new(Mutex::new(EventCounts::default()));
+        world.add_observer(Box::new(Arc::clone(&counts)));
+        let mut engine = Engine::new(world);
+        while let Some(ev) = queue.pop() {
+            engine.queue_mut().schedule_at(ev.time, ev.event);
+        }
+        engine.run(StopCondition::at_horizon(SimTime::from_secs(600)));
+        let world = engine.into_world();
+        let metrics = world.metrics();
+        let counts = counts.lock().unwrap();
+        assert_eq!(counts.satisfied as usize, metrics.satisfied.len());
+        assert_eq!(counts.swaps, metrics.swaps_performed);
+        assert!(counts.events > 0);
     }
 }

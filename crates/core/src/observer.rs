@@ -1,0 +1,279 @@
+//! Run observers: metrics sinks the simulation world fires hooks into.
+//!
+//! The world ([`crate::network::QuantumNetworkWorld`]) no longer bakes its
+//! statistics counters into its own fields; it emits typed events to every
+//! attached [`RunObserver`]. The standard [`MetricsRecorder`] turns them
+//! into the paper's [`RunMetrics`]; additional observers (streaming JSONL
+//! tracers, per-node histograms, live dashboards) can be attached with
+//! [`crate::network::QuantumNetworkWorld::add_observer`] without touching
+//! the substrate or the policies.
+
+use crate::classical::ClassicalStats;
+use crate::metrics::{RunMetrics, SatisfiedRequest};
+use crate::workload::ConsumptionRequest;
+use qnet_sim::SimTime;
+use qnet_topology::NodePair;
+
+/// Why a swap happened, for observers that want to split the tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapKind {
+    /// A balancing swap decided by a periodic swap scan.
+    Balancing,
+    /// A repair swap performed on behalf of a blocked consumption request.
+    Repair,
+}
+
+/// A sink for the events of one simulation run.
+///
+/// Every hook has an empty default so observers implement only what they
+/// care about. Hooks are invoked in attachment order, with the world's
+/// primary metrics recorder always first.
+pub trait RunObserver: std::fmt::Debug + Send {
+    /// An event was delivered to the world at `now` (fires before the
+    /// specific hooks of that event).
+    fn on_event(&mut self, _now: SimTime) {}
+    /// A generated Bell pair survived and was stored on `edge`.
+    fn on_pair_generated(&mut self, _now: SimTime, _edge: NodePair) {}
+    /// A generated Bell pair was lost (decoherence/loss or a full buffer).
+    fn on_pair_lost(&mut self, _now: SimTime, _edge: NodePair) {}
+    /// A swap was executed.
+    fn on_swap(&mut self, _now: SimTime, _kind: SwapKind) {}
+    /// A swap's 2-bit correction message was sent.
+    fn on_swap_correction(&mut self, _now: SimTime) {}
+    /// A consumption (teleportation) correction was sent.
+    fn on_teleportation(&mut self, _now: SimTime) {}
+    /// `messages` classical buffer-count update messages were sent.
+    fn on_count_updates(&mut self, _now: SimTime, _messages: u64) {}
+    /// A consumption request was satisfied.
+    fn on_request_satisfied(&mut self, _now: SimTime, _request: &SatisfiedRequest) {}
+    /// A consumption request was dropped by the policy (e.g. unreachable
+    /// endpoints).
+    fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {}
+}
+
+/// The standard observer: folds the run's events into [`RunMetrics`].
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    swaps_performed: u64,
+    pairs_generated: u64,
+    pairs_lost: u64,
+    satisfied: Vec<SatisfiedRequest>,
+    dropped_requests: u64,
+    classical: ClassicalStats,
+    last_event_time: SimTime,
+}
+
+impl MetricsRecorder {
+    /// A fresh, all-zero recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// Swaps recorded so far.
+    pub fn swaps_performed(&self) -> u64 {
+        self.swaps_performed
+    }
+
+    /// Simulated time of the most recent event.
+    pub fn last_event_time(&self) -> SimTime {
+        self.last_event_time
+    }
+
+    /// Assemble the run metrics from the recorded events plus the
+    /// end-of-run facts only the world knows (distillation overhead, queue
+    /// length, leftover inventory).
+    pub fn snapshot(
+        &self,
+        distillation_overhead: f64,
+        unsatisfied_requests: u64,
+        leftover_pairs: u64,
+    ) -> RunMetrics {
+        RunMetrics {
+            distillation_overhead,
+            swaps_performed: self.swaps_performed,
+            pairs_generated: self.pairs_generated,
+            pairs_lost: self.pairs_lost,
+            satisfied: self.satisfied.clone(),
+            unsatisfied_requests,
+            dropped_requests: self.dropped_requests,
+            classical: self.classical,
+            ended_at: self.last_event_time,
+            leftover_pairs,
+        }
+    }
+}
+
+impl RunObserver for MetricsRecorder {
+    fn on_event(&mut self, now: SimTime) {
+        self.last_event_time = now;
+    }
+
+    fn on_pair_generated(&mut self, _now: SimTime, _edge: NodePair) {
+        self.pairs_generated += 1;
+    }
+
+    fn on_pair_lost(&mut self, _now: SimTime, _edge: NodePair) {
+        self.pairs_lost += 1;
+    }
+
+    fn on_swap(&mut self, _now: SimTime, _kind: SwapKind) {
+        self.swaps_performed += 1;
+    }
+
+    fn on_swap_correction(&mut self, _now: SimTime) {
+        self.classical.record_swap_correction();
+    }
+
+    fn on_teleportation(&mut self, _now: SimTime) {
+        self.classical.record_teleportation();
+    }
+
+    fn on_count_updates(&mut self, _now: SimTime, messages: u64) {
+        self.classical.record_count_updates(messages);
+    }
+
+    fn on_request_satisfied(&mut self, _now: SimTime, request: &SatisfiedRequest) {
+        self.satisfied.push(*request);
+    }
+
+    fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
+        self.dropped_requests += 1;
+    }
+}
+
+/// Share one observer between the world and the caller: an
+/// `Arc<Mutex<O>>` forwards every hook to the inner observer, so state can
+/// be inspected after (or during) the run from outside the world.
+impl<O: RunObserver> RunObserver for std::sync::Arc<std::sync::Mutex<O>> {
+    fn on_event(&mut self, now: SimTime) {
+        self.lock().expect("observer poisoned").on_event(now);
+    }
+    fn on_pair_generated(&mut self, now: SimTime, edge: NodePair) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_pair_generated(now, edge);
+    }
+    fn on_pair_lost(&mut self, now: SimTime, edge: NodePair) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_pair_lost(now, edge);
+    }
+    fn on_swap(&mut self, now: SimTime, kind: SwapKind) {
+        self.lock().expect("observer poisoned").on_swap(now, kind);
+    }
+    fn on_swap_correction(&mut self, now: SimTime) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_swap_correction(now);
+    }
+    fn on_teleportation(&mut self, now: SimTime) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_teleportation(now);
+    }
+    fn on_count_updates(&mut self, now: SimTime, messages: u64) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_count_updates(now, messages);
+    }
+    fn on_request_satisfied(&mut self, now: SimTime, request: &SatisfiedRequest) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_request_satisfied(now, request);
+    }
+    fn on_request_dropped(&mut self, now: SimTime, request: &ConsumptionRequest) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_request_dropped(now, request);
+    }
+}
+
+/// A minimal auxiliary observer counting event categories — useful in tests
+/// and as the smallest possible template for custom observers.
+#[derive(Debug, Default)]
+pub struct EventCounts {
+    /// Events delivered.
+    pub events: u64,
+    /// Swaps executed (balancing + repair).
+    pub swaps: u64,
+    /// Repair swaps only.
+    pub repair_swaps: u64,
+    /// Requests satisfied.
+    pub satisfied: u64,
+    /// Requests dropped.
+    pub dropped: u64,
+}
+
+impl RunObserver for EventCounts {
+    fn on_event(&mut self, _now: SimTime) {
+        self.events += 1;
+    }
+
+    fn on_swap(&mut self, _now: SimTime, kind: SwapKind) {
+        self.swaps += 1;
+        if kind == SwapKind::Repair {
+            self.repair_swaps += 1;
+        }
+    }
+
+    fn on_request_satisfied(&mut self, _now: SimTime, _request: &SatisfiedRequest) {
+        self.satisfied += 1;
+    }
+
+    fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
+        self.dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::{NodeId, NodePair};
+
+    #[test]
+    fn recorder_folds_events_into_metrics() {
+        let mut r = MetricsRecorder::new();
+        let t = SimTime::from_secs(3);
+        r.on_event(t);
+        r.on_pair_generated(t, NodePair::new(NodeId(0), NodeId(1)));
+        r.on_pair_generated(t, NodePair::new(NodeId(1), NodeId(2)));
+        r.on_pair_lost(t, NodePair::new(NodeId(0), NodeId(1)));
+        r.on_swap(t, SwapKind::Balancing);
+        r.on_swap(t, SwapKind::Repair);
+        r.on_swap_correction(t);
+        r.on_teleportation(t);
+        r.on_count_updates(t, 7);
+        let sat = SatisfiedRequest {
+            sequence: 0,
+            pair: NodePair::new(NodeId(0), NodeId(2)),
+            satisfied_at: t,
+            shortest_path_hops: 2,
+            repair_swaps: 1,
+        };
+        r.on_request_satisfied(t, &sat);
+
+        let m = r.snapshot(1.0, 4, 9);
+        assert_eq!(m.swaps_performed, 2);
+        assert_eq!(m.pairs_generated, 2);
+        assert_eq!(m.pairs_lost, 1);
+        assert_eq!(m.satisfied, vec![sat]);
+        assert_eq!(m.unsatisfied_requests, 4);
+        assert_eq!(m.leftover_pairs, 9);
+        assert_eq!(m.classical.correction_messages, 1);
+        assert_eq!(m.classical.teleport_messages, 1);
+        assert_eq!(m.classical.count_update_messages, 7);
+        assert_eq!(m.ended_at, t);
+    }
+
+    #[test]
+    fn event_counts_observer_tallies() {
+        let mut c = EventCounts::default();
+        let t = SimTime::from_secs(1);
+        c.on_event(t);
+        c.on_swap(t, SwapKind::Repair);
+        c.on_swap(t, SwapKind::Balancing);
+        assert_eq!(c.events, 1);
+        assert_eq!(c.swaps, 2);
+        assert_eq!(c.repair_swaps, 1);
+    }
+}

@@ -9,11 +9,9 @@
 //! consecutive path edges, with the distill-before-use cost model described
 //! in DESIGN.md (`⌈D⌉` pairs drawn per use).
 //!
-//! The simulation harness drives these executors in
-//! [`crate::experiment::ProtocolMode::PlannedConnectionOriented`] and
-//! [`crate::experiment::ProtocolMode::PlannedConnectionless`] modes; the pure
-//! analytic optimum used by the swap-overhead metric lives in
-//! [`crate::nested`].
+//! The planned-path swap policies ([`crate::policy::planned`]) drive these
+//! executors from inside the simulation harness; the pure analytic optimum
+//! used by the swap-overhead metric lives in [`crate::nested`].
 
 use crate::inventory::Inventory;
 use qnet_topology::{NodeId, NodePair};

@@ -1,0 +1,69 @@
+//! The §6 hybrid "oblivious + minimal planning" discipline as a
+//! [`SwapPolicy`].
+
+use super::{oblivious::ObliviousPolicy, PolicyCtx, PolicyId, RequestAction, SwapPolicy};
+use crate::balancer::{BalancerPolicy, SwapCandidate};
+use crate::hybrid::hybrid_repair;
+use crate::workload::ConsumptionRequest;
+use qnet_topology::NodeId;
+
+/// Oblivious balancing plus consumer-side repair: when the head request is
+/// not directly satisfiable, search for a shortest path over the *existing*
+/// Bell pairs (which balancing has been seeding) and close the gap with the
+/// few swaps it needs.
+#[derive(Debug, Default)]
+pub struct HybridPolicy {
+    balancer: BalancerPolicy,
+}
+
+impl HybridPolicy {
+    /// A fresh instance.
+    pub fn new() -> Self {
+        HybridPolicy::default()
+    }
+}
+
+impl SwapPolicy for HybridPolicy {
+    fn id(&self) -> PolicyId {
+        PolicyId::HYBRID
+    }
+
+    fn schedules_swap_scans(&self) -> bool {
+        true
+    }
+
+    fn on_swap_scan(&mut self, ctx: &mut PolicyCtx<'_>, node: NodeId) -> Option<SwapCandidate> {
+        ObliviousPolicy::scan(&self.balancer, ctx, node)
+    }
+
+    fn on_blocked_request(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        request: &ConsumptionRequest,
+    ) -> RequestAction {
+        let k = ctx.pairs_per_distilled();
+        match hybrid_repair(ctx.inventory, request.pair, k, k) {
+            Some(swaps) => RequestAction::Repaired(swaps),
+            None => RequestAction::Wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::test_support::{pair, run_world};
+    use crate::workload::Workload;
+    use qnet_topology::Topology;
+
+    #[test]
+    fn repairs_from_seeded_pairs() {
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 9 });
+        let workload = Workload::from_pairs(vec![pair(0, 4)]);
+        let world = run_world(config, workload, PolicyId::HYBRID, 11, 600);
+        assert!(world.is_done());
+        let m = world.metrics();
+        assert_eq!(m.satisfied.len(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared test helpers for the simulation substrate and the per-policy
+//! modules (compiled only under `cfg(test)`).
+
+use crate::classical::KnowledgeModel;
+use crate::config::NetworkConfig;
+use crate::network::QuantumNetworkWorld;
+use crate::policy::PolicyId;
+use crate::workload::Workload;
+use qnet_sim::{Engine, EventQueue, SimTime, StopCondition};
+use qnet_topology::{NodeId, NodePair};
+
+/// Shorthand pair constructor.
+pub fn pair(a: u32, b: u32) -> NodePair {
+    NodePair::new(NodeId(a), NodeId(b))
+}
+
+/// Build a world for `policy`, run it to `horizon_s` simulated seconds (or
+/// until the workload completes) and return it for inspection.
+pub fn run_world(
+    config: NetworkConfig,
+    workload: Workload,
+    policy: PolicyId,
+    seed: u64,
+    horizon_s: u64,
+) -> QuantumNetworkWorld {
+    run_world_with_knowledge(
+        config,
+        workload,
+        policy,
+        KnowledgeModel::Global,
+        seed,
+        horizon_s,
+    )
+}
+
+/// [`run_world`] with an explicit knowledge model.
+pub fn run_world_with_knowledge(
+    config: NetworkConfig,
+    workload: Workload,
+    policy: PolicyId,
+    knowledge: KnowledgeModel,
+    seed: u64,
+    horizon_s: u64,
+) -> QuantumNetworkWorld {
+    let mut engine = {
+        let mut queue = EventQueue::new();
+        let world = QuantumNetworkWorld::new(
+            config,
+            workload,
+            policy.instantiate(),
+            knowledge,
+            seed,
+            &mut queue,
+        );
+        let mut engine = Engine::new(world);
+        // Move the pre-seeded events into the engine's queue.
+        while let Some(ev) = queue.pop() {
+            engine.queue_mut().schedule_at(ev.time, ev.event);
+        }
+        engine
+    };
+    engine.run(StopCondition::at_horizon(SimTime::from_secs(horizon_s)));
+    let mut world = engine.into_world();
+    // Mirror the Experiment::run lifecycle: the policy's end-of-run hook
+    // fires before metrics are read.
+    world.finish();
+    world
+}

@@ -43,7 +43,7 @@
 //!         Topology::Cycle { nodes: 7 },
 //!         Topology::TorusGrid { side: 3 },
 //!     ])
-//!     .with_modes(vec![ProtocolMode::Oblivious, ProtocolMode::Hybrid])
+//!     .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::HYBRID])
 //!     .with_workloads(vec![WorkloadSpec {
 //!         node_count: 0, // patched per topology
 //!         consumer_pairs: 5,
@@ -61,7 +61,79 @@
 //! The same engine backs the `campaign` CLI binary (`cargo run --release
 //! -p qnet-campaign --bin campaign -- --help`), which emits the JSONL
 //! report on stdout and a human summary (with an optional serial-vs-parallel
-//! determinism check) on stderr.
+//! determinism check) on stderr. `campaign --list-policies` prints every
+//! swapping discipline in the registry.
+//!
+//! ## Writing your own `SwapPolicy`
+//!
+//! Swapping disciplines are plugins: implement
+//! [`core::policy::SwapPolicy`], register a constructor under a string
+//! name, and every selection surface — [`core::ExperimentConfig`], the
+//! campaign grid's policy axis, the `campaign` CLI — can run it. The
+//! simulation world stays a policy-agnostic substrate; your policy makes
+//! the decisions:
+//!
+//! * [`core::policy::SwapPolicy::schedules_swap_scans`] — whether nodes run
+//!   periodic balancing scans (`true` for oblivious-style disciplines);
+//! * [`core::policy::SwapPolicy::on_swap_scan`] — which swap a scanning
+//!   node performs, consulting the stale gossip view in
+//!   [`core::policy::PolicyCtx`] when partial knowledge is configured;
+//! * [`core::policy::SwapPolicy::on_blocked_request`] — what to do when a
+//!   consumption request cannot be served from the inventory: wait, repair
+//!   (report the swaps you executed) or drop;
+//! * [`core::policy::SwapPolicy::queue_discipline`] — head-of-line or
+//!   any-order draining of the request queue.
+//!
+//! ```
+//! use qnet::core::policy::{
+//!     self, PolicyCtx, PolicyEntry, PolicyFamily, PolicyId, RequestAction, SwapPolicy,
+//! };
+//! use qnet::core::workload::ConsumptionRequest;
+//! use qnet::core::{Experiment, ExperimentConfig};
+//!
+//! /// A do-nothing discipline: consume only directly generated pairs.
+//! #[derive(Debug, Default)]
+//! struct DirectOnly;
+//!
+//! impl SwapPolicy for DirectOnly {
+//!     fn id(&self) -> PolicyId {
+//!         PolicyId::parse("direct-only").expect("registered below")
+//!     }
+//!     fn on_blocked_request(
+//!         &mut self,
+//!         _ctx: &mut PolicyCtx<'_>,
+//!         _request: &ConsumptionRequest,
+//!     ) -> RequestAction {
+//!         RequestAction::Wait
+//!     }
+//! }
+//!
+//! let id = policy::register(PolicyEntry {
+//!     name: "direct-only",
+//!     display: "DirectOnly",
+//!     aliases: &[],
+//!     family: PolicyFamily::Planned,
+//!     summary: "never swaps; serves neighbor requests only",
+//!     constructor: |_params| Box::new(DirectOnly),
+//! })
+//! .expect("name is free");
+//!
+//! // The new policy is now selectable everywhere a built-in is.
+//! let config = ExperimentConfig {
+//!     mode: id,
+//!     max_sim_time_s: 50.0,
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = Experiment::new(config).run();
+//! assert_eq!(result.mode, PolicyId::parse("direct-only").unwrap());
+//! ```
+//!
+//! The built-in disciplines (`oblivious`, `hybrid`, `planned`,
+//! `connectionless`, and the greedy nested-ordering policy `greedy`) are
+//! implemented the same way under [`core::policy`] — read them as worked
+//! examples. To observe a run beyond the standard metrics, attach a
+//! [`core::observer::RunObserver`] with
+//! [`core::network::QuantumNetworkWorld::add_observer`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,6 +161,8 @@ pub mod prelude {
     pub use qnet_core::inventory::Inventory;
     pub use qnet_core::lp_model::{LpObjective, SteadyStateModel};
     pub use qnet_core::nested::nested_swap_cost;
+    pub use qnet_core::observer::{MetricsRecorder, RunObserver};
+    pub use qnet_core::policy::{PolicyCtx, PolicyFamily, PolicyId, RequestAction, SwapPolicy};
     pub use qnet_core::rates::RateMatrices;
     pub use qnet_core::workload::{Workload, WorkloadSpec};
     pub use qnet_sim::{SimDuration, SimRng, SimTime};

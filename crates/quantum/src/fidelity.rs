@@ -1,6 +1,6 @@
 //! Fidelity measures.
 //!
-//! Fidelity (Jozsa [18] in the paper's bibliography) quantifies how close a
+//! Fidelity (Jozsa \[18\] in the paper's bibliography) quantifies how close a
 //! possibly-noisy state is to the desired one. Three cases are needed by the
 //! workspace and provided here:
 //!

@@ -17,10 +17,7 @@ fn main() {
             Topology::Cycle { nodes: 9 },
             Topology::TorusGrid { side: 3 },
         ])
-        .with_modes(vec![
-            ProtocolMode::Oblivious,
-            ProtocolMode::PlannedConnectionOriented,
-        ])
+        .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
         .with_distillations(vec![1.0, 2.0])
         .with_workloads(vec![WorkloadSpec {
             node_count: 0, // patched to each topology

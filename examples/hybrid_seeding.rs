@@ -13,7 +13,7 @@ fn main() {
     let base = ExperimentConfig {
         network: NetworkConfig::new(topology).with_topology_seed(3),
         workload: WorkloadSpec::paper_default(topology.node_count()).with_requests(25),
-        mode: ProtocolMode::Oblivious,
+        mode: PolicyId::OBLIVIOUS,
         knowledge: KnowledgeModel::Global,
         seed: 3,
         max_sim_time_s: 8_000.0,
@@ -32,12 +32,10 @@ fn main() {
         "{:>28} {:>10} {:>9} {:>11} {:>9} {:>12}",
         "mode", "overhead", "swaps", "satisfied", "repairs", "sim seconds"
     );
-    for mode in [
-        ProtocolMode::Oblivious,
-        ProtocolMode::Hybrid,
-        ProtocolMode::PlannedConnectionOriented,
-        ProtocolMode::PlannedConnectionless,
-    ] {
+    // Every registered planned/oblivious discipline, by policy name — the
+    // greedy nested-ordering policy rides along purely through the registry.
+    for mode in ["oblivious", "hybrid", "greedy", "planned", "connectionless"] {
+        let mode = PolicyId::parse(mode).expect("registered policy");
         let config = ExperimentConfig { mode, ..base };
         let r = Experiment::new(config).run();
         println!(

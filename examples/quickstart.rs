@@ -15,7 +15,9 @@ fn main() {
     let config = ExperimentConfig {
         network: NetworkConfig::new(topology).with_distillation(DistillationSpec::Uniform(1.0)),
         workload: WorkloadSpec::paper_default(topology.node_count()),
-        mode: ProtocolMode::Oblivious,
+        // Policies are selected by registry name; `PolicyId::parse("oblivious")`
+        // accepts the same strings as the campaign CLI's --modes axis.
+        mode: PolicyId::OBLIVIOUS,
         knowledge: KnowledgeModel::Global,
         seed: 2025,
         max_sim_time_s: 20_000.0,

@@ -15,10 +15,7 @@ fn test_grid(master_seed: u64) -> ScenarioGrid {
             Topology::Cycle { nodes: 7 },
             Topology::RandomConnectedGrid { side: 3 },
         ])
-        .with_modes(vec![
-            ProtocolMode::Oblivious,
-            ProtocolMode::PlannedConnectionOriented,
-        ])
+        .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
         .with_distillations(vec![1.0, 2.0])
         .with_workloads(vec![WorkloadSpec {
             node_count: 0, // patched per topology
@@ -96,8 +93,8 @@ fn campaign_covers_the_grid_and_aggregates_sanely() {
     );
     for r in &ratios {
         assert!(r.ratio > 0.0);
-        assert_eq!(r.numerator_mode, ProtocolMode::Oblivious);
-        assert_eq!(r.denominator_mode, ProtocolMode::PlannedConnectionOriented);
+        assert_eq!(r.numerator_mode, PolicyId::OBLIVIOUS);
+        assert_eq!(r.denominator_mode, PolicyId::PLANNED);
     }
 }
 

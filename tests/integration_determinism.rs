@@ -16,7 +16,7 @@ fn config(seed: u64) -> ExperimentConfig {
             requests: 10,
             discipline: RequestDiscipline::UniformRandom,
         },
-        mode: ProtocolMode::Oblivious,
+        mode: PolicyId::OBLIVIOUS,
         knowledge: KnowledgeModel::Global,
         seed,
         max_sim_time_s: 3_000.0,
