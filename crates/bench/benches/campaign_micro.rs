@@ -1,10 +1,11 @@
-//! Micro-benchmarks of the campaign engine: grid expansion, serial vs.
-//! parallel execution of a fixed scenario batch, and aggregation cost.
+//! Micro-benchmarks of the campaign engine: grid expansion, arrival
+//! generation, serial vs. parallel execution of a fixed scenario batch, and
+//! aggregation cost (closed- and open-loop latency paths).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
 use qnet_core::policy::PolicyId;
-use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_core::workload::{PairSelection, WorkloadSpec};
 use qnet_topology::Topology;
 
 fn bench_grid() -> ScenarioGrid {
@@ -14,14 +15,14 @@ fn bench_grid() -> ScenarioGrid {
             Topology::TorusGrid { side: 3 },
         ])
         .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
-        .with_workloads(vec![WorkloadSpec {
-            node_count: 0,
-            consumer_pairs: 5,
-            requests: 5,
-            discipline: RequestDiscipline::UniformRandom,
-        }])
+        .with_workloads(vec![WorkloadSpec::closed_loop(0, 5, 5)])
         .with_replicates(4)
         .with_horizon_s(800.0)
+}
+
+fn open_loop_grid() -> ScenarioGrid {
+    bench_grid().with_workloads(vec![WorkloadSpec::open_loop(0, 5, 0.1, 300.0)
+        .with_discipline(PairSelection::ZipfSkew { s: 1.1 })])
 }
 
 fn campaign_benches(c: &mut Criterion) {
@@ -38,6 +39,18 @@ fn campaign_benches(c: &mut Criterion) {
         })
     });
 
+    // Arrival generation: materialising 10k open-loop Poisson arrivals with
+    // Zipf pair selection (the per-scenario workload cost of a sweep).
+    let arrival_spec = WorkloadSpec::open_loop(25, 35, 20.0, 500.0)
+        .with_discipline(PairSelection::ZipfSkew { s: 1.1 });
+    group.bench_function("arrival_generation_10k", |b| {
+        b.iter(|| {
+            let w = arrival_spec.generate(7);
+            assert!(!w.is_empty());
+            w
+        })
+    });
+
     for &threads in &[1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("run", threads), &threads, |b, &threads| {
             b.iter(|| run_campaign(&grid, &RunnerConfig::with_threads(threads)))
@@ -46,6 +59,18 @@ fn campaign_benches(c: &mut Criterion) {
 
     let result = run_campaign(&grid, &RunnerConfig::default());
     group.bench_function("aggregate", |b| b.iter(|| aggregate(&grid, &result)));
+
+    // Latency aggregation: the open-loop path folds per-replicate sojourn
+    // means/percentiles through RunningStats on top of the overhead columns.
+    let open_grid = open_loop_grid();
+    let open_result = run_campaign(&open_grid, &RunnerConfig::default());
+    group.bench_function("aggregate_latency_open_loop", |b| {
+        b.iter(|| {
+            let report = aggregate(&open_grid, &open_result);
+            assert!(report.cell_reports.iter().all(|c| c.key.traffic.is_some()));
+            report
+        })
+    });
 
     group.finish();
 }

@@ -11,15 +11,11 @@
 use qnet_bench::{figure4_scale, figure5_sizes, figure_topologies, SweepScale};
 use qnet_campaign::{aggregate, run_campaign, CampaignReport, RunnerConfig, ScenarioGrid};
 use qnet_core::policy::PolicyId;
-use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_core::workload::WorkloadSpec;
 
 fn workload(scale: SweepScale) -> WorkloadSpec {
-    WorkloadSpec {
-        node_count: 0, // patched per topology
-        consumer_pairs: 35,
-        requests: scale.requests(),
-        discipline: RequestDiscipline::UniformRandom,
-    }
+    // node_count 0 is patched per topology at expansion time.
+    WorkloadSpec::closed_loop(0, 35, scale.requests())
 }
 
 /// Figure 4: overhead vs distillation overhead `D` at fixed |N|.

@@ -27,7 +27,7 @@ use qnet_core::classical::KnowledgeModel;
 use qnet_core::config::{DistillationSpec, NetworkConfig};
 use qnet_core::experiment::ExperimentConfig;
 use qnet_core::policy::PolicyId;
-use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
 use qnet_quantum::decoherence::DecoherenceModel;
 use qnet_topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -35,7 +35,11 @@ use serde::{Deserialize, Serialize};
 /// One fully resolved cell of the grid: every axis pinned to a value.
 ///
 /// Replicates share a cell; aggregation happens per cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization: closed-loop cells keep the exact legacy byte layout; the
+/// `traffic` field is emitted only for open-loop workloads (see the manual
+/// [`Serialize`] impl below).
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct CellKey {
     /// Dense index of this cell in the grid's expansion order.
     pub cell: usize,
@@ -52,12 +56,40 @@ pub struct CellKey {
     pub knowledge: KnowledgeModel,
     /// Consumer pairs in the workload.
     pub consumer_pairs: usize,
-    /// Requests in the workload.
+    /// Nominal requests in the workload (batch size for closed-loop cells,
+    /// expected arrivals for open-loop cells).
     pub requests: usize,
     /// How requests are drawn from the consumer pairs.
-    pub discipline: RequestDiscipline,
+    pub discipline: PairSelection,
     /// Memory coherence time in seconds (`None` = ideal memories).
     pub coherence_time_s: Option<f64>,
+    /// The traffic model, for open-loop cells (`None` = closed-loop batch,
+    /// omitted from JSON so legacy reports keep their bytes).
+    pub traffic: Option<TrafficModel>,
+}
+
+impl Serialize for CellKey {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("cell".to_string(), self.cell.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("distillation".to_string(), self.distillation.to_value()),
+            ("knowledge".to_string(), self.knowledge.to_value()),
+            ("consumer_pairs".to_string(), self.consumer_pairs.to_value()),
+            ("requests".to_string(), self.requests.to_value()),
+            ("discipline".to_string(), self.discipline.to_value()),
+            (
+                "coherence_time_s".to_string(),
+                self.coherence_time_s.to_value(),
+            ),
+        ];
+        if let Some(traffic) = &self.traffic {
+            entries.push(("traffic".to_string(), traffic.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
 }
 
 /// One runnable scenario: a cell plus a replicate index and derived seed.
@@ -291,9 +323,10 @@ impl ScenarioGrid {
             distillation,
             knowledge,
             consumer_pairs: workload.consumer_pairs,
-            requests: workload.requests,
-            discipline: workload.discipline,
+            requests: workload.nominal_requests(),
+            discipline: workload.selection,
             coherence_time_s: coherence,
+            traffic: workload.is_open_loop().then_some(workload.traffic),
         }
     }
 
@@ -376,12 +409,7 @@ mod tests {
             ])
             .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
             .with_distillations(vec![1.0, 2.0])
-            .with_workloads(vec![WorkloadSpec {
-                node_count: 0,
-                consumer_pairs: 5,
-                requests: 6,
-                discipline: RequestDiscipline::UniformRandom,
-            }])
+            .with_workloads(vec![WorkloadSpec::closed_loop(0, 5, 6)])
             .with_replicates(3)
     }
 
@@ -479,7 +507,7 @@ mod tests {
             assert_eq!(key.topology, s.config.network.topology.label());
             assert_eq!(key.mode, s.config.mode);
             assert_eq!(key.distillation, s.config.network.distillation_overhead());
-            assert_eq!(key.requests, s.config.workload.requests);
+            assert_eq!(key.requests, s.config.workload.nominal_requests());
         }
         assert_eq!(g.cell_keys().len(), g.cell_count());
     }
@@ -503,5 +531,35 @@ mod tests {
     fn out_of_range_scenario_panics() {
         let g = small_grid();
         let _ = g.scenario(g.scenario_count());
+    }
+
+    #[test]
+    fn open_loop_workloads_join_the_axis() {
+        use qnet_core::workload::PairSelection;
+        let g = small_grid().with_workloads(vec![
+            WorkloadSpec::closed_loop(0, 5, 6),
+            WorkloadSpec::open_loop(0, 5, 2.0, 10.0)
+                .with_discipline(PairSelection::ZipfSkew { s: 1.1 }),
+        ]);
+        assert_eq!(g.cell_count(), 2 * 2 * 2 * 2);
+        let closed = g.cell_key(0);
+        assert_eq!(closed.traffic, None);
+        assert_eq!(closed.requests, 6);
+        let open = g.cell_key(1);
+        assert_eq!(
+            open.traffic,
+            Some(TrafficModel::OpenLoopPoisson {
+                rate_hz: 2.0,
+                horizon_s: 10.0
+            })
+        );
+        assert_eq!(open.requests, 20, "nominal = rate × horizon");
+        assert_eq!(open.discipline, PairSelection::ZipfSkew { s: 1.1 });
+        // The workload axis is part of the environment: closed- and
+        // open-loop cells in the same mode get distinct seeds.
+        let (a, b) = (g.scenario(0), g.scenario(g.replicates as usize));
+        assert_eq!(a.cell, 0);
+        assert_eq!(b.cell, 1);
+        assert_ne!(a.seed, b.seed);
     }
 }

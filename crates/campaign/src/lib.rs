@@ -31,18 +31,14 @@
 //! ```
 //! use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
 //! use qnet_core::policy::PolicyId;
-//! use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+//! use qnet_core::workload::WorkloadSpec;
 //! use qnet_topology::Topology;
 //!
 //! let grid = ScenarioGrid::new(7)
 //!     .with_topologies(vec![Topology::Cycle { nodes: 5 }])
 //!     .with_modes(vec![PolicyId::OBLIVIOUS])
-//!     .with_workloads(vec![WorkloadSpec {
-//!         node_count: 0, // patched per topology
-//!         consumer_pairs: 4,
-//!         requests: 4,
-//!         discipline: RequestDiscipline::UniformRandom,
-//!     }])
+//!     // node_count 0 is patched per topology at expansion time.
+//!     .with_workloads(vec![WorkloadSpec::closed_loop(0, 4, 4)])
 //!     .with_replicates(2)
 //!     .with_horizon_s(500.0);
 //!

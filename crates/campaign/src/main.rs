@@ -13,6 +13,9 @@
 //!   --gossip K          add a gossip knowledge axis with K peers/refresh
 //!   --pairs N           consumer pairs per workload (default: 10)
 //!   --requests N        requests per run (default: 12)
+//!   --workload LIST     comma-separated workload axis specs (see
+//!                       --list-workloads); default: one closed-loop cell
+//!                       built from --pairs/--requests
 //!   --replicates N      replicates per cell (default: 6)
 //!   --seed N            master seed (default: 1)
 //!   --horizon S         simulated-seconds horizon (default: 4000)
@@ -22,6 +25,7 @@
 //!                       reports and print the parallel speedup
 //!   --dry-run           print the grid shape and exit
 //!   --list-policies     print the registered swap policies and exit without running
+//!   --list-workloads    print the workload-spec grammar and exit
 //! ```
 //!
 //! The JSON-lines report goes to stdout (or `--out`); the human summary and
@@ -32,7 +36,7 @@ use qnet_campaign::{
 };
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::policy::PolicyId;
-use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
 use qnet_topology::Topology;
 use std::io::Write;
 use std::process::ExitCode;
@@ -44,6 +48,9 @@ struct Options {
     knowledge: Vec<KnowledgeModel>,
     pairs: usize,
     requests: usize,
+    /// Raw --workload specs; resolved against --requests and --horizon in
+    /// `build_grid` (open-loop arrival horizons default to the run horizon).
+    workloads: Vec<String>,
     replicates: u32,
     seed: u64,
     horizon: f64,
@@ -70,6 +77,7 @@ impl Default for Options {
             knowledge: vec![KnowledgeModel::Global],
             pairs: 10,
             requests: 12,
+            workloads: Vec::new(),
             replicates: 6,
             seed: 1,
             horizon: 4_000.0,
@@ -117,6 +125,84 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
         "tree" => Ok(Topology::RandomTree { nodes: n(1)? }),
         other => Err(format!("unknown topology family '{other}'")),
     }
+}
+
+/// Parse one workload spec:
+/// `closed[:REQUESTS]` or `open-loop:RATE_HZ[:HORIZON_S]`, optionally
+/// suffixed with a selection: `@uniform`, `@round-robin` or `@zipf:S`.
+fn parse_workload(
+    spec: &str,
+    default_requests: usize,
+    default_horizon_s: f64,
+) -> Result<WorkloadSpec, String> {
+    let (traffic_spec, selection_spec) = match spec.split_once('@') {
+        Some((t, sel)) => (t, Some(sel)),
+        None => (spec, None),
+    };
+    let parts: Vec<&str> = traffic_spec.split(':').collect();
+    let traffic = match parts[0] {
+        "closed" => {
+            let requests = match parts.get(1) {
+                Some(r) => r
+                    .parse()
+                    .map_err(|_| format!("{spec}: bad request count"))?,
+                None => default_requests,
+            };
+            if parts.len() > 2 {
+                return Err(format!("{spec}: closed takes at most one parameter"));
+            }
+            if requests < 1 {
+                return Err(format!("{spec}: closed needs at least one request"));
+            }
+            TrafficModel::ClosedLoopBatch { requests }
+        }
+        "open-loop" => {
+            let rate_hz: f64 = parts
+                .get(1)
+                .ok_or_else(|| format!("{spec}: open-loop needs a rate"))?
+                .parse()
+                .map_err(|_| format!("{spec}: bad arrival rate"))?;
+            let horizon_s: f64 = match parts.get(2) {
+                Some(h) => h.parse().map_err(|_| format!("{spec}: bad horizon"))?,
+                None => default_horizon_s,
+            };
+            if parts.len() > 3 {
+                return Err(format!("{spec}: open-loop takes at most two parameters"));
+            }
+            if rate_hz <= 0.0 || !rate_hz.is_finite() {
+                return Err(format!("{spec}: arrival rate must be positive"));
+            }
+            if horizon_s <= 0.0 || !horizon_s.is_finite() {
+                return Err(format!("{spec}: arrival horizon must be positive"));
+            }
+            TrafficModel::OpenLoopPoisson { rate_hz, horizon_s }
+        }
+        other => Err(format!(
+            "unknown traffic model '{other}' (try --list-workloads)"
+        ))?,
+    };
+    let selection = match selection_spec {
+        None | Some("uniform") => PairSelection::UniformRandom,
+        Some("round-robin") => PairSelection::RoundRobin,
+        Some(sel) => match sel.split_once(':') {
+            Some(("zipf", s)) => {
+                let s: f64 = s
+                    .parse()
+                    .map_err(|_| format!("{spec}: bad Zipf exponent"))?;
+                if s < 0.0 || !s.is_finite() {
+                    return Err(format!("{spec}: Zipf exponent must be ≥ 0"));
+                }
+                PairSelection::ZipfSkew { s }
+            }
+            _ => return Err(format!("unknown selection '@{sel}' (try --list-workloads)")),
+        },
+    };
+    Ok(WorkloadSpec {
+        node_count: 0,     // patched per topology at expansion time
+        consumer_pairs: 0, // patched from --pairs in build_grid
+        traffic,
+        selection,
+    })
 }
 
 fn parse_mode(spec: &str) -> Result<PolicyId, String> {
@@ -183,6 +269,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--requests needs an integer".to_string())?
             }
+            "--workload" => {
+                opts.workloads = value("--workload")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                if opts.workloads.is_empty() {
+                    return Err("--workload needs at least one spec".to_string());
+                }
+            }
             "--replicates" => {
                 opts.replicates = value("--replicates")?
                     .parse()
@@ -205,6 +301,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--list-policies" => return Err("list-policies".to_string()),
+            "--list-workloads" => return Err("list-workloads".to_string()),
             "--compare-serial" => opts.compare_serial = true,
             "--dry-run" => opts.dry_run = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -225,6 +322,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.pairs < 1 || opts.requests < 1 {
         return Err("--pairs and --requests must be at least 1".to_string());
     }
+    // Validate workload specs early so bad input exits with a message.
+    for w in &opts.workloads {
+        parse_workload(w, opts.requests, opts.horizon)?;
+    }
     if let Some(t) = opts.topologies.iter().find(|t| t.node_count() < 2) {
         return Err(format!(
             "topology {} has fewer than 2 nodes; consumer pairs need at least 2",
@@ -235,17 +336,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn build_grid(opts: &Options) -> ScenarioGrid {
+    let workloads: Vec<WorkloadSpec> = if opts.workloads.is_empty() {
+        // The pre-traffic-model default: one closed-loop uniform cell.
+        vec![WorkloadSpec::closed_loop(0, opts.pairs, opts.requests)]
+    } else {
+        opts.workloads
+            .iter()
+            .map(|w| {
+                parse_workload(w, opts.requests, opts.horizon)
+                    .expect("validated in parse_args")
+                    .with_consumer_pairs(opts.pairs)
+            })
+            .collect()
+    };
     ScenarioGrid::new(opts.seed)
         .with_topologies(opts.topologies.clone())
         .with_modes(opts.modes.clone())
         .with_distillations(opts.distillations.clone())
         .with_knowledge(opts.knowledge.clone())
-        .with_workloads(vec![WorkloadSpec {
-            node_count: 0, // patched per topology at expansion time
-            consumer_pairs: opts.pairs,
-            requests: opts.requests,
-            discipline: RequestDiscipline::UniformRandom,
-        }])
+        .with_workloads(workloads)
         .with_replicates(opts.replicates)
         .with_horizon_s(opts.horizon)
 }
@@ -263,6 +372,10 @@ fn main() -> ExitCode {
                 print!("{}", policy_listing());
                 return ExitCode::SUCCESS;
             }
+            if msg == "list-workloads" {
+                print!("{}", WORKLOADS_HELP);
+                return ExitCode::SUCCESS;
+            }
             eprintln!("campaign: {msg}");
             return ExitCode::FAILURE;
         }
@@ -270,7 +383,7 @@ fn main() -> ExitCode {
 
     let grid = build_grid(&opts);
     eprintln!(
-        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge)",
+        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge × {} workloads)",
         grid.cell_count(),
         grid.replicates,
         grid.scenario_count(),
@@ -278,11 +391,18 @@ fn main() -> ExitCode {
         grid.modes.len(),
         grid.distillations.len(),
         grid.knowledge.len(),
+        grid.workloads.len(),
     );
     if opts.dry_run {
         for key in grid.cell_keys() {
+            let traffic = match key.traffic {
+                Some(TrafficModel::OpenLoopPoisson { rate_hz, horizon_s }) => {
+                    format!(" open-loop:{rate_hz}Hz×{horizon_s}s")
+                }
+                _ => String::new(),
+            };
             eprintln!(
-                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}",
+                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}{traffic}",
                 key.cell,
                 key.topology,
                 key.nodes,
@@ -335,8 +455,12 @@ fn main() -> ExitCode {
                 format!(" gossip:{peers_per_refresh}")
             }
         };
+        let latency = match (cell.latency_p50_s, cell.latency_p95_s) {
+            (Some(p50), Some(p95)) => format!("  lat p50 {p50:.1}s p95 {p95:.1}s"),
+            _ => String::new(),
+        };
         eprintln!(
-            "  {:<16} N={:<3} {:>26}{knowledge} D={:<4} overhead {:>8} ±{:>6} sat {:>5.1}%",
+            "  {:<16} N={:<3} {:>26}{knowledge} D={:<4} overhead {:>8} ±{:>6} sat {:>5.1}%{latency}",
             cell.key.topology,
             cell.key.nodes,
             format!("{:?}", cell.key.mode),
@@ -394,6 +518,8 @@ OPTIONS:
   --gossip K         add a gossip knowledge axis (K peers per refresh)
   --pairs N          consumer pairs per workload        [10]
   --requests N       requests per run                   [12]
+  --workload LIST    workload axis specs (comma-separated;
+                     see --list-workloads)              [closed]
   --replicates N     replicates per cell                [6]
   --seed N           master seed                        [1]
   --horizon S        simulated-seconds horizon          [4000]
@@ -402,4 +528,33 @@ OPTIONS:
   --compare-serial   verify 1-thread determinism, print speedup
   --dry-run          print the grid shape and exit
   --list-policies    print the registered swap policies and exit
+  --list-workloads   print the workload-spec grammar and exit
+";
+
+const WORKLOADS_HELP: &str = "\
+workload specs (--workload LIST, comma-separated; each cell joins the
+grid's workload axis):
+
+  closed[:REQUESTS]            closed-loop batch: REQUESTS requests (default
+                               --requests), all pending at t = 0, satisfied
+                               in sequence order (the paper's §5 semantics)
+  open-loop:RATE[:HORIZON]     open-loop Poisson arrivals at RATE requests
+                               per simulated second for HORIZON simulated
+                               seconds (default: the --horizon value);
+                               reports gain sojourn-latency p50/p95 columns
+
+selection suffix (how each request picks its consumer pair):
+
+  @uniform                     independent uniform draws (default)
+  @round-robin                 cycle deterministically through the pairs
+  @zipf:S                      Zipf-skewed popularity with exponent S
+                               (rank-r pair drawn ∝ 1/r^S)
+
+examples:
+
+  # offered-load sweep: satisfaction and latency vs arrival rate
+  campaign --workload open-loop:0.5,open-loop:1,open-loop:2,open-loop:4
+
+  # skewed open-loop demand vs the closed-loop baseline
+  campaign --workload closed:35,open-loop:1@zipf:1.1
 ";

@@ -17,12 +17,16 @@
 use crate::grid::{CellKey, ScenarioGrid};
 use crate::runner::{CampaignResult, ScenarioOutcome};
 use qnet_core::policy::{PolicyFamily, PolicyId};
-use qnet_sim::stats::RunningStats;
+use qnet_sim::stats::{percentile_of_sorted, RunningStats};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
 
 /// Aggregated statistics over one cell's replicates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization: the latency columns are emitted only when present
+/// (open-loop cells), so closed-loop reports keep the exact legacy byte
+/// layout — see the manual [`Serialize`] impl below.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct CellReport {
     /// The cell's axis values.
     pub key: CellKey,
@@ -57,6 +61,71 @@ pub struct CellReport {
     pub simulated_seconds_mean: f64,
     /// Total classical count-update messages across replicates.
     pub count_update_messages_total: u64,
+    /// Mean of the per-replicate mean sojourn latencies, in simulated
+    /// seconds (open-loop cells with at least one satisfaction only).
+    pub latency_mean_s: Option<f64>,
+    /// Half-width of the 95% CI on the mean sojourn latency
+    /// (`None` below 2 latency samples).
+    pub latency_ci95_s: Option<f64>,
+    /// Mean of the per-replicate median sojourn latencies.
+    pub latency_p50_s: Option<f64>,
+    /// Mean of the per-replicate 95th-percentile sojourn latencies.
+    pub latency_p95_s: Option<f64>,
+}
+
+impl Serialize for CellReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("key".to_string(), self.key.to_value()),
+            ("replicates".to_string(), self.replicates.to_value()),
+            (
+                "overhead_samples".to_string(),
+                self.overhead_samples.to_value(),
+            ),
+            ("overhead_mean".to_string(), self.overhead_mean.to_value()),
+            (
+                "overhead_variance".to_string(),
+                self.overhead_variance.to_value(),
+            ),
+            ("overhead_ci95".to_string(), self.overhead_ci95.to_value()),
+            ("overhead_p10".to_string(), self.overhead_p10.to_value()),
+            ("overhead_p50".to_string(), self.overhead_p50.to_value()),
+            ("overhead_p90".to_string(), self.overhead_p90.to_value()),
+            ("overhead_min".to_string(), self.overhead_min.to_value()),
+            ("overhead_max".to_string(), self.overhead_max.to_value()),
+            (
+                "satisfaction_mean".to_string(),
+                self.satisfaction_mean.to_value(),
+            ),
+            ("swaps_total".to_string(), self.swaps_total.to_value()),
+            (
+                "pairs_generated_total".to_string(),
+                self.pairs_generated_total.to_value(),
+            ),
+            (
+                "simulated_seconds_mean".to_string(),
+                self.simulated_seconds_mean.to_value(),
+            ),
+            (
+                "count_update_messages_total".to_string(),
+                self.count_update_messages_total.to_value(),
+            ),
+        ];
+        // Latency columns exist only for open-loop cells; omitting them
+        // (rather than writing null) keeps legacy closed-loop reports
+        // byte-identical.
+        for (name, value) in [
+            ("latency_mean_s", self.latency_mean_s),
+            ("latency_ci95_s", self.latency_ci95_s),
+            ("latency_p50_s", self.latency_p50_s),
+            ("latency_p95_s", self.latency_p95_s),
+        ] {
+            if let Some(v) = value {
+                entries.push((name.to_string(), v.to_value()));
+            }
+        }
+        serde::Value::Map(entries)
+    }
 }
 
 /// Oblivious-vs-planned comparison for one matched pair of cells.
@@ -99,16 +168,6 @@ pub struct CampaignReport {
     pub ratios: Vec<OverheadRatioRow>,
 }
 
-/// Exact percentile over a sorted sample set (nearest-rank method).
-fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
-    if sorted.is_empty() {
-        return None;
-    }
-    let q = q.clamp(0.0, 1.0);
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
-}
-
 /// Fold one cell's outcomes (already in replicate order) into a report.
 fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
     let mut overhead = RunningStats::new();
@@ -118,6 +177,13 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
     let mut pairs_total = 0u64;
     let mut sim_seconds = 0.0f64;
     let mut messages = 0u64;
+    // Sojourn latency flows through the same RunningStats/CI machinery as
+    // the swap overhead, so closed- and open-loop rows share one
+    // aggregation path (the columns simply stay empty for closed-loop
+    // cells, whose outcomes carry no latency samples).
+    let mut latency_mean = RunningStats::new();
+    let mut latency_p50 = RunningStats::new();
+    let mut latency_p95 = RunningStats::new();
 
     for o in outcomes {
         if let Some(x) = o.swap_overhead {
@@ -129,6 +195,15 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
         pairs_total += o.pairs_generated;
         sim_seconds += o.simulated_seconds;
         messages += o.count_update_messages;
+        if let Some(x) = o.latency_mean_s {
+            latency_mean.record(x);
+        }
+        if let Some(x) = o.latency_p50_s {
+            latency_p50.record(x);
+        }
+        if let Some(x) = o.latency_p95_s {
+            latency_p95.record(x);
+        }
     }
     samples.sort_by(f64::total_cmp);
 
@@ -161,6 +236,10 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
             sim_seconds / replicates as f64
         },
         count_update_messages_total: messages,
+        latency_mean_s: (latency_mean.count() > 0).then(|| latency_mean.mean()),
+        latency_ci95_s: latency_mean.ci95_half_width(),
+        latency_p50_s: (latency_p50.count() > 0).then(|| latency_p50.mean()),
+        latency_p95_s: (latency_p95.count() > 0).then(|| latency_p95.mean()),
     }
 }
 
@@ -195,7 +274,8 @@ pub fn overhead_ratios(cell_reports: &[CellReport]) -> Vec<OverheadRatioRow> {
                 && num.key.consumer_pairs == den.key.consumer_pairs
                 && num.key.requests == den.key.requests
                 && num.key.discipline == den.key.discipline
-                && num.key.coherence_time_s == den.key.coherence_time_s;
+                && num.key.coherence_time_s == den.key.coherence_time_s
+                && num.key.traffic == den.key.traffic;
             if !same_axes {
                 continue;
             }
@@ -298,7 +378,7 @@ mod tests {
     use super::*;
     use crate::grid::derive_seed;
     use qnet_core::classical::KnowledgeModel;
-    use qnet_core::workload::RequestDiscipline;
+    use qnet_core::workload::PairSelection;
 
     fn key(cell: usize, mode: PolicyId, d: f64) -> CellKey {
         CellKey {
@@ -310,8 +390,9 @@ mod tests {
             knowledge: KnowledgeModel::Global,
             consumer_pairs: 5,
             requests: 6,
-            discipline: RequestDiscipline::UniformRandom,
+            discipline: PairSelection::UniformRandom,
             coherence_time_s: None,
+            traffic: None,
         }
     }
 
@@ -323,11 +404,15 @@ mod tests {
             seed: derive_seed(1, cell as u64, replicate as u64),
             swap_overhead: overhead,
             satisfied_requests: 6,
+            arrived_requests: 6,
             unsatisfied_requests: 0,
             swaps_performed: 10,
             pairs_generated: 40,
             simulated_seconds: 100.0,
             count_update_messages: 5,
+            latency_mean_s: None,
+            latency_p50_s: None,
+            latency_p95_s: None,
         }
     }
 
@@ -376,16 +461,6 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_nearest_rank() {
-        let xs = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile_of_sorted(&xs, 0.0), Some(1.0));
-        assert_eq!(percentile_of_sorted(&xs, 0.25), Some(1.0));
-        assert_eq!(percentile_of_sorted(&xs, 0.5), Some(2.0));
-        assert_eq!(percentile_of_sorted(&xs, 1.0), Some(4.0));
-        assert_eq!(percentile_of_sorted(&[], 0.5), None);
-    }
-
-    #[test]
     fn ratio_pairs_matching_cells_only() {
         let mut oblivious = aggregate_cell(
             key(0, PolicyId::OBLIVIOUS, 1.0),
@@ -410,6 +485,74 @@ mod tests {
         oblivious.overhead_mean = Some(6.0);
         planned.overhead_mean = None;
         assert!(overhead_ratios(&[oblivious, planned]).is_empty());
+    }
+
+    #[test]
+    fn latency_columns_aggregate_through_running_stats() {
+        use qnet_core::workload::TrafficModel;
+        let mut open_key = key(0, PolicyId::OBLIVIOUS, 1.0);
+        open_key.traffic = Some(TrafficModel::OpenLoopPoisson {
+            rate_hz: 2.0,
+            horizon_s: 3.0,
+        });
+        let outcomes: Vec<ScenarioOutcome> = [(2.0, 1.5, 4.0), (4.0, 2.5, 8.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(mean, p50, p95))| ScenarioOutcome {
+                latency_mean_s: Some(mean),
+                latency_p50_s: Some(p50),
+                latency_p95_s: Some(p95),
+                ..outcome(i, 0, i as u32, Some(3.0))
+            })
+            .collect();
+        let report = aggregate_cell(open_key, &outcomes);
+        assert!((report.latency_mean_s.unwrap() - 3.0).abs() < 1e-12);
+        assert!((report.latency_p50_s.unwrap() - 2.0).abs() < 1e-12);
+        assert!((report.latency_p95_s.unwrap() - 6.0).abs() < 1e-12);
+        // CI95 comes from the shared RunningStats machinery.
+        let mut stats = RunningStats::new();
+        stats.record(2.0);
+        stats.record(4.0);
+        assert_eq!(report.latency_ci95_s, stats.ci95_half_width());
+
+        // Serialized open-loop rows carry the latency columns and the
+        // traffic descriptor…
+        let line = tagged_line("cell", &report);
+        assert!(line.contains("\"latency_p95_s\""));
+        assert!(line.contains("\"OpenLoopPoisson\""));
+        // …and closed-loop rows keep the legacy byte layout (no latency
+        // keys, no traffic key).
+        let closed = aggregate_cell(
+            key(0, PolicyId::OBLIVIOUS, 1.0),
+            &[outcome(0, 0, 0, Some(3.0))],
+        );
+        let closed_line = tagged_line("cell", &closed);
+        assert!(!closed_line.contains("latency"));
+        assert!(!closed_line.contains("traffic"));
+        // Deserialization tolerates both layouts.
+        let back: CellReport = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.latency_p50_s, report.latency_p50_s);
+        let back_closed: CellReport = serde_json::from_str(&closed_line).unwrap();
+        assert_eq!(back_closed.latency_p50_s, None);
+    }
+
+    #[test]
+    fn ratios_do_not_pair_across_traffic_models() {
+        use qnet_core::workload::TrafficModel;
+        let oblivious = aggregate_cell(
+            key(0, PolicyId::OBLIVIOUS, 1.0),
+            &[outcome(0, 0, 0, Some(6.0))],
+        );
+        let mut open_planned_key = key(1, PolicyId::PLANNED, 1.0);
+        open_planned_key.traffic = Some(TrafficModel::OpenLoopPoisson {
+            rate_hz: 1.0,
+            horizon_s: 6.0,
+        });
+        let planned = aggregate_cell(open_planned_key, &[outcome(1, 1, 0, Some(2.0))]);
+        assert!(
+            overhead_ratios(&[oblivious, planned]).is_empty(),
+            "closed-loop numerator must not pair with an open-loop denominator"
+        );
     }
 
     #[test]

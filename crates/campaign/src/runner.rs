@@ -90,6 +90,8 @@ pub struct ScenarioOutcome {
     pub swap_overhead: Option<f64>,
     /// Satisfied requests.
     pub satisfied_requests: usize,
+    /// Requests injected into the system before the run ended.
+    pub arrived_requests: u64,
     /// Requests still pending at the end.
     pub unsatisfied_requests: u64,
     /// Total swaps performed.
@@ -100,6 +102,13 @@ pub struct ScenarioOutcome {
     pub simulated_seconds: f64,
     /// Classical count-update messages (knowledge-model cost).
     pub count_update_messages: u64,
+    /// Mean sojourn latency (arrival → satisfaction) in simulated seconds;
+    /// populated for open-loop scenarios with at least one satisfaction.
+    pub latency_mean_s: Option<f64>,
+    /// Median sojourn latency (open-loop scenarios only).
+    pub latency_p50_s: Option<f64>,
+    /// 95th-percentile sojourn latency (open-loop scenarios only).
+    pub latency_p95_s: Option<f64>,
 }
 
 impl ScenarioOutcome {
@@ -108,8 +117,24 @@ impl ScenarioOutcome {
         cell: usize,
         replicate: u32,
         seed: u64,
+        open_loop: bool,
         result: &ExperimentResult,
     ) -> Self {
+        // Sojourn-latency columns are reported for open-loop traffic only:
+        // closed-loop sojourns are measured from t = 0 and would just repeat
+        // the satisfaction times (and emitting them would perturb the
+        // byte-stable legacy report layout). One pass + one sort serves the
+        // mean and both percentiles.
+        let sojourn = open_loop.then(|| {
+            let mut stats = qnet_sim::stats::RunningStats::new();
+            let mut samples = result.metrics.sojourn_samples();
+            for &x in &samples {
+                stats.record(x);
+            }
+            samples.sort_by(f64::total_cmp);
+            (stats, samples)
+        });
+        let sojourn = sojourn.as_ref();
         ScenarioOutcome {
             id,
             cell,
@@ -117,11 +142,19 @@ impl ScenarioOutcome {
             seed,
             swap_overhead: result.swap_overhead(),
             satisfied_requests: result.satisfied_requests,
+            arrived_requests: result.metrics.arrived_requests,
             unsatisfied_requests: result.unsatisfied_requests,
             swaps_performed: result.swaps_performed,
             pairs_generated: result.metrics.pairs_generated,
             simulated_seconds: result.simulated_seconds,
             count_update_messages: result.metrics.classical.count_update_messages,
+            latency_mean_s: sojourn
+                .filter(|(stats, _)| stats.count() > 0)
+                .map(|(stats, _)| stats.mean()),
+            latency_p50_s: sojourn
+                .and_then(|(_, samples)| qnet_sim::stats::percentile_of_sorted(samples, 0.50)),
+            latency_p95_s: sojourn
+                .and_then(|(_, samples)| qnet_sim::stats::percentile_of_sorted(samples, 0.95)),
         }
     }
 
@@ -188,6 +221,7 @@ pub fn run_campaign_with_progress(
                             scenario.cell,
                             scenario.replicate,
                             scenario.seed,
+                            scenario.config.workload.is_open_loop(),
                             &result,
                         );
                         if tx.send(outcome).is_err() {
@@ -231,19 +265,14 @@ pub fn run_campaign(grid: &ScenarioGrid, config: &RunnerConfig) -> CampaignResul
 mod tests {
     use super::*;
     use qnet_core::policy::PolicyId;
-    use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+    use qnet_core::workload::WorkloadSpec;
     use qnet_topology::Topology;
 
     fn tiny_grid(replicates: u32) -> ScenarioGrid {
         ScenarioGrid::new(11)
             .with_topologies(vec![Topology::Cycle { nodes: 5 }])
             .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::HYBRID])
-            .with_workloads(vec![WorkloadSpec {
-                node_count: 0,
-                consumer_pairs: 4,
-                requests: 4,
-                discipline: RequestDiscipline::UniformRandom,
-            }])
+            .with_workloads(vec![WorkloadSpec::closed_loop(0, 4, 4)])
             .with_replicates(replicates)
             .with_horizon_s(500.0)
     }
@@ -290,6 +319,38 @@ mod tests {
             let r = o.satisfaction_ratio();
             assert!((0.0..=1.0).contains(&r));
         }
+    }
+
+    #[test]
+    fn open_loop_scenarios_carry_latency_closed_loop_do_not() {
+        let grid = tiny_grid(1).with_workloads(vec![
+            WorkloadSpec::closed_loop(0, 4, 4),
+            WorkloadSpec::open_loop(0, 4, 0.05, 400.0),
+        ]);
+        let result = run_campaign(&grid, &RunnerConfig::serial());
+        let keys: Vec<_> = (0..grid.cell_count()).map(|c| grid.cell_key(c)).collect();
+        let mut open_with_latency = 0;
+        for o in &result.outcomes {
+            let open = keys[o.cell].traffic.is_some();
+            if !open {
+                assert_eq!(o.latency_mean_s, None);
+                assert_eq!(o.latency_p50_s, None);
+                assert_eq!(o.latency_p95_s, None);
+            } else if o.satisfied_requests > 0 {
+                let (mean, p50, p95) = (
+                    o.latency_mean_s.unwrap(),
+                    o.latency_p50_s.unwrap(),
+                    o.latency_p95_s.unwrap(),
+                );
+                assert!(p50 <= p95 && mean >= 0.0);
+                open_with_latency += 1;
+            }
+            assert!(o.arrived_requests >= o.satisfied_requests as u64);
+        }
+        assert!(
+            open_with_latency > 0,
+            "open-loop cells must satisfy requests"
+        );
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub struct ExperimentConfig {
     /// Root RNG seed (drives topology randomness, workload selection,
     /// generation arrivals and scan staggering).
     pub seed: u64,
-    /// Simulated-time horizon in seconds; runs stop earlier if every request
-    /// is satisfied.
+    /// Simulated-time horizon in seconds; runs stop earlier if every
+    /// injected request is satisfied and no arrival is outstanding. For
+    /// open-loop workloads, arrivals scheduled beyond this horizon are never
+    /// injected (they count as neither satisfied nor unsatisfied).
     pub max_sim_time_s: f64,
 }
 
@@ -110,6 +112,16 @@ impl ExperimentResult {
     /// The paper's swap-overhead metric (`None` if the denominator is zero).
     pub fn swap_overhead(&self) -> Option<f64> {
         self.metrics.swap_overhead()
+    }
+
+    /// Median sojourn latency (arrival → satisfaction) in simulated seconds.
+    pub fn latency_p50_s(&self) -> Option<f64> {
+        self.metrics.sojourn_percentile(0.50)
+    }
+
+    /// 95th-percentile sojourn latency in simulated seconds.
+    pub fn latency_p95_s(&self) -> Option<f64> {
+        self.metrics.sojourn_percentile(0.95)
     }
 
     /// Fraction of requests satisfied.
@@ -238,17 +250,12 @@ pub fn mean_overhead_over_seeds(config: &ExperimentConfig, seeds: &[u64]) -> (Op
 mod tests {
     use super::*;
     use crate::config::DistillationSpec;
-    use crate::workload::RequestDiscipline;
+    use crate::workload::TrafficModel;
 
     fn small_config() -> ExperimentConfig {
         ExperimentConfig {
             network: NetworkConfig::new(Topology::Cycle { nodes: 7 }),
-            workload: WorkloadSpec {
-                node_count: 7,
-                consumer_pairs: 6,
-                requests: 10,
-                discipline: RequestDiscipline::UniformRandom,
-            },
+            workload: WorkloadSpec::closed_loop(7, 6, 10),
             mode: PolicyId::OBLIVIOUS,
             knowledge: KnowledgeModel::Global,
             seed: 5,
@@ -282,7 +289,7 @@ mod tests {
         // The planned baseline performs only the swaps each request needs;
         // the oblivious balancer spends extra swaps positioning pairs.
         let mut oblivious = small_config();
-        oblivious.workload.requests = 6;
+        oblivious.workload = oblivious.workload.with_requests(6);
         let planned = oblivious.with_policy(PolicyId::PLANNED);
         let ro = Experiment::new(oblivious).run();
         let rp = Experiment::new(planned).run();
@@ -299,7 +306,7 @@ mod tests {
     #[test]
     fn hybrid_mode_satisfies_at_least_as_many_requests() {
         let mut base = small_config();
-        base.workload.requests = 8;
+        base.workload = base.workload.with_requests(8);
         base.max_sim_time_s = 400.0;
         let hybrid = base.with_policy(PolicyId::HYBRID);
         let rb = Experiment::new(base).run();
@@ -322,7 +329,7 @@ mod tests {
     #[test]
     fn higher_distillation_increases_overhead() {
         let mut d1 = small_config();
-        d1.workload.requests = 8;
+        d1.workload = d1.workload.with_requests(8);
         let mut d2 = d1;
         d2.network = d2.network.with_distillation(DistillationSpec::Uniform(2.0));
         let r1 = Experiment::new(d1).run();
@@ -345,7 +352,7 @@ mod tests {
     #[test]
     fn mean_overhead_over_seeds_aggregates() {
         let mut c = small_config();
-        c.workload.requests = 5;
+        c.workload = c.workload.with_requests(5);
         c.max_sim_time_s = 1_000.0;
         let (mean, ratio) = mean_overhead_over_seeds(&c, &[1, 2]);
         assert!(ratio > 0.0);
@@ -380,5 +387,43 @@ mod tests {
         let r = Experiment::new(c).run();
         assert!(r.unsatisfied_requests > 0);
         assert!(r.satisfaction_ratio() < 1.0);
+    }
+
+    #[test]
+    fn open_loop_run_reports_sojourn_latency() {
+        let mut c = small_config();
+        c.workload = c.workload.with_traffic(TrafficModel::OpenLoopPoisson {
+            rate_hz: 0.2,
+            horizon_s: 500.0,
+        });
+        c.max_sim_time_s = 1_500.0;
+        let r = Experiment::new(c).run();
+        assert!(r.satisfied_requests > 0, "{r:?}");
+        assert!(r.metrics.arrived_requests >= r.satisfied_requests as u64);
+        let (p50, p95) = (r.latency_p50_s().unwrap(), r.latency_p95_s().unwrap());
+        assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        assert!(p50 >= 0.0);
+        // Open-loop sojourns are measured from arrival, not from t = 0: the
+        // last satisfaction time is far beyond the p95 sojourn.
+        let last = r.metrics.satisfied.last().unwrap();
+        assert!(last.satisfied_at.as_secs_f64() > p95);
+        // Identical configs still reproduce identical results.
+        assert_eq!(r, Experiment::new(c).run());
+    }
+
+    #[test]
+    fn open_loop_arrivals_stop_at_the_run_horizon() {
+        // The workload offers arrivals for 1000 s, but the run stops at 50 s:
+        // only arrivals up to the run horizon are injected.
+        let mut c = small_config();
+        c.workload = c.workload.with_traffic(TrafficModel::OpenLoopPoisson {
+            rate_hz: 1.0,
+            horizon_s: 1_000.0,
+        });
+        c.max_sim_time_s = 50.0;
+        let r = Experiment::new(c).run();
+        let offered = c.workload.generate(c.seed).len() as u64;
+        assert!(r.metrics.arrived_requests < offered);
+        assert!(r.simulated_seconds <= 50.0 + 1e-9);
     }
 }

@@ -65,6 +65,7 @@ pub mod policy;
 pub mod rates;
 #[cfg(test)]
 pub(crate) mod test_support;
+pub mod trace;
 pub mod workload;
 
 pub use balancer::{BalancerPolicy, SwapCandidate};
@@ -78,4 +79,5 @@ pub use policy::{
     PolicyCtx, PolicyFamily, PolicyId, PolicyRegistry, QueueDiscipline, RequestAction, SwapPolicy,
 };
 pub use rates::RateMatrices;
-pub use workload::{ConsumptionRequest, Workload, WorkloadSpec};
+pub use trace::TraceWriter;
+pub use workload::{ConsumptionRequest, PairSelection, TrafficModel, Workload, WorkloadSpec};

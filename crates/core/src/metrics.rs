@@ -10,6 +10,7 @@
 
 use crate::classical::ClassicalStats;
 use crate::nested::overhead_denominator;
+use qnet_sim::stats::RunningStats;
 use qnet_sim::SimTime;
 use qnet_topology::NodePair;
 use serde::{Deserialize, Serialize};
@@ -21,6 +22,9 @@ pub struct SatisfiedRequest {
     pub sequence: u64,
     /// The consuming pair.
     pub pair: NodePair,
+    /// Simulated time at which the request arrived (always `t = 0` for
+    /// closed-loop batches).
+    pub arrival_time: SimTime,
     /// Simulated time of satisfaction.
     pub satisfied_at: SimTime,
     /// Hop count of the shortest generation-graph path between the pair's
@@ -29,6 +33,16 @@ pub struct SatisfiedRequest {
     /// Swaps the hybrid repair step performed specifically for this request
     /// (0 in pure oblivious mode).
     pub repair_swaps: u64,
+}
+
+impl SatisfiedRequest {
+    /// The request's sojourn latency (arrival → satisfaction) in simulated
+    /// seconds. For closed-loop batches this equals the satisfaction time.
+    pub fn sojourn_s(&self) -> f64 {
+        self.satisfied_at
+            .saturating_since(self.arrival_time)
+            .as_secs_f64()
+    }
 }
 
 /// Aggregate metrics of one simulation run.
@@ -45,6 +59,9 @@ pub struct RunMetrics {
     pub pairs_lost: u64,
     /// The satisfied requests, in satisfaction order.
     pub satisfied: Vec<SatisfiedRequest>,
+    /// Requests injected into the system (arrivals delivered before the run
+    /// ended; open-loop arrivals beyond the run horizon never count).
+    pub arrived_requests: u64,
     /// Requests that remained unsatisfied when the simulation ended.
     pub unsatisfied_requests: u64,
     /// Requests the policy dropped as unsatisfiable (e.g. disconnected
@@ -112,6 +129,31 @@ impl RunMetrics {
     pub fn repair_swaps(&self) -> u64 {
         self.satisfied.iter().map(|s| s.repair_swaps).sum()
     }
+
+    /// The per-request sojourn latencies (arrival → satisfaction) in
+    /// simulated seconds, in satisfaction order.
+    pub fn sojourn_samples(&self) -> Vec<f64> {
+        self.satisfied.iter().map(|s| s.sojourn_s()).collect()
+    }
+
+    /// Welford statistics over the sojourn latencies (empty accumulator if
+    /// nothing was satisfied). Feeds the campaign aggregation's mean/CI
+    /// machinery so closed- and open-loop rows share one path.
+    pub fn sojourn_stats(&self) -> RunningStats {
+        let mut stats = RunningStats::new();
+        for s in &self.satisfied {
+            stats.record(s.sojourn_s());
+        }
+        stats
+    }
+
+    /// The `q`-quantile of the sojourn latencies (nearest-rank over the
+    /// sorted samples). `None` when nothing was satisfied.
+    pub fn sojourn_percentile(&self, q: f64) -> Option<f64> {
+        let mut samples = self.sojourn_samples();
+        samples.sort_by(f64::total_cmp);
+        qnet_sim::stats::percentile_of_sorted(&samples, q)
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +165,7 @@ mod tests {
         SatisfiedRequest {
             sequence: seq,
             pair: NodePair::new(NodeId(0), NodeId(1)),
+            arrival_time: SimTime::ZERO,
             satisfied_at: SimTime::from_secs(at_secs),
             shortest_path_hops: hops,
             repair_swaps: 0,
@@ -136,6 +179,7 @@ mod tests {
             pairs_generated: 100,
             pairs_lost: 0,
             satisfied: vec![satisfied(0, 2, 1), satisfied(1, 4, 3), satisfied(2, 3, 5)],
+            arrived_requests: 4,
             unsatisfied_requests: 1,
             dropped_requests: 0,
             classical: ClassicalStats::new(),
@@ -191,5 +235,33 @@ mod tests {
         m.satisfied[1].repair_swaps = 3;
         m.satisfied[2].repair_swaps = 2;
         assert_eq!(m.repair_swaps(), 5);
+    }
+
+    #[test]
+    fn sojourn_latency_accounts_for_arrival_times() {
+        let mut m = base_metrics();
+        // Arrivals at t = 0, 2, 4; satisfactions at t = 1, 3, 5 → sojourns
+        // 1, 1, 1 with arrival offsets; without offsets they are 1, 3, 5.
+        assert_eq!(m.sojourn_samples(), vec![1.0, 3.0, 5.0]);
+        m.satisfied[1].arrival_time = SimTime::from_secs(2);
+        m.satisfied[2].arrival_time = SimTime::from_secs(4);
+        assert_eq!(m.sojourn_samples(), vec![1.0, 1.0, 1.0]);
+        let stats = m.sojourn_stats();
+        assert_eq!(stats.count(), 3);
+        assert!((stats.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sojourn_percentiles_nearest_rank() {
+        let m = base_metrics(); // sojourns 1, 3, 5
+        assert_eq!(m.sojourn_percentile(0.5), Some(3.0));
+        assert_eq!(m.sojourn_percentile(0.95), Some(5.0));
+        assert_eq!(m.sojourn_percentile(0.0), Some(1.0));
+        let empty = RunMetrics {
+            satisfied: vec![],
+            ..base_metrics()
+        };
+        assert_eq!(empty.sojourn_percentile(0.5), None);
+        assert_eq!(empty.sojourn_stats().count(), 0);
     }
 }

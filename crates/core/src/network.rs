@@ -2,12 +2,22 @@
 //!
 //! The model wires together the physical substrates — Bell-pair generation
 //! processes on every generation-graph edge, the inventory, the knowledge
-//! (gossip) layer and the sequential consumption workload — and delegates
-//! every protocol *decision* to a pluggable [`SwapPolicy`]: which swap a
-//! scanning node performs, how a blocked request is handled, and in which
-//! order the request queue drains. Statistics are not baked in either: the
-//! world fires [`crate::observer::RunObserver`] hooks, and the standard
+//! (gossip) layer and the consumption workload — and delegates every
+//! protocol *decision* to a pluggable [`SwapPolicy`]: which swap a scanning
+//! node performs, how a blocked request is handled, and in which order the
+//! request queue drains. Statistics are not baked in either: the world fires
+//! [`crate::observer::RunObserver`] hooks, and the standard
 //! [`MetricsRecorder`] observer folds them into [`RunMetrics`].
+//!
+//! Requests are **injected over simulated time**: every
+//! [`ConsumptionRequest`] of the workload is scheduled as a
+//! [`NetEvent::RequestArrival`] at its arrival time, so open-loop traffic
+//! models interleave arrivals with generation and swap scans, and the
+//! pending queue a policy sees can grow mid-run. Closed-loop batches
+//! degenerate to all arrivals at `t = 0`, reproducing the paper's
+//! sequential semantics (and the pre-traffic-model results) exactly. The
+//! run ends when the horizon is reached or when the queue is drained *and*
+//! no arrival is outstanding.
 //!
 //! It implements [`qnet_sim::World`] so the generic engine drives it;
 //! [`crate::experiment`] owns the engine, resolves a policy from the
@@ -40,6 +50,11 @@ pub enum NetEvent {
         /// The scanning node.
         node: NodeId,
     },
+    /// A consumption request enters the system.
+    RequestArrival {
+        /// The arriving request.
+        request: ConsumptionRequest,
+    },
 }
 
 /// The simulation substrate: policy-agnostic world state plus the attached
@@ -53,6 +68,8 @@ pub struct QuantumNetworkWorld {
     inventory: Inventory,
     gossip: Option<GossipState>,
     pending: VecDeque<ConsumptionRequest>,
+    /// Requests scheduled as arrival events but not yet delivered.
+    arrivals_outstanding: usize,
     rng: SimRng,
     generation: PoissonProcess,
     recorder: MetricsRecorder,
@@ -92,13 +109,20 @@ impl QuantumNetworkWorld {
             graph,
             inventory,
             gossip,
-            pending: workload.requests.into(),
+            pending: VecDeque::new(),
+            arrivals_outstanding: workload.requests.len(),
             rng,
             generation,
             recorder: MetricsRecorder::new(),
             extra_observers: Vec::new(),
         };
         world.seed_events(queue);
+        // Requests are injected over simulated time: closed-loop batches all
+        // arrive at t = 0 (before the first generation event), open-loop
+        // traffic interleaves with the physical processes.
+        for request in workload.requests {
+            queue.schedule_at(request.arrival_time, NetEvent::RequestArrival { request });
+        }
         world
     }
 
@@ -148,9 +172,10 @@ impl QuantumNetworkWorld {
         }
     }
 
-    /// True when every consumption request has been satisfied (or dropped).
+    /// True when every injected consumption request has been satisfied (or
+    /// dropped) and no arrival is still outstanding.
     pub fn is_done(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.is_empty() && self.arrivals_outstanding == 0
     }
 
     /// Current inventory (read-only).
@@ -224,6 +249,7 @@ impl QuantumNetworkWorld {
         let satisfied = SatisfiedRequest {
             sequence: request.sequence,
             pair: request.pair,
+            arrival_time: request.arrival_time,
             satisfied_at: now,
             shortest_path_hops: self.shortest_hops(request.pair),
             repair_swaps,
@@ -367,6 +393,56 @@ impl QuantumNetworkWorld {
         }
     }
 
+    fn handle_request_arrival(&mut self, now: SimTime, request: ConsumptionRequest) {
+        self.arrivals_outstanding = self.arrivals_outstanding.saturating_sub(1);
+        self.notify(|o| o.on_request_arrival(now, &request));
+        let had_pending = !self.pending.is_empty();
+        self.pending.push_back(request);
+        // A request arriving into a stocked network may be satisfiable
+        // immediately (open-loop traffic), but an arrival changes no
+        // inventory, so requests already pending stay exactly as blocked as
+        // they were at the last generation/swap event — re-offering them
+        // would be O(queue) of provably redundant policy consultations.
+        // Only the newcomer is offered: directly when it is alone in the
+        // queue; via the single-request path under any-order draining; not
+        // at all under head-of-line (it sits behind the blocked head).
+        if !had_pending {
+            self.try_satisfy(now);
+        } else if self.policy.queue_discipline() == QueueDiscipline::AnyOrder {
+            self.try_satisfy_new_tail(now);
+        }
+    }
+
+    /// Offer only the most recently arrived request (the queue tail) to the
+    /// policy — the any-order arrival fast path.
+    fn try_satisfy_new_tail(&mut self, now: SimTime) {
+        let k = self.config.pairs_per_distilled();
+        let Some(req) = self.pending.pop_back() else {
+            return;
+        };
+        let mut repair_swaps = 0u64;
+        let mut ok = self.inventory.count(req.pair) >= k;
+        if !ok {
+            match self.blocked_request_action(&req) {
+                RequestAction::Wait => {}
+                RequestAction::Drop => {
+                    self.notify(|o| o.on_request_dropped(now, &req));
+                    return;
+                }
+                RequestAction::Repaired(swaps) => {
+                    repair_swaps = swaps;
+                    self.account_repair_swaps(now, swaps);
+                    ok = self.inventory.count(req.pair) >= k;
+                }
+            }
+        }
+        if ok {
+            self.consume(now, req, k, repair_swaps);
+        } else {
+            self.pending.push_back(req);
+        }
+    }
+
     /// Give the policy its end-of-run accounting hook.
     pub fn finish(&mut self) {
         let QuantumNetworkWorld {
@@ -404,6 +480,7 @@ impl World for QuantumNetworkWorld {
         match event {
             NetEvent::Generate { edge } => self.handle_generate(now, edge, queue),
             NetEvent::SwapScan { node } => self.handle_swap_scan(now, node, queue),
+            NetEvent::RequestArrival { request } => self.handle_request_arrival(now, request),
         }
     }
 }

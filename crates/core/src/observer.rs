@@ -44,6 +44,8 @@ pub trait RunObserver: std::fmt::Debug + Send {
     fn on_teleportation(&mut self, _now: SimTime) {}
     /// `messages` classical buffer-count update messages were sent.
     fn on_count_updates(&mut self, _now: SimTime, _messages: u64) {}
+    /// A consumption request arrived (was injected into the pending queue).
+    fn on_request_arrival(&mut self, _now: SimTime, _request: &ConsumptionRequest) {}
     /// A consumption request was satisfied.
     fn on_request_satisfied(&mut self, _now: SimTime, _request: &SatisfiedRequest) {}
     /// A consumption request was dropped by the policy (e.g. unreachable
@@ -58,6 +60,7 @@ pub struct MetricsRecorder {
     pairs_generated: u64,
     pairs_lost: u64,
     satisfied: Vec<SatisfiedRequest>,
+    arrived_requests: u64,
     dropped_requests: u64,
     classical: ClassicalStats,
     last_event_time: SimTime,
@@ -94,6 +97,7 @@ impl MetricsRecorder {
             pairs_generated: self.pairs_generated,
             pairs_lost: self.pairs_lost,
             satisfied: self.satisfied.clone(),
+            arrived_requests: self.arrived_requests,
             unsatisfied_requests,
             dropped_requests: self.dropped_requests,
             classical: self.classical,
@@ -130,6 +134,10 @@ impl RunObserver for MetricsRecorder {
 
     fn on_count_updates(&mut self, _now: SimTime, messages: u64) {
         self.classical.record_count_updates(messages);
+    }
+
+    fn on_request_arrival(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
+        self.arrived_requests += 1;
     }
 
     fn on_request_satisfied(&mut self, _now: SimTime, request: &SatisfiedRequest) {
@@ -176,6 +184,11 @@ impl<O: RunObserver> RunObserver for std::sync::Arc<std::sync::Mutex<O>> {
             .expect("observer poisoned")
             .on_count_updates(now, messages);
     }
+    fn on_request_arrival(&mut self, now: SimTime, request: &ConsumptionRequest) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_request_arrival(now, request);
+    }
     fn on_request_satisfied(&mut self, now: SimTime, request: &SatisfiedRequest) {
         self.lock()
             .expect("observer poisoned")
@@ -198,6 +211,8 @@ pub struct EventCounts {
     pub swaps: u64,
     /// Repair swaps only.
     pub repair_swaps: u64,
+    /// Requests that arrived.
+    pub arrivals: u64,
     /// Requests satisfied.
     pub satisfied: u64,
     /// Requests dropped.
@@ -214,6 +229,10 @@ impl RunObserver for EventCounts {
         if kind == SwapKind::Repair {
             self.repair_swaps += 1;
         }
+    }
+
+    fn on_request_arrival(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
+        self.arrivals += 1;
     }
 
     fn on_request_satisfied(&mut self, _now: SimTime, _request: &SatisfiedRequest) {
@@ -243,9 +262,16 @@ mod tests {
         r.on_swap_correction(t);
         r.on_teleportation(t);
         r.on_count_updates(t, 7);
+        let arrival = crate::workload::ConsumptionRequest {
+            sequence: 0,
+            pair: NodePair::new(NodeId(0), NodeId(2)),
+            arrival_time: SimTime::ZERO,
+        };
+        r.on_request_arrival(t, &arrival);
         let sat = SatisfiedRequest {
             sequence: 0,
             pair: NodePair::new(NodeId(0), NodeId(2)),
+            arrival_time: SimTime::ZERO,
             satisfied_at: t,
             shortest_path_hops: 2,
             repair_swaps: 1,
@@ -254,6 +280,7 @@ mod tests {
 
         let m = r.snapshot(1.0, 4, 9);
         assert_eq!(m.swaps_performed, 2);
+        assert_eq!(m.arrived_requests, 1);
         assert_eq!(m.pairs_generated, 2);
         assert_eq!(m.pairs_lost, 1);
         assert_eq!(m.satisfied, vec![sat]);

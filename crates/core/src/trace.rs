@@ -1,0 +1,300 @@
+//! Streaming JSONL run traces.
+//!
+//! [`TraceWriter`] is a [`RunObserver`] that serializes per-event records to
+//! any `Write` sink as JSON lines, one self-describing object per event:
+//!
+//! ```text
+//! {"kind":"arrival","t_s":12.5,"sequence":3,"pair":[0,4]}
+//! {"kind":"swap","t_s":12.75,"swap":"balancing"}
+//! {"kind":"satisfied","t_s":13.0,"sequence":3,"pair":[0,4],"sojourn_s":0.5,"hops":4}
+//! {"kind":"drop","t_s":14.0,"sequence":5,"pair":[1,2]}
+//! ```
+//!
+//! Attach one with [`crate::network::QuantumNetworkWorld::add_observer`];
+//! the sink is flushed on drop (or explicitly via [`TraceWriter::into_sink`]).
+//! Traces contain only seeded simulation data, so for a fixed configuration
+//! the byte stream is deterministic — traces can be diffed like reports.
+//!
+//! By default only the request-lifecycle and swap events are written (the
+//! per-pair generation/loss firehose is opt-in via
+//! [`TraceWriter::with_pair_events`]), keeping traces proportional to the
+//! workload rather than to `generation_rate × horizon`.
+
+use crate::metrics::SatisfiedRequest;
+use crate::observer::{RunObserver, SwapKind};
+use crate::workload::ConsumptionRequest;
+use qnet_sim::SimTime;
+use qnet_topology::NodePair;
+use serde::Value;
+use std::fmt;
+use std::io::Write;
+
+/// A [`RunObserver`] streaming one JSON line per observed event to a sink.
+pub struct TraceWriter<W: Write + Send> {
+    /// `Some` until [`TraceWriter::into_sink`] takes it; `Drop` flushes a
+    /// still-owned sink best-effort.
+    sink: Option<W>,
+    include_pair_events: bool,
+    /// First I/O error encountered (subsequent writes are skipped).
+    error: Option<std::io::Error>,
+    lines: u64,
+}
+
+impl<W: Write + Send> TraceWriter<W> {
+    /// Wrap a sink (a `File`, `Vec<u8>`, `Stdout` lock, …).
+    pub fn new(sink: W) -> Self {
+        TraceWriter {
+            sink: Some(sink),
+            include_pair_events: false,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Also stream the high-volume `pair_generated` / `pair_lost` events.
+    pub fn with_pair_events(mut self) -> Self {
+        self.include_pair_events = true;
+        self
+    }
+
+    /// Lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error the writer ran into, if any (writing stops at the
+    /// first failure; simulation itself is never interrupted by a bad sink).
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the sink, surfacing any I/O error recorded during
+    /// the run (the `Drop` flush is best-effort and cannot report one).
+    pub fn into_sink(mut self) -> std::io::Result<W> {
+        let mut sink = self.sink.take().expect("sink present until into_sink");
+        sink.flush()?;
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        Ok(sink)
+    }
+
+    fn write_record(&mut self, kind: &str, now: SimTime, fields: Vec<(String, Value)>) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut entries = vec![
+            ("kind".to_string(), Value::Str(kind.to_string())),
+            ("t_s".to_string(), Value::F64(now.as_secs_f64())),
+        ];
+        entries.extend(fields);
+        let line = serde_json::to_string(&Value::Map(entries)).expect("trace record to_string");
+        let sink = self.sink.as_mut().expect("sink present until into_sink");
+        if let Err(e) = writeln!(sink, "{line}") {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for TraceWriter<W> {
+    fn drop(&mut self) {
+        // Best-effort: a writer dropped without `into_sink` still flushes;
+        // errors here have nowhere to go.
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.flush();
+        }
+    }
+}
+
+fn pair_value(pair: NodePair) -> Value {
+    Value::Seq(vec![
+        Value::U64(pair.lo().0 as u64),
+        Value::U64(pair.hi().0 as u64),
+    ])
+}
+
+fn request_fields(sequence: u64, pair: NodePair) -> Vec<(String, Value)> {
+    vec![
+        ("sequence".to_string(), Value::U64(sequence)),
+        ("pair".to_string(), pair_value(pair)),
+    ]
+}
+
+impl<W: Write + Send> fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("lines", &self.lines)
+            .field("include_pair_events", &self.include_pair_events)
+            .field("errored", &self.error.is_some())
+            .finish()
+    }
+}
+
+impl<W: Write + Send> RunObserver for TraceWriter<W> {
+    fn on_pair_generated(&mut self, now: SimTime, edge: NodePair) {
+        if self.include_pair_events {
+            self.write_record(
+                "pair_generated",
+                now,
+                vec![("edge".to_string(), pair_value(edge))],
+            );
+        }
+    }
+
+    fn on_pair_lost(&mut self, now: SimTime, edge: NodePair) {
+        if self.include_pair_events {
+            self.write_record(
+                "pair_lost",
+                now,
+                vec![("edge".to_string(), pair_value(edge))],
+            );
+        }
+    }
+
+    fn on_swap(&mut self, now: SimTime, kind: SwapKind) {
+        let label = match kind {
+            SwapKind::Balancing => "balancing",
+            SwapKind::Repair => "repair",
+        };
+        self.write_record(
+            "swap",
+            now,
+            vec![("swap".to_string(), Value::Str(label.to_string()))],
+        );
+    }
+
+    fn on_request_arrival(&mut self, now: SimTime, request: &ConsumptionRequest) {
+        self.write_record(
+            "arrival",
+            now,
+            request_fields(request.sequence, request.pair),
+        );
+    }
+
+    fn on_request_satisfied(&mut self, now: SimTime, request: &SatisfiedRequest) {
+        let mut fields = request_fields(request.sequence, request.pair);
+        fields.push(("sojourn_s".to_string(), Value::F64(request.sojourn_s())));
+        fields.push((
+            "hops".to_string(),
+            Value::U64(request.shortest_path_hops as u64),
+        ));
+        self.write_record("satisfied", now, fields);
+    }
+
+    fn on_request_dropped(&mut self, now: SimTime, request: &ConsumptionRequest) {
+        self.write_record("drop", now, request_fields(request.sequence, request.pair));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::NodeId;
+    use std::sync::{Arc, Mutex};
+
+    fn sample_request() -> ConsumptionRequest {
+        ConsumptionRequest {
+            sequence: 3,
+            pair: NodePair::new(NodeId(0), NodeId(4)),
+            arrival_time: SimTime::from_secs(12),
+        }
+    }
+
+    #[test]
+    fn writes_one_tagged_line_per_event() {
+        let mut w = TraceWriter::new(Vec::new());
+        let t = SimTime::from_secs(12);
+        w.on_request_arrival(t, &sample_request());
+        w.on_swap(t, SwapKind::Balancing);
+        let sat = SatisfiedRequest {
+            sequence: 3,
+            pair: NodePair::new(NodeId(0), NodeId(4)),
+            arrival_time: SimTime::from_secs(12),
+            satisfied_at: SimTime::from_secs(13),
+            shortest_path_hops: 4,
+            repair_swaps: 0,
+        };
+        w.on_request_satisfied(SimTime::from_secs(13), &sat);
+        w.on_request_dropped(SimTime::from_secs(14), &sample_request());
+        assert_eq!(w.lines_written(), 4);
+
+        let text = String::from_utf8(w.into_sink().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let arrival: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(arrival["kind"], "arrival");
+        assert_eq!(arrival["sequence"], 3);
+        assert_eq!(arrival["pair"][1], 4);
+        let satisfied: Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(satisfied["kind"], "satisfied");
+        assert_eq!(satisfied["sojourn_s"], 1.0);
+        assert_eq!(satisfied["hops"], 4);
+        let dropped: Value = serde_json::from_str(lines[3]).unwrap();
+        assert_eq!(dropped["kind"], "drop");
+    }
+
+    #[test]
+    fn pair_events_are_opt_in() {
+        let edge = NodePair::new(NodeId(0), NodeId(1));
+        let mut quiet = TraceWriter::new(Vec::new());
+        quiet.on_pair_generated(SimTime::ZERO, edge);
+        quiet.on_pair_lost(SimTime::ZERO, edge);
+        assert_eq!(quiet.lines_written(), 0);
+
+        let mut loud = TraceWriter::new(Vec::new()).with_pair_events();
+        loud.on_pair_generated(SimTime::ZERO, edge);
+        loud.on_pair_lost(SimTime::ZERO, edge);
+        assert_eq!(loud.lines_written(), 2);
+        let text = String::from_utf8(loud.into_sink().unwrap()).unwrap();
+        assert!(text.contains("\"pair_generated\""));
+        assert!(text.contains("\"pair_lost\""));
+    }
+
+    #[test]
+    fn traces_a_full_run_deterministically() {
+        use crate::classical::KnowledgeModel;
+        use crate::config::NetworkConfig;
+        use crate::network::QuantumNetworkWorld;
+        use crate::policy::PolicyId;
+        use crate::workload::WorkloadSpec;
+        use qnet_sim::{Engine, EventQueue, StopCondition};
+        use qnet_topology::Topology;
+
+        let run = || {
+            let spec = WorkloadSpec::open_loop(7, 5, 0.5, 100.0);
+            let mut queue = EventQueue::new();
+            let mut world = QuantumNetworkWorld::new(
+                NetworkConfig::new(Topology::Cycle { nodes: 7 }),
+                spec.generate(5),
+                PolicyId::OBLIVIOUS.instantiate(),
+                KnowledgeModel::Global,
+                5,
+                &mut queue,
+            );
+            let trace = Arc::new(Mutex::new(TraceWriter::new(Vec::new())));
+            world.add_observer(Box::new(Arc::clone(&trace)));
+            let mut engine = Engine::new(world);
+            while let Some(ev) = queue.pop() {
+                engine.queue_mut().schedule_at(ev.time, ev.event);
+            }
+            engine.run(StopCondition::at_horizon(SimTime::from_secs(300)));
+            drop(engine); // releases the world's clone of the observer Arc
+            let writer = Arc::into_inner(trace)
+                .expect("sole owner after the run")
+                .into_inner()
+                .unwrap();
+            String::from_utf8(writer.into_sink().unwrap()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "traces must be seed-deterministic");
+        assert!(a.lines().any(|l| l.contains("\"arrival\"")));
+        assert!(a.lines().any(|l| l.contains("\"satisfied\"")));
+        for line in a.lines() {
+            let v: Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(!v["kind"].is_null());
+        }
+    }
+}

@@ -1,18 +1,60 @@
-//! Consumption workloads.
+//! Consumption workloads: traffic models over consumer-pair sets.
 //!
 //! The paper's evaluation (§5) draws **35 consumer pairs** from the set of
 //! all `(|N| choose 2)` node pairs and builds "a sequence of consumption
 //! requests from these pairs that must be satisfied in the order of the
 //! sequence" — explicitly to avoid biasing the cost toward easy-to-satisfy
-//! pairs. [`WorkloadSpec`] reproduces that construction and adds the knobs
-//! the ablation experiments use (request count, selection discipline,
-//! restriction to distinct pairs).
+//! pairs. That closed-loop batch is one point in a larger workload space: a
+//! production quantum internet serves *open-loop* load (requests arrive over
+//! time at some offered rate, à la the asynchronous-routing evaluations of
+//! Yang et al.) with *skewed* per-pair demand.
+//!
+//! [`WorkloadSpec`] factors that space into two orthogonal axes:
+//!
+//! * a [`TrafficModel`] — **when** requests arrive:
+//!   [`TrafficModel::ClosedLoopBatch`] (the paper's semantics: a fixed batch,
+//!   all pending at `t = 0`) or [`TrafficModel::OpenLoopPoisson`] (a Poisson
+//!   arrival process at `rate_hz` over an arrival horizon), and
+//! * a [`PairSelection`] — **which** consumer pair each request draws:
+//!   uniform, round-robin, or Zipf-skewed by popularity rank.
+//!
+//! [`WorkloadSpec::generate`] materialises a spec into a [`Workload`]: the
+//! consumer-pair set plus the full request sequence with per-request
+//! [`ConsumptionRequest::arrival_time`]s. Closed-loop batches reproduce the
+//! pre-traffic-model request streams byte-for-byte (same RNG draw order),
+//! and legacy flat `WorkloadSpec` JSON (`node_count` / `consumer_pairs` /
+//! `requests` / `discipline`) still round-trips — see the serialization
+//! shim at the bottom of this module.
 
-use qnet_sim::SimRng;
+use qnet_sim::{SimRng, SimTime};
 use qnet_topology::{NodeId, NodePair};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How requests are drawn from the consumer-pair set.
+///
+/// Serialized with the same variant labels the legacy `RequestDiscipline`
+/// enum used (`"UniformRandom"` / `"RoundRobin"`), so existing configs and
+/// campaign reports keep their bytes; [`PairSelection::ZipfSkew`] extends
+/// the value space for skewed demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PairSelection {
+    /// Each request is an independent uniform draw from the consumer pairs.
+    UniformRandom,
+    /// Requests cycle deterministically through the consumer pairs.
+    RoundRobin,
+    /// Zipf-distributed popularity: the rank-`r` consumer pair (in the
+    /// generated consumer ordering) is drawn with probability proportional
+    /// to `1 / r^s`. `s = 0` degenerates to uniform; larger `s` concentrates
+    /// demand on a few hot pairs.
+    ZipfSkew {
+        /// The skew exponent `s ≥ 0`.
+        s: f64,
+    },
+}
+
+/// Legacy name for the pre-traffic-model selection enum, kept as a
+/// compatibility shim (same spirit as `ProtocolMode` for policies). New code
+/// should use [`PairSelection`]; the two share serialized labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RequestDiscipline {
     /// Each request is an independent uniform draw from the consumer pairs.
@@ -21,35 +63,97 @@ pub enum RequestDiscipline {
     RoundRobin,
 }
 
-/// Specification of a consumption workload.
+impl From<RequestDiscipline> for PairSelection {
+    fn from(d: RequestDiscipline) -> PairSelection {
+        match d {
+            RequestDiscipline::UniformRandom => PairSelection::UniformRandom,
+            RequestDiscipline::RoundRobin => PairSelection::RoundRobin,
+        }
+    }
+}
+
+/// When consumption requests arrive.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// The paper's §5 semantics: a fixed batch of requests, all pending at
+    /// `t = 0`, satisfied in sequence order.
+    ClosedLoopBatch {
+        /// Total number of consumption requests in the batch.
+        requests: usize,
+    },
+    /// Open-loop offered load: requests arrive as a Poisson process at
+    /// `rate_hz` for `horizon_s` simulated seconds. The request count is a
+    /// random variable of the seed (mean `rate_hz × horizon_s`).
+    OpenLoopPoisson {
+        /// Mean arrival rate in requests per simulated second.
+        rate_hz: f64,
+        /// Arrivals stop after this many simulated seconds (the run itself
+        /// may continue to its own horizon to drain the queue).
+        horizon_s: f64,
+    },
+}
+
+/// Specification of a consumption workload: a consumer-pair set, a traffic
+/// model and a pair-selection discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of nodes in the network (pairs are drawn over these).
     pub node_count: usize,
     /// Number of distinct consumer pairs (the paper uses 35; capped at the
     /// number of available pairs for small networks).
     pub consumer_pairs: usize,
-    /// Total number of consumption requests in the sequence.
-    pub requests: usize,
+    /// When requests arrive.
+    pub traffic: TrafficModel,
     /// How requests are drawn from the consumer pairs.
-    pub discipline: RequestDiscipline,
+    pub selection: PairSelection,
 }
 
 impl WorkloadSpec {
-    /// The paper's default: 35 consumer pairs, one request per pair
-    /// (sequential), uniform-random ordering.
+    /// The paper's default: 35 consumer pairs, one closed-loop request per
+    /// pair (sequential), uniform-random ordering.
     pub fn paper_default(node_count: usize) -> Self {
         WorkloadSpec {
             node_count,
             consumer_pairs: 35,
-            requests: 35,
-            discipline: RequestDiscipline::UniformRandom,
+            traffic: TrafficModel::ClosedLoopBatch { requests: 35 },
+            selection: PairSelection::UniformRandom,
         }
     }
 
-    /// Builder: set the number of requests.
+    /// A closed-loop batch workload (the pre-traffic-model constructor).
+    pub fn closed_loop(node_count: usize, consumer_pairs: usize, requests: usize) -> Self {
+        WorkloadSpec {
+            node_count,
+            consumer_pairs,
+            traffic: TrafficModel::ClosedLoopBatch { requests },
+            selection: PairSelection::UniformRandom,
+        }
+    }
+
+    /// An open-loop Poisson workload offering `rate_hz` requests per second
+    /// for `horizon_s` simulated seconds.
+    pub fn open_loop(
+        node_count: usize,
+        consumer_pairs: usize,
+        rate_hz: f64,
+        horizon_s: f64,
+    ) -> Self {
+        assert!(rate_hz > 0.0, "arrival rate must be positive");
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "arrival horizon must be positive and finite"
+        );
+        WorkloadSpec {
+            node_count,
+            consumer_pairs,
+            traffic: TrafficModel::OpenLoopPoisson { rate_hz, horizon_s },
+            selection: PairSelection::UniformRandom,
+        }
+    }
+
+    /// Builder: make the workload a closed-loop batch of `requests`.
     pub fn with_requests(mut self, requests: usize) -> Self {
-        self.requests = requests;
+        self.traffic = TrafficModel::ClosedLoopBatch { requests };
         self
     }
 
@@ -59,13 +163,52 @@ impl WorkloadSpec {
         self
     }
 
-    /// Builder: set the request discipline.
-    pub fn with_discipline(mut self, discipline: RequestDiscipline) -> Self {
-        self.discipline = discipline;
+    /// Builder: set the pair-selection discipline (accepts the legacy
+    /// [`RequestDiscipline`] variants as well as [`PairSelection`]).
+    pub fn with_discipline(mut self, selection: impl Into<PairSelection>) -> Self {
+        self.selection = selection.into();
         self
     }
 
+    /// Builder: set the traffic model.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// True for open-loop traffic models.
+    pub fn is_open_loop(&self) -> bool {
+        matches!(self.traffic, TrafficModel::OpenLoopPoisson { .. })
+    }
+
+    /// The nominal request count: the batch size for closed-loop traffic,
+    /// the *expected* arrival count (`rate × horizon`, rounded) for
+    /// open-loop traffic. Used for reporting; the realised open-loop count
+    /// varies by seed.
+    pub fn nominal_requests(&self) -> usize {
+        match self.traffic {
+            TrafficModel::ClosedLoopBatch { requests } => requests,
+            TrafficModel::OpenLoopPoisson { rate_hz, horizon_s } => {
+                (rate_hz * horizon_s).round() as usize
+            }
+        }
+    }
+
+    /// The offered arrival rate, for open-loop traffic.
+    pub fn arrival_rate_hz(&self) -> Option<f64> {
+        match self.traffic {
+            TrafficModel::OpenLoopPoisson { rate_hz, .. } => Some(rate_hz),
+            TrafficModel::ClosedLoopBatch { .. } => None,
+        }
+    }
+
     /// Materialise the workload with the given RNG seed.
+    ///
+    /// Closed-loop batches draw exactly the same RNG stream as the
+    /// pre-traffic-model implementation (consumer shuffle, then one draw per
+    /// uniform request), so legacy runs are byte-identical. Open-loop
+    /// arrival gaps come from an independent derived stream (`"arrivals"`),
+    /// so pair selection stays aligned across traffic models.
     pub fn generate(&self, seed: u64) -> Workload {
         let max_pairs = self.node_count * self.node_count.saturating_sub(1) / 2;
         assert!(
@@ -84,15 +227,26 @@ impl WorkloadSpec {
         let mut consumers: Vec<NodePair> = all.into_iter().take(wanted).collect();
         consumers.sort_unstable();
 
-        let mut requests = Vec::with_capacity(self.requests);
-        for k in 0..self.requests {
-            let pair = match self.discipline {
-                RequestDiscipline::UniformRandom => *rng.choose(&consumers).expect("non-empty"),
-                RequestDiscipline::RoundRobin => consumers[k % consumers.len()],
+        let arrivals = self.arrival_times(seed);
+        let zipf_cdf = match self.selection {
+            PairSelection::ZipfSkew { s } => Some(zipf_cdf(consumers.len(), s)),
+            _ => None,
+        };
+
+        let mut requests = Vec::with_capacity(arrivals.len());
+        for (k, arrival_time) in arrivals.into_iter().enumerate() {
+            let pair = match &self.selection {
+                PairSelection::UniformRandom => *rng.choose(&consumers).expect("non-empty"),
+                PairSelection::RoundRobin => consumers[k % consumers.len()],
+                PairSelection::ZipfSkew { .. } => {
+                    let cdf = zipf_cdf.as_deref().expect("computed above");
+                    consumers[sample_cdf(cdf, rng.uniform())]
+                }
             };
             requests.push(ConsumptionRequest {
                 sequence: k as u64,
                 pair,
+                arrival_time,
             });
         }
 
@@ -101,21 +255,70 @@ impl WorkloadSpec {
             requests,
         }
     }
+
+    /// The arrival instants of every request, in order.
+    fn arrival_times(&self, seed: u64) -> Vec<SimTime> {
+        match self.traffic {
+            TrafficModel::ClosedLoopBatch { requests } => vec![SimTime::ZERO; requests],
+            TrafficModel::OpenLoopPoisson { rate_hz, horizon_s } => {
+                assert!(rate_hz > 0.0, "arrival rate must be positive");
+                assert!(
+                    horizon_s > 0.0 && horizon_s.is_finite(),
+                    "arrival horizon must be positive and finite"
+                );
+                let mut rng = SimRng::new(seed).derive("arrivals");
+                let mut times = Vec::with_capacity((rate_hz * horizon_s).ceil() as usize + 1);
+                let mut t = 0.0f64;
+                loop {
+                    t += rng.sample_exponential(rate_hz);
+                    if t > horizon_s {
+                        break;
+                    }
+                    times.push(SimTime::from_secs_f64(t));
+                }
+                times
+            }
+        }
+    }
+}
+
+/// Cumulative Zipf weights: `cdf[r] = Σ_{i≤r} (i+1)^-s`, normalised to 1.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "Zipf needs at least one rank");
+    assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be ≥ 0");
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 1..=n {
+        total += (rank as f64).powf(-s);
+        cdf.push(total);
+    }
+    for w in &mut cdf {
+        *w /= total;
+    }
+    cdf
+}
+
+/// Index of the first CDF entry ≥ `u` (binary search; `u ∈ [0, 1)`).
+fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
 }
 
 /// One consumption request: the pair that wants a Bell pair for
-/// teleportation.
+/// teleportation, and when the request entered the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConsumptionRequest {
-    /// Position in the sequence (0-based). Requests must be satisfied in
-    /// this order.
+    /// Position in the arrival sequence (0-based). Closed-loop requests must
+    /// be satisfied in this order.
     pub sequence: u64,
     /// The consuming pair.
     pub pair: NodePair,
+    /// Simulated time at which the request arrives (always `t = 0` for
+    /// closed-loop batches).
+    pub arrival_time: SimTime,
 }
 
 /// A materialised workload: the consumer-pair set and the ordered request
-/// sequence.
+/// sequence (non-decreasing arrival times).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
     /// The distinct consumer pairs.
@@ -135,8 +338,8 @@ impl Workload {
         self.requests.is_empty()
     }
 
-    /// Build a workload directly from an explicit request list (used by
-    /// tests and by the hybrid experiments).
+    /// Build a workload directly from an explicit request list, all arriving
+    /// at `t = 0` (used by tests and by the hybrid experiments).
     pub fn from_pairs(pairs: Vec<NodePair>) -> Self {
         let mut consumers = pairs.clone();
         consumers.sort_unstable();
@@ -147,6 +350,7 @@ impl Workload {
             .map(|(k, pair)| ConsumptionRequest {
                 sequence: k as u64,
                 pair,
+                arrival_time: SimTime::ZERO,
             })
             .collect();
         Workload {
@@ -168,6 +372,57 @@ impl Workload {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serialization back-compat shim
+// ---------------------------------------------------------------------------
+//
+// The pre-traffic-model `WorkloadSpec` was a flat struct serialized as
+// `{node_count, consumer_pairs, requests, discipline}`. Closed-loop specs
+// keep exactly that layout (so existing configs and campaign fingerprints
+// stay byte-identical), with `discipline` now carrying the full
+// `PairSelection` value space; open-loop specs add a `traffic` field in
+// place of `requests`. Deserialization accepts both layouts.
+
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("node_count".to_string(), self.node_count.to_value()),
+            ("consumer_pairs".to_string(), self.consumer_pairs.to_value()),
+        ];
+        match self.traffic {
+            TrafficModel::ClosedLoopBatch { requests } => {
+                entries.push(("requests".to_string(), requests.to_value()));
+            }
+            TrafficModel::OpenLoopPoisson { .. } => {
+                entries.push(("traffic".to_string(), self.traffic.to_value()));
+            }
+        }
+        entries.push(("discipline".to_string(), self.selection.to_value()));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("WorkloadSpec object", value));
+        }
+        let field = |name: &str| value.get_field(name).unwrap_or(&Value::Null);
+        let traffic = match value.get_field("traffic") {
+            Some(t) => TrafficModel::from_value(t)?,
+            None => TrafficModel::ClosedLoopBatch {
+                requests: usize::from_value(field("requests"))?,
+            },
+        };
+        Ok(WorkloadSpec {
+            node_count: usize::from_value(field("node_count"))?,
+            consumer_pairs: usize::from_value(field("consumer_pairs"))?,
+            traffic,
+            selection: PairSelection::from_value(field("discipline"))?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,8 +437,9 @@ mod tests {
         let mut seen = w.consumers.clone();
         seen.dedup();
         assert_eq!(seen.len(), 35);
-        // Every request comes from the consumer set.
+        // Every request comes from the consumer set and arrives at t = 0.
         assert!(w.requests.iter().all(|r| w.consumers.contains(&r.pair)));
+        assert!(w.requests.iter().all(|r| r.arrival_time == SimTime::ZERO));
         // Sequence numbers are 0..n in order.
         assert!(w
             .requests
@@ -212,12 +468,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_through_consumers() {
-        let spec = WorkloadSpec {
-            node_count: 10,
-            consumer_pairs: 4,
-            requests: 12,
-            discipline: RequestDiscipline::RoundRobin,
-        };
+        let spec = WorkloadSpec::closed_loop(10, 4, 12).with_discipline(PairSelection::RoundRobin);
         let w = spec.generate(7);
         assert_eq!(w.consumers.len(), 4);
         for (k, r) in w.requests.iter().enumerate() {
@@ -227,12 +478,7 @@ mod tests {
 
     #[test]
     fn uniform_random_uses_all_consumers_eventually() {
-        let spec = WorkloadSpec {
-            node_count: 10,
-            consumer_pairs: 5,
-            requests: 500,
-            discipline: RequestDiscipline::UniformRandom,
-        };
+        let spec = WorkloadSpec::closed_loop(10, 5, 500);
         let w = spec.generate(11);
         for c in &w.consumers {
             assert!(
@@ -262,5 +508,145 @@ mod tests {
     #[should_panic]
     fn single_node_network_panics() {
         let _ = WorkloadSpec::paper_default(1).generate(0);
+    }
+
+    // --- open-loop traffic -------------------------------------------------
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_per_seed() {
+        let spec = WorkloadSpec::open_loop(10, 5, 2.0, 200.0);
+        let a = spec.generate(9);
+        let b = spec.generate(9);
+        let c = spec.generate(10);
+        assert_eq!(a, b, "same seed must reproduce the arrival sequence");
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_ordered_and_bounded() {
+        let spec = WorkloadSpec::open_loop(10, 5, 3.0, 100.0);
+        let w = spec.generate(4);
+        let horizon = SimTime::from_secs_f64(100.0);
+        assert!(!w.is_empty());
+        for pair in w.requests.windows(2) {
+            assert!(pair[0].arrival_time <= pair[1].arrival_time);
+        }
+        assert!(w.requests.iter().all(|r| r.arrival_time <= horizon));
+        assert!(w.requests.first().unwrap().arrival_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn poisson_arrival_count_tracks_offered_load() {
+        // 2 Hz over 500 s → 1000 expected arrivals; a 4-sigma band is
+        // ±4·√1000 ≈ ±127.
+        let spec = WorkloadSpec::open_loop(10, 5, 2.0, 500.0);
+        let n = spec.generate(21).len() as f64;
+        assert!((n - 1000.0).abs() < 130.0, "got {n} arrivals");
+        assert_eq!(spec.nominal_requests(), 1000);
+    }
+
+    #[test]
+    fn zipf_selection_orders_frequencies_by_rank() {
+        let spec = WorkloadSpec::closed_loop(12, 6, 3000)
+            .with_discipline(PairSelection::ZipfSkew { s: 1.2 });
+        let w = spec.generate(5);
+        let counts: Vec<usize> = w
+            .consumers
+            .iter()
+            .map(|c| w.requests.iter().filter(|r| r.pair == *c).count())
+            .collect();
+        // Rank 1 must dominate, and the head must far outweigh the tail.
+        assert!(counts[0] > counts[counts.len() - 1]);
+        assert!(
+            counts[0] as f64 > 0.3 * w.len() as f64,
+            "head pair got only {} of {}",
+            counts[0],
+            w.len()
+        );
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniformish() {
+        let spec = WorkloadSpec::closed_loop(12, 6, 6000)
+            .with_discipline(PairSelection::ZipfSkew { s: 0.0 });
+        let w = spec.generate(8);
+        for c in &w.consumers {
+            let share = w.requests.iter().filter(|r| r.pair == *c).count() as f64 / w.len() as f64;
+            assert!((share - 1.0 / 6.0).abs() < 0.03, "share {share}");
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_shape() {
+        let cdf = zipf_cdf(4, 1.0);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        // Harmonic weights 1, 1/2, 1/3, 1/4 over 25/12.
+        assert!((cdf[0] - 12.0 / 25.0).abs() < 1e-12);
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.999999), 3);
+    }
+
+    // --- serialization shim ------------------------------------------------
+
+    #[test]
+    fn closed_loop_serializes_to_the_legacy_flat_layout() {
+        let spec = WorkloadSpec::closed_loop(9, 10, 12);
+        let v = spec.to_value();
+        let keys: Vec<&str> = v
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["node_count", "consumer_pairs", "requests", "discipline"],
+            "legacy byte layout"
+        );
+        assert_eq!(v["requests"], 12);
+        assert_eq!(v["discipline"], "UniformRandom");
+    }
+
+    #[test]
+    fn legacy_flat_maps_deserialize_into_closed_loop() {
+        let legacy = Value::Map(vec![
+            ("node_count".into(), Value::U64(9)),
+            ("consumer_pairs".into(), Value::U64(10)),
+            ("requests".into(), Value::U64(12)),
+            ("discipline".into(), Value::Str("RoundRobin".into())),
+        ]);
+        let spec = WorkloadSpec::from_value(&legacy).unwrap();
+        assert_eq!(spec.traffic, TrafficModel::ClosedLoopBatch { requests: 12 });
+        assert_eq!(spec.selection, PairSelection::RoundRobin);
+        // And it re-serializes to the same bytes.
+        assert_eq!(spec.to_value(), legacy);
+    }
+
+    #[test]
+    fn open_loop_specs_round_trip() {
+        let spec = WorkloadSpec::open_loop(9, 10, 1.5, 400.0)
+            .with_discipline(PairSelection::ZipfSkew { s: 0.9 });
+        let v = spec.to_value();
+        assert!(v.get_field("requests").is_none(), "no legacy key");
+        let back = WorkloadSpec::from_value(&v).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn legacy_request_discipline_converts() {
+        assert_eq!(
+            PairSelection::from(RequestDiscipline::UniformRandom),
+            PairSelection::UniformRandom
+        );
+        assert_eq!(
+            PairSelection::from(RequestDiscipline::RoundRobin),
+            PairSelection::RoundRobin
+        );
+        // Shared serialized labels.
+        assert_eq!(
+            RequestDiscipline::UniformRandom.to_value(),
+            PairSelection::UniformRandom.to_value()
+        );
     }
 }

@@ -7,7 +7,7 @@ use qnet_core::balancer::BalancerPolicy;
 use qnet_core::inventory::Inventory;
 use qnet_core::nested::{nested_swap_cost, nested_swap_cost_with_joins};
 use qnet_core::planned::{execute_nested_along_path, planned_path_swap_cost};
-use qnet_core::workload::{RequestDiscipline, WorkloadSpec};
+use qnet_core::workload::{PairSelection, WorkloadSpec};
 use qnet_topology::{builders, NodeId, NodePair};
 
 /// Apply a random sequence of adds/removes/swaps and check the inventory's
@@ -175,12 +175,7 @@ proptest! {
     /// set, sequence numbers dense, and the result seed-stable.
     #[test]
     fn workloads_are_well_formed(nodes in 2usize..30, pairs in 1usize..50, requests in 0usize..80, seed in any::<u64>()) {
-        let spec = WorkloadSpec {
-            node_count: nodes,
-            consumer_pairs: pairs,
-            requests,
-            discipline: RequestDiscipline::UniformRandom,
-        };
+        let spec = WorkloadSpec::closed_loop(nodes, pairs, requests);
         let w = spec.generate(seed);
         let max_pairs = nodes * (nodes - 1) / 2;
         prop_assert_eq!(w.consumers.len(), pairs.min(max_pairs).max(1));
@@ -192,6 +187,65 @@ proptest! {
             prop_assert_eq!(r.sequence, k as u64);
             prop_assert!(w.consumers.contains(&r.pair));
         }
+        prop_assert_eq!(spec.generate(seed), w);
+    }
+
+    /// Zipf-skewed selection: request frequencies follow popularity rank —
+    /// the head (rank-1) consumer pair is requested at least as often as the
+    /// tail pair, and with s ≥ 1 it dominates its expected uniform share.
+    #[test]
+    fn zipf_selection_frequencies_follow_rank(
+        pairs in 2usize..10,
+        s in 1.0f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let requests = 2000;
+        let spec = WorkloadSpec::closed_loop(12, pairs, requests)
+            .with_discipline(PairSelection::ZipfSkew { s });
+        let w = spec.generate(seed);
+        prop_assert_eq!(w.requests.len(), requests);
+        let count = |pair| w.requests.iter().filter(|r| r.pair == pair).count();
+        let head = count(w.consumers[0]);
+        let tail = count(*w.consumers.last().unwrap());
+        prop_assert!(head >= tail, "head {} < tail {}", head, tail);
+        // At s ≥ 1 the head pair's Zipf share (1/H_n ≥ 1/n · n/H_n) clearly
+        // exceeds uniform; allow generous sampling noise.
+        prop_assert!(
+            head as f64 > requests as f64 / pairs as f64 * 1.2,
+            "head share {} not skewed above uniform {}",
+            head,
+            requests / pairs
+        );
+        // Determinism rides along.
+        prop_assert_eq!(spec.generate(seed), w);
+    }
+
+    /// Open-loop Poisson arrivals: sorted, within the horizon, seed-stable,
+    /// and counts that scale with the offered load.
+    #[test]
+    fn poisson_arrivals_are_well_formed(
+        rate in 0.2f64..5.0,
+        horizon in 10.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec::open_loop(8, 5, rate, horizon);
+        let w = spec.generate(seed);
+        let bound = qnet_sim::SimTime::from_secs_f64(horizon);
+        for r in &w.requests {
+            prop_assert!(r.arrival_time <= bound);
+        }
+        for pair in w.requests.windows(2) {
+            prop_assert!(pair[0].arrival_time <= pair[1].arrival_time);
+        }
+        // 6-sigma band around the Poisson mean.
+        let mean = rate * horizon;
+        let slack = 6.0 * mean.sqrt() + 1.0;
+        prop_assert!(
+            (w.requests.len() as f64 - mean).abs() < slack,
+            "{} arrivals vs mean {}",
+            w.requests.len(),
+            mean
+        );
         prop_assert_eq!(spec.generate(seed), w);
     }
 }

@@ -36,7 +36,6 @@
 //! ```
 //! use qnet::campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
 //! use qnet::prelude::*;
-//! use qnet::core::workload::RequestDiscipline;
 //!
 //! let grid = ScenarioGrid::new(42)
 //!     .with_topologies(vec![
@@ -44,12 +43,8 @@
 //!         Topology::TorusGrid { side: 3 },
 //!     ])
 //!     .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::HYBRID])
-//!     .with_workloads(vec![WorkloadSpec {
-//!         node_count: 0, // patched per topology
-//!         consumer_pairs: 5,
-//!         requests: 5,
-//!         discipline: RequestDiscipline::UniformRandom,
-//!     }])
+//!     // node_count 0 is patched per topology at expansion time.
+//!     .with_workloads(vec![WorkloadSpec::closed_loop(0, 5, 5)])
 //!     .with_replicates(2)
 //!     .with_horizon_s(500.0);
 //!
@@ -62,7 +57,61 @@
 //! -p qnet-campaign --bin campaign -- --help`), which emits the JSONL
 //! report on stdout and a human summary (with an optional serial-vs-parallel
 //! determinism check) on stderr. `campaign --list-policies` prints every
-//! swapping discipline in the registry.
+//! swapping discipline in the registry; `campaign --list-workloads` prints
+//! the workload-spec grammar (e.g. `--workload open-loop:2@zipf:1.1`).
+//!
+//! ## Writing a workload
+//!
+//! A [`core::workload::WorkloadSpec`] is two orthogonal choices over a
+//! consumer-pair set:
+//!
+//! * a [`core::workload::TrafficModel`] — **when** requests arrive. The
+//!   paper's closed-loop batch (`ClosedLoopBatch`: every request pending at
+//!   `t = 0`, satisfied in sequence order) or open-loop Poisson offered
+//!   load (`OpenLoopPoisson { rate_hz, horizon_s }`), where arrivals are
+//!   injected into the simulation over time and interleave with generation
+//!   and swap scans;
+//! * a [`core::workload::PairSelection`] — **which** pair each request
+//!   draws: `UniformRandom`, `RoundRobin`, or `ZipfSkew { s }` for skewed
+//!   per-pair demand (rank-`r` pair drawn with probability ∝ `1/r^s`).
+//!
+//! Open-loop runs measure *sojourn latency* (arrival → satisfaction):
+//! [`core::metrics::RunMetrics::sojourn_percentile`] and friends report it
+//! per run, and campaign reports add `latency_p50_s` / `latency_p95_s`
+//! columns for open-loop cells. Sweeping `rate_hz` across cells yields
+//! offered-load curves — satisfaction ratio and latency vs arrival rate,
+//! per discipline:
+//!
+//! ```
+//! use qnet::core::workload::{PairSelection, TrafficModel};
+//! use qnet::prelude::*;
+//!
+//! // 0.5 requests/s for 300 simulated seconds, Zipf-skewed over 10 pairs.
+//! let workload = WorkloadSpec::open_loop(0, 10, 0.5, 300.0)
+//!     .with_discipline(PairSelection::ZipfSkew { s: 1.1 });
+//! assert!(workload.is_open_loop());
+//! assert_eq!(workload.nominal_requests(), 150);
+//!
+//! let config = ExperimentConfig {
+//!     workload,
+//!     max_sim_time_s: 400.0, // run a little past the arrival horizon
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = Experiment::new(config).run();
+//! assert!(result.metrics.arrived_requests > 0);
+//! if let (Some(p50), Some(p95)) = (result.latency_p50_s(), result.latency_p95_s()) {
+//!     assert!(p50 <= p95);
+//! }
+//!
+//! // The closed-loop spec is the legacy shape; `TrafficModel` round-trips
+//! // through the flat serialized layout older configs used.
+//! let legacy = WorkloadSpec::paper_default(9);
+//! assert_eq!(legacy.traffic, TrafficModel::ClosedLoopBatch { requests: 35 });
+//! ```
+//!
+//! To stream per-event records (arrivals, satisfactions, drops, swaps) as
+//! JSONL while a run executes, attach a [`core::trace::TraceWriter`] via
+//! [`core::network::QuantumNetworkWorld::add_observer`].
 //!
 //! ## Writing your own `SwapPolicy`
 //!
@@ -164,7 +213,8 @@ pub mod prelude {
     pub use qnet_core::observer::{MetricsRecorder, RunObserver};
     pub use qnet_core::policy::{PolicyCtx, PolicyFamily, PolicyId, RequestAction, SwapPolicy};
     pub use qnet_core::rates::RateMatrices;
-    pub use qnet_core::workload::{Workload, WorkloadSpec};
+    pub use qnet_core::trace::TraceWriter;
+    pub use qnet_core::workload::{PairSelection, TrafficModel, Workload, WorkloadSpec};
     pub use qnet_sim::{SimDuration, SimRng, SimTime};
     pub use qnet_topology::{Graph, NodeId, NodePair, Topology};
 }

@@ -141,6 +141,20 @@ impl RunningStats {
     }
 }
 
+/// Nearest-rank percentile over an already **sorted** sample slice:
+/// the smallest element whose rank is at least `⌈q·n⌉` (clamped to the
+/// sample range). `None` when empty. The single quantile definition shared
+/// by run-level metrics and campaign aggregation, so the two cannot
+/// diverge.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
 /// Time-weighted average of a piecewise-constant quantity (e.g. a buffer
 /// occupancy). Call [`TimeWeighted::update`] whenever the value changes.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -261,6 +275,16 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_of_sorted(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile_of_sorted(&xs, 0.25), Some(1.0));
+        assert_eq!(percentile_of_sorted(&xs, 0.5), Some(2.0));
+        assert_eq!(percentile_of_sorted(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile_of_sorted(&[], 0.5), None);
+    }
 
     #[test]
     fn counter_basics() {

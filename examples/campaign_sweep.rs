@@ -6,7 +6,6 @@
 //! ```
 
 use qnet::campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
-use qnet::core::workload::RequestDiscipline;
 use qnet::prelude::*;
 
 fn main() {
@@ -19,12 +18,8 @@ fn main() {
         ])
         .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
         .with_distillations(vec![1.0, 2.0])
-        .with_workloads(vec![WorkloadSpec {
-            node_count: 0, // patched to each topology
-            consumer_pairs: 8,
-            requests: 10,
-            discipline: RequestDiscipline::UniformRandom,
-        }])
+        // node_count 0 is patched to each topology at expansion time.
+        .with_workloads(vec![WorkloadSpec::closed_loop(0, 8, 10)])
         .with_replicates(5)
         .with_horizon_s(3_000.0);
 

@@ -26,7 +26,7 @@ fn main() {
     );
     println!(
         "Workload: {} sequential consumption requests\n",
-        base.workload.requests
+        base.workload.nominal_requests()
     );
     println!(
         "{:>28} {:>10} {:>9} {:>11} {:>9} {:>12}",

@@ -6,7 +6,6 @@
 use qnet::campaign::{
     aggregate, overhead_ratios, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid,
 };
-use qnet::core::workload::RequestDiscipline;
 use qnet::prelude::*;
 
 fn test_grid(master_seed: u64) -> ScenarioGrid {
@@ -17,12 +16,8 @@ fn test_grid(master_seed: u64) -> ScenarioGrid {
         ])
         .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
         .with_distillations(vec![1.0, 2.0])
-        .with_workloads(vec![WorkloadSpec {
-            node_count: 0, // patched per topology
-            consumer_pairs: 6,
-            requests: 6,
-            discipline: RequestDiscipline::UniformRandom,
-        }])
+        // node_count 0 is patched per topology at expansion time.
+        .with_workloads(vec![WorkloadSpec::closed_loop(0, 6, 6)])
         .with_replicates(3)
         .with_horizon_s(1_500.0)
 }
@@ -96,6 +91,53 @@ fn campaign_covers_the_grid_and_aggregates_sanely() {
         assert_eq!(r.numerator_mode, PolicyId::OBLIVIOUS);
         assert_eq!(r.denominator_mode, PolicyId::PLANNED);
     }
+}
+
+#[test]
+fn open_loop_campaign_is_thread_count_deterministic() {
+    use qnet::core::workload::PairSelection;
+
+    // An open-loop × Zipf workload axis next to the closed-loop default:
+    // arrivals are injected over simulated time, yet the JSONL report stays
+    // byte-identical across worker-thread counts.
+    let grid = test_grid(31).with_workloads(vec![
+        WorkloadSpec::closed_loop(0, 6, 6),
+        WorkloadSpec::open_loop(0, 6, 0.05, 400.0)
+            .with_discipline(PairSelection::ZipfSkew { s: 1.1 }),
+    ]);
+
+    let serial = run_campaign(&grid, &RunnerConfig::serial());
+    let parallel = run_campaign(&grid, &RunnerConfig::with_threads(4));
+    let chopped = run_campaign(
+        &grid,
+        &RunnerConfig {
+            threads: 3,
+            chunk_size: 1,
+        },
+    );
+    assert_eq!(serial.outcomes, parallel.outcomes);
+    assert_eq!(serial.outcomes, chopped.outcomes);
+
+    let serial_jsonl = to_jsonl_string(&aggregate(&grid, &serial));
+    assert_eq!(serial_jsonl, to_jsonl_string(&aggregate(&grid, &parallel)));
+    assert_eq!(serial_jsonl, to_jsonl_string(&aggregate(&grid, &chopped)));
+
+    // Latency columns appear exactly on the open-loop cells.
+    let report = aggregate(&grid, &serial);
+    let mut open_cells = 0;
+    for cell in &report.cell_reports {
+        if cell.key.traffic.is_some() {
+            open_cells += 1;
+            if let (Some(p50), Some(p95)) = (cell.latency_p50_s, cell.latency_p95_s) {
+                assert!(p50 <= p95);
+            }
+        } else {
+            assert_eq!(cell.latency_p50_s, None);
+            assert_eq!(cell.latency_p95_s, None);
+        }
+    }
+    assert_eq!(open_cells, report.cell_reports.len() / 2);
+    assert!(serial_jsonl.contains("latency_p95_s"));
 }
 
 #[test]

@@ -3,19 +3,13 @@
 //! results and different seeds genuinely differ.
 
 use qnet::core::classical::KnowledgeModel;
-use qnet::core::workload::RequestDiscipline;
 use qnet::prelude::*;
 
 fn config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
         network: NetworkConfig::new(Topology::RandomConnectedGrid { side: 3 })
             .with_topology_seed(seed),
-        workload: WorkloadSpec {
-            node_count: 9,
-            consumer_pairs: 8,
-            requests: 10,
-            discipline: RequestDiscipline::UniformRandom,
-        },
+        workload: WorkloadSpec::closed_loop(9, 8, 10),
         mode: PolicyId::OBLIVIOUS,
         knowledge: KnowledgeModel::Global,
         seed,
@@ -45,6 +39,11 @@ fn workload_generation_is_seed_stable() {
     let spec = WorkloadSpec::paper_default(25);
     assert_eq!(spec.generate(7), spec.generate(7));
     assert_ne!(spec.generate(7), spec.generate(8));
+    // Open-loop arrivals and Zipf selection are seeded the same way.
+    let open = WorkloadSpec::open_loop(25, 10, 1.0, 100.0)
+        .with_discipline(qnet::core::workload::PairSelection::ZipfSkew { s: 1.1 });
+    assert_eq!(open.generate(7), open.generate(7));
+    assert_ne!(open.generate(7), open.generate(8));
 }
 
 #[test]

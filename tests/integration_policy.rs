@@ -131,17 +131,12 @@ fn every_registered_policy_appears_in_list_policies_output() {
 #[test]
 fn greedy_joins_the_campaign_grid_axis() {
     use qnet::campaign::{aggregate, run_campaign};
-    use qnet::core::workload::RequestDiscipline;
 
     let grid = ScenarioGrid::new(5)
         .with_topologies(vec![Topology::Cycle { nodes: 7 }])
         .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::GREEDY])
-        .with_workloads(vec![WorkloadSpec {
-            node_count: 0,
-            consumer_pairs: 5,
-            requests: 5,
-            discipline: RequestDiscipline::UniformRandom,
-        }])
+        // node_count 0 is patched per topology at expansion time.
+        .with_workloads(vec![WorkloadSpec::closed_loop(0, 5, 5)])
         .with_replicates(2)
         .with_horizon_s(800.0);
     let report = aggregate(&grid, &run_campaign(&grid, &RunnerConfig::serial()));

@@ -1,0 +1,181 @@
+//! Traffic-model subsystem guarantees, pinned at the workspace level.
+//!
+//! 1. **Closed-loop equivalence**: `ClosedLoopBatch` reproduces the
+//!    pre-traffic-model (PR 2) golden results exactly — the same values
+//!    `tests/integration_policy.rs` pins — whether the spec is built through
+//!    the new API or deserialized from the legacy flat JSON layout.
+//! 2. **Serialization shim**: legacy flat `WorkloadSpec` maps deserialize
+//!    into `ClosedLoopBatch`, and closed-loop specs serialize back to the
+//!    legacy byte layout (inside `ExperimentConfig` too).
+//! 3. **Offered-load sweeps**: an open-loop campaign produces latency
+//!    p50/p95 columns and a satisfaction-vs-rate curve for all five
+//!    registered policies.
+
+use qnet::campaign::{aggregate, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid};
+use qnet::core::workload::{PairSelection, TrafficModel};
+use qnet::prelude::*;
+
+/// One golden row per built-in policy from the PR 2 capture
+/// (`paper_section5`, cycle-9, D = 2, seed 1): `(policy, swaps, satisfied,
+/// overhead)`. `integration_policy.rs` pins the full table; this file pins
+/// that the *traffic-model* path reproduces it.
+const GOLDEN_SEED1: &[(&str, u64, usize, f64)] = &[
+    ("oblivious", 325, 35, 2.6639344262295084),
+    ("hybrid", 260, 35, 2.1311475409836067),
+    ("planned", 156, 35, 1.278688524590164),
+    ("connectionless", 156, 35, 1.278688524590164),
+];
+
+fn assert_golden(
+    result: &ExperimentResult,
+    name: &str,
+    swaps: u64,
+    satisfied: usize,
+    overhead: f64,
+) {
+    assert_eq!(result.swaps_performed, swaps, "{name}: swaps drifted");
+    assert_eq!(
+        result.satisfied_requests, satisfied,
+        "{name}: satisfied drifted"
+    );
+    let got = result.swap_overhead().expect("non-zero denominator");
+    assert!(
+        (got - overhead).abs() < 1e-12,
+        "{name}: overhead {got} != golden {overhead}"
+    );
+}
+
+#[test]
+fn closed_loop_batch_reproduces_the_pr2_golden_results() {
+    for &(name, swaps, satisfied, overhead) in GOLDEN_SEED1 {
+        let policy = PolicyId::parse(name).expect("built-in policy");
+        let config = ExperimentConfig::paper_section5(Topology::Cycle { nodes: 9 }, 2.0, 1)
+            .with_policy(policy);
+        assert_eq!(
+            config.workload.traffic,
+            TrafficModel::ClosedLoopBatch { requests: 35 }
+        );
+        let result = Experiment::new(config).run();
+        assert_golden(&result, name, swaps, satisfied, overhead);
+        // Closed-loop sojourns are measured from t = 0, so the latency
+        // percentiles coincide with satisfaction times (monotone ordering).
+        let p50 = result.latency_p50_s().unwrap();
+        let p95 = result.latency_p95_s().unwrap();
+        assert!(0.0 < p50 && p50 <= p95);
+    }
+}
+
+#[test]
+fn legacy_flat_workload_json_runs_byte_identically() {
+    // A config captured in the pre-traffic-model flat layout.
+    let legacy_json = r#"{"network":{"topology":{"Cycle":{"nodes":9}},"topology_seed":1,"generation_rate":1.0,"poisson_generation":true,"swap_scan_rate":4.0,"distillation":{"Uniform":2.0},"loss_factor":1.0,"qec_overhead":null,"decoherence":{"coherence_time_s":null},"buffer_limit":null},"workload":{"node_count":9,"consumer_pairs":35,"requests":35,"discipline":"UniformRandom"},"mode":"Oblivious","knowledge":"Global","seed":1,"max_sim_time_s":20000.0}"#;
+    let config: ExperimentConfig = serde_json::from_str(legacy_json).expect("legacy config loads");
+    assert_eq!(
+        config.workload.traffic,
+        TrafficModel::ClosedLoopBatch { requests: 35 }
+    );
+    assert_eq!(config.workload.selection, PairSelection::UniformRandom);
+
+    // It re-serializes to the exact legacy bytes…
+    assert_eq!(serde_json::to_string(&config).unwrap(), legacy_json);
+
+    // …and runs to the PR 2 golden numbers.
+    let (_, swaps, satisfied, overhead) = GOLDEN_SEED1[0];
+    assert_golden(
+        &Experiment::new(config).run(),
+        "legacy-json oblivious",
+        swaps,
+        satisfied,
+        overhead,
+    );
+}
+
+#[test]
+fn open_loop_specs_serialize_with_a_traffic_field() {
+    let spec = WorkloadSpec::open_loop(9, 10, 1.5, 400.0)
+        .with_discipline(PairSelection::ZipfSkew { s: 0.8 });
+    let json = serde_json::to_string(&spec).unwrap();
+    assert!(json.contains("\"traffic\""), "{json}");
+    assert!(json.contains("\"OpenLoopPoisson\""), "{json}");
+    assert!(!json.contains("\"requests\""), "no legacy key: {json}");
+    let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+
+    // And inside a full ExperimentConfig round trip.
+    let config = ExperimentConfig {
+        workload: spec,
+        ..ExperimentConfig::default()
+    };
+    let config_json = serde_json::to_string(&config).unwrap();
+    let config_back: ExperimentConfig = serde_json::from_str(&config_json).unwrap();
+    assert_eq!(config_back.workload, spec);
+    assert_eq!(serde_json::to_string(&config_back).unwrap(), config_json);
+}
+
+#[test]
+fn offered_load_sweep_curves_for_all_five_policies() {
+    // Satisfaction ratio and latency vs arrival rate, per discipline: the
+    // new scenario family this subsystem opens. Low rate ≪ capacity, high
+    // rate far above it, on a small cycle so the test stays fast.
+    let modes = vec![
+        PolicyId::OBLIVIOUS,
+        PolicyId::HYBRID,
+        PolicyId::PLANNED,
+        PolicyId::CONNECTIONLESS,
+        PolicyId::GREEDY,
+    ];
+    let grid = ScenarioGrid::new(17)
+        .with_topologies(vec![Topology::Cycle { nodes: 7 }])
+        .with_modes(modes.clone())
+        .with_workloads(vec![
+            WorkloadSpec::open_loop(0, 5, 0.02, 400.0),
+            WorkloadSpec::open_loop(0, 5, 5.0, 400.0),
+        ])
+        .with_replicates(2)
+        .with_horizon_s(800.0);
+
+    let report = aggregate(&grid, &run_campaign(&grid, &RunnerConfig::default()));
+    assert_eq!(report.cell_reports.len(), modes.len() * 2);
+
+    for mode in &modes {
+        let cells: Vec<_> = report
+            .cell_reports
+            .iter()
+            .filter(|c| c.key.mode == *mode)
+            .collect();
+        assert_eq!(cells.len(), 2, "{mode:?}: one cell per rate");
+        let rate = |c: &qnet::campaign::CellReport| match c.key.traffic {
+            Some(TrafficModel::OpenLoopPoisson { rate_hz, .. }) => rate_hz,
+            _ => panic!("open-loop cell expected"),
+        };
+        let (low, high) = if rate(cells[0]) < rate(cells[1]) {
+            (cells[0], cells[1])
+        } else {
+            (cells[1], cells[0])
+        };
+        // Under light load everything is served with low latency; far above
+        // capacity the satisfaction ratio must collapse.
+        assert!(
+            low.satisfaction_mean > 0.9,
+            "{mode:?}: light load satisfied only {:.2}",
+            low.satisfaction_mean
+        );
+        assert!(
+            high.satisfaction_mean < low.satisfaction_mean,
+            "{mode:?}: overload should reduce satisfaction"
+        );
+        // Latency columns are populated and ordered.
+        let (p50, p95) = (
+            low.latency_p50_s.expect("p50 under light load"),
+            low.latency_p95_s.expect("p95 under light load"),
+        );
+        assert!(p50 <= p95, "{mode:?}: p50 {p50} > p95 {p95}");
+        assert!(low.latency_mean_s.is_some() && low.latency_ci95_s.is_some());
+    }
+
+    // The JSONL rows carry the new columns.
+    let jsonl = to_jsonl_string(&report);
+    assert!(jsonl.contains("\"latency_p50_s\""));
+    assert!(jsonl.contains("\"latency_p95_s\""));
+    assert!(jsonl.contains("\"OpenLoopPoisson\""));
+}
