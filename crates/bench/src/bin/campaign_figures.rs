@@ -6,12 +6,24 @@
 //! ```sh
 //! cargo run --release -p qnet-bench --bin campaign_figures            # paper scale
 //! cargo run --release -p qnet-bench --bin campaign_figures -- --quick # CI scale
+//! cargo run --release -p qnet-bench --bin campaign_figures -- \
+//!     --cache-dir target/figure-cache                     # incremental reruns
 //! ```
+//!
+//! With `--cache-dir`, every grid's outcomes are read from / appended to
+//! the content-addressed campaign cache, so re-running the paper-scale
+//! sweeps after an interruption (or after adding one more size to the Fig 5
+//! family) only simulates the scenarios that are genuinely new — each grid
+//! prints how many scenarios it simulated vs served from cache.
 
 use qnet_bench::{figure4_scale, figure5_sizes, figure_topologies, SweepScale};
-use qnet_campaign::{aggregate, run_campaign, CampaignReport, RunnerConfig, ScenarioGrid};
+use qnet_campaign::{
+    aggregate, run_campaign, run_campaign_cached, CampaignReport, CampaignResult, OutcomeCache,
+    RunnerConfig, ScenarioGrid,
+};
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::WorkloadSpec;
+use std::path::PathBuf;
 
 fn workload(scale: SweepScale) -> WorkloadSpec {
     // node_count 0 is patched per topology at expansion time.
@@ -45,6 +57,46 @@ fn fig5_grids(scale: SweepScale) -> Vec<ScenarioGrid> {
         .collect()
 }
 
+/// `--cache-dir DIR` from the command line, if given.
+fn cache_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--cache-dir" {
+            return match args.next() {
+                Some(dir) => Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("campaign_figures: --cache-dir needs a value");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    None
+}
+
+/// Run one figure grid, through the outcome cache when one is configured.
+fn run_grid(label: &str, grid: &ScenarioGrid, cache_dir: Option<&PathBuf>) -> CampaignResult {
+    let runner = RunnerConfig::default();
+    let run = match cache_dir {
+        Some(dir) => {
+            let mut cache = OutcomeCache::open(dir, grid)
+                .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display()));
+            run_campaign_cached(grid, &runner, &mut cache, |_, _| {})
+                .unwrap_or_else(|e| panic!("cache append failed: {e}"))
+        }
+        None => run_campaign(grid, &runner),
+    };
+    eprintln!(
+        "{label}: {} scenarios in {:.2}s on {} threads (simulated={} cache_hits={})",
+        run.outcomes.len(),
+        run.wall_seconds,
+        run.threads_used,
+        run.simulated,
+        run.cache_hits,
+    );
+    run
+}
+
 fn print_report(title: &str, report: &CampaignReport) {
     println!("== {title} ==");
     println!(
@@ -71,30 +123,18 @@ fn print_report(title: &str, report: &CampaignReport) {
 
 fn main() {
     let scale = SweepScale::from_args();
-    let runner = RunnerConfig::default();
+    let cache_dir = cache_dir_from_args();
 
     let grid4 = fig4_grid(scale);
-    let run4 = run_campaign(&grid4, &runner);
-    eprintln!(
-        "fig4 campaign: {} scenarios in {:.2}s on {} threads",
-        run4.outcomes.len(),
-        run4.wall_seconds,
-        run4.threads_used
-    );
+    let run4 = run_grid("fig4 campaign", &grid4, cache_dir.as_ref());
     print_report(
         "Figure 4 — swap overhead vs distillation overhead D (campaign engine)",
         &aggregate(&grid4, &run4),
     );
 
     for grid5 in fig5_grids(scale) {
-        let run5 = run_campaign(&grid5, &runner);
-        eprintln!(
-            "fig5 campaign (N={}): {} scenarios in {:.2}s on {} threads",
-            grid5.topologies[0].node_count(),
-            run5.outcomes.len(),
-            run5.wall_seconds,
-            run5.threads_used
-        );
+        let label = format!("fig5 campaign (N={})", grid5.topologies[0].node_count());
+        let run5 = run_grid(&label, &grid5, cache_dir.as_ref());
         print_report(
             &format!(
                 "Figure 5 — swap overhead at |N| = {} (campaign engine)",

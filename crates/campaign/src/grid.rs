@@ -107,8 +107,74 @@ pub struct Scenario {
     pub config: ExperimentConfig,
 }
 
+/// A stable, content-derived identity for a [`ScenarioGrid`].
+///
+/// The fingerprint is an FNV-1a hash of the grid's canonical JSON
+/// serialization — every axis value, the master seed, the replicate count
+/// and the run parameters (horizon, generation and swap-scan rates). Two
+/// grids have equal fingerprints exactly when they expand to the same
+/// scenarios with the same seeds, which is the precondition for sharing
+/// cached [`crate::runner::ScenarioOutcome`]s and for merging shard files:
+/// outcomes are pure functions of `(fingerprint, scenario id)`.
+///
+/// Stability: the hash runs over JSON text produced by pure integer/float
+/// formatting, so it is identical across platforms, rustc versions and
+/// worker-thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridFingerprint(u64);
+
+impl GridFingerprint {
+    /// The raw 64-bit hash value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The canonical textual form: 16 lowercase hex digits (used in cache
+    /// file names and report headers).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the canonical 16-hex-digit form back.
+    pub fn parse_hex(s: &str) -> Result<Self, String> {
+        if s.len() != 16 {
+            return Err(format!("fingerprint '{s}' is not 16 hex digits"));
+        }
+        u64::from_str_radix(s, 16)
+            .map(GridFingerprint)
+            .map_err(|_| format!("fingerprint '{s}' is not 16 hex digits"))
+    }
+}
+
+impl std::fmt::Display for GridFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl Serialize for GridFingerprint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_hex())
+    }
+}
+
+impl Deserialize for GridFingerprint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::DeError::expected("fingerprint hex string", value))?;
+        GridFingerprint::parse_hex(s).map_err(serde::DeError::custom)
+    }
+}
+
 /// A declarative sweep: cartesian product of axes × replicates.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serialization: the grid serializes to a self-describing JSON object (all
+/// axes plus the master seed and run parameters) — the descriptor embedded
+/// in shard files so `campaign merge` can re-derive cell keys and verify
+/// that every shard ran the same sweep. [`ScenarioGrid::fingerprint`]
+/// hashes exactly this serialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioGrid {
     /// Topology axis (outermost loop).
     pub topologies: Vec<Topology>,
@@ -233,6 +299,25 @@ impl ScenarioGrid {
         assert!(rate > 0.0, "swap scan rate must be positive");
         self.swap_scan_rate = rate;
         self
+    }
+
+    /// The content-derived identity of this grid: a stable hash of every
+    /// axis, the master seed, the replicate count and the run parameters.
+    ///
+    /// Equal fingerprints ⇒ identical scenario expansion (same configs,
+    /// same seeds, same ids), so `(fingerprint, scenario id)` addresses a
+    /// [`crate::runner::ScenarioOutcome`] content-wise — the key of the
+    /// outcome cache and the compatibility check for shard merging.
+    pub fn fingerprint(&self) -> GridFingerprint {
+        let canonical = serde_json::to_string(self).expect("grid serialization cannot fail");
+        // FNV-1a over the canonical JSON bytes: pure integer arithmetic on
+        // fixed constants, stable across platforms and rustc versions.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in canonical.as_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        GridFingerprint(hash)
     }
 
     /// Number of distinct cells.
@@ -531,6 +616,74 @@ mod tests {
     fn out_of_range_scenario_panics() {
         let g = small_grid();
         let _ = g.scenario(g.scenario_count());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_derived() {
+        let g = small_grid();
+        // Deterministic across calls and across logically equal grids.
+        assert_eq!(g.fingerprint(), g.fingerprint());
+        assert_eq!(g.fingerprint(), small_grid().fingerprint());
+
+        // Every descriptor component moves the fingerprint.
+        let base = g.fingerprint();
+        let mut seed = small_grid();
+        seed.master_seed += 1;
+        assert_ne!(seed.fingerprint(), base, "master seed");
+        assert_ne!(
+            small_grid().with_replicates(4).fingerprint(),
+            base,
+            "replicates"
+        );
+        assert_ne!(
+            small_grid().with_horizon_s(123.0).fingerprint(),
+            base,
+            "horizon"
+        );
+        assert_ne!(
+            small_grid()
+                .with_modes(vec![PolicyId::OBLIVIOUS])
+                .fingerprint(),
+            base,
+            "mode axis"
+        );
+        assert_ne!(
+            small_grid()
+                .with_workloads(vec![WorkloadSpec::open_loop(0, 5, 2.0, 10.0)])
+                .fingerprint(),
+            base,
+            "workload axis"
+        );
+    }
+
+    #[test]
+    fn fingerprint_hex_round_trips() {
+        let fp = small_grid().fingerprint();
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(GridFingerprint::parse_hex(&hex).unwrap(), fp);
+        assert!(GridFingerprint::parse_hex("xyz").is_err());
+        assert!(GridFingerprint::parse_hex("").is_err());
+        // Serde round-trip through the string form.
+        let back: GridFingerprint = serde::Deserialize::from_value(&fp.to_value()).unwrap();
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn grid_serialization_round_trips_with_fingerprint_intact() {
+        let g = small_grid().with_workloads(vec![
+            WorkloadSpec::closed_loop(0, 5, 6),
+            WorkloadSpec::open_loop(0, 5, 2.0, 10.0)
+                .with_discipline(PairSelection::ZipfSkew { s: 1.1 }),
+        ]);
+        let text = serde_json::to_string(&g).unwrap();
+        let back: ScenarioGrid = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.fingerprint(), g.fingerprint());
+        // The re-expanded scenarios are identical too.
+        let a: Vec<Scenario> = g.scenarios().collect();
+        let b: Vec<Scenario> = back.scenarios().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -26,6 +26,28 @@
 //! The `campaign` CLI binary wraps all four steps; `qnet-bench` adds micro
 //! benchmarks and a sweep binary on top of the same API.
 //!
+//! ## Incremental and distributed campaigns
+//!
+//! Outcomes are pure functions of `(grid fingerprint, scenario id)` —
+//! [`ScenarioGrid::fingerprint`] hashes every axis, the master seed and the
+//! run parameters — which buys two more execution modes on top of the
+//! in-process pool:
+//!
+//! * **Caching** ([`OutcomeCache`], [`run_campaign_cached`]): outcomes
+//!   persist as append-only JSONL under a cache directory; re-running a
+//!   grid replays cached scenarios without simulating (a fully warm run
+//!   executes **zero** experiments), and overlapping sweeps only pay for
+//!   what they add. Reports from cached and fresh outcomes are
+//!   byte-identical.
+//! * **Sharding** ([`ShardSpec`], [`write_shard`], [`merge_shards`]): the
+//!   scenario id space partitions deterministically across processes or
+//!   hosts (`campaign --shard I/N`); each shard writes a self-describing
+//!   outcome file, and `campaign merge` recombines them into the exact
+//!   single-process report — byte-identical for any partition.
+//!
+//! See the `qnet` facade docs ("Running sharded and incremental campaigns")
+//! for a worked example.
+//!
 //! ## Example
 //!
 //! ```
@@ -51,9 +73,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod grid;
 pub mod report;
 pub mod runner;
+pub mod shard;
 
 use qnet_core::policy::{registered_policies, PolicyFamily};
 
@@ -80,11 +104,14 @@ pub fn policy_listing() -> String {
     out
 }
 
-pub use grid::{derive_seed, CellKey, Scenario, ScenarioGrid};
+pub use cache::OutcomeCache;
+pub use grid::{derive_seed, CellKey, GridFingerprint, Scenario, ScenarioGrid};
 pub use report::{
     aggregate, overhead_ratios, to_jsonl_string, write_jsonl, CampaignReport, CellReport,
     OverheadRatioRow,
 };
 pub use runner::{
-    run_campaign, run_campaign_with_progress, CampaignResult, RunnerConfig, ScenarioOutcome,
+    run_campaign, run_campaign_cached, run_campaign_with_progress, run_scenarios_with_progress,
+    CampaignResult, RunnerConfig, ScenarioOutcome,
 };
+pub use shard::{merge_shards, read_shard, shard_to_string, write_shard, ShardFile, ShardSpec};

@@ -1,12 +1,12 @@
 //! `campaign` — run a scenario-grid sweep from the command line.
 //!
 //! ```text
-//! campaign [OPTIONS]
+//! campaign [OPTIONS]                 run a sweep (full grid or one shard)
+//! campaign merge [--out F] SHARD...  recombine shard files into the report
 //!
 //!   --topologies LIST   comma-separated topology specs (default:
-//!                       cycle:9,rand-grid:3,ws:9:4:0.2)
-//!                       cycle:N | path:N | star:N | complete:N | torus:S |
-//!                       grid:S | rand-grid:S | er:N:P | ws:N:K:P | tree:N
+//!                       cycle:9,rand-grid:3,ws:9:4:0.2); see
+//!                       --list-topologies
 //!   --modes LIST        swap policies by registry name (default:
 //!                       oblivious,planned,hybrid); see --list-policies
 //!   --dist LIST         distillation overheads (default: 1,2)
@@ -20,27 +20,41 @@
 //!   --seed N            master seed (default: 1)
 //!   --horizon S         simulated-seconds horizon (default: 4000)
 //!   --threads N         worker threads (default: all cores)
-//!   --out FILE          write the JSONL report to FILE (default: stdout)
+//!   --cache-dir DIR     consult/extend a content-addressed outcome cache;
+//!                       already-cached scenarios are not simulated
+//!   --shard I/N         run only shard I of a deterministic N-way
+//!                       partition and emit a shard file instead of the
+//!                       report (recombine with `campaign merge`)
+//!   --out FILE          write the JSONL report (or shard file) to FILE
+//!                       (default: stdout)
 //!   --compare-serial    also run single-threaded; verify byte-identical
 //!                       reports and print the parallel speedup
 //!   --dry-run           print the grid shape and exit
 //!   --list-policies     print the registered swap policies and exit without running
 //!   --list-workloads    print the workload-spec grammar and exit
+//!   --list-topologies   print the topology-spec grammar and exit
 //! ```
 //!
 //! The JSON-lines report goes to stdout (or `--out`); the human summary and
 //! timing go to stderr, so `campaign > sweep.jsonl` composes cleanly.
+//!
+//! Determinism contract: a cold single-process run, a warm fully-cached
+//! run, and any `--shard I/N` partition recombined with `campaign merge`
+//! all produce byte-identical JSONL reports (the CI smoke job `cmp`s them).
 
 use qnet_campaign::{
-    aggregate, policy_listing, run_campaign, to_jsonl_string, RunnerConfig, ScenarioGrid,
+    aggregate, merge_shards, policy_listing, read_shard, run_campaign, run_scenarios_with_progress,
+    shard_to_string, to_jsonl_string, OutcomeCache, RunnerConfig, ScenarioGrid, ShardSpec,
 };
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
 use qnet_topology::Topology;
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Options {
     topologies: Vec<Topology>,
     modes: Vec<PolicyId>,
@@ -55,6 +69,8 @@ struct Options {
     seed: u64,
     horizon: f64,
     threads: usize,
+    cache_dir: Option<String>,
+    shard: Option<ShardSpec>,
     out: Option<String>,
     compare_serial: bool,
     dry_run: bool,
@@ -82,6 +98,8 @@ impl Default for Options {
             seed: 1,
             horizon: 4_000.0,
             threads: 0,
+            cache_dir: None,
+            shard: None,
             out: None,
             compare_serial: false,
             dry_run: false,
@@ -123,7 +141,10 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
             rewire_probability: f(3)?,
         }),
         "tree" => Ok(Topology::RandomTree { nodes: n(1)? }),
-        other => Err(format!("unknown topology family '{other}'")),
+        other => Err(format!(
+            "unknown topology family '{other}' (valid: cycle, path, star, complete, \
+             torus, grid, rand-grid, er, ws, tree; see --list-topologies)"
+        )),
     }
 }
 
@@ -178,7 +199,8 @@ fn parse_workload(
             TrafficModel::OpenLoopPoisson { rate_hz, horizon_s }
         }
         other => Err(format!(
-            "unknown traffic model '{other}' (try --list-workloads)"
+            "unknown traffic model '{other}' (valid: closed, open-loop; \
+             see --list-workloads)"
         ))?,
     };
     let selection = match selection_spec {
@@ -194,7 +216,12 @@ fn parse_workload(
                 }
                 PairSelection::ZipfSkew { s }
             }
-            _ => return Err(format!("unknown selection '@{sel}' (try --list-workloads)")),
+            _ => {
+                return Err(format!(
+                    "unknown selection '@{sel}' (valid: @uniform, @round-robin, \
+                     @zipf:S; see --list-workloads)"
+                ))
+            }
         },
     };
     Ok(WorkloadSpec {
@@ -299,9 +326,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads needs an integer".to_string())?
             }
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?.clone()),
+            "--shard" => opts.shard = Some(ShardSpec::parse(value("--shard")?)?),
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--list-policies" => return Err("list-policies".to_string()),
             "--list-workloads" => return Err("list-workloads".to_string()),
+            "--list-topologies" => return Err("list-topologies".to_string()),
             "--compare-serial" => opts.compare_serial = true,
             "--dry-run" => opts.dry_run = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -332,6 +362,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             t.label()
         ));
     }
+    if opts.shard.is_some() && opts.compare_serial {
+        return Err(
+            "--compare-serial compares full-grid reports; it cannot run on a --shard \
+             (merge the shards and compare reports instead)"
+                .to_string(),
+        );
+    }
     Ok(opts)
 }
 
@@ -359,8 +396,97 @@ fn build_grid(opts: &Options) -> ScenarioGrid {
         .with_horizon_s(opts.horizon)
 }
 
+/// `campaign merge [--out FILE] SHARD_FILE...`: recombine shard files into
+/// the exact single-process aggregate report.
+fn run_merge(args: &[String]) -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("campaign merge: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprint!("{}", MERGE_USAGE);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("campaign merge: unknown argument '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+            path => files.push(path),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("campaign merge: no shard files given (try --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut shards = Vec::with_capacity(files.len());
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("campaign merge: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match read_shard(&text) {
+            Ok(shard) => shards.push(shard),
+            Err(e) => {
+                eprintln!("campaign merge: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (grid, result) = match merge_shards(shards) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("campaign merge: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "campaign merge: {} shards × grid {} → {} scenarios, {} cells",
+        files.len(),
+        grid.fingerprint(),
+        result.outcomes.len(),
+        grid.cell_count(),
+    );
+    let jsonl = to_jsonl_string(&aggregate(&grid, &result));
+    write_output(&jsonl, out.as_deref(), "campaign merge")
+}
+
+/// Write report/shard text to `--out` or stdout, with diagnostics on stderr.
+fn write_output(text: &str, out: Option<&str>, who: &str) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("{who}: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("{who}: wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(text.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        return run_merge(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -374,6 +500,10 @@ fn main() -> ExitCode {
             }
             if msg == "list-workloads" {
                 print!("{}", WORKLOADS_HELP);
+                return ExitCode::SUCCESS;
+            }
+            if msg == "list-topologies" {
+                print!("{}", TOPOLOGIES_HELP);
                 return ExitCode::SUCCESS;
             }
             eprintln!("campaign: {msg}");
@@ -419,17 +549,65 @@ fn main() -> ExitCode {
         threads: opts.threads,
         chunk_size: 0,
     };
-    let result = run_campaign(&grid, &runner);
-    let report = aggregate(&grid, &result);
-    let jsonl = to_jsonl_string(&report);
+    let total = grid.scenario_count();
+    let ids: Vec<usize> = match opts.shard {
+        Some(spec) => spec.ids(total),
+        None => (0..total).collect(),
+    };
+    let mut cache = match &opts.cache_dir {
+        Some(dir) => match OutcomeCache::open(Path::new(dir), &grid) {
+            Ok(cache) => {
+                if cache.rejected_lines() > 0 {
+                    eprintln!(
+                        "campaign: cache {} held {} damaged/foreign line(s); \
+                         the affected scenarios will be recomputed",
+                        cache.path().display(),
+                        cache.rejected_lines(),
+                    );
+                }
+                Some(cache)
+            }
+            Err(e) => {
+                eprintln!("campaign: cannot open cache dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let result = match run_scenarios_with_progress(&grid, &runner, &ids, cache.as_mut(), |_, _| {})
+    {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("campaign: cache append failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     eprintln!(
-        "campaign: {} scenarios on {} threads in {:.2}s ({:.1} scenarios/s)",
+        "campaign: {} scenarios on {} threads in {:.2}s ({:.1} scenarios/s) \
+         simulated={} cache_hits={}",
         result.outcomes.len(),
         result.threads_used,
         result.wall_seconds,
         result.outcomes.len() as f64 / result.wall_seconds.max(1e-9),
+        result.simulated,
+        result.cache_hits,
     );
+
+    if let Some(spec) = opts.shard {
+        // A shard run emits a self-describing shard file, not a report: the
+        // aggregate is only exact once every shard is merged.
+        eprintln!(
+            "campaign: shard {spec} holds {} of {total} scenarios (grid {})",
+            ids.len(),
+            grid.fingerprint(),
+        );
+        let shard_text = shard_to_string(&grid, spec, &result.outcomes);
+        return write_output(&shard_text, opts.out.as_deref(), "campaign");
+    }
+
+    let report = aggregate(&grid, &result);
+    let jsonl = to_jsonl_string(&report);
 
     if opts.compare_serial {
         let serial = run_campaign(&grid, &RunnerConfig::serial());
@@ -485,22 +663,7 @@ fn main() -> ExitCode {
         );
     }
 
-    match &opts.out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &jsonl) {
-                eprintln!("campaign: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            eprintln!("campaign: wrote {path}");
-        }
-        None => {
-            let mut stdout = std::io::stdout().lock();
-            if stdout.write_all(jsonl.as_bytes()).is_err() {
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    ExitCode::SUCCESS
+    write_output(&jsonl, opts.out.as_deref(), "campaign")
 }
 
 const USAGE: &str = "\
@@ -508,11 +671,12 @@ campaign — run a qnet scenario-grid sweep
 
 USAGE:
   campaign [OPTIONS]                      run the sweep, JSONL on stdout
+  campaign --shard I/N [OPTIONS]          run one shard, shard file on stdout
+  campaign merge [--out F] SHARD...       recombine shard files into the report
   campaign --dry-run [OPTIONS]            print the grid shape and exit
 
 OPTIONS:
-  --topologies LIST  cycle:N path:N star:N complete:N torus:S grid:S
-                     rand-grid:S er:N:P ws:N:K:P tree:N   (comma-separated)
+  --topologies LIST  topology specs, comma-separated (see --list-topologies)
   --modes LIST       swap policies by name (see --list-policies)
   --dist LIST        distillation overheads, e.g. 1,2,3
   --gossip K         add a gossip knowledge axis (K peers per refresh)
@@ -524,11 +688,52 @@ OPTIONS:
   --seed N           master seed                        [1]
   --horizon S        simulated-seconds horizon          [4000]
   --threads N        worker threads                     [all cores]
-  --out FILE         write JSONL report to FILE         [stdout]
+  --cache-dir DIR    reuse cached outcomes; append new ones (incremental
+                     sweeps: a fully warm run simulates nothing)
+  --shard I/N        run shard I of an N-way deterministic partition and
+                     emit a shard file instead of the report
+  --out FILE         write JSONL report/shard to FILE   [stdout]
   --compare-serial   verify 1-thread determinism, print speedup
   --dry-run          print the grid shape and exit
   --list-policies    print the registered swap policies and exit
   --list-workloads   print the workload-spec grammar and exit
+  --list-topologies  print the topology-spec grammar and exit
+
+Determinism: cold run ≡ warm (cached) run ≡ any shard partition after
+`campaign merge` — all byte-identical JSONL reports.
+";
+
+const MERGE_USAGE: &str = "\
+campaign merge — recombine shard files into the aggregate report
+
+USAGE:
+  campaign merge [--out FILE] SHARD_FILE...
+
+Every shard file of the partition must be given exactly once, all from the
+same grid (equal fingerprints). The merged JSONL report is byte-identical
+to a single-process run of the full grid.
+";
+
+const TOPOLOGIES_HELP: &str = "\
+topology specs (--topologies LIST, comma-separated; each joins the grid's
+topology axis):
+
+  cycle:N        ring over N nodes (the paper's baseline family)
+  path:N         simple path 0 - 1 - ... - N-1
+  star:N         node 0 joined to every other node
+  complete:N     complete graph on N nodes
+  torus:S        S x S wraparound grid (N = S^2)
+  grid:S         S x S planar grid (no wraparound)
+  rand-grid:S    the paper's random connected grid over S x S nodes
+  er:N:P         Erdos-Renyi G(N, P), resampled until connected
+  ws:N:K:P       Watts-Strogatz small world: N nodes, K ring neighbours,
+                 rewire probability P
+  tree:N         uniformly random spanning tree on N nodes
+
+examples:
+
+  campaign --topologies cycle:25,rand-grid:5
+  campaign --topologies ws:25:4:0.1,ws:25:4:0.5 --modes oblivious,planned
 ";
 
 const WORKLOADS_HELP: &str = "\
@@ -558,3 +763,88 @@ examples:
   # skewed open-loop demand vs the closed-loop baseline
   campaign --workload closed:35,open-loop:1@zipf:1.1
 ";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_grid_is_the_108_scenario_sweep() {
+        let opts = parse_args(&[]).unwrap();
+        let grid = build_grid(&opts);
+        // 3 topologies × 3 modes × 2 D × 1 knowledge × 1 workload × 6
+        // replicates — the default smoke sweep CI runs.
+        assert_eq!(grid.cell_count(), 18);
+        assert_eq!(grid.scenario_count(), 108);
+    }
+
+    #[test]
+    fn unknown_mode_error_enumerates_the_registry() {
+        let err = parse_args(&args(&["--modes", "oblivious,bogus"])).unwrap_err();
+        assert!(err.contains("unknown policy 'bogus'"), "{err}");
+        // The error names the valid policies rather than failing bare.
+        for name in ["oblivious", "planned", "hybrid", "connectionless", "greedy"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_error_enumerates_the_grammar() {
+        let err = parse_args(&args(&["--workload", "bursty:3"])).unwrap_err();
+        assert!(err.contains("unknown traffic model 'bursty'"), "{err}");
+        assert!(err.contains("closed") && err.contains("open-loop"), "{err}");
+
+        let err = parse_args(&args(&["--workload", "closed:5@hot"])).unwrap_err();
+        assert!(err.contains("unknown selection '@hot'"), "{err}");
+        for name in ["@uniform", "@round-robin", "@zipf:S"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_topology_error_enumerates_the_families() {
+        let err = parse_args(&args(&["--topologies", "moebius:9"])).unwrap_err();
+        assert!(err.contains("unknown topology family 'moebius'"), "{err}");
+        for name in ["cycle", "rand-grid", "ws", "tree"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn shard_flag_parses_and_rejects_nonsense() {
+        let opts = parse_args(&args(&["--shard", "2/5"])).unwrap();
+        assert_eq!(opts.shard, Some(ShardSpec { index: 2, count: 5 }));
+        assert!(parse_args(&args(&["--shard", "5/5"])).is_err());
+        assert!(parse_args(&args(&["--shard", "x"])).is_err());
+        assert!(
+            parse_args(&args(&["--shard", "0/2", "--compare-serial"])).is_err(),
+            "--compare-serial is a full-grid check"
+        );
+    }
+
+    #[test]
+    fn cache_dir_flag_is_recorded() {
+        let opts = parse_args(&args(&["--cache-dir", "/tmp/qnet-cache"])).unwrap();
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/qnet-cache"));
+    }
+
+    #[test]
+    fn list_flags_surface_as_control_errors() {
+        assert_eq!(
+            parse_args(&args(&["--list-topologies"])).unwrap_err(),
+            "list-topologies"
+        );
+        assert_eq!(
+            parse_args(&args(&["--list-policies"])).unwrap_err(),
+            "list-policies"
+        );
+        assert_eq!(
+            parse_args(&args(&["--list-workloads"])).unwrap_err(),
+            "list-workloads"
+        );
+    }
+}

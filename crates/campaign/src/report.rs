@@ -12,7 +12,12 @@
 //! Reports serialize to JSON lines: one self-describing object per line
 //! (`"kind": "cell"` / `"ratio"` / `"campaign"`), so sweeps can be streamed,
 //! `grep`ed and diffed. All numeric content derives from seeded simulation
-//! only — byte-identical across runs and thread counts.
+//! only — byte-identical across runs and thread counts, and equally across
+//! execution modes: outcomes replayed from the [`crate::cache::OutcomeCache`]
+//! or recombined from shard files by [`crate::shard::merge_shards`] flow
+//! through this exact aggregation path (the same `RunningStats` /
+//! `ci95_half_width` machinery), so cold, warm and merged reports cannot
+//! diverge.
 
 use crate::grid::{CellKey, ScenarioGrid};
 use crate::runner::{CampaignResult, ScenarioOutcome};
@@ -302,7 +307,17 @@ pub fn overhead_ratios(cell_reports: &[CellReport]) -> Vec<OverheadRatioRow> {
 }
 
 /// Aggregate a finished campaign into its deterministic report.
+///
+/// # Panics
+/// Panics if `result` does not cover the grid densely — a single shard's
+/// result cannot be aggregated on its own; recombine the partition with
+/// [`crate::shard::merge_shards`] first.
 pub fn aggregate(grid: &ScenarioGrid, result: &CampaignResult) -> CampaignReport {
+    assert_eq!(
+        result.outcomes.len(),
+        grid.scenario_count(),
+        "aggregate needs the dense outcome vector (merge shard results first)"
+    );
     let replicates = grid.replicates as usize;
     let mut cell_reports = Vec::with_capacity(grid.cell_count());
     for cell in 0..grid.cell_count() {

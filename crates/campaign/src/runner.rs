@@ -20,9 +20,11 @@
 //! threads therefore produces byte-identical reports — the property the
 //! `campaign_determinism` tests pin down.
 
+use crate::cache::OutcomeCache;
 use crate::grid::ScenarioGrid;
 use qnet_core::experiment::{Experiment, ExperimentResult};
 use serde::{Deserialize, Serialize};
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -169,39 +171,47 @@ impl ScenarioOutcome {
     }
 }
 
-/// Everything a campaign run produced: the dense outcome vector (id order)
-/// plus execution metadata that is *not* part of the deterministic report.
+/// Everything a campaign run produced: the outcome vector (id order) plus
+/// execution metadata that is *not* part of the deterministic report.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
-    /// One outcome per scenario, in scenario-id order.
+    /// One outcome per executed scenario, in scenario-id order. A full run
+    /// is dense over `0..grid.scenario_count()`; a shard run covers only
+    /// the shard's ids.
     pub outcomes: Vec<ScenarioOutcome>,
-    /// Worker threads actually used.
+    /// Worker threads actually used (`0` when every outcome came from the
+    /// cache or a merge and nothing simulated).
     pub threads_used: usize,
     /// Wall-clock seconds the run took (informational only; never written
     /// into deterministic reports).
     pub wall_seconds: f64,
+    /// Scenarios whose `Experiment` actually executed this run.
+    pub simulated: usize,
+    /// Scenarios served from the outcome cache without simulating.
+    pub cache_hits: usize,
 }
 
-/// Execute every scenario of `grid` and return outcomes in id order.
-///
-/// Progress callback: `on_progress(done, total)` is invoked from the
-/// collector as outcomes arrive (pass `|_, _| {}` to ignore).
-pub fn run_campaign_with_progress(
+/// Execute the scenarios named by `ids` (sorted, deduplicated) in parallel
+/// and return their outcomes in the same order.
+fn execute_ids(
     grid: &ScenarioGrid,
     config: &RunnerConfig,
+    ids: &[usize],
     mut on_progress: impl FnMut(usize, usize),
-) -> CampaignResult {
-    let total = grid.scenario_count();
+) -> Vec<ScenarioOutcome> {
+    let total = ids.len();
     let threads = config.resolved_threads().min(total.max(1));
     let chunk = config.resolved_chunk(total, threads);
-    let started = std::time::Instant::now();
 
     let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
     slots.resize_with(total, || None);
 
     if total > 0 {
+        // The cursor claims positions in `ids`, not raw scenario ids, so
+        // chunks stay contiguous (and cache-friendly) even for strided
+        // shard id sets.
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<ScenarioOutcome>();
+        let (tx, rx) = mpsc::channel::<(usize, ScenarioOutcome)>();
 
         thread::scope(|scope| {
             for _ in 0..threads {
@@ -213,7 +223,7 @@ pub fn run_campaign_with_progress(
                         return;
                     }
                     let end = (start + chunk).min(total);
-                    for id in start..end {
+                    for (pos, &id) in ids.iter().enumerate().take(end).skip(start) {
                         let scenario = grid.scenario(id);
                         let result = Experiment::new(scenario.config).run();
                         let outcome = ScenarioOutcome::from_result(
@@ -224,7 +234,7 @@ pub fn run_campaign_with_progress(
                             scenario.config.workload.is_open_loop(),
                             &result,
                         );
-                        if tx.send(outcome).is_err() {
+                        if tx.send((pos, outcome)).is_err() {
                             return;
                         }
                     }
@@ -233,32 +243,142 @@ pub fn run_campaign_with_progress(
             drop(tx);
 
             let mut done = 0usize;
-            while let Ok(outcome) = rx.recv() {
-                let id = outcome.id;
-                debug_assert!(slots[id].is_none(), "duplicate outcome for scenario {id}");
-                slots[id] = Some(outcome);
+            while let Ok((pos, outcome)) = rx.recv() {
+                debug_assert!(
+                    slots[pos].is_none(),
+                    "duplicate outcome for scenario {}",
+                    outcome.id
+                );
+                slots[pos] = Some(outcome);
                 done += 1;
                 on_progress(done, total);
             }
         });
     }
 
-    let outcomes: Vec<ScenarioOutcome> = slots
+    slots
         .into_iter()
         .enumerate()
-        .map(|(id, slot)| slot.unwrap_or_else(|| panic!("scenario {id} produced no outcome")))
+        .map(|(pos, slot)| {
+            slot.unwrap_or_else(|| panic!("scenario {} produced no outcome", ids[pos]))
+        })
+        .collect()
+}
+
+/// Run the scenarios named by `ids` (must be strictly increasing and in
+/// range), consulting `cache` before simulating and appending fresh
+/// outcomes to it afterwards. The returned outcomes follow the order of
+/// `ids`; cache hits skip the `Experiment` entirely.
+///
+/// Progress callback: `on_progress(done, total)` counts every requested
+/// scenario, with cache hits reported as instantly done.
+pub fn run_scenarios_with_progress(
+    grid: &ScenarioGrid,
+    config: &RunnerConfig,
+    ids: &[usize],
+    mut cache: Option<&mut OutcomeCache>,
+    mut on_progress: impl FnMut(usize, usize),
+) -> io::Result<CampaignResult> {
+    let scenario_count = grid.scenario_count();
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "scenario ids must be strictly increasing"
+    );
+    assert!(
+        ids.last().is_none_or(|&last| last < scenario_count),
+        "scenario id out of range"
+    );
+    let started = std::time::Instant::now();
+    let total = ids.len();
+
+    let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
+    slots.resize_with(total, || None);
+    let mut misses: Vec<usize> = Vec::new();
+    let mut miss_positions: Vec<usize> = Vec::new();
+    if let Some(cache) = cache.as_deref() {
+        for (pos, &id) in ids.iter().enumerate() {
+            match cache.get(id) {
+                Some(outcome) => slots[pos] = Some(outcome.clone()),
+                None => {
+                    misses.push(id);
+                    miss_positions.push(pos);
+                }
+            }
+        }
+    } else {
+        misses.extend_from_slice(ids);
+        miss_positions.extend(0..total);
+    }
+    let cache_hits = total - misses.len();
+    let mut done = cache_hits;
+    if done > 0 {
+        on_progress(done, total);
+    }
+
+    let fresh = execute_ids(grid, config, &misses, |_, _| {
+        done += 1;
+        on_progress(done, total);
+    });
+    if let Some(cache) = &mut cache {
+        cache.append(&fresh)?;
+    }
+    let simulated = fresh.len();
+    for (pos, outcome) in miss_positions.into_iter().zip(fresh) {
+        slots[pos] = Some(outcome);
+    }
+
+    let outcomes: Vec<ScenarioOutcome> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every requested scenario has an outcome"))
         .collect();
 
-    CampaignResult {
+    // Worker threads actually spawned: execute_ids caps at one per miss,
+    // and a fully-cached run spawns none.
+    let threads_used = if simulated == 0 {
+        0
+    } else {
+        config.resolved_threads().min(simulated)
+    };
+    Ok(CampaignResult {
         outcomes,
-        threads_used: threads,
+        threads_used,
         wall_seconds: started.elapsed().as_secs_f64(),
-    }
+        simulated,
+        cache_hits,
+    })
+}
+
+/// Execute every scenario of `grid` and return outcomes in id order.
+///
+/// Progress callback: `on_progress(done, total)` is invoked from the
+/// collector as outcomes arrive (pass `|_, _| {}` to ignore).
+pub fn run_campaign_with_progress(
+    grid: &ScenarioGrid,
+    config: &RunnerConfig,
+    on_progress: impl FnMut(usize, usize),
+) -> CampaignResult {
+    let ids: Vec<usize> = (0..grid.scenario_count()).collect();
+    run_scenarios_with_progress(grid, config, &ids, None, on_progress)
+        .expect("cacheless runs perform no I/O")
 }
 
 /// [`run_campaign_with_progress`] without a progress callback.
 pub fn run_campaign(grid: &ScenarioGrid, config: &RunnerConfig) -> CampaignResult {
     run_campaign_with_progress(grid, config, |_, _| {})
+}
+
+/// Run the full grid through an outcome cache: scenarios already cached are
+/// served without simulating, fresh outcomes are appended to the cache, and
+/// the aggregate report is byte-identical to an uncached run. A fully warm
+/// cache makes this a zero-simulation replay (`simulated == 0`).
+pub fn run_campaign_cached(
+    grid: &ScenarioGrid,
+    config: &RunnerConfig,
+    cache: &mut OutcomeCache,
+    on_progress: impl FnMut(usize, usize),
+) -> io::Result<CampaignResult> {
+    let ids: Vec<usize> = (0..grid.scenario_count()).collect();
+    run_scenarios_with_progress(grid, config, &ids, Some(cache), on_progress)
 }
 
 #[cfg(test)]
@@ -351,6 +471,79 @@ mod tests {
             open_with_latency > 0,
             "open-loop cells must satisfy requests"
         );
+    }
+
+    #[test]
+    fn subset_runs_return_outcomes_in_id_order() {
+        let grid = tiny_grid(3);
+        let full = run_campaign(&grid, &RunnerConfig::serial());
+        assert_eq!(full.simulated, grid.scenario_count());
+        assert_eq!(full.cache_hits, 0);
+        let ids = [1usize, 2, 5];
+        let subset =
+            run_scenarios_with_progress(&grid, &RunnerConfig::serial(), &ids, None, |_, _| {})
+                .unwrap();
+        assert_eq!(subset.outcomes.len(), 3);
+        for (pos, &id) in ids.iter().enumerate() {
+            assert_eq!(subset.outcomes[pos], full.outcomes[id]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_id_sets_are_rejected() {
+        let grid = tiny_grid(1);
+        let _ =
+            run_scenarios_with_progress(&grid, &RunnerConfig::serial(), &[2, 1], None, |_, _| {});
+    }
+
+    #[test]
+    fn warm_cache_runs_simulate_nothing_and_match_cold_runs() {
+        let dir =
+            std::env::temp_dir().join(format!("qnet-runner-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid(2);
+        let uncached = run_campaign(&grid, &RunnerConfig::serial());
+
+        let mut cache = crate::cache::OutcomeCache::open(&dir, &grid).unwrap();
+        let cold =
+            run_campaign_cached(&grid, &RunnerConfig::serial(), &mut cache, |_, _| {}).unwrap();
+        assert_eq!(cold.simulated, grid.scenario_count());
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.outcomes, uncached.outcomes);
+
+        // A fresh cache handle replays the run from disk: zero simulations,
+        // identical outcomes.
+        let mut warm_cache = crate::cache::OutcomeCache::open(&dir, &grid).unwrap();
+        let mut progress = Vec::new();
+        let warm = run_campaign_cached(&grid, &RunnerConfig::serial(), &mut warm_cache, |d, t| {
+            progress.push((d, t))
+        })
+        .unwrap();
+        assert_eq!(warm.simulated, 0, "warm runs must not simulate");
+        assert_eq!(warm.cache_hits, grid.scenario_count());
+        assert_eq!(warm.outcomes, uncached.outcomes);
+        assert_eq!(
+            progress,
+            vec![(grid.scenario_count(), grid.scenario_count())]
+        );
+
+        // A cached subset run is served entirely from the warm cache.
+        let mut partial = crate::cache::OutcomeCache::open(&dir, &grid).unwrap();
+        let half: Vec<usize> = (0..grid.scenario_count())
+            .filter(|id| id % 2 == 0)
+            .collect();
+        let half_run = run_scenarios_with_progress(
+            &grid,
+            &RunnerConfig::serial(),
+            &half,
+            Some(&mut partial),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(half_run.simulated, 0);
+        assert_eq!(half_run.cache_hits, half.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -58,7 +58,88 @@
 //! report on stdout and a human summary (with an optional serial-vs-parallel
 //! determinism check) on stderr. `campaign --list-policies` prints every
 //! swapping discipline in the registry; `campaign --list-workloads` prints
-//! the workload-spec grammar (e.g. `--workload open-loop:2@zipf:1.1`).
+//! the workload-spec grammar (e.g. `--workload open-loop:2@zipf:1.1`);
+//! `campaign --list-topologies` prints the topology-spec grammar.
+//!
+//! ## Running sharded and incremental campaigns
+//!
+//! Scenario seeds derive from `(master seed, environment, replicate)`, so
+//! every outcome is a pure function of its grid cell. Two consequences,
+//! both keyed by [`campaign::ScenarioGrid::fingerprint`] (a stable hash of
+//! every axis, the master seed and the run parameters):
+//!
+//! * **Incremental sweeps** — [`campaign::OutcomeCache`] persists outcomes
+//!   as append-only JSONL (`<cache-dir>/outcomes-<fingerprint>.jsonl`);
+//!   [`campaign::run_campaign_cached`] consults it before simulating and
+//!   appends after, so re-running a grid replays cached scenarios without
+//!   executing a single `Experiment`, and damaged cache lines are rejected
+//!   and recomputed rather than trusted.
+//! * **Sharded execution** — [`campaign::ShardSpec`] `I/N` partitions the
+//!   scenario ids deterministically (`id % N == I`); each shard writes a
+//!   self-describing file ([`campaign::write_shard`]) and
+//!   [`campaign::merge_shards`] recombines any complete partition into the
+//!   exact single-process result.
+//!
+//! The contract throughout is **byte-identity**: a cold run, a warm
+//! fully-cached run, and any shard partition after merging produce the
+//! same JSONL report, byte for byte. On the CLI this is
+//! `campaign --cache-dir DIR`, `campaign --shard I/N` and
+//! `campaign merge shard-*.jsonl`; the run summary's `simulated=`/
+//! `cache_hits=` counters show what actually executed.
+//!
+//! ```
+//! use qnet::campaign::{
+//!     aggregate, merge_shards, read_shard, run_campaign_cached, run_scenarios_with_progress,
+//!     shard_to_string, to_jsonl_string, OutcomeCache, RunnerConfig, ScenarioGrid, ShardSpec,
+//! };
+//! use qnet::prelude::*;
+//!
+//! let grid = ScenarioGrid::new(7)
+//!     .with_topologies(vec![Topology::Cycle { nodes: 5 }])
+//!     .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
+//!     .with_workloads(vec![WorkloadSpec::closed_loop(0, 4, 4)])
+//!     .with_replicates(2)
+//!     .with_horizon_s(300.0);
+//!
+//! // Cold run: simulate everything, filling the cache.
+//! let dir = std::env::temp_dir().join(format!("qnet-doc-cache-{}", std::process::id()));
+//! let mut cache = OutcomeCache::open(&dir, &grid)?;
+//! let cold = run_campaign_cached(&grid, &RunnerConfig::serial(), &mut cache, |_, _| {})?;
+//! assert_eq!(cold.simulated, grid.scenario_count());
+//!
+//! // Warm run: zero simulations, byte-identical report.
+//! let mut warm_cache = OutcomeCache::open(&dir, &grid)?;
+//! let warm = run_campaign_cached(&grid, &RunnerConfig::serial(), &mut warm_cache, |_, _| {})?;
+//! assert_eq!(warm.simulated, 0);
+//! assert_eq!(
+//!     to_jsonl_string(&aggregate(&grid, &cold)),
+//!     to_jsonl_string(&aggregate(&grid, &warm)),
+//! );
+//!
+//! // Shard 2 ways (each shard could run on a different host), merge, and
+//! // get the same bytes again.
+//! let shards: Vec<_> = (0..2)
+//!     .map(|i| {
+//!         let spec = ShardSpec::new(i, 2).expect("valid shard");
+//!         let run = run_scenarios_with_progress(
+//!             &grid,
+//!             &RunnerConfig::serial(),
+//!             &spec.ids(grid.scenario_count()),
+//!             None,
+//!             |_, _| {},
+//!         )
+//!         .expect("no cache I/O");
+//!         read_shard(&shard_to_string(&grid, spec, &run.outcomes)).expect("round-trips")
+//!     })
+//!     .collect();
+//! let (merged_grid, merged) = merge_shards(shards).expect("complete partition");
+//! assert_eq!(
+//!     to_jsonl_string(&aggregate(&merged_grid, &merged)),
+//!     to_jsonl_string(&aggregate(&grid, &cold)),
+//! );
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 //!
 //! ## Writing a workload
 //!

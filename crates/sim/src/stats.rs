@@ -351,6 +351,82 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_with_empty_stays_empty() {
+        let mut a = RunningStats::new();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.ci95_half_width(), None);
+        // Still usable after the no-op merge: recording proceeds normally.
+        a.record(7.0);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 7.0);
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_and_back_are_bit_identical() {
+        // empty⊕x and x⊕empty must both reproduce x exactly (merge takes
+        // the copy/early-return paths, so this is bit-equality, not just
+        // approximate equality).
+        let mut x = RunningStats::new();
+        for v in [1.5, -2.25, 8.0] {
+            x.record(v);
+        }
+        let mut left = RunningStats::new();
+        left.merge(&x);
+        let mut right = x;
+        right.merge(&RunningStats::new());
+        for merged in [left, right] {
+            assert_eq!(merged.count(), x.count());
+            assert_eq!(merged.mean().to_bits(), x.mean().to_bits());
+            assert_eq!(merged.variance().to_bits(), x.variance().to_bits());
+            assert_eq!(merged.min(), x.min());
+            assert_eq!(merged.max(), x.max());
+        }
+    }
+
+    #[test]
+    fn merge_single_sample_sides() {
+        // singleton ⊕ singleton: two-sample statistics in closed form.
+        let mut a = RunningStats::new();
+        a.record(2.0);
+        let mut b = RunningStats::new();
+        b.record(6.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+        assert!((a.variance() - 8.0).abs() < 1e-12); // ((2-4)² + (6-4)²)/1
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(6.0));
+        assert!(a.ci95_half_width().unwrap() > 0.0);
+
+        // singleton ⊕ many and many ⊕ singleton agree with sequential
+        // recording to floating-point tolerance.
+        let xs = [4.0, 5.0, 7.0, 9.0];
+        let mut seq = RunningStats::new();
+        seq.record(2.0);
+        xs.iter().for_each(|&x| seq.record(x));
+        let mut single = RunningStats::new();
+        single.record(2.0);
+        let mut many = RunningStats::new();
+        xs.iter().for_each(|&x| many.record(x));
+        let mut single_many = single;
+        single_many.merge(&many);
+        let mut many_single = many;
+        many_single.merge(&single);
+        for merged in [single_many, many_single] {
+            assert_eq!(merged.count(), seq.count());
+            assert!((merged.mean() - seq.mean()).abs() < 1e-12);
+            assert!((merged.variance() - seq.variance()).abs() < 1e-12);
+            assert_eq!(merged.min(), seq.min());
+            assert_eq!(merged.max(), seq.max());
+        }
+    }
+
+    #[test]
     fn ci95_shrinks_with_samples() {
         let mut a = RunningStats::new();
         a.record(1.0);

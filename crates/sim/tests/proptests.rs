@@ -113,6 +113,91 @@ proptest! {
         prop_assert!(s.mean() >= min - 1e-6 && s.mean() <= max + 1e-6);
     }
 
+    /// Shard-merge invariance: folding per-partition statistics left-to-right
+    /// and merging them as a balanced tree must agree on every reported
+    /// figure — exactly for counts/min/max, within a few ULPs for
+    /// mean/variance (Chan's combination is not bit-associative), and to
+    /// f64 bit-equality once rendered at the report's display precision —
+    /// over random samples and random partition boundaries. This is the
+    /// property that lets shard statistics recombine in any grouping.
+    #[test]
+    fn merge_order_never_changes_the_reported_statistics(
+        xs in proptest::collection::vec(-1.0e3f64..1.0e3, 0..48),
+        raw_cuts in proptest::collection::vec(0usize..48, 0..6),
+    ) {
+        // Random partition of xs into contiguous parts.
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|&c| c.min(xs.len())).collect();
+        cuts.push(0);
+        cuts.push(xs.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let parts: Vec<RunningStats> = cuts
+            .windows(2)
+            .map(|w| {
+                let mut s = RunningStats::new();
+                xs[w[0]..w[1]].iter().for_each(|&x| s.record(x));
+                s
+            })
+            .collect();
+
+        // Left fold over the parts, in order.
+        let mut left_fold = RunningStats::new();
+        for part in &parts {
+            left_fold.merge(part);
+        }
+        // Balanced tree: pairwise-merge rounds until one remains.
+        let mut round = parts.clone();
+        while round.len() > 1 {
+            round = round
+                .chunks(2)
+                .map(|pair| {
+                    let mut merged = pair[0];
+                    if let Some(right) = pair.get(1) {
+                        merged.merge(right);
+                    }
+                    merged
+                })
+                .collect();
+        }
+        let tree = round.pop().unwrap_or_default();
+
+        prop_assert_eq!(left_fold.count(), tree.count());
+        prop_assert_eq!(left_fold.count(), xs.len() as u64);
+        // Chan's combination is not bit-associative, so the two groupings
+        // may differ in the last ~floating-point digit relative to the
+        // sample scale — but never more.
+        let scale = xs.iter().fold(1.0f64, |acc, &x| acc.max(x.abs()));
+        prop_assert!(
+            (left_fold.mean() - tree.mean()).abs() <= 1e-12 * scale,
+            "means diverge beyond rounding: {} vs {}",
+            left_fold.mean(),
+            tree.mean()
+        );
+        prop_assert!(
+            (left_fold.variance() - tree.variance()).abs() <= 1e-11 * scale * scale,
+            "variances diverge beyond rounding: {} vs {}",
+            left_fold.variance(),
+            tree.variance()
+        );
+        // Bit-equality of the final report formatting: rendered at the
+        // report's display precision, both groupings produce identical
+        // strings. (Gated away from exact cancellation, where a tiny mean
+        // is pure rounding noise with no stable digits to format.)
+        if left_fold.mean().abs() > 1e-9 * scale {
+            prop_assert_eq!(
+                format!("{:.6e}", left_fold.mean()),
+                format!("{:.6e}", tree.mean())
+            );
+        }
+        prop_assert_eq!(
+            format!("{:.6e}", left_fold.variance()),
+            format!("{:.6e}", tree.variance())
+        );
+        // Min/max and counts merge exactly in any order.
+        prop_assert_eq!(left_fold.min(), tree.min());
+        prop_assert_eq!(left_fold.max(), tree.max());
+    }
+
     /// Histogram: total count equals the number of observations and the
     /// quantiles are within the configured range and monotone.
     #[test]
