@@ -255,6 +255,11 @@ mod tests {
             latency_mean_s: None,
             latency_p50_s: None,
             latency_p95_s: None,
+            fidelity_mean: None,
+            fidelity_p50: None,
+            fidelity_p95: None,
+            expired_pairs: 0,
+            fidelity_rejected: 0,
         }
     }
 

@@ -26,11 +26,12 @@
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::config::{DistillationSpec, NetworkConfig};
 use qnet_core::experiment::ExperimentConfig;
+use qnet_core::physics::PhysicsModel;
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
 use qnet_quantum::decoherence::DecoherenceModel;
 use qnet_topology::Topology;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One fully resolved cell of the grid: every axis pinned to a value.
 ///
@@ -63,6 +64,9 @@ pub struct CellKey {
     pub discipline: PairSelection,
     /// Memory coherence time in seconds (`None` = ideal memories).
     pub coherence_time_s: Option<f64>,
+    /// The link-physics model, for decoherent cells (`None` = ideal
+    /// physics, omitted from JSON so legacy reports keep their bytes).
+    pub physics: Option<PhysicsModel>,
     /// The traffic model, for open-loop cells (`None` = closed-loop batch,
     /// omitted from JSON so legacy reports keep their bytes).
     pub traffic: Option<TrafficModel>,
@@ -85,6 +89,9 @@ impl Serialize for CellKey {
                 self.coherence_time_s.to_value(),
             ),
         ];
+        if let Some(physics) = &self.physics {
+            entries.push(("physics".to_string(), physics.to_value()));
+        }
         if let Some(traffic) = &self.traffic {
             entries.push(("traffic".to_string(), traffic.to_value()));
         }
@@ -173,8 +180,13 @@ impl Deserialize for GridFingerprint {
 /// axes plus the master seed and run parameters) — the descriptor embedded
 /// in shard files so `campaign merge` can re-derive cell keys and verify
 /// that every shard ran the same sweep. [`ScenarioGrid::fingerprint`]
-/// hashes exactly this serialization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// hashes exactly this serialization. The `physics` axis is emitted only
+/// when it differs from the all-ideal default (manual impls below), so
+/// pre-physics grids keep their exact canonical JSON — and therefore their
+/// fingerprints, cache files and shard files — while any grid that sweeps
+/// physics necessarily gets a distinct fingerprint (the cache-poisoning
+/// guard for the new axis).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGrid {
     /// Topology axis (outermost loop).
     pub topologies: Vec<Topology>,
@@ -184,8 +196,12 @@ pub struct ScenarioGrid {
     pub distillations: Vec<f64>,
     /// Knowledge-model axis.
     pub knowledge: Vec<KnowledgeModel>,
-    /// Memory coherence-time axis (`None` = ideal memories).
+    /// Memory coherence-time axis (`None` = ideal memories). Affects only
+    /// the static [`NetworkConfig::decoherence`] field; live pair decay is
+    /// driven by the `physics` axis.
     pub coherence_times_s: Vec<Option<f64>>,
+    /// Link-physics axis (`PhysicsModel::Ideal` = today's token model).
+    pub physics: Vec<PhysicsModel>,
     /// Consumer pairs / request counts; `node_count` is patched per
     /// topology at expansion time.
     pub workloads: Vec<WorkloadSpec>,
@@ -201,6 +217,65 @@ pub struct ScenarioGrid {
     pub swap_scan_rate: f64,
 }
 
+impl Serialize for ScenarioGrid {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("topologies".to_string(), self.topologies.to_value()),
+            ("modes".to_string(), self.modes.to_value()),
+            ("distillations".to_string(), self.distillations.to_value()),
+            ("knowledge".to_string(), self.knowledge.to_value()),
+            (
+                "coherence_times_s".to_string(),
+                self.coherence_times_s.to_value(),
+            ),
+        ];
+        // The physics axis joins the canonical form only when it actually
+        // sweeps something: pre-physics grids keep their fingerprints.
+        if self.physics != vec![PhysicsModel::Ideal] {
+            entries.push(("physics".to_string(), self.physics.to_value()));
+        }
+        entries.extend([
+            ("workloads".to_string(), self.workloads.to_value()),
+            ("replicates".to_string(), self.replicates.to_value()),
+            ("master_seed".to_string(), self.master_seed.to_value()),
+            ("max_sim_time_s".to_string(), self.max_sim_time_s.to_value()),
+            (
+                "generation_rate".to_string(),
+                self.generation_rate.to_value(),
+            ),
+            ("swap_scan_rate".to_string(), self.swap_scan_rate.to_value()),
+        ]);
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ScenarioGrid {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("ScenarioGrid object", value));
+        }
+        let field = |name: &str| value.get_field(name).unwrap_or(&Value::Null);
+        let physics = match field("physics") {
+            Value::Null => vec![PhysicsModel::Ideal],
+            v => Deserialize::from_value(v)?,
+        };
+        Ok(ScenarioGrid {
+            topologies: Deserialize::from_value(field("topologies"))?,
+            modes: Deserialize::from_value(field("modes"))?,
+            distillations: Deserialize::from_value(field("distillations"))?,
+            knowledge: Deserialize::from_value(field("knowledge"))?,
+            coherence_times_s: Deserialize::from_value(field("coherence_times_s"))?,
+            physics,
+            workloads: Deserialize::from_value(field("workloads"))?,
+            replicates: Deserialize::from_value(field("replicates"))?,
+            master_seed: Deserialize::from_value(field("master_seed"))?,
+            max_sim_time_s: Deserialize::from_value(field("max_sim_time_s"))?,
+            generation_rate: Deserialize::from_value(field("generation_rate"))?,
+            swap_scan_rate: Deserialize::from_value(field("swap_scan_rate"))?,
+        })
+    }
+}
+
 impl ScenarioGrid {
     /// A grid with the paper's §5 defaults on every axis: one cycle-9
     /// topology, oblivious mode, `D = 1`, global knowledge, ideal memories,
@@ -212,6 +287,7 @@ impl ScenarioGrid {
             distillations: vec![1.0],
             knowledge: vec![KnowledgeModel::Global],
             coherence_times_s: vec![None],
+            physics: vec![PhysicsModel::Ideal],
             workloads: vec![WorkloadSpec::paper_default(9)],
             replicates: 1,
             master_seed,
@@ -257,13 +333,41 @@ impl ScenarioGrid {
     }
 
     /// Builder: set the coherence-time axis (`None` = ideal memories).
+    /// This axis sets only the *static* [`NetworkConfig::decoherence`]
+    /// field (the LP extensions); live pair decay comes from the physics
+    /// axis, whose models carry their own coherence times. Combining a
+    /// non-trivial coherence axis with decoherent physics would fork seeds
+    /// and report rows for cells that simulate identically, so the
+    /// builders refuse the combination.
     pub fn with_coherence_times(mut self, ts: impl Into<Vec<Option<f64>>>) -> Self {
         self.coherence_times_s = ts.into();
         assert!(
             !self.coherence_times_s.is_empty(),
             "coherence-time axis cannot be empty"
         );
+        self.assert_coherence_physics_disjoint();
         self
+    }
+
+    /// Builder: set the link-physics axis.
+    pub fn with_physics(mut self, ps: impl Into<Vec<PhysicsModel>>) -> Self {
+        self.physics = ps.into();
+        assert!(!self.physics.is_empty(), "physics axis cannot be empty");
+        self.assert_coherence_physics_disjoint();
+        self
+    }
+
+    /// A non-trivial coherence-time axis alongside decoherent physics
+    /// would sweep a knob the decoherent cells ignore (their models carry
+    /// their own coherence times), forking seeds and report rows for
+    /// identical simulations — refuse it at construction.
+    fn assert_coherence_physics_disjoint(&self) {
+        assert!(
+            self.coherence_times_s.iter().all(Option::is_none)
+                || self.physics.iter().all(PhysicsModel::is_ideal),
+            "a non-trivial coherence-time axis cannot combine with decoherent physics \
+             (decoherent models carry their own coherence times; sweep --physics instead)"
+        );
     }
 
     /// Builder: set the workload axis.
@@ -327,6 +431,7 @@ impl ScenarioGrid {
             * self.distillations.len()
             * self.knowledge.len()
             * self.coherence_times_s.len()
+            * self.physics.len()
             * self.workloads.len()
     }
 
@@ -346,28 +451,32 @@ impl ScenarioGrid {
         f64,
         KnowledgeModel,
         Option<f64>,
+        PhysicsModel,
         WorkloadSpec,
     ) {
-        let [t, m, d, k, c, w] = self.decode_cell(cell);
+        let [t, m, d, k, c, p, w] = self.decode_cell(cell);
         (
             self.topologies[t],
             self.modes[m],
             self.distillations[d],
             self.knowledge[k],
             self.coherence_times_s[c],
+            self.physics[p],
             self.workloads[w],
         )
     }
 
     /// Row-major decode of a cell index into per-axis indices, ordered
-    /// `[topology, mode, distillation, knowledge, coherence, workload]`
-    /// (topology outermost). The single source of truth for the expansion
-    /// order — both the axis lookup and the environment index derive from
-    /// it.
-    fn decode_cell(&self, cell: usize) -> [usize; 6] {
+    /// `[topology, mode, distillation, knowledge, coherence, physics,
+    /// workload]` (topology outermost). The single source of truth for the
+    /// expansion order — both the axis lookup and the environment index
+    /// derive from it.
+    fn decode_cell(&self, cell: usize) -> [usize; 7] {
         let mut rest = cell;
         let w = rest % self.workloads.len();
         rest /= self.workloads.len();
+        let p = rest % self.physics.len();
+        rest /= self.physics.len();
         let c = rest % self.coherence_times_s.len();
         rest /= self.coherence_times_s.len();
         let k = rest % self.knowledge.len();
@@ -378,12 +487,12 @@ impl ScenarioGrid {
         rest /= self.modes.len();
         let t = rest;
         assert!(t < self.topologies.len(), "cell index out of range");
-        [t, m, d, k, c, w]
+        [t, m, d, k, c, p, w]
     }
 
     /// The *environment* index of a cell: its coordinates along the axes
     /// that define the simulated world (topology, distillation, coherence,
-    /// workload), excluding the protocol axes (mode, knowledge).
+    /// physics, workload), excluding the protocol axes (mode, knowledge).
     ///
     /// Scenario seeds derive from this index, so cells that differ only in
     /// protocol run on **identical graph instances, workloads and arrival
@@ -391,15 +500,18 @@ impl ScenarioGrid {
     /// on the same worlds, matching how the serial figure pipeline pairs
     /// seeds across modes.
     fn environment_index(&self, cell: usize) -> u64 {
-        let [t, _m, d, _k, c, w] = self.decode_cell(cell);
-        (((t * self.distillations.len() + d) * self.coherence_times_s.len() + c)
+        let [t, _m, d, _k, c, p, w] = self.decode_cell(cell);
+        ((((t * self.distillations.len() + d) * self.coherence_times_s.len() + c)
+            * self.physics.len()
+            + p)
             * self.workloads.len()
             + w) as u64
     }
 
     /// The report key of cell `cell`.
     pub fn cell_key(&self, cell: usize) -> CellKey {
-        let (topology, mode, distillation, knowledge, coherence, workload) = self.cell_axes(cell);
+        let (topology, mode, distillation, knowledge, coherence, physics, workload) =
+            self.cell_axes(cell);
         CellKey {
             cell,
             topology: topology.label(),
@@ -411,6 +523,7 @@ impl ScenarioGrid {
             requests: workload.nominal_requests(),
             discipline: workload.selection,
             coherence_time_s: coherence,
+            physics: (!physics.is_ideal()).then_some(physics),
             traffic: workload.is_open_loop().then_some(workload.traffic),
         }
     }
@@ -429,7 +542,7 @@ impl ScenarioGrid {
         let replicates = self.replicates as usize;
         let cell = id / replicates;
         let replicate = (id % replicates) as u32;
-        let (topology, mode, distillation, knowledge, coherence, mut workload) =
+        let (topology, mode, distillation, knowledge, coherence, physics, mut workload) =
             self.cell_axes(cell);
 
         let seed = derive_seed(
@@ -446,6 +559,9 @@ impl ScenarioGrid {
             .with_distillation(DistillationSpec::Uniform(distillation));
         if let Some(t) = coherence {
             network.decoherence = DecoherenceModel::with_coherence_time(t);
+        }
+        if !physics.is_ideal() {
+            network = network.with_physics(physics);
         }
 
         Scenario {
@@ -547,6 +663,7 @@ mod tests {
                 let same_env = ka.topology == kb.topology
                     && ka.distillation == kb.distillation
                     && ka.coherence_time_s == kb.coherence_time_s
+                    && ka.physics == kb.physics
                     && ka.consumer_pairs == kb.consumer_pairs
                     && ka.requests == kb.requests
                     && ka.discipline == kb.discipline
@@ -654,6 +771,101 @@ mod tests {
             base,
             "workload axis"
         );
+        assert_ne!(
+            small_grid()
+                .with_physics(vec![PhysicsModel::decoherent(1.0)])
+                .fingerprint(),
+            base,
+            "physics axis"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn coherence_axis_cannot_combine_with_decoherent_physics() {
+        // The static coherence axis is ignored by decoherent cells (their
+        // physics carries its own T2); sweeping both would fork seeds for
+        // identical simulations.
+        let _ = small_grid()
+            .with_physics(vec![PhysicsModel::decoherent(0.5)])
+            .with_coherence_times(vec![None, Some(5.0)]);
+    }
+
+    #[test]
+    fn physics_axis_moves_the_fingerprint_and_cache_key() {
+        // The cache-poisoning guard for the new axis: two grids identical
+        // in every respect except the physics model must content-address
+        // different outcome sets.
+        let ideal = small_grid();
+        let decoherent = small_grid().with_physics(vec![PhysicsModel::decoherent(0.5)]);
+        assert_ne!(ideal.fingerprint(), decoherent.fingerprint());
+        // Even two decoherent variants that differ only in a knob diverge.
+        let floored =
+            small_grid().with_physics(vec![PhysicsModel::decoherent(0.5).with_fidelity_floor(0.7)]);
+        assert_ne!(decoherent.fingerprint(), floored.fingerprint());
+        // And the all-ideal axis is canonical: it serializes identically to
+        // a pre-physics grid (no `physics` key), so legacy fingerprints —
+        // and therefore legacy cache and shard files — remain valid.
+        assert!(ideal.to_value().get_field("physics").is_none());
+        assert!(decoherent.to_value().get_field("physics").is_some());
+    }
+
+    #[test]
+    fn physics_axis_expands_and_seeds_like_an_environment_axis() {
+        let g = small_grid()
+            .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED])
+            .with_physics(vec![PhysicsModel::Ideal, PhysicsModel::decoherent(1.0)]);
+        assert_eq!(g.cell_count(), 2 * 2 * 2 * 2);
+        // Ideal cells omit the key's physics; decoherent cells carry it.
+        let ideal_cells = (0..g.cell_count())
+            .map(|c| g.cell_key(c))
+            .filter(|k| k.physics.is_none())
+            .count();
+        assert_eq!(ideal_cells, g.cell_count() / 2);
+        // The physics axis is part of the environment: two cells that
+        // differ only in physics get distinct seeds; two cells that differ
+        // only in mode share them.
+        let mut mode_pairs = 0;
+        let mut physics_pairs = 0;
+        for a in g.scenarios() {
+            for b in g.scenarios() {
+                let (ka, kb) = (g.cell_key(a.cell), g.cell_key(b.cell));
+                if a.replicate != b.replicate || a.cell == b.cell {
+                    continue;
+                }
+                let same_world_except_physics = ka.topology == kb.topology
+                    && ka.distillation == kb.distillation
+                    && ka.coherence_time_s == kb.coherence_time_s
+                    && ka.consumer_pairs == kb.consumer_pairs
+                    && ka.requests == kb.requests
+                    && ka.discipline == kb.discipline;
+                if !same_world_except_physics {
+                    continue;
+                }
+                if ka.mode != kb.mode && ka.physics == kb.physics {
+                    assert_eq!(a.seed, b.seed, "mode must not move the seed");
+                    mode_pairs += 1;
+                }
+                if ka.mode == kb.mode && ka.physics != kb.physics {
+                    assert_ne!(a.seed, b.seed, "physics must move the seed");
+                    physics_pairs += 1;
+                }
+            }
+        }
+        assert!(
+            mode_pairs > 0 && physics_pairs > 0,
+            "pairing is non-trivial"
+        );
+        // Decoherent scenarios carry the physics into the network config.
+        let decoherent = g
+            .scenarios()
+            .find(|s| !s.config.network.physics.is_ideal())
+            .expect("half the grid is decoherent");
+        assert_eq!(
+            decoherent.config.network.physics,
+            PhysicsModel::decoherent(1.0)
+        );
+        assert_eq!(decoherent.config.network.decoherence.coherence_time_s, 1.0);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! 1. **Declare** a [`ScenarioGrid`]: the cartesian product of topology
 //!    families, swap policies (by registry name — see
 //!    [`qnet_core::policy`]), distillation overheads, knowledge models,
-//!    coherence times and workload specs, × a replicate count. The grid
+//!    coherence times, link-physics models (see [`qnet_core::physics`])
+//!    and workload specs, × a replicate count. The grid
 //!    expands into dense, deterministic [`Scenario`]s whose RNG seeds
 //!    derive from `(master seed, cell, replicate)`.
 //! 2. **Execute** with [`run_campaign`]: a chunked `std::thread` pool claims

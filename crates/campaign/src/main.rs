@@ -10,6 +10,9 @@
 //!   --modes LIST        swap policies by registry name (default:
 //!                       oblivious,planned,hybrid); see --list-policies
 //!   --dist LIST         distillation overheads (default: 1,2)
+//!   --physics LIST      link-physics axis specs: ideal and/or
+//!                       decoherent:T2[:FLOOR] (default: ideal); see
+//!                       --list-physics
 //!   --gossip K          add a gossip knowledge axis with K peers/refresh
 //!   --pairs N           consumer pairs per workload (default: 10)
 //!   --requests N        requests per run (default: 12)
@@ -33,6 +36,7 @@
 //!   --list-policies     print the registered swap policies and exit without running
 //!   --list-workloads    print the workload-spec grammar and exit
 //!   --list-topologies   print the topology-spec grammar and exit
+//!   --list-physics      print the physics-spec grammar and exit
 //! ```
 //!
 //! The JSON-lines report goes to stdout (or `--out`); the human summary and
@@ -47,6 +51,7 @@ use qnet_campaign::{
     shard_to_string, to_jsonl_string, OutcomeCache, RunnerConfig, ScenarioGrid, ShardSpec,
 };
 use qnet_core::classical::KnowledgeModel;
+use qnet_core::physics::PhysicsModel;
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
 use qnet_topology::Topology;
@@ -60,6 +65,7 @@ struct Options {
     modes: Vec<PolicyId>,
     distillations: Vec<f64>,
     knowledge: Vec<KnowledgeModel>,
+    physics: Vec<PhysicsModel>,
     pairs: usize,
     requests: usize,
     /// Raw --workload specs; resolved against --requests and --horizon in
@@ -91,6 +97,7 @@ impl Default for Options {
             modes: vec![PolicyId::OBLIVIOUS, PolicyId::PLANNED, PolicyId::HYBRID],
             distillations: vec![1.0, 2.0],
             knowledge: vec![KnowledgeModel::Global],
+            physics: vec![PhysicsModel::Ideal],
             pairs: 10,
             requests: 12,
             workloads: Vec::new(),
@@ -286,6 +293,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     },
                 ];
             }
+            "--physics" => {
+                opts.physics = parse_list("--physics", value("--physics")?, PhysicsModel::parse)?
+            }
             "--pairs" => {
                 opts.pairs = value("--pairs")?
                     .parse()
@@ -332,6 +342,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--list-policies" => return Err("list-policies".to_string()),
             "--list-workloads" => return Err("list-workloads".to_string()),
             "--list-topologies" => return Err("list-topologies".to_string()),
+            "--list-physics" => return Err("list-physics".to_string()),
             "--compare-serial" => opts.compare_serial = true,
             "--dry-run" => opts.dry_run = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -391,6 +402,7 @@ fn build_grid(opts: &Options) -> ScenarioGrid {
         .with_modes(opts.modes.clone())
         .with_distillations(opts.distillations.clone())
         .with_knowledge(opts.knowledge.clone())
+        .with_physics(opts.physics.clone())
         .with_workloads(workloads)
         .with_replicates(opts.replicates)
         .with_horizon_s(opts.horizon)
@@ -506,6 +518,10 @@ fn main() -> ExitCode {
                 print!("{}", TOPOLOGIES_HELP);
                 return ExitCode::SUCCESS;
             }
+            if msg == "list-physics" {
+                print!("{}", PHYSICS_HELP);
+                return ExitCode::SUCCESS;
+            }
             eprintln!("campaign: {msg}");
             return ExitCode::FAILURE;
         }
@@ -513,7 +529,7 @@ fn main() -> ExitCode {
 
     let grid = build_grid(&opts);
     eprintln!(
-        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge × {} workloads)",
+        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge × {} physics × {} workloads)",
         grid.cell_count(),
         grid.replicates,
         grid.scenario_count(),
@@ -521,6 +537,7 @@ fn main() -> ExitCode {
         grid.modes.len(),
         grid.distillations.len(),
         grid.knowledge.len(),
+        grid.physics.len(),
         grid.workloads.len(),
     );
     if opts.dry_run {
@@ -531,8 +548,12 @@ fn main() -> ExitCode {
                 }
                 _ => String::new(),
             };
+            let physics = match key.physics {
+                Some(p) => format!(" physics={}", p.label()),
+                None => String::new(),
+            };
             eprintln!(
-                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}{traffic}",
+                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}{traffic}{physics}",
                 key.cell,
                 key.topology,
                 key.nodes,
@@ -637,8 +658,15 @@ fn main() -> ExitCode {
             (Some(p50), Some(p95)) => format!("  lat p50 {p50:.1}s p95 {p95:.1}s"),
             _ => String::new(),
         };
+        let fidelity = match cell.fidelity_mean {
+            Some(mean) => format!(
+                "  fid {mean:.3} (expired {}, rejected {})",
+                cell.expired_pairs_total, cell.fidelity_rejected_total
+            ),
+            None => String::new(),
+        };
         eprintln!(
-            "  {:<16} N={:<3} {:>26}{knowledge} D={:<4} overhead {:>8} ±{:>6} sat {:>5.1}%{latency}",
+            "  {:<16} N={:<3} {:>26}{knowledge} D={:<4} overhead {:>8} ±{:>6} sat {:>5.1}%{latency}{fidelity}",
             cell.key.topology,
             cell.key.nodes,
             format!("{:?}", cell.key.mode),
@@ -679,6 +707,8 @@ OPTIONS:
   --topologies LIST  topology specs, comma-separated (see --list-topologies)
   --modes LIST       swap policies by name (see --list-policies)
   --dist LIST        distillation overheads, e.g. 1,2,3
+  --physics LIST     link-physics axis: ideal, decoherent:T2[:FLOOR]
+                     (see --list-physics)                [ideal]
   --gossip K         add a gossip knowledge axis (K peers per refresh)
   --pairs N          consumer pairs per workload        [10]
   --requests N       requests per run                   [12]
@@ -698,6 +728,7 @@ OPTIONS:
   --list-policies    print the registered swap policies and exit
   --list-workloads   print the workload-spec grammar and exit
   --list-topologies  print the topology-spec grammar and exit
+  --list-physics     print the physics-spec grammar and exit
 
 Determinism: cold run ≡ warm (cached) run ≡ any shard partition after
 `campaign merge` — all byte-identical JSONL reports.
@@ -734,6 +765,37 @@ examples:
 
   campaign --topologies cycle:25,rand-grid:5
   campaign --topologies ws:25:4:0.1,ws:25:4:0.5 --modes oblivious,planned
+";
+
+const PHYSICS_HELP: &str = "\
+physics specs (--physics LIST, comma-separated; each joins the grid's
+link-physics axis):
+
+  ideal                        the paper's idealisation (default): pairs are
+                               ageless, noiseless tokens — results stay
+                               byte-identical to pre-physics reports
+  decoherent:T2                stored pairs decay under the Werner model
+                               with memory coherence time T2 seconds; swaps
+                               age both inputs to the swap time and compose
+                               them (F_out = F1*F2 + (1-F1)(1-F2)/3); cells
+                               gain fidelity_mean/p50/p95 report columns
+  decoherent:T2:FLOOR          additionally require every delivery to meet
+                               fidelity FLOOR: pairs are discarded once a
+                               fresh pair of their age would fall below the
+                               floor (expired_pairs_total column), and
+                               deliveries below it count as rejected
+                               (fidelity_rejected_total column)
+
+elementary pairs are born at fidelity 0.98; consumption order and explicit
+cutoff ages are available through the qnet API (PhysicsModel builders).
+
+examples:
+
+  # the decoherence knee: satisfaction and fidelity vs coherence time
+  campaign --physics ideal,decoherent:8,decoherent:2,decoherent:0.5
+
+  # fidelity-floor failures by discipline
+  campaign --physics decoherent:2:0.7 --modes oblivious,planned,hybrid
 ";
 
 const WORKLOADS_HELP: &str = "\
@@ -815,6 +877,30 @@ mod tests {
     }
 
     #[test]
+    fn unknown_physics_error_enumerates_the_grammar() {
+        let err = parse_args(&args(&["--physics", "ideal,noisy:3"])).unwrap_err();
+        assert!(err.contains("unknown physics model 'noisy'"), "{err}");
+        for name in ["ideal", "decoherent:T2", "decoherent:T2:FLOOR"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        // Malformed parameters fail loudly too.
+        assert!(parse_args(&args(&["--physics", "decoherent"])).is_err());
+        assert!(parse_args(&args(&["--physics", "decoherent:0"])).is_err());
+        assert!(parse_args(&args(&["--physics", "decoherent:1:2"])).is_err());
+    }
+
+    #[test]
+    fn physics_flag_builds_the_axis() {
+        let opts = parse_args(&args(&["--physics", "ideal,decoherent:2:0.7"])).unwrap();
+        let grid = build_grid(&opts);
+        assert_eq!(grid.physics.len(), 2);
+        assert!(grid.physics[0].is_ideal());
+        assert_eq!(grid.physics[1].fidelity_floor(), Some(0.7));
+        // The axis doubles the default 108-scenario sweep.
+        assert_eq!(grid.scenario_count(), 216);
+    }
+
+    #[test]
     fn shard_flag_parses_and_rejects_nonsense() {
         let opts = parse_args(&args(&["--shard", "2/5"])).unwrap();
         assert_eq!(opts.shard, Some(ShardSpec { index: 2, count: 5 }));
@@ -845,6 +931,10 @@ mod tests {
         assert_eq!(
             parse_args(&args(&["--list-workloads"])).unwrap_err(),
             "list-workloads"
+        );
+        assert_eq!(
+            parse_args(&args(&["--list-physics"])).unwrap_err(),
+            "list-physics"
         );
     }
 }

@@ -29,9 +29,10 @@ use std::io::{self, Write};
 /// Aggregated statistics over one cell's replicates.
 ///
 /// Serialization: the latency columns are emitted only when present
-/// (open-loop cells), so closed-loop reports keep the exact legacy byte
-/// layout — see the manual [`Serialize`] impl below.
-#[derive(Debug, Clone, PartialEq, Deserialize)]
+/// (open-loop cells), and the fidelity/expiry columns only when populated
+/// (decoherent-physics cells), so legacy reports keep the exact legacy byte
+/// layout — see the manual impls below.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// The cell's axis values.
     pub key: CellKey,
@@ -76,6 +77,21 @@ pub struct CellReport {
     pub latency_p50_s: Option<f64>,
     /// Mean of the per-replicate 95th-percentile sojourn latencies.
     pub latency_p95_s: Option<f64>,
+    /// Mean of the per-replicate mean delivered fidelities
+    /// (decoherent-physics cells with at least one satisfaction only).
+    pub fidelity_mean: Option<f64>,
+    /// Half-width of the 95% CI on the mean delivered fidelity
+    /// (`None` below 2 fidelity samples).
+    pub fidelity_ci95: Option<f64>,
+    /// Mean of the per-replicate median delivered fidelities.
+    pub fidelity_p50: Option<f64>,
+    /// Mean of the per-replicate 95th-percentile delivered fidelities.
+    pub fidelity_p95: Option<f64>,
+    /// Total pairs discarded by the physics cutoff across replicates.
+    pub expired_pairs_total: u64,
+    /// Total deliveries rejected below the fidelity floor across
+    /// replicates.
+    pub fidelity_rejected_total: u64,
 }
 
 impl Serialize for CellReport {
@@ -116,20 +132,81 @@ impl Serialize for CellReport {
                 self.count_update_messages_total.to_value(),
             ),
         ];
-        // Latency columns exist only for open-loop cells; omitting them
-        // (rather than writing null) keeps legacy closed-loop reports
-        // byte-identical.
+        // Latency columns exist only for open-loop cells, and fidelity
+        // columns only for decoherent-physics cells; omitting them (rather
+        // than writing null) keeps legacy reports byte-identical.
         for (name, value) in [
             ("latency_mean_s", self.latency_mean_s),
             ("latency_ci95_s", self.latency_ci95_s),
             ("latency_p50_s", self.latency_p50_s),
             ("latency_p95_s", self.latency_p95_s),
+            ("fidelity_mean", self.fidelity_mean),
+            ("fidelity_ci95", self.fidelity_ci95),
+            ("fidelity_p50", self.fidelity_p50),
+            ("fidelity_p95", self.fidelity_p95),
         ] {
             if let Some(v) = value {
                 entries.push((name.to_string(), v.to_value()));
             }
         }
+        if self.expired_pairs_total > 0 {
+            entries.push((
+                "expired_pairs_total".to_string(),
+                self.expired_pairs_total.to_value(),
+            ));
+        }
+        if self.fidelity_rejected_total > 0 {
+            entries.push((
+                "fidelity_rejected_total".to_string(),
+                self.fidelity_rejected_total.to_value(),
+            ));
+        }
         serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for CellReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        if value.as_map().is_none() {
+            return Err(serde::DeError::expected("CellReport object", value));
+        }
+        let field = |name: &str| value.get_field(name).unwrap_or(&serde::Value::Null);
+        let counter = |name: &str| -> Result<u64, serde::DeError> {
+            match field(name) {
+                serde::Value::Null => Ok(0),
+                v => Deserialize::from_value(v),
+            }
+        };
+        Ok(CellReport {
+            key: Deserialize::from_value(field("key"))?,
+            replicates: Deserialize::from_value(field("replicates"))?,
+            overhead_samples: Deserialize::from_value(field("overhead_samples"))?,
+            overhead_mean: Deserialize::from_value(field("overhead_mean"))?,
+            overhead_variance: Deserialize::from_value(field("overhead_variance"))?,
+            overhead_ci95: Deserialize::from_value(field("overhead_ci95"))?,
+            overhead_p10: Deserialize::from_value(field("overhead_p10"))?,
+            overhead_p50: Deserialize::from_value(field("overhead_p50"))?,
+            overhead_p90: Deserialize::from_value(field("overhead_p90"))?,
+            overhead_min: Deserialize::from_value(field("overhead_min"))?,
+            overhead_max: Deserialize::from_value(field("overhead_max"))?,
+            satisfaction_mean: Deserialize::from_value(field("satisfaction_mean"))?,
+            swaps_total: Deserialize::from_value(field("swaps_total"))?,
+            pairs_generated_total: Deserialize::from_value(field("pairs_generated_total"))?,
+            simulated_seconds_mean: Deserialize::from_value(field("simulated_seconds_mean"))?,
+            count_update_messages_total: Deserialize::from_value(field(
+                "count_update_messages_total",
+            ))?,
+            latency_mean_s: Deserialize::from_value(field("latency_mean_s"))?,
+            latency_ci95_s: Deserialize::from_value(field("latency_ci95_s"))?,
+            latency_p50_s: Deserialize::from_value(field("latency_p50_s"))?,
+            latency_p95_s: Deserialize::from_value(field("latency_p95_s"))?,
+            fidelity_mean: Deserialize::from_value(field("fidelity_mean"))?,
+            fidelity_ci95: Deserialize::from_value(field("fidelity_ci95"))?,
+            fidelity_p50: Deserialize::from_value(field("fidelity_p50"))?,
+            fidelity_p95: Deserialize::from_value(field("fidelity_p95"))?,
+            expired_pairs_total: counter("expired_pairs_total")?,
+            fidelity_rejected_total: counter("fidelity_rejected_total")?,
+        })
     }
 }
 
@@ -182,13 +259,18 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
     let mut pairs_total = 0u64;
     let mut sim_seconds = 0.0f64;
     let mut messages = 0u64;
-    // Sojourn latency flows through the same RunningStats/CI machinery as
-    // the swap overhead, so closed- and open-loop rows share one
-    // aggregation path (the columns simply stay empty for closed-loop
-    // cells, whose outcomes carry no latency samples).
+    // Sojourn latency and delivered fidelity flow through the same
+    // RunningStats/CI machinery as the swap overhead, so closed-/open-loop
+    // and ideal-/decoherent-physics rows share one aggregation path (the
+    // columns simply stay empty for cells whose outcomes carry no samples).
     let mut latency_mean = RunningStats::new();
     let mut latency_p50 = RunningStats::new();
     let mut latency_p95 = RunningStats::new();
+    let mut fidelity_mean = RunningStats::new();
+    let mut fidelity_p50 = RunningStats::new();
+    let mut fidelity_p95 = RunningStats::new();
+    let mut expired_total = 0u64;
+    let mut rejected_total = 0u64;
 
     for o in outcomes {
         if let Some(x) = o.swap_overhead {
@@ -209,6 +291,17 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
         if let Some(x) = o.latency_p95_s {
             latency_p95.record(x);
         }
+        if let Some(x) = o.fidelity_mean {
+            fidelity_mean.record(x);
+        }
+        if let Some(x) = o.fidelity_p50 {
+            fidelity_p50.record(x);
+        }
+        if let Some(x) = o.fidelity_p95 {
+            fidelity_p95.record(x);
+        }
+        expired_total += o.expired_pairs;
+        rejected_total += o.fidelity_rejected;
     }
     samples.sort_by(f64::total_cmp);
 
@@ -245,6 +338,12 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
         latency_ci95_s: latency_mean.ci95_half_width(),
         latency_p50_s: (latency_p50.count() > 0).then(|| latency_p50.mean()),
         latency_p95_s: (latency_p95.count() > 0).then(|| latency_p95.mean()),
+        fidelity_mean: (fidelity_mean.count() > 0).then(|| fidelity_mean.mean()),
+        fidelity_ci95: fidelity_mean.ci95_half_width(),
+        fidelity_p50: (fidelity_p50.count() > 0).then(|| fidelity_p50.mean()),
+        fidelity_p95: (fidelity_p95.count() > 0).then(|| fidelity_p95.mean()),
+        expired_pairs_total: expired_total,
+        fidelity_rejected_total: rejected_total,
     }
 }
 
@@ -280,6 +379,7 @@ pub fn overhead_ratios(cell_reports: &[CellReport]) -> Vec<OverheadRatioRow> {
                 && num.key.requests == den.key.requests
                 && num.key.discipline == den.key.discipline
                 && num.key.coherence_time_s == den.key.coherence_time_s
+                && num.key.physics == den.key.physics
                 && num.key.traffic == den.key.traffic;
             if !same_axes {
                 continue;
@@ -407,6 +507,7 @@ mod tests {
             requests: 6,
             discipline: PairSelection::UniformRandom,
             coherence_time_s: None,
+            physics: None,
             traffic: None,
         }
     }
@@ -428,6 +529,11 @@ mod tests {
             latency_mean_s: None,
             latency_p50_s: None,
             latency_p95_s: None,
+            fidelity_mean: None,
+            fidelity_p50: None,
+            fidelity_p95: None,
+            expired_pairs: 0,
+            fidelity_rejected: 0,
         }
     }
 
@@ -549,6 +655,76 @@ mod tests {
         assert_eq!(back.latency_p50_s, report.latency_p50_s);
         let back_closed: CellReport = serde_json::from_str(&closed_line).unwrap();
         assert_eq!(back_closed.latency_p50_s, None);
+    }
+
+    #[test]
+    fn fidelity_columns_aggregate_through_running_stats() {
+        use qnet_core::physics::PhysicsModel;
+        let mut physical_key = key(0, PolicyId::OBLIVIOUS, 1.0);
+        physical_key.physics = Some(PhysicsModel::decoherent(0.5).with_fidelity_floor(0.7));
+        let outcomes: Vec<ScenarioOutcome> = [(0.9, 0.88, 0.95, 10, 2), (0.7, 0.72, 0.85, 30, 4)]
+            .iter()
+            .enumerate()
+            .map(
+                |(i, &(mean, p50, p95, expired, rejected))| ScenarioOutcome {
+                    fidelity_mean: Some(mean),
+                    fidelity_p50: Some(p50),
+                    fidelity_p95: Some(p95),
+                    expired_pairs: expired,
+                    fidelity_rejected: rejected,
+                    ..outcome(i, 0, i as u32, Some(3.0))
+                },
+            )
+            .collect();
+        let report = aggregate_cell(physical_key, &outcomes);
+        assert!((report.fidelity_mean.unwrap() - 0.8).abs() < 1e-12);
+        assert!((report.fidelity_p50.unwrap() - 0.8).abs() < 1e-12);
+        assert!((report.fidelity_p95.unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(report.expired_pairs_total, 40);
+        assert_eq!(report.fidelity_rejected_total, 6);
+        let mut stats = RunningStats::new();
+        stats.record(0.9);
+        stats.record(0.7);
+        assert_eq!(report.fidelity_ci95, stats.ci95_half_width());
+
+        // Serialized decoherent rows carry the fidelity columns and the
+        // physics descriptor…
+        let line = tagged_line("cell", &report);
+        assert!(line.contains("\"fidelity_p95\""));
+        assert!(line.contains("\"expired_pairs_total\""));
+        assert!(line.contains("\"Decoherent\""));
+        // …and ideal rows keep the legacy byte layout.
+        let ideal = aggregate_cell(
+            key(0, PolicyId::OBLIVIOUS, 1.0),
+            &[outcome(0, 0, 0, Some(3.0))],
+        );
+        let ideal_line = tagged_line("cell", &ideal);
+        assert!(!ideal_line.contains("fidelity"));
+        assert!(!ideal_line.contains("expired"));
+        assert!(!ideal_line.contains("physics"));
+        // Deserialization tolerates both layouts.
+        let back: CellReport = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.fidelity_p50, report.fidelity_p50);
+        assert_eq!(back.expired_pairs_total, 40);
+        let back_ideal: CellReport = serde_json::from_str(&ideal_line).unwrap();
+        assert_eq!(back_ideal.fidelity_mean, None);
+        assert_eq!(back_ideal.expired_pairs_total, 0);
+    }
+
+    #[test]
+    fn ratios_do_not_pair_across_physics_models() {
+        use qnet_core::physics::PhysicsModel;
+        let oblivious = aggregate_cell(
+            key(0, PolicyId::OBLIVIOUS, 1.0),
+            &[outcome(0, 0, 0, Some(6.0))],
+        );
+        let mut decoherent_planned_key = key(1, PolicyId::PLANNED, 1.0);
+        decoherent_planned_key.physics = Some(PhysicsModel::decoherent(1.0));
+        let planned = aggregate_cell(decoherent_planned_key, &[outcome(1, 1, 0, Some(2.0))]);
+        assert!(
+            overhead_ratios(&[oblivious, planned]).is_empty(),
+            "ideal numerator must not pair with a decoherent denominator"
+        );
     }
 
     #[test]

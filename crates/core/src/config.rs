@@ -6,11 +6,12 @@
 //! models of §3.2 (distillation `D`, loss `L`, QEC `R`) plus optional memory
 //! decoherence parameters used by the transport-layer extensions.
 
+use crate::physics::PhysicsModel;
 use crate::rates::RateMatrices;
 use qnet_quantum::decoherence::DecoherenceModel;
 use qnet_quantum::distill::{overhead_factor, DistillationProtocol};
 use qnet_topology::{Graph, NodePair, Topology};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How the distillation overhead `D_{x,y}` is specified.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,7 +53,11 @@ impl DistillationSpec {
 /// All-scalar and `Copy`: cloning is a register-width memcpy, so sweep
 /// engines (`qnet-campaign`) can fan thousands of configs across worker
 /// threads without allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization (manual impls below): the `physics` field is emitted only
+/// when it is not [`PhysicsModel::Ideal`], so pre-physics configs keep their
+/// exact bytes and legacy JSON deserializes with ideal physics implied.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkConfig {
     /// Generation-graph topology recipe.
     pub topology: Topology,
@@ -78,6 +83,66 @@ pub struct NetworkConfig {
     /// Optional per-node buffer limit on stored qubit halves (`None` models
     /// the paper's limitless buffers).
     pub buffer_limit: Option<u64>,
+    /// The physical model stored pairs obey during the live simulation:
+    /// ageless tokens ([`PhysicsModel::Ideal`], the default — the paper's
+    /// semantics, byte-identical results) or fidelity-tracked, decaying
+    /// memories ([`PhysicsModel::Decoherent`]).
+    pub physics: PhysicsModel,
+}
+
+impl Serialize for NetworkConfig {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("topology".to_string(), self.topology.to_value()),
+            ("topology_seed".to_string(), self.topology_seed.to_value()),
+            (
+                "generation_rate".to_string(),
+                self.generation_rate.to_value(),
+            ),
+            (
+                "poisson_generation".to_string(),
+                self.poisson_generation.to_value(),
+            ),
+            ("swap_scan_rate".to_string(), self.swap_scan_rate.to_value()),
+            ("distillation".to_string(), self.distillation.to_value()),
+            ("loss_factor".to_string(), self.loss_factor.to_value()),
+            ("qec_overhead".to_string(), self.qec_overhead.to_value()),
+            ("decoherence".to_string(), self.decoherence.to_value()),
+            ("buffer_limit".to_string(), self.buffer_limit.to_value()),
+        ];
+        // Emitted only when physical: legacy (ideal) configs keep their
+        // exact pre-physics bytes.
+        if !self.physics.is_ideal() {
+            entries.push(("physics".to_string(), self.physics.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for NetworkConfig {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("NetworkConfig object", value));
+        }
+        let field = |name: &str| value.get_field(name).unwrap_or(&Value::Null);
+        let physics = match field("physics") {
+            Value::Null => PhysicsModel::Ideal,
+            v => PhysicsModel::from_value(v)?,
+        };
+        Ok(NetworkConfig {
+            topology: Deserialize::from_value(field("topology"))?,
+            topology_seed: Deserialize::from_value(field("topology_seed"))?,
+            generation_rate: Deserialize::from_value(field("generation_rate"))?,
+            poisson_generation: Deserialize::from_value(field("poisson_generation"))?,
+            swap_scan_rate: Deserialize::from_value(field("swap_scan_rate"))?,
+            distillation: Deserialize::from_value(field("distillation"))?,
+            loss_factor: Deserialize::from_value(field("loss_factor"))?,
+            qec_overhead: Deserialize::from_value(field("qec_overhead"))?,
+            decoherence: Deserialize::from_value(field("decoherence"))?,
+            buffer_limit: Deserialize::from_value(field("buffer_limit"))?,
+            physics,
+        })
+    }
 }
 
 impl NetworkConfig {
@@ -96,6 +161,7 @@ impl NetworkConfig {
             qec_overhead: 1.0,
             decoherence: DecoherenceModel::ideal(),
             buffer_limit: None,
+            physics: PhysicsModel::Ideal,
         }
     }
 
@@ -148,6 +214,16 @@ impl NetworkConfig {
     /// Builder: cap per-node buffers.
     pub fn with_buffer_limit(mut self, limit: u64) -> Self {
         self.buffer_limit = Some(limit);
+        self
+    }
+
+    /// Builder: set the link-physics model. For decoherent physics the
+    /// static [`NetworkConfig::decoherence`] field is kept consistent with
+    /// the model's coherence time (the LP extensions and the live lot store
+    /// then describe the same memories).
+    pub fn with_physics(mut self, physics: PhysicsModel) -> Self {
+        self.physics = physics;
+        self.decoherence = physics.decoherence_model();
         self
     }
 
@@ -244,6 +320,29 @@ mod tests {
         assert!(d > 1.0, "pumping 0.85 → 0.95 requires real work, got {d}");
         let c = NetworkConfig::new(Topology::Cycle { nodes: 5 }).with_distillation(spec);
         assert!(c.pairs_per_distilled() >= 2);
+    }
+
+    #[test]
+    fn ideal_physics_keeps_the_legacy_serialized_bytes() {
+        let c = NetworkConfig::new(Topology::Cycle { nodes: 5 });
+        let v = c.to_value();
+        assert!(v.get_field("physics").is_none(), "ideal omits physics");
+        // A legacy document (no physics key) loads with ideal implied.
+        let back = NetworkConfig::from_value(&v).unwrap();
+        assert!(back.physics.is_ideal());
+        assert_eq!(back.topology, c.topology);
+    }
+
+    #[test]
+    fn decoherent_physics_round_trips_through_config_json() {
+        let physics = PhysicsModel::decoherent(0.5).with_fidelity_floor(0.7);
+        let c = NetworkConfig::new(Topology::Cycle { nodes: 5 }).with_physics(physics);
+        assert_eq!(c.decoherence.coherence_time_s, 0.5);
+        let v = c.to_value();
+        assert!(v.get_field("physics").is_some());
+        let back = NetworkConfig::from_value(&v).unwrap();
+        assert_eq!(back.physics, physics);
+        assert_eq!(back.physics.fidelity_floor(), Some(0.7));
     }
 
     #[test]

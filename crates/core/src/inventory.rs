@@ -6,9 +6,35 @@
 //! [`PairMatrix`] and implements the three primitive mutations — generate,
 //! swap, consume — with the bookkeeping (per-node qubit totals, cumulative
 //! counters) the balancer, the buffer-limit model and the metrics need.
+//!
+//! ## The lot store (decoherent physics)
+//!
+//! Under [`crate::physics::PhysicsModel::Decoherent`] the inventory layers a
+//! **lot store** over the counts: every stored pair additionally carries a
+//! creation timestamp and a birth fidelity ([`PairLot`]). The store is
+//! deliberately hidden behind the exact same mutation API the count-space
+//! model uses — `add_pair`, `remove_pairs`, `apply_swap` — so every caller,
+//! including swap policies that mutate the inventory directly through
+//! [`crate::policy::PolicyCtx`], keeps ages and fidelities consistent
+//! without knowing the store exists. The world advances the store's clock
+//! ([`Inventory::set_clock`]) before dispatching each event; consumption
+//! and swap inputs draw lots in the configured
+//! [`crate::physics::ConsumeOrder`]; a swap ages both inputs to the swap
+//! time, composes them with [`qnet_quantum::swap::swap_werner_fidelity`]
+//! and restarts the product's clock. When the store is disabled (ideal
+//! physics — the default) none of this code runs and behaviour is
+//! bit-identical to the count-space model.
+//!
+//! Serialization intentionally covers only the count-space state (the
+//! legacy byte layout); the lot store is runtime-only.
 
+use crate::physics::{ConsumeOrder, PhysicsModel};
+use qnet_quantum::decoherence::DecoherenceModel;
+use qnet_quantum::swap::swap_werner_fidelity;
+use qnet_sim::{SimDuration, SimTime};
 use qnet_topology::{NodeId, NodePair, PairMatrix};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::VecDeque;
 
 /// Reasons an inventory mutation can be refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,8 +53,89 @@ pub enum InventoryError {
     },
 }
 
+/// One stored Bell pair tracked by the lot store: when it was created and
+/// the fidelity it was born with. Its *current* fidelity is the birth value
+/// decayed over its age by the configured decoherence model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairLot {
+    /// Simulated time the pair was stored (generation or swap production).
+    pub created_at: SimTime,
+    /// Fidelity at creation (initial fidelity for elementary pairs, the
+    /// Werner-composed value for swap products).
+    pub birth_fidelity: f64,
+}
+
+/// Per-pool age/fidelity bookkeeping, active only under decoherent physics.
+/// Lots within a pool are kept in creation order (pushes always append and
+/// creation times are monotone), so the pool front is always the oldest.
+#[derive(Debug, Clone, PartialEq)]
+struct LotStore {
+    decoherence: DecoherenceModel,
+    initial_fidelity: f64,
+    order: ConsumeOrder,
+    clock: SimTime,
+    pools: PairMatrix<VecDeque<PairLot>>,
+}
+
+impl LotStore {
+    fn new(n: usize, physics: &PhysicsModel) -> Self {
+        LotStore {
+            decoherence: physics.decoherence_model(),
+            initial_fidelity: physics.initial_fidelity(),
+            order: physics.consume_order(),
+            clock: SimTime::ZERO,
+            pools: PairMatrix::new(n),
+        }
+    }
+
+    /// Current fidelity of `lot` at the store clock.
+    fn aged_fidelity(&self, lot: &PairLot) -> f64 {
+        let age = self.clock.saturating_since(lot.created_at).as_secs_f64();
+        self.decoherence.fidelity_after(lot.birth_fidelity, age)
+    }
+
+    fn push(&mut self, pair: NodePair, birth_fidelity: f64) {
+        self.pools.get_mut(pair).push_back(PairLot {
+            created_at: self.clock,
+            birth_fidelity,
+        });
+    }
+
+    /// Remove `count` lots from `pair`'s pool in the configured order and
+    /// return the best aged fidelity among them (the pair that actually
+    /// serves the request/swap; the rest are the `⌈D⌉` distillation fuel).
+    ///
+    /// # Panics
+    /// Panics if the pool holds fewer than `count` lots — count-space
+    /// availability is always validated first, and the store mirrors the
+    /// counts exactly.
+    fn take(&mut self, pair: NodePair, count: u64) -> f64 {
+        let pool = self.pools.get_mut(pair);
+        assert!(
+            pool.len() as u64 >= count,
+            "lot store out of sync with counts for {pair}"
+        );
+        let mut taken = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let lot = match self.order {
+                ConsumeOrder::OldestFirst => pool.pop_front(),
+                ConsumeOrder::NewestFirst => pool.pop_back(),
+            }
+            .expect("length checked");
+            taken.push(lot);
+        }
+        taken
+            .iter()
+            .map(|lot| self.aged_fidelity(lot))
+            .fold(0.25, f64::max)
+    }
+}
+
 /// The global Bell-pair count state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization (manual impls below) covers exactly the legacy count-space
+/// fields; the runtime-only lot store is rebuilt per run, never persisted.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Inventory {
     counts: PairMatrix<u64>,
     /// Number of stored qubit halves per node (each stored pair contributes
@@ -40,6 +147,38 @@ pub struct Inventory {
     total_added: u64,
     /// Cumulative number of pairs ever removed (consumed or used by swap).
     total_removed: u64,
+    /// Age/fidelity lots, present only under decoherent physics.
+    lots: Option<LotStore>,
+}
+
+impl Serialize for Inventory {
+    fn to_value(&self) -> Value {
+        // The legacy (pre-physics) byte layout: count-space state only.
+        Value::Map(vec![
+            ("counts".to_string(), self.counts.to_value()),
+            ("node_load".to_string(), self.node_load.to_value()),
+            ("buffer_limit".to_string(), self.buffer_limit.to_value()),
+            ("total_added".to_string(), self.total_added.to_value()),
+            ("total_removed".to_string(), self.total_removed.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Inventory {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("Inventory object", value));
+        }
+        let field = |name: &str| value.get_field(name).unwrap_or(&Value::Null);
+        Ok(Inventory {
+            counts: Deserialize::from_value(field("counts"))?,
+            node_load: Deserialize::from_value(field("node_load"))?,
+            buffer_limit: Deserialize::from_value(field("buffer_limit"))?,
+            total_added: Deserialize::from_value(field("total_added"))?,
+            total_removed: Deserialize::from_value(field("total_removed"))?,
+            lots: None,
+        })
+    }
 }
 
 impl Inventory {
@@ -51,7 +190,108 @@ impl Inventory {
             buffer_limit: None,
             total_added: 0,
             total_removed: 0,
+            lots: None,
         }
+    }
+
+    /// Attach the age/fidelity lot store for decoherent physics. A no-op for
+    /// [`PhysicsModel::Ideal`]; call before any pair is stored.
+    pub fn enable_lot_tracking(&mut self, physics: &PhysicsModel) {
+        if physics.is_ideal() {
+            return;
+        }
+        assert_eq!(
+            self.total_pairs(),
+            0,
+            "enable lot tracking on an empty inventory"
+        );
+        self.lots = Some(LotStore::new(self.node_count(), physics));
+    }
+
+    /// True when the age/fidelity lot store is active (decoherent physics).
+    pub fn tracks_lots(&self) -> bool {
+        self.lots.is_some()
+    }
+
+    /// Advance the lot store's clock to `now`. The simulation world calls
+    /// this before dispatching each event so every mutation inside the event
+    /// (including policy-driven swaps) ages and timestamps pairs correctly.
+    /// A no-op without the lot store.
+    pub fn set_clock(&mut self, now: SimTime) {
+        if let Some(store) = &mut self.lots {
+            store.clock = now;
+        }
+    }
+
+    /// The stored lots for `pair`, oldest first (empty without the lot
+    /// store). Exposed for observers and tests; counts remain the protocol's
+    /// source of truth.
+    pub fn lots_for(&self, pair: NodePair) -> Vec<PairLot> {
+        match &self.lots {
+            Some(store) => store.pools.get(pair).iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Current (aged) fidelity of every stored lot for `pair`, in storage
+    /// order. Empty without the lot store.
+    pub fn fidelities_for(&self, pair: NodePair) -> Vec<f64> {
+        match &self.lots {
+            Some(store) => store
+                .pools
+                .get(pair)
+                .iter()
+                .map(|lot| store.aged_fidelity(lot))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Creation time of the oldest stored lot across all pools (`None` when
+    /// the store is absent or empty). Drives cutoff-sweep scheduling.
+    pub fn earliest_lot_time(&self) -> Option<SimTime> {
+        let store = self.lots.as_ref()?;
+        store
+            .pools
+            .iter()
+            .flat_map(|(_, pool)| pool.front())
+            .map(|lot| lot.created_at)
+            .min()
+    }
+
+    /// Discard every lot whose storage age has reached `cutoff` at the
+    /// current clock (`created_at + cutoff <= clock`, so a sweep scheduled
+    /// exactly at an expiry time collects it). Returns one entry per expired
+    /// pair; counts, node loads and the removed-total are updated. A no-op
+    /// without the lot store.
+    pub fn purge_expired(&mut self, cutoff: SimDuration) -> Vec<NodePair> {
+        let Some(store) = &mut self.lots else {
+            return Vec::new();
+        };
+        let clock = store.clock;
+        let n = store.pools.node_count();
+        let mut expired = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair = NodePair::new(NodeId(i as u32), NodeId(j as u32));
+                let pool = store.pools.get_mut(pair);
+                while let Some(front) = pool.front() {
+                    if front.created_at + cutoff <= clock {
+                        pool.pop_front();
+                        expired.push(pair);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        for &pair in &expired {
+            *self.counts.get_mut(pair) -= 1;
+            self.node_load[pair.lo().index()] -= 1;
+            self.node_load[pair.hi().index()] -= 1;
+            self.total_removed += 1;
+        }
+        expired
     }
 
     /// An empty inventory with a per-node buffer limit.
@@ -110,9 +350,21 @@ impl Inventory {
             .collect()
     }
 
-    /// Record the generation (or swap-production) of one pair between the
-    /// endpoints of `pair`.
+    /// Record the generation of one elementary pair between the endpoints of
+    /// `pair` (born at the configured initial fidelity under decoherent
+    /// physics).
     pub fn add_pair(&mut self, pair: NodePair) -> Result<(), InventoryError> {
+        let f0 = self.lots.as_ref().map(|s| s.initial_fidelity);
+        self.add_pair_with_fidelity(pair, f0)
+    }
+
+    /// Shared insertion path: `birth_fidelity` is `None` for ideal physics
+    /// and the elementary/composed fidelity otherwise.
+    fn add_pair_with_fidelity(
+        &mut self,
+        pair: NodePair,
+        birth_fidelity: Option<f64>,
+    ) -> Result<(), InventoryError> {
         if let Some(limit) = self.buffer_limit {
             for node in [pair.lo(), pair.hi()] {
                 if self.node_load[node.index()] >= limit {
@@ -124,12 +376,26 @@ impl Inventory {
         self.node_load[pair.lo().index()] += 1;
         self.node_load[pair.hi().index()] += 1;
         self.total_added += 1;
+        if let Some(store) = &mut self.lots {
+            store.push(pair, birth_fidelity.unwrap_or(store.initial_fidelity));
+        }
         Ok(())
     }
 
     /// Remove `count` pairs between the endpoints of `pair` (consumption or
     /// swap input usage).
     pub fn remove_pairs(&mut self, pair: NodePair, count: u64) -> Result<(), InventoryError> {
+        self.remove_pairs_with_fidelity(pair, count).map(|_| ())
+    }
+
+    /// Remove `count` pairs and report the best current (aged) fidelity
+    /// among them — the fidelity actually delivered when the removal serves
+    /// a consumption. `Ok(None)` without the lot store (ideal physics).
+    pub fn remove_pairs_with_fidelity(
+        &mut self,
+        pair: NodePair,
+        count: u64,
+    ) -> Result<Option<f64>, InventoryError> {
         let available = self.count(pair);
         if available < count {
             return Err(InventoryError::InsufficientPairs {
@@ -141,7 +407,11 @@ impl Inventory {
         self.node_load[pair.lo().index()] -= count;
         self.node_load[pair.hi().index()] -= count;
         self.total_removed += count;
-        Ok(())
+        Ok(self
+            .lots
+            .as_mut()
+            .filter(|_| count > 0)
+            .map(|store| store.take(pair, count)))
     }
 
     /// Perform the swap `y ← x → y'` in count space: consume `cost_left`
@@ -179,9 +449,19 @@ impl Inventory {
                 available: self.count(right_pair),
             });
         }
-        self.remove_pairs(left_pair, cost_left).expect("checked");
-        self.remove_pairs(right_pair, cost_right).expect("checked");
-        self.add_pair(NodePair::new(left, right))
+        let f_left = self
+            .remove_pairs_with_fidelity(left_pair, cost_left)
+            .expect("checked");
+        let f_right = self
+            .remove_pairs_with_fidelity(right_pair, cost_right)
+            .expect("checked");
+        // Under decoherent physics the product pair's clock restarts now,
+        // at the Werner-composed fidelity of the two (aged) inputs.
+        let composed = match (f_left, f_right) {
+            (Some(a), Some(b)) => Some(swap_werner_fidelity(a, b)),
+            _ => None,
+        };
+        self.add_pair_with_fidelity(NodePair::new(left, right), composed)
     }
 
     /// The minimum pair count over a set of pairs (used by balance tests).
@@ -314,6 +594,147 @@ mod tests {
     fn degenerate_swap_panics() {
         let mut inv = Inventory::new(3);
         let _ = inv.apply_swap(NodeId(0), NodeId(1), NodeId(1), 1, 1);
+    }
+
+    fn decoherent_inventory(n: usize, t2: f64) -> Inventory {
+        let mut inv = Inventory::new(n);
+        inv.enable_lot_tracking(&PhysicsModel::decoherent(t2));
+        inv
+    }
+
+    #[test]
+    fn lot_store_is_off_by_default_and_for_ideal_physics() {
+        let mut inv = Inventory::new(3);
+        assert!(!inv.tracks_lots());
+        inv.enable_lot_tracking(&PhysicsModel::Ideal);
+        assert!(!inv.tracks_lots());
+        inv.add_pair(pair(0, 1)).unwrap();
+        assert!(inv.lots_for(pair(0, 1)).is_empty());
+        assert_eq!(inv.remove_pairs_with_fidelity(pair(0, 1), 1), Ok(None));
+        assert_eq!(inv.earliest_lot_time(), None);
+        assert!(inv.purge_expired(SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn lots_mirror_counts_and_carry_timestamps() {
+        let mut inv = decoherent_inventory(3, 10.0);
+        inv.set_clock(SimTime::from_secs(1));
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.set_clock(SimTime::from_secs(3));
+        inv.add_pair(pair(0, 1)).unwrap();
+        let lots = inv.lots_for(pair(0, 1));
+        assert_eq!(lots.len(), 2);
+        assert_eq!(lots[0].created_at, SimTime::from_secs(1));
+        assert_eq!(lots[1].created_at, SimTime::from_secs(3));
+        assert_eq!(
+            lots[0].birth_fidelity,
+            PhysicsModel::DEFAULT_INITIAL_FIDELITY
+        );
+        assert_eq!(inv.earliest_lot_time(), Some(SimTime::from_secs(1)));
+        // Aged fidelities decay with storage time: the older lot is worse.
+        let fids = inv.fidelities_for(pair(0, 1));
+        assert!(fids[0] < fids[1]);
+        assert!(fids[1] < PhysicsModel::DEFAULT_INITIAL_FIDELITY + 1e-12);
+    }
+
+    #[test]
+    fn consume_order_selects_which_lot_is_delivered() {
+        for (order, expect_created) in [
+            (ConsumeOrder::OldestFirst, SimTime::from_secs(0)),
+            (ConsumeOrder::NewestFirst, SimTime::from_secs(5)),
+        ] {
+            let mut inv = Inventory::new(3);
+            inv.enable_lot_tracking(&PhysicsModel::decoherent(10.0).with_consume_order(order));
+            inv.set_clock(SimTime::ZERO);
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.set_clock(SimTime::from_secs(5));
+            inv.add_pair(pair(0, 1)).unwrap();
+            inv.set_clock(SimTime::from_secs(6));
+            inv.remove_pairs(pair(0, 1), 1).unwrap();
+            let remaining = inv.lots_for(pair(0, 1));
+            assert_eq!(remaining.len(), 1);
+            // The *other* lot was consumed.
+            assert_ne!(remaining[0].created_at, expect_created);
+        }
+    }
+
+    #[test]
+    fn delivered_fidelity_is_the_best_aged_lot() {
+        let mut inv = decoherent_inventory(3, 2.0);
+        inv.set_clock(SimTime::ZERO);
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.set_clock(SimTime::from_secs(4));
+        inv.add_pair(pair(0, 1)).unwrap();
+        // Consuming both (D = 2 style) delivers the fresh pair's fidelity,
+        // regardless of pop order.
+        let f = inv
+            .remove_pairs_with_fidelity(pair(0, 1), 2)
+            .unwrap()
+            .unwrap();
+        assert!((f - PhysicsModel::DEFAULT_INITIAL_FIDELITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_ages_inputs_and_restarts_the_product_clock() {
+        let (a, c, b) = (NodeId(0), NodeId(2), NodeId(1));
+        let mut inv = decoherent_inventory(3, 1.0);
+        inv.set_clock(SimTime::ZERO);
+        inv.add_pair(NodePair::new(a, c)).unwrap();
+        inv.add_pair(NodePair::new(c, b)).unwrap();
+        let swap_at = SimTime::from_secs(1);
+        inv.set_clock(swap_at);
+        inv.apply_swap(c, a, b, 1, 1).unwrap();
+        let product = inv.lots_for(NodePair::new(a, b));
+        assert_eq!(product.len(), 1);
+        assert_eq!(product[0].created_at, swap_at, "product clock restarts");
+        // Both inputs aged one coherence time before composing.
+        let model = DecoherenceModel::with_coherence_time(1.0);
+        let aged = model.fidelity_after(PhysicsModel::DEFAULT_INITIAL_FIDELITY, 1.0);
+        let expected = swap_werner_fidelity(aged, aged);
+        assert!(
+            (product[0].birth_fidelity - expected).abs() < 1e-12,
+            "got {}, expected {expected}",
+            product[0].birth_fidelity
+        );
+        // Composition can only lose fidelity relative to the aged inputs.
+        assert!(product[0].birth_fidelity <= aged + 1e-12);
+    }
+
+    #[test]
+    fn purge_expired_discards_old_lots_and_updates_counts() {
+        let mut inv = decoherent_inventory(4, 10.0);
+        inv.set_clock(SimTime::ZERO);
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(2, 3)).unwrap();
+        inv.set_clock(SimTime::from_secs(4));
+        inv.add_pair(pair(0, 1)).unwrap();
+
+        inv.set_clock(SimTime::from_secs(5));
+        let expired = inv.purge_expired(SimDuration::from_secs(5));
+        // The two t = 0 lots have age exactly 5 (inclusive boundary); the
+        // t = 4 lot survives.
+        assert_eq!(expired.len(), 2);
+        assert!(expired.contains(&pair(0, 1)) && expired.contains(&pair(2, 3)));
+        assert_eq!(inv.count(pair(0, 1)), 1);
+        assert_eq!(inv.count(pair(2, 3)), 0);
+        assert_eq!(inv.total_removed(), 2);
+        assert_eq!(inv.node_load(NodeId(2)), 0);
+        assert_eq!(inv.earliest_lot_time(), Some(SimTime::from_secs(4)));
+        // Nothing else is due yet.
+        assert!(inv.purge_expired(SimDuration::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn serialization_keeps_the_legacy_count_space_layout() {
+        let mut plain = Inventory::new(3);
+        plain.add_pair(pair(0, 1)).unwrap();
+        let mut tracked = decoherent_inventory(3, 1.0);
+        tracked.add_pair(pair(0, 1)).unwrap();
+        // The lot store never leaks into the serialized form.
+        assert_eq!(plain.to_value(), tracked.to_value());
+        let back = Inventory::from_value(&plain.to_value()).unwrap();
+        assert_eq!(back.count(pair(0, 1)), 1);
+        assert!(!back.tracks_lots());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod metrics;
 pub mod nested;
 pub mod network;
 pub mod observer;
+pub mod physics;
 pub mod planned;
 pub mod policy;
 pub mod rates;
@@ -75,6 +76,7 @@ pub use inventory::Inventory;
 pub use lp_model::{LpObjective, SteadyStateModel};
 pub use nested::nested_swap_cost;
 pub use observer::{MetricsRecorder, RunObserver};
+pub use physics::{ConsumeOrder, PhysicsModel};
 pub use policy::{
     PolicyCtx, PolicyFamily, PolicyId, PolicyRegistry, QueueDiscipline, RequestAction, SwapPolicy,
 };

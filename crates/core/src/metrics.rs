@@ -13,10 +13,14 @@ use crate::nested::overhead_denominator;
 use qnet_sim::stats::RunningStats;
 use qnet_sim::SimTime;
 use qnet_topology::NodePair;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One satisfied consumption event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization: the `fidelity` field is emitted only when present
+/// (decoherent physics), so pre-physics results keep their exact bytes —
+/// see the manual [`Serialize`] impl below.
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
 pub struct SatisfiedRequest {
     /// Position in the request sequence.
     pub sequence: u64,
@@ -33,6 +37,29 @@ pub struct SatisfiedRequest {
     /// Swaps the hybrid repair step performed specifically for this request
     /// (0 in pure oblivious mode).
     pub repair_swaps: u64,
+    /// End-to-end fidelity of the delivered entanglement (`None` under
+    /// ideal physics, where pairs are noiseless tokens).
+    pub fidelity: Option<f64>,
+}
+
+impl Serialize for SatisfiedRequest {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("sequence".to_string(), self.sequence.to_value()),
+            ("pair".to_string(), self.pair.to_value()),
+            ("arrival_time".to_string(), self.arrival_time.to_value()),
+            ("satisfied_at".to_string(), self.satisfied_at.to_value()),
+            (
+                "shortest_path_hops".to_string(),
+                self.shortest_path_hops.to_value(),
+            ),
+            ("repair_swaps".to_string(), self.repair_swaps.to_value()),
+        ];
+        if let Some(f) = self.fidelity {
+            entries.push(("fidelity".to_string(), f.to_value()));
+        }
+        Value::Map(entries)
+    }
 }
 
 impl SatisfiedRequest {
@@ -46,7 +73,11 @@ impl SatisfiedRequest {
 }
 
 /// Aggregate metrics of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization: the physics counters (`expired_pairs`,
+/// `fidelity_rejected_requests`) are emitted only when non-zero, so
+/// pre-physics results keep their exact bytes — see the manual impls below.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Distillation overhead `D` used for the denominator.
     pub distillation_overhead: f64,
@@ -57,6 +88,9 @@ pub struct RunMetrics {
     pub pairs_generated: u64,
     /// Bell pairs lost to decoherence/loss before being stored.
     pub pairs_lost: u64,
+    /// Stored pairs discarded by the physics model's storage cutoff
+    /// (decoherent physics only; 0 under ideal physics).
+    pub expired_pairs: u64,
     /// The satisfied requests, in satisfaction order.
     pub satisfied: Vec<SatisfiedRequest>,
     /// Requests injected into the system (arrivals delivered before the run
@@ -67,6 +101,9 @@ pub struct RunMetrics {
     /// Requests the policy dropped as unsatisfiable (e.g. disconnected
     /// endpoints); counted in neither `satisfied` nor `unsatisfied`.
     pub dropped_requests: u64,
+    /// Deliveries that consumed their pairs but fell below the physics
+    /// model's end-to-end fidelity floor (decoherent physics only).
+    pub fidelity_rejected_requests: u64,
     /// Classical message counters.
     pub classical: ClassicalStats,
     /// Simulated time at which the run ended.
@@ -74,6 +111,84 @@ pub struct RunMetrics {
     /// Pairs still stored in the inventory at the end of the run (the
     /// "leftover value" the paper's conservative-scoring note mentions).
     pub leftover_pairs: u64,
+}
+
+impl Serialize for RunMetrics {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            (
+                "distillation_overhead".to_string(),
+                self.distillation_overhead.to_value(),
+            ),
+            (
+                "swaps_performed".to_string(),
+                self.swaps_performed.to_value(),
+            ),
+            (
+                "pairs_generated".to_string(),
+                self.pairs_generated.to_value(),
+            ),
+            ("pairs_lost".to_string(), self.pairs_lost.to_value()),
+            ("satisfied".to_string(), self.satisfied.to_value()),
+            (
+                "arrived_requests".to_string(),
+                self.arrived_requests.to_value(),
+            ),
+            (
+                "unsatisfied_requests".to_string(),
+                self.unsatisfied_requests.to_value(),
+            ),
+            (
+                "dropped_requests".to_string(),
+                self.dropped_requests.to_value(),
+            ),
+            ("classical".to_string(), self.classical.to_value()),
+            ("ended_at".to_string(), self.ended_at.to_value()),
+            ("leftover_pairs".to_string(), self.leftover_pairs.to_value()),
+        ];
+        // Physics counters join only when physics actually fired, keeping
+        // the pre-physics byte layout for ideal runs.
+        if self.expired_pairs > 0 {
+            entries.push(("expired_pairs".to_string(), self.expired_pairs.to_value()));
+        }
+        if self.fidelity_rejected_requests > 0 {
+            entries.push((
+                "fidelity_rejected_requests".to_string(),
+                self.fidelity_rejected_requests.to_value(),
+            ));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for RunMetrics {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("RunMetrics object", value));
+        }
+        let field = |name: &str| value.get_field(name).unwrap_or(&Value::Null);
+        let counter = |name: &str| -> Result<u64, DeError> {
+            match field(name) {
+                Value::Null => Ok(0),
+                v => Deserialize::from_value(v),
+            }
+        };
+        Ok(RunMetrics {
+            distillation_overhead: Deserialize::from_value(field("distillation_overhead"))?,
+            swaps_performed: Deserialize::from_value(field("swaps_performed"))?,
+            pairs_generated: Deserialize::from_value(field("pairs_generated"))?,
+            pairs_lost: Deserialize::from_value(field("pairs_lost"))?,
+            expired_pairs: counter("expired_pairs")?,
+            satisfied: Deserialize::from_value(field("satisfied"))?,
+            arrived_requests: Deserialize::from_value(field("arrived_requests"))?,
+            unsatisfied_requests: Deserialize::from_value(field("unsatisfied_requests"))?,
+            dropped_requests: Deserialize::from_value(field("dropped_requests"))?,
+            fidelity_rejected_requests: counter("fidelity_rejected_requests")?,
+            classical: Deserialize::from_value(field("classical"))?,
+            ended_at: Deserialize::from_value(field("ended_at"))?,
+            leftover_pairs: Deserialize::from_value(field("leftover_pairs"))?,
+        })
+    }
 }
 
 impl RunMetrics {
@@ -115,9 +230,14 @@ impl RunMetrics {
         Some(last.saturating_since(first).as_secs_f64() / (self.satisfied.len() - 1) as f64)
     }
 
-    /// Fraction of requests satisfied.
+    /// Fraction of requests satisfied. Fidelity-rejected deliveries count
+    /// against the ratio (the request consumed resources yet its user got
+    /// entanglement below spec); under ideal physics the formula reduces to
+    /// the legacy satisfied / (satisfied + unsatisfied).
     pub fn satisfaction_ratio(&self) -> f64 {
-        let total = self.satisfied.len() as u64 + self.unsatisfied_requests;
+        let total = self.satisfied.len() as u64
+            + self.unsatisfied_requests
+            + self.fidelity_rejected_requests;
         if total == 0 {
             1.0
         } else {
@@ -154,6 +274,31 @@ impl RunMetrics {
         samples.sort_by(f64::total_cmp);
         qnet_sim::stats::percentile_of_sorted(&samples, q)
     }
+
+    /// End-to-end fidelities of the delivered entanglement, in satisfaction
+    /// order. Empty under ideal physics (deliveries carry no fidelity).
+    pub fn delivered_fidelity_samples(&self) -> Vec<f64> {
+        self.satisfied.iter().filter_map(|s| s.fidelity).collect()
+    }
+
+    /// Welford statistics over the delivered fidelities (empty accumulator
+    /// under ideal physics). Shares the campaign aggregation's mean/CI
+    /// machinery with the overhead and latency columns.
+    pub fn fidelity_stats(&self) -> RunningStats {
+        let mut stats = RunningStats::new();
+        for f in self.delivered_fidelity_samples() {
+            stats.record(f);
+        }
+        stats
+    }
+
+    /// The `q`-quantile of the delivered fidelities (nearest-rank over the
+    /// sorted samples). `None` when no delivery carried a fidelity.
+    pub fn fidelity_percentile(&self, q: f64) -> Option<f64> {
+        let mut samples = self.delivered_fidelity_samples();
+        samples.sort_by(f64::total_cmp);
+        qnet_sim::stats::percentile_of_sorted(&samples, q)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +314,7 @@ mod tests {
             satisfied_at: SimTime::from_secs(at_secs),
             shortest_path_hops: hops,
             repair_swaps: 0,
+            fidelity: None,
         }
     }
 
@@ -178,10 +324,12 @@ mod tests {
             swaps_performed: 10,
             pairs_generated: 100,
             pairs_lost: 0,
+            expired_pairs: 0,
             satisfied: vec![satisfied(0, 2, 1), satisfied(1, 4, 3), satisfied(2, 3, 5)],
             arrived_requests: 4,
             unsatisfied_requests: 1,
             dropped_requests: 0,
+            fidelity_rejected_requests: 0,
             classical: ClassicalStats::new(),
             ended_at: SimTime::from_secs(10),
             leftover_pairs: 7,
@@ -249,6 +397,54 @@ mod tests {
         let stats = m.sojourn_stats();
         assert_eq!(stats.count(), 3);
         assert!((stats.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_stats_cover_only_deliveries_with_fidelity() {
+        let mut m = base_metrics();
+        assert!(m.delivered_fidelity_samples().is_empty());
+        assert_eq!(m.fidelity_percentile(0.5), None);
+        assert_eq!(m.fidelity_stats().count(), 0);
+        m.satisfied[0].fidelity = Some(0.9);
+        m.satisfied[2].fidelity = Some(0.7);
+        assert_eq!(m.delivered_fidelity_samples(), vec![0.9, 0.7]);
+        assert_eq!(m.fidelity_percentile(0.5), Some(0.7));
+        assert_eq!(m.fidelity_percentile(0.95), Some(0.9));
+        let stats = m.fidelity_stats();
+        assert_eq!(stats.count(), 2);
+        assert!((stats.mean() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_rejections_count_against_satisfaction() {
+        let mut m = base_metrics(); // 3 satisfied, 1 unsatisfied → 0.75
+        assert!((m.satisfaction_ratio() - 0.75).abs() < 1e-12);
+        m.fidelity_rejected_requests = 4; // 3 of 8 served to spec
+        assert!((m.satisfaction_ratio() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physics_fields_keep_legacy_bytes_when_inactive() {
+        let ideal = base_metrics();
+        let v = ideal.to_value();
+        assert!(v.get_field("expired_pairs").is_none());
+        assert!(v.get_field("fidelity_rejected_requests").is_none());
+        let sat = &v.get_field("satisfied").unwrap().as_seq().unwrap()[0];
+        assert!(sat.get_field("fidelity").is_none());
+        // Legacy documents (no physics keys) load with zeros/None implied.
+        let back = RunMetrics::from_value(&v).unwrap();
+        assert_eq!(back, ideal);
+
+        // Decoherent metrics round-trip their physics fields.
+        let mut physical = base_metrics();
+        physical.expired_pairs = 5;
+        physical.fidelity_rejected_requests = 2;
+        physical.satisfied[1].fidelity = Some(0.83);
+        let v = physical.to_value();
+        assert_eq!(*v.get_field("expired_pairs").unwrap(), 5u64);
+        let back = RunMetrics::from_value(&v).unwrap();
+        assert_eq!(back, physical);
+        assert_eq!(back.satisfied[1].fidelity, Some(0.83));
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub enum NetEvent {
         /// The arriving request.
         request: ConsumptionRequest,
     },
+    /// Discard stored pairs that outlived the physics cutoff (scheduled only
+    /// under decoherent physics with a finite cutoff; never fires under the
+    /// default ideal physics, keeping those runs byte-identical).
+    CutoffSweep,
 }
 
 /// The simulation substrate: policy-agnostic world state plus the attached
@@ -74,6 +78,12 @@ pub struct QuantumNetworkWorld {
     generation: PoissonProcess,
     recorder: MetricsRecorder,
     extra_observers: Vec<Box<dyn RunObserver>>,
+    /// Storage-age cutoff of the physics model, if any.
+    cutoff: Option<SimDuration>,
+    /// End-to-end fidelity floor of the physics model, if any.
+    fidelity_floor: Option<f64>,
+    /// Whether a [`NetEvent::CutoffSweep`] is currently scheduled.
+    sweep_pending: bool,
 }
 
 impl QuantumNetworkWorld {
@@ -89,10 +99,14 @@ impl QuantumNetworkWorld {
     ) -> Self {
         let graph = config.build_graph();
         let n = graph.node_count();
-        let inventory = match config.buffer_limit {
+        let mut inventory = match config.buffer_limit {
             Some(limit) => Inventory::with_buffer_limit(n, limit),
             None => Inventory::new(n),
         };
+        // Decoherent physics: pairs become age/fidelity-tracked lots. Under
+        // the default ideal physics this is a no-op and every code path
+        // below behaves exactly as the pre-physics stack.
+        inventory.enable_lot_tracking(&config.physics);
         let gossip = match knowledge {
             KnowledgeModel::Gossip { peers_per_refresh } => {
                 Some(GossipState::new(n, peers_per_refresh))
@@ -115,6 +129,9 @@ impl QuantumNetworkWorld {
             generation,
             recorder: MetricsRecorder::new(),
             extra_observers: Vec::new(),
+            cutoff: config.physics.cutoff_s().map(SimDuration::from_secs_f64),
+            fidelity_floor: config.physics.fidelity_floor(),
+            sweep_pending: false,
         };
         world.seed_events(queue);
         // Requests are injected over simulated time: closed-loop batches all
@@ -239,13 +256,23 @@ impl QuantumNetworkWorld {
         }
     }
 
-    /// Consume `k` pairs for `request` and record the satisfaction.
+    /// Consume `k` pairs for `request` and record the outcome: a
+    /// satisfaction, or — when the delivered fidelity falls below the
+    /// physics model's floor — a fidelity rejection (the pairs are spent
+    /// either way, exactly as a real teleportation would spend them).
     fn consume(&mut self, now: SimTime, request: ConsumptionRequest, k: u64, repair_swaps: u64) {
-        self.inventory
-            .remove_pairs(request.pair, k)
+        let fidelity = self
+            .inventory
+            .remove_pairs_with_fidelity(request.pair, k)
             .expect("checked availability");
         self.notify(|o| o.on_teleportation(now));
         self.record_inventory_change(now);
+        if let (Some(floor), Some(f)) = (self.fidelity_floor, fidelity) {
+            if f < floor {
+                self.notify(|o| o.on_fidelity_rejected(now, &request, f));
+                return;
+            }
+        }
         let satisfied = SatisfiedRequest {
             sequence: request.sequence,
             pair: request.pair,
@@ -253,6 +280,7 @@ impl QuantumNetworkWorld {
             satisfied_at: now,
             shortest_path_hops: self.shortest_hops(request.pair),
             repair_swaps,
+            fidelity,
         };
         self.notify(|o| o.on_request_satisfied(now, &satisfied));
     }
@@ -328,6 +356,41 @@ impl QuantumNetworkWorld {
         self.pending = remaining;
     }
 
+    /// Make sure a cutoff sweep is scheduled whenever tracked pairs exist.
+    /// The sweep chain is self-sustaining (each sweep schedules the next
+    /// from the oldest surviving lot); this re-arms it after it dies out.
+    fn arm_cutoff_sweep(&mut self, now: SimTime, queue: &mut EventQueue<NetEvent>) {
+        let Some(cutoff) = self.cutoff else {
+            return;
+        };
+        if !self.sweep_pending {
+            queue.schedule_at(now + cutoff, NetEvent::CutoffSweep);
+            self.sweep_pending = true;
+        }
+    }
+
+    /// Discard every stored pair whose age reached the cutoff, then chain
+    /// the next sweep to the oldest surviving lot's expiry time.
+    fn handle_cutoff_sweep(&mut self, now: SimTime, queue: &mut EventQueue<NetEvent>) {
+        self.sweep_pending = false;
+        let cutoff = self.cutoff.expect("sweeps only scheduled with a cutoff");
+        let expired = self.inventory.purge_expired(cutoff);
+        for pair in expired {
+            self.notify(|o| o.on_pair_expired(now, pair));
+            // An expiry changes buffer counts like any other mutation, so
+            // the knowledge layer pays for disseminating it.
+            self.record_inventory_change(now);
+        }
+        if !self.is_done() {
+            if let Some(oldest) = self.inventory.earliest_lot_time() {
+                // Survivors expire strictly after `now` (the purge was
+                // inclusive), so the chain always advances.
+                queue.schedule_at(oldest + cutoff, NetEvent::CutoffSweep);
+                self.sweep_pending = true;
+            }
+        }
+    }
+
     fn handle_generate(&mut self, now: SimTime, edge: NodePair, queue: &mut EventQueue<NetEvent>) {
         // §3.2 loss: only a fraction 1/L of raw generations survive to be
         // stored as usable pairs.
@@ -335,6 +398,7 @@ impl QuantumNetworkWorld {
         if survives && self.inventory.add_pair(edge).is_ok() {
             self.notify(|o| o.on_pair_generated(now, edge));
             self.record_inventory_change(now);
+            self.arm_cutoff_sweep(now, queue);
             self.try_satisfy(now);
         } else {
             // Lost before storage, or dropped on a full buffer.
@@ -383,6 +447,7 @@ impl QuantumNetworkWorld {
                 self.notify(|o| o.on_swap(now, SwapKind::Balancing));
                 self.notify(|o| o.on_swap_correction(now));
                 self.record_inventory_change(now);
+                self.arm_cutoff_sweep(now, queue);
                 self.try_satisfy(now);
             }
         }
@@ -476,11 +541,15 @@ impl World for QuantumNetworkWorld {
     type Event = NetEvent;
 
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        // Age the lot store to the event time before anything mutates the
+        // inventory (including policy hooks). A no-op under ideal physics.
+        self.inventory.set_clock(now);
         self.notify(|o| o.on_event(now));
         match event {
             NetEvent::Generate { edge } => self.handle_generate(now, edge, queue),
             NetEvent::SwapScan { node } => self.handle_swap_scan(now, node, queue),
             NetEvent::RequestArrival { request } => self.handle_request_arrival(now, request),
+            NetEvent::CutoffSweep => self.handle_cutoff_sweep(now, queue),
         }
     }
 }
@@ -561,6 +630,77 @@ mod tests {
         let c = run_world(config, workload, PolicyId::OBLIVIOUS, 24, 300);
         assert_eq!(a.metrics(), b.metrics());
         assert_ne!(a.metrics(), c.metrics());
+    }
+
+    #[test]
+    fn decoherent_runs_deliver_fidelity_and_expire_pairs() {
+        use crate::physics::PhysicsModel;
+        // Aggressive decoherence: T2 = 1 s with a 2 s cutoff on a cycle-7
+        // at 1 pair/s per edge — most stored pairs rot before use.
+        let physics = PhysicsModel::decoherent(1.0).with_cutoff_age(2.0);
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 7 }).with_physics(physics);
+        let workload = Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
+        let world = run_world(config, workload, PolicyId::OBLIVIOUS, 29, 900);
+        let m = world.metrics();
+        assert!(!m.satisfied.is_empty());
+        for s in &m.satisfied {
+            let f = s.fidelity.expect("decoherent deliveries carry fidelity");
+            assert!((0.25..=1.0).contains(&f), "fidelity {f}");
+        }
+        assert!(m.expired_pairs > 0, "short cutoff must expire pairs");
+        assert!(m.fidelity_stats().count() > 0);
+    }
+
+    #[test]
+    fn decoherent_runs_are_deterministic() {
+        use crate::physics::PhysicsModel;
+        let physics = PhysicsModel::decoherent(0.8).with_fidelity_floor(0.6);
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 6 }).with_physics(physics);
+        let workload = || Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
+        let a = run_world(config, workload(), PolicyId::OBLIVIOUS, 31, 600);
+        let b = run_world(config, workload(), PolicyId::OBLIVIOUS, 31, 600);
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn fidelity_floor_rejects_low_quality_deliveries() {
+        use crate::physics::PhysicsModel;
+        // A punishing floor on a long chain: a 4-hop delivery composes four
+        // Werner pairs (≈ 0.93 even when fresh at F₀ = 0.98), so every
+        // delivery lands below 0.95. The cutoff is disabled so pairs live
+        // long enough to be swapped at all — the floor alone does the work.
+        let physics = PhysicsModel::decoherent(2.0)
+            .with_fidelity_floor(0.95)
+            .with_cutoff_age(f64::INFINITY);
+        let config = NetworkConfig::new(Topology::Cycle { nodes: 8 }).with_physics(physics);
+        let workload = Workload::from_pairs(vec![pair(0, 4)]);
+        let world = run_world(config, workload, PolicyId::PLANNED, 37, 400);
+        let m = world.metrics();
+        assert!(
+            m.fidelity_rejected_requests > 0,
+            "a 0.95 floor at T2=0.5s must reject deliveries: {m:?}"
+        );
+        // Every delivery that did survive met the floor.
+        for s in &m.satisfied {
+            assert!(s.fidelity.unwrap() >= 0.95);
+        }
+    }
+
+    #[test]
+    fn ideal_physics_stays_byte_identical_to_the_prephysics_world() {
+        use crate::physics::PhysicsModel;
+        // `with_physics(Ideal)` and the default construction run the exact
+        // same event sequence: no clocks, no sweeps, no fidelity.
+        let base = NetworkConfig::new(Topology::Cycle { nodes: 6 });
+        let explicit = base.with_physics(PhysicsModel::Ideal);
+        let workload = || Workload::from_pairs(vec![pair(0, 3), pair(1, 4)]);
+        let a = run_world(base, workload(), PolicyId::OBLIVIOUS, 23, 300);
+        let b = run_world(explicit, workload(), PolicyId::OBLIVIOUS, 23, 300);
+        let (ma, mb) = (a.metrics(), b.metrics());
+        assert_eq!(ma, mb);
+        assert_eq!(ma.expired_pairs, 0);
+        assert_eq!(ma.fidelity_rejected_requests, 0);
+        assert!(ma.satisfied.iter().all(|s| s.fidelity.is_none()));
     }
 
     #[test]

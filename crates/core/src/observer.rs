@@ -36,6 +36,9 @@ pub trait RunObserver: std::fmt::Debug + Send {
     fn on_pair_generated(&mut self, _now: SimTime, _edge: NodePair) {}
     /// A generated Bell pair was lost (decoherence/loss or a full buffer).
     fn on_pair_lost(&mut self, _now: SimTime, _edge: NodePair) {}
+    /// A stored pair outlived the physics model's storage cutoff and was
+    /// discarded (decoherent physics only).
+    fn on_pair_expired(&mut self, _now: SimTime, _pair: NodePair) {}
     /// A swap was executed.
     fn on_swap(&mut self, _now: SimTime, _kind: SwapKind) {}
     /// A swap's 2-bit correction message was sent.
@@ -51,6 +54,16 @@ pub trait RunObserver: std::fmt::Debug + Send {
     /// A consumption request was dropped by the policy (e.g. unreachable
     /// endpoints).
     fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {}
+    /// A delivery consumed its pairs but fell below the physics model's
+    /// end-to-end fidelity floor: the request leaves the queue as
+    /// fidelity-rejected rather than satisfied (decoherent physics only).
+    fn on_fidelity_rejected(
+        &mut self,
+        _now: SimTime,
+        _request: &ConsumptionRequest,
+        _fidelity: f64,
+    ) {
+    }
 }
 
 /// The standard observer: folds the run's events into [`RunMetrics`].
@@ -59,9 +72,11 @@ pub struct MetricsRecorder {
     swaps_performed: u64,
     pairs_generated: u64,
     pairs_lost: u64,
+    pairs_expired: u64,
     satisfied: Vec<SatisfiedRequest>,
     arrived_requests: u64,
     dropped_requests: u64,
+    fidelity_rejected_requests: u64,
     classical: ClassicalStats,
     last_event_time: SimTime,
 }
@@ -96,10 +111,12 @@ impl MetricsRecorder {
             swaps_performed: self.swaps_performed,
             pairs_generated: self.pairs_generated,
             pairs_lost: self.pairs_lost,
+            expired_pairs: self.pairs_expired,
             satisfied: self.satisfied.clone(),
             arrived_requests: self.arrived_requests,
             unsatisfied_requests,
             dropped_requests: self.dropped_requests,
+            fidelity_rejected_requests: self.fidelity_rejected_requests,
             classical: self.classical,
             ended_at: self.last_event_time,
             leftover_pairs,
@@ -118,6 +135,10 @@ impl RunObserver for MetricsRecorder {
 
     fn on_pair_lost(&mut self, _now: SimTime, _edge: NodePair) {
         self.pairs_lost += 1;
+    }
+
+    fn on_pair_expired(&mut self, _now: SimTime, _pair: NodePair) {
+        self.pairs_expired += 1;
     }
 
     fn on_swap(&mut self, _now: SimTime, _kind: SwapKind) {
@@ -147,6 +168,15 @@ impl RunObserver for MetricsRecorder {
     fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
         self.dropped_requests += 1;
     }
+
+    fn on_fidelity_rejected(
+        &mut self,
+        _now: SimTime,
+        _request: &ConsumptionRequest,
+        _fidelity: f64,
+    ) {
+        self.fidelity_rejected_requests += 1;
+    }
 }
 
 /// Share one observer between the world and the caller: an
@@ -165,6 +195,11 @@ impl<O: RunObserver> RunObserver for std::sync::Arc<std::sync::Mutex<O>> {
         self.lock()
             .expect("observer poisoned")
             .on_pair_lost(now, edge);
+    }
+    fn on_pair_expired(&mut self, now: SimTime, pair: NodePair) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_pair_expired(now, pair);
     }
     fn on_swap(&mut self, now: SimTime, kind: SwapKind) {
         self.lock().expect("observer poisoned").on_swap(now, kind);
@@ -199,6 +234,11 @@ impl<O: RunObserver> RunObserver for std::sync::Arc<std::sync::Mutex<O>> {
             .expect("observer poisoned")
             .on_request_dropped(now, request);
     }
+    fn on_fidelity_rejected(&mut self, now: SimTime, request: &ConsumptionRequest, fidelity: f64) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_fidelity_rejected(now, request, fidelity);
+    }
 }
 
 /// A minimal auxiliary observer counting event categories — useful in tests
@@ -217,6 +257,10 @@ pub struct EventCounts {
     pub satisfied: u64,
     /// Requests dropped.
     pub dropped: u64,
+    /// Stored pairs discarded by the physics cutoff.
+    pub expired: u64,
+    /// Deliveries rejected for falling below the fidelity floor.
+    pub fidelity_rejected: u64,
 }
 
 impl RunObserver for EventCounts {
@@ -241,6 +285,19 @@ impl RunObserver for EventCounts {
 
     fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
         self.dropped += 1;
+    }
+
+    fn on_pair_expired(&mut self, _now: SimTime, _pair: NodePair) {
+        self.expired += 1;
+    }
+
+    fn on_fidelity_rejected(
+        &mut self,
+        _now: SimTime,
+        _request: &ConsumptionRequest,
+        _fidelity: f64,
+    ) {
+        self.fidelity_rejected += 1;
     }
 }
 
@@ -275,8 +332,11 @@ mod tests {
             satisfied_at: t,
             shortest_path_hops: 2,
             repair_swaps: 1,
+            fidelity: None,
         };
         r.on_request_satisfied(t, &sat);
+        r.on_pair_expired(t, NodePair::new(NodeId(1), NodeId(2)));
+        r.on_fidelity_rejected(t, &arrival, 0.4);
 
         let m = r.snapshot(1.0, 4, 9);
         assert_eq!(m.swaps_performed, 2);
@@ -285,6 +345,8 @@ mod tests {
         assert_eq!(m.pairs_lost, 1);
         assert_eq!(m.satisfied, vec![sat]);
         assert_eq!(m.unsatisfied_requests, 4);
+        assert_eq!(m.expired_pairs, 1);
+        assert_eq!(m.fidelity_rejected_requests, 1);
         assert_eq!(m.leftover_pairs, 9);
         assert_eq!(m.classical.correction_messages, 1);
         assert_eq!(m.classical.teleport_messages, 1);

@@ -153,6 +153,18 @@ impl<W: Write + Send> RunObserver for TraceWriter<W> {
         }
     }
 
+    fn on_pair_expired(&mut self, now: SimTime, pair: NodePair) {
+        // Cutoff expiries scale with generation_rate × horizon at short
+        // coherence times, so they ride with the pair-event firehose opt-in.
+        if self.include_pair_events {
+            self.write_record(
+                "pair_expired",
+                now,
+                vec![("pair".to_string(), pair_value(pair))],
+            );
+        }
+    }
+
     fn on_swap(&mut self, now: SimTime, kind: SwapKind) {
         let label = match kind {
             SwapKind::Balancing => "balancing",
@@ -180,11 +192,20 @@ impl<W: Write + Send> RunObserver for TraceWriter<W> {
             "hops".to_string(),
             Value::U64(request.shortest_path_hops as u64),
         ));
+        if let Some(f) = request.fidelity {
+            fields.push(("fidelity".to_string(), Value::F64(f)));
+        }
         self.write_record("satisfied", now, fields);
     }
 
     fn on_request_dropped(&mut self, now: SimTime, request: &ConsumptionRequest) {
         self.write_record("drop", now, request_fields(request.sequence, request.pair));
+    }
+
+    fn on_fidelity_rejected(&mut self, now: SimTime, request: &ConsumptionRequest, fidelity: f64) {
+        let mut fields = request_fields(request.sequence, request.pair);
+        fields.push(("fidelity".to_string(), Value::F64(fidelity)));
+        self.write_record("fidelity_reject", now, fields);
     }
 }
 
@@ -215,6 +236,7 @@ mod tests {
             satisfied_at: SimTime::from_secs(13),
             shortest_path_hops: 4,
             repair_swaps: 0,
+            fidelity: None,
         };
         w.on_request_satisfied(SimTime::from_secs(13), &sat);
         w.on_request_dropped(SimTime::from_secs(14), &sample_request());
@@ -241,15 +263,41 @@ mod tests {
         let mut quiet = TraceWriter::new(Vec::new());
         quiet.on_pair_generated(SimTime::ZERO, edge);
         quiet.on_pair_lost(SimTime::ZERO, edge);
+        quiet.on_pair_expired(SimTime::ZERO, edge);
         assert_eq!(quiet.lines_written(), 0);
 
         let mut loud = TraceWriter::new(Vec::new()).with_pair_events();
         loud.on_pair_generated(SimTime::ZERO, edge);
         loud.on_pair_lost(SimTime::ZERO, edge);
-        assert_eq!(loud.lines_written(), 2);
+        loud.on_pair_expired(SimTime::ZERO, edge);
+        assert_eq!(loud.lines_written(), 3);
         let text = String::from_utf8(loud.into_sink().unwrap()).unwrap();
         assert!(text.contains("\"pair_generated\""));
         assert!(text.contains("\"pair_lost\""));
+        assert!(text.contains("\"pair_expired\""));
+    }
+
+    #[test]
+    fn physics_records_carry_fidelity() {
+        let mut w = TraceWriter::new(Vec::new());
+        let sat = SatisfiedRequest {
+            sequence: 1,
+            pair: NodePair::new(NodeId(0), NodeId(4)),
+            arrival_time: SimTime::ZERO,
+            satisfied_at: SimTime::from_secs(2),
+            shortest_path_hops: 3,
+            repair_swaps: 0,
+            fidelity: Some(0.87),
+        };
+        w.on_request_satisfied(SimTime::from_secs(2), &sat);
+        w.on_fidelity_rejected(SimTime::from_secs(3), &sample_request(), 0.41);
+        let text = String::from_utf8(w.into_sink().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let satisfied: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(satisfied["fidelity"], 0.87);
+        let rejected: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(rejected["kind"], "fidelity_reject");
+        assert_eq!(rejected["fidelity"], 0.41);
     }
 
     #[test]

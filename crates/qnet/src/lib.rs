@@ -194,6 +194,76 @@
 //! JSONL while a run executes, attach a [`core::trace::TraceWriter`] via
 //! [`core::network::QuantumNetworkWorld::add_observer`].
 //!
+//! ## Modeling link physics
+//!
+//! The paper's evaluation treats Bell pairs as interchangeable tokens; the
+//! physics subsystem ([`core::physics`]) makes them first-class physical
+//! objects. A [`core::physics::PhysicsModel`] travels on
+//! [`core::NetworkConfig`]:
+//!
+//! * `Ideal` (the default) is exactly the paper's semantics — nothing new
+//!   is simulated, results stay byte-identical to pre-physics reports;
+//! * `Decoherent { .. }` gives every stored pair a creation timestamp and a
+//!   birth fidelity. Stored pairs decay under the Werner model
+//!   ([`quantum::decoherence::DecoherenceModel`]); a swap ages both inputs
+//!   to the swap time and composes them with
+//!   [`quantum::swap::swap_werner_fidelity`], restarting the product's
+//!   clock; an optional storage cutoff discards expired pairs as timed
+//!   events (the [`core::observer::RunObserver::on_pair_expired`] hook);
+//!   and an optional end-to-end fidelity floor turns deliveries below
+//!   threshold into a distinct failure class
+//!   ([`core::metrics::RunMetrics::fidelity_rejected_requests`]).
+//!
+//! Which stored pair a consumption draws is the
+//! [`core::physics::ConsumeOrder`] knob (oldest-first FIFO vs newest-first
+//! LIFO). Delivered fidelities surface per run through
+//! [`core::metrics::RunMetrics::fidelity_stats`] /
+//! [`core::metrics::RunMetrics::fidelity_percentile`] and per campaign
+//! through the `fidelity_mean`/`fidelity_p50`/`fidelity_p95` and
+//! `expired_pairs_total` report columns (decoherent cells only — ideal
+//! cells keep the legacy byte layout). On the CLI this is
+//! `campaign --physics ideal,decoherent:T2[:FLOOR]` (see
+//! `campaign --list-physics`).
+//!
+//! Physics sharpens the paper's central comparison: path-oblivious
+//! balancing seeds pairs ahead of demand, so its inventory is
+//! systematically *older* than a planner's just-in-time pairs — and
+//! decoherence punishes exactly that (run
+//! `cargo run --example decoherence_knee --release` to see the knee).
+//!
+//! ```
+//! use qnet::core::physics::{ConsumeOrder, PhysicsModel};
+//! use qnet::prelude::*;
+//!
+//! // T2 = 2 s memories, delivered fidelity must reach 0.7; pairs that can
+//! // no longer meet the floor on their own are discarded by the derived
+//! // storage cutoff.
+//! let physics = PhysicsModel::decoherent(2.0)
+//!     .with_fidelity_floor(0.7)
+//!     .with_consume_order(ConsumeOrder::OldestFirst);
+//! assert!(physics.cutoff_s().unwrap() > 0.0);
+//!
+//! let config = ExperimentConfig {
+//!     network: NetworkConfig::new(Topology::Cycle { nodes: 7 }).with_physics(physics),
+//!     workload: WorkloadSpec::closed_loop(7, 5, 6),
+//!     mode: PolicyId::OBLIVIOUS,
+//!     seed: 9,
+//!     max_sim_time_s: 1_000.0,
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = Experiment::new(config).run();
+//! // Every delivery that survived the floor carries its fidelity…
+//! for s in &result.metrics.satisfied {
+//!     assert!(s.fidelity.unwrap() >= 0.7);
+//! }
+//! // …and the physics failure classes are accounted separately.
+//! let m = &result.metrics;
+//! assert!(m.expired_pairs > 0 || m.fidelity_rejected_requests > 0 || !m.satisfied.is_empty());
+//!
+//! // Ideal physics is the default and changes nothing:
+//! assert!(NetworkConfig::new(Topology::Cycle { nodes: 7 }).physics.is_ideal());
+//! ```
+//!
 //! ## Writing your own `SwapPolicy`
 //!
 //! Swapping disciplines are plugins: implement
@@ -292,6 +362,7 @@ pub mod prelude {
     pub use qnet_core::lp_model::{LpObjective, SteadyStateModel};
     pub use qnet_core::nested::nested_swap_cost;
     pub use qnet_core::observer::{MetricsRecorder, RunObserver};
+    pub use qnet_core::physics::{ConsumeOrder, PhysicsModel};
     pub use qnet_core::policy::{PolicyCtx, PolicyFamily, PolicyId, RequestAction, SwapPolicy};
     pub use qnet_core::rates::RateMatrices;
     pub use qnet_core::trace::TraceWriter;

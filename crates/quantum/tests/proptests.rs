@@ -88,6 +88,53 @@ proptest! {
         prop_assert!(chain_swap_fidelity(f, n) >= 0.25 - 1e-12);
     }
 
+    /// Swap output fidelity is monotone non-decreasing in each input: a
+    /// better input pair can never yield a worse swapped pair. (The live
+    /// lot store leans on this: consuming the *best* aged lot maximises the
+    /// composed fidelity.)
+    #[test]
+    fn swap_fidelity_monotone_in_inputs(
+        f1 in 0.25f64..1.0,
+        f2 in 0.25f64..1.0,
+        bump in 0.0f64..0.5,
+    ) {
+        let better = (f1 + bump).min(1.0);
+        prop_assert!(
+            swap_werner_fidelity(better, f2) >= swap_werner_fidelity(f1, f2) - 1e-12
+        );
+        // And chain fidelity inherits the monotonicity in the link quality.
+        let g = (f2 + bump).min(1.0);
+        prop_assert!(chain_swap_fidelity(g, 5) >= chain_swap_fidelity(f2, 5) - 1e-12);
+    }
+
+    /// `age_at_fidelity` is the exact inverse of `fidelity_after`: decaying
+    /// for the reported age lands on the floor, earlier stays above it,
+    /// later falls below it (the contract the cutoff derivation relies on).
+    #[test]
+    fn age_at_fidelity_round_trips_fidelity_after(
+        f0 in 0.35f64..1.0,
+        drop in 0.01f64..0.9,
+        coherence in 0.05f64..50.0,
+    ) {
+        let m = DecoherenceModel::with_coherence_time(coherence);
+        // Pick a reachable floor strictly between 1/4 and f0.
+        let f_min = 0.25 + (f0 - 0.25) * (1.0 - drop);
+        let age = m.age_at_fidelity(f0, f_min).expect("finite coherence, floor above 1/4");
+        prop_assert!(age >= 0.0);
+        let back = m.fidelity_after(f0, age);
+        prop_assert!((back - f_min).abs() < 1e-9, "age {age}: {back} vs {f_min}");
+        prop_assert!(m.fidelity_after(f0, age * 0.5) >= f_min - 1e-9);
+        prop_assert!(m.fidelity_after(f0, age + coherence * 0.1) <= f_min + 1e-9);
+        // The composed round-trip holds in the other direction too: the
+        // fidelity after any age inverts back to that age.
+        let t = age * 0.7;
+        let f_t = m.fidelity_after(f0, t);
+        if f_t > 0.2500001 && f_t < f0 {
+            let t_back = m.age_at_fidelity(f0, f_t).expect("reachable");
+            prop_assert!((t_back - t).abs() < 1e-6 * (1.0 + t), "{t_back} vs {t}");
+        }
+    }
+
     /// One BBPSSW round improves any distillable fidelity (F > 0.5) and its
     /// success probability is a valid probability.
     #[test]
