@@ -1,9 +1,17 @@
 //! Micro-benchmarks of the campaign engine: grid expansion, arrival
-//! generation, serial vs. parallel execution of a fixed scenario batch, and
-//! aggregation cost (closed- and open-loop latency paths).
+//! generation, serial vs. parallel execution of a fixed scenario batch,
+//! aggregation cost (closed- and open-loop latency paths), the warm
+//! cache-hit path, and shard merge throughput.
+//!
+//! `BENCH_JSON=BENCH_campaign.json cargo bench -p qnet-bench --bench
+//! campaign_micro` additionally appends one JSON record per benchmark —
+//! how the committed `BENCH_campaign.json` baseline is produced.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qnet_campaign::{aggregate, run_campaign, RunnerConfig, ScenarioGrid};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use qnet_campaign::{
+    aggregate, merge_shards, read_shard, run_campaign, run_campaign_cached, shard_to_string,
+    OutcomeCache, RunnerConfig, ScenarioGrid, ShardSpec,
+};
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::{PairSelection, WorkloadSpec};
 use qnet_topology::Topology;
@@ -69,6 +77,67 @@ fn campaign_benches(c: &mut Criterion) {
             let report = aggregate(&open_grid, &open_result);
             assert!(report.cell_reports.iter().all(|c| c.key.traffic.is_some()));
             report
+        })
+    });
+
+    // The cache-hit path: a fully warm cache replays every scenario without
+    // simulating — this times cache open + probe + outcome reconstruction
+    // (the fixed cost every orchestrated retry and resume pays per shard).
+    let cache_dir = std::env::temp_dir().join(format!("qnet-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    {
+        let mut cache = OutcomeCache::open(&cache_dir, &grid).expect("open cache");
+        let warmed = run_campaign_cached(&grid, &RunnerConfig::default(), &mut cache, |_, _| {})
+            .expect("warm the cache");
+        assert_eq!(warmed.cache_hits, 0);
+    }
+    group.bench_function("cache_hit_warm_replay", |b| {
+        b.iter(|| {
+            let mut cache = OutcomeCache::open(&cache_dir, &grid).expect("open cache");
+            let result =
+                run_campaign_cached(&grid, &RunnerConfig::default(), &mut cache, |_, _| {})
+                    .expect("replay from cache");
+            assert_eq!(result.simulated, 0, "warm replay must not simulate");
+            result
+        })
+    });
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // Merge throughput: parse a 3-way shard partition and recombine it —
+    // the validation + splice cost `campaign merge` (and every orchestrated
+    // final merge) pays on top of aggregation.
+    let shard_texts: Vec<String> = (0..3)
+        .map(|i| {
+            let spec = ShardSpec::new(i, 3).expect("spec");
+            let ids = spec.ids(grid.scenario_count());
+            let outcomes: Vec<_> = result
+                .outcomes
+                .iter()
+                .filter(|o| ids.contains(&o.id))
+                .cloned()
+                .collect();
+            shard_to_string(&grid, spec, &outcomes)
+        })
+        .collect();
+    group.bench_function("merge_shards_3way", |b| {
+        b.iter_batched(
+            || {
+                shard_texts
+                    .iter()
+                    .map(|t| read_shard(t).expect("parse shard"))
+                    .collect::<Vec<_>>()
+            },
+            |shards| merge_shards(shards).expect("merge"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("merge_shards_3way_parse_and_merge", |b| {
+        b.iter(|| {
+            let shards: Vec<_> = shard_texts
+                .iter()
+                .map(|t| read_shard(t).expect("parse shard"))
+                .collect();
+            merge_shards(shards).expect("merge")
         })
     });
 

@@ -45,9 +45,14 @@
 //!   hosts (`campaign --shard I/N`); each shard writes a self-describing
 //!   outcome file, and `campaign merge` recombines them into the exact
 //!   single-process report — byte-identical for any partition.
+//! * **Orchestration** ([`orchestrate`], [`resume_orchestrated`]): a
+//!   supervisor spawns N worker subprocesses over a shared run directory
+//!   and drives them to completion — heartbeat liveness, crash retry from
+//!   the shared cache, live partial reports, and a final merge
+//!   byte-identical to an uninterrupted run (`campaign orchestrate`).
 //!
-//! See the `qnet` facade docs ("Running sharded and incremental campaigns")
-//! for a worked example.
+//! See the `qnet` facade docs ("Running sharded and incremental campaigns"
+//! and "Running distributed campaigns") for worked examples.
 //!
 //! ## Example
 //!
@@ -76,6 +81,7 @@
 
 pub mod cache;
 pub mod grid;
+pub mod orchestrator;
 pub mod report;
 pub mod runner;
 pub mod shard;
@@ -107,12 +113,17 @@ pub fn policy_listing() -> String {
 
 pub use cache::OutcomeCache;
 pub use grid::{derive_seed, CellKey, GridFingerprint, Scenario, ScenarioGrid};
+pub use orchestrator::{
+    load_run_dir, orchestrate, resume as resume_orchestrated, InjectAbort, OrchestrateReport,
+    OrchestratorConfig, RunDir,
+};
 pub use report::{
-    aggregate, overhead_ratios, to_jsonl_string, write_jsonl, CampaignReport, CellReport,
-    OverheadRatioRow,
+    aggregate, aggregate_covered, overhead_ratios, to_jsonl_string, write_jsonl, CampaignReport,
+    CellReport, OverheadRatioRow,
 };
 pub use runner::{
-    run_campaign, run_campaign_cached, run_campaign_with_progress, run_scenarios_with_progress,
-    CampaignResult, RunnerConfig, ScenarioOutcome,
+    run_campaign, run_campaign_cached, run_campaign_with_progress, run_scenarios_streaming,
+    run_scenarios_with_progress, CampaignResult, OutcomeSource, RunnerConfig, ScenarioEvent,
+    ScenarioOutcome,
 };
 pub use shard::{merge_shards, read_shard, shard_to_string, write_shard, ShardFile, ShardSpec};

@@ -2,7 +2,13 @@
 //!
 //! ```text
 //! campaign [OPTIONS]                 run a sweep (full grid or one shard)
-//! campaign merge [--out F] SHARD...  recombine shard files into the report
+//! campaign merge [--out F] SHARD...  recombine shard files (or a directory
+//!                                    of them) into the report
+//! campaign orchestrate --workers N --run-dir DIR [OPTIONS]
+//!                                    supervise N worker subprocesses over a
+//!                                    shared run directory, with retries,
+//!                                    crash recovery and live merging
+//! campaign orchestrate --resume DIR  pick a killed/failed run back up
 //!
 //!   --topologies LIST   comma-separated topology specs (default:
 //!                       cycle:9,rand-grid:3,ws:9:4:0.2); see
@@ -46,9 +52,11 @@
 //! run, and any `--shard I/N` partition recombined with `campaign merge`
 //! all produce byte-identical JSONL reports (the CI smoke job `cmp`s them).
 
+use qnet_campaign::orchestrator::events::ProgressWriter;
 use qnet_campaign::{
-    aggregate, merge_shards, policy_listing, read_shard, run_campaign, run_scenarios_with_progress,
-    shard_to_string, to_jsonl_string, OutcomeCache, RunnerConfig, ScenarioGrid, ShardSpec,
+    aggregate, merge_shards, orchestrate, policy_listing, read_shard, resume_orchestrated,
+    run_campaign, run_scenarios_streaming, shard_to_string, to_jsonl_string, InjectAbort,
+    OrchestratorConfig, OutcomeCache, OutcomeSource, RunDir, RunnerConfig, ScenarioGrid, ShardSpec,
 };
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::physics::PhysicsModel;
@@ -80,6 +88,17 @@ struct Options {
     out: Option<String>,
     compare_serial: bool,
     dry_run: bool,
+    /// Load the grid from a JSON descriptor instead of the grid-shaping
+    /// flags (how orchestrated workers receive their grid).
+    grid_file: Option<String>,
+    /// Stream seq-numbered JSONL progress events (shard claimed, scenario
+    /// simulated/cache-hit, shard sealed) to this file.
+    progress: Option<String>,
+    /// Testing hook: exit with code 17 after N simulated scenarios.
+    worker_abort_after: Option<usize>,
+    /// True once any grid-shaping flag was given (conflicts with
+    /// --grid-file).
+    grid_flags_used: bool,
 }
 
 impl Default for Options {
@@ -110,6 +129,10 @@ impl Default for Options {
             out: None,
             compare_serial: false,
             dry_run: false,
+            grid_file: None,
+            progress: None,
+            worker_abort_after: None,
+            grid_flags_used: false,
         }
     }
 }
@@ -268,6 +291,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         let mut value = |name: &str| -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
+        // Grid-shaping flags conflict with --grid-file (a descriptor file
+        // is authoritative; silently overriding part of it would be worse).
+        if matches!(
+            arg.as_str(),
+            "--topologies"
+                | "--modes"
+                | "--dist"
+                | "--gossip"
+                | "--physics"
+                | "--pairs"
+                | "--requests"
+                | "--workload"
+                | "--replicates"
+                | "--seed"
+                | "--horizon"
+        ) {
+            opts.grid_flags_used = true;
+        }
         match arg.as_str() {
             "--topologies" => {
                 opts.topologies =
@@ -339,6 +380,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?.clone()),
             "--shard" => opts.shard = Some(ShardSpec::parse(value("--shard")?)?),
             "--out" => opts.out = Some(value("--out")?.clone()),
+            "--grid-file" => opts.grid_file = Some(value("--grid-file")?.clone()),
+            "--progress" => opts.progress = Some(value("--progress")?.clone()),
+            "--worker-abort-after" => {
+                opts.worker_abort_after = Some(
+                    value("--worker-abort-after")?
+                        .parse()
+                        .map_err(|_| "--worker-abort-after needs an integer".to_string())?,
+                )
+            }
             "--list-policies" => return Err("list-policies".to_string()),
             "--list-workloads" => return Err("list-workloads".to_string()),
             "--list-topologies" => return Err("list-topologies".to_string()),
@@ -380,7 +430,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .to_string(),
         );
     }
+    if opts.grid_file.is_some() && opts.grid_flags_used {
+        return Err(
+            "--grid-file provides the whole grid; it cannot be combined with \
+             grid-shaping flags (--topologies, --modes, --seed, …)"
+                .to_string(),
+        );
+    }
     Ok(opts)
+}
+
+/// Load a grid descriptor written by `campaign orchestrate` (or any
+/// serialized [`ScenarioGrid`]) — how orchestrated workers receive their
+/// grid without re-serializing it through CLI flags.
+fn load_grid_file(path: &str) -> Result<ScenarioGrid, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read grid file {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("grid file {path}: {e}"))
 }
 
 fn build_grid(opts: &Options) -> ScenarioGrid {
@@ -406,6 +472,42 @@ fn build_grid(opts: &Options) -> ScenarioGrid {
         .with_workloads(workloads)
         .with_replicates(opts.replicates)
         .with_horizon_s(opts.horizon)
+}
+
+/// Shard files inside `dir` (`shard-*.jsonl`, sealed only), sorted by name
+/// for deterministic merge input order. Falls back to a `shards/`
+/// subdirectory, so an orchestrator run directory merges directly.
+fn shard_files_in_dir(dir: &Path) -> Result<Vec<String>, String> {
+    let listing = |d: &Path| -> Result<Vec<String>, String> {
+        let mut found = Vec::new();
+        let entries = std::fs::read_dir(d)
+            .map_err(|e| format!("cannot read directory {}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read directory {}: {e}", d.display()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("shard-") && name.ends_with(".jsonl") {
+                found.push(entry.path().to_string_lossy().into_owned());
+            }
+        }
+        found.sort();
+        Ok(found)
+    };
+    let direct = listing(dir)?;
+    if !direct.is_empty() {
+        return Ok(direct);
+    }
+    let shards_subdir = dir.join("shards");
+    if shards_subdir.is_dir() {
+        let nested = listing(&shards_subdir)?;
+        if !nested.is_empty() {
+            return Ok(nested);
+        }
+    }
+    Err(format!(
+        "{}: no shard-*.jsonl files found (in-flight .partial files are \
+         ignored; did the shard runs finish?)",
+        dir.display()
+    ))
 }
 
 /// `campaign merge [--out FILE] SHARD_FILE...`: recombine shard files into
@@ -439,6 +541,23 @@ fn run_merge(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // A directory argument stands for every sealed shard file inside it.
+    let mut expanded: Vec<String> = Vec::new();
+    for path in &files {
+        if Path::new(path).is_dir() {
+            match shard_files_in_dir(Path::new(path)) {
+                Ok(found) => expanded.extend(found),
+                Err(e) => {
+                    eprintln!("campaign merge: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            expanded.push(path.to_string());
+        }
+    }
+    let files = expanded;
+
     let mut shards = Vec::with_capacity(files.len());
     for path in &files {
         let text = match std::fs::read_to_string(path) {
@@ -471,33 +590,218 @@ fn run_merge(args: &[String]) -> ExitCode {
         grid.cell_count(),
     );
     let jsonl = to_jsonl_string(&aggregate(&grid, &result));
-    write_output(&jsonl, out.as_deref(), "campaign merge")
+    write_output_exit(&jsonl, out.as_deref(), "campaign merge")
 }
 
-/// Write report/shard text to `--out` or stdout, with diagnostics on stderr.
-fn write_output(text: &str, out: Option<&str>, who: &str) -> ExitCode {
+/// Write report/shard text to `--out` or stdout, with diagnostics on
+/// stderr. Returns `true` on success.
+fn write_output(text: &str, out: Option<&str>, who: &str) -> bool {
     match out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, text) {
                 eprintln!("{who}: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return false;
             }
             eprintln!("{who}: wrote {path}");
         }
         None => {
             let mut stdout = std::io::stdout().lock();
             if stdout.write_all(text.as_bytes()).is_err() {
-                return ExitCode::FAILURE;
+                return false;
             }
         }
     }
-    ExitCode::SUCCESS
+    true
+}
+
+/// Exit-code wrapper around [`write_output`].
+fn write_output_exit(text: &str, out: Option<&str>, who: &str) -> ExitCode {
+    if write_output(text, out, who) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `campaign orchestrate`: spawn and supervise worker subprocesses over a
+/// shared run directory. Grid-shaping flags pass through to the same parser
+/// as a plain run; a `--resume` takes no grid flags (the run directory is
+/// authoritative).
+fn run_orchestrate(args: &[String]) -> ExitCode {
+    let mut workers: Option<usize> = None;
+    let mut run_dir: Option<String> = None;
+    let mut resume_dir: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut config_overrides: Vec<(&str, String)> = Vec::new();
+    let mut grid_args: Vec<String> = Vec::new();
+    let take = |it: &mut std::slice::Iter<String>, name: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{name} needs a value"))
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--workers" => take(&mut it, "--workers").and_then(|v| {
+                workers = Some(
+                    v.parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?,
+                );
+                Ok(())
+            }),
+            "--run-dir" => take(&mut it, "--run-dir").map(|v| run_dir = Some(v)),
+            "--resume" => take(&mut it, "--resume").map(|v| resume_dir = Some(v)),
+            "--out" => take(&mut it, "--out").map(|v| out = Some(v)),
+            "--worker-threads" => {
+                take(&mut it, "--worker-threads").map(|v| config_overrides.push(("threads", v)))
+            }
+            "--heartbeat-timeout" => take(&mut it, "--heartbeat-timeout")
+                .map(|v| config_overrides.push(("heartbeat", v))),
+            "--max-attempts" => {
+                take(&mut it, "--max-attempts").map(|v| config_overrides.push(("attempts", v)))
+            }
+            "--inject-abort" => {
+                take(&mut it, "--inject-abort").map(|v| config_overrides.push(("inject", v)))
+            }
+            "--quiet" => {
+                config_overrides.push(("quiet", String::new()));
+                Ok(())
+            }
+            "--help" | "-h" => Err("help".to_string()),
+            other => {
+                // Anything else is a grid-shaping flag for parse_args.
+                grid_args.push(other.to_string());
+                if let Some(v) = it.next() {
+                    grid_args.push(v.clone());
+                }
+                Ok(())
+            }
+        };
+        if let Err(msg) = parsed {
+            if msg == "help" {
+                eprint!("{}", ORCHESTRATE_USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("campaign orchestrate: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if resume_dir.is_some() && (run_dir.is_some() || workers.is_some() || !grid_args.is_empty()) {
+        eprintln!(
+            "campaign orchestrate: --resume takes the run directory as the only \
+             source of truth; it cannot be combined with --run-dir, --workers or \
+             grid-shaping flags"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let dir = match (&resume_dir, &run_dir) {
+        (Some(d), _) => d.clone(),
+        (None, Some(d)) => d.clone(),
+        (None, None) => {
+            eprintln!("campaign orchestrate: --run-dir is required (or --resume DIR; try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Worker count is resolved from the manifest on resume.
+    let mut config = OrchestratorConfig::new(workers.unwrap_or(1), &dir);
+    for (key, raw) in &config_overrides {
+        let applied: Result<(), String> = (|| {
+            match *key {
+                "threads" => {
+                    config.worker_threads = raw
+                        .parse()
+                        .map_err(|_| "--worker-threads needs an integer".to_string())?
+                }
+                "heartbeat" => {
+                    let secs: f64 = raw
+                        .parse()
+                        .map_err(|_| "--heartbeat-timeout needs seconds".to_string())?;
+                    if secs <= 0.0 || !secs.is_finite() {
+                        return Err("--heartbeat-timeout must be positive".to_string());
+                    }
+                    config.heartbeat_timeout = std::time::Duration::from_secs_f64(secs);
+                }
+                "attempts" => {
+                    config.max_attempts = raw
+                        .parse()
+                        .map_err(|_| "--max-attempts needs an integer".to_string())?
+                }
+                "inject" => config.inject_abort = Some(InjectAbort::parse(raw)?),
+                "quiet" => config.quiet = true,
+                _ => unreachable!(),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = applied {
+            eprintln!("campaign orchestrate: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let outcome = if resume_dir.is_some() {
+        resume_orchestrated(&config)
+    } else {
+        if workers.is_none() {
+            eprintln!("campaign orchestrate: --workers N is required for a fresh run (try --help)");
+            return ExitCode::FAILURE;
+        }
+        let opts = match parse_args(&grid_args) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("campaign orchestrate: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let grid = match &opts.grid_file {
+            Some(path) => match load_grid_file(path) {
+                Ok(grid) => grid,
+                Err(e) => {
+                    eprintln!("campaign orchestrate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => build_grid(&opts),
+        };
+        orchestrate(&grid, &config)
+    };
+    match outcome {
+        Ok(report) => {
+            eprintln!(
+                "campaign orchestrate: {} scenarios across {} shard(s) \
+                 (simulated={} cache_hits={} retries={}) → {}",
+                report.scenarios,
+                report.sealed_shards,
+                report.simulated,
+                report.cache_hits,
+                report.retries,
+                RunDir::new(&dir).merged_path().display(),
+            );
+            match out {
+                // merged.jsonl is already on disk; --out additionally
+                // copies the report where asked (stdout with no --out
+                // would double-print for pipelines, so it is opt-in here).
+                Some(path) => {
+                    write_output_exit(&report.merged_jsonl, Some(&path), "campaign orchestrate")
+                }
+                None => ExitCode::SUCCESS,
+            }
+        }
+        Err(msg) => {
+            eprintln!("campaign orchestrate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("merge") {
         return run_merge(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("orchestrate") {
+        return run_orchestrate(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -527,7 +831,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let grid = build_grid(&opts);
+    let grid = match &opts.grid_file {
+        Some(path) => match load_grid_file(path) {
+            Ok(grid) => grid,
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => build_grid(&opts),
+    };
     eprintln!(
         "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge × {} physics × {} workloads)",
         grid.cell_count(),
@@ -595,14 +908,61 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let result = match run_scenarios_with_progress(&grid, &runner, &ids, cache.as_mut(), |_, _| {})
-    {
+    // Optional progress stream: one flushed, seq-numbered JSONL record per
+    // scenario, so the file's growth doubles as this process's heartbeat
+    // for an orchestrator watching it.
+    let progress_spec = opts.shard.unwrap_or(ShardSpec { index: 0, count: 1 });
+    let mut progress_writer = match &opts.progress {
+        Some(path) => {
+            let mut writer = match ProgressWriter::create(Path::new(path)) {
+                Ok(writer) => writer,
+                Err(e) => {
+                    eprintln!("campaign: cannot create progress file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = writer.shard_claimed(progress_spec, ids.len()) {
+                eprintln!("campaign: cannot write progress file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Some(writer)
+        }
+        None => None,
+    };
+    let abort_after = opts.worker_abort_after;
+    let mut simulated_seen = 0usize;
+    let mut progress_error: Option<std::io::Error> = None;
+    let result = match run_scenarios_streaming(&grid, &runner, &ids, cache.as_mut(), |event| {
+        if progress_error.is_none() {
+            if let Some(writer) = progress_writer.as_mut() {
+                if let Err(e) = writer.scenario(event.id, event.source) {
+                    progress_error = Some(e);
+                }
+            }
+        }
+        if event.source == OutcomeSource::Simulated {
+            simulated_seen += 1;
+            if abort_after.is_some_and(|n| simulated_seen >= n) {
+                // Testing hook: die abruptly mid-run, after the cache
+                // append, exactly like a crashed worker would.
+                eprintln!(
+                    "campaign: aborting after {simulated_seen} simulated scenario(s) \
+                     (--worker-abort-after)"
+                );
+                std::process::exit(17);
+            }
+        }
+    }) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("campaign: cache append failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(e) = progress_error {
+        eprintln!("campaign: cannot write progress file: {e}");
+        return ExitCode::FAILURE;
+    }
 
     eprintln!(
         "campaign: {} scenarios on {} threads in {:.2}s ({:.1} scenarios/s) \
@@ -624,7 +984,19 @@ fn main() -> ExitCode {
             grid.fingerprint(),
         );
         let shard_text = shard_to_string(&grid, spec, &result.outcomes);
-        return write_output(&shard_text, opts.out.as_deref(), "campaign");
+        if !write_output(&shard_text, opts.out.as_deref(), "campaign") {
+            return ExitCode::FAILURE;
+        }
+        // The sealed event goes out only after the shard file is durably
+        // written — the orchestrator treats it as informational either way
+        // (its authoritative seal is validate+rename).
+        if let Some(writer) = progress_writer.as_mut() {
+            if let Err(e) = writer.shard_sealed(ids.len()) {
+                eprintln!("campaign: cannot write progress file: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     let report = aggregate(&grid, &result);
@@ -691,7 +1063,16 @@ fn main() -> ExitCode {
         );
     }
 
-    write_output(&jsonl, opts.out.as_deref(), "campaign")
+    if !write_output(&jsonl, opts.out.as_deref(), "campaign") {
+        return ExitCode::FAILURE;
+    }
+    if let Some(writer) = progress_writer.as_mut() {
+        if let Err(e) = writer.shard_sealed(ids.len()) {
+            eprintln!("campaign: cannot write progress file: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 const USAGE: &str = "\
@@ -700,7 +1081,11 @@ campaign — run a qnet scenario-grid sweep
 USAGE:
   campaign [OPTIONS]                      run the sweep, JSONL on stdout
   campaign --shard I/N [OPTIONS]          run one shard, shard file on stdout
-  campaign merge [--out F] SHARD...       recombine shard files into the report
+  campaign merge [--out F] SHARD...       recombine shard files (or a
+                                          directory of them) into the report
+  campaign orchestrate --workers N --run-dir DIR [OPTIONS]
+                                          multi-process supervised run
+                                          (see campaign orchestrate --help)
   campaign --dry-run [OPTIONS]            print the grid shape and exit
 
 OPTIONS:
@@ -722,6 +1107,10 @@ OPTIONS:
                      sweeps: a fully warm run simulates nothing)
   --shard I/N        run shard I of an N-way deterministic partition and
                      emit a shard file instead of the report
+  --grid-file FILE   load the grid from a JSON descriptor instead of the
+                     grid-shaping flags (how orchestrated workers get theirs)
+  --progress FILE    stream seq-numbered JSONL progress events to FILE
+                     (shard claimed / scenario / shard sealed)
   --out FILE         write JSONL report/shard to FILE   [stdout]
   --compare-serial   verify 1-thread determinism, print speedup
   --dry-run          print the grid shape and exit
@@ -739,10 +1128,53 @@ campaign merge — recombine shard files into the aggregate report
 
 USAGE:
   campaign merge [--out FILE] SHARD_FILE...
+  campaign merge [--out FILE] DIRECTORY
+
+A directory argument stands for every sealed shard-*.jsonl inside it (or
+inside its shards/ subdirectory — an orchestrator run directory merges
+directly); in-flight .partial files are ignored.
 
 Every shard file of the partition must be given exactly once, all from the
 same grid (equal fingerprints). The merged JSONL report is byte-identical
 to a single-process run of the full grid.
+";
+
+const ORCHESTRATE_USAGE: &str = "\
+campaign orchestrate — multi-process supervised campaign run
+
+USAGE:
+  campaign orchestrate --workers N --run-dir DIR [OPTIONS] [GRID FLAGS]
+  campaign orchestrate --resume DIR [OPTIONS]
+
+Spawns N worker subprocesses (campaign --shard I/N --cache-dir …) over a
+shared run directory and supervises them to completion: per-worker liveness
+via progress-file heartbeats, dead/straggler detection and shard retry,
+live partial reports as shards seal, and a final validated merge that is
+byte-identical to an uninterrupted single-process run.
+
+OPTIONS:
+  --workers N            worker subprocesses = shard count (fresh runs)
+  --run-dir DIR          the shared run directory (must not hold a run)
+  --resume DIR           pick a killed/failed run back up; the directory's
+                         manifest is the only source of truth (no grid
+                         flags, no --workers)
+  --out FILE             also write the merged report to FILE
+                         (merged.jsonl in the run dir is always written)
+  --worker-threads N     --threads per worker                    [1]
+  --heartbeat-timeout S  kill a worker whose progress file has not grown
+                         for S seconds, and retry its shard       [60]
+  --max-attempts K       attempts per shard before the run fails  [3]
+  --inject-abort I:N     testing hook: shard I's first attempt aborts
+                         after N simulated scenarios
+  --quiet                suppress the human progress line on stderr
+
+Any other flag is passed through to the grid builder (--topologies,
+--modes, --seed, … — see campaign --help). Progress: a human line on
+stderr (done/total, cache hits, per-worker state, ETA); machine-readable
+seq-numbered events in RUN_DIR/events.jsonl (no wall-clock timestamps).
+
+A failed run exits nonzero and leaves the run directory resumable; resume
+is byte-identical to an uninterrupted run.
 ";
 
 const TOPOLOGIES_HELP: &str = "\

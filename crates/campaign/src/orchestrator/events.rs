@@ -1,0 +1,330 @@
+//! Seq-numbered, wall-clock-free progress events for orchestrated runs.
+//!
+//! Two JSONL streams share this module:
+//!
+//! * **Worker progress files** (`progress/shard-I.attempt-K.jsonl`): each
+//!   worker appends `{"kind":"progress","seq":…,"event":…}` records —
+//!   `shard-claimed` when it starts, one `scenario` record per outcome
+//!   (tagged `simulated` or `cache-hit`), and `shard-sealed` once its shard
+//!   file is durably written. The supervisor tails these files both for
+//!   **liveness** (the file growing is the heartbeat) and to forward the
+//!   records into the run-level event log.
+//! * **The orchestrator event log** (`events.jsonl`): the supervisor's
+//!   machine-readable record of the run — spawns, retries, seals, merges.
+//!
+//! Both streams are deliberately **timestamp-free**. The only ordering
+//! datum any record carries is `seq`, a dense per-stream ordinal, so the
+//! logs of two runs of the same campaign are comparable and replayable,
+//! and nothing wall-clock-dependent can leak from the progress path into
+//! deterministic outputs. Human-facing ETA lines live on stderr only.
+
+use crate::runner::OutcomeSource;
+use crate::shard::ShardSpec;
+use qnet_core::trace::JsonlSink;
+use serde_json::Value;
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// The body of one worker progress record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressBody {
+    /// The worker started on its shard.
+    ShardClaimed {
+        /// The shard the worker owns.
+        shard: ShardSpec,
+        /// Scenarios the shard holds.
+        scenarios: usize,
+    },
+    /// One scenario's outcome was obtained.
+    Scenario {
+        /// The scenario id.
+        id: usize,
+        /// Simulated or replayed from the cache.
+        source: OutcomeSource,
+    },
+    /// The worker durably wrote its shard file.
+    ShardSealed {
+        /// Scenarios the shard file holds.
+        scenarios: usize,
+    },
+}
+
+/// One parsed worker progress record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Dense per-attempt ordinal (0-based) — the only ordering datum.
+    pub seq: u64,
+    /// What happened.
+    pub body: ProgressBody,
+}
+
+fn source_label(source: OutcomeSource) -> &'static str {
+    match source {
+        OutcomeSource::Simulated => "simulated",
+        OutcomeSource::CacheHit => "cache-hit",
+    }
+}
+
+fn parse_source(label: &str) -> Option<OutcomeSource> {
+    match label {
+        "simulated" => Some(OutcomeSource::Simulated),
+        "cache-hit" => Some(OutcomeSource::CacheHit),
+        _ => None,
+    }
+}
+
+/// Parse one worker progress line. Returns `None` for anything that is not
+/// a complete, well-formed progress record (torn tail lines of a crashed
+/// worker parse as `None` and are simply ignored by the supervisor).
+pub fn parse_progress_line(line: &str) -> Option<ProgressEvent> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    if value.get_field("kind").and_then(|k| k.as_str()) != Some("progress") {
+        return None;
+    }
+    let seq = value.get_field("seq")?.as_u64()?;
+    let body = match value.get_field("event")?.as_str()? {
+        "shard-claimed" => ProgressBody::ShardClaimed {
+            shard: ShardSpec::parse(value.get_field("shard")?.as_str()?).ok()?,
+            scenarios: value.get_field("scenarios")?.as_u64()? as usize,
+        },
+        "scenario" => ProgressBody::Scenario {
+            id: value.get_field("id")?.as_u64()? as usize,
+            source: parse_source(value.get_field("source")?.as_str()?)?,
+        },
+        "shard-sealed" => ProgressBody::ShardSealed {
+            scenarios: value.get_field("scenarios")?.as_u64()? as usize,
+        },
+        _ => return None,
+    };
+    Some(ProgressEvent { seq, body })
+}
+
+fn progress_value(seq: u64, event: &str, fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![
+        ("kind".to_string(), Value::Str("progress".into())),
+        ("seq".to_string(), Value::U64(seq)),
+        ("event".to_string(), Value::Str(event.into())),
+    ];
+    entries.extend(fields);
+    Value::Map(entries)
+}
+
+/// A worker's end of a progress stream: appends seq-numbered records and
+/// flushes after every one, so the file's growth doubles as the worker's
+/// heartbeat.
+#[derive(Debug)]
+pub struct ProgressWriter {
+    sink: JsonlSink<File>,
+    seq: u64,
+}
+
+impl ProgressWriter {
+    /// Create (truncating) the progress file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: &Path) -> io::Result<ProgressWriter> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(ProgressWriter {
+            sink: JsonlSink::new(file),
+            seq: 0,
+        })
+    }
+
+    fn emit(&mut self, event: &str, fields: Vec<(String, Value)>) -> io::Result<()> {
+        let value = progress_value(self.seq, event, fields);
+        self.sink.write_value(&value);
+        self.seq += 1;
+        self.sink.flush()
+    }
+
+    /// Record that the worker claimed its shard.
+    pub fn shard_claimed(&mut self, shard: ShardSpec, scenarios: usize) -> io::Result<()> {
+        self.emit(
+            "shard-claimed",
+            vec![
+                ("shard".to_string(), Value::Str(shard.to_string())),
+                ("scenarios".to_string(), Value::U64(scenarios as u64)),
+            ],
+        )
+    }
+
+    /// Record one scenario outcome (simulated or cache hit).
+    pub fn scenario(&mut self, id: usize, source: OutcomeSource) -> io::Result<()> {
+        self.emit(
+            "scenario",
+            vec![
+                ("id".to_string(), Value::U64(id as u64)),
+                (
+                    "source".to_string(),
+                    Value::Str(source_label(source).into()),
+                ),
+            ],
+        )
+    }
+
+    /// Record that the shard file was durably written.
+    pub fn shard_sealed(&mut self, scenarios: usize) -> io::Result<()> {
+        self.emit(
+            "shard-sealed",
+            vec![("scenarios".to_string(), Value::U64(scenarios as u64))],
+        )
+    }
+}
+
+/// The orchestrator's machine-readable event log (`events.jsonl`): one
+/// seq-numbered `{"kind":"orchestrate",…}` record per supervision event.
+/// A resumed run appends to the existing file, continuing the sequence.
+#[derive(Debug)]
+pub struct EventLog {
+    sink: JsonlSink<File>,
+    seq: u64,
+}
+
+impl EventLog {
+    /// Create a fresh event log at `path` (truncating any existing file).
+    pub fn create(path: &Path) -> io::Result<EventLog> {
+        Ok(EventLog {
+            sink: JsonlSink::new(File::create(path)?),
+            seq: 0,
+        })
+    }
+
+    /// Open `path` for appending, continuing the sequence after the
+    /// records already present (a missing file starts at 0).
+    pub fn append(path: &Path) -> io::Result<EventLog> {
+        let existing = match fs::read_to_string(path) {
+            Ok(text) => text.lines().filter(|l| !l.is_empty()).count() as u64,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog {
+            sink: JsonlSink::new(file),
+            seq: existing,
+        })
+    }
+
+    /// Append one event record and flush it to disk.
+    pub fn emit(&mut self, event: &str, fields: Vec<(String, Value)>) -> io::Result<()> {
+        let mut entries = vec![
+            ("kind".to_string(), Value::Str("orchestrate".into())),
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("event".to_string(), Value::Str(event.into())),
+        ];
+        entries.extend(fields);
+        self.sink.write_value(&Value::Map(entries));
+        self.seq += 1;
+        self.sink.flush()
+    }
+
+    /// Sequence number the next record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("qnet-orch-events-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn progress_records_round_trip() {
+        let path = temp_path("roundtrip");
+        let _ = fs::remove_file(&path);
+        let spec = ShardSpec::new(1, 3).unwrap();
+        let mut w = ProgressWriter::create(&path).unwrap();
+        w.shard_claimed(spec, 36).unwrap();
+        w.scenario(4, OutcomeSource::CacheHit).unwrap();
+        w.scenario(7, OutcomeSource::Simulated).unwrap();
+        w.shard_sealed(36).unwrap();
+        drop(w);
+
+        let text = fs::read_to_string(&path).unwrap();
+        let events: Vec<ProgressEvent> = text
+            .lines()
+            .map(|l| parse_progress_line(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 4);
+        for (pos, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, pos as u64, "dense 0-based sequence");
+        }
+        assert_eq!(
+            events[0].body,
+            ProgressBody::ShardClaimed {
+                shard: spec,
+                scenarios: 36
+            }
+        );
+        assert_eq!(
+            events[1].body,
+            ProgressBody::Scenario {
+                id: 4,
+                source: OutcomeSource::CacheHit
+            }
+        );
+        assert_eq!(
+            events[2].body,
+            ProgressBody::Scenario {
+                id: 7,
+                source: OutcomeSource::Simulated
+            }
+        );
+        assert_eq!(events[3].body, ProgressBody::ShardSealed { scenarios: 36 });
+        // No timestamps anywhere in the stream.
+        assert!(!text.contains("time"), "{text}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_parse_as_none() {
+        assert!(parse_progress_line("").is_none());
+        assert!(parse_progress_line("{\"kind\":\"progress\",\"seq\":1,\"ev").is_none());
+        assert!(parse_progress_line("{\"kind\":\"outcome\",\"seq\":1}").is_none());
+        assert!(
+            parse_progress_line("{\"kind\":\"progress\",\"seq\":0,\"event\":\"scenario\",\"id\":1,\"source\":\"psychic\"}")
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn event_log_append_continues_the_sequence() {
+        let path = temp_path("log");
+        let _ = fs::remove_file(&path);
+        let mut log = EventLog::create(&path).unwrap();
+        log.emit("run-started", vec![("workers".into(), Value::U64(3))])
+            .unwrap();
+        log.emit("shard-spawned", vec![]).unwrap();
+        assert_eq!(log.next_seq(), 2);
+        drop(log);
+
+        let mut resumed = EventLog::append(&path).unwrap();
+        assert_eq!(
+            resumed.next_seq(),
+            2,
+            "append continues after existing records"
+        );
+        resumed.emit("run-resumed", vec![]).unwrap();
+        drop(resumed);
+
+        let text = fs::read_to_string(&path).unwrap();
+        let seqs: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                let v: Value = serde_json::from_str(l).unwrap();
+                assert_eq!(v.get_field("kind").unwrap().as_str(), Some("orchestrate"));
+                v.get_field("seq").unwrap().as_u64().unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        let _ = fs::remove_file(&path);
+    }
+}

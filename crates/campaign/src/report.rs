@@ -438,6 +438,49 @@ pub fn aggregate(grid: &ScenarioGrid, result: &CampaignResult) -> CampaignReport
     }
 }
 
+/// Aggregate a **partially covered** campaign: only cells whose replicates
+/// are all present produce a [`CellReport`] (and join the ratio pass);
+/// incomplete cells are silently skipped. `outcomes` may arrive in any
+/// order and may contain duplicates (later entries win, mirroring the
+/// cache's supersede rule).
+///
+/// This is the live-merge path of the orchestrator: as shards seal, the
+/// partial report grows cell by cell. Once every scenario is covered the
+/// output is **identical** to [`aggregate`] — the `scenarios` header field
+/// counts covered scenarios, so a fully covered partial report equals the
+/// final one byte for byte.
+pub fn aggregate_covered(grid: &ScenarioGrid, outcomes: &[ScenarioOutcome]) -> CampaignReport {
+    let replicates = (grid.replicates.max(1)) as usize;
+    let mut slots: Vec<Option<&ScenarioOutcome>> = vec![None; grid.scenario_count()];
+    for o in outcomes {
+        if let Some(slot) = slots.get_mut(o.id) {
+            *slot = Some(o);
+        }
+    }
+    let mut cell_reports = Vec::new();
+    let mut covered = 0usize;
+    for cell in 0..grid.cell_count() {
+        let cell_slots = &slots[cell * replicates..(cell + 1) * replicates];
+        if cell_slots.iter().all(Option::is_some) {
+            let owned: Vec<ScenarioOutcome> = cell_slots
+                .iter()
+                .map(|o| (*o.as_ref().expect("checked")).clone())
+                .collect();
+            cell_reports.push(aggregate_cell(grid.cell_key(cell), &owned));
+            covered += replicates;
+        }
+    }
+    let ratios = overhead_ratios(&cell_reports);
+    CampaignReport {
+        master_seed: grid.master_seed,
+        cells: grid.cell_count(),
+        scenarios: covered,
+        replicates: grid.replicates,
+        cell_reports,
+        ratios,
+    }
+}
+
 /// Serialize a campaign report as JSON lines: one `campaign` header line,
 /// one `cell` line per cell (cell order), one `ratio` line per matched
 /// pair. Deterministic byte-for-byte for a given grid + master seed.
@@ -744,6 +787,50 @@ mod tests {
             overhead_ratios(&[oblivious, planned]).is_empty(),
             "closed-loop numerator must not pair with an open-loop denominator"
         );
+    }
+
+    #[test]
+    fn aggregate_covered_reports_complete_cells_only() {
+        use crate::runner::{run_campaign, RunnerConfig};
+        use qnet_core::workload::WorkloadSpec;
+        use qnet_topology::Topology;
+        let grid = ScenarioGrid::new(13)
+            .with_topologies(vec![Topology::Cycle { nodes: 5 }])
+            .with_modes(vec![PolicyId::OBLIVIOUS, PolicyId::HYBRID])
+            .with_workloads(vec![WorkloadSpec::closed_loop(0, 4, 4)])
+            .with_replicates(3)
+            .with_horizon_s(400.0);
+        let full = run_campaign(&grid, &RunnerConfig::serial());
+
+        // Full coverage reproduces `aggregate` exactly, even from shuffled
+        // input.
+        let mut shuffled = full.outcomes.clone();
+        shuffled.reverse();
+        let covered = aggregate_covered(&grid, &shuffled);
+        assert_eq!(
+            to_jsonl_string(&covered),
+            to_jsonl_string(&aggregate(&grid, &full))
+        );
+
+        // Cell 0 complete, cell 1 missing a replicate → one cell report,
+        // covered count excludes the incomplete cell.
+        let partial: Vec<ScenarioOutcome> = full
+            .outcomes
+            .iter()
+            .filter(|o| o.id != 4)
+            .cloned()
+            .collect();
+        let report = aggregate_covered(&grid, &partial);
+        assert_eq!(report.cell_reports.len(), 1);
+        assert_eq!(report.cell_reports[0].key.cell, 0);
+        assert_eq!(report.scenarios, 3);
+        assert_eq!(report.cells, grid.cell_count());
+        assert!(report.ratios.is_empty(), "the hybrid cell is incomplete");
+
+        // No coverage at all → an empty (but well-formed) report.
+        let empty = aggregate_covered(&grid, &[]);
+        assert!(empty.cell_reports.is_empty());
+        assert_eq!(empty.scenarios, 0);
     }
 
     #[test]

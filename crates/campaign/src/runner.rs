@@ -304,6 +304,35 @@ impl ScenarioOutcome {
     }
 }
 
+/// How one requested scenario's outcome was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeSource {
+    /// The scenario's `Experiment` executed this run.
+    Simulated,
+    /// The outcome was served from the content-addressed cache.
+    CacheHit,
+}
+
+/// One per-scenario progress event from a streaming run.
+///
+/// Events are deliberately **wall-clock-free**: the only ordering datum is
+/// `seq`, a dense 0-based ordinal assigned as events are delivered. Any
+/// consumer that persists or merges progress streams must order by sequence
+/// number, never by timestamps — that is what keeps progress logging fully
+/// outside the deterministic result path (reports stay byte-identical
+/// whether or not anyone listens).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioEvent<'a> {
+    /// Dense per-run event ordinal (`0..ids.len()`), the merge-order key.
+    pub seq: u64,
+    /// The scenario the event is about.
+    pub id: usize,
+    /// Whether the outcome was simulated or replayed from the cache.
+    pub source: OutcomeSource,
+    /// The outcome itself.
+    pub outcome: &'a ScenarioOutcome,
+}
+
 /// Everything a campaign run produced: the outcome vector (id order) plus
 /// execution metadata that is *not* part of the deterministic report.
 #[derive(Debug, Clone)]
@@ -325,12 +354,13 @@ pub struct CampaignResult {
 }
 
 /// Execute the scenarios named by `ids` (sorted, deduplicated) in parallel
-/// and return their outcomes in the same order.
+/// and return their outcomes in the same order. `on_outcome(pos, outcome)`
+/// fires from the collector as each outcome lands (completion order).
 fn execute_ids(
     grid: &ScenarioGrid,
     config: &RunnerConfig,
     ids: &[usize],
-    mut on_progress: impl FnMut(usize, usize),
+    mut on_outcome: impl FnMut(usize, &ScenarioOutcome),
 ) -> Vec<ScenarioOutcome> {
     let total = ids.len();
     let threads = config.resolved_threads().min(total.max(1));
@@ -375,16 +405,14 @@ fn execute_ids(
             }
             drop(tx);
 
-            let mut done = 0usize;
             while let Ok((pos, outcome)) = rx.recv() {
                 debug_assert!(
                     slots[pos].is_none(),
                     "duplicate outcome for scenario {}",
                     outcome.id
                 );
+                on_outcome(pos, &outcome);
                 slots[pos] = Some(outcome);
-                done += 1;
-                on_progress(done, total);
             }
         });
     }
@@ -399,18 +427,22 @@ fn execute_ids(
 }
 
 /// Run the scenarios named by `ids` (must be strictly increasing and in
-/// range), consulting `cache` before simulating and appending fresh
-/// outcomes to it afterwards. The returned outcomes follow the order of
-/// `ids`; cache hits skip the `Experiment` entirely.
+/// range), consulting `cache` before simulating and appending each fresh
+/// outcome to it **as it completes**. The returned outcomes follow the
+/// order of `ids`; cache hits skip the `Experiment` entirely.
 ///
-/// Progress callback: `on_progress(done, total)` counts every requested
-/// scenario, with cache hits reported as instantly done.
-pub fn run_scenarios_with_progress(
+/// `on_event` fires once per requested scenario with a dense, wall-clock-
+/// free sequence number: cache hits first (in id order), then simulated
+/// outcomes in completion order. Incremental cache appends mean a run
+/// killed mid-way loses at most the scenarios still in flight — everything
+/// already reported is replayable from the cache, which is what makes
+/// orchestrated shard retries cheap.
+pub fn run_scenarios_streaming(
     grid: &ScenarioGrid,
     config: &RunnerConfig,
     ids: &[usize],
     mut cache: Option<&mut OutcomeCache>,
-    mut on_progress: impl FnMut(usize, usize),
+    mut on_event: impl FnMut(ScenarioEvent<'_>),
 ) -> io::Result<CampaignResult> {
     let scenario_count = grid.scenario_count();
     assert!(
@@ -443,17 +475,42 @@ pub fn run_scenarios_with_progress(
         miss_positions.extend(0..total);
     }
     let cache_hits = total - misses.len();
-    let mut done = cache_hits;
-    if done > 0 {
-        on_progress(done, total);
+
+    let mut seq: u64 = 0;
+    for (pos, &id) in ids.iter().enumerate() {
+        if let Some(outcome) = slots[pos].as_ref() {
+            on_event(ScenarioEvent {
+                seq,
+                id,
+                source: OutcomeSource::CacheHit,
+                outcome,
+            });
+            seq += 1;
+        }
     }
 
-    let fresh = execute_ids(grid, config, &misses, |_, _| {
-        done += 1;
-        on_progress(done, total);
+    // The append error is latched (not returned mid-run) so the already-
+    // claimed simulations still drain; a broken cache then fails the run
+    // after the workers join instead of deadlocking the channel.
+    let mut append_error: Option<io::Error> = None;
+    let fresh = execute_ids(grid, config, &misses, |_, outcome| {
+        if append_error.is_none() {
+            if let Some(cache) = cache.as_deref_mut() {
+                if let Err(e) = cache.append(std::slice::from_ref(outcome)) {
+                    append_error = Some(e);
+                }
+            }
+        }
+        on_event(ScenarioEvent {
+            seq,
+            id: outcome.id,
+            source: OutcomeSource::Simulated,
+            outcome,
+        });
+        seq += 1;
     });
-    if let Some(cache) = &mut cache {
-        cache.append(&fresh)?;
+    if let Some(e) = append_error {
+        return Err(e);
     }
     let simulated = fresh.len();
     for (pos, outcome) in miss_positions.into_iter().zip(fresh) {
@@ -478,6 +535,23 @@ pub fn run_scenarios_with_progress(
         wall_seconds: started.elapsed().as_secs_f64(),
         simulated,
         cache_hits,
+    })
+}
+
+/// [`run_scenarios_streaming`] with a counting callback: `on_progress(done,
+/// total)` fires once per requested scenario, cache hits included.
+pub fn run_scenarios_with_progress(
+    grid: &ScenarioGrid,
+    config: &RunnerConfig,
+    ids: &[usize],
+    cache: Option<&mut OutcomeCache>,
+    mut on_progress: impl FnMut(usize, usize),
+) -> io::Result<CampaignResult> {
+    let total = ids.len();
+    let mut done = 0usize;
+    run_scenarios_streaming(grid, config, ids, cache, |_| {
+        done += 1;
+        on_progress(done, total);
     })
 }
 
@@ -656,9 +730,11 @@ mod tests {
         assert_eq!(warm.simulated, 0, "warm runs must not simulate");
         assert_eq!(warm.cache_hits, grid.scenario_count());
         assert_eq!(warm.outcomes, uncached.outcomes);
+        let total = grid.scenario_count();
         assert_eq!(
             progress,
-            vec![(grid.scenario_count(), grid.scenario_count())]
+            (1..=total).map(|d| (d, total)).collect::<Vec<_>>(),
+            "warm runs report every cache hit as a progress step"
         );
 
         // A cached subset run is served entirely from the warm cache.
@@ -676,6 +752,62 @@ mod tests {
         .unwrap();
         assert_eq!(half_run.simulated, 0);
         assert_eq!(half_run.cache_hits, half.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_events_carry_dense_sequence_numbers() {
+        let dir =
+            std::env::temp_dir().join(format!("qnet-runner-stream-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = tiny_grid(2);
+        let ids: Vec<usize> = (0..grid.scenario_count()).collect();
+
+        // Prime the cache with the even-id half of the grid.
+        let even: Vec<usize> = ids.iter().copied().filter(|id| id % 2 == 0).collect();
+        let mut cache = crate::cache::OutcomeCache::open(&dir, &grid).unwrap();
+        run_scenarios_streaming(
+            &grid,
+            &RunnerConfig::serial(),
+            &even,
+            Some(&mut cache),
+            |_| {},
+        )
+        .unwrap();
+
+        // The mixed run replays the evens and simulates the odds; events
+        // are wall-clock-free and densely sequenced, cache hits first in
+        // id order.
+        let mut cache = crate::cache::OutcomeCache::open(&dir, &grid).unwrap();
+        let mut events: Vec<(u64, usize, OutcomeSource)> = Vec::new();
+        let result = run_scenarios_streaming(
+            &grid,
+            &RunnerConfig::serial(),
+            &ids,
+            Some(&mut cache),
+            |e| {
+                assert_eq!(e.outcome.id, e.id);
+                events.push((e.seq, e.id, e.source));
+            },
+        )
+        .unwrap();
+        assert_eq!(result.cache_hits, even.len());
+        assert_eq!(result.simulated, ids.len() - even.len());
+        assert_eq!(events.len(), ids.len());
+        for (pos, (seq, _, _)) in events.iter().enumerate() {
+            assert_eq!(*seq, pos as u64, "sequence numbers are dense from 0");
+        }
+        let hits: Vec<usize> = events
+            .iter()
+            .filter(|(_, _, s)| *s == OutcomeSource::CacheHit)
+            .map(|(_, id, _)| *id)
+            .collect();
+        assert_eq!(hits, even, "cache hits stream first, in id order");
+
+        // Incremental appends: the simulated odds are replayable from the
+        // cache by a fresh handle.
+        let warm = crate::cache::OutcomeCache::open(&dir, &grid).unwrap();
+        assert_eq!(warm.len(), ids.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -29,25 +29,113 @@ use serde::Value;
 use std::fmt;
 use std::io::Write;
 
-/// A [`RunObserver`] streaming one JSON line per observed event to a sink.
-pub struct TraceWriter<W: Write + Send> {
-    /// `Some` until [`TraceWriter::into_sink`] takes it; `Drop` flushes a
+/// A line-oriented JSON writer: one serialized [`Value`] per line, with
+/// first-error latching and a line counter.
+///
+/// This is the I/O core shared by every JSONL event stream in the stack —
+/// [`TraceWriter`] uses it for simulation traces, and the campaign
+/// orchestrator reuses it for worker progress files and run event logs.
+/// Writing stops at the first I/O failure (the producer is never
+/// interrupted by a bad sink); the error surfaces through
+/// [`JsonlSink::io_error`] / [`JsonlSink::into_sink`].
+pub struct JsonlSink<W: Write + Send> {
+    /// `Some` until [`JsonlSink::into_sink`] takes it; `Drop` flushes a
     /// still-owned sink best-effort.
     sink: Option<W>,
-    include_pair_events: bool,
     /// First I/O error encountered (subsequent writes are skipped).
     error: Option<std::io::Error>,
     lines: u64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a sink (a `File`, `Vec<u8>`, `Stdout` lock, …).
+    pub fn new(sink: W) -> Self {
+        JsonlSink {
+            sink: Some(sink),
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Serialize `value` and append it as one line. No-op after the first
+    /// I/O error.
+    pub fn write_value(&mut self, value: &Value) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(value).expect("JSONL record to_string");
+        let sink = self.sink.as_mut().expect("sink present until into_sink");
+        if let Err(e) = writeln!(sink, "{line}") {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+
+    /// Flush the sink, surfacing any latched error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink
+            .as_mut()
+            .expect("sink present until into_sink")
+            .flush()
+    }
+
+    /// Lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error this sink ran into, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the sink, surfacing any I/O error recorded while
+    /// writing (the `Drop` flush is best-effort and cannot report one).
+    pub fn into_sink(mut self) -> std::io::Result<W> {
+        let mut sink = self.sink.take().expect("sink present until into_sink");
+        sink.flush()?;
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        Ok(sink)
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort: a sink dropped without `into_sink` still flushes;
+        // errors here have nowhere to go.
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("errored", &self.error.is_some())
+            .finish()
+    }
+}
+
+/// A [`RunObserver`] streaming one JSON line per observed event to a sink.
+pub struct TraceWriter<W: Write + Send> {
+    sink: JsonlSink<W>,
+    include_pair_events: bool,
 }
 
 impl<W: Write + Send> TraceWriter<W> {
     /// Wrap a sink (a `File`, `Vec<u8>`, `Stdout` lock, …).
     pub fn new(sink: W) -> Self {
         TraceWriter {
-            sink: Some(sink),
+            sink: JsonlSink::new(sink),
             include_pair_events: false,
-            error: None,
-            lines: 0,
         }
     }
 
@@ -59,52 +147,28 @@ impl<W: Write + Send> TraceWriter<W> {
 
     /// Lines written so far.
     pub fn lines_written(&self) -> u64 {
-        self.lines
+        self.sink.lines_written()
     }
 
     /// The first I/O error the writer ran into, if any (writing stops at the
     /// first failure; simulation itself is never interrupted by a bad sink).
     pub fn io_error(&self) -> Option<&std::io::Error> {
-        self.error.as_ref()
+        self.sink.io_error()
     }
 
     /// Flush and return the sink, surfacing any I/O error recorded during
     /// the run (the `Drop` flush is best-effort and cannot report one).
-    pub fn into_sink(mut self) -> std::io::Result<W> {
-        let mut sink = self.sink.take().expect("sink present until into_sink");
-        sink.flush()?;
-        if let Some(e) = self.error.take() {
-            return Err(e);
-        }
-        Ok(sink)
+    pub fn into_sink(self) -> std::io::Result<W> {
+        self.sink.into_sink()
     }
 
     fn write_record(&mut self, kind: &str, now: SimTime, fields: Vec<(String, Value)>) {
-        if self.error.is_some() {
-            return;
-        }
         let mut entries = vec![
             ("kind".to_string(), Value::Str(kind.to_string())),
             ("t_s".to_string(), Value::F64(now.as_secs_f64())),
         ];
         entries.extend(fields);
-        let line = serde_json::to_string(&Value::Map(entries)).expect("trace record to_string");
-        let sink = self.sink.as_mut().expect("sink present until into_sink");
-        if let Err(e) = writeln!(sink, "{line}") {
-            self.error = Some(e);
-        } else {
-            self.lines += 1;
-        }
-    }
-}
-
-impl<W: Write + Send> Drop for TraceWriter<W> {
-    fn drop(&mut self) {
-        // Best-effort: a writer dropped without `into_sink` still flushes;
-        // errors here have nowhere to go.
-        if let Some(sink) = &mut self.sink {
-            let _ = sink.flush();
-        }
+        self.sink.write_value(&Value::Map(entries));
     }
 }
 
@@ -125,9 +189,9 @@ fn request_fields(sequence: u64, pair: NodePair) -> Vec<(String, Value)> {
 impl<W: Write + Send> fmt::Debug for TraceWriter<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TraceWriter")
-            .field("lines", &self.lines)
+            .field("lines", &self.sink.lines_written())
             .field("include_pair_events", &self.include_pair_events)
-            .field("errored", &self.error.is_some())
+            .field("errored", &self.sink.io_error().is_some())
             .finish()
     }
 }
@@ -221,6 +285,37 @@ mod tests {
             pair: NodePair::new(NodeId(0), NodeId(4)),
             arrival_time: SimTime::from_secs(12),
         }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_lines_and_latches_errors() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write_value(&Value::Map(vec![(
+            "kind".to_string(),
+            Value::Str("x".into()),
+        )]));
+        sink.write_value(&Value::U64(7));
+        assert_eq!(sink.lines_written(), 2);
+        assert!(sink.io_error().is_none());
+        let text = String::from_utf8(sink.into_sink().unwrap()).unwrap();
+        assert_eq!(text, "{\"kind\":\"x\"}\n7\n");
+
+        // A failing sink latches the first error and stops counting.
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut broken = JsonlSink::new(Broken);
+        broken.write_value(&Value::U64(1));
+        broken.write_value(&Value::U64(2));
+        assert_eq!(broken.lines_written(), 0);
+        assert!(broken.io_error().is_some());
+        assert!(broken.into_sink().is_err());
     }
 
     #[test]

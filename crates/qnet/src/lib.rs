@@ -141,6 +141,71 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
+//! ## Running distributed campaigns
+//!
+//! The orchestrator ([`campaign::orchestrate`]) combines the cache and the
+//! shard partition into a supervised **multi-process** run: it spawns `N`
+//! worker subprocesses (`campaign --shard I/N --cache-dir …`) into a shared
+//! run directory and drives them to completion — progress-file heartbeats
+//! for liveness, dead/straggler workers killed and their shards retried
+//! (safe because every finished scenario is already in the shared cache),
+//! sealed shards live-merged into a partial report, and a final validated
+//! merge that is **byte-identical** to an uninterrupted single-process run.
+//! On the CLI:
+//!
+//! ```text
+//! campaign orchestrate --workers 3 --run-dir RUN --topologies cycle:25 …
+//! campaign orchestrate --resume RUN        # pick a killed run back up
+//! campaign merge RUN                       # a run dir merges directly
+//! ```
+//!
+//! Everything the run leaves behind is machine-readable and wall-clock
+//! free: worker progress streams and the supervision log
+//! (`RUN/events.jsonl`) carry only dense `seq` ordinals, so two runs of the
+//! same campaign are comparable record-for-record. The pure pieces — the
+//! run-directory layout and the progress-event streams — are plain library
+//! types:
+//!
+//! ```
+//! use qnet::campaign::orchestrator::events::{
+//!     parse_progress_line, ProgressBody, ProgressWriter,
+//! };
+//! use qnet::campaign::{OrchestratorConfig, OutcomeSource, RunDir, ShardSpec};
+//!
+//! // The supervision knobs: worker count, heartbeat timeout, retry budget.
+//! let config = OrchestratorConfig::new(3, "/tmp/qnet-doc-run");
+//! assert_eq!(config.workers, 3);
+//! assert_eq!(config.max_attempts, 3);
+//!
+//! // The run-directory layout is a stable, documented contract.
+//! let layout = RunDir::new(&config.run_dir);
+//! assert!(layout.shard_sealed(1).ends_with("shards/shard-1.jsonl"));
+//! assert!(layout
+//!     .progress_file(1, 2)
+//!     .ends_with("progress/shard-1.attempt-2.jsonl"));
+//!
+//! // Workers stream seq-numbered progress records; the supervisor tails
+//! // them for liveness and re-parses them with `parse_progress_line`.
+//! let dir = std::env::temp_dir().join(format!("qnet-doc-orch-{}", std::process::id()));
+//! let path = dir.join("progress.jsonl");
+//! let mut writer = ProgressWriter::create(&path)?;
+//! writer.shard_claimed(ShardSpec::new(1, 3).expect("valid shard"), 4)?;
+//! writer.scenario(1, OutcomeSource::Simulated)?;
+//! writer.shard_sealed(4)?;
+//!
+//! let text = std::fs::read_to_string(&path)?;
+//! let events: Vec<_> = text.lines().filter_map(parse_progress_line).collect();
+//! assert_eq!(events.len(), 3);
+//! assert_eq!(events[2].seq, 2, "dense 0-based ordinals, no timestamps");
+//! assert_eq!(events[2].body, ProgressBody::ShardSealed { scenarios: 4 });
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! The committed `results/` directory at the repository root holds
+//! paper-scale reports produced this way; `results/README.md` records the
+//! exact regeneration commands.
+//!
 //! ## Writing a workload
 //!
 //! A [`core::workload::WorkloadSpec`] is two orthogonal choices over a

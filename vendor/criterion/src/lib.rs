@@ -141,6 +141,39 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         format_seconds(min),
         per_iter.len()
     );
+    append_json_record(label, mean, min, per_iter.len());
+}
+
+/// When `BENCH_JSON` names a file, every benchmark additionally appends one
+/// machine-readable JSON line there (so committed baseline files like
+/// `BENCH_campaign.json` can be regenerated with
+/// `BENCH_JSON=path cargo bench …`).
+fn append_json_record(label: &str, mean_s: f64, min_s: f64, samples: usize) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"bench\":\"{escaped}\",\"mean_s\":{mean_s:.9},\"min_s\":{min_s:.9},\"samples\":{samples}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion shim: cannot append to BENCH_JSON={path}: {e}");
+    }
 }
 
 fn format_seconds(s: f64) -> String {
@@ -316,6 +349,23 @@ mod tests {
         assert_eq!(BenchmarkId::new("n", 3).to_string(), "n/3");
         assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
         assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn bench_json_records_append() {
+        let path = std::env::temp_dir().join(format!("criterion-shim-json-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BENCH_JSON", &path);
+        append_json_record("g/one", 1.5e-3, 1.0e-3, 4);
+        append_json_record("g/t\"wo", 2.0, 1.0, 1);
+        std::env::remove_var("BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\":\"g/one\""), "{text}");
+        assert!(lines[0].contains("\"samples\":4"), "{text}");
+        assert!(lines[1].contains("t\\\"wo"), "escaped quote: {text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
