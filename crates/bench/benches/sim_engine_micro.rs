@@ -1,5 +1,9 @@
 //! Microbenchmarks of the discrete-event engine: raw event throughput and
 //! end-to-end simulation-steps-per-second of the quantum-network model.
+//!
+//! `BENCH_JSON=BENCH_sim_engine.json cargo bench -p qnet-bench --bench
+//! sim_engine_micro` additionally appends one JSON record per benchmark —
+//! how the committed `BENCH_sim_engine.json` baseline is produced.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnet_core::classical::KnowledgeModel;
@@ -8,7 +12,7 @@ use qnet_core::policy::PolicyId;
 use qnet_core::workload::WorkloadSpec;
 use qnet_core::NetworkConfig;
 use qnet_sim::{Engine, EventQueue, SimDuration, SimTime, World};
-use qnet_topology::Topology;
+use qnet_topology::{FabricSpec, HardwarePreset, Topology};
 
 struct PingWorld {
     remaining: u64,
@@ -65,5 +69,36 @@ fn network_simulation_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, network_simulation_throughput);
+fn scale_free_pair_generation(c: &mut Criterion) {
+    // Internet-scale pair generation: |N| = 1000 Barabási–Albert graph on
+    // metro-fiber hardware, ~2000 heterogeneous edges each firing at its
+    // own length-derived rate. Exercises the neighbor-indexed sparse
+    // inventory (peer index + occupied-pool maps) — the structures that
+    // replaced the dense per-pair scans for this regime.
+    let mut group = c.benchmark_group("scale_free_pair_generation");
+    group.sample_size(10);
+    let nodes = 1000usize;
+    let config = ExperimentConfig {
+        network: NetworkConfig::new(Topology::ScaleFree { nodes, attach: 2 })
+            .with_fabric(FabricSpec::new(HardwarePreset::MetroFiber)),
+        workload: WorkloadSpec::closed_loop(nodes, 20, 10),
+        mode: PolicyId::OBLIVIOUS,
+        knowledge: KnowledgeModel::Global,
+        seed: 11,
+        max_sim_time_s: 5.0,
+    };
+    group.bench_with_input(
+        BenchmarkId::new("metro_fiber_run", nodes),
+        &config,
+        |b, config| b.iter(|| Experiment::new(*config).run().metrics.pairs_generated),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_throughput,
+    network_simulation_throughput,
+    scale_free_pair_generation
+);
 criterion_main!(benches);

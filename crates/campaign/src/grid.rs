@@ -30,7 +30,7 @@ use qnet_core::physics::PhysicsModel;
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
 use qnet_quantum::decoherence::DecoherenceModel;
-use qnet_topology::Topology;
+use qnet_topology::{FabricSpec, Topology};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One fully resolved cell of the grid: every axis pinned to a value.
@@ -70,6 +70,10 @@ pub struct CellKey {
     /// The traffic model, for open-loop cells (`None` = closed-loop batch,
     /// omitted from JSON so legacy reports keep their bytes).
     pub traffic: Option<TrafficModel>,
+    /// The link fabric, for hardware-calibrated cells (`None` =
+    /// homogeneous links, omitted from JSON so legacy reports keep their
+    /// bytes).
+    pub fabric: Option<FabricSpec>,
 }
 
 impl Serialize for CellKey {
@@ -94,6 +98,9 @@ impl Serialize for CellKey {
         }
         if let Some(traffic) = &self.traffic {
             entries.push(("traffic".to_string(), traffic.to_value()));
+        }
+        if let Some(fabric) = &self.fabric {
+            entries.push(("fabric".to_string(), fabric.to_value()));
         }
         serde::Value::Map(entries)
     }
@@ -202,6 +209,10 @@ pub struct ScenarioGrid {
     pub coherence_times_s: Vec<Option<f64>>,
     /// Link-physics axis (`PhysicsModel::Ideal` = today's token model).
     pub physics: Vec<PhysicsModel>,
+    /// Link-fabric axis (`None` = homogeneous links at the grid's
+    /// `generation_rate`; `Some(spec)` attaches hardware-calibrated
+    /// per-edge profiles).
+    pub fabrics: Vec<Option<FabricSpec>>,
     /// Consumer pairs / request counts; `node_count` is patched per
     /// topology at expansion time.
     pub workloads: Vec<WorkloadSpec>,
@@ -234,6 +245,11 @@ impl Serialize for ScenarioGrid {
         if self.physics != vec![PhysicsModel::Ideal] {
             entries.push(("physics".to_string(), self.physics.to_value()));
         }
+        // Same guard for the fabric axis: homogeneous grids keep their
+        // pre-fabric fingerprints, cache files and shard files.
+        if self.fabrics != vec![None] {
+            entries.push(("fabrics".to_string(), self.fabrics.to_value()));
+        }
         entries.extend([
             ("workloads".to_string(), self.workloads.to_value()),
             ("replicates".to_string(), self.replicates.to_value()),
@@ -259,6 +275,10 @@ impl Deserialize for ScenarioGrid {
             Value::Null => vec![PhysicsModel::Ideal],
             v => Deserialize::from_value(v)?,
         };
+        let fabrics = match field("fabrics") {
+            Value::Null => vec![None],
+            v => Deserialize::from_value(v)?,
+        };
         Ok(ScenarioGrid {
             topologies: Deserialize::from_value(field("topologies"))?,
             modes: Deserialize::from_value(field("modes"))?,
@@ -266,6 +286,7 @@ impl Deserialize for ScenarioGrid {
             knowledge: Deserialize::from_value(field("knowledge"))?,
             coherence_times_s: Deserialize::from_value(field("coherence_times_s"))?,
             physics,
+            fabrics,
             workloads: Deserialize::from_value(field("workloads"))?,
             replicates: Deserialize::from_value(field("replicates"))?,
             master_seed: Deserialize::from_value(field("master_seed"))?,
@@ -288,6 +309,7 @@ impl ScenarioGrid {
             knowledge: vec![KnowledgeModel::Global],
             coherence_times_s: vec![None],
             physics: vec![PhysicsModel::Ideal],
+            fabrics: vec![None],
             workloads: vec![WorkloadSpec::paper_default(9)],
             replicates: 1,
             master_seed,
@@ -370,6 +392,13 @@ impl ScenarioGrid {
         );
     }
 
+    /// Builder: set the link-fabric axis (`None` = homogeneous links).
+    pub fn with_fabrics(mut self, fs: impl Into<Vec<Option<FabricSpec>>>) -> Self {
+        self.fabrics = fs.into();
+        assert!(!self.fabrics.is_empty(), "fabric axis cannot be empty");
+        self
+    }
+
     /// Builder: set the workload axis.
     pub fn with_workloads(mut self, ws: impl Into<Vec<WorkloadSpec>>) -> Self {
         self.workloads = ws.into();
@@ -432,6 +461,7 @@ impl ScenarioGrid {
             * self.knowledge.len()
             * self.coherence_times_s.len()
             * self.physics.len()
+            * self.fabrics.len()
             * self.workloads.len()
     }
 
@@ -442,6 +472,7 @@ impl ScenarioGrid {
 
     /// The axis values of cell `cell` (row-major decode of the expansion
     /// order).
+    #[allow(clippy::type_complexity)]
     fn cell_axes(
         &self,
         cell: usize,
@@ -452,9 +483,10 @@ impl ScenarioGrid {
         KnowledgeModel,
         Option<f64>,
         PhysicsModel,
+        Option<FabricSpec>,
         WorkloadSpec,
     ) {
-        let [t, m, d, k, c, p, w] = self.decode_cell(cell);
+        let [t, m, d, k, c, p, f, w] = self.decode_cell(cell);
         (
             self.topologies[t],
             self.modes[m],
@@ -462,19 +494,22 @@ impl ScenarioGrid {
             self.knowledge[k],
             self.coherence_times_s[c],
             self.physics[p],
+            self.fabrics[f],
             self.workloads[w],
         )
     }
 
     /// Row-major decode of a cell index into per-axis indices, ordered
     /// `[topology, mode, distillation, knowledge, coherence, physics,
-    /// workload]` (topology outermost). The single source of truth for the
-    /// expansion order — both the axis lookup and the environment index
-    /// derive from it.
-    fn decode_cell(&self, cell: usize) -> [usize; 7] {
+    /// fabric, workload]` (topology outermost). The single source of truth
+    /// for the expansion order — both the axis lookup and the environment
+    /// index derive from it.
+    fn decode_cell(&self, cell: usize) -> [usize; 8] {
         let mut rest = cell;
         let w = rest % self.workloads.len();
         rest /= self.workloads.len();
+        let f = rest % self.fabrics.len();
+        rest /= self.fabrics.len();
         let p = rest % self.physics.len();
         rest /= self.physics.len();
         let c = rest % self.coherence_times_s.len();
@@ -487,7 +522,7 @@ impl ScenarioGrid {
         rest /= self.modes.len();
         let t = rest;
         assert!(t < self.topologies.len(), "cell index out of range");
-        [t, m, d, k, c, p, w]
+        [t, m, d, k, c, p, f, w]
     }
 
     /// The *environment* index of a cell: its coordinates along the axes
@@ -500,17 +535,19 @@ impl ScenarioGrid {
     /// on the same worlds, matching how the serial figure pipeline pairs
     /// seeds across modes.
     fn environment_index(&self, cell: usize) -> u64 {
-        let [t, _m, d, _k, c, p, w] = self.decode_cell(cell);
-        ((((t * self.distillations.len() + d) * self.coherence_times_s.len() + c)
+        let [t, _m, d, _k, c, p, f, w] = self.decode_cell(cell);
+        (((((t * self.distillations.len() + d) * self.coherence_times_s.len() + c)
             * self.physics.len()
             + p)
+            * self.fabrics.len()
+            + f)
             * self.workloads.len()
             + w) as u64
     }
 
     /// The report key of cell `cell`.
     pub fn cell_key(&self, cell: usize) -> CellKey {
-        let (topology, mode, distillation, knowledge, coherence, physics, workload) =
+        let (topology, mode, distillation, knowledge, coherence, physics, fabric, workload) =
             self.cell_axes(cell);
         CellKey {
             cell,
@@ -525,6 +562,7 @@ impl ScenarioGrid {
             coherence_time_s: coherence,
             physics: (!physics.is_ideal()).then_some(physics),
             traffic: workload.is_open_loop().then_some(workload.traffic),
+            fabric,
         }
     }
 
@@ -542,7 +580,7 @@ impl ScenarioGrid {
         let replicates = self.replicates as usize;
         let cell = id / replicates;
         let replicate = (id % replicates) as u32;
-        let (topology, mode, distillation, knowledge, coherence, physics, mut workload) =
+        let (topology, mode, distillation, knowledge, coherence, physics, fabric, mut workload) =
             self.cell_axes(cell);
 
         let seed = derive_seed(
@@ -562,6 +600,9 @@ impl ScenarioGrid {
         }
         if !physics.is_ideal() {
             network = network.with_physics(physics);
+        }
+        if let Some(fabric) = fabric {
+            network = network.with_fabric(fabric);
         }
 
         Scenario {
@@ -866,6 +907,74 @@ mod tests {
             PhysicsModel::decoherent(1.0)
         );
         assert_eq!(decoherent.config.network.decoherence.coherence_time_s, 1.0);
+    }
+
+    #[test]
+    fn fabric_axis_moves_the_fingerprint_and_stays_canonical_when_absent() {
+        use qnet_topology::HardwarePreset;
+        // The cache-poisoning guard for the fabric axis: adding a fabric
+        // must content-address a different outcome set...
+        let plain = small_grid();
+        let fabric =
+            small_grid().with_fabrics(vec![Some(FabricSpec::new(HardwarePreset::MetroFiber))]);
+        assert_ne!(plain.fingerprint(), fabric.fingerprint());
+        // ...and two presets diverge from each other.
+        let lab = small_grid().with_fabrics(vec![Some(FabricSpec::new(HardwarePreset::Lab))]);
+        assert_ne!(fabric.fingerprint(), lab.fingerprint());
+        // The all-homogeneous axis is canonical: no `fabrics` key, so
+        // pre-fabric fingerprints, cache files and shard files stay valid.
+        assert!(plain.to_value().get_field("fabrics").is_none());
+        assert!(fabric.to_value().get_field("fabrics").is_some());
+    }
+
+    #[test]
+    fn fabric_axis_expands_and_seeds_like_an_environment_axis() {
+        use qnet_topology::HardwarePreset;
+        let g = small_grid().with_fabrics(vec![
+            None,
+            Some(FabricSpec::new(HardwarePreset::MetroFiber)),
+        ]);
+        assert_eq!(g.cell_count(), 2 * 2 * 2 * 2);
+        // Homogeneous cells omit the key's fabric; calibrated cells carry it.
+        let plain_cells = (0..g.cell_count())
+            .map(|c| g.cell_key(c))
+            .filter(|k| k.fabric.is_none())
+            .count();
+        assert_eq!(plain_cells, g.cell_count() / 2);
+        // The fabric axis is part of the environment: two cells that differ
+        // only in fabric get distinct seeds.
+        let mut fabric_pairs = 0;
+        for a in g.scenarios() {
+            for b in g.scenarios() {
+                let (ka, kb) = (g.cell_key(a.cell), g.cell_key(b.cell));
+                if a.replicate != b.replicate || a.cell == b.cell {
+                    continue;
+                }
+                if ka.topology == kb.topology
+                    && ka.mode == kb.mode
+                    && ka.distillation == kb.distillation
+                    && ka.fabric != kb.fabric
+                {
+                    assert_ne!(a.seed, b.seed, "fabric must move the seed");
+                    fabric_pairs += 1;
+                }
+            }
+        }
+        assert!(fabric_pairs > 0, "pairing is non-trivial");
+        // Calibrated scenarios carry the fabric into the network config.
+        let calibrated = g
+            .scenarios()
+            .find(|s| s.config.network.fabric.is_some())
+            .expect("half the grid is calibrated");
+        assert_eq!(
+            calibrated.config.network.fabric,
+            Some(FabricSpec::new(HardwarePreset::MetroFiber))
+        );
+        // The grid round-trips with the axis intact.
+        let text = serde_json::to_string(&g).unwrap();
+        let back: ScenarioGrid = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.fingerprint(), g.fingerprint());
     }
 
     #[test]

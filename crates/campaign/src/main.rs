@@ -19,6 +19,10 @@
 //!   --physics LIST      link-physics axis specs: ideal and/or
 //!                       decoherent:T2[:FLOOR] (default: ideal); see
 //!                       --list-physics
+//!   --fabric LIST       link-fabric axis items: none, PRESET or
+//!                       TOPO@PRESET (the TOPO joins the topology axis),
+//!                       e.g. scale-free:1000@metro-fiber; see
+//!                       --list-fabrics
 //!   --gossip K          add a gossip knowledge axis with K peers/refresh
 //!   --pairs N           consumer pairs per workload (default: 10)
 //!   --requests N        requests per run (default: 12)
@@ -43,6 +47,7 @@
 //!   --list-workloads    print the workload-spec grammar and exit
 //!   --list-topologies   print the topology-spec grammar and exit
 //!   --list-physics      print the physics-spec grammar and exit
+//!   --list-fabrics      print the fabric-spec grammar and exit
 //! ```
 //!
 //! The JSON-lines report goes to stdout (or `--out`); the human summary and
@@ -62,7 +67,7 @@ use qnet_core::classical::KnowledgeModel;
 use qnet_core::physics::PhysicsModel;
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::{PairSelection, TrafficModel, WorkloadSpec};
-use qnet_topology::Topology;
+use qnet_topology::{FabricSpec, Topology};
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
@@ -74,6 +79,12 @@ struct Options {
     distillations: Vec<f64>,
     knowledge: Vec<KnowledgeModel>,
     physics: Vec<PhysicsModel>,
+    /// Link-fabric axis items, in first-mention order; empty means the
+    /// homogeneous default (`vec![None]` at grid build time).
+    fabrics: Vec<Option<FabricSpec>>,
+    /// Topologies named via `TOPO@PRESET` fabric items; appended to the
+    /// topology axis after the `--topologies` values.
+    fabric_topologies: Vec<Topology>,
     pairs: usize,
     requests: usize,
     /// Raw --workload specs; resolved against --requests and --horizon in
@@ -117,6 +128,8 @@ impl Default for Options {
             distillations: vec![1.0, 2.0],
             knowledge: vec![KnowledgeModel::Global],
             physics: vec![PhysicsModel::Ideal],
+            fabrics: Vec::new(),
+            fabric_topologies: Vec::new(),
             pairs: 10,
             requests: 12,
             workloads: Vec::new(),
@@ -171,10 +184,39 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
             rewire_probability: f(3)?,
         }),
         "tree" => Ok(Topology::RandomTree { nodes: n(1)? }),
+        "scale-free" => Ok(Topology::ScaleFree {
+            nodes: n(1)?,
+            // Preferential attachment defaults to 2 edges per newcomer (the
+            // classic internet-like Barabási–Albert setting).
+            attach: if parts.len() > 2 { n(2)? } else { 2 },
+        }),
+        "nyc-fiber" => {
+            if parts.len() > 1 {
+                return Err(format!("{spec}: nyc-fiber takes no parameters"));
+            }
+            Ok(Topology::DeployedFiber)
+        }
         other => Err(format!(
             "unknown topology family '{other}' (valid: cycle, path, star, complete, \
-             torus, grid, rand-grid, er, ws, tree; see --list-topologies)"
+             torus, grid, rand-grid, er, ws, tree, scale-free, nyc-fiber; \
+             see --list-topologies)"
         )),
+    }
+}
+
+/// Parse one `--fabric` item: `none`, `PRESET`, or `TOPO@PRESET` (the
+/// topology joins the grid's topology axis). Returns the fabric-axis entry
+/// plus the optional topology rider.
+fn parse_fabric_item(item: &str) -> Result<(Option<FabricSpec>, Option<Topology>), String> {
+    if item == "none" {
+        return Ok((None, None));
+    }
+    match item.split_once('@') {
+        Some((topo, preset)) => Ok((
+            Some(FabricSpec::parse(preset)?),
+            Some(parse_topology(topo)?),
+        )),
+        None => Ok((Some(FabricSpec::parse(item)?), None)),
     }
 }
 
@@ -300,6 +342,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 | "--dist"
                 | "--gossip"
                 | "--physics"
+                | "--fabric"
                 | "--pairs"
                 | "--requests"
                 | "--workload"
@@ -336,6 +379,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--physics" => {
                 opts.physics = parse_list("--physics", value("--physics")?, PhysicsModel::parse)?
+            }
+            "--fabric" => {
+                let items = parse_list("--fabric", value("--fabric")?, parse_fabric_item)?;
+                for (fabric, topology) in items {
+                    if !opts.fabrics.contains(&fabric) {
+                        opts.fabrics.push(fabric);
+                    }
+                    if let Some(t) = topology {
+                        if !opts.fabric_topologies.contains(&t) {
+                            opts.fabric_topologies.push(t);
+                        }
+                    }
+                }
             }
             "--pairs" => {
                 opts.pairs = value("--pairs")?
@@ -393,6 +449,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--list-workloads" => return Err("list-workloads".to_string()),
             "--list-topologies" => return Err("list-topologies".to_string()),
             "--list-physics" => return Err("list-physics".to_string()),
+            "--list-fabrics" => return Err("list-fabrics".to_string()),
             "--compare-serial" => opts.compare_serial = true,
             "--dry-run" => opts.dry_run = true,
             "--help" | "-h" => return Err("help".to_string()),
@@ -417,7 +474,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     for w in &opts.workloads {
         parse_workload(w, opts.requests, opts.horizon)?;
     }
-    if let Some(t) = opts.topologies.iter().find(|t| t.node_count() < 2) {
+    if let Some(t) = opts
+        .topologies
+        .iter()
+        .chain(&opts.fabric_topologies)
+        .find(|t| t.node_count() < 2)
+    {
         return Err(format!(
             "topology {} has fewer than 2 nodes; consumer pairs need at least 2",
             t.label()
@@ -463,12 +525,26 @@ fn build_grid(opts: &Options) -> ScenarioGrid {
             })
             .collect()
     };
+    // Topologies named by `TOPO@PRESET` fabric items join the axis after
+    // the explicit `--topologies` values (first mention wins on duplicates).
+    let mut topologies = opts.topologies.clone();
+    for t in &opts.fabric_topologies {
+        if !topologies.contains(t) {
+            topologies.push(*t);
+        }
+    }
+    let fabrics = if opts.fabrics.is_empty() {
+        vec![None]
+    } else {
+        opts.fabrics.clone()
+    };
     ScenarioGrid::new(opts.seed)
-        .with_topologies(opts.topologies.clone())
+        .with_topologies(topologies)
         .with_modes(opts.modes.clone())
         .with_distillations(opts.distillations.clone())
         .with_knowledge(opts.knowledge.clone())
         .with_physics(opts.physics.clone())
+        .with_fabrics(fabrics)
         .with_workloads(workloads)
         .with_replicates(opts.replicates)
         .with_horizon_s(opts.horizon)
@@ -826,6 +902,10 @@ fn main() -> ExitCode {
                 print!("{}", PHYSICS_HELP);
                 return ExitCode::SUCCESS;
             }
+            if msg == "list-fabrics" {
+                print!("{}", FABRICS_HELP);
+                return ExitCode::SUCCESS;
+            }
             eprintln!("campaign: {msg}");
             return ExitCode::FAILURE;
         }
@@ -842,7 +922,7 @@ fn main() -> ExitCode {
         None => build_grid(&opts),
     };
     eprintln!(
-        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge × {} physics × {} workloads)",
+        "campaign: {} cells × {} replicates = {} scenarios ({} topologies × {} modes × {} D × {} knowledge × {} physics × {} fabrics × {} workloads)",
         grid.cell_count(),
         grid.replicates,
         grid.scenario_count(),
@@ -851,6 +931,7 @@ fn main() -> ExitCode {
         grid.distillations.len(),
         grid.knowledge.len(),
         grid.physics.len(),
+        grid.fabrics.len(),
         grid.workloads.len(),
     );
     if opts.dry_run {
@@ -865,8 +946,12 @@ fn main() -> ExitCode {
                 Some(p) => format!(" physics={}", p.label()),
                 None => String::new(),
             };
+            let fabric = match key.fabric {
+                Some(f) => format!(" fabric={}", f.label()),
+                None => String::new(),
+            };
             eprintln!(
-                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}{traffic}{physics}",
+                "  cell {:>4}: {:<16} N={:<3} mode={:?} D={} pairs={} requests={}{traffic}{physics}{fabric}",
                 key.cell,
                 key.topology,
                 key.nodes,
@@ -1094,6 +1179,8 @@ OPTIONS:
   --dist LIST        distillation overheads, e.g. 1,2,3
   --physics LIST     link-physics axis: ideal, decoherent:T2[:FLOOR]
                      (see --list-physics)                [ideal]
+  --fabric LIST      link-fabric axis: none, PRESET or TOPO@PRESET
+                     (see --list-fabrics)                [none]
   --gossip K         add a gossip knowledge axis (K peers per refresh)
   --pairs N          consumer pairs per workload        [10]
   --requests N       requests per run                   [12]
@@ -1118,6 +1205,7 @@ OPTIONS:
   --list-workloads   print the workload-spec grammar and exit
   --list-topologies  print the topology-spec grammar and exit
   --list-physics     print the physics-spec grammar and exit
+  --list-fabrics     print the fabric-spec grammar and exit
 
 Determinism: cold run ≡ warm (cached) run ≡ any shard partition after
 `campaign merge` — all byte-identical JSONL reports.
@@ -1192,6 +1280,12 @@ topology axis):
   ws:N:K:P       Watts-Strogatz small world: N nodes, K ring neighbours,
                  rewire probability P
   tree:N         uniformly random spanning tree on N nodes
+  scale-free:N[:M]  Barabasi-Albert preferential attachment: N nodes, each
+                 newcomer wiring M edges to degree-weighted targets
+                 (default M = 2) — the internet-like heavy-tail family
+  nyc-fiber      the deployed 12-node NYC metro fiber template with
+                 heterogeneous link lengths (pairs naturally with
+                 --fabric metro-fiber)
 
 examples:
 
@@ -1228,6 +1322,48 @@ examples:
 
   # fidelity-floor failures by discipline
   campaign --physics decoherent:2:0.7 --modes oblivious,planned,hybrid
+";
+
+const FABRICS_HELP: &str = "\
+fabric specs (--fabric LIST, comma-separated; each joins the grid's
+link-fabric axis):
+
+  none                         homogeneous links (default): every edge
+                               generates at the grid's uniform rate with
+                               the global physics numbers — results stay
+                               byte-identical to pre-fabric reports
+  PRESET                       attach hardware-calibrated per-edge profiles
+                               to every topology in the grid: each edge
+                               draws a length from the preset's range
+                               (seed-deterministic), and its generation
+                               rate, birth fidelity and memory coherence
+                               time derive from that length
+  TOPO@PRESET                  additionally append TOPO (any --topologies
+                               spec) to the topology axis, e.g.
+                               scale-free:1000@metro-fiber
+
+presets:
+
+  lab                          tabletop links (5 m - 250 m): high rate,
+                               F0 = 0.99, T2 = 10 s — calibrated to
+                               trapped-ion testbed numbers
+  metro-fiber                  deployed telecom fiber (1 - 30 km): 0.2
+                               dB/km attenuation, F0 = 0.95 at zero
+                               length, T2 = 1.5 s — calibrated to
+                               metropolitan fiber testbed numbers
+
+derivations (length L km): rate = base * 10^(-0.2 L / 10);
+fidelity = 0.5 + (F0 - 0.5) * exp(-L / scale) — both strictly decreasing
+in L, so long links are both slower and noisier, exactly the regime
+path-oblivious balancing targets.
+
+examples:
+
+  # internet-scale heavy-tail graph on metro hardware
+  campaign --fabric scale-free:1000@metro-fiber --modes oblivious,planned
+
+  # the deployed NYC template, homogeneous vs calibrated
+  campaign --topologies nyc-fiber --fabric none,metro-fiber
 ";
 
 const WORKLOADS_HELP: &str = "\
@@ -1368,5 +1504,81 @@ mod tests {
             parse_args(&args(&["--list-physics"])).unwrap_err(),
             "list-physics"
         );
+        assert_eq!(
+            parse_args(&args(&["--list-fabrics"])).unwrap_err(),
+            "list-fabrics"
+        );
+    }
+
+    #[test]
+    fn default_grid_has_no_fabric_axis_and_keeps_its_fingerprint() {
+        let opts = parse_args(&[]).unwrap();
+        let grid = build_grid(&opts);
+        assert_eq!(grid.fabrics, vec![None]);
+        // The default 108-scenario sweep must keep its pre-fabric content
+        // address, or every cached outcome and shard file goes stale.
+        assert_eq!(grid.fingerprint().to_hex(), "3d0ceedd6e2ff513");
+    }
+
+    #[test]
+    fn fabric_flag_builds_the_axis_and_topology_riders() {
+        use qnet_topology::HardwarePreset;
+        let opts =
+            parse_args(&args(&["--fabric", "none,scale-free:1000@metro-fiber,lab"])).unwrap();
+        let grid = build_grid(&opts);
+        assert_eq!(
+            grid.fabrics,
+            vec![
+                None,
+                Some(FabricSpec::new(HardwarePreset::MetroFiber)),
+                Some(FabricSpec::new(HardwarePreset::Lab)),
+            ]
+        );
+        // The @TOPO rider joined the topology axis after the defaults.
+        assert_eq!(grid.topologies.len(), 4);
+        assert_eq!(
+            grid.topologies[3],
+            Topology::ScaleFree {
+                nodes: 1000,
+                attach: 2
+            }
+        );
+        // 4 topologies × 3 modes × 2 D × 3 fabrics × 6 replicates.
+        assert_eq!(grid.scenario_count(), 4 * 3 * 2 * 3 * 6);
+    }
+
+    #[test]
+    fn fabric_errors_enumerate_the_presets() {
+        let err = parse_args(&args(&["--fabric", "cryo"])).unwrap_err();
+        assert!(err.contains("unknown hardware preset `cryo`"), "{err}");
+        for name in ["lab", "metro-fiber"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        // A bad topology rider fails loudly too.
+        assert!(parse_args(&args(&["--fabric", "moebius:9@lab"])).is_err());
+    }
+
+    #[test]
+    fn scale_free_and_nyc_fiber_topology_specs_parse() {
+        assert_eq!(
+            parse_topology("scale-free:50").unwrap(),
+            Topology::ScaleFree {
+                nodes: 50,
+                attach: 2
+            }
+        );
+        assert_eq!(
+            parse_topology("scale-free:50:3").unwrap(),
+            Topology::ScaleFree {
+                nodes: 50,
+                attach: 3
+            }
+        );
+        assert_eq!(
+            parse_topology("nyc-fiber").unwrap(),
+            Topology::DeployedFiber
+        );
+        assert!(parse_topology("nyc-fiber:3").is_err());
+        assert!(parse_topology("scale-free").is_err());
     }
 }

@@ -552,6 +552,7 @@ mod tests {
             coherence_time_s: None,
             physics: None,
             traffic: None,
+            fabric: None,
         }
     }
 

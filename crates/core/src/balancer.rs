@@ -76,18 +76,32 @@ impl BalancerPolicy {
         node: NodeId,
         overhead: &dyn Fn(NodePair) -> f64,
     ) -> Option<SwapCandidate> {
-        let peers = local.entangled_peers(node);
+        let peers = local.peer_counts(node);
         if peers.len() < 2 {
             return None;
         }
 
+        // A peer can only take part in a preferable swap if its pool leaves
+        // margin for the beneficiary: `C_y(y') ≥ 0` forces
+        // `C_x(peer) − D ≥ 1`. Filtering first makes a scan O(peers) plus
+        // O(rich²) instead of O(peers²) — on an internet-scale graph a hub's
+        // peer list runs to hundreds, but almost every pool holds a single
+        // pair, so `rich` stays tiny. The counts ride inline in the peer
+        // index, so this pass is one sequential walk with no matrix probes.
+        // The filter is exact (no candidate that survives it is judged
+        // differently), so results are bit-identical to the exhaustive scan.
+        let mut rich: Vec<(NodeId, f64)> = Vec::new();
+        for &(peer, count) in peers {
+            let pair = NodePair::new(node, peer);
+            let margin = count as f64 - overhead(pair);
+            if margin + 1e-12 >= 1.0 {
+                rich.push((peer, margin));
+            }
+        }
+
         let mut best: Option<SwapCandidate> = None;
-        for (i, &left) in peers.iter().enumerate() {
-            let left_pair = NodePair::new(node, left);
-            let left_margin = local.count(left_pair) as f64 - overhead(left_pair);
-            for &right in &peers[i + 1..] {
-                let right_pair = NodePair::new(node, right);
-                let right_margin = local.count(right_pair) as f64 - overhead(right_pair);
+        'candidates: for (i, &(left, left_margin)) in rich.iter().enumerate() {
+            for &(right, right_margin) in &rich[i + 1..] {
                 let beneficiary = NodePair::new(left, right);
                 let target_count = remote.count(beneficiary);
                 let preferable =
@@ -111,6 +125,14 @@ impl BalancerPolicy {
                 };
                 if better {
                     best = Some(candidate);
+                    // `rich` ascends by node id, so the (left, right) loop
+                    // enumerates beneficiaries in ascending `NodePair` order:
+                    // a preferable candidate at the count floor can never be
+                    // displaced by a later one (which ties on count at best
+                    // and always loses the beneficiary tie-break).
+                    if target_count == 0 {
+                        break 'candidates;
+                    }
                 }
             }
         }

@@ -10,7 +10,7 @@ use crate::physics::PhysicsModel;
 use crate::rates::RateMatrices;
 use qnet_quantum::decoherence::DecoherenceModel;
 use qnet_quantum::distill::{overhead_factor, DistillationProtocol};
-use qnet_topology::{Graph, NodePair, Topology};
+use qnet_topology::{FabricSpec, Graph, LinkFabric, NodePair, Topology};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How the distillation overhead `D_{x,y}` is specified.
@@ -88,6 +88,12 @@ pub struct NetworkConfig {
     /// semantics, byte-identical results) or fidelity-tracked, decaying
     /// memories ([`PhysicsModel::Decoherent`]).
     pub physics: PhysicsModel,
+    /// Optional heterogeneous link fabric: a hardware preset realized into
+    /// per-edge [`qnet_topology::LinkProfile`]s over the built graph. `None`
+    /// (the default) keeps the paper's homogeneous links and the legacy
+    /// serialized bytes; `Some` gives every edge its own generation rate
+    /// and — under decoherent physics — its own birth fidelity and `T2`.
+    pub fabric: Option<FabricSpec>,
 }
 
 impl Serialize for NetworkConfig {
@@ -115,6 +121,10 @@ impl Serialize for NetworkConfig {
         if !self.physics.is_ideal() {
             entries.push(("physics".to_string(), self.physics.to_value()));
         }
+        // Same shim for the fabric: homogeneous configs keep their bytes.
+        if let Some(fabric) = &self.fabric {
+            entries.push(("fabric".to_string(), fabric.to_value()));
+        }
         Value::Map(entries)
     }
 }
@@ -129,6 +139,10 @@ impl Deserialize for NetworkConfig {
             Value::Null => PhysicsModel::Ideal,
             v => PhysicsModel::from_value(v)?,
         };
+        let fabric = match field("fabric") {
+            Value::Null => None,
+            v => Some(FabricSpec::from_value(v)?),
+        };
         Ok(NetworkConfig {
             topology: Deserialize::from_value(field("topology"))?,
             topology_seed: Deserialize::from_value(field("topology_seed"))?,
@@ -141,6 +155,7 @@ impl Deserialize for NetworkConfig {
             decoherence: Deserialize::from_value(field("decoherence"))?,
             buffer_limit: Deserialize::from_value(field("buffer_limit"))?,
             physics,
+            fabric,
         })
     }
 }
@@ -162,6 +177,7 @@ impl NetworkConfig {
             decoherence: DecoherenceModel::ideal(),
             buffer_limit: None,
             physics: PhysicsModel::Ideal,
+            fabric: None,
         }
     }
 
@@ -225,6 +241,29 @@ impl NetworkConfig {
         self.physics = physics;
         self.decoherence = physics.decoherence_model();
         self
+    }
+
+    /// Builder: attach a heterogeneous link fabric. Per-edge generation
+    /// rates replace the uniform [`NetworkConfig::generation_rate`], and
+    /// under decoherent physics each edge also gets its own birth fidelity
+    /// and memory coherence time. The preset also calibrates the node
+    /// hardware around the links: [`NetworkConfig::swap_scan_rate`] is set
+    /// to the preset's control-plane cadence and
+    /// [`NetworkConfig::buffer_limit`] to its quantum-memory budget (call
+    /// the respective builders *after* this to override either).
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = Some(fabric);
+        self.swap_scan_rate = fabric.preset.swap_scan_rate_hz();
+        self.buffer_limit = fabric.preset.memory_qubits_per_node();
+        self
+    }
+
+    /// Realize the configured fabric over the built graph (`None` when the
+    /// config is homogeneous). Deterministic in `(topology, topology_seed,
+    /// preset)`.
+    pub fn build_fabric(&self, graph: &Graph) -> Option<LinkFabric> {
+        self.fabric
+            .map(|spec| spec.realize(&self.topology, graph, self.topology_seed))
     }
 
     /// Number of nodes in the configured topology.
@@ -327,10 +366,51 @@ mod tests {
         let c = NetworkConfig::new(Topology::Cycle { nodes: 5 });
         let v = c.to_value();
         assert!(v.get_field("physics").is_none(), "ideal omits physics");
+        assert!(v.get_field("fabric").is_none(), "no fabric omits fabric");
         // A legacy document (no physics key) loads with ideal implied.
         let back = NetworkConfig::from_value(&v).unwrap();
         assert!(back.physics.is_ideal());
+        assert!(back.fabric.is_none());
         assert_eq!(back.topology, c.topology);
+    }
+
+    #[test]
+    fn fabric_round_trips_and_realizes_per_edge_profiles() {
+        use qnet_topology::HardwarePreset;
+        let spec = FabricSpec::new(HardwarePreset::MetroFiber);
+        let c = NetworkConfig::new(Topology::Cycle { nodes: 7 })
+            .with_topology_seed(3)
+            .with_fabric(spec);
+        let v = c.to_value();
+        assert_eq!(
+            v.get_field("fabric").and_then(|f| f.as_str()),
+            Some("metro-fiber")
+        );
+        let back = NetworkConfig::from_value(&v).unwrap();
+        assert_eq!(back.fabric, Some(spec));
+        // The preset calibrates the node hardware too: scan cadence and the
+        // finite metro memory bank; explicit builder calls afterwards still
+        // override.
+        assert_eq!(c.swap_scan_rate, 4.0);
+        assert_eq!(c.buffer_limit, Some(512));
+        assert_eq!(c.with_swap_scan_rate(2.0).swap_scan_rate, 2.0);
+        assert_eq!(c.with_buffer_limit(128).buffer_limit, Some(128));
+
+        let graph = c.build_graph();
+        let fabric = c.build_fabric(&graph).unwrap();
+        assert_eq!(fabric.len(), graph.edge_count());
+        // Rates are heterogeneous (different synthesized lengths) and
+        // deterministic in the topology seed.
+        let rates: Vec<f64> = fabric.iter().map(|(_, p)| p.generation_rate_hz).collect();
+        assert!(rates.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+        assert_eq!(
+            c.build_fabric(&graph),
+            c.build_fabric(&graph),
+            "realization is deterministic"
+        );
+        assert!(NetworkConfig::new(Topology::Cycle { nodes: 7 })
+            .build_fabric(&graph)
+            .is_none());
     }
 
     #[test]

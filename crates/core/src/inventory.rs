@@ -34,7 +34,7 @@ use qnet_quantum::swap::swap_werner_fidelity;
 use qnet_sim::{SimDuration, SimTime};
 use qnet_topology::{NodeId, NodePair, PairMatrix};
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Reasons an inventory mutation can be refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,54 +63,86 @@ pub struct PairLot {
     /// Fidelity at creation (initial fidelity for elementary pairs, the
     /// Werner-composed value for swap products).
     pub birth_fidelity: f64,
+    /// Memory coherence time governing this lot's decay. Elementary pairs
+    /// inherit it from their generation edge (heterogeneous under a link
+    /// fabric); a swap product inherits the *worst* input memory.
+    pub coherence_time_s: f64,
 }
 
 /// Per-pool age/fidelity bookkeeping, active only under decoherent physics.
 /// Lots within a pool are kept in creation order (pushes always append and
 /// creation times are monotone), so the pool front is always the oldest.
+///
+/// Pools live in a `BTreeMap` keyed by [`NodePair`] holding only *occupied*
+/// pools, so whole-store walks (cutoff sweeps, earliest-lot queries) cost
+/// O(stored pairs) instead of O(N²) — the difference between |N| = 49 and
+/// |N| = 10³. `BTreeMap` iteration order over `NodePair` is exactly the
+/// lexicographic `all_pairs` order the previous dense matrix scanned in, so
+/// expiry event order (and with it every decoherent golden result) is
+/// unchanged.
 #[derive(Debug, Clone, PartialEq)]
 struct LotStore {
     decoherence: DecoherenceModel,
     initial_fidelity: f64,
     order: ConsumeOrder,
     clock: SimTime,
-    pools: PairMatrix<VecDeque<PairLot>>,
+    pools: BTreeMap<NodePair, VecDeque<PairLot>>,
+    /// Per-edge `(birth_fidelity, coherence_time_s)` overrides from a link
+    /// fabric; empty for homogeneous (no-fabric) runs.
+    link_overrides: BTreeMap<NodePair, (f64, f64)>,
 }
 
 impl LotStore {
-    fn new(n: usize, physics: &PhysicsModel) -> Self {
+    fn new(physics: &PhysicsModel) -> Self {
         LotStore {
             decoherence: physics.decoherence_model(),
             initial_fidelity: physics.initial_fidelity(),
             order: physics.consume_order(),
             clock: SimTime::ZERO,
-            pools: PairMatrix::new(n),
+            pools: BTreeMap::new(),
+            link_overrides: BTreeMap::new(),
         }
     }
 
-    /// Current fidelity of `lot` at the store clock.
+    /// Current fidelity of `lot` at the store clock, decayed under the
+    /// lot's own memory coherence time.
     fn aged_fidelity(&self, lot: &PairLot) -> f64 {
         let age = self.clock.saturating_since(lot.created_at).as_secs_f64();
-        self.decoherence.fidelity_after(lot.birth_fidelity, age)
+        DecoherenceModel {
+            coherence_time_s: lot.coherence_time_s,
+        }
+        .fidelity_after(lot.birth_fidelity, age)
     }
 
-    fn push(&mut self, pair: NodePair, birth_fidelity: f64) {
-        self.pools.get_mut(pair).push_back(PairLot {
+    /// Store one lot. `birth` is `Some((fidelity, t2))` for swap products
+    /// (the composed values); elementary pairs pass `None` and inherit their
+    /// generation edge's override, falling back to the global physics.
+    fn push(&mut self, pair: NodePair, birth: Option<(f64, f64)>) {
+        let (birth_fidelity, coherence_time_s) = birth.unwrap_or_else(|| {
+            self.link_overrides
+                .get(&pair)
+                .copied()
+                .unwrap_or((self.initial_fidelity, self.decoherence.coherence_time_s))
+        });
+        self.pools.entry(pair).or_default().push_back(PairLot {
             created_at: self.clock,
             birth_fidelity,
+            coherence_time_s,
         });
     }
 
     /// Remove `count` lots from `pair`'s pool in the configured order and
     /// return the best aged fidelity among them (the pair that actually
-    /// serves the request/swap; the rest are the `⌈D⌉` distillation fuel).
+    /// serves the request/swap; the rest are the `⌈D⌉` distillation fuel)
+    /// together with the worst coherence time among them (a swap product is
+    /// only as durable as its weakest input memory).
     ///
     /// # Panics
     /// Panics if the pool holds fewer than `count` lots — count-space
     /// availability is always validated first, and the store mirrors the
     /// counts exactly.
-    fn take(&mut self, pair: NodePair, count: u64) -> f64 {
-        let pool = self.pools.get_mut(pair);
+    fn take(&mut self, pair: NodePair, count: u64) -> (f64, f64) {
+        let pool = self.pools.entry(pair).or_default();
         assert!(
             pool.len() as u64 >= count,
             "lot store out of sync with counts for {pair}"
@@ -124,10 +156,18 @@ impl LotStore {
             .expect("length checked");
             taken.push(lot);
         }
-        taken
+        if pool.is_empty() {
+            self.pools.remove(&pair);
+        }
+        let best = taken
             .iter()
             .map(|lot| self.aged_fidelity(lot))
-            .fold(0.25, f64::max)
+            .fold(0.25, f64::max);
+        let weakest_t2 = taken
+            .iter()
+            .map(|lot| lot.coherence_time_s)
+            .fold(f64::INFINITY, f64::min);
+        (best, weakest_t2)
     }
 }
 
@@ -149,6 +189,12 @@ pub struct Inventory {
     total_removed: u64,
     /// Age/fidelity lots, present only under decoherent physics.
     lots: Option<LotStore>,
+    /// Per-node sorted `(peer, count)` lists, mirrored on every count
+    /// mutation. The swap-scan candidate search walks this contiguous slice
+    /// in O(degree) — counts inline, so no random probes into the N²/2
+    /// matrix — the structure that makes |N| ≈ 10³ swap scans tractable.
+    /// Runtime state derived from `counts`; never serialized.
+    peer_index: Vec<Vec<(NodeId, u64)>>,
 }
 
 impl Serialize for Inventory {
@@ -170,13 +216,27 @@ impl Deserialize for Inventory {
             return Err(DeError::expected("Inventory object", value));
         }
         let field = |name: &str| value.get_field(name).unwrap_or(&Value::Null);
+        let counts: PairMatrix<u64> = Deserialize::from_value(field("counts"))?;
+        let node_load: Vec<u64> = Deserialize::from_value(field("node_load"))?;
+        // The peer index is runtime state derived from the counts.
+        let mut peer_index: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); node_load.len()];
+        for (pair, &count) in counts.iter() {
+            if count > 0 {
+                peer_index[pair.lo().index()].push((pair.hi(), count));
+                peer_index[pair.hi().index()].push((pair.lo(), count));
+            }
+        }
+        for peers in &mut peer_index {
+            peers.sort_unstable_by_key(|&(p, _)| p);
+        }
         Ok(Inventory {
-            counts: Deserialize::from_value(field("counts"))?,
-            node_load: Deserialize::from_value(field("node_load"))?,
+            counts,
+            node_load,
             buffer_limit: Deserialize::from_value(field("buffer_limit"))?,
             total_added: Deserialize::from_value(field("total_added"))?,
             total_removed: Deserialize::from_value(field("total_removed"))?,
             lots: None,
+            peer_index,
         })
     }
 }
@@ -191,6 +251,7 @@ impl Inventory {
             total_added: 0,
             total_removed: 0,
             lots: None,
+            peer_index: vec![Vec::new(); n],
         }
     }
 
@@ -205,7 +266,24 @@ impl Inventory {
             0,
             "enable lot tracking on an empty inventory"
         );
-        self.lots = Some(LotStore::new(self.node_count(), physics));
+        self.lots = Some(LotStore::new(physics));
+    }
+
+    /// Attach per-edge `(pair, birth_fidelity, coherence_time_s)` overrides
+    /// from a realized link fabric: elementary pairs generated on a listed
+    /// edge are born at that edge's fidelity and decay under that edge's
+    /// memory coherence time. A no-op without the lot store (ideal physics
+    /// has no ages to track).
+    pub fn set_link_physics<I>(&mut self, links: I)
+    where
+        I: IntoIterator<Item = (NodePair, f64, f64)>,
+    {
+        if let Some(store) = &mut self.lots {
+            store.link_overrides = links
+                .into_iter()
+                .map(|(pair, f0, t2)| (pair, (f0, t2)))
+                .collect();
+        }
     }
 
     /// True when the age/fidelity lot store is active (decoherent physics).
@@ -228,7 +306,11 @@ impl Inventory {
     /// source of truth.
     pub fn lots_for(&self, pair: NodePair) -> Vec<PairLot> {
         match &self.lots {
-            Some(store) => store.pools.get(pair).iter().copied().collect(),
+            Some(store) => store
+                .pools
+                .get(&pair)
+                .map(|pool| pool.iter().copied().collect())
+                .unwrap_or_default(),
             None => Vec::new(),
         }
     }
@@ -239,22 +321,22 @@ impl Inventory {
         match &self.lots {
             Some(store) => store
                 .pools
-                .get(pair)
-                .iter()
-                .map(|lot| store.aged_fidelity(lot))
-                .collect(),
+                .get(&pair)
+                .map(|pool| pool.iter().map(|lot| store.aged_fidelity(lot)).collect())
+                .unwrap_or_default(),
             None => Vec::new(),
         }
     }
 
     /// Creation time of the oldest stored lot across all pools (`None` when
-    /// the store is absent or empty). Drives cutoff-sweep scheduling.
+    /// the store is absent or empty). Drives cutoff-sweep scheduling. Walks
+    /// only the occupied pools.
     pub fn earliest_lot_time(&self) -> Option<SimTime> {
         let store = self.lots.as_ref()?;
         store
             .pools
-            .iter()
-            .flat_map(|(_, pool)| pool.front())
+            .values()
+            .flat_map(|pool| pool.front())
             .map(|lot| lot.created_at)
             .min()
     }
@@ -269,24 +351,26 @@ impl Inventory {
             return Vec::new();
         };
         let clock = store.clock;
-        let n = store.pools.node_count();
         let mut expired = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let pair = NodePair::new(NodeId(i as u32), NodeId(j as u32));
-                let pool = store.pools.get_mut(pair);
-                while let Some(front) = pool.front() {
-                    if front.created_at + cutoff <= clock {
-                        pool.pop_front();
-                        expired.push(pair);
-                    } else {
-                        break;
-                    }
+        // BTreeMap iteration is in lexicographic NodePair order — the same
+        // order the old dense matrix scan produced — but touches only
+        // occupied pools.
+        for (&pair, pool) in store.pools.iter_mut() {
+            while let Some(front) = pool.front() {
+                if front.created_at + cutoff <= clock {
+                    pool.pop_front();
+                    expired.push(pair);
+                } else {
+                    break;
                 }
             }
         }
+        store.pools.retain(|_, pool| !pool.is_empty());
         for &pair in &expired {
-            *self.counts.get_mut(pair) -= 1;
+            let count = self.counts.get_mut(pair);
+            *count -= 1;
+            let count = *count;
+            Self::set_peer_count(&mut self.peer_index, pair, count);
             self.node_load[pair.lo().index()] -= 1;
             self.node_load[pair.hi().index()] -= 1;
             self.total_removed += 1;
@@ -305,6 +389,11 @@ impl Inventory {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.node_load.len()
+    }
+
+    /// The per-node buffer limit, if one is configured.
+    pub fn buffer_limit(&self) -> Option<u64> {
+        self.buffer_limit
     }
 
     /// Count of stored pairs between the endpoints of `pair`.
@@ -334,36 +423,79 @@ impl Inventory {
 
     /// The nodes that currently share at least one pair with `node`
     /// (its *entanglement neighbors*), in ascending id order.
-    pub fn entangled_peers(&self, node: NodeId) -> Vec<NodeId> {
-        (0..self.node_count())
-            .map(NodeId::from)
-            .filter(|&other| other != node && self.count(NodePair::new(node, other)) > 0)
-            .collect()
+    ///
+    /// Served from the maintained per-node index — no allocation, no O(N)
+    /// scan — so a swap scan at a node of degree d costs O(d) + O(rich²)
+    /// regardless of network size.
+    pub fn entangled_peers(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.peer_index[node.index()].iter().map(|&(peer, _)| peer)
     }
 
-    /// Iterate over all pairs with a non-zero count.
+    /// `(peer, count)` for every entanglement neighbor of `node`, in
+    /// ascending peer-id order. The counts are carried inline so a scan over
+    /// a hub's peers is one sequential walk of a small contiguous slice —
+    /// no per-peer random probe into the N²/2 count matrix, which is what
+    /// dominates swap-scan cost at |N| ≈ 10³.
+    pub fn peer_counts(&self, node: NodeId) -> &[(NodeId, u64)] {
+        &self.peer_index[node.index()]
+    }
+
+    /// Mirror `pair`'s new count into both endpoints' peer lists: insert on
+    /// 0 → nonzero, remove on nonzero → 0, plain write otherwise.
+    fn set_peer_count(peer_index: &mut [Vec<(NodeId, u64)>], pair: NodePair, count: u64) {
+        for (node, peer) in [(pair.lo(), pair.hi()), (pair.hi(), pair.lo())] {
+            let list = &mut peer_index[node.index()];
+            match list.binary_search_by_key(&peer, |&(p, _)| p) {
+                Ok(pos) => {
+                    if count == 0 {
+                        list.remove(pos);
+                    } else {
+                        list[pos].1 = count;
+                    }
+                }
+                Err(pos) => {
+                    if count > 0 {
+                        list.insert(pos, (peer, count));
+                    }
+                }
+            }
+        }
+    }
+
+    /// All pairs with a non-zero count, in lexicographic pair order.
+    ///
+    /// Assembled from the peer index in O(N + occupied pools) — the same
+    /// order a full scan of the N²/2 count matrix would produce, without
+    /// touching it (the entanglement-graph build runs this on every hybrid
+    /// repair attempt).
     pub fn nonzero_pairs(&self) -> Vec<(NodePair, u64)> {
-        self.counts
-            .iter()
-            .filter(|(_, &c)| c > 0)
-            .map(|(p, &c)| (p, c))
-            .collect()
+        let mut pairs = Vec::new();
+        for (lo, peers) in self.peer_index.iter().enumerate() {
+            let lo = NodeId::from(lo);
+            for &(hi, count) in peers {
+                if hi > lo {
+                    pairs.push((NodePair::new(lo, hi), count));
+                }
+            }
+        }
+        pairs
     }
 
     /// Record the generation of one elementary pair between the endpoints of
-    /// `pair` (born at the configured initial fidelity under decoherent
-    /// physics).
+    /// `pair` (born, under decoherent physics, at its generation edge's
+    /// fidelity when a link fabric is attached and the configured global
+    /// initial fidelity otherwise).
     pub fn add_pair(&mut self, pair: NodePair) -> Result<(), InventoryError> {
-        let f0 = self.lots.as_ref().map(|s| s.initial_fidelity);
-        self.add_pair_with_fidelity(pair, f0)
+        self.add_pair_with_birth(pair, None)
     }
 
-    /// Shared insertion path: `birth_fidelity` is `None` for ideal physics
-    /// and the elementary/composed fidelity otherwise.
-    fn add_pair_with_fidelity(
+    /// Shared insertion path: `birth` is `Some((fidelity, coherence_time))`
+    /// for swap products and `None` for elementary pairs (which resolve
+    /// their birth values from the link fabric or the global physics).
+    fn add_pair_with_birth(
         &mut self,
         pair: NodePair,
-        birth_fidelity: Option<f64>,
+        birth: Option<(f64, f64)>,
     ) -> Result<(), InventoryError> {
         if let Some(limit) = self.buffer_limit {
             for node in [pair.lo(), pair.hi()] {
@@ -372,12 +504,15 @@ impl Inventory {
                 }
             }
         }
-        *self.counts.get_mut(pair) += 1;
+        let count = self.counts.get_mut(pair);
+        *count += 1;
+        let count = *count;
+        Self::set_peer_count(&mut self.peer_index, pair, count);
         self.node_load[pair.lo().index()] += 1;
         self.node_load[pair.hi().index()] += 1;
         self.total_added += 1;
         if let Some(store) = &mut self.lots {
-            store.push(pair, birth_fidelity.unwrap_or(store.initial_fidelity));
+            store.push(pair, birth);
         }
         Ok(())
     }
@@ -396,6 +531,17 @@ impl Inventory {
         pair: NodePair,
         count: u64,
     ) -> Result<Option<f64>, InventoryError> {
+        self.remove_pairs_full(pair, count)
+            .map(|taken| taken.map(|(fidelity, _)| fidelity))
+    }
+
+    /// Removal path that also reports the worst coherence time among the
+    /// removed lots (what a swap product inherits).
+    fn remove_pairs_full(
+        &mut self,
+        pair: NodePair,
+        count: u64,
+    ) -> Result<Option<(f64, f64)>, InventoryError> {
         let available = self.count(pair);
         if available < count {
             return Err(InventoryError::InsufficientPairs {
@@ -403,7 +549,12 @@ impl Inventory {
                 available,
             });
         }
-        *self.counts.get_mut(pair) -= count;
+        let remaining = self.counts.get_mut(pair);
+        *remaining -= count;
+        let remaining = *remaining;
+        if count > 0 {
+            Self::set_peer_count(&mut self.peer_index, pair, remaining);
+        }
         self.node_load[pair.lo().index()] -= count;
         self.node_load[pair.hi().index()] -= count;
         self.total_removed += count;
@@ -450,18 +601,19 @@ impl Inventory {
             });
         }
         let f_left = self
-            .remove_pairs_with_fidelity(left_pair, cost_left)
+            .remove_pairs_full(left_pair, cost_left)
             .expect("checked");
         let f_right = self
-            .remove_pairs_with_fidelity(right_pair, cost_right)
+            .remove_pairs_full(right_pair, cost_right)
             .expect("checked");
         // Under decoherent physics the product pair's clock restarts now,
-        // at the Werner-composed fidelity of the two (aged) inputs.
+        // at the Werner-composed fidelity of the two (aged) inputs, decaying
+        // under the worse of the two input memories.
         let composed = match (f_left, f_right) {
-            (Some(a), Some(b)) => Some(swap_werner_fidelity(a, b)),
+            (Some((fa, ta)), Some((fb, tb))) => Some((swap_werner_fidelity(fa, fb), ta.min(tb))),
             _ => None,
         };
-        self.add_pair_with_fidelity(NodePair::new(left, right), composed)
+        self.add_pair_with_birth(NodePair::new(left, right), composed)
     }
 
     /// The minimum pair count over a set of pairs (used by balance tests).
@@ -491,7 +643,10 @@ mod tests {
         assert_eq!(inv.total_added(), 3);
         assert_eq!(inv.node_load(NodeId(0)), 2);
         assert_eq!(inv.node_load(NodeId(3)), 1);
-        assert_eq!(inv.entangled_peers(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(
+            inv.entangled_peers(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
         assert_eq!(inv.nonzero_pairs().len(), 2);
     }
 
@@ -735,6 +890,104 @@ mod tests {
         let back = Inventory::from_value(&plain.to_value()).unwrap();
         assert_eq!(back.count(pair(0, 1)), 1);
         assert!(!back.tracks_lots());
+    }
+
+    #[test]
+    fn peer_index_tracks_zero_nonzero_transitions() {
+        let mut inv = Inventory::new(5);
+        assert!(inv.peer_counts(NodeId(0)).is_empty());
+        inv.add_pair(pair(0, 3)).unwrap();
+        inv.add_pair(pair(0, 3)).unwrap();
+        inv.add_pair(pair(0, 1)).unwrap();
+        inv.add_pair(pair(2, 3)).unwrap();
+        // Ascending order, as the balancer's tie-breaking requires, with
+        // the pool counts mirrored inline.
+        assert_eq!(
+            inv.peer_counts(NodeId(0)),
+            &[(NodeId(1), 1), (NodeId(3), 2)]
+        );
+        assert_eq!(
+            inv.peer_counts(NodeId(3)),
+            &[(NodeId(0), 2), (NodeId(2), 1)]
+        );
+        // Removing one of two pairs keeps the peer; removing the last drops it.
+        inv.remove_pairs(pair(0, 3), 1).unwrap();
+        assert_eq!(
+            inv.peer_counts(NodeId(0)),
+            &[(NodeId(1), 1), (NodeId(3), 1)]
+        );
+        inv.remove_pairs(pair(0, 3), 1).unwrap();
+        assert_eq!(inv.peer_counts(NodeId(0)), &[(NodeId(1), 1)]);
+        // A swap retargets the index: consuming 0—1 and 0—3 produces 1—3.
+        inv.add_pair(pair(0, 3)).unwrap();
+        inv.apply_swap(NodeId(0), NodeId(1), NodeId(3), 1, 1)
+            .unwrap();
+        assert!(inv.peer_counts(NodeId(0)).is_empty());
+        assert_eq!(inv.peer_counts(NodeId(1)), &[(NodeId(3), 1)]);
+        // Expiry transitions update the index too.
+        let mut aged = decoherent_inventory(3, 10.0);
+        aged.set_clock(SimTime::ZERO);
+        aged.add_pair(pair(0, 1)).unwrap();
+        aged.set_clock(SimTime::from_secs(9));
+        assert_eq!(aged.peer_counts(NodeId(0)), &[(NodeId(1), 1)]);
+        aged.purge_expired(SimDuration::from_secs(5));
+        assert!(aged.peer_counts(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn peer_index_is_rebuilt_on_deserialize() {
+        let mut inv = Inventory::new(4);
+        inv.add_pair(pair(0, 2)).unwrap();
+        inv.add_pair(pair(1, 2)).unwrap();
+        inv.add_pair(pair(1, 2)).unwrap();
+        let back = Inventory::from_value(&inv.to_value()).unwrap();
+        assert_eq!(
+            back.peer_counts(NodeId(2)),
+            &[(NodeId(0), 1), (NodeId(1), 2)]
+        );
+        assert_eq!(back, inv);
+    }
+
+    #[test]
+    fn link_physics_overrides_birth_fidelity_and_memory() {
+        let mut inv = decoherent_inventory(3, 10.0);
+        inv.set_link_physics([(pair(0, 1), 0.9, 0.5)]);
+        inv.set_clock(SimTime::ZERO);
+        inv.add_pair(pair(0, 1)).unwrap(); // fabric edge: f0 = 0.9, T2 = 0.5 s
+        inv.add_pair(pair(1, 2)).unwrap(); // unlisted edge: global defaults
+        let fabric_lot = inv.lots_for(pair(0, 1))[0];
+        assert_eq!(fabric_lot.birth_fidelity, 0.9);
+        assert_eq!(fabric_lot.coherence_time_s, 0.5);
+        let default_lot = inv.lots_for(pair(1, 2))[0];
+        assert_eq!(
+            default_lot.birth_fidelity,
+            PhysicsModel::DEFAULT_INITIAL_FIDELITY
+        );
+        assert_eq!(default_lot.coherence_time_s, 10.0);
+        // The short-memory lot decays much faster than the default one.
+        inv.set_clock(SimTime::from_secs(1));
+        let fast = inv.fidelities_for(pair(0, 1))[0];
+        let slow = inv.fidelities_for(pair(1, 2))[0];
+        let expected_fast = DecoherenceModel::with_coherence_time(0.5).fidelity_after(0.9, 1.0);
+        assert!((fast - expected_fast).abs() < 1e-12);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn swap_product_inherits_the_weakest_input_memory() {
+        let (a, c, b) = (NodeId(0), NodeId(2), NodeId(1));
+        let mut inv = decoherent_inventory(3, 10.0);
+        inv.set_link_physics([
+            (NodePair::new(a, c), 0.95, 0.5),
+            (NodePair::new(c, b), 0.95, 4.0),
+        ]);
+        inv.set_clock(SimTime::ZERO);
+        inv.add_pair(NodePair::new(a, c)).unwrap();
+        inv.add_pair(NodePair::new(c, b)).unwrap();
+        inv.apply_swap(c, a, b, 1, 1).unwrap();
+        let product = inv.lots_for(NodePair::new(a, b));
+        assert_eq!(product.len(), 1);
+        assert_eq!(product[0].coherence_time_s, 0.5, "worst memory dominates");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::observer::{MetricsRecorder, RunObserver, SwapKind};
 use crate::policy::{PolicyCtx, QueueDiscipline, RequestAction, SwapPolicy};
 use crate::workload::{ConsumptionRequest, Workload};
 use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimRng, SimTime, World};
-use qnet_topology::{bfs_path, Graph, NodeId, NodePair};
+use qnet_topology::{bfs_path, Graph, LinkFabric, NodeId, NodePair};
 use std::collections::VecDeque;
 
 pub use crate::policy::ProtocolMode;
@@ -75,7 +75,9 @@ pub struct QuantumNetworkWorld {
     /// Requests scheduled as arrival events but not yet delivered.
     arrivals_outstanding: usize,
     rng: SimRng,
-    generation: PoissonProcess,
+    /// Per-edge hardware profiles when the config carries a link fabric.
+    /// `None` runs the legacy homogeneous substrate byte-identically.
+    fabric: Option<LinkFabric>,
     recorder: MetricsRecorder,
     extra_observers: Vec<Box<dyn RunObserver>>,
     /// Storage-age cutoff of the physics model, if any.
@@ -107,6 +109,17 @@ impl QuantumNetworkWorld {
         // the default ideal physics this is a no-op and every code path
         // below behaves exactly as the pre-physics stack.
         inventory.enable_lot_tracking(&config.physics);
+        // A link fabric attaches hardware-calibrated per-edge profiles:
+        // elementary pairs are born at the edge's fidelity and decay with
+        // the edge's memory, instead of the global physics numbers.
+        let fabric = config.build_fabric(&graph);
+        if let Some(fabric) = &fabric {
+            inventory.set_link_physics(
+                fabric
+                    .iter()
+                    .map(|(pair, prof)| (pair, prof.initial_fidelity, prof.coherence_time_s)),
+            );
+        }
         let gossip = match knowledge {
             KnowledgeModel::Gossip { peers_per_refresh } => {
                 Some(GossipState::new(n, peers_per_refresh))
@@ -114,7 +127,6 @@ impl QuantumNetworkWorld {
             KnowledgeModel::Global => None,
         };
         let rng = SimRng::new(seed).derive("network");
-        let generation = PoissonProcess::new(config.generation_rate);
 
         let mut world = QuantumNetworkWorld {
             config,
@@ -126,7 +138,7 @@ impl QuantumNetworkWorld {
             pending: VecDeque::new(),
             arrivals_outstanding: workload.requests.len(),
             rng,
-            generation,
+            fabric,
             recorder: MetricsRecorder::new(),
             extra_observers: Vec::new(),
             cutoff: config.physics.cutoff_s().map(SimDuration::from_secs_f64),
@@ -167,7 +179,7 @@ impl QuantumNetworkWorld {
         let edges: Vec<(NodeId, NodeId)> = self.graph.edges().collect();
         for (a, b) in edges {
             let edge = NodePair::new(a, b);
-            if let Some(at) = self.next_generation_time(SimTime::ZERO) {
+            if let Some(at) = self.next_generation_time(SimTime::ZERO, edge) {
                 queue.schedule_at(at, NetEvent::Generate { edge });
             }
         }
@@ -181,11 +193,25 @@ impl QuantumNetworkWorld {
         }
     }
 
-    fn next_generation_time(&mut self, now: SimTime) -> Option<SimTime> {
+    /// Generation rate of `edge`: its fabric profile's rate when a link
+    /// fabric is attached, the homogeneous configured rate otherwise.
+    fn generation_rate(&self, edge: NodePair) -> f64 {
+        self.fabric
+            .as_ref()
+            .and_then(|f| f.profile(edge))
+            .map(|p| p.generation_rate_hz)
+            .unwrap_or(self.config.generation_rate)
+    }
+
+    fn next_generation_time(&mut self, now: SimTime, edge: NodePair) -> Option<SimTime> {
+        let rate = self.generation_rate(edge);
         if self.config.poisson_generation {
-            self.generation.next_arrival(now, &mut self.rng)
+            // `PoissonProcess` is memoryless: one exponential draw per call,
+            // so constructing it per edge keeps the RNG sequence identical
+            // to the homogeneous path whenever the rates coincide.
+            PoissonProcess::new(rate).next_arrival(now, &mut self.rng)
         } else {
-            Some(now + SimDuration::from_secs_f64(1.0 / self.config.generation_rate))
+            Some(now + SimDuration::from_secs_f64(1.0 / rate))
         }
     }
 
@@ -405,7 +431,7 @@ impl QuantumNetworkWorld {
             self.notify(|o| o.on_pair_lost(now, edge));
         }
         if !self.is_done() {
-            if let Some(at) = self.next_generation_time(now) {
+            if let Some(at) = self.next_generation_time(now, edge) {
                 queue.schedule_at(at, NetEvent::Generate { edge });
             }
         }
@@ -701,6 +727,48 @@ mod tests {
         assert_eq!(ma.expired_pairs, 0);
         assert_eq!(ma.fidelity_rejected_requests, 0);
         assert!(ma.satisfied.iter().all(|s| s.fidelity.is_none()));
+    }
+
+    #[test]
+    fn link_fabric_drives_per_edge_rates_and_memories() {
+        use crate::physics::PhysicsModel;
+        use qnet_topology::{FabricSpec, HardwarePreset};
+        // Metro fiber on the deployed NYC template: every edge gets its own
+        // generation rate, birth fidelity and memory from its length.
+        let physics = PhysicsModel::decoherent(10.0).with_cutoff_age(f64::INFINITY);
+        let base = NetworkConfig::new(Topology::DeployedFiber).with_physics(physics);
+        let fabric = base.with_fabric(FabricSpec::new(HardwarePreset::MetroFiber));
+        let workload = || Workload::from_pairs(vec![pair(0, 4), pair(2, 7)]);
+        let a = run_world(fabric, workload(), PolicyId::OBLIVIOUS, 41, 900);
+        let b = run_world(fabric, workload(), PolicyId::OBLIVIOUS, 41, 900);
+        assert_eq!(a.metrics(), b.metrics(), "fabric runs stay deterministic");
+        let m = a.metrics();
+        assert!(!m.satisfied.is_empty());
+        for s in &m.satisfied {
+            let f = s.fidelity.expect("fabric runs track fidelity");
+            assert!((0.25..=1.0).contains(&f), "fidelity {f}");
+        }
+        // The per-edge rates actually differ from the homogeneous substrate:
+        // the same seed produces a different event history without a fabric.
+        let plain = run_world(base, workload(), PolicyId::OBLIVIOUS, 41, 900);
+        assert_ne!(plain.metrics(), m, "fabric must change the physics");
+    }
+
+    #[test]
+    fn scale_free_fabric_runs_end_to_end() {
+        use qnet_topology::{FabricSpec, HardwarePreset};
+        // Ideal physics on a Barabási–Albert graph: the fabric still drives
+        // per-edge generation rates even without decoherence tracking.
+        let config = NetworkConfig::new(Topology::ScaleFree {
+            nodes: 40,
+            attach: 2,
+        })
+        .with_fabric(FabricSpec::new(HardwarePreset::Lab));
+        let workload = Workload::from_pairs(vec![pair(0, 9), pair(3, 17)]);
+        let world = run_world(config, workload, PolicyId::OBLIVIOUS, 43, 600);
+        let m = world.metrics();
+        assert!(!m.satisfied.is_empty(), "scale-free fabric run satisfies");
+        assert!(m.satisfied.iter().all(|s| s.fidelity.is_none()));
     }
 
     #[test]

@@ -15,6 +15,112 @@
 
 use crate::inventory::Inventory;
 use qnet_topology::{NodeId, NodePair};
+use std::collections::BTreeMap;
+
+/// A count-space scratch view over an inventory: reads fall through to the
+/// ground truth, writes land in small overlay maps. Whether a nested build
+/// succeeds depends *only* on pool counts, node loads and the buffer limit
+/// — never on the lot store — so a dry run against this overlay predicts
+/// [`build_segment`]'s verdict exactly without cloning the inventory (whose
+/// count matrix alone is N²/2 words — the clone per blocked request was
+/// what dominated planned-baseline runs at |N| ≈ 10³).
+struct CountOverlay<'a> {
+    truth: &'a Inventory,
+    counts: BTreeMap<NodePair, u64>,
+    loads: BTreeMap<NodeId, u64>,
+}
+
+impl<'a> CountOverlay<'a> {
+    fn new(truth: &'a Inventory) -> Self {
+        CountOverlay {
+            truth,
+            counts: BTreeMap::new(),
+            loads: BTreeMap::new(),
+        }
+    }
+
+    fn count(&self, pair: NodePair) -> u64 {
+        self.counts
+            .get(&pair)
+            .copied()
+            .unwrap_or_else(|| self.truth.count(pair))
+    }
+
+    fn load(&self, node: NodeId) -> u64 {
+        self.loads
+            .get(&node)
+            .copied()
+            .unwrap_or_else(|| self.truth.node_load(node))
+    }
+
+    fn add_load(&mut self, node: NodeId, delta: i64) {
+        let load = self.load(node) as i64 + delta;
+        self.loads.insert(node, load as u64);
+    }
+
+    /// Mirror of [`Inventory::apply_swap`]'s count-space bookkeeping,
+    /// including its check order: both removals are validated first, then
+    /// the product insertion hits the buffer check with the loads already
+    /// decremented by the removals.
+    fn apply_swap(&mut self, repeater: NodeId, left: NodeId, right: NodeId, k: u64) -> bool {
+        let left_pair = NodePair::new(repeater, left);
+        let right_pair = NodePair::new(repeater, right);
+        if self.count(left_pair) < k || self.count(right_pair) < k {
+            return false;
+        }
+        for (pair, far) in [(left_pair, left), (right_pair, right)] {
+            let c = self.count(pair) - k;
+            self.counts.insert(pair, c);
+            self.add_load(repeater, -(k as i64));
+            self.add_load(far, -(k as i64));
+        }
+        let product = NodePair::new(left, right);
+        if let Some(limit) = self.truth.buffer_limit() {
+            if self.load(product.lo()) >= limit || self.load(product.hi()) >= limit {
+                return false;
+            }
+        }
+        let c = self.count(product) + 1;
+        self.counts.insert(product, c);
+        self.add_load(product.lo(), 1);
+        self.add_load(product.hi(), 1);
+        true
+    }
+}
+
+/// Read-only twin of [`build_segment`]: same recursion, same decisions,
+/// mutating only the overlay. Returns whether the build would succeed.
+fn dry_run_segment(
+    overlay: &mut CountOverlay<'_>,
+    path: &[NodeId],
+    from: usize,
+    to: usize,
+    need: u64,
+    k: u64,
+) -> bool {
+    debug_assert!(to > from);
+    let pool = NodePair::new(path[from], path[to]);
+    let have = overlay.count(pool);
+    if have >= need {
+        return true;
+    }
+    if to == from + 1 {
+        return false;
+    }
+    let missing = need - have;
+    let mid = from + (to - from) / 2;
+    if !dry_run_segment(overlay, path, from, mid, k * missing, k)
+        || !dry_run_segment(overlay, path, mid, to, k * missing, k)
+    {
+        return false;
+    }
+    for _ in 0..missing {
+        if !overlay.apply_swap(path[mid], path[from], path[to], k) {
+            return false;
+        }
+    }
+    true
+}
 
 /// Ensure at least `need` pairs exist in the pool spanning
 /// `path[from] .. path[to]`, creating missing ones by nested swapping.
@@ -72,9 +178,16 @@ pub fn execute_nested_along_path(
     if count == 0 {
         return Some(0);
     }
-    let mut trial = inventory.clone();
-    let swaps = build_segment(&mut trial, path, 0, path.len() - 1, count, k)?;
-    *inventory = trial;
+    // Dry-run the build on a count-space overlay first: its verdict is
+    // exact, so a failed attempt (the common case in a congested network)
+    // costs a few map entries instead of a full inventory clone, and a
+    // successful build can mutate the ground truth directly.
+    let mut overlay = CountOverlay::new(inventory);
+    if !dry_run_segment(&mut overlay, path, 0, path.len() - 1, count, k) {
+        return None;
+    }
+    let swaps = build_segment(inventory, path, 0, path.len() - 1, count, k)
+        .expect("dry run verified count-space feasibility");
     Some(swaps)
 }
 

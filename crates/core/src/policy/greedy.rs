@@ -118,6 +118,9 @@ pub fn execute_greedy_along_path(
 #[derive(Debug, Default)]
 pub struct GreedyOrderPolicy {
     tie_break: TieBreak,
+    /// Memoized shortest paths (the generation graph is static per run);
+    /// `None` marks a disconnected pair.
+    paths: std::collections::BTreeMap<NodePair, Option<Vec<NodeId>>>,
 }
 
 impl GreedyOrderPolicy {
@@ -137,7 +140,10 @@ impl GreedyOrderPolicy {
             Some("leftmost") => TieBreak::Leftmost,
             _ => TieBreak::Balanced,
         };
-        GreedyOrderPolicy { tie_break }
+        GreedyOrderPolicy {
+            tie_break,
+            ..GreedyOrderPolicy::default()
+        }
     }
 }
 
@@ -151,11 +157,18 @@ impl SwapPolicy for GreedyOrderPolicy {
         ctx: &mut PolicyCtx<'_>,
         request: &ConsumptionRequest,
     ) -> RequestAction {
-        let Some(path) = bfs_path(ctx.graph, request.pair.lo(), request.pair.hi()) else {
+        let path = self
+            .paths
+            .entry(request.pair)
+            .or_insert_with(|| {
+                bfs_path(ctx.graph, request.pair.lo(), request.pair.hi()).map(|p| p.nodes)
+            })
+            .as_deref();
+        let Some(path) = path else {
             return RequestAction::Drop;
         };
         let k = ctx.pairs_per_distilled();
-        match execute_greedy_along_path(ctx.inventory, &path.nodes, k, k, self.tie_break) {
+        match execute_greedy_along_path(ctx.inventory, path, k, k, self.tie_break) {
             Some(swaps) => RequestAction::Repaired(swaps),
             None => RequestAction::Wait,
         }

@@ -9,31 +9,55 @@
 use super::{PolicyCtx, PolicyId, QueueDiscipline, RequestAction, SwapPolicy};
 use crate::planned::execute_nested_along_path;
 use crate::workload::ConsumptionRequest;
-use qnet_topology::bfs_path;
+use qnet_topology::{bfs_path, NodeId, NodePair};
+use std::collections::BTreeMap;
+
+/// Memoized shortest generation-graph paths. The generation graph never
+/// changes during a run, but an any-order queue re-offers every blocked
+/// request on every inventory change — recomputing a |N| ≈ 10³ BFS each
+/// time is what used to dominate the planned baselines at internet scale.
+/// `None` records a disconnected pair (also worth remembering).
+#[derive(Debug, Default)]
+struct PathCache {
+    paths: BTreeMap<NodePair, Option<Vec<NodeId>>>,
+}
+
+impl PathCache {
+    fn nodes(&mut self, ctx: &PolicyCtx<'_>, pair: NodePair) -> Option<&[NodeId]> {
+        self.paths
+            .entry(pair)
+            .or_insert_with(|| bfs_path(ctx.graph, pair.lo(), pair.hi()).map(|p| p.nodes))
+            .as_deref()
+    }
+}
 
 /// Shared repair step: nested swapping along the request's shortest path.
 /// `None` means the endpoints are disconnected in the generation graph.
-fn nested_repair(ctx: &mut PolicyCtx<'_>, request: &ConsumptionRequest) -> Option<RequestAction> {
-    let path = bfs_path(ctx.graph, request.pair.lo(), request.pair.hi())?;
+fn nested_repair(
+    ctx: &mut PolicyCtx<'_>,
+    cache: &mut PathCache,
+    request: &ConsumptionRequest,
+) -> Option<RequestAction> {
     let k = ctx.pairs_per_distilled();
-    Some(
-        match execute_nested_along_path(ctx.inventory, &path.nodes, k, k) {
-            Some(swaps) => RequestAction::Repaired(swaps),
-            None => RequestAction::Wait,
-        },
-    )
+    let path = cache.nodes(ctx, request.pair)?;
+    Some(match execute_nested_along_path(ctx.inventory, path, k, k) {
+        Some(swaps) => RequestAction::Repaired(swaps),
+        None => RequestAction::Wait,
+    })
 }
 
 /// Connection-oriented planned baseline: each request executes nested
 /// swapping along its shortest path, in request order; unreachable
 /// consumers are dropped so the simulation cannot livelock.
 #[derive(Debug, Default)]
-pub struct PlannedConnectionOrientedPolicy;
+pub struct PlannedConnectionOrientedPolicy {
+    cache: PathCache,
+}
 
 impl PlannedConnectionOrientedPolicy {
     /// A fresh instance.
     pub fn new() -> Self {
-        PlannedConnectionOrientedPolicy
+        PlannedConnectionOrientedPolicy::default()
     }
 }
 
@@ -47,7 +71,7 @@ impl SwapPolicy for PlannedConnectionOrientedPolicy {
         ctx: &mut PolicyCtx<'_>,
         request: &ConsumptionRequest,
     ) -> RequestAction {
-        nested_repair(ctx, request).unwrap_or(RequestAction::Drop)
+        nested_repair(ctx, &mut self.cache, request).unwrap_or(RequestAction::Drop)
     }
 }
 
@@ -55,12 +79,14 @@ impl SwapPolicy for PlannedConnectionOrientedPolicy {
 /// soon as its path has the pairs (no head-of-line blocking), competing for
 /// pairs at shared links. Unreachable requests simply stay pending.
 #[derive(Debug, Default)]
-pub struct PlannedConnectionlessPolicy;
+pub struct PlannedConnectionlessPolicy {
+    cache: PathCache,
+}
 
 impl PlannedConnectionlessPolicy {
     /// A fresh instance.
     pub fn new() -> Self {
-        PlannedConnectionlessPolicy
+        PlannedConnectionlessPolicy::default()
     }
 }
 
@@ -78,7 +104,7 @@ impl SwapPolicy for PlannedConnectionlessPolicy {
         ctx: &mut PolicyCtx<'_>,
         request: &ConsumptionRequest,
     ) -> RequestAction {
-        nested_repair(ctx, request).unwrap_or(RequestAction::Wait)
+        nested_repair(ctx, &mut self.cache, request).unwrap_or(RequestAction::Wait)
     }
 }
 

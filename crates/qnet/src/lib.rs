@@ -329,6 +329,71 @@
 //! assert!(NetworkConfig::new(Topology::Cycle { nodes: 7 }).physics.is_ideal());
 //! ```
 //!
+//! ## Building heterogeneous networks
+//!
+//! Everything above runs on *homogeneous* links: one generation rate, one
+//! birth fidelity, one memory for every edge. Real deployments are nothing
+//! like that — a metro fiber ring mixes 2 km and 25 km spans whose rates
+//! and noise differ by integer factors. The link-fabric subsystem
+//! ([`topology::fabric`]) closes that gap:
+//!
+//! * a [`topology::HardwarePreset`] (`lab`, `metro-fiber`) is a calibrated
+//!   hardware family: a link-length range, a base generation rate, fiber
+//!   attenuation, a zero-length fidelity and a memory coherence time;
+//! * [`topology::HardwarePreset::profile_for_length`] derives a per-edge
+//!   [`topology::LinkProfile`] — rate falls off as
+//!   `base · 10^(−α·L/10)` and fidelity as
+//!   `0.5 + (F₀ − 0.5)·e^(−L/ℓ)`, both strictly decreasing in length;
+//! * a [`topology::FabricSpec`] on [`core::NetworkConfig`] (via
+//!   [`core::NetworkConfig::with_fabric`]) realizes a
+//!   [`topology::LinkFabric`] over the built graph: edge lengths are drawn
+//!   seed-deterministically from the preset's range (or taken from the
+//!   deployed-fiber table for [`topology::Topology::DeployedFiber`]), and
+//!   the simulation then generates each edge at *its* rate and stores its
+//!   pairs with *its* birth fidelity and memory.
+//!
+//! Two topology families target the internet-scale regime:
+//! [`topology::Topology::ScaleFree`] (Barabási–Albert preferential
+//! attachment — heavy-tail degrees like real network maps) and
+//! [`topology::Topology::DeployedFiber`] (a 12-node NYC metro template
+//! with measured-style heterogeneous spans). Configs without a fabric are
+//! untouched — byte-identical serialization and event histories. On the
+//! CLI this is `campaign --fabric scale-free:1000@metro-fiber` (see
+//! `campaign --list-fabrics`).
+//!
+//! ```
+//! use qnet::prelude::*;
+//!
+//! // A 200-node internet-like graph on metro-fiber hardware.
+//! let spec = FabricSpec::new(HardwarePreset::MetroFiber);
+//! let config = NetworkConfig::new(Topology::ScaleFree { nodes: 200, attach: 2 })
+//!     .with_topology_seed(7)
+//!     .with_fabric(spec);
+//!
+//! // The realized fabric covers every edge with a length-derived profile.
+//! let graph = config.build_graph();
+//! let fabric = config.build_fabric(&graph).expect("fabric configured");
+//! assert_eq!(fabric.len(), graph.edge_count());
+//! let (lo_km, hi_km) = HardwarePreset::MetroFiber.length_range_km();
+//! for (_edge, profile) in fabric.iter() {
+//!     assert!(profile.length_km >= lo_km && profile.length_km <= hi_km);
+//!     assert!(profile.generation_rate_hz > 0.0);
+//!     assert!(profile.initial_fidelity > 0.5 && profile.initial_fidelity < 1.0);
+//! }
+//!
+//! // Longer links are slower and noisier — the heterogeneity the
+//! // path-oblivious balancer is built to absorb.
+//! let short = HardwarePreset::MetroFiber.profile_for_length(2.0);
+//! let long = HardwarePreset::MetroFiber.profile_for_length(25.0);
+//! assert!(short.generation_rate_hz > long.generation_rate_hz);
+//! assert!(short.initial_fidelity > long.initial_fidelity);
+//!
+//! // Without a fabric nothing changes: the legacy homogeneous substrate.
+//! assert!(NetworkConfig::new(Topology::Cycle { nodes: 7 })
+//!     .build_fabric(&Topology::Cycle { nodes: 7 }.build(0))
+//!     .is_none());
+//! ```
+//!
 //! ## Writing your own `SwapPolicy`
 //!
 //! Swapping disciplines are plugins: implement
@@ -433,5 +498,7 @@ pub mod prelude {
     pub use qnet_core::trace::TraceWriter;
     pub use qnet_core::workload::{PairSelection, TrafficModel, Workload, WorkloadSpec};
     pub use qnet_sim::{SimDuration, SimRng, SimTime};
-    pub use qnet_topology::{Graph, NodeId, NodePair, Topology};
+    pub use qnet_topology::{
+        FabricSpec, Graph, HardwarePreset, LinkFabric, LinkProfile, NodeId, NodePair, Topology,
+    };
 }

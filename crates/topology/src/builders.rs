@@ -128,6 +128,22 @@ pub enum Topology {
         /// Per-edge rewiring probability, clamped to [0, 1].
         rewire_probability: f64,
     },
+    /// Barabási–Albert preferential attachment: growth from a small seed
+    /// clique with each new node attaching to `attach` distinct existing
+    /// nodes chosen proportionally to degree. Produces the heavy-tailed
+    /// degree distribution of internet-scale backbones — the regime where
+    /// the paper argues path-oblivious swapping should shine.
+    ScaleFree {
+        /// Number of nodes.
+        nodes: usize,
+        /// Edges added per arriving node (clamped to `1..nodes`).
+        attach: usize,
+    },
+    /// The stylized NYC deployed-fiber template (Craddock et al.): a fixed
+    /// 12-node metro graph whose heterogeneous link lengths live in
+    /// [`crate::fabric::nyc_fiber_links`] and drive per-edge
+    /// [`crate::fabric::LinkProfile`]s when a fabric is attached.
+    DeployedFiber,
 }
 
 impl Topology {
@@ -151,6 +167,8 @@ impl Topology {
                 neighbors,
                 rewire_probability,
             } => format!("ws-{nodes}-k{neighbors}-p{rewire_probability}"),
+            Topology::ScaleFree { nodes, attach } => format!("scale-free-{nodes}-m{attach}"),
+            Topology::DeployedFiber => "nyc-fiber".to_string(),
         }
     }
 
@@ -163,10 +181,12 @@ impl Topology {
             | Topology::Complete { nodes }
             | Topology::ErdosRenyiConnected { nodes, .. }
             | Topology::RandomTree { nodes }
-            | Topology::WattsStrogatz { nodes, .. } => nodes,
+            | Topology::WattsStrogatz { nodes, .. }
+            | Topology::ScaleFree { nodes, .. } => nodes,
             Topology::TorusGrid { side }
             | Topology::PlanarGrid { side }
             | Topology::RandomConnectedGrid { side } => side * side,
+            Topology::DeployedFiber => crate::fabric::nyc_fiber_node_count(),
         }
     }
 
@@ -178,6 +198,7 @@ impl Topology {
                 | Topology::ErdosRenyiConnected { .. }
                 | Topology::RandomTree { .. }
                 | Topology::WattsStrogatz { .. }
+                | Topology::ScaleFree { .. }
         )
     }
 
@@ -201,6 +222,8 @@ impl Topology {
                 neighbors,
                 rewire_probability,
             } => watts_strogatz(nodes, neighbors, rewire_probability, seed),
+            Topology::ScaleFree { nodes, attach } => scale_free(nodes, attach, seed),
+            Topology::DeployedFiber => deployed_fiber(),
         }
     }
 
@@ -439,6 +462,62 @@ pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
     g
 }
 
+/// Barabási–Albert scale-free graph over `n` nodes: start from a complete
+/// seed of `m + 1` nodes, then attach each arriving node to `m` distinct
+/// existing nodes chosen proportionally to their current degree
+/// (implemented with the classic repeated-endpoint urn). Always connected
+/// by construction; the degree distribution is heavy-tailed, so a few hub
+/// repeaters see most of the traffic — the irregular, internet-like regime
+/// the paper targets.
+pub fn scale_free(n: usize, m: usize, seed: u64) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    if n <= 1 {
+        return g;
+    }
+    let m = m.clamp(1, n - 1);
+    let mut rng = SimRng::new(seed);
+    // Urn of edge endpoints: each node appears once per unit of degree, so
+    // sampling a uniform urn slot is degree-proportional sampling.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let core = (m + 1).min(n);
+    for i in 0..core {
+        for j in (i + 1)..core {
+            g.add_edge(NodeId::from(i), NodeId::from(j));
+            urn.push(NodeId::from(i));
+            urn.push(NodeId::from(j));
+        }
+    }
+    for i in core..n {
+        let newcomer = NodeId::from(i);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let target = urn[rng.index(urn.len())];
+            if target != newcomer && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for target in chosen {
+            g.add_edge(newcomer, target);
+            urn.push(newcomer);
+            urn.push(target);
+        }
+    }
+    g
+}
+
+/// The stylized NYC deployed-fiber template: a fixed 12-node metro graph
+/// built from [`crate::fabric::nyc_fiber_links`]. Deterministic (no seed);
+/// the heterogeneous link lengths become per-edge profiles when a
+/// [`crate::fabric::FabricSpec`] is realized over it.
+pub fn deployed_fiber() -> Graph {
+    let links = crate::fabric::nyc_fiber_links();
+    let mut g = Graph::with_nodes(crate::fabric::nyc_fiber_node_count());
+    for &(a, b, _km) in links {
+        g.add_edge(NodeId::from(a), NodeId::from(b));
+    }
+    g
+}
+
 /// A random spanning tree over `n` nodes: each node `i ≥ 1` attaches to a
 /// uniformly random earlier node (a random recursive tree).
 pub fn random_tree(n: usize, seed: u64) -> Graph {
@@ -624,6 +703,45 @@ mod tests {
     }
 
     #[test]
+    fn scale_free_shape() {
+        // n=50, m=2: seed clique K3 (3 edges) + 47 arrivals × 2 edges.
+        let g = scale_free(50, 2, 11);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 3 + 47 * 2);
+        assert!(is_connected(&g));
+        for (a, b) in g.edges() {
+            assert_ne!(a, b);
+        }
+        // Preferential attachment concentrates degree: some hub clearly
+        // exceeds the attachment parameter.
+        let max_degree = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_degree >= 6, "hub degree {max_degree}");
+
+        // Determinism per seed.
+        assert_eq!(scale_free(50, 2, 11), scale_free(50, 2, 11));
+        assert_ne!(scale_free(50, 2, 11), scale_free(50, 2, 12));
+
+        // Degenerate sizes.
+        assert_eq!(scale_free(0, 2, 1).node_count(), 0);
+        assert_eq!(scale_free(1, 2, 1).edge_count(), 0);
+        assert!(is_connected(&scale_free(2, 5, 1)));
+    }
+
+    #[test]
+    fn deployed_fiber_shape() {
+        let g = deployed_fiber();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 16);
+        assert!(is_connected(&g));
+        // Deterministic: the seed is ignored.
+        assert_eq!(
+            Topology::DeployedFiber.build(1),
+            Topology::DeployedFiber.build(99)
+        );
+        assert!(!Topology::DeployedFiber.is_random());
+    }
+
+    #[test]
     fn topology_enum_roundtrip() {
         let topos = [
             Topology::Cycle { nodes: 25 },
@@ -643,6 +761,11 @@ mod tests {
                 neighbors: 4,
                 rewire_probability: 0.25,
             },
+            Topology::ScaleFree {
+                nodes: 30,
+                attach: 2,
+            },
+            Topology::DeployedFiber,
         ];
         for t in topos {
             let g = t.build(123);
@@ -650,6 +773,11 @@ mod tests {
             assert!(is_connected(&g), "{}", t.label());
             assert!(!t.label().is_empty());
         }
+        assert!(Topology::ScaleFree {
+            nodes: 30,
+            attach: 2
+        }
+        .is_random());
         assert!(Topology::RandomTree { nodes: 3 }.is_random());
         assert!(Topology::WattsStrogatz {
             nodes: 8,

@@ -1,0 +1,450 @@
+//! Heterogeneous link fabrics: per-edge hardware profiles.
+//!
+//! The paper's evaluation treats every generation edge identically — one
+//! global generation rate, one global physics model. Deployed networks are
+//! not like that: the NYC deployed-fiber swapping system (Craddock et al.)
+//! spans links from sub-kilometre lab jumpers to tens of kilometres of
+//! leased metro fiber, and generation rate and initial fidelity both fall
+//! with link length. This module makes that heterogeneity first-class:
+//!
+//! * [`LinkProfile`] — the per-edge record `{ length_km,
+//!   generation_rate_hz, initial_fidelity, coherence_time_s }`;
+//! * [`HardwarePreset`] — named hardware calibrations (`lab`,
+//!   `metro-fiber`) with derivation rules that attenuate rate and initial
+//!   fidelity with length;
+//! * [`FabricSpec`] — the tiny `Copy` recipe that travels on configs and
+//!   campaign axes (it serializes as its preset label, so reports stay
+//!   readable);
+//! * [`LinkFabric`] — the realized per-edge profile map for a concrete
+//!   graph, keyed by [`NodePair`].
+//!
+//! Link lengths come from the topology when it carries them (the
+//! [`Topology::DeployedFiber`] NYC template has a fixed length table) and
+//! are otherwise synthesized deterministically per edge from the build
+//! seed, inside the preset's plausible length range. The numeric presets
+//! are **normalized simulation rates** in the spirit of the cited
+//! hardware (the paper's evaluation is unitless); they are chosen so that
+//! |N| ≈ 10³ scale-free sweeps stay tractable while preserving the real
+//! systems' qualitative spread: short links generate faster and purer
+//! pairs than long ones.
+
+use crate::builders::Topology;
+use crate::graph::Graph;
+use crate::pairs::NodePair;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// The physical profile of one generation edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Physical link length in kilometres.
+    pub length_km: f64,
+    /// Elementary-pair generation rate on this edge (attempts that
+    /// succeed), in Hz.
+    pub generation_rate_hz: f64,
+    /// Werner fidelity of a freshly generated pair on this edge.
+    pub initial_fidelity: f64,
+    /// Memory coherence time `T2` governing pairs stored at this edge's
+    /// endpoints, in seconds.
+    pub coherence_time_s: f64,
+}
+
+/// A named hardware calibration: base numbers plus the derivation rules
+/// that turn a link length into a [`LinkProfile`].
+///
+/// Rates attenuate exponentially with length (standard fiber loss,
+/// `10^(-α·L/10)` with α in dB/km) and initial fidelity relaxes toward
+/// the Werner floor 1/2 on a characteristic length scale — both strictly
+/// monotone in length, which the property tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HardwarePreset {
+    /// Bench-scale links: metres of fiber, high rates, near-unit fidelity,
+    /// long memories.
+    Lab,
+    /// Metro deployed fiber in the style of the NYC system: kilometres to
+    /// tens of kilometres, telecom-fiber loss, shorter memories.
+    MetroFiber,
+}
+
+impl HardwarePreset {
+    /// All presets, in parse/display order.
+    pub const ALL: [HardwarePreset; 2] = [HardwarePreset::Lab, HardwarePreset::MetroFiber];
+
+    /// Parse a preset spec. Accepted specs: `lab`, `metro-fiber`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim() {
+            "lab" => Ok(HardwarePreset::Lab),
+            "metro-fiber" => Ok(HardwarePreset::MetroFiber),
+            other => Err(format!(
+                "unknown hardware preset `{other}` (valid presets: lab, metro-fiber)"
+            )),
+        }
+    }
+
+    /// Stable label used in reports, cache keys and CLI specs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HardwarePreset::Lab => "lab",
+            HardwarePreset::MetroFiber => "metro-fiber",
+        }
+    }
+
+    /// Plausible link-length range `(min_km, max_km)` for synthesized
+    /// lengths under this preset.
+    pub fn length_range_km(&self) -> (f64, f64) {
+        match self {
+            HardwarePreset::Lab => (0.005, 0.25),
+            HardwarePreset::MetroFiber => (1.0, 30.0),
+        }
+    }
+
+    /// Generation rate of a zero-length link, in Hz.
+    pub fn base_rate_hz(&self) -> f64 {
+        match self {
+            HardwarePreset::Lab => 20.0,
+            HardwarePreset::MetroFiber => 12.0,
+        }
+    }
+
+    /// Fiber attenuation in dB/km applied to the generation rate.
+    pub fn attenuation_db_per_km(&self) -> f64 {
+        match self {
+            // Bench jumpers and telecom fiber share the ~0.2 dB/km figure;
+            // lab links are just too short for it to matter.
+            HardwarePreset::Lab => 0.2,
+            HardwarePreset::MetroFiber => 0.2,
+        }
+    }
+
+    /// Werner fidelity of a freshly generated pair on a zero-length link.
+    pub fn base_fidelity(&self) -> f64 {
+        match self {
+            HardwarePreset::Lab => 0.99,
+            HardwarePreset::MetroFiber => 0.95,
+        }
+    }
+
+    /// Characteristic length (km) on which initial fidelity relaxes toward
+    /// the Werner floor 1/2.
+    pub fn fidelity_length_scale_km(&self) -> f64 {
+        match self {
+            HardwarePreset::Lab => 200.0,
+            HardwarePreset::MetroFiber => 60.0,
+        }
+    }
+
+    /// Memory coherence time `T2` in seconds.
+    pub fn coherence_time_s(&self) -> f64 {
+        match self {
+            HardwarePreset::Lab => 10.0,
+            HardwarePreset::MetroFiber => 1.5,
+        }
+    }
+
+    /// Per-node swap-scan rate in Hz — the cadence of the §4 balancing
+    /// scan under this hardware's *classical* control plane.
+    ///
+    /// A scan consults network-wide pair counts (`C_y(y')`), so its cadence
+    /// is set by classical signaling, not by quantum hardware. Both presets
+    /// currently sync at the paper's default 4 Hz; the knob exists so a
+    /// calibration can slow the control plane independently of the quantum
+    /// links (the paper's §6 flags exactly this classical-overhead pressure
+    /// at internet scale).
+    pub fn swap_scan_rate_hz(&self) -> f64 {
+        match self {
+            HardwarePreset::Lab => 4.0,
+            HardwarePreset::MetroFiber => 4.0,
+        }
+    }
+
+    /// Per-node quantum-memory budget: how many stored qubit halves a node
+    /// can hold at once (`None` = unlimited, the paper's idealization).
+    ///
+    /// This is the calibration with teeth at internet scale. Unlimited
+    /// memories let pools fatten without bound — after an hour of simulated
+    /// metro operation a node is "storing" tens of thousands of halves,
+    /// which no deployed system does. A metro node is a rack with a finite
+    /// memory bank, so generation back-pressures once the bank is full.
+    /// Bounded memory also bounds the simulator's working set, which is
+    /// what keeps |N| ≈ 10³ sweeps tractable.
+    pub fn memory_qubits_per_node(&self) -> Option<u64> {
+        match self {
+            // Bench systems are modelled with the paper's idealized
+            // limitless buffers (and legacy byte-identity depends on it).
+            HardwarePreset::Lab => None,
+            HardwarePreset::MetroFiber => Some(512),
+        }
+    }
+
+    /// Derive the full per-edge profile for a link of the given length.
+    ///
+    /// Both derived quantities are strictly decreasing in `length_km`:
+    /// rate as `base · 10^(-α·L/10)`, fidelity as
+    /// `1/2 + (base − 1/2) · e^(−L/ℓ)`.
+    pub fn profile_for_length(&self, length_km: f64) -> LinkProfile {
+        let length_km = length_km.max(0.0);
+        let rate =
+            self.base_rate_hz() * 10f64.powf(-self.attenuation_db_per_km() * length_km / 10.0);
+        let fidelity = 0.5
+            + (self.base_fidelity() - 0.5) * (-length_km / self.fidelity_length_scale_km()).exp();
+        LinkProfile {
+            length_km,
+            generation_rate_hz: rate,
+            initial_fidelity: fidelity,
+            coherence_time_s: self.coherence_time_s(),
+        }
+    }
+}
+
+impl std::fmt::Display for HardwarePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The compact, copyable fabric recipe that travels on
+/// `NetworkConfig` and campaign grid axes.
+///
+/// Serializes as the preset label (`"lab"`, `"metro-fiber"`) so configs,
+/// cache keys and report cells stay human-readable, and so the grammar of
+/// the serialized form matches the CLI's `--fabric` grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FabricSpec {
+    /// The hardware calibration applied to every edge.
+    pub preset: HardwarePreset,
+}
+
+impl FabricSpec {
+    /// A fabric using the given preset.
+    pub fn new(preset: HardwarePreset) -> Self {
+        FabricSpec { preset }
+    }
+
+    /// Parse a fabric spec; the grammar is the preset grammar.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        HardwarePreset::parse(spec).map(FabricSpec::new)
+    }
+
+    /// Stable label used in reports and cache keys.
+    pub fn label(&self) -> &'static str {
+        self.preset.label()
+    }
+
+    /// Realize the per-edge profile map for a concrete built graph.
+    ///
+    /// Lengths come from the topology's own table when it has one
+    /// ([`Topology::DeployedFiber`]); otherwise each edge's length is
+    /// synthesized deterministically from `(seed, edge)` within the
+    /// preset's length range, so the same `(topology, seed, preset)`
+    /// always yields the same fabric.
+    pub fn realize(&self, topology: &Topology, graph: &Graph, seed: u64) -> LinkFabric {
+        let table: Option<BTreeMap<NodePair, f64>> = match topology {
+            Topology::DeployedFiber => Some(
+                nyc_fiber_links()
+                    .iter()
+                    .map(|&(a, b, km)| (NodePair::new(a.into(), b.into()), km))
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let (lo_km, hi_km) = self.preset.length_range_km();
+        let profiles = graph
+            .edges()
+            .map(|(a, b)| {
+                let pair = NodePair::new(a, b);
+                let length_km = table
+                    .as_ref()
+                    .and_then(|t| t.get(&pair).copied())
+                    .unwrap_or_else(|| lo_km + edge_unit(seed, pair) * (hi_km - lo_km));
+                (pair, self.preset.profile_for_length(length_km))
+            })
+            .collect();
+        LinkFabric { profiles }
+    }
+}
+
+impl std::fmt::Display for FabricSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Serialize for FabricSpec {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for FabricSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let label = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("fabric preset label", value))?;
+        FabricSpec::parse(label).map_err(DeError::custom)
+    }
+}
+
+/// Deterministic per-edge unit draw in `[0, 1)` from `(seed, pair)`, used
+/// to synthesize link lengths. SplitMix64 finalizer over the packed edge —
+/// independent of graph build order and of how many edges exist.
+fn edge_unit(seed: u64, pair: NodePair) -> f64 {
+    let packed = ((pair.lo().0 as u64) << 32) | pair.hi().0 as u64;
+    let mut z = seed ^ packed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The realized fabric of one built graph: a per-edge [`LinkProfile`] map.
+///
+/// Keyed by the canonical [`NodePair`]; iteration is in lexicographic pair
+/// order (the same order as [`Graph::edges`]), so anything that walks the
+/// fabric is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkFabric {
+    profiles: BTreeMap<NodePair, LinkProfile>,
+}
+
+impl LinkFabric {
+    /// The profile of one generation edge, if the fabric covers it.
+    pub fn profile(&self, pair: NodePair) -> Option<&LinkProfile> {
+        self.profiles.get(&pair)
+    }
+
+    /// Number of profiled edges.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no edges are profiled.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterate `(pair, profile)` in lexicographic pair order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodePair, &LinkProfile)> + '_ {
+        self.profiles.iter().map(|(&p, prof)| (p, prof))
+    }
+}
+
+/// The stylized NYC deployed-fiber template (after Craddock et al.):
+/// `(a, b, length_km)` triples over 12 metro nodes. Lengths are
+/// heterogeneous — from a few kilometres of borough fiber to >20 km
+/// inter-borough spans — which is the whole point of the template.
+pub fn nyc_fiber_links() -> &'static [(u32, u32, f64)] {
+    &[
+        (0, 1, 5.5),   // downtown — midtown
+        (0, 3, 3.2),   // downtown — DUMBO
+        (0, 8, 16.0),  // downtown — Staten Island
+        (0, 9, 4.8),   // downtown — Jersey City
+        (1, 2, 7.0),   // midtown — Harlem
+        (1, 3, 6.5),   // midtown — DUMBO
+        (1, 5, 4.0),   // midtown — Long Island City
+        (2, 7, 9.5),   // Harlem — Bronx
+        (2, 11, 13.0), // Harlem — Yonkers
+        (3, 4, 8.5),   // DUMBO — Flatbush
+        (4, 5, 9.0),   // Flatbush — Long Island City
+        (4, 6, 12.0),  // Flatbush — Jamaica
+        (5, 6, 14.5),  // Long Island City — Jamaica
+        (6, 10, 21.0), // Jamaica — Hempstead
+        (7, 11, 10.0), // Bronx — Yonkers
+        (8, 9, 12.5),  // Staten Island — Jersey City
+    ]
+}
+
+/// Node count of the NYC deployed-fiber template.
+pub fn nyc_fiber_node_count() -> usize {
+    1 + nyc_fiber_links()
+        .iter()
+        .map(|&(a, b, _)| a.max(b))
+        .max()
+        .unwrap_or(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn preset_parse_and_label_round_trip() {
+        for preset in HardwarePreset::ALL {
+            assert_eq!(HardwarePreset::parse(preset.label()), Ok(preset));
+            assert_eq!(format!("{preset}"), preset.label());
+        }
+        let err = HardwarePreset::parse("cryo-farm").unwrap_err();
+        assert!(err.contains("lab"), "{err}");
+        assert!(err.contains("metro-fiber"), "{err}");
+    }
+
+    #[test]
+    fn fabric_spec_serializes_as_its_label() {
+        let spec = FabricSpec::new(HardwarePreset::MetroFiber);
+        let v = spec.to_value();
+        assert_eq!(v.as_str(), Some("metro-fiber"));
+        let back = FabricSpec::from_value(&v).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn derived_profiles_attenuate_with_length() {
+        for preset in HardwarePreset::ALL {
+            let short = preset.profile_for_length(0.5);
+            let long = preset.profile_for_length(25.0);
+            assert!(short.generation_rate_hz > long.generation_rate_hz);
+            assert!(short.initial_fidelity > long.initial_fidelity);
+            assert!(long.initial_fidelity > 0.5, "never below the Werner floor");
+            assert!(long.generation_rate_hz > 0.0);
+            assert_eq!(short.coherence_time_s, preset.coherence_time_s());
+        }
+    }
+
+    #[test]
+    fn control_plane_and_memory_calibrations() {
+        // Both presets sync at the paper's 4 Hz cadence today; only the
+        // deployed preset has a finite memory bank (bench systems keep the
+        // paper's idealized limitless buffers).
+        assert_eq!(HardwarePreset::Lab.swap_scan_rate_hz(), 4.0);
+        assert_eq!(HardwarePreset::MetroFiber.swap_scan_rate_hz(), 4.0);
+        assert_eq!(HardwarePreset::Lab.memory_qubits_per_node(), None);
+        assert_eq!(
+            HardwarePreset::MetroFiber.memory_qubits_per_node(),
+            Some(512)
+        );
+    }
+
+    #[test]
+    fn realized_fabric_covers_every_edge_and_is_seed_deterministic() {
+        let topology = Topology::Cycle { nodes: 9 };
+        let graph = topology.build(7);
+        let spec = FabricSpec::new(HardwarePreset::MetroFiber);
+        let fabric = spec.realize(&topology, &graph, 7);
+        assert_eq!(fabric.len(), graph.edge_count());
+        let (lo, hi) = HardwarePreset::MetroFiber.length_range_km();
+        for (pair, profile) in fabric.iter() {
+            assert!(graph.has_edge(pair.lo(), pair.hi()));
+            assert!(profile.length_km >= lo && profile.length_km < hi);
+        }
+        // Same seed, same fabric; different seed, different lengths.
+        assert_eq!(fabric, spec.realize(&topology, &graph, 7));
+        assert_ne!(fabric, spec.realize(&topology, &graph, 8));
+    }
+
+    #[test]
+    fn nyc_template_is_a_connected_heterogeneous_fabric() {
+        let topology = Topology::DeployedFiber;
+        let graph = topology.build(0);
+        assert_eq!(graph.node_count(), nyc_fiber_node_count());
+        assert!(is_connected(&graph));
+        let fabric = FabricSpec::new(HardwarePreset::MetroFiber).realize(&topology, &graph, 99);
+        assert_eq!(fabric.len(), nyc_fiber_links().len());
+        // Lengths come from the fixed table, not the seed.
+        let again = FabricSpec::new(HardwarePreset::MetroFiber).realize(&topology, &graph, 1);
+        assert_eq!(fabric, again);
+        let lengths: Vec<f64> = fabric.iter().map(|(_, p)| p.length_km).collect();
+        let min = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = lengths.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 5.0, "template is genuinely heterogeneous");
+    }
+}

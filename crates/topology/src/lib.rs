@@ -14,13 +14,18 @@
 //! * connectivity utilities (union-find, connected components), and
 //! * [`NodePair`] / [`PairMatrix`], the canonical unordered-pair key and a
 //!   symmetric matrix keyed by it — the natural container for `g(x, y)`,
-//!   `c(x, y)` and the inventory counts `C_x(y)`.
+//!   `c(x, y)` and the inventory counts `C_x(y)`, and
+//! * [`fabric`] — heterogeneous per-edge hardware profiles: named presets
+//!   ([`HardwarePreset`]) whose generation rate and initial fidelity
+//!   attenuate with link length, realized as a per-edge [`LinkProfile`]
+//!   map ([`LinkFabric`]) over any built graph.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builders;
 pub mod connectivity;
+pub mod fabric;
 pub mod graph;
 pub mod metrics;
 pub mod pairs;
@@ -28,6 +33,7 @@ pub mod shortest_path;
 
 pub use builders::Topology;
 pub use connectivity::UnionFind;
+pub use fabric::{FabricSpec, HardwarePreset, LinkFabric, LinkProfile};
 pub use graph::{Graph, NodeId};
 pub use pairs::{NodePair, PairMatrix};
 pub use shortest_path::{bfs_distances, bfs_path, dijkstra, PathResult};

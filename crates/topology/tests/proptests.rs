@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use qnet_topology::builders;
 use qnet_topology::connectivity::{connected_components, is_connected};
+use qnet_topology::fabric::HardwarePreset;
 use qnet_topology::pairs::{all_pairs, NodePair, PairMatrix};
 use qnet_topology::shortest_path::{all_pairs_distances, bfs_path, dijkstra};
 use qnet_topology::{NodeId, Topology};
@@ -22,6 +23,7 @@ proptest! {
             Topology::RandomConnectedGrid { side },
             Topology::ErdosRenyiConnected { nodes, edge_probability: 0.1 },
             Topology::RandomTree { nodes },
+            Topology::ScaleFree { nodes, attach: 2 },
         ];
         for t in topologies {
             let g = t.build(seed);
@@ -139,6 +141,27 @@ proptest! {
             prop_assert_eq!(*m.get(p), k as u64 + 1);
         }
         prop_assert_eq!(m.pair_count(), n * (n - 1) / 2);
+    }
+
+    /// Derived link profiles are monotone in length for every preset:
+    /// longer links never generate faster or purer pairs, and the derived
+    /// quantities stay inside their physical ranges.
+    #[test]
+    fn link_profiles_are_monotone_in_length(a in 0.0f64..200.0, b in 0.0f64..200.0) {
+        let (short_km, long_km) = if a <= b { (a, b) } else { (b, a) };
+        for preset in HardwarePreset::ALL {
+            let short = preset.profile_for_length(short_km);
+            let long = preset.profile_for_length(long_km);
+            prop_assert!(short.generation_rate_hz >= long.generation_rate_hz);
+            prop_assert!(short.initial_fidelity >= long.initial_fidelity);
+            if long_km > short_km {
+                prop_assert!(short.generation_rate_hz > long.generation_rate_hz);
+                prop_assert!(short.initial_fidelity > long.initial_fidelity);
+            }
+            prop_assert!(long.generation_rate_hz > 0.0);
+            prop_assert!(long.initial_fidelity > 0.5 && long.initial_fidelity < 1.0);
+            prop_assert!(long.coherence_time_s > 0.0);
+        }
     }
 
     /// NodePair canonicalisation: construction is order-insensitive and
