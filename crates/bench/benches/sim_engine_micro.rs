@@ -95,10 +95,85 @@ fn scale_free_pair_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn open_loop_million(c: &mut Criterion) {
+    // Million-flow hot path: lazily-streamed Poisson arrivals driven to full
+    // satisfaction (cycle) or through a hardware-calibrated fabric
+    // (scale-free @ metro fiber). Rates are tuned so the 25-node cycle
+    // serves every arrival (scan capacity above offered load), which keeps
+    // the pending queue bounded and pushes the metrics recorder past its
+    // exact-sample threshold into sketch mode — the bench exercises the
+    // timing wheel, the lazy arrival stream, and the streaming recorder
+    // together. The `cycle25_heap` row pins the `BinaryHeap` fallback via
+    // `QNET_EVENT_QUEUE` for a same-binary wheel-vs-heap comparison.
+    let mut group = c.benchmark_group("open_loop_million");
+    let cycle_config = |requests: u64| {
+        let nodes = 25usize;
+        let rate_hz = 500.0;
+        let horizon_s = requests as f64 / rate_hz;
+        ExperimentConfig {
+            network: NetworkConfig::new(Topology::Cycle { nodes })
+                .with_generation_rate(400.0)
+                .with_swap_scan_rate(200.0),
+            workload: WorkloadSpec::open_loop(nodes, 35, rate_hz, horizon_s),
+            mode: PolicyId::OBLIVIOUS,
+            knowledge: KnowledgeModel::Global,
+            seed: 7,
+            max_sim_time_s: horizon_s * 2.0,
+        }
+    };
+    let scale_free_config = |requests: u64| {
+        let nodes = 1000usize;
+        let rate_hz = 500.0;
+        let horizon_s = requests as f64 / rate_hz;
+        ExperimentConfig {
+            network: NetworkConfig::new(Topology::ScaleFree { nodes, attach: 2 })
+                .with_fabric(FabricSpec::new(HardwarePreset::MetroFiber)),
+            workload: WorkloadSpec::open_loop(nodes, 35, rate_hz, horizon_s),
+            mode: PolicyId::OBLIVIOUS,
+            knowledge: KnowledgeModel::Global,
+            seed: 7,
+            max_sim_time_s: horizon_s * 2.0,
+        }
+    };
+    for &requests in &[100_000u64, 1_000_000] {
+        group.sample_size(if requests >= 1_000_000 { 2 } else { 5 });
+        let config = cycle_config(requests);
+        group.bench_with_input(
+            BenchmarkId::new("cycle25_wheel", requests),
+            &config,
+            |b, config| b.iter(|| Experiment::new(*config).run().satisfied_requests),
+        );
+    }
+    // Heap fallback at 10⁵ events only: the acceptance bar is "wheel no
+    // slower than heap at this scale", not a full heap sweep.
+    {
+        group.sample_size(5);
+        let config = cycle_config(100_000);
+        std::env::set_var("QNET_EVENT_QUEUE", "heap");
+        group.bench_with_input(
+            BenchmarkId::new("cycle25_heap", 100_000u64),
+            &config,
+            |b, config| b.iter(|| Experiment::new(*config).run().satisfied_requests),
+        );
+        std::env::remove_var("QNET_EVENT_QUEUE");
+    }
+    for &requests in &[100_000u64, 1_000_000] {
+        group.sample_size(if requests >= 1_000_000 { 2 } else { 3 });
+        let config = scale_free_config(requests);
+        group.bench_with_input(
+            BenchmarkId::new("scale_free1000_wheel", requests),
+            &config,
+            |b, config| b.iter(|| Experiment::new(*config).run().metrics.arrived_requests),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     engine_throughput,
     network_simulation_throughput,
-    scale_free_pair_generation
+    scale_free_pair_generation,
+    open_loop_million
 );
 criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Open-loop stress driver: run one lazily-streamed Poisson workload at a
+//! chosen scale and print a one-line machine-readable summary. The CI
+//! memory-smoke job wraps this in `/usr/bin/time -v` to assert that peak
+//! RSS stays flat from 10⁵ to 10⁶ requests (the arrival stream and the
+//! streaming metrics recorder are both fixed-memory, so RSS is dominated
+//! by the topology, not the request count).
+//!
+//! ```text
+//! cargo run --release -p qnet-bench --example open_loop_stress -- \
+//!     --topology cycle:25 --requests 100000 [--seed 7] [--rate-hz 2000]
+//! ```
+
+use qnet_core::classical::KnowledgeModel;
+use qnet_core::experiment::{Experiment, ExperimentConfig};
+use qnet_core::policy::PolicyId;
+use qnet_core::workload::WorkloadSpec;
+use qnet_core::NetworkConfig;
+use qnet_topology::{FabricSpec, HardwarePreset, Topology};
+
+fn parse_args() -> (String, u64, u64, f64, Option<f64>, Option<f64>) {
+    let mut topology = "cycle:25".to_string();
+    let mut requests = 100_000u64;
+    let mut seed = 7u64;
+    let mut rate_hz = 1_000.0f64;
+    let mut gen_rate = None;
+    let mut scan_rate = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--topology" => topology = value(),
+            "--requests" => requests = value().parse().expect("--requests: integer"),
+            "--seed" => seed = value().parse().expect("--seed: integer"),
+            "--rate-hz" => rate_hz = value().parse().expect("--rate-hz: float"),
+            "--gen-rate" => gen_rate = Some(value().parse().expect("--gen-rate: float")),
+            "--scan-rate" => scan_rate = Some(value().parse().expect("--scan-rate: float")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    (topology, requests, seed, rate_hz, gen_rate, scan_rate)
+}
+
+fn main() {
+    let (topology, requests, seed, rate_hz, gen_rate, scan_rate) = parse_args();
+    // The horizon realises ~`requests` Poisson arrivals at `rate_hz`.
+    let horizon_s = requests as f64 / rate_hz;
+    let (mut network, nodes) = match topology.as_str() {
+        spec if spec.starts_with("cycle:") => {
+            let nodes: usize = spec["cycle:".len()..].parse().expect("cycle:<nodes>");
+            (NetworkConfig::new(Topology::Cycle { nodes }), nodes)
+        }
+        spec if spec.starts_with("scale-free:") => {
+            let nodes: usize = spec["scale-free:".len()..]
+                .parse()
+                .expect("scale-free:<nodes>");
+            (
+                NetworkConfig::new(Topology::ScaleFree { nodes, attach: 2 })
+                    .with_fabric(FabricSpec::new(HardwarePreset::MetroFiber)),
+                nodes,
+            )
+        }
+        other => panic!("unknown topology {other} (use cycle:<n> or scale-free:<n>)"),
+    };
+    if let Some(rate) = gen_rate {
+        network = network.with_generation_rate(rate);
+    }
+    if let Some(rate) = scan_rate {
+        network = network.with_swap_scan_rate(rate);
+    }
+    let config = ExperimentConfig {
+        network,
+        workload: WorkloadSpec::open_loop(
+            nodes,
+            35.min(nodes * (nodes - 1) / 2),
+            rate_hz,
+            horizon_s,
+        ),
+        mode: PolicyId::OBLIVIOUS,
+        knowledge: KnowledgeModel::Global,
+        seed,
+        max_sim_time_s: horizon_s * 2.0,
+    };
+    let start = std::time::Instant::now();
+    let result = Experiment::new(config).run();
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "topology={topology} requests={requests} arrived={} satisfied={} \
+         streamed={} swaps={} wall_s={elapsed:.3}",
+        result.metrics.arrived_requests,
+        result.satisfied_requests,
+        result.metrics.is_streamed(),
+        result.swaps_performed,
+    );
+}

@@ -260,6 +260,7 @@ mod tests {
             fidelity_p95: None,
             expired_pairs: 0,
             fidelity_rejected: 0,
+            sketch_quantiles: false,
         }
     }
 

@@ -129,6 +129,12 @@ pub struct ScenarioOutcome {
     /// Deliveries rejected for falling below the fidelity floor (0 under
     /// ideal physics).
     pub fidelity_rejected: u64,
+    /// True when the run crossed the metrics recorder's exact-sample
+    /// threshold: its latency/fidelity quantiles come from the fixed-memory
+    /// log-bucketed sketch (~0.4 % relative value error) instead of exact
+    /// nearest-rank. Emitted only when true, so small-run outcomes keep the
+    /// legacy byte layout.
+    pub sketch_quantiles: bool,
 }
 
 impl Serialize for ScenarioOutcome {
@@ -191,6 +197,12 @@ impl Serialize for ScenarioOutcome {
                 self.fidelity_rejected.to_value(),
             ));
         }
+        if self.sketch_quantiles {
+            entries.push((
+                "sketch_quantiles".to_string(),
+                self.sketch_quantiles.to_value(),
+            ));
+        }
         Value::Map(entries)
     }
 }
@@ -228,6 +240,10 @@ impl Deserialize for ScenarioOutcome {
             fidelity_p95: Deserialize::from_value(field("fidelity_p95"))?,
             expired_pairs: counter("expired_pairs")?,
             fidelity_rejected: counter("fidelity_rejected")?,
+            sketch_quantiles: match field("sketch_quantiles") {
+                Value::Null => false,
+                v => Deserialize::from_value(v)?,
+            },
         })
     }
 }
@@ -246,16 +262,7 @@ impl ScenarioOutcome {
         // the satisfaction times (and emitting them would perturb the
         // byte-stable legacy report layout). One pass + one sort serves the
         // mean and both percentiles.
-        let sojourn = open_loop.then(|| {
-            let mut stats = qnet_sim::stats::RunningStats::new();
-            let mut samples = result.metrics.sojourn_samples();
-            for &x in &samples {
-                stats.record(x);
-            }
-            samples.sort_by(f64::total_cmp);
-            (stats, samples)
-        });
-        let sojourn = sojourn.as_ref();
+        let sojourn_stats = open_loop.then(|| result.metrics.sojourn_stats());
         ScenarioOutcome {
             id,
             cell,
@@ -269,13 +276,20 @@ impl ScenarioOutcome {
             pairs_generated: result.metrics.pairs_generated,
             simulated_seconds: result.simulated_seconds,
             count_update_messages: result.metrics.classical.count_update_messages,
-            latency_mean_s: sojourn
-                .filter(|(stats, _)| stats.count() > 0)
-                .map(|(stats, _)| stats.mean()),
-            latency_p50_s: sojourn
-                .and_then(|(_, samples)| qnet_sim::stats::percentile_of_sorted(samples, 0.50)),
-            latency_p95_s: sojourn
-                .and_then(|(_, samples)| qnet_sim::stats::percentile_of_sorted(samples, 0.95)),
+            latency_mean_s: sojourn_stats
+                .as_ref()
+                .filter(|stats| stats.count() > 0)
+                .map(|stats| stats.mean()),
+            latency_p50_s: if open_loop {
+                result.metrics.sojourn_percentile(0.50)
+            } else {
+                None
+            },
+            latency_p95_s: if open_loop {
+                result.metrics.sojourn_percentile(0.95)
+            } else {
+                None
+            },
             // Delivered-fidelity columns: non-empty exactly when the
             // scenario ran decoherent physics and satisfied something (ideal
             // deliveries carry no fidelity), so ideal rows stay legacy.
@@ -287,6 +301,7 @@ impl ScenarioOutcome {
             fidelity_p95: result.metrics.fidelity_percentile(0.95),
             expired_pairs: result.metrics.expired_pairs,
             fidelity_rejected: result.metrics.fidelity_rejected_requests,
+            sketch_quantiles: result.metrics.is_streamed(),
         }
     }
 

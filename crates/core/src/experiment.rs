@@ -14,7 +14,7 @@ use crate::metrics::RunMetrics;
 use crate::network::QuantumNetworkWorld;
 pub use crate::policy::{PolicyId, ProtocolMode};
 use crate::workload::{Workload, WorkloadSpec};
-use qnet_sim::{Engine, EventQueue, SimTime, StopCondition};
+use qnet_sim::{Engine, EventQueue, SimTime, StopCondition, World};
 use qnet_topology::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -169,18 +169,35 @@ impl Experiment {
 
     /// Run the simulation to completion (all requests satisfied) or to the
     /// configured horizon, and collect the results.
+    ///
+    /// Open-loop workloads stream their arrivals lazily (see
+    /// [`WorkloadSpec::stream`]): the request vector is never materialised,
+    /// so a 10⁶-request horizon costs the same memory as a 10³-request one.
+    /// The delivered arrival sequence — and the resulting metrics — are
+    /// identical to the eager [`Experiment::run_with_workload`] path.
     pub fn run(&self) -> ExperimentResult {
-        let workload: Workload = {
-            // The workload spec's node count must match the topology.
-            let mut spec = self.config.workload;
-            spec.node_count = self.config.network.node_count();
-            spec.generate(self.config.seed)
-        };
-        self.run_with_workload(workload)
+        // The workload spec's node count must match the topology.
+        let mut spec = self.config.workload;
+        spec.node_count = self.config.network.node_count();
+        if spec.is_open_loop() {
+            let mut staging = EventQueue::new();
+            let world = QuantumNetworkWorld::with_arrival_stream(
+                self.config.network,
+                spec.stream(self.config.seed),
+                self.config.mode.instantiate(),
+                self.config.knowledge,
+                self.config.seed,
+                &mut staging,
+            );
+            self.drive(world, staging)
+        } else {
+            self.run_with_workload(spec.generate(self.config.seed))
+        }
     }
 
     /// Run with an explicitly supplied workload (used by ablations that pin
-    /// the request sequence across configurations).
+    /// the request sequence across configurations). Always eager: every
+    /// arrival event is scheduled up front.
     pub fn run_with_workload(&self, workload: Workload) -> ExperimentResult {
         let mut staging = EventQueue::new();
         let world = QuantumNetworkWorld::new(
@@ -191,6 +208,16 @@ impl Experiment {
             self.config.seed,
             &mut staging,
         );
+        self.drive(world, staging)
+    }
+
+    /// Re-stage the seeded events onto a fresh engine (re-assigning seqs in
+    /// (time, seq) order) and run to the configured horizon.
+    fn drive(
+        &self,
+        world: QuantumNetworkWorld,
+        mut staging: EventQueue<<QuantumNetworkWorld as World>::Event>,
+    ) -> ExperimentResult {
         let mut engine: Engine<QuantumNetworkWorld> = Engine::new(world);
         while let Some(ev) = staging.pop() {
             engine.queue_mut().schedule_at(ev.time, ev.event);
@@ -208,7 +235,7 @@ impl Experiment {
             node_count: self.config.network.node_count(),
             mode: self.config.mode,
             distillation_overhead: self.config.network.distillation_overhead(),
-            satisfied_requests: metrics.satisfied.len(),
+            satisfied_requests: metrics.satisfied_count(),
             unsatisfied_requests: metrics.unsatisfied_requests,
             swaps_performed: metrics.swaps_performed,
             simulated_seconds: ended.as_secs_f64(),
@@ -414,6 +441,57 @@ mod tests {
         assert!(last.satisfied_at.as_secs_f64() > p95);
         // Identical configs still reproduce identical results.
         assert_eq!(r, Experiment::new(c).run());
+    }
+
+    #[test]
+    fn lazy_open_loop_matches_eager_scheduling() {
+        // `run()` streams open-loop arrivals in batches; `run_with_workload`
+        // schedules every arrival up front. Full results (every satisfied
+        // request, every counter) must be identical across policies and
+        // seeds — the differential pin for the lazy generator.
+        for mode in [
+            PolicyId::OBLIVIOUS,
+            PolicyId::HYBRID,
+            PolicyId::PLANNED,
+            PolicyId::CONNECTIONLESS,
+        ] {
+            for seed in [7u64, 21] {
+                let mut c = small_config();
+                c.mode = mode;
+                c.seed = seed;
+                c.workload = c.workload.with_traffic(TrafficModel::OpenLoopPoisson {
+                    rate_hz: 0.5,
+                    horizon_s: 400.0,
+                });
+                c.max_sim_time_s = 1_000.0;
+                let mut spec = c.workload;
+                spec.node_count = c.network.node_count();
+                let eager = Experiment::new(c).run_with_workload(spec.generate(seed));
+                let lazy = Experiment::new(c).run();
+                assert_eq!(lazy, eager, "lazy vs eager diverged: {mode:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_arrivals_cross_many_batches() {
+        // More requests than several ARRIVAL_BATCHes, so the generator wake
+        // fires repeatedly mid-run; the run must still complete and satisfy.
+        let mut c = small_config();
+        c.workload = c.workload.with_traffic(TrafficModel::OpenLoopPoisson {
+            rate_hz: 40.0,
+            horizon_s: 120.0,
+        });
+        c.network.generation_rate = 500.0;
+        c.max_sim_time_s = 300.0;
+        let r = Experiment::new(c).run();
+        assert!(
+            r.metrics.arrived_requests as usize > 3 * crate::network::ARRIVAL_BATCH,
+            "want multiple batches, got {} arrivals",
+            r.metrics.arrived_requests
+        );
+        assert!(r.satisfied_requests > 0);
+        assert_eq!(r, Experiment::new(c).run(), "lazy runs reproduce");
     }
 
     #[test]

@@ -30,10 +30,10 @@ use crate::inventory::Inventory;
 use crate::metrics::{RunMetrics, SatisfiedRequest};
 use crate::observer::{MetricsRecorder, RunObserver, SwapKind};
 use crate::policy::{PolicyCtx, QueueDiscipline, RequestAction, SwapPolicy};
-use crate::workload::{ConsumptionRequest, Workload};
+use crate::workload::{ArrivalStream, ConsumptionRequest, Workload};
 use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimRng, SimTime, World};
 use qnet_topology::{bfs_path, Graph, LinkFabric, NodeId, NodePair};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 pub use crate::policy::ProtocolMode;
 
@@ -59,6 +59,84 @@ pub enum NetEvent {
     /// under decoherent physics with a finite cutoff; never fires under the
     /// default ideal physics, keeping those runs byte-identical).
     CutoffSweep,
+    /// Pump the next batch of lazily generated arrivals out of the world's
+    /// [`ArrivalStream`]. Scheduled at the last arrival time of the previous
+    /// batch (with a later tie-break seq, so it pops after that arrival) and
+    /// handled without touching the clocked world state, so lazily driven
+    /// runs match eagerly scheduled ones.
+    ArrivalWake,
+}
+
+/// How many lazily generated arrivals are scheduled per
+/// [`NetEvent::ArrivalWake`]: large enough to amortise the wake overhead,
+/// small enough that the event queue never holds more than a sliver of a
+/// million-request horizon.
+pub const ARRIVAL_BATCH: usize = 1024;
+
+/// The pending-request store.
+///
+/// `Fifo` is the exact arrival-order deque: head-of-line draining and
+/// active-hook any-order draining walk it directly, because the precise
+/// offer sequence (including offers to blocked requests) is observable
+/// through [`SwapPolicy::on_blocked_request`]. `Indexed` keys requests by
+/// consumer pair and is used only when the policy declares its blocked
+/// hook inert ([`SwapPolicy::blocked_hook_is_inert`]) under any-order
+/// draining: re-offering a blocked request is then provably a no-op, so a
+/// drain can jump straight to satisfiable pairs instead of re-walking
+/// every blocked request — O(pairs) per satisfaction instead of
+/// O(pending) per event.
+#[derive(Debug)]
+enum PendingQueue {
+    Fifo(VecDeque<ConsumptionRequest>),
+    Indexed {
+        by_pair: BTreeMap<NodePair, VecDeque<ConsumptionRequest>>,
+        len: usize,
+    },
+}
+
+impl PendingQueue {
+    fn for_policy(policy: &dyn SwapPolicy) -> Self {
+        if policy.queue_discipline() == QueueDiscipline::AnyOrder && policy.blocked_hook_is_inert()
+        {
+            PendingQueue::Indexed {
+                by_pair: BTreeMap::new(),
+                len: 0,
+            }
+        } else {
+            PendingQueue::Fifo(VecDeque::new())
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PendingQueue::Fifo(q) => q.len(),
+            PendingQueue::Indexed { len, .. } => *len,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push_back(&mut self, request: ConsumptionRequest) {
+        match self {
+            PendingQueue::Fifo(q) => q.push_back(request),
+            PendingQueue::Indexed { by_pair, len } => {
+                by_pair.entry(request.pair).or_default().push_back(request);
+                *len += 1;
+            }
+        }
+    }
+
+    /// The FIFO deque (head-of-line and exact any-order paths only).
+    fn fifo(&mut self) -> &mut VecDeque<ConsumptionRequest> {
+        match self {
+            PendingQueue::Fifo(q) => q,
+            PendingQueue::Indexed { .. } => {
+                unreachable!("indexed store only drives inert any-order draining")
+            }
+        }
+    }
 }
 
 /// The simulation substrate: policy-agnostic world state plus the attached
@@ -71,9 +149,20 @@ pub struct QuantumNetworkWorld {
     graph: Graph,
     inventory: Inventory,
     gossip: Option<GossipState>,
-    pending: VecDeque<ConsumptionRequest>,
+    pending: PendingQueue,
     /// Requests scheduled as arrival events but not yet delivered.
     arrivals_outstanding: usize,
+    /// Lazily generated arrivals not yet scheduled (open-loop streaming
+    /// runs). `None` once exhausted — and always `None` for eager runs.
+    arrival_stream: Option<ArrivalStream>,
+    /// Cached [`SwapPolicy::blocked_hook_is_inert`] (the policy is behind a
+    /// vtable; this sits on the per-blocked-offer hot path).
+    inert_blocked_hook: bool,
+    /// Memoised shortest-path hop counts: the generation graph is immutable
+    /// after construction, and `consume` needs the hop count of every
+    /// satisfied request — a fresh BFS per satisfaction dominates
+    /// million-request runs on large graphs.
+    hops_cache: BTreeMap<NodePair, usize>,
     rng: SimRng,
     /// Per-edge hardware profiles when the config carries a link fabric.
     /// `None` runs the legacy homogeneous substrate byte-identically.
@@ -94,6 +183,44 @@ impl QuantumNetworkWorld {
     pub fn new(
         config: NetworkConfig,
         workload: Workload,
+        policy: Box<dyn SwapPolicy>,
+        knowledge: KnowledgeModel,
+        seed: u64,
+        queue: &mut EventQueue<NetEvent>,
+    ) -> Self {
+        let mut world = Self::without_arrivals(config, policy, knowledge, seed, queue);
+        world.arrivals_outstanding = workload.requests.len();
+        // Requests are injected over simulated time: closed-loop batches all
+        // arrive at t = 0 (before the first generation event), open-loop
+        // traffic interleaves with the physical processes.
+        for request in workload.requests {
+            queue.schedule_at(request.arrival_time, NetEvent::RequestArrival { request });
+        }
+        world
+    }
+
+    /// Build the model with a lazy [`ArrivalStream`] instead of a
+    /// materialised [`Workload`]: only [`ARRIVAL_BATCH`] arrivals are
+    /// scheduled at a time, with a self-rescheduling [`NetEvent::ArrivalWake`]
+    /// pumping the next batch, so memory stays flat however long the
+    /// open-loop horizon is. The delivered arrival sequence is identical to
+    /// the eager path (both draw from the same generator).
+    pub fn with_arrival_stream(
+        config: NetworkConfig,
+        stream: ArrivalStream,
+        policy: Box<dyn SwapPolicy>,
+        knowledge: KnowledgeModel,
+        seed: u64,
+        queue: &mut EventQueue<NetEvent>,
+    ) -> Self {
+        let mut world = Self::without_arrivals(config, policy, knowledge, seed, queue);
+        world.arrival_stream = Some(stream);
+        world.pump_arrivals(queue);
+        world
+    }
+
+    fn without_arrivals(
+        config: NetworkConfig,
         policy: Box<dyn SwapPolicy>,
         knowledge: KnowledgeModel,
         seed: u64,
@@ -127,6 +254,8 @@ impl QuantumNetworkWorld {
             KnowledgeModel::Global => None,
         };
         let rng = SimRng::new(seed).derive("network");
+        let pending = PendingQueue::for_policy(policy.as_ref());
+        let inert_blocked_hook = policy.blocked_hook_is_inert();
 
         let mut world = QuantumNetworkWorld {
             config,
@@ -135,8 +264,11 @@ impl QuantumNetworkWorld {
             graph,
             inventory,
             gossip,
-            pending: VecDeque::new(),
-            arrivals_outstanding: workload.requests.len(),
+            pending,
+            arrivals_outstanding: 0,
+            arrival_stream: None,
+            inert_blocked_hook,
+            hops_cache: BTreeMap::new(),
             rng,
             fabric,
             recorder: MetricsRecorder::new(),
@@ -146,13 +278,35 @@ impl QuantumNetworkWorld {
             sweep_pending: false,
         };
         world.seed_events(queue);
-        // Requests are injected over simulated time: closed-loop batches all
-        // arrive at t = 0 (before the first generation event), open-loop
-        // traffic interleaves with the physical processes.
-        for request in workload.requests {
-            queue.schedule_at(request.arrival_time, NetEvent::RequestArrival { request });
-        }
         world
+    }
+
+    /// Schedule up to [`ARRIVAL_BATCH`] requests from the arrival stream,
+    /// plus one [`NetEvent::ArrivalWake`] at the last scheduled arrival time
+    /// when the stream has more to give. The wake is scheduled after its
+    /// co-timed arrival (later seq), so the next batch is pumped exactly
+    /// when the queue would otherwise run out of arrivals.
+    fn pump_arrivals(&mut self, queue: &mut EventQueue<NetEvent>) {
+        let Some(stream) = self.arrival_stream.as_mut() else {
+            return;
+        };
+        let mut last_at = None;
+        for _ in 0..ARRIVAL_BATCH {
+            match stream.next_request() {
+                Some(request) => {
+                    self.arrivals_outstanding += 1;
+                    last_at = Some(request.arrival_time);
+                    queue.schedule_at(request.arrival_time, NetEvent::RequestArrival { request });
+                }
+                None => {
+                    self.arrival_stream = None;
+                    return;
+                }
+            }
+        }
+        if let Some(at) = last_at {
+            queue.schedule_at(at, NetEvent::ArrivalWake);
+        }
     }
 
     /// Attach an additional [`RunObserver`]; hooks fire in attachment order
@@ -218,7 +372,7 @@ impl QuantumNetworkWorld {
     /// True when every injected consumption request has been satisfied (or
     /// dropped) and no arrival is still outstanding.
     pub fn is_done(&self) -> bool {
-        self.pending.is_empty() && self.arrivals_outstanding == 0
+        self.pending.is_empty() && self.arrivals_outstanding == 0 && self.arrival_stream.is_none()
     }
 
     /// Current inventory (read-only).
@@ -242,11 +396,17 @@ impl QuantumNetworkWorld {
     }
 
     /// Shortest-path hop count between the endpoints of `pair` in the
-    /// generation graph.
-    fn shortest_hops(&self, pair: NodePair) -> usize {
-        bfs_path(&self.graph, pair.lo(), pair.hi())
+    /// generation graph (memoised; the graph never changes after
+    /// construction).
+    fn shortest_hops(&mut self, pair: NodePair) -> usize {
+        if let Some(&hops) = self.hops_cache.get(&pair) {
+            return hops;
+        }
+        let hops = bfs_path(&self.graph, pair.lo(), pair.hi())
             .map(|p| p.hops())
-            .unwrap_or(usize::MAX)
+            .unwrap_or(usize::MAX);
+        self.hops_cache.insert(pair, hops);
+        hops
     }
 
     fn record_inventory_change(&mut self, now: SimTime) {
@@ -315,24 +475,32 @@ impl QuantumNetworkWorld {
     fn try_satisfy(&mut self, now: SimTime) {
         match self.policy.queue_discipline() {
             QueueDiscipline::HeadOfLine => self.try_satisfy_head_of_line(now),
-            QueueDiscipline::AnyOrder => self.try_satisfy_any_order(now),
+            QueueDiscipline::AnyOrder => match &self.pending {
+                PendingQueue::Indexed { .. } => self.try_satisfy_any_order_indexed(now),
+                PendingQueue::Fifo(_) => self.try_satisfy_any_order(now),
+            },
         }
     }
 
     /// Head-of-line draining: only the oldest pending request may proceed.
     fn try_satisfy_head_of_line(&mut self, now: SimTime) {
         loop {
-            let Some(head) = self.pending.front().copied() else {
+            let Some(head) = self.pending.fifo().front().copied() else {
                 return;
             };
             let k = self.config.pairs_per_distilled();
             let mut repair_swaps = 0u64;
 
             if self.inventory.count(head.pair) < k {
+                // An inert hook would return `Wait` without side effects:
+                // skip the vtable call and the context construction.
+                if self.inert_blocked_hook {
+                    return;
+                }
                 match self.blocked_request_action(&head) {
                     RequestAction::Wait => return,
                     RequestAction::Drop => {
-                        self.pending.pop_front();
+                        self.pending.fifo().pop_front();
                         self.notify(|o| o.on_request_dropped(now, &head));
                         continue;
                     }
@@ -347,7 +515,45 @@ impl QuantumNetworkWorld {
                 return;
             }
             self.consume(now, head, k, repair_swaps);
-            self.pending.pop_front();
+            self.pending.fifo().pop_front();
+        }
+    }
+
+    /// Any-order draining through the per-pair index (inert-hook policies
+    /// only): repeatedly satisfy the lowest-sequence request among pairs
+    /// whose inventory covers `k`. Because consumption only ever removes
+    /// inventory, a blocked request can never become satisfiable during the
+    /// drain, so this greedy min-sequence walk consumes exactly the
+    /// requests — in exactly the order — the full-queue walk of
+    /// [`Self::try_satisfy_any_order`] would, while never touching blocked
+    /// requests (whose offers would be inert no-ops).
+    fn try_satisfy_any_order_indexed(&mut self, now: SimTime) {
+        let k = self.config.pairs_per_distilled();
+        loop {
+            let PendingQueue::Indexed { by_pair, len } = &mut self.pending else {
+                return;
+            };
+            let mut best: Option<NodePair> = None;
+            let mut best_seq = u64::MAX;
+            for (&pair, queue) in by_pair.iter() {
+                let Some(front) = queue.front() else {
+                    continue;
+                };
+                if front.sequence < best_seq && self.inventory.count(pair) >= k {
+                    best_seq = front.sequence;
+                    best = Some(pair);
+                }
+            }
+            let Some(pair) = best else {
+                return;
+            };
+            let queue = by_pair.get_mut(&pair).expect("selected above");
+            let req = queue.pop_front().expect("non-empty");
+            if queue.is_empty() {
+                by_pair.remove(&pair);
+            }
+            *len -= 1;
+            self.consume(now, req, k, 0);
         }
     }
 
@@ -356,7 +562,7 @@ impl QuantumNetworkWorld {
     fn try_satisfy_any_order(&mut self, now: SimTime) {
         let k = self.config.pairs_per_distilled();
         let mut remaining = VecDeque::new();
-        while let Some(req) = self.pending.pop_front() {
+        while let Some(req) = self.pending.fifo().pop_front() {
             let mut repair_swaps = 0u64;
             let mut ok = self.inventory.count(req.pair) >= k;
             if !ok {
@@ -379,7 +585,7 @@ impl QuantumNetworkWorld {
                 remaining.push_back(req);
             }
         }
-        self.pending = remaining;
+        self.pending = PendingQueue::Fifo(remaining);
     }
 
     /// Make sure a cutoff sweep is scheduled whenever tracked pairs exist.
@@ -500,15 +706,40 @@ impl QuantumNetworkWorld {
         if !had_pending {
             self.try_satisfy(now);
         } else if self.policy.queue_discipline() == QueueDiscipline::AnyOrder {
-            self.try_satisfy_new_tail(now);
+            match &self.pending {
+                PendingQueue::Indexed { .. } => self.try_satisfy_newest_indexed(now, request.pair),
+                PendingQueue::Fifo(_) => self.try_satisfy_new_tail(now),
+            }
         }
+    }
+
+    /// The indexed arrival fast path: offer only the just-arrived request
+    /// (the back of its pair's queue). Blocked means wait — the hook is
+    /// inert by construction of the indexed store.
+    fn try_satisfy_newest_indexed(&mut self, now: SimTime, pair: NodePair) {
+        let k = self.config.pairs_per_distilled();
+        if self.inventory.count(pair) < k {
+            return;
+        }
+        let PendingQueue::Indexed { by_pair, len } = &mut self.pending else {
+            return;
+        };
+        let Some(queue) = by_pair.get_mut(&pair) else {
+            return;
+        };
+        let req = queue.pop_back().expect("the arrival was just pushed");
+        if queue.is_empty() {
+            by_pair.remove(&pair);
+        }
+        *len -= 1;
+        self.consume(now, req, k, 0);
     }
 
     /// Offer only the most recently arrived request (the queue tail) to the
     /// policy — the any-order arrival fast path.
     fn try_satisfy_new_tail(&mut self, now: SimTime) {
         let k = self.config.pairs_per_distilled();
-        let Some(req) = self.pending.pop_back() else {
+        let Some(req) = self.pending.fifo().pop_back() else {
             return;
         };
         let mut repair_swaps = 0u64;
@@ -530,7 +761,7 @@ impl QuantumNetworkWorld {
         if ok {
             self.consume(now, req, k, repair_swaps);
         } else {
-            self.pending.push_back(req);
+            self.pending.fifo().push_back(req);
         }
     }
 
@@ -567,6 +798,14 @@ impl World for QuantumNetworkWorld {
     type Event = NetEvent;
 
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        // The generator wake is pure bookkeeping: it schedules the next
+        // arrival batch without aging the inventory or firing observer
+        // hooks, so a lazily driven run sees exactly the clocked events an
+        // eagerly scheduled run would.
+        if matches!(event, NetEvent::ArrivalWake) {
+            self.pump_arrivals(queue);
+            return;
+        }
         // Age the lot store to the event time before anything mutates the
         // inventory (including policy hooks). A no-op under ideal physics.
         self.inventory.set_clock(now);
@@ -576,6 +815,7 @@ impl World for QuantumNetworkWorld {
             NetEvent::SwapScan { node } => self.handle_swap_scan(now, node, queue),
             NetEvent::RequestArrival { request } => self.handle_request_arrival(now, request),
             NetEvent::CutoffSweep => self.handle_cutoff_sweep(now, queue),
+            NetEvent::ArrivalWake => unreachable!("intercepted above"),
         }
     }
 }
@@ -769,6 +1009,91 @@ mod tests {
         let m = world.metrics();
         assert!(!m.satisfied.is_empty(), "scale-free fabric run satisfies");
         assert!(m.satisfied.iter().all(|s| s.fidelity.is_none()));
+    }
+
+    /// Wraps a policy, forcing any-order draining and overriding the
+    /// inertness declaration — the two halves of the differential test for
+    /// the indexed pending store.
+    #[derive(Debug)]
+    struct AnyOrderWrapper {
+        inner: Box<dyn SwapPolicy>,
+        inert: bool,
+    }
+
+    impl SwapPolicy for AnyOrderWrapper {
+        fn id(&self) -> PolicyId {
+            self.inner.id()
+        }
+        fn schedules_swap_scans(&self) -> bool {
+            self.inner.schedules_swap_scans()
+        }
+        fn queue_discipline(&self) -> QueueDiscipline {
+            QueueDiscipline::AnyOrder
+        }
+        fn blocked_hook_is_inert(&self) -> bool {
+            self.inert
+        }
+        fn on_swap_scan(
+            &mut self,
+            ctx: &mut PolicyCtx<'_>,
+            node: NodeId,
+        ) -> Option<crate::SwapCandidate> {
+            self.inner.on_swap_scan(ctx, node)
+        }
+        fn on_blocked_request(
+            &mut self,
+            ctx: &mut PolicyCtx<'_>,
+            request: &ConsumptionRequest,
+        ) -> RequestAction {
+            self.inner.on_blocked_request(ctx, request)
+        }
+    }
+
+    #[test]
+    fn indexed_any_order_drain_matches_exact_walk() {
+        use crate::workload::WorkloadSpec;
+        use qnet_sim::{Engine, StopCondition};
+
+        // The oblivious hook is pure Wait, so running it as an any-order
+        // policy with the exact full-queue walk (inert declared false → Fifo
+        // store) and with the per-pair indexed drain (inert true → Indexed
+        // store) must produce identical metrics, satisfaction order
+        // included.
+        let run = |inert: bool, seed: u64, workload: Workload| {
+            let config = NetworkConfig::new(Topology::Cycle { nodes: 9 });
+            let policy = Box::new(AnyOrderWrapper {
+                inner: PolicyId::OBLIVIOUS.instantiate(),
+                inert,
+            });
+            let mut queue = EventQueue::new();
+            let world = QuantumNetworkWorld::new(
+                config,
+                workload,
+                policy,
+                KnowledgeModel::Global,
+                seed,
+                &mut queue,
+            );
+            let mut engine = Engine::new(world);
+            while let Some(ev) = queue.pop() {
+                engine.queue_mut().schedule_at(ev.time, ev.event);
+            }
+            engine.run(StopCondition::at_horizon(SimTime::from_secs(900)));
+            engine.into_world().metrics()
+        };
+        for seed in [3u64, 17, 42] {
+            let closed = WorkloadSpec::closed_loop(9, 6, 40);
+            let open = WorkloadSpec::open_loop(9, 6, 0.5, 300.0);
+            for spec in [closed, open] {
+                let exact = run(false, seed, spec.generate(seed));
+                let indexed = run(true, seed, spec.generate(seed));
+                assert_eq!(exact, indexed, "seed {seed} spec {spec:?}");
+                assert!(
+                    !exact.satisfied.is_empty(),
+                    "vacuous differential at seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! the substrate or the policies.
 
 use crate::classical::ClassicalStats;
-use crate::metrics::{RunMetrics, SatisfiedRequest};
+use crate::metrics::{RunMetrics, SatisfiedRequest, StreamedSummary};
 use crate::workload::ConsumptionRequest;
+use qnet_sim::stats::DEFAULT_EXACT_SAMPLE_THRESHOLD;
 use qnet_sim::SimTime;
 use qnet_topology::NodePair;
 
@@ -67,13 +68,25 @@ pub trait RunObserver: std::fmt::Debug + Send {
 }
 
 /// The standard observer: folds the run's events into [`RunMetrics`].
-#[derive(Debug, Default)]
+///
+/// Satisfied requests are buffered per-request — with their exact,
+/// byte-stable serialization — up to the exact-sample threshold. The next
+/// satisfaction folds the buffer into a fixed-memory
+/// [`StreamedSummary`] and per-request storage stops, holding RSS flat
+/// through million-request runs. The default threshold
+/// ([`DEFAULT_EXACT_SAMPLE_THRESHOLD`]) far exceeds every golden workload,
+/// so existing reports are unaffected; the `QNET_EXACT_SAMPLES` environment
+/// variable overrides it (integration tests use a tiny value to exercise
+/// the streamed mode cheaply).
+#[derive(Debug)]
 pub struct MetricsRecorder {
     swaps_performed: u64,
     pairs_generated: u64,
     pairs_lost: u64,
     pairs_expired: u64,
     satisfied: Vec<SatisfiedRequest>,
+    streamed: Option<StreamedSummary>,
+    exact_threshold: usize,
     arrived_requests: u64,
     dropped_requests: u64,
     fidelity_rejected_requests: u64,
@@ -81,10 +94,43 @@ pub struct MetricsRecorder {
     last_event_time: SimTime,
 }
 
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder::new()
+    }
+}
+
 impl MetricsRecorder {
     /// A fresh, all-zero recorder.
     pub fn new() -> Self {
-        MetricsRecorder::default()
+        let exact_threshold = std::env::var("QNET_EXACT_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_EXACT_SAMPLE_THRESHOLD);
+        MetricsRecorder {
+            swaps_performed: 0,
+            pairs_generated: 0,
+            pairs_lost: 0,
+            pairs_expired: 0,
+            satisfied: Vec::new(),
+            streamed: None,
+            exact_threshold,
+            arrived_requests: 0,
+            dropped_requests: 0,
+            fidelity_rejected_requests: 0,
+            classical: ClassicalStats::default(),
+            last_event_time: SimTime::ZERO,
+        }
+    }
+
+    /// A recorder with an explicit exact-sample threshold, ignoring the
+    /// `QNET_EXACT_SAMPLES` environment variable. Tests use this to force
+    /// streamed mode without mutating process-global state.
+    pub fn with_exact_threshold(exact_threshold: usize) -> Self {
+        MetricsRecorder {
+            exact_threshold,
+            ..MetricsRecorder::new()
+        }
     }
 
     /// Swaps recorded so far.
@@ -113,6 +159,7 @@ impl MetricsRecorder {
             pairs_lost: self.pairs_lost,
             expired_pairs: self.pairs_expired,
             satisfied: self.satisfied.clone(),
+            streamed: self.streamed.clone(),
             arrived_requests: self.arrived_requests,
             unsatisfied_requests,
             dropped_requests: self.dropped_requests,
@@ -162,7 +209,21 @@ impl RunObserver for MetricsRecorder {
     }
 
     fn on_request_satisfied(&mut self, _now: SimTime, request: &SatisfiedRequest) {
-        self.satisfied.push(*request);
+        if let Some(summary) = &mut self.streamed {
+            summary.record(request);
+        } else if self.satisfied.len() >= self.exact_threshold {
+            // Crossing the threshold: fold the exact buffer into the
+            // fixed-memory summary and release the per-request storage.
+            let mut summary = StreamedSummary::new();
+            for r in self.satisfied.drain(..) {
+                summary.record(&r);
+            }
+            self.satisfied.shrink_to_fit();
+            summary.record(request);
+            self.streamed = Some(summary);
+        } else {
+            self.satisfied.push(*request);
+        }
     }
 
     fn on_request_dropped(&mut self, _now: SimTime, _request: &ConsumptionRequest) {
@@ -352,6 +413,73 @@ mod tests {
         assert_eq!(m.classical.teleport_messages, 1);
         assert_eq!(m.classical.count_update_messages, 7);
         assert_eq!(m.ended_at, t);
+    }
+
+    #[test]
+    fn streamed_recorder_matches_buffered_exactly_where_exact() {
+        // Feed the same 500 synthetic satisfactions through a buffered
+        // recorder (threshold far above the stream) and a streamed one
+        // (threshold 8, so the fold happens mid-stream), then compare every
+        // derived column. Everything except quantiles is exact in streamed
+        // mode; quantiles carry the sketch's documented relative value
+        // error (2⁻⁸ midpoint bound).
+        let mut buffered = MetricsRecorder::with_exact_threshold(1_000_000);
+        let mut streamed = MetricsRecorder::with_exact_threshold(8);
+        let mut rng_state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut uniform = move || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for seq in 0..500u64 {
+            let arrival = SimTime::from_secs(seq);
+            let sojourn_s = 0.001 + uniform() * 40.0;
+            let sat = SatisfiedRequest {
+                sequence: seq,
+                pair: NodePair::new(NodeId(0), NodeId(2)),
+                arrival_time: arrival,
+                satisfied_at: arrival + qnet_sim::time::SimDuration::from_secs_f64(sojourn_s),
+                shortest_path_hops: 1 + (seq % 5) as usize,
+                repair_swaps: seq % 3,
+                fidelity: (seq % 2 == 0).then(|| 0.5 + uniform() * 0.5),
+            };
+            let now = sat.satisfied_at;
+            buffered.on_request_satisfied(now, &sat);
+            streamed.on_request_satisfied(now, &sat);
+        }
+        let exact = buffered.snapshot(1.1, 3, 0);
+        let sketch = streamed.snapshot(1.1, 3, 0);
+        assert!(!exact.is_streamed());
+        assert!(sketch.is_streamed());
+        assert_eq!(sketch.satisfied_count(), exact.satisfied_count());
+        assert_eq!(sketch.repair_swaps(), exact.repair_swaps());
+        // Same value up to float summation order (the histogram multiplies
+        // count × cost per hop bucket instead of adding per request).
+        let (sd, ed) = (sketch.overhead_denominator(), exact.overhead_denominator());
+        assert!(((sd - ed) / ed).abs() < 1e-12, "denominator {sd} vs {ed}");
+        assert_eq!(
+            sketch.mean_inter_satisfaction_time(),
+            exact.mean_inter_satisfaction_time()
+        );
+        let close = |a: f64, b: f64| ((a - b) / b).abs() <= 1.0 / 256.0 + 1e-12;
+        assert!((sketch.sojourn_stats().mean() - exact.sojourn_stats().mean()).abs() < 1e-9);
+        assert!((sketch.fidelity_stats().mean() - exact.fidelity_stats().mean()).abs() < 1e-9);
+        for q in [0.50, 0.95, 0.99] {
+            let (s, e) = (
+                sketch.sojourn_percentile(q).unwrap(),
+                exact.sojourn_percentile(q).unwrap(),
+            );
+            assert!(close(s, e), "sojourn q={q}: sketch {s} vs exact {e}");
+            let (s, e) = (
+                sketch.fidelity_percentile(q).unwrap(),
+                exact.fidelity_percentile(q).unwrap(),
+            );
+            assert!(close(s, e), "fidelity q={q}: sketch {s} vs exact {e}");
+        }
+        // The streamed snapshot dropped per-request storage.
+        assert!(sketch.satisfied.is_empty());
+        assert!(sketch.sojourn_samples().is_empty());
     }
 
     #[test]

@@ -126,6 +126,18 @@ pub trait SwapPolicy: fmt::Debug + Send {
         QueueDiscipline::HeadOfLine
     }
 
+    /// Whether [`SwapPolicy::on_blocked_request`] is inert: it always
+    /// returns [`RequestAction::Wait`] and has no side effects. Declaring
+    /// inertness lets the world elide the hook call on blocked offers and,
+    /// under [`QueueDiscipline::AnyOrder`], drain the pending queue through
+    /// a per-pair index instead of re-walking every blocked request — the
+    /// observable behaviour is provably unchanged. Policies that repair,
+    /// drop, or keep internal tallies must leave this `false` (the
+    /// default).
+    fn blocked_hook_is_inert(&self) -> bool {
+        false
+    }
+
     /// A node's periodic swap scan fired: decide which (if any) swap `node`
     /// performs. The returned candidate is executed and accounted by the
     /// world. Policies consult `ctx.gossip` for remote counts when present

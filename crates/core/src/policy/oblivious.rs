@@ -61,6 +61,12 @@ impl SwapPolicy for ObliviousPolicy {
         // deliver the pair.
         RequestAction::Wait
     }
+
+    fn blocked_hook_is_inert(&self) -> bool {
+        // The hook above is pure `Wait`: the world may skip it entirely on
+        // the million-request hot path.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -209,7 +209,34 @@ impl WorkloadSpec {
     /// uniform request), so legacy runs are byte-identical. Open-loop
     /// arrival gaps come from an independent derived stream (`"arrivals"`),
     /// so pair selection stays aligned across traffic models.
+    ///
+    /// This is [`WorkloadSpec::stream`] collected to a `Vec`: the lazy and
+    /// eager paths share one generator, so they cannot drift apart.
     pub fn generate(&self, seed: u64) -> Workload {
+        let mut stream = self.stream(seed);
+        let mut requests = Vec::with_capacity(self.nominal_requests() + 1);
+        while let Some(request) = stream.next_request() {
+            requests.push(request);
+        }
+        Workload {
+            consumers: stream.consumers,
+            requests,
+        }
+    }
+
+    /// Lazily generate the workload's request sequence.
+    ///
+    /// Yields exactly the requests [`WorkloadSpec::generate`] materialises,
+    /// in order, with identical RNG draws: the consumer shuffle happens up
+    /// front on the `"workload"` stream, pair selection continues on that
+    /// stream one draw per request, and open-loop arrival gaps come from
+    /// the independent `"arrivals"` stream — because the two streams are
+    /// independent, interleaving their draws (one gap + one pair per
+    /// request) produces the same values as the eager all-gaps-then-all-
+    /// pairs order. This is what lets the simulation schedule 10⁶–10⁷
+    /// Poisson arrivals in small batches without ever materialising the
+    /// request vector.
+    pub fn stream(&self, seed: u64) -> ArrivalStream {
         let max_pairs = self.node_count * self.node_count.saturating_sub(1) / 2;
         assert!(
             max_pairs > 0,
@@ -227,58 +254,137 @@ impl WorkloadSpec {
         let mut consumers: Vec<NodePair> = all.into_iter().take(wanted).collect();
         consumers.sort_unstable();
 
-        let arrivals = self.arrival_times(seed);
         let zipf_cdf = match self.selection {
             PairSelection::ZipfSkew { s } => Some(zipf_cdf(consumers.len(), s)),
             _ => None,
         };
-
-        let mut requests = Vec::with_capacity(arrivals.len());
-        for (k, arrival_time) in arrivals.into_iter().enumerate() {
-            let pair = match &self.selection {
-                PairSelection::UniformRandom => *rng.choose(&consumers).expect("non-empty"),
-                PairSelection::RoundRobin => consumers[k % consumers.len()],
-                PairSelection::ZipfSkew { .. } => {
-                    let cdf = zipf_cdf.as_deref().expect("computed above");
-                    consumers[sample_cdf(cdf, rng.uniform())]
-                }
-            };
-            requests.push(ConsumptionRequest {
-                sequence: k as u64,
-                pair,
-                arrival_time,
-            });
-        }
-
-        Workload {
-            consumers,
-            requests,
-        }
-    }
-
-    /// The arrival instants of every request, in order.
-    fn arrival_times(&self, seed: u64) -> Vec<SimTime> {
-        match self.traffic {
-            TrafficModel::ClosedLoopBatch { requests } => vec![SimTime::ZERO; requests],
+        let traffic = match self.traffic {
+            TrafficModel::ClosedLoopBatch { requests } => TrafficState::Closed {
+                remaining: requests,
+            },
             TrafficModel::OpenLoopPoisson { rate_hz, horizon_s } => {
                 assert!(rate_hz > 0.0, "arrival rate must be positive");
                 assert!(
                     horizon_s > 0.0 && horizon_s.is_finite(),
                     "arrival horizon must be positive and finite"
                 );
-                let mut rng = SimRng::new(seed).derive("arrivals");
-                let mut times = Vec::with_capacity((rate_hz * horizon_s).ceil() as usize + 1);
-                let mut t = 0.0f64;
-                loop {
-                    t += rng.sample_exponential(rate_hz);
-                    if t > horizon_s {
-                        break;
-                    }
-                    times.push(SimTime::from_secs_f64(t));
+                TrafficState::Open {
+                    rng: SimRng::new(seed).derive("arrivals"),
+                    rate_hz,
+                    horizon_s,
+                    t: 0.0,
+                    exhausted: false,
                 }
-                times
             }
+        };
+
+        ArrivalStream {
+            consumers,
+            selection: self.selection,
+            zipf_cdf,
+            selection_rng: rng,
+            traffic,
+            next_seq: 0,
         }
+    }
+}
+
+/// Traffic-model position of an [`ArrivalStream`].
+#[derive(Debug, Clone)]
+enum TrafficState {
+    /// Closed-loop batch: `remaining` requests left, all at `t = 0`.
+    Closed { remaining: usize },
+    /// Open-loop Poisson: the `"arrivals"` RNG plus the current arrival
+    /// clock, exhausted once a gap overshoots the horizon.
+    Open {
+        rng: SimRng,
+        rate_hz: f64,
+        horizon_s: f64,
+        t: f64,
+        exhausted: bool,
+    },
+}
+
+/// A lazily evaluated request sequence: the self-contained generator state
+/// (consumer set, selection discipline, both RNG streams) that yields the
+/// same [`ConsumptionRequest`]s [`WorkloadSpec::generate`] would
+/// materialise, one at a time. Carried by the simulation world so open-loop
+/// arrivals can be scheduled in batches — memory stays flat no matter how
+/// many requests the horizon implies.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    consumers: Vec<NodePair>,
+    selection: PairSelection,
+    zipf_cdf: Option<Vec<f64>>,
+    /// The `"workload"` RNG, positioned just past the consumer shuffle.
+    selection_rng: SimRng,
+    traffic: TrafficState,
+    next_seq: u64,
+}
+
+impl ArrivalStream {
+    /// The distinct consumer pairs (fixed at stream construction).
+    pub fn consumers(&self) -> &[NodePair] {
+        &self.consumers
+    }
+
+    /// Number of requests yielded so far.
+    pub fn yielded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The next request, or `None` once the traffic model is exhausted
+    /// (permanently: the stream is fused).
+    pub fn next_request(&mut self) -> Option<ConsumptionRequest> {
+        let ArrivalStream {
+            consumers,
+            selection,
+            zipf_cdf,
+            selection_rng,
+            traffic,
+            next_seq,
+        } = self;
+        let arrival_time = match traffic {
+            TrafficState::Closed { remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                SimTime::ZERO
+            }
+            TrafficState::Open {
+                rng,
+                rate_hz,
+                horizon_s,
+                t,
+                exhausted,
+            } => {
+                if *exhausted {
+                    return None;
+                }
+                *t += rng.sample_exponential(*rate_hz);
+                if *t > *horizon_s {
+                    *exhausted = true;
+                    return None;
+                }
+                SimTime::from_secs_f64(*t)
+            }
+        };
+        let pair = match selection {
+            PairSelection::UniformRandom => *selection_rng.choose(consumers).expect("non-empty"),
+            PairSelection::RoundRobin => consumers[(*next_seq as usize) % consumers.len()],
+            PairSelection::ZipfSkew { .. } => {
+                let cdf = zipf_cdf.as_deref().expect("computed at construction");
+                consumers[sample_cdf(cdf, selection_rng.uniform())]
+            }
+        };
+        let sequence = *next_seq;
+        *next_seq += 1;
+        Some(ConsumptionRequest {
+            sequence,
+            pair,
+            arrival_time,
+        })
     }
 }
 
@@ -543,6 +649,78 @@ mod tests {
         let n = spec.generate(21).len() as f64;
         assert!((n - 1000.0).abs() < 130.0, "got {n} arrivals");
         assert_eq!(spec.nominal_requests(), 1000);
+    }
+
+    #[test]
+    fn generate_matches_legacy_two_phase_draw_order() {
+        // The pre-streaming implementation drew ALL arrival gaps from the
+        // "arrivals" stream first, then ALL pair selections from the
+        // "workload" stream. The interleaved generator must reproduce that
+        // byte-for-byte because the two derived streams are independent.
+        for seed in [1u64, 9, 77] {
+            let spec = WorkloadSpec::open_loop(10, 5, 2.0, 200.0);
+
+            let mut rng = SimRng::new(seed).derive("workload");
+            let mut all: Vec<NodePair> = qnet_topology::pairs::all_pairs(10).collect();
+            rng.shuffle(&mut all);
+            let mut consumers: Vec<NodePair> = all.into_iter().take(5).collect();
+            consumers.sort_unstable();
+
+            // Phase 1: every arrival instant, before any pair draw.
+            let mut arr = SimRng::new(seed).derive("arrivals");
+            let mut times = Vec::new();
+            let mut t = 0.0f64;
+            loop {
+                t += arr.sample_exponential(2.0);
+                if t > 200.0 {
+                    break;
+                }
+                times.push(SimTime::from_secs_f64(t));
+            }
+            // Phase 2: one uniform pair draw per request.
+            let legacy: Vec<ConsumptionRequest> = times
+                .iter()
+                .enumerate()
+                .map(|(k, &arrival_time)| ConsumptionRequest {
+                    sequence: k as u64,
+                    pair: *rng.choose(&consumers).unwrap(),
+                    arrival_time,
+                })
+                .collect();
+
+            let w = spec.generate(seed);
+            assert_eq!(w.consumers, consumers);
+            assert_eq!(w.requests, legacy);
+        }
+    }
+
+    #[test]
+    fn stream_is_fused_and_matches_generate() {
+        let spec = WorkloadSpec::open_loop(10, 5, 2.0, 100.0);
+        let w = spec.generate(13);
+        let mut s = spec.stream(13);
+        assert_eq!(s.consumers(), w.consumers.as_slice());
+        let mut collected = Vec::new();
+        while let Some(r) = s.next_request() {
+            collected.push(r);
+        }
+        assert_eq!(collected, w.requests);
+        assert_eq!(s.yielded(), w.len() as u64);
+        assert!(s.next_request().is_none(), "stream is fused");
+        assert!(s.next_request().is_none());
+    }
+
+    #[test]
+    fn closed_loop_stream_matches_generate() {
+        let spec = WorkloadSpec::closed_loop(12, 6, 300)
+            .with_discipline(PairSelection::ZipfSkew { s: 1.2 });
+        let w = spec.generate(5);
+        let mut s = spec.stream(5);
+        let mut collected = Vec::new();
+        while let Some(r) = s.next_request() {
+            collected.push(r);
+        }
+        assert_eq!(collected, w.requests);
     }
 
     #[test]

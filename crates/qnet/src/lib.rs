@@ -259,6 +259,69 @@
 //! JSONL while a run executes, attach a [`core::trace::TraceWriter`] via
 //! [`core::network::QuantumNetworkWorld::add_observer`].
 //!
+//! ## Scaling to millions of requests
+//!
+//! The hot path is engineered so that open-loop runs scale to 10⁶–10⁷
+//! requests with **flat memory** — peak RSS is set by the topology, not
+//! the request count:
+//!
+//! * **Timing-wheel event queue** — [`sim::EventQueue`] orders events on a
+//!   hierarchical timing wheel (O(1) amortised schedule/pop) instead of a
+//!   `BinaryHeap`, preserving the deterministic `(time, seq)` FIFO
+//!   tie-break exactly; `QNET_EVENT_QUEUE=heap` selects the legacy heap,
+//!   and both backends produce byte-identical reports.
+//! * **Lazy arrival streams** — open-loop Poisson arrivals are drawn from a
+//!   [`core::workload::ArrivalStream`] in batches of
+//!   [`core::network::ARRIVAL_BATCH`] by a self-rescheduling generator
+//!   event, so the queue never holds more than one batch of future
+//!   arrivals. The stream reproduces `WorkloadSpec::generate`'s draw order
+//!   exactly: eager and lazy runs are byte-identical.
+//! * **Streaming metrics** — the metrics recorder buffers satisfied
+//!   requests exactly up to a threshold (65 536 by default; the
+//!   `QNET_EXACT_SAMPLES` environment variable overrides it), then folds
+//!   them into a fixed-memory summary: counts, means, the swap-overhead
+//!   denominator, and timing stay **exact**, while latency/fidelity
+//!   quantiles come from a log-bucketed sketch
+//!   ([`sim::stats::LogQuantileSketch`], ≤ ~0.4 % relative value error).
+//!   Campaign rows produced this way carry a `sketch_quantiles` flag.
+//! * **Indexed pending queues** — policies whose blocked-request hook is
+//!   inert (pure oblivious) index pending requests per consumer pair, so
+//!   satisfaction scans stop re-walking blocked requests.
+//!
+//! ```
+//! use qnet::prelude::*;
+//!
+//! // Force the recorder past its exact-sample threshold immediately so a
+//! // tiny doctest exercises the streamed mode (production runs cross the
+//! // 65 536-sample default on their own).
+//! std::env::set_var("QNET_EXACT_SAMPLES", "0");
+//! let config = ExperimentConfig {
+//!     workload: WorkloadSpec::open_loop(0, 6, 0.5, 300.0),
+//!     max_sim_time_s: 1_000.0,
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = Experiment::new(config).run();
+//! std::env::remove_var("QNET_EXACT_SAMPLES");
+//!
+//! assert!(result.metrics.is_streamed());
+//! assert!(result.metrics.satisfied_count() > 0);
+//! // Exact columns stay exact; quantiles answer from the sketch. The
+//! // per-request buffer is gone — that is where the memory went.
+//! assert!(result.metrics.sojourn_percentile(0.95).is_some());
+//! assert!(result.metrics.sojourn_samples().is_empty());
+//! ```
+//!
+//! The `open_loop_million` benchmark group (`cargo bench -p qnet-bench
+//! --bench sim_engine_micro`) drives 10⁵- and 10⁶-request open-loop runs
+//! through this path, and the `open_loop_stress` example prints a one-line
+//! summary for memory profiling:
+//!
+//! ```text
+//! cargo run --release -p qnet-bench --example open_loop_stress -- \
+//!     --topology cycle:25 --requests 1000000 --rate-hz 500 \
+//!     --gen-rate 400 --scan-rate 200
+//! ```
+//!
 //! ## Modeling link physics
 //!
 //! The paper's evaluation treats Bell pairs as interchangeable tokens; the

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 use qnet_sim::event::EventQueue;
 use qnet_sim::rng::SimRng;
-use qnet_sim::stats::{Histogram, RunningStats, TimeWeighted};
+use qnet_sim::stats::{
+    percentile_of_sorted, Histogram, LogQuantileSketch, RunningStats, StreamingQuantiles,
+    TimeWeighted,
+};
 use qnet_sim::time::{SimDuration, SimTime};
 use rand::RngCore;
 
@@ -229,5 +232,135 @@ proptest! {
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+}
+
+/// Documented sketch error: relative value error ≤ 2⁻⁸ for in-range
+/// magnitudes, plus float slop.
+const SKETCH_REL_ERR: f64 = 1.0 / 256.0 + 1e-12;
+
+/// Assert a sketch quantile is within the documented relative error of the
+/// exact nearest-rank quantile over the same samples.
+fn check_quantiles(sketch: &LogQuantileSketch, samples: &[f64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        let approx = sketch.quantile(q).unwrap();
+        let exact = percentile_of_sorted(&sorted, q).unwrap();
+        let tol = exact.abs() * SKETCH_REL_ERR;
+        prop_assert!(
+            (approx - exact).abs() <= tol,
+            "q={q}: sketch {approx} vs exact {exact} (tol {tol})"
+        );
+    }
+}
+
+fn sketch_of(samples: &[f64]) -> LogQuantileSketch {
+    let mut s = LogQuantileSketch::new();
+    samples.iter().for_each(|&v| s.record(v));
+    s
+}
+
+proptest! {
+    /// p50/p95/p99 stay within the documented relative error of the exact
+    /// nearest-rank answer on random streams.
+    #[test]
+    fn sketch_tracks_exact_on_random_streams(
+        xs in proptest::collection::vec(1e-6f64..1e6, 1..500)
+    ) {
+        check_quantiles(&sketch_of(&xs), &xs);
+    }
+
+    /// Adversarial stream: already sorted ascending (worst case for
+    /// single-pass estimators such as P²; harmless for bucket counts).
+    #[test]
+    fn sketch_tracks_exact_on_sorted_streams(
+        xs in proptest::collection::vec(1e-3f64..1e3, 1..500)
+    ) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        check_quantiles(&sketch_of(&sorted), &sorted);
+    }
+
+    /// Adversarial stream: a single repeated constant. Min/max clamping
+    /// makes every quantile exactly the constant.
+    #[test]
+    fn sketch_is_exact_on_constant_streams(v in 1e-6f64..1e6, n in 1usize..400) {
+        let xs = vec![v; n];
+        let s = sketch_of(&xs);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(s.quantile(q), Some(v));
+        }
+    }
+
+    /// Adversarial stream: bimodal with widely separated modes — quantiles
+    /// must snap to the correct mode, never interpolate between them.
+    #[test]
+    fn sketch_tracks_exact_on_bimodal_streams(
+        lo in proptest::collection::vec(1e-3f64..1e-2, 1..200),
+        hi in proptest::collection::vec(1e3f64..1e4, 1..200),
+        interleave in any::<bool>(),
+    ) {
+        let xs: Vec<f64> = if interleave {
+            lo.iter().copied().chain(hi.iter().copied()).collect()
+        } else {
+            hi.iter().chain(lo.iter()).copied().collect()
+        };
+        check_quantiles(&sketch_of(&xs), &xs);
+    }
+
+    /// Merge-order invariance for sharded aggregation: folding shard
+    /// sketches in any order yields identical bucket state, and the merged
+    /// quantiles match a collector that saw the whole stream.
+    #[test]
+    fn sketch_merge_is_order_invariant(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(1e-4f64..1e4, 1..80), 2..6),
+        seed in any::<u64>(),
+    ) {
+        let sketches: Vec<LogQuantileSketch> =
+            shards.iter().map(|s| sketch_of(s)).collect();
+        let mut fwd = LogQuantileSketch::new();
+        sketches.iter().for_each(|s| fwd.merge(s));
+        // A deterministic pseudo-random permutation of the merge order.
+        let mut order: Vec<usize> = (0..sketches.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut perm = LogQuantileSketch::new();
+        order.iter().for_each(|&i| perm.merge(&sketches[i]));
+        prop_assert_eq!(&fwd, &perm);
+
+        let all: Vec<f64> = shards.concat();
+        prop_assert_eq!(&fwd, &sketch_of(&all));
+        check_quantiles(&fwd, &all);
+    }
+
+    /// StreamingQuantiles is bit-exact below its threshold and within the
+    /// sketch error above it; conversion happens exactly past the
+    /// threshold.
+    #[test]
+    fn streaming_quantiles_exact_then_sketch(
+        xs in proptest::collection::vec(1e-3f64..1e3, 1..300),
+        threshold in 1usize..100,
+    ) {
+        let mut sq = StreamingQuantiles::new(threshold);
+        xs.iter().for_each(|&v| sq.record(v));
+        prop_assert_eq!(sq.is_sketch(), xs.len() > threshold);
+        prop_assert_eq!(sq.count(), xs.len() as u64);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.95, 0.99] {
+            let got = sq.quantile(q).unwrap();
+            let exact = percentile_of_sorted(&sorted, q).unwrap();
+            if sq.is_sketch() {
+                let tol = exact.abs() * SKETCH_REL_ERR;
+                prop_assert!((got - exact).abs() <= tol, "q={q}: {got} vs {exact}");
+            } else {
+                prop_assert_eq!(got.to_bits(), exact.to_bits(), "exact mode must be bit-identical");
+            }
+        }
     }
 }
