@@ -8,11 +8,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnet_core::classical::KnowledgeModel;
 use qnet_core::experiment::{Experiment, ExperimentConfig};
+use qnet_core::inventory::InventoryBackend;
 use qnet_core::policy::PolicyId;
 use qnet_core::workload::WorkloadSpec;
-use qnet_core::NetworkConfig;
+use qnet_core::{BalancerPolicy, Inventory, NetworkConfig, PhysicsModel};
 use qnet_sim::{Engine, EventQueue, SimDuration, SimTime, World};
-use qnet_topology::{FabricSpec, HardwarePreset, Topology};
+use qnet_topology::{
+    bfs_path, builders, FabricSpec, HardwarePreset, NodeId, NodePair, PathOracle, Topology,
+};
+use std::collections::BTreeMap;
 
 struct PingWorld {
     remaining: u64,
@@ -169,11 +173,119 @@ fn open_loop_million(c: &mut Criterion) {
     group.finish();
 }
 
+fn path_oracle_cold_vs_memoized_bfs(c: &mut Criterion) {
+    // Shortest-path service on an internet-scale graph: the legacy approach
+    // (one full BFS per distinct pair, memoized — what the planned/greedy
+    // `PathCache`s used to do) against a cold `PathOracle` (shared per-source
+    // BFS rows, O(path) reconstruction per query). The query mix mirrors what
+    // the engine offers: a workload's consumer pairs draw from a small
+    // endpoint set, so sources repeat across pairs — exactly where one
+    // memoized row per source beats one memoized BFS per pair.
+    let mut group = c.benchmark_group("path_oracle");
+    group.sample_size(10);
+    let nodes = 1000usize;
+    let graph = builders::scale_free(nodes, 2, 7);
+    // 2048 queries over 256 distinct pairs drawn from 32 consumer endpoints
+    // (deterministic, no RNG).
+    let queries: Vec<(NodeId, NodeId)> = (0..2048u32)
+        .map(|i| {
+            let k = i % 256;
+            let a = ((k % 32).wrapping_mul(131) + 7) % nodes as u32;
+            let b = (k.wrapping_mul(211) + 13) % nodes as u32;
+            let b = if b == a { (b + 1) % nodes as u32 } else { b };
+            (NodeId(a), NodeId(b))
+        })
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("memoized_bfs", nodes),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                let mut cache: BTreeMap<NodePair, Option<usize>> = BTreeMap::new();
+                queries
+                    .iter()
+                    .filter_map(|&(s, t)| {
+                        *cache
+                            .entry(NodePair::new(s, t))
+                            .or_insert_with(|| bfs_path(&graph, s, t).map(|p| p.nodes.len() - 1))
+                    })
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("oracle_cold", nodes),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                let oracle = PathOracle::new(&graph);
+                queries
+                    .iter()
+                    .filter_map(|&(s, t)| oracle.hops(&graph, s, t))
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn inventory_hot_scan(c: &mut Criterion) {
+    // The balancer's swap-scan inner loop on a hot 25-node world, per
+    // inventory backend: every node scans once and executes its preferable
+    // swap against a well-stocked decoherent inventory. This is the
+    // per-event cost that runs millions of times in the open-loop stress
+    // path — pool pushes, FIFO takes, and slot recycling all included.
+    let mut group = c.benchmark_group("inventory_hot_scan");
+    group.sample_size(30);
+    let n = 25usize;
+    for (label, backend) in [
+        ("flat", InventoryBackend::Flat),
+        ("btree", InventoryBackend::BTree),
+    ] {
+        let mut stocked = Inventory::with_backend(n, backend);
+        stocked.enable_lot_tracking(&PhysicsModel::decoherent(5.0));
+        // Deep cycle-edge pools plus a sprinkling of mid-range pairs so
+        // every node has several rich peers and scans find work.
+        for i in 0..n as u32 {
+            let next = (i + 1) % n as u32;
+            for _ in 0..6 {
+                stocked
+                    .add_pair(NodePair::new(NodeId(i), NodeId(next)))
+                    .unwrap();
+            }
+            stocked
+                .add_pair(NodePair::new(NodeId(i), NodeId((i + 7) % n as u32)))
+                .unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("scan_and_swap", label),
+            &stocked,
+            |b, stocked| {
+                b.iter(|| {
+                    let mut inv = stocked.clone();
+                    let policy = BalancerPolicy;
+                    let overhead = |_: NodePair| 1.0;
+                    let mut swaps = 0u32;
+                    for node in (0..n).map(NodeId::from) {
+                        if policy.scan_and_swap(&mut inv, node, &overhead).is_some() {
+                            swaps += 1;
+                        }
+                    }
+                    swaps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     engine_throughput,
     network_simulation_throughput,
     scale_free_pair_generation,
-    open_loop_million
+    open_loop_million,
+    path_oracle_cold_vs_memoized_bfs,
+    inventory_hot_scan
 );
 criterion_main!(benches);

@@ -22,6 +22,17 @@
 use crate::inventory::Inventory;
 use qnet_topology::{NodeId, NodePair};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable candidate buffer for [`BalancerPolicy::find_preferable_swap`].
+    /// The scan runs once per swap-scan event (millions of times per
+    /// simulation) and its candidate list is usually empty or tiny; keeping
+    /// one buffer per thread makes the steady-state scan allocation-free.
+    /// The buffer is `take`n for the duration of a scan rather than borrowed,
+    /// so caller-supplied closures may re-enter the balancer safely.
+    static RICH_SCRATCH: RefCell<Vec<(NodeId, f64)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A read-only view of pair counts. The ground-truth [`Inventory`] implements
 /// it; the gossip layer's possibly-stale view (paper §6, "classical
@@ -32,6 +43,7 @@ pub trait CountView {
 }
 
 impl CountView for Inventory {
+    #[inline]
     fn count(&self, pair: NodePair) -> u64 {
         Inventory::count(self, pair)
     }
@@ -69,13 +81,22 @@ impl BalancerPolicy {
     /// * `remote` supplies the counts of *other* pairs (`C_y(y')`), which may
     ///   be a stale gossip view.
     /// * `overhead` maps a pair to its distillation overhead `D`.
-    pub fn find_preferable_swap(
+    ///
+    /// Generic (rather than `&dyn`) over the remote view and overhead map so
+    /// the million-scan hot path monomorphizes: the beneficiary probe in the
+    /// candidate loop inlines straight into a count-matrix load instead of a
+    /// virtual call per pair.
+    pub fn find_preferable_swap<R, F>(
         &self,
         local: &Inventory,
-        remote: &dyn CountView,
+        remote: &R,
         node: NodeId,
-        overhead: &dyn Fn(NodePair) -> f64,
-    ) -> Option<SwapCandidate> {
+        overhead: &F,
+    ) -> Option<SwapCandidate>
+    where
+        R: CountView + ?Sized,
+        F: Fn(NodePair) -> f64 + ?Sized,
+    {
         let peers = local.peer_counts(node);
         if peers.len() < 2 {
             return None;
@@ -90,7 +111,8 @@ impl BalancerPolicy {
         // index, so this pass is one sequential walk with no matrix probes.
         // The filter is exact (no candidate that survives it is judged
         // differently), so results are bit-identical to the exhaustive scan.
-        let mut rich: Vec<(NodeId, f64)> = Vec::new();
+        let mut rich = RICH_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+        rich.clear();
         for &(peer, count) in peers {
             let pair = NodePair::new(node, peer);
             let margin = count as f64 - overhead(pair);
@@ -136,18 +158,22 @@ impl BalancerPolicy {
                 }
             }
         }
+        RICH_SCRATCH.with(|cell| *cell.borrow_mut() = rich);
         best
     }
 
     /// Execute one balancing scan at `node`: if a preferable swap exists,
     /// apply it to the inventory (consuming `⌈D⌉` pairs on each side) and
     /// return it.
-    pub fn scan_and_swap(
+    pub fn scan_and_swap<F>(
         &self,
         inventory: &mut Inventory,
         node: NodeId,
-        overhead: &dyn Fn(NodePair) -> f64,
-    ) -> Option<SwapCandidate> {
+        overhead: &F,
+    ) -> Option<SwapCandidate>
+    where
+        F: Fn(NodePair) -> f64 + ?Sized,
+    {
         let candidate = {
             let view: &Inventory = inventory;
             self.find_preferable_swap(view, view, node, overhead)?
@@ -166,12 +192,15 @@ impl BalancerPolicy {
     /// This is the "generation and consumption cease" setting of §4, used to
     /// check that the protocol converges to a max-min-fair balance; the live
     /// simulation interleaves scans with generation and consumption instead.
-    pub fn run_to_quiescence(
+    pub fn run_to_quiescence<F>(
         &self,
         inventory: &mut Inventory,
-        overhead: &dyn Fn(NodePair) -> f64,
+        overhead: &F,
         max_swaps: usize,
-    ) -> Vec<SwapCandidate> {
+    ) -> Vec<SwapCandidate>
+    where
+        F: Fn(NodePair) -> f64 + ?Sized,
+    {
         let n = inventory.node_count();
         let mut executed = Vec::new();
         loop {

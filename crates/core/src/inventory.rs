@@ -69,49 +69,259 @@ pub struct PairLot {
     pub coherence_time_s: f64,
 }
 
+/// Which data structures back the lot store's pools and link overrides.
+///
+/// Selected per inventory at construction: explicitly via
+/// [`Inventory::with_backend`], or for [`Inventory::new`] from the
+/// `QNET_INVENTORY` environment variable (`flat` / `btree`; unset or
+/// unrecognized means the default flat backend). Both backends keep pools
+/// in the exact same per-pool order and walk them in the exact same
+/// lexicographic [`NodePair`] order, so switching backends never changes
+/// simulation output — only its speed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum InventoryBackend {
+    /// Contiguous slot-map pools addressed by a dense triangular pair index
+    /// (default): O(1) pool addressing, cache-friendly ordered walks.
+    #[default]
+    Flat,
+    /// `BTreeMap`-keyed pools — the historical implementation, kept as a
+    /// runtime fallback and differential oracle.
+    BTree,
+}
+
+/// Backend requested by the `QNET_INVENTORY` environment variable
+/// (consulted per inventory creation so tests can toggle it): `btree` /
+/// `b-tree` / `btreemap` select the legacy maps, anything else (including
+/// unset) the flat backend.
+fn backend_from_env() -> InventoryBackend {
+    match std::env::var("QNET_INVENTORY") {
+        Ok(v) if matches!(v.as_str(), "btree" | "b-tree" | "btreemap") => InventoryBackend::BTree,
+        _ => InventoryBackend::Flat,
+    }
+}
+
+/// The sentinel marking "no pool allocated" in [`FlatPools::slot_of`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// Flat pool storage: a dense triangular `pair → slot` table into a slab of
+/// pool queues, plus a sorted occupied-pair list so ordered whole-store
+/// walks (cutoff sweeps, earliest-lot queries) visit pools in exactly the
+/// lexicographic `NodePair` order the `BTreeMap` backend iterates in.
+///
+/// Swap products entangle arbitrary node pairs, not just generation-graph
+/// edges, so the slot table is **pair**-dense (N·(N−1)/2 entries) rather
+/// than edge-dense: 4 bytes per potential pair buys O(1) pool addressing
+/// with no hashing, no tree descent, and no per-node pointer chasing.
+#[derive(Debug, Clone)]
+struct FlatPools {
+    n: usize,
+    /// Triangular `pair → slab slot` table ([`NO_SLOT`] = no pool).
+    slot_of: Vec<u32>,
+    /// Pool queues; slots are recycled through `free` when a pool empties.
+    slab: Vec<VecDeque<PairLot>>,
+    /// Slab slots whose pools have emptied, available for reuse.
+    free: Vec<u32>,
+    /// Pairs with a non-empty pool, kept sorted (lexicographic order).
+    occupied: Vec<NodePair>,
+    /// Sorted per-edge `(pair, (birth_fidelity, coherence_time_s))`
+    /// overrides; resolved by binary search at generation time.
+    link_overrides: Vec<(NodePair, (f64, f64))>,
+}
+
+impl FlatPools {
+    fn new(n: usize) -> Self {
+        FlatPools {
+            n,
+            slot_of: vec![NO_SLOT; n * n.saturating_sub(1) / 2],
+            slab: Vec::new(),
+            free: Vec::new(),
+            occupied: Vec::new(),
+            link_overrides: Vec::new(),
+        }
+    }
+
+    /// Index of `pair` in the triangular slot table (same layout as
+    /// `PairMatrix`).
+    fn tri(&self, pair: NodePair) -> usize {
+        let (i, j) = (pair.lo().index(), pair.hi().index());
+        debug_assert!(j < self.n, "pair out of range for flat pools");
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    fn pool(&self, pair: NodePair) -> Option<&VecDeque<PairLot>> {
+        match self.slot_of[self.tri(pair)] {
+            NO_SLOT => None,
+            slot => Some(&self.slab[slot as usize]),
+        }
+    }
+
+    fn push(&mut self, pair: NodePair, lot: PairLot) {
+        let t = self.tri(pair);
+        let slot = match self.slot_of[t] {
+            NO_SLOT => {
+                let slot = self.free.pop().unwrap_or_else(|| {
+                    self.slab.push(VecDeque::new());
+                    (self.slab.len() - 1) as u32
+                });
+                self.slot_of[t] = slot;
+                let pos = self.occupied.partition_point(|&p| p < pair);
+                self.occupied.insert(pos, pair);
+                slot
+            }
+            slot => slot,
+        };
+        self.slab[slot as usize].push_back(lot);
+    }
+
+    /// Return `pair`'s pool slot for draining, or `NO_SLOT` when absent.
+    fn slot(&self, pair: NodePair) -> u32 {
+        self.slot_of[self.tri(pair)]
+    }
+
+    /// Recycle `pair`'s slot if its pool has emptied.
+    fn release_if_empty(&mut self, pair: NodePair) {
+        let t = self.tri(pair);
+        let slot = self.slot_of[t];
+        if slot != NO_SLOT && self.slab[slot as usize].is_empty() {
+            self.slot_of[t] = NO_SLOT;
+            self.free.push(slot);
+            if let Ok(pos) = self.occupied.binary_search(&pair) {
+                self.occupied.remove(pos);
+            }
+        }
+    }
+}
+
+/// Pool/override storage behind the lot store, one variant per
+/// [`InventoryBackend`]. Every method pair is order-identical across the
+/// variants — same per-pool FIFO order, same lexicographic whole-store walk
+/// — which is what lets `QNET_INVENTORY` switch backends without moving a
+/// single golden byte.
+#[derive(Debug, Clone)]
+enum PoolStore {
+    BTree {
+        pools: BTreeMap<NodePair, VecDeque<PairLot>>,
+        link_overrides: BTreeMap<NodePair, (f64, f64)>,
+    },
+    Flat(FlatPools),
+}
+
+impl PoolStore {
+    fn pool(&self, pair: NodePair) -> Option<&VecDeque<PairLot>> {
+        match self {
+            PoolStore::BTree { pools, .. } => pools.get(&pair),
+            PoolStore::Flat(flat) => flat.pool(pair),
+        }
+    }
+
+    fn push(&mut self, pair: NodePair, lot: PairLot) {
+        match self {
+            PoolStore::BTree { pools, .. } => pools.entry(pair).or_default().push_back(lot),
+            PoolStore::Flat(flat) => flat.push(pair, lot),
+        }
+    }
+
+    fn link_override(&self, pair: NodePair) -> Option<(f64, f64)> {
+        match self {
+            PoolStore::BTree { link_overrides, .. } => link_overrides.get(&pair).copied(),
+            PoolStore::Flat(flat) => flat
+                .link_overrides
+                .binary_search_by_key(&pair, |&(p, _)| p)
+                .ok()
+                .map(|pos| flat.link_overrides[pos].1),
+        }
+    }
+
+    fn set_link_overrides(&mut self, links: impl IntoIterator<Item = (NodePair, (f64, f64))>) {
+        match self {
+            PoolStore::BTree { link_overrides, .. } => {
+                *link_overrides = links.into_iter().collect()
+            }
+            PoolStore::Flat(flat) => {
+                flat.link_overrides = links.into_iter().collect();
+                flat.link_overrides.sort_unstable_by_key(|&(p, _)| p);
+            }
+        }
+    }
+}
+
+impl PartialEq for PoolStore {
+    /// Logical equality: same occupied pools with the same lots in the same
+    /// order, and the same overrides — independent of slab layout, so two
+    /// stores that converged through different histories still compare
+    /// equal, and `BTree == Flat` whenever their contents agree.
+    fn eq(&self, other: &Self) -> bool {
+        let overrides = |store: &Self| -> Vec<(NodePair, (f64, f64))> {
+            match store {
+                PoolStore::BTree { link_overrides, .. } => {
+                    link_overrides.iter().map(|(&p, &v)| (p, v)).collect()
+                }
+                PoolStore::Flat(flat) => flat.link_overrides.clone(),
+            }
+        };
+        let occupied = |store: &Self| -> Vec<NodePair> {
+            match store {
+                PoolStore::BTree { pools, .. } => pools.keys().copied().collect(),
+                PoolStore::Flat(flat) => flat.occupied.clone(),
+            }
+        };
+        let (a, b) = (occupied(self), occupied(other));
+        a == b
+            && overrides(self) == overrides(other)
+            && a.iter().all(|&pair| self.pool(pair) == other.pool(pair))
+    }
+}
+
 /// Per-pool age/fidelity bookkeeping, active only under decoherent physics.
 /// Lots within a pool are kept in creation order (pushes always append and
 /// creation times are monotone), so the pool front is always the oldest.
 ///
-/// Pools live in a `BTreeMap` keyed by [`NodePair`] holding only *occupied*
-/// pools, so whole-store walks (cutoff sweeps, earliest-lot queries) cost
-/// O(stored pairs) instead of O(N²) — the difference between |N| = 49 and
-/// |N| = 10³. `BTreeMap` iteration order over `NodePair` is exactly the
-/// lexicographic `all_pairs` order the previous dense matrix scanned in, so
-/// expiry event order (and with it every decoherent golden result) is
-/// unchanged.
+/// Pools hold only *occupied* pairs, so whole-store walks (cutoff sweeps,
+/// earliest-lot queries) cost O(stored pairs) instead of O(N²) — the
+/// difference between |N| = 49 and |N| = 10³ — and both [`PoolStore`]
+/// backends walk them in exactly the lexicographic `all_pairs` order the
+/// original dense matrix scanned in, so expiry event order (and with it
+/// every decoherent golden result) is backend-independent.
 #[derive(Debug, Clone, PartialEq)]
 struct LotStore {
     decoherence: DecoherenceModel,
     initial_fidelity: f64,
     order: ConsumeOrder,
     clock: SimTime,
-    pools: BTreeMap<NodePair, VecDeque<PairLot>>,
-    /// Per-edge `(birth_fidelity, coherence_time_s)` overrides from a link
-    /// fabric; empty for homogeneous (no-fabric) runs.
-    link_overrides: BTreeMap<NodePair, (f64, f64)>,
+    pools: PoolStore,
+}
+
+/// Fidelity of `lot` at `clock`, decayed under the lot's own memory
+/// coherence time (free function so pool borrows can overlap it).
+fn aged_fidelity_at(clock: SimTime, lot: &PairLot) -> f64 {
+    let age = clock.saturating_since(lot.created_at).as_secs_f64();
+    DecoherenceModel {
+        coherence_time_s: lot.coherence_time_s,
+    }
+    .fidelity_after(lot.birth_fidelity, age)
 }
 
 impl LotStore {
-    fn new(physics: &PhysicsModel) -> Self {
+    fn new(physics: &PhysicsModel, n: usize, backend: InventoryBackend) -> Self {
         LotStore {
             decoherence: physics.decoherence_model(),
             initial_fidelity: physics.initial_fidelity(),
             order: physics.consume_order(),
             clock: SimTime::ZERO,
-            pools: BTreeMap::new(),
-            link_overrides: BTreeMap::new(),
+            pools: match backend {
+                InventoryBackend::BTree => PoolStore::BTree {
+                    pools: BTreeMap::new(),
+                    link_overrides: BTreeMap::new(),
+                },
+                InventoryBackend::Flat => PoolStore::Flat(FlatPools::new(n)),
+            },
         }
     }
 
     /// Current fidelity of `lot` at the store clock, decayed under the
     /// lot's own memory coherence time.
     fn aged_fidelity(&self, lot: &PairLot) -> f64 {
-        let age = self.clock.saturating_since(lot.created_at).as_secs_f64();
-        DecoherenceModel {
-            coherence_time_s: lot.coherence_time_s,
-        }
-        .fidelity_after(lot.birth_fidelity, age)
+        aged_fidelity_at(self.clock, lot)
     }
 
     /// Store one lot. `birth` is `Some((fidelity, t2))` for swap products
@@ -119,54 +329,73 @@ impl LotStore {
     /// generation edge's override, falling back to the global physics.
     fn push(&mut self, pair: NodePair, birth: Option<(f64, f64)>) {
         let (birth_fidelity, coherence_time_s) = birth.unwrap_or_else(|| {
-            self.link_overrides
-                .get(&pair)
-                .copied()
+            self.pools
+                .link_override(pair)
                 .unwrap_or((self.initial_fidelity, self.decoherence.coherence_time_s))
         });
-        self.pools.entry(pair).or_default().push_back(PairLot {
-            created_at: self.clock,
-            birth_fidelity,
-            coherence_time_s,
-        });
+        self.pools.push(
+            pair,
+            PairLot {
+                created_at: self.clock,
+                birth_fidelity,
+                coherence_time_s,
+            },
+        );
     }
 
     /// Remove `count` lots from `pair`'s pool in the configured order and
     /// return the best aged fidelity among them (the pair that actually
     /// serves the request/swap; the rest are the `⌈D⌉` distillation fuel)
     /// together with the worst coherence time among them (a swap product is
-    /// only as durable as its weakest input memory).
+    /// only as durable as its weakest input memory). Allocation-free: the
+    /// folds run as lots pop.
     ///
     /// # Panics
     /// Panics if the pool holds fewer than `count` lots — count-space
     /// availability is always validated first, and the store mirrors the
     /// counts exactly.
     fn take(&mut self, pair: NodePair, count: u64) -> (f64, f64) {
-        let pool = self.pools.entry(pair).or_default();
-        assert!(
-            pool.len() as u64 >= count,
-            "lot store out of sync with counts for {pair}"
-        );
-        let mut taken = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let lot = match self.order {
-                ConsumeOrder::OldestFirst => pool.pop_front(),
-                ConsumeOrder::NewestFirst => pool.pop_back(),
+        let clock = self.clock;
+        let order = self.order;
+        let mut best = 0.25f64;
+        let mut weakest_t2 = f64::INFINITY;
+        {
+            let pool = match &mut self.pools {
+                PoolStore::BTree { pools, .. } => pools.entry(pair).or_default(),
+                PoolStore::Flat(flat) => {
+                    let slot = flat.slot(pair);
+                    assert!(
+                        slot != NO_SLOT || count == 0,
+                        "lot store out of sync with counts for {pair}"
+                    );
+                    if slot == NO_SLOT {
+                        return (best, weakest_t2);
+                    }
+                    &mut flat.slab[slot as usize]
+                }
+            };
+            assert!(
+                pool.len() as u64 >= count,
+                "lot store out of sync with counts for {pair}"
+            );
+            for _ in 0..count {
+                let lot = match order {
+                    ConsumeOrder::OldestFirst => pool.pop_front(),
+                    ConsumeOrder::NewestFirst => pool.pop_back(),
+                }
+                .expect("length checked");
+                best = best.max(aged_fidelity_at(clock, &lot));
+                weakest_t2 = weakest_t2.min(lot.coherence_time_s);
             }
-            .expect("length checked");
-            taken.push(lot);
         }
-        if pool.is_empty() {
-            self.pools.remove(&pair);
+        match &mut self.pools {
+            PoolStore::BTree { pools, .. } => {
+                if pools.get(&pair).is_some_and(|pool| pool.is_empty()) {
+                    pools.remove(&pair);
+                }
+            }
+            PoolStore::Flat(flat) => flat.release_if_empty(pair),
         }
-        let best = taken
-            .iter()
-            .map(|lot| self.aged_fidelity(lot))
-            .fold(0.25, f64::max);
-        let weakest_t2 = taken
-            .iter()
-            .map(|lot| lot.coherence_time_s)
-            .fold(f64::INFINITY, f64::min);
         (best, weakest_t2)
     }
 }
@@ -175,7 +404,7 @@ impl LotStore {
 ///
 /// Serialization (manual impls below) covers exactly the legacy count-space
 /// fields; the runtime-only lot store is rebuilt per run, never persisted.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Inventory {
     counts: PairMatrix<u64>,
     /// Number of stored qubit halves per node (each stored pair contributes
@@ -195,6 +424,24 @@ pub struct Inventory {
     /// matrix — the structure that makes |N| ≈ 10³ swap scans tractable.
     /// Runtime state derived from `counts`; never serialized.
     peer_index: Vec<Vec<(NodeId, u64)>>,
+    /// Which pool storage the lot store uses when enabled. Runtime
+    /// configuration; never serialized.
+    backend: InventoryBackend,
+}
+
+impl PartialEq for Inventory {
+    /// Logical equality: the backend tag is a representation choice, not
+    /// state — a flat and a B-tree inventory that hold the same pairs (and
+    /// lots, via the pool store's own logical equality) compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+            && self.node_load == other.node_load
+            && self.buffer_limit == other.buffer_limit
+            && self.total_added == other.total_added
+            && self.total_removed == other.total_removed
+            && self.lots == other.lots
+            && self.peer_index == other.peer_index
+    }
 }
 
 impl Serialize for Inventory {
@@ -237,13 +484,20 @@ impl Deserialize for Inventory {
             total_removed: Deserialize::from_value(field("total_removed"))?,
             lots: None,
             peer_index,
+            backend: backend_from_env(),
         })
     }
 }
 
 impl Inventory {
-    /// An empty inventory over `n` nodes with unlimited buffers.
+    /// An empty inventory over `n` nodes with unlimited buffers, on the
+    /// environment-selected backend (flat unless `QNET_INVENTORY=btree`).
     pub fn new(n: usize) -> Self {
+        Self::with_backend(n, backend_from_env())
+    }
+
+    /// An empty inventory on an explicitly chosen pool backend.
+    pub fn with_backend(n: usize, backend: InventoryBackend) -> Self {
         Inventory {
             counts: PairMatrix::new(n),
             node_load: vec![0; n],
@@ -252,7 +506,13 @@ impl Inventory {
             total_removed: 0,
             lots: None,
             peer_index: vec![Vec::new(); n],
+            backend,
         }
+    }
+
+    /// Which pool backend the lot store uses (or would use) when enabled.
+    pub fn backend(&self) -> InventoryBackend {
+        self.backend
     }
 
     /// Attach the age/fidelity lot store for decoherent physics. A no-op for
@@ -266,7 +526,7 @@ impl Inventory {
             0,
             "enable lot tracking on an empty inventory"
         );
-        self.lots = Some(LotStore::new(physics));
+        self.lots = Some(LotStore::new(physics, self.node_count(), self.backend));
     }
 
     /// Attach per-edge `(pair, birth_fidelity, coherence_time_s)` overrides
@@ -279,10 +539,9 @@ impl Inventory {
         I: IntoIterator<Item = (NodePair, f64, f64)>,
     {
         if let Some(store) = &mut self.lots {
-            store.link_overrides = links
-                .into_iter()
-                .map(|(pair, f0, t2)| (pair, (f0, t2)))
-                .collect();
+            store
+                .pools
+                .set_link_overrides(links.into_iter().map(|(pair, f0, t2)| (pair, (f0, t2))));
         }
     }
 
@@ -303,29 +562,27 @@ impl Inventory {
 
     /// The stored lots for `pair`, oldest first (empty without the lot
     /// store). Exposed for observers and tests; counts remain the protocol's
-    /// source of truth.
-    pub fn lots_for(&self, pair: NodePair) -> Vec<PairLot> {
-        match &self.lots {
-            Some(store) => store
-                .pools
-                .get(&pair)
-                .map(|pool| pool.iter().copied().collect())
-                .unwrap_or_default(),
-            None => Vec::new(),
-        }
+    /// source of truth. Borrows the pool in place — no per-call `Vec`.
+    pub fn lots_for(&self, pair: NodePair) -> impl Iterator<Item = PairLot> + '_ {
+        self.lots
+            .as_ref()
+            .and_then(|store| store.pools.pool(pair))
+            .into_iter()
+            .flat_map(|pool| pool.iter().copied())
     }
 
     /// Current (aged) fidelity of every stored lot for `pair`, in storage
-    /// order. Empty without the lot store.
-    pub fn fidelities_for(&self, pair: NodePair) -> Vec<f64> {
-        match &self.lots {
-            Some(store) => store
+    /// order. Empty without the lot store. Borrows the pool in place — no
+    /// per-call `Vec`.
+    pub fn fidelities_for(&self, pair: NodePair) -> impl Iterator<Item = f64> + '_ {
+        self.lots.as_ref().into_iter().flat_map(move |store| {
+            store
                 .pools
-                .get(&pair)
-                .map(|pool| pool.iter().map(|lot| store.aged_fidelity(lot)).collect())
-                .unwrap_or_default(),
-            None => Vec::new(),
-        }
+                .pool(pair)
+                .into_iter()
+                .flat_map(|pool| pool.iter())
+                .map(|lot| store.aged_fidelity(lot))
+        })
     }
 
     /// Creation time of the oldest stored lot across all pools (`None` when
@@ -333,12 +590,19 @@ impl Inventory {
     /// only the occupied pools.
     pub fn earliest_lot_time(&self) -> Option<SimTime> {
         let store = self.lots.as_ref()?;
-        store
-            .pools
-            .values()
-            .flat_map(|pool| pool.front())
-            .map(|lot| lot.created_at)
-            .min()
+        match &store.pools {
+            PoolStore::BTree { pools, .. } => pools
+                .values()
+                .flat_map(|pool| pool.front())
+                .map(|lot| lot.created_at)
+                .min(),
+            PoolStore::Flat(flat) => flat
+                .occupied
+                .iter()
+                .flat_map(|&pair| flat.pool(pair).and_then(|pool| pool.front()))
+                .map(|lot| lot.created_at)
+                .min(),
+        }
     }
 
     /// Discard every lot whose storage age has reached `cutoff` at the
@@ -352,20 +616,52 @@ impl Inventory {
         };
         let clock = store.clock;
         let mut expired = Vec::new();
-        // BTreeMap iteration is in lexicographic NodePair order — the same
-        // order the old dense matrix scan produced — but touches only
-        // occupied pools.
-        for (&pair, pool) in store.pools.iter_mut() {
-            while let Some(front) = pool.front() {
-                if front.created_at + cutoff <= clock {
-                    pool.pop_front();
-                    expired.push(pair);
-                } else {
-                    break;
+        // Both backends walk occupied pools in lexicographic NodePair order
+        // — the same order the old dense matrix scan produced.
+        match &mut store.pools {
+            PoolStore::BTree { pools, .. } => {
+                for (&pair, pool) in pools.iter_mut() {
+                    while let Some(front) = pool.front() {
+                        if front.created_at + cutoff <= clock {
+                            pool.pop_front();
+                            expired.push(pair);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                pools.retain(|_, pool| !pool.is_empty());
+            }
+            PoolStore::Flat(flat) => {
+                for k in 0..flat.occupied.len() {
+                    let pair = flat.occupied[k];
+                    let slot = flat.slot_of[flat.tri(pair)] as usize;
+                    let pool = &mut flat.slab[slot];
+                    while let Some(front) = pool.front() {
+                        if front.created_at + cutoff <= clock {
+                            pool.pop_front();
+                            expired.push(pair);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // Recycle the slots of pools the sweep emptied.
+                let mut k = 0;
+                while k < flat.occupied.len() {
+                    let pair = flat.occupied[k];
+                    let t = flat.tri(pair);
+                    let slot = flat.slot_of[t];
+                    if flat.slab[slot as usize].is_empty() {
+                        flat.slot_of[t] = NO_SLOT;
+                        flat.free.push(slot);
+                        flat.occupied.remove(k);
+                    } else {
+                        k += 1;
+                    }
                 }
             }
         }
-        store.pools.retain(|_, pool| !pool.is_empty());
         for &pair in &expired {
             let count = self.counts.get_mut(pair);
             *count -= 1;
@@ -764,7 +1060,7 @@ mod tests {
         inv.enable_lot_tracking(&PhysicsModel::Ideal);
         assert!(!inv.tracks_lots());
         inv.add_pair(pair(0, 1)).unwrap();
-        assert!(inv.lots_for(pair(0, 1)).is_empty());
+        assert!(inv.lots_for(pair(0, 1)).next().is_none());
         assert_eq!(inv.remove_pairs_with_fidelity(pair(0, 1), 1), Ok(None));
         assert_eq!(inv.earliest_lot_time(), None);
         assert!(inv.purge_expired(SimDuration::from_secs(1)).is_empty());
@@ -777,7 +1073,7 @@ mod tests {
         inv.add_pair(pair(0, 1)).unwrap();
         inv.set_clock(SimTime::from_secs(3));
         inv.add_pair(pair(0, 1)).unwrap();
-        let lots = inv.lots_for(pair(0, 1));
+        let lots: Vec<PairLot> = inv.lots_for(pair(0, 1)).collect();
         assert_eq!(lots.len(), 2);
         assert_eq!(lots[0].created_at, SimTime::from_secs(1));
         assert_eq!(lots[1].created_at, SimTime::from_secs(3));
@@ -787,7 +1083,7 @@ mod tests {
         );
         assert_eq!(inv.earliest_lot_time(), Some(SimTime::from_secs(1)));
         // Aged fidelities decay with storage time: the older lot is worse.
-        let fids = inv.fidelities_for(pair(0, 1));
+        let fids: Vec<f64> = inv.fidelities_for(pair(0, 1)).collect();
         assert!(fids[0] < fids[1]);
         assert!(fids[1] < PhysicsModel::DEFAULT_INITIAL_FIDELITY + 1e-12);
     }
@@ -806,7 +1102,7 @@ mod tests {
             inv.add_pair(pair(0, 1)).unwrap();
             inv.set_clock(SimTime::from_secs(6));
             inv.remove_pairs(pair(0, 1), 1).unwrap();
-            let remaining = inv.lots_for(pair(0, 1));
+            let remaining: Vec<PairLot> = inv.lots_for(pair(0, 1)).collect();
             assert_eq!(remaining.len(), 1);
             // The *other* lot was consumed.
             assert_ne!(remaining[0].created_at, expect_created);
@@ -839,7 +1135,7 @@ mod tests {
         let swap_at = SimTime::from_secs(1);
         inv.set_clock(swap_at);
         inv.apply_swap(c, a, b, 1, 1).unwrap();
-        let product = inv.lots_for(NodePair::new(a, b));
+        let product: Vec<PairLot> = inv.lots_for(NodePair::new(a, b)).collect();
         assert_eq!(product.len(), 1);
         assert_eq!(product[0].created_at, swap_at, "product clock restarts");
         // Both inputs aged one coherence time before composing.
@@ -955,10 +1251,10 @@ mod tests {
         inv.set_clock(SimTime::ZERO);
         inv.add_pair(pair(0, 1)).unwrap(); // fabric edge: f0 = 0.9, T2 = 0.5 s
         inv.add_pair(pair(1, 2)).unwrap(); // unlisted edge: global defaults
-        let fabric_lot = inv.lots_for(pair(0, 1))[0];
+        let fabric_lot = inv.lots_for(pair(0, 1)).next().unwrap();
         assert_eq!(fabric_lot.birth_fidelity, 0.9);
         assert_eq!(fabric_lot.coherence_time_s, 0.5);
-        let default_lot = inv.lots_for(pair(1, 2))[0];
+        let default_lot = inv.lots_for(pair(1, 2)).next().unwrap();
         assert_eq!(
             default_lot.birth_fidelity,
             PhysicsModel::DEFAULT_INITIAL_FIDELITY
@@ -966,8 +1262,8 @@ mod tests {
         assert_eq!(default_lot.coherence_time_s, 10.0);
         // The short-memory lot decays much faster than the default one.
         inv.set_clock(SimTime::from_secs(1));
-        let fast = inv.fidelities_for(pair(0, 1))[0];
-        let slow = inv.fidelities_for(pair(1, 2))[0];
+        let fast = inv.fidelities_for(pair(0, 1)).next().unwrap();
+        let slow = inv.fidelities_for(pair(1, 2)).next().unwrap();
         let expected_fast = DecoherenceModel::with_coherence_time(0.5).fidelity_after(0.9, 1.0);
         assert!((fast - expected_fast).abs() < 1e-12);
         assert!(slow > fast);
@@ -985,7 +1281,7 @@ mod tests {
         inv.add_pair(NodePair::new(a, c)).unwrap();
         inv.add_pair(NodePair::new(c, b)).unwrap();
         inv.apply_swap(c, a, b, 1, 1).unwrap();
-        let product = inv.lots_for(NodePair::new(a, b));
+        let product: Vec<PairLot> = inv.lots_for(NodePair::new(a, b)).collect();
         assert_eq!(product.len(), 1);
         assert_eq!(product[0].coherence_time_s, 0.5, "worst memory dominates");
     }
@@ -1000,5 +1296,98 @@ mod tests {
         assert_eq!(inv.min_count_over(&pairs), Some(0));
         assert_eq!(inv.min_count_over(&pairs[..2]), Some(1));
         assert_eq!(inv.min_count_over(&[]), None);
+    }
+
+    #[test]
+    fn env_var_selects_backend_per_creation() {
+        // The env var is consulted at construction, like QNET_EVENT_QUEUE.
+        // Racing env-reading tests are harmless here: both backends are
+        // behaviorally identical, which is this module's own invariant.
+        std::env::set_var("QNET_INVENTORY", "btree");
+        assert_eq!(Inventory::new(3).backend(), InventoryBackend::BTree);
+        std::env::set_var("QNET_INVENTORY", "flat");
+        assert_eq!(Inventory::new(3).backend(), InventoryBackend::Flat);
+        std::env::remove_var("QNET_INVENTORY");
+        assert_eq!(Inventory::new(3).backend(), InventoryBackend::Flat);
+        // Explicit construction ignores the environment.
+        assert_eq!(
+            Inventory::with_backend(3, InventoryBackend::BTree).backend(),
+            InventoryBackend::BTree
+        );
+    }
+
+    /// Deterministic pseudo-random stream (SplitMix-style) for the
+    /// differential test below — no RNG dependency inside the unit tests.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// The differential proof the flat backend rests on: identical mutation
+    /// sequences drive both backends through identical observable states —
+    /// counts, lot order, purge results, and serialized bytes.
+    #[test]
+    fn flat_and_btree_backends_stay_identical() {
+        for seed in [3_u64, 17, 42] {
+            let n = 8;
+            let mut flat = Inventory::with_backend(n, InventoryBackend::Flat);
+            let mut btree = Inventory::with_backend(n, InventoryBackend::BTree);
+            let physics = PhysicsModel::decoherent(6.0);
+            flat.enable_lot_tracking(&physics);
+            btree.enable_lot_tracking(&physics);
+            let mut state = seed;
+            for step in 0..400 {
+                let now = SimTime::from_secs(step / 10);
+                flat.set_clock(now);
+                btree.set_clock(now);
+                let a = (mix(&mut state) % n as u64) as u32;
+                let b = (mix(&mut state) % (n as u64 - 1)) as u32;
+                let b = if b >= a { b + 1 } else { b };
+                let p = pair(a, b);
+                match mix(&mut state) % 10 {
+                    0..=4 => {
+                        assert_eq!(flat.add_pair(p), btree.add_pair(p));
+                    }
+                    5..=6 => {
+                        let k = mix(&mut state) % 3;
+                        assert_eq!(
+                            flat.remove_pairs_with_fidelity(p, k),
+                            btree.remove_pairs_with_fidelity(p, k)
+                        );
+                    }
+                    7..=8 => {
+                        let c = (mix(&mut state) % n as u64) as u32;
+                        if c != a && c != b {
+                            assert_eq!(
+                                flat.apply_swap(NodeId(c), NodeId(a), NodeId(b), 1, 1),
+                                btree.apply_swap(NodeId(c), NodeId(a), NodeId(b), 1, 1)
+                            );
+                        }
+                    }
+                    _ => {
+                        assert_eq!(
+                            flat.purge_expired(SimDuration::from_secs(20)),
+                            btree.purge_expired(SimDuration::from_secs(20))
+                        );
+                    }
+                }
+                assert_eq!(
+                    flat.lots_for(p).collect::<Vec<PairLot>>(),
+                    btree.lots_for(p).collect::<Vec<PairLot>>(),
+                    "seed {seed} step {step}: lot order diverged"
+                );
+            }
+            assert_eq!(flat, btree, "seed {seed}: logical state diverged");
+            assert_eq!(flat.nonzero_pairs(), btree.nonzero_pairs());
+            assert_eq!(flat.earliest_lot_time(), btree.earliest_lot_time());
+            assert_eq!(
+                flat.to_value(),
+                btree.to_value(),
+                "seed {seed}: serialization diverged"
+            );
+        }
     }
 }

@@ -32,7 +32,7 @@ use crate::observer::{MetricsRecorder, RunObserver, SwapKind};
 use crate::policy::{PolicyCtx, QueueDiscipline, RequestAction, SwapPolicy};
 use crate::workload::{ArrivalStream, ConsumptionRequest, Workload};
 use qnet_sim::{EventQueue, PoissonProcess, SimDuration, SimRng, SimTime, World};
-use qnet_topology::{bfs_path, Graph, LinkFabric, NodeId, NodePair};
+use qnet_topology::{EdgeIndex, Graph, NodeId, NodePair, PathOracle};
 use std::collections::{BTreeMap, VecDeque};
 
 pub use crate::policy::ProtocolMode;
@@ -158,15 +158,18 @@ pub struct QuantumNetworkWorld {
     /// Cached [`SwapPolicy::blocked_hook_is_inert`] (the policy is behind a
     /// vtable; this sits on the per-blocked-offer hot path).
     inert_blocked_hook: bool,
-    /// Memoised shortest-path hop counts: the generation graph is immutable
-    /// after construction, and `consume` needs the hop count of every
-    /// satisfied request — a fresh BFS per satisfaction dominates
-    /// million-request runs on large graphs.
-    hops_cache: BTreeMap<NodePair, usize>,
+    /// Memoised shortest-path rows over the immutable generation graph:
+    /// `consume` needs the hop count of every satisfied request, and policy
+    /// path caches need whole paths — one BFS row per touched source
+    /// answers all of them (all-pairs precomputed on small graphs).
+    oracle: PathOracle,
+    /// Dense edge ids over the generation graph (frozen at construction).
+    edge_index: EdgeIndex,
+    /// Per-edge generation rates addressed by edge id: the fabric profile's
+    /// rate or the homogeneous configured rate. Replaces a per-generation
+    /// `BTreeMap` profile lookup on the hot path.
+    edge_rates: Vec<f64>,
     rng: SimRng,
-    /// Per-edge hardware profiles when the config carries a link fabric.
-    /// `None` runs the legacy homogeneous substrate byte-identically.
-    fabric: Option<LinkFabric>,
     recorder: MetricsRecorder,
     extra_observers: Vec<Box<dyn RunObserver>>,
     /// Storage-age cutoff of the physics model, if any.
@@ -256,6 +259,15 @@ impl QuantumNetworkWorld {
         let rng = SimRng::new(seed).derive("network");
         let pending = PendingQueue::for_policy(policy.as_ref());
         let inert_blocked_hook = policy.blocked_hook_is_inert();
+        let oracle = PathOracle::new(&graph);
+        let edge_index = EdgeIndex::new(&graph);
+        let edge_rates = edge_index.table(|pair| {
+            fabric
+                .as_ref()
+                .and_then(|f| f.profile(pair))
+                .map(|p| p.generation_rate_hz)
+                .unwrap_or(config.generation_rate)
+        });
 
         let mut world = QuantumNetworkWorld {
             config,
@@ -268,9 +280,10 @@ impl QuantumNetworkWorld {
             arrivals_outstanding: 0,
             arrival_stream: None,
             inert_blocked_hook,
-            hops_cache: BTreeMap::new(),
+            oracle,
+            edge_index,
+            edge_rates,
             rng,
-            fabric,
             recorder: MetricsRecorder::new(),
             extra_observers: Vec::new(),
             cutoff: config.physics.cutoff_s().map(SimDuration::from_secs_f64),
@@ -349,12 +362,13 @@ impl QuantumNetworkWorld {
 
     /// Generation rate of `edge`: its fabric profile's rate when a link
     /// fabric is attached, the homogeneous configured rate otherwise.
+    /// Served from the dense per-edge table (binary search over the sorted
+    /// edge list — a dozen probes of one contiguous array, not a tree walk).
     fn generation_rate(&self, edge: NodePair) -> f64 {
-        self.fabric
-            .as_ref()
-            .and_then(|f| f.profile(edge))
-            .map(|p| p.generation_rate_hz)
-            .unwrap_or(self.config.generation_rate)
+        match self.edge_index.edge_id(edge) {
+            Some(id) => self.edge_rates[id as usize],
+            None => self.config.generation_rate,
+        }
     }
 
     fn next_generation_time(&mut self, now: SimTime, edge: NodePair) -> Option<SimTime> {
@@ -396,17 +410,12 @@ impl QuantumNetworkWorld {
     }
 
     /// Shortest-path hop count between the endpoints of `pair` in the
-    /// generation graph (memoised; the graph never changes after
-    /// construction).
-    fn shortest_hops(&mut self, pair: NodePair) -> usize {
-        if let Some(&hops) = self.hops_cache.get(&pair) {
-            return hops;
-        }
-        let hops = bfs_path(&self.graph, pair.lo(), pair.hi())
-            .map(|p| p.hops())
-            .unwrap_or(usize::MAX);
-        self.hops_cache.insert(pair, hops);
-        hops
+    /// generation graph (memoised per source by the oracle; the graph never
+    /// changes after construction).
+    fn shortest_hops(&self, pair: NodePair) -> usize {
+        self.oracle
+            .hops(&self.graph, pair.lo(), pair.hi())
+            .unwrap_or(usize::MAX)
     }
 
     fn record_inventory_change(&mut self, now: SimTime) {
@@ -422,6 +431,7 @@ impl QuantumNetworkWorld {
             graph,
             inventory,
             gossip,
+            oracle,
             ..
         } = self;
         let mut ctx = PolicyCtx {
@@ -429,6 +439,7 @@ impl QuantumNetworkWorld {
             graph,
             inventory,
             gossip: gossip.as_ref(),
+            oracle,
         };
         policy.on_blocked_request(&mut ctx, request)
     }
@@ -557,6 +568,37 @@ impl QuantumNetworkWorld {
         }
     }
 
+    /// Targeted drain after an event that increased exactly one pair's
+    /// inventory. On the indexed store this skips the walk over every
+    /// pending pair: the drain loop maintains the invariant that every
+    /// pending pair's count is below `k` when it returns, and a generation
+    /// or swap raises a single pair's count, so only *that* pair can have
+    /// become satisfiable — and its queue drains in FIFO order, which is
+    /// exactly the min-sequence order the full walk would pick while it is
+    /// the only satisfiable pair. O(drained) instead of O(pending pairs)
+    /// per generation/swap event. Falls back to the policy's full
+    /// discipline on the FIFO store (whose offer sequence is observable).
+    fn try_satisfy_after_gain(&mut self, now: SimTime, pair: NodePair) {
+        if !matches!(self.pending, PendingQueue::Indexed { .. }) {
+            return self.try_satisfy(now);
+        }
+        let k = self.config.pairs_per_distilled();
+        while self.inventory.count(pair) >= k {
+            let PendingQueue::Indexed { by_pair, len } = &mut self.pending else {
+                unreachable!("checked above; the store variant never changes");
+            };
+            let Some(queue) = by_pair.get_mut(&pair) else {
+                return;
+            };
+            let req = queue.pop_front().expect("indexed queues are non-empty");
+            if queue.is_empty() {
+                by_pair.remove(&pair);
+            }
+            *len -= 1;
+            self.consume(now, req, k, 0);
+        }
+    }
+
     /// Any-order draining: offer every pending request, in sequence order,
     /// satisfying any whose pairs are (or can be made) available.
     fn try_satisfy_any_order(&mut self, now: SimTime) {
@@ -631,7 +673,8 @@ impl QuantumNetworkWorld {
             self.notify(|o| o.on_pair_generated(now, edge));
             self.record_inventory_change(now);
             self.arm_cutoff_sweep(now, queue);
-            self.try_satisfy(now);
+            // Only `edge` gained inventory: the drain can target it.
+            self.try_satisfy_after_gain(now, edge);
         } else {
             // Lost before storage, or dropped on a full buffer.
             self.notify(|o| o.on_pair_lost(now, edge));
@@ -658,6 +701,7 @@ impl QuantumNetworkWorld {
                 graph,
                 inventory,
                 gossip,
+                oracle,
                 ..
             } = self;
             let mut ctx = PolicyCtx {
@@ -665,6 +709,7 @@ impl QuantumNetworkWorld {
                 graph,
                 inventory,
                 gossip: gossip.as_ref(),
+                oracle,
             };
             policy.on_swap_scan(&mut ctx, node)
         };
@@ -680,7 +725,8 @@ impl QuantumNetworkWorld {
                 self.notify(|o| o.on_swap_correction(now));
                 self.record_inventory_change(now);
                 self.arm_cutoff_sweep(now, queue);
-                self.try_satisfy(now);
+                // The swap product is the only pair that gained inventory.
+                self.try_satisfy_after_gain(now, NodePair::new(c.left, c.right));
             }
         }
 
@@ -773,6 +819,7 @@ impl QuantumNetworkWorld {
             graph,
             inventory,
             gossip,
+            oracle,
             ..
         } = self;
         let mut ctx = PolicyCtx {
@@ -780,6 +827,7 @@ impl QuantumNetworkWorld {
             graph,
             inventory,
             gossip: gossip.as_ref(),
+            oracle,
         };
         policy.on_run_end(&mut ctx);
     }

@@ -14,7 +14,7 @@
 use super::{PolicyCtx, PolicyId, PolicyParams, RequestAction, SwapPolicy};
 use crate::inventory::Inventory;
 use crate::workload::ConsumptionRequest;
-use qnet_topology::{bfs_path, NodeId, NodePair};
+use qnet_topology::{NodeId, NodePair};
 
 /// How count ties between candidate split points are broken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -161,7 +161,9 @@ impl SwapPolicy for GreedyOrderPolicy {
             .paths
             .entry(request.pair)
             .or_insert_with(|| {
-                bfs_path(ctx.graph, request.pair.lo(), request.pair.hi()).map(|p| p.nodes)
+                ctx.oracle
+                    .path(ctx.graph, request.pair.lo(), request.pair.hi())
+                    .map(|p| p.nodes)
             })
             .as_deref();
         let Some(path) = path else {

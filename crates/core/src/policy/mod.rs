@@ -39,7 +39,7 @@ use crate::config::NetworkConfig;
 use crate::gossip::GossipState;
 use crate::inventory::Inventory;
 use crate::workload::ConsumptionRequest;
-use qnet_topology::{Graph, NodeId};
+use qnet_topology::{Graph, NodeId, PathOracle};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::sync::{OnceLock, RwLock};
@@ -67,6 +67,12 @@ pub struct PolicyCtx<'a> {
     /// knowledge (`None` under global knowledge — consult the inventory
     /// directly, it is exact).
     pub gossip: Option<&'a GossipState>,
+    /// The world's shortest-path oracle over the immutable generation
+    /// graph: memoized per-source BFS rows (all-pairs precomputed on small
+    /// graphs). Planned/greedy disciplines query it instead of running
+    /// their own BFS per consumer pair; answers are identical to
+    /// [`qnet_topology::bfs_path`], tie-breaks included.
+    pub oracle: &'a PathOracle,
 }
 
 impl<'a> PolicyCtx<'a> {

@@ -9,14 +9,17 @@
 use super::{PolicyCtx, PolicyId, QueueDiscipline, RequestAction, SwapPolicy};
 use crate::planned::execute_nested_along_path;
 use crate::workload::ConsumptionRequest;
-use qnet_topology::{bfs_path, NodeId, NodePair};
+use qnet_topology::{NodeId, NodePair};
 use std::collections::BTreeMap;
 
 /// Memoized shortest generation-graph paths. The generation graph never
 /// changes during a run, but an any-order queue re-offers every blocked
-/// request on every inventory change — recomputing a |N| ≈ 10³ BFS each
-/// time is what used to dominate the planned baselines at internet scale.
-/// `None` records a disconnected pair (also worth remembering).
+/// request on every inventory change — reconstructing even a cached-oracle
+/// path each time would still allocate per offer, so the concrete node
+/// vectors are pinned here. Cache misses resolve through the world's
+/// [`qnet_topology::PathOracle`] (shared BFS rows, `O(path)` reconstruction)
+/// instead of a fresh `O(V + E)` BFS per pair. `None` records a
+/// disconnected pair (also worth remembering).
 #[derive(Debug, Default)]
 struct PathCache {
     paths: BTreeMap<NodePair, Option<Vec<NodeId>>>,
@@ -26,7 +29,11 @@ impl PathCache {
     fn nodes(&mut self, ctx: &PolicyCtx<'_>, pair: NodePair) -> Option<&[NodeId]> {
         self.paths
             .entry(pair)
-            .or_insert_with(|| bfs_path(ctx.graph, pair.lo(), pair.hi()).map(|p| p.nodes))
+            .or_insert_with(|| {
+                ctx.oracle
+                    .path(ctx.graph, pair.lo(), pair.hi())
+                    .map(|p| p.nodes)
+            })
             .as_deref()
     }
 }

@@ -4,10 +4,12 @@
 
 use proptest::prelude::*;
 use qnet_core::balancer::BalancerPolicy;
-use qnet_core::inventory::Inventory;
+use qnet_core::inventory::{Inventory, InventoryBackend};
 use qnet_core::nested::{nested_swap_cost, nested_swap_cost_with_joins};
+use qnet_core::physics::PhysicsModel;
 use qnet_core::planned::{execute_nested_along_path, planned_path_swap_cost};
 use qnet_core::workload::{PairSelection, WorkloadSpec};
+use qnet_sim::{SimDuration, SimTime};
 use qnet_topology::{builders, NodeId, NodePair};
 
 /// Apply a random sequence of adds/removes/swaps and check the inventory's
@@ -247,5 +249,84 @@ proptest! {
             mean
         );
         prop_assert_eq!(spec.generate(seed), w);
+    }
+
+    /// Differential pin of the flat inventory backend against the legacy
+    /// B-tree one: an arbitrary mutation sequence (adds, removes, swaps,
+    /// expiry purges, clock advances) drives both backends through
+    /// byte-identical observable states — counts, per-pool lot order,
+    /// `nonzero_pairs` order, purge results, and serialized JSON.
+    #[test]
+    fn flat_inventory_backend_matches_btree(
+        n in 3usize..9,
+        decoherent in any::<bool>(),
+        ops in proptest::collection::vec(
+            (0usize..5, 0usize..9, 0usize..9, 0usize..9, 1u64..5),
+            0..150,
+        ),
+    ) {
+        let mut flat = Inventory::with_backend(n, InventoryBackend::Flat);
+        let mut btree = Inventory::with_backend(n, InventoryBackend::BTree);
+        if decoherent {
+            let physics = PhysicsModel::decoherent(8.0);
+            flat.enable_lot_tracking(&physics);
+            btree.enable_lot_tracking(&physics);
+        }
+        let mut clock_s = 0u64;
+        for (op, a, b, c, dt) in ops {
+            match op {
+                0 | 1 => {
+                    if let Some(p) = pair_from(n, a, b) {
+                        prop_assert_eq!(flat.add_pair(p), btree.add_pair(p));
+                    }
+                }
+                2 => {
+                    if let Some(p) = pair_from(n, a, b) {
+                        prop_assert_eq!(
+                            flat.remove_pairs_with_fidelity(p, dt.min(2)),
+                            btree.remove_pairs_with_fidelity(p, dt.min(2))
+                        );
+                    }
+                }
+                3 => {
+                    let (r, l, x) = (a % n, b % n, c % n);
+                    if r != l && r != x && l != x {
+                        let (r, l, x) = (NodeId::from(r), NodeId::from(l), NodeId::from(x));
+                        prop_assert_eq!(
+                            flat.apply_swap(r, l, x, 1, 1),
+                            btree.apply_swap(r, l, x, 1, 1)
+                        );
+                    }
+                }
+                _ => {
+                    clock_s += dt;
+                    flat.set_clock(SimTime::from_secs(clock_s));
+                    btree.set_clock(SimTime::from_secs(clock_s));
+                    prop_assert_eq!(
+                        flat.purge_expired(SimDuration::from_secs(10)),
+                        btree.purge_expired(SimDuration::from_secs(10))
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(&flat, &btree);
+        prop_assert_eq!(flat.nonzero_pairs(), btree.nonzero_pairs());
+        prop_assert_eq!(flat.earliest_lot_time(), btree.earliest_lot_time());
+        for a in 0..n {
+            for b in a + 1..n {
+                let p = NodePair::new(NodeId::from(a), NodeId::from(b));
+                prop_assert_eq!(
+                    flat.lots_for(p).collect::<Vec<_>>(),
+                    btree.lots_for(p).collect::<Vec<_>>(),
+                    "lot order diverged for {}",
+                    p
+                );
+            }
+        }
+        let bytes = |inv: &Inventory| {
+            serde_json::to_string(&serde_json::to_value(inv).expect("inventory to_value"))
+                .expect("inventory to_string")
+        };
+        prop_assert_eq!(bytes(&flat), bytes(&btree));
     }
 }

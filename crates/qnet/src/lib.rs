@@ -322,6 +322,62 @@
 //!     --gen-rate 400 --scan-rate 200
 //! ```
 //!
+//! ## Hot-path architecture
+//!
+//! Once the event stream is flat-memory, what is left is the per-event
+//! constant — what one generation, one swap scan, one satisfaction check
+//! actually costs. The steady-state loop is built from four flat, densely
+//! indexed structures that it walks over and over without allocating:
+//!
+//! * **Timing wheel** — events come off the [`sim::EventQueue`] wheel in
+//!   O(1) amortised (`QNET_EVENT_QUEUE=heap` pins the legacy `BinaryHeap`);
+//! * **Edge index** — [`topology::EdgeIndex`] numbers the generation
+//!   graph's edges `0..E` with a CSR adjacency layout, so per-edge state
+//!   (generation rates, link overrides) lives in plain vectors indexed by
+//!   edge id instead of maps keyed by [`topology::NodePair`];
+//! * **Flat inventory** — [`core::inventory::Inventory`] stores per-pair
+//!   counts and lots in dense edge-slot pools with an O(1) triangular
+//!   pair→slot map (`QNET_INVENTORY=btree` pins the legacy `BTreeMap`
+//!   store; both backends produce byte-identical reports, and the
+//!   balancer's scan loop is monomorphized over the concrete store so the
+//!   O(rich²) beneficiary probe pays no virtual dispatch);
+//! * **Path oracle** — [`topology::PathOracle`] serves shortest-path
+//!   queries from per-source BFS rows (all-pairs eager up to 128 nodes,
+//!   lazily memoized per source above), replacing the per-pair memoized
+//!   BFS the planners used — same paths, node for node, with O(path)
+//!   reconstruction per query.
+//!
+//! ```
+//! use qnet::core::inventory::{Inventory, InventoryBackend};
+//! use qnet::topology::{bfs_path, builders, EdgeIndex, NodeId, NodePair, PathOracle};
+//!
+//! // Dense edge index over an internet-like graph: O(1) pair ↔ edge-id.
+//! let graph = builders::scale_free(200, 2, 7);
+//! let index = EdgeIndex::new(&graph);
+//! assert_eq!(index.edge_count(), graph.edge_count());
+//! let (peer, id) = index.incident(NodeId(0))[0];
+//! assert_eq!(index.pair(id), NodePair::new(NodeId(0), peer));
+//!
+//! // The oracle answers exactly what a fresh BFS would, node for node.
+//! let oracle = PathOracle::new(&graph);
+//! let via_oracle = oracle.path(&graph, NodeId(3), NodeId(90)).unwrap();
+//! let via_bfs = bfs_path(&graph, NodeId(3), NodeId(90)).unwrap();
+//! assert_eq!(via_oracle.nodes, via_bfs.nodes);
+//!
+//! // The two inventory backends are logically interchangeable state.
+//! let mut flat = Inventory::with_backend(6, InventoryBackend::Flat);
+//! let mut btree = Inventory::with_backend(6, InventoryBackend::BTree);
+//! for inv in [&mut flat, &mut btree] {
+//!     inv.add_pair(NodePair::new(NodeId(0), NodeId(1))).unwrap();
+//!     inv.add_pair(NodePair::new(NodeId(1), NodeId(4))).unwrap();
+//! }
+//! assert_eq!(flat, btree);
+//! ```
+//!
+//! The `path_oracle` and `inventory_hot_scan` benchmark groups in
+//! `sim_engine_micro` measure these structures in isolation; the
+//! `open_loop_million` group measures them composed.
+//!
 //! ## Modeling link physics
 //!
 //! The paper's evaluation treats Bell pairs as interchangeable tokens; the

@@ -1,0 +1,157 @@
+//! Dense edge indexing over a frozen generation graph.
+//!
+//! Once a run's topology is built it never changes, so every per-edge lookup
+//! the hot path performs — generation rates, link-fabric overrides, per-edge
+//! state of any kind — can trade its `BTreeMap<NodePair, _>` for a flat `Vec`
+//! addressed by a dense **edge id**. [`EdgeIndex`] assigns those ids once:
+//! edge `k` is the `k`-th edge of [`Graph::edges`], i.e. ids follow the
+//! lexicographic [`NodePair`] order, so iterating `0..edge_count()` visits
+//! edges in exactly the order every `BTreeMap<NodePair, _>` walk did. A
+//! CSR-style per-node offset table maps a node to its incident `(peer,
+//! edge_id)` slice for O(degree) scans and O(log degree) id resolution.
+
+use crate::graph::{Graph, NodeId};
+use crate::pairs::NodePair;
+
+/// Immutable dense index over the edges of a frozen graph.
+///
+/// Edge ids are `0..edge_count()`, assigned in lexicographic `NodePair`
+/// order (identical to [`Graph::edges`]). Build once per run; `O(E log E)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeIndex {
+    /// `pairs[id]` is the endpoint pair of edge `id`; sorted ascending, so
+    /// it doubles as the binary-search table for [`EdgeIndex::edge_id`].
+    pairs: Vec<NodePair>,
+    /// CSR offsets: node `i`'s incident slice is
+    /// `entries[offsets[i] as usize..offsets[i + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// Concatenated per-node `(peer, edge_id)` rows, peers ascending within
+    /// each row.
+    entries: Vec<(NodeId, u32)>,
+}
+
+impl EdgeIndex {
+    /// Index every edge of `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let pairs: Vec<NodePair> = graph.edges().map(|(a, b)| NodePair::new(a, b)).collect();
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "edges() is sorted");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::with_capacity(2 * pairs.len());
+        offsets.push(0);
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                let id = pairs
+                    .binary_search(&NodePair::new(u, v))
+                    .expect("neighbor edge is indexed");
+                entries.push((v, id as u32));
+            }
+            offsets.push(entries.len() as u32);
+        }
+        EdgeIndex {
+            pairs,
+            offsets,
+            entries,
+        }
+    }
+
+    /// Number of nodes the index covers.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of indexed edges.
+    pub fn edge_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The endpoint pair of edge `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= edge_count()`.
+    pub fn pair(&self, id: u32) -> NodePair {
+        self.pairs[id as usize]
+    }
+
+    /// The dense id of the edge joining `pair`'s endpoints, or `None` if the
+    /// graph has no such edge. `O(log E)`.
+    pub fn edge_id(&self, pair: NodePair) -> Option<u32> {
+        self.pairs.binary_search(&pair).ok().map(|id| id as u32)
+    }
+
+    /// `(peer, edge_id)` for every edge incident to `node`, peers ascending.
+    /// Empty (rather than panicking) for out-of-range ids.
+    pub fn incident(&self, node: NodeId) -> &[(NodeId, u32)] {
+        if node.index() + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Iterate `(id, pair)` over every edge in id (≡ lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, NodePair)> + '_ {
+        self.pairs
+            .iter()
+            .enumerate()
+            .map(|(id, &pair)| (id as u32, pair))
+    }
+
+    /// Build a dense per-edge table: `table[id] = f(pair(id))`.
+    pub fn table<T>(&self, mut f: impl FnMut(NodePair) -> T) -> Vec<T> {
+        self.pairs.iter().map(|&pair| f(pair)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{cycle, scale_free};
+
+    #[test]
+    fn ids_follow_lexicographic_edge_order() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(1));
+        let idx = EdgeIndex::new(&g);
+        assert_eq!(idx.edge_count(), 3);
+        assert_eq!(idx.node_count(), 4);
+        let order: Vec<NodePair> = idx.iter().map(|(_, p)| p).collect();
+        let expect: Vec<NodePair> = g.edges().map(|(a, b)| NodePair::new(a, b)).collect();
+        assert_eq!(order, expect, "id order ≡ Graph::edges order");
+        for (id, pair) in idx.iter() {
+            assert_eq!(idx.pair(id), pair);
+            assert_eq!(idx.edge_id(pair), Some(id));
+        }
+        assert_eq!(idx.edge_id(NodePair::new(NodeId(1), NodeId(2))), None);
+    }
+
+    #[test]
+    fn incident_rows_cover_both_directions() {
+        let g = cycle(5);
+        let idx = EdgeIndex::new(&g);
+        for u in g.nodes() {
+            let row = idx.incident(u);
+            assert_eq!(row.len(), g.degree(u));
+            // Peers ascending, ids consistent with the pair table.
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(peer, id) in row {
+                assert_eq!(idx.pair(id), NodePair::new(u, peer));
+            }
+        }
+        assert!(idx.incident(NodeId(99)).is_empty());
+    }
+
+    #[test]
+    fn dense_table_is_addressed_by_id() {
+        let g = scale_free(50, 2, 9);
+        let idx = EdgeIndex::new(&g);
+        let table = idx.table(|pair| pair.lo().0 as u64 + pair.hi().0 as u64);
+        assert_eq!(table.len(), idx.edge_count());
+        for (id, pair) in idx.iter() {
+            assert_eq!(table[id as usize], pair.lo().0 as u64 + pair.hi().0 as u64);
+        }
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod builders;
 pub mod connectivity;
+pub mod edge_index;
 pub mod fabric;
 pub mod graph;
 pub mod metrics;
@@ -33,7 +34,8 @@ pub mod shortest_path;
 
 pub use builders::Topology;
 pub use connectivity::UnionFind;
+pub use edge_index::EdgeIndex;
 pub use fabric::{FabricSpec, HardwarePreset, LinkFabric, LinkProfile};
 pub use graph::{Graph, NodeId};
 pub use pairs::{NodePair, PairMatrix};
-pub use shortest_path::{bfs_distances, bfs_path, dijkstra, PathResult};
+pub use shortest_path::{bfs_distances, bfs_path, dijkstra, PathOracle, PathResult};

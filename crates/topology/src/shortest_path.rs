@@ -13,6 +13,7 @@
 //! latency-weighted extensions (§6).
 
 use crate::graph::{Graph, NodeId};
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Result of a point-to-point path query.
@@ -103,6 +104,151 @@ fn reconstruct(prev: &[Option<NodeId>], source: NodeId, target: NodeId) -> PathR
     nodes.reverse();
     let cost = (nodes.len() - 1) as f64;
     PathResult { nodes, cost }
+}
+
+/// One memoized BFS tree: hop distances and discovery predecessors from a
+/// single source. `u32::MAX` is the "unreachable / no predecessor" sentinel.
+#[derive(Debug, Clone)]
+struct OracleRow {
+    dist: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+impl OracleRow {
+    const NONE: u32 = u32::MAX;
+
+    /// Full BFS from `source`, visiting neighbors in ascending id order —
+    /// the same discovery order (and therefore the same predecessor
+    /// assignments) as [`bfs_path`]'s early-exit search, so paths
+    /// reconstructed from this row are node-for-node identical to what
+    /// `bfs_path` returns for any target.
+    fn bfs(graph: &Graph, source: NodeId) -> Self {
+        let n = graph.node_count();
+        let mut dist = vec![Self::NONE; n];
+        let mut prev = vec![Self::NONE; n];
+        dist[source.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for &v in graph.neighbors(u) {
+                if dist[v.index()] == Self::NONE {
+                    dist[v.index()] = du + 1;
+                    prev[v.index()] = u.0;
+                    queue.push_back(v);
+                }
+            }
+        }
+        OracleRow { dist, prev }
+    }
+}
+
+/// Memoized shortest-path oracle over a frozen graph.
+///
+/// Replaces per-pair BFS memoization (`BTreeMap<NodePair, usize>` hop caches,
+/// per-request `bfs_path` calls) with per-**source** BFS rows: one full BFS
+/// answers hop and path queries to *every* target from that source. For
+/// graphs up to [`PathOracle::ALL_PAIRS_THRESHOLD`] nodes all rows are
+/// computed eagerly at construction (all-pairs BFS, `O(N·(N + E))` — cheap at
+/// paper scale); above it rows fill lazily on first query from each source,
+/// so internet-scale graphs pay only for the sources a workload actually
+/// touches.
+///
+/// Queries take the graph by reference so the oracle can live alongside the
+/// graph in one owning struct. Answers are memoized behind a `RefCell`, so
+/// `&self` queries suffice; the type is deliberately not `Sync` (per-run
+/// worlds are single-threaded; shard parallelism is process-level).
+#[derive(Debug, Clone)]
+pub struct PathOracle {
+    rows: RefCell<Vec<Option<Box<OracleRow>>>>,
+}
+
+impl PathOracle {
+    /// Node count up to which construction precomputes every BFS row.
+    pub const ALL_PAIRS_THRESHOLD: usize = 128;
+
+    /// Build an oracle for `graph`, precomputing all-pairs rows when the
+    /// graph has at most [`Self::ALL_PAIRS_THRESHOLD`] nodes.
+    pub fn new(graph: &Graph) -> Self {
+        Self::with_threshold(graph, Self::ALL_PAIRS_THRESHOLD)
+    }
+
+    /// Build an oracle precomputing all rows iff `node_count <= threshold`
+    /// (exposed so tests and benches can force either regime).
+    pub fn with_threshold(graph: &Graph, threshold: usize) -> Self {
+        let n = graph.node_count();
+        let rows = if n <= threshold {
+            graph
+                .nodes()
+                .map(|s| Some(Box::new(OracleRow::bfs(graph, s))))
+                .collect()
+        } else {
+            vec![None; n]
+        };
+        PathOracle {
+            rows: RefCell::new(rows),
+        }
+    }
+
+    /// Number of BFS rows currently materialized (all of them in the eager
+    /// regime; the touched sources in the lazy one).
+    pub fn memoized_rows(&self) -> usize {
+        self.rows.borrow().iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Run `f` against `source`'s BFS row, computing it on first use.
+    fn with_row<R>(&self, graph: &Graph, source: NodeId, f: impl FnOnce(&OracleRow) -> R) -> R {
+        let mut rows = self.rows.borrow_mut();
+        let slot = &mut rows[source.index()];
+        if slot.is_none() {
+            *slot = Some(Box::new(OracleRow::bfs(graph, source)));
+        }
+        f(slot.as_deref().expect("row just filled"))
+    }
+
+    /// Hop count of the shortest path `source → target`, `None` when
+    /// unreachable or either id is out of range. Matches
+    /// `bfs_path(graph, source, target).map(|p| p.hops())` exactly.
+    pub fn hops(&self, graph: &Graph, source: NodeId, target: NodeId) -> Option<usize> {
+        let n = graph.node_count();
+        if source.index() >= n || target.index() >= n {
+            return None;
+        }
+        self.with_row(graph, source, |row| match row.dist[target.index()] {
+            OracleRow::NONE => None,
+            d => Some(d as usize),
+        })
+    }
+
+    /// The shortest path `source → target`, `None` when unreachable or out
+    /// of range. Node-for-node identical to [`bfs_path`] (same ascending-id
+    /// tie-breaking).
+    pub fn path(&self, graph: &Graph, source: NodeId, target: NodeId) -> Option<PathResult> {
+        let n = graph.node_count();
+        if source.index() >= n || target.index() >= n {
+            return None;
+        }
+        if source == target {
+            return Some(PathResult {
+                nodes: vec![source],
+                cost: 0.0,
+            });
+        }
+        self.with_row(graph, source, |row| {
+            if row.dist[target.index()] == OracleRow::NONE {
+                return None;
+            }
+            let mut nodes = vec![target];
+            let mut cur = target;
+            while cur != source {
+                cur = NodeId(row.prev[cur.index()]);
+                nodes.push(cur);
+            }
+            nodes.reverse();
+            let cost = (nodes.len() - 1) as f64;
+            Some(PathResult { nodes, cost })
+        })
+    }
 }
 
 /// Dijkstra over non-negative edge weights supplied by `weight(a, b)`.
@@ -319,5 +465,61 @@ mod tests {
         let mut g = Graph::with_nodes(3);
         g.add_edge(NodeId(0), NodeId(1));
         assert!(dijkstra(&g, NodeId(0), NodeId(2), |_, _| 1.0).is_none());
+    }
+
+    /// Oracle answers must be indistinguishable from fresh BFS on every
+    /// pair, in both the eager (all-pairs) and lazy regimes.
+    fn assert_oracle_matches_bfs(g: &Graph) {
+        for oracle in [
+            PathOracle::with_threshold(g, usize::MAX),
+            PathOracle::with_threshold(g, 0),
+        ] {
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    let fresh = bfs_path(g, s, t);
+                    assert_eq!(
+                        oracle.hops(g, s, t),
+                        fresh.as_ref().map(|p| p.hops()),
+                        "hops {s}->{t}"
+                    );
+                    assert_eq!(oracle.path(g, s, t), fresh, "path {s}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_bfs_on_cycle_torus_and_scale_free() {
+        assert_oracle_matches_bfs(&cycle(11));
+        assert_oracle_matches_bfs(&torus_grid(4));
+        assert_oracle_matches_bfs(&crate::builders::scale_free(40, 2, 13));
+    }
+
+    #[test]
+    fn oracle_matches_bfs_on_disconnected_graph() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        assert_oracle_matches_bfs(&g);
+        let oracle = PathOracle::new(&g);
+        assert_eq!(oracle.hops(&g, NodeId(0), NodeId(3)), None);
+        assert_eq!(oracle.path(&g, NodeId(0), NodeId(3)), None);
+        // Out-of-range ids answer None rather than panicking, like bfs_path.
+        assert_eq!(oracle.hops(&g, NodeId(0), NodeId(9)), None);
+        assert_eq!(oracle.path(&g, NodeId(9), NodeId(0)), None);
+    }
+
+    #[test]
+    fn oracle_rows_fill_lazily_above_threshold() {
+        let g = cycle(10);
+        let eager = PathOracle::with_threshold(&g, 10);
+        assert_eq!(eager.memoized_rows(), 10);
+        let lazy = PathOracle::with_threshold(&g, 9);
+        assert_eq!(lazy.memoized_rows(), 0);
+        assert_eq!(lazy.hops(&g, NodeId(3), NodeId(7)), Some(4));
+        assert_eq!(lazy.memoized_rows(), 1, "one row per queried source");
+        // A second query from the same source reuses the row.
+        assert_eq!(lazy.hops(&g, NodeId(3), NodeId(4)), Some(1));
+        assert_eq!(lazy.memoized_rows(), 1);
     }
 }
