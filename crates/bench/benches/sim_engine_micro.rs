@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qnet_core::classical::KnowledgeModel;
+use qnet_core::control::{PropagationDelays, StaleControl};
 use qnet_core::experiment::{Experiment, ExperimentConfig};
 use qnet_core::inventory::InventoryBackend;
 use qnet_core::policy::PolicyId;
@@ -279,6 +280,85 @@ fn inventory_hot_scan(c: &mut Criterion) {
     group.finish();
 }
 
+fn knowledge_view(c: &mut Criterion) {
+    // The stale control plane's hot loop and its end-to-end cost.
+    //
+    // `exchange_deliver` isolates the plane's own bookkeeping on a 100-node
+    // cycle: one full round of rotating-peer exchanges (row snapshots into
+    // the in-flight heap) followed by maturing every delivery into the
+    // per-node views — the work the world does around each gossip tick,
+    // with no simulation attached.
+    //
+    // `gossip_run` is the same 25-node closed-loop experiment per knowledge
+    // backend: the latency-aware stale plane (default) vs the legacy
+    // synchronous refresh (`QNET_KNOWLEDGE=truth`), a same-binary
+    // comparison mirroring the `cycle25_heap` row. The two backends do
+    // different simulated work (stale rows change decisions), so compare
+    // each row against its own baseline, not against each other.
+    let mut group = c.benchmark_group("knowledge_view");
+    group.sample_size(20);
+    {
+        let n = 100usize;
+        let graph = Topology::Cycle { nodes: n }.build(0);
+        let oracle = PathOracle::new(&graph);
+        let delays = PropagationDelays::new(&graph, None, &oracle);
+        let mut truth = Inventory::new(n);
+        for i in 0..n as u32 {
+            let next = (i + 1) % n as u32;
+            for _ in 0..4 {
+                truth
+                    .add_pair(NodePair::new(NodeId(i), NodeId(next)))
+                    .unwrap();
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("exchange_deliver", n),
+            &(delays, truth),
+            |b, (delays, truth)| {
+                b.iter(|| {
+                    let mut ctl = StaleControl::new(n, 2, 0.25, delays.clone());
+                    for round in 0..8u32 {
+                        let now = SimTime::from_secs_f64(round as f64 * 0.25);
+                        ctl.deliver_matured(now);
+                        for node in (0..n).map(NodeId::from) {
+                            ctl.exchange(now, node, truth);
+                        }
+                    }
+                    ctl.deliver_matured(SimTime::from_secs_f64(10.0));
+                    ctl.in_flight_len()
+                })
+            },
+        );
+    }
+    {
+        group.sample_size(10);
+        let config = ExperimentConfig {
+            network: NetworkConfig::new(Topology::Cycle { nodes: 25 }),
+            workload: WorkloadSpec::closed_loop(25, 10, 12),
+            mode: PolicyId::OBLIVIOUS,
+            knowledge: KnowledgeModel::Gossip {
+                peers_per_refresh: 2,
+                refresh_period_s: 0.5,
+            },
+            seed: 11,
+            max_sim_time_s: 4_000.0,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("gossip_run", "stale"),
+            &config,
+            |b, config| b.iter(|| Experiment::new(*config).run().satisfied_requests),
+        );
+        std::env::set_var("QNET_KNOWLEDGE", "truth");
+        group.bench_with_input(
+            BenchmarkId::new("gossip_run", "truth"),
+            &config,
+            |b, config| b.iter(|| Experiment::new(*config).run().satisfied_requests),
+        );
+        std::env::remove_var("QNET_KNOWLEDGE");
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     engine_throughput,
@@ -286,6 +366,7 @@ criterion_group!(
     scale_free_pair_generation,
     open_loop_million,
     path_oracle_cold_vs_memoized_bfs,
-    inventory_hot_scan
+    inventory_hot_scan,
+    knowledge_view
 );
 criterion_main!(benches);

@@ -29,6 +29,7 @@ fn main() {
             format!("gossip({peers}/scan)"),
             KnowledgeModel::Gossip {
                 peers_per_refresh: peers,
+                refresh_period_s: 0.0,
             },
         ));
     }

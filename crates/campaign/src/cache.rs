@@ -260,6 +260,9 @@ mod tests {
             fidelity_p95: None,
             expired_pairs: 0,
             fidelity_rejected: 0,
+            missed_swaps: 0,
+            stale_row_age_mean_s: None,
+            stale_row_age_p95_s: None,
             sketch_quantiles: false,
         }
     }

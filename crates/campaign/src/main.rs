@@ -24,6 +24,10 @@
 //!                       e.g. scale-free:1000@metro-fiber; see
 //!                       --list-fabrics
 //!   --gossip K          add a gossip knowledge axis with K peers/refresh
+//!   --knowledge LIST    explicit knowledge axis: global, gossip:K and/or
+//!                       gossip:K:PERIOD items (PERIOD in simulated
+//!                       seconds; omitted couples exchanges to the
+//!                       swap-scan cadence)
 //!   --pairs N           consumer pairs per workload (default: 10)
 //!   --requests N        requests per run (default: 12)
 //!   --workload LIST     comma-separated workload axis specs (see
@@ -341,6 +345,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 | "--modes"
                 | "--dist"
                 | "--gossip"
+                | "--knowledge"
                 | "--physics"
                 | "--fabric"
                 | "--pairs"
@@ -374,8 +379,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     KnowledgeModel::Global,
                     KnowledgeModel::Gossip {
                         peers_per_refresh: k,
+                        refresh_period_s: 0.0,
                     },
                 ];
+            }
+            "--knowledge" => {
+                opts.knowledge =
+                    parse_list("--knowledge", value("--knowledge")?, KnowledgeModel::parse)?
             }
             "--physics" => {
                 opts.physics = parse_list("--physics", value("--physics")?, PhysicsModel::parse)?
@@ -1107,9 +1117,7 @@ fn main() -> ExitCode {
     for cell in &report.cell_reports {
         let knowledge = match cell.key.knowledge {
             KnowledgeModel::Global => String::new(),
-            KnowledgeModel::Gossip { peers_per_refresh } => {
-                format!(" gossip:{peers_per_refresh}")
-            }
+            gossip => format!(" {}", gossip.label()),
         };
         let latency = match (cell.latency_p50_s, cell.latency_p95_s) {
             (Some(p50), Some(p95)) => format!("  lat p50 {p50:.1}s p95 {p95:.1}s"),
@@ -1182,6 +1190,8 @@ OPTIONS:
   --fabric LIST      link-fabric axis: none, PRESET or TOPO@PRESET
                      (see --list-fabrics)                [none]
   --gossip K         add a gossip knowledge axis (K peers per refresh)
+  --knowledge LIST   explicit knowledge axis: global, gossip:K,
+                     gossip:K:PERIOD (seconds)          [global]
   --pairs N          consumer pairs per workload        [10]
   --requests N       requests per run                   [12]
   --workload LIST    workload axis specs (comma-separated;

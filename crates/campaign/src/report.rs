@@ -92,6 +92,14 @@ pub struct CellReport {
     /// Total deliveries rejected below the fidelity floor across
     /// replicates.
     pub fidelity_rejected_total: u64,
+    /// Total believed-feasible actions that failed against drifted truth
+    /// across replicates (stale-control-plane cells only).
+    pub missed_swaps_total: u64,
+    /// Mean of the per-replicate mean believed-row ages at decision time,
+    /// seconds (stale cells with at least one stale decision only).
+    pub stale_row_age_mean_s: Option<f64>,
+    /// Mean of the per-replicate 95th-percentile believed-row ages.
+    pub stale_row_age_p95_s: Option<f64>,
 }
 
 impl Serialize for CellReport {
@@ -161,6 +169,22 @@ impl Serialize for CellReport {
                 self.fidelity_rejected_total.to_value(),
             ));
         }
+        // Staleness columns join only for stale-control-plane cells, so
+        // global-knowledge reports keep the legacy byte layout.
+        if self.missed_swaps_total > 0 {
+            entries.push((
+                "missed_swaps_total".to_string(),
+                self.missed_swaps_total.to_value(),
+            ));
+        }
+        for (name, value) in [
+            ("stale_row_age_mean_s", self.stale_row_age_mean_s),
+            ("stale_row_age_p95_s", self.stale_row_age_p95_s),
+        ] {
+            if let Some(v) = value {
+                entries.push((name.to_string(), v.to_value()));
+            }
+        }
         serde::Value::Map(entries)
     }
 }
@@ -206,6 +230,9 @@ impl Deserialize for CellReport {
             fidelity_p95: Deserialize::from_value(field("fidelity_p95"))?,
             expired_pairs_total: counter("expired_pairs_total")?,
             fidelity_rejected_total: counter("fidelity_rejected_total")?,
+            missed_swaps_total: counter("missed_swaps_total")?,
+            stale_row_age_mean_s: Deserialize::from_value(field("stale_row_age_mean_s"))?,
+            stale_row_age_p95_s: Deserialize::from_value(field("stale_row_age_p95_s"))?,
         })
     }
 }
@@ -271,6 +298,9 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
     let mut fidelity_p95 = RunningStats::new();
     let mut expired_total = 0u64;
     let mut rejected_total = 0u64;
+    let mut missed_total = 0u64;
+    let mut stale_age_mean = RunningStats::new();
+    let mut stale_age_p95 = RunningStats::new();
 
     for o in outcomes {
         if let Some(x) = o.swap_overhead {
@@ -302,6 +332,13 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
         }
         expired_total += o.expired_pairs;
         rejected_total += o.fidelity_rejected;
+        missed_total += o.missed_swaps;
+        if let Some(x) = o.stale_row_age_mean_s {
+            stale_age_mean.record(x);
+        }
+        if let Some(x) = o.stale_row_age_p95_s {
+            stale_age_p95.record(x);
+        }
     }
     samples.sort_by(f64::total_cmp);
 
@@ -344,6 +381,9 @@ fn aggregate_cell(key: CellKey, outcomes: &[ScenarioOutcome]) -> CellReport {
         fidelity_p95: (fidelity_p95.count() > 0).then(|| fidelity_p95.mean()),
         expired_pairs_total: expired_total,
         fidelity_rejected_total: rejected_total,
+        missed_swaps_total: missed_total,
+        stale_row_age_mean_s: (stale_age_mean.count() > 0).then(|| stale_age_mean.mean()),
+        stale_row_age_p95_s: (stale_age_p95.count() > 0).then(|| stale_age_p95.mean()),
     }
 }
 
@@ -578,6 +618,9 @@ mod tests {
             fidelity_p95: None,
             expired_pairs: 0,
             fidelity_rejected: 0,
+            missed_swaps: 0,
+            stale_row_age_mean_s: None,
+            stale_row_age_p95_s: None,
             sketch_quantiles: false,
         }
     }

@@ -129,6 +129,15 @@ pub struct ScenarioOutcome {
     /// Deliveries rejected for falling below the fidelity floor (0 under
     /// ideal physics).
     pub fidelity_rejected: u64,
+    /// Believed-feasible actions that failed against drifted ground truth
+    /// (0 outside stale-control-plane scenarios).
+    pub missed_swaps: u64,
+    /// Mean age (seconds) of the believed rows stale decisions consulted
+    /// (stale-control-plane scenarios with at least one decision only).
+    pub stale_row_age_mean_s: Option<f64>,
+    /// 95th-percentile believed-row age at decision time (stale scenarios
+    /// only).
+    pub stale_row_age_p95_s: Option<f64>,
     /// True when the run crossed the metrics recorder's exact-sample
     /// threshold: its latency/fidelity quantiles come from the fixed-memory
     /// log-bucketed sketch (~0.4 % relative value error) instead of exact
@@ -197,6 +206,17 @@ impl Serialize for ScenarioOutcome {
                 self.fidelity_rejected.to_value(),
             ));
         }
+        // Staleness columns join only for stale-control-plane scenarios:
+        // global-knowledge outcomes keep the legacy byte layout.
+        if self.missed_swaps > 0 {
+            entries.push(("missed_swaps".to_string(), self.missed_swaps.to_value()));
+        }
+        if let Some(v) = self.stale_row_age_mean_s {
+            entries.push(("stale_row_age_mean_s".to_string(), v.to_value()));
+        }
+        if let Some(v) = self.stale_row_age_p95_s {
+            entries.push(("stale_row_age_p95_s".to_string(), v.to_value()));
+        }
         if self.sketch_quantiles {
             entries.push((
                 "sketch_quantiles".to_string(),
@@ -240,6 +260,9 @@ impl Deserialize for ScenarioOutcome {
             fidelity_p95: Deserialize::from_value(field("fidelity_p95"))?,
             expired_pairs: counter("expired_pairs")?,
             fidelity_rejected: counter("fidelity_rejected")?,
+            missed_swaps: counter("missed_swaps")?,
+            stale_row_age_mean_s: Deserialize::from_value(field("stale_row_age_mean_s"))?,
+            stale_row_age_p95_s: Deserialize::from_value(field("stale_row_age_p95_s"))?,
             sketch_quantiles: match field("sketch_quantiles") {
                 Value::Null => false,
                 v => Deserialize::from_value(v)?,
@@ -301,6 +324,9 @@ impl ScenarioOutcome {
             fidelity_p95: result.metrics.fidelity_percentile(0.95),
             expired_pairs: result.metrics.expired_pairs,
             fidelity_rejected: result.metrics.fidelity_rejected_requests,
+            missed_swaps: result.metrics.missed_swaps,
+            stale_row_age_mean_s: result.metrics.stale_row_age_mean_s,
+            stale_row_age_p95_s: result.metrics.stale_row_age_p95_s,
             sketch_quantiles: result.metrics.is_streamed(),
         }
     }

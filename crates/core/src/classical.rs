@@ -7,7 +7,7 @@
 //! — but it *does* count the messages and bits each knowledge model incurs,
 //! so the §6 gossip experiment can quantify the savings.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Accumulated classical-communication counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,17 +63,75 @@ impl ClassicalStats {
 }
 
 /// How nodes learn the network-wide buffer counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KnowledgeModel {
     /// The paper's baseline assumption: immediate global knowledge of every
     /// `C_x(y)`. Each inventory change is broadcast to all other nodes.
     Global,
-    /// The §6 BitTorrent-like relaxation: on each swap scan a node refreshes
-    /// the counts of only `peers_per_refresh` rotating peers.
+    /// The §6 BitTorrent-like relaxation: nodes periodically pull the count
+    /// rows of `peers_per_refresh` rotating peers. Under the default stale
+    /// control plane ([`crate::control`]) the pulled rows arrive after the
+    /// classical propagation delay and policies decide on the resulting
+    /// stale views; `QNET_KNOWLEDGE=truth` reverts to the legacy
+    /// message-counting-only behaviour (instant refresh at every scan).
     Gossip {
-        /// How many peers' count rows are refreshed per scan.
+        /// How many peers' count rows are refreshed per exchange.
         peers_per_refresh: usize,
+        /// Seconds between a node's gossip exchanges. `0.0` (the legacy
+        /// default, omitted from serialized form) couples the exchange to
+        /// the swap-scan cadence: one exchange per `1 / swap_scan_rate`.
+        refresh_period_s: f64,
     },
+}
+
+// Manual serde: the externally-tagged bytes must stay identical to the
+// pre-period encoding for legacy values, so `refresh_period_s` is emitted
+// only when nonzero and defaults to `0.0` when absent.
+impl Serialize for KnowledgeModel {
+    fn to_value(&self) -> Value {
+        match self {
+            KnowledgeModel::Global => Value::Str(String::from("Global")),
+            KnowledgeModel::Gossip {
+                peers_per_refresh,
+                refresh_period_s,
+            } => {
+                let mut fields = vec![(
+                    String::from("peers_per_refresh"),
+                    peers_per_refresh.to_value(),
+                )];
+                if *refresh_period_s > 0.0 {
+                    fields.push((
+                        String::from("refresh_period_s"),
+                        refresh_period_s.to_value(),
+                    ));
+                }
+                Value::Map(vec![(String::from("Gossip"), Value::Map(fields))])
+            }
+        }
+    }
+}
+
+impl Deserialize for KnowledgeModel {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s == "Global" => Ok(KnowledgeModel::Global),
+            Value::Map(entries) if entries.len() == 1 && entries[0].0 == "Gossip" => {
+                let inner = &entries[0].1;
+                let peers_per_refresh = Deserialize::from_value(
+                    inner.get_field("peers_per_refresh").unwrap_or(&Value::Null),
+                )?;
+                let refresh_period_s = match inner.get_field("refresh_period_s") {
+                    None | Some(Value::Null) => 0.0,
+                    Some(v) => Deserialize::from_value(v)?,
+                };
+                Ok(KnowledgeModel::Gossip {
+                    peers_per_refresh,
+                    refresh_period_s,
+                })
+            }
+            _ => Err(DeError::expected("KnowledgeModel variant", value)),
+        }
+    }
 }
 
 impl KnowledgeModel {
@@ -92,8 +150,74 @@ impl KnowledgeModel {
     pub fn messages_per_scan(&self) -> u64 {
         match self {
             KnowledgeModel::Global => 0,
-            KnowledgeModel::Gossip { peers_per_refresh } => *peers_per_refresh as u64,
+            KnowledgeModel::Gossip {
+                peers_per_refresh, ..
+            } => *peers_per_refresh as u64,
         }
+    }
+
+    /// Parse the campaign/CLI knowledge grammar: `global`, `gossip:K`, or
+    /// `gossip:K:PERIOD` (peers per refresh `K`, refresh period in
+    /// seconds; omitted period couples exchanges to the swap-scan
+    /// cadence).
+    pub fn parse(spec: &str) -> Result<KnowledgeModel, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("global") {
+            return Ok(KnowledgeModel::Global);
+        }
+        let rest = spec
+            .strip_prefix("gossip:")
+            .ok_or_else(|| format!("unknown knowledge model '{spec}' (expected 'global', 'gossip:K', or 'gossip:K:PERIOD')"))?;
+        let (peers_part, period_part) = match rest.split_once(':') {
+            Some((p, t)) => (p, Some(t)),
+            None => (rest, None),
+        };
+        let peers_per_refresh: usize = peers_part
+            .parse()
+            .map_err(|_| format!("invalid gossip peer count '{peers_part}'"))?;
+        if peers_per_refresh == 0 {
+            return Err("gossip peer count must be at least 1".to_string());
+        }
+        let refresh_period_s = match period_part {
+            None => 0.0,
+            Some(t) => {
+                let period: f64 = t
+                    .parse()
+                    .map_err(|_| format!("invalid gossip refresh period '{t}'"))?;
+                if period.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("gossip refresh period must be positive".to_string());
+                }
+                period
+            }
+        };
+        Ok(KnowledgeModel::Gossip {
+            peers_per_refresh,
+            refresh_period_s,
+        })
+    }
+
+    /// The canonical grammar label for this model (inverse of
+    /// [`KnowledgeModel::parse`]).
+    pub fn label(&self) -> String {
+        match self {
+            KnowledgeModel::Global => "global".to_string(),
+            KnowledgeModel::Gossip {
+                peers_per_refresh,
+                refresh_period_s,
+            } => {
+                if *refresh_period_s > 0.0 {
+                    format!("gossip:{peers_per_refresh}:{refresh_period_s}")
+                } else {
+                    format!("gossip:{peers_per_refresh}")
+                }
+            }
+        }
+    }
+
+    /// `true` for models whose runs consult stale believed counts under
+    /// the default control-plane backend (i.e. everything but `Global`).
+    pub fn is_stale(&self) -> bool {
+        !matches!(self, KnowledgeModel::Global)
     }
 }
 
@@ -138,8 +262,66 @@ mod tests {
 
         let gossip = KnowledgeModel::Gossip {
             peers_per_refresh: 3,
+            refresh_period_s: 0.0,
         };
         assert_eq!(gossip.messages_per_change(25), 0);
         assert_eq!(gossip.messages_per_scan(), 3);
+    }
+
+    #[test]
+    fn knowledge_model_grammar_round_trips() {
+        assert_eq!(KnowledgeModel::parse("global"), Ok(KnowledgeModel::Global));
+        assert_eq!(
+            KnowledgeModel::parse("gossip:3"),
+            Ok(KnowledgeModel::Gossip {
+                peers_per_refresh: 3,
+                refresh_period_s: 0.0,
+            })
+        );
+        assert_eq!(
+            KnowledgeModel::parse("gossip:2:0.5"),
+            Ok(KnowledgeModel::Gossip {
+                peers_per_refresh: 2,
+                refresh_period_s: 0.5,
+            })
+        );
+        for spec in ["global", "gossip:3", "gossip:2:0.5"] {
+            let model = KnowledgeModel::parse(spec).unwrap();
+            assert_eq!(model.label(), spec);
+            assert_eq!(KnowledgeModel::parse(&model.label()), Ok(model));
+        }
+        assert!(KnowledgeModel::parse("gossip:0").is_err());
+        assert!(KnowledgeModel::parse("gossip:2:-1").is_err());
+        assert!(KnowledgeModel::parse("psychic").is_err());
+    }
+
+    #[test]
+    fn knowledge_model_legacy_bytes_are_preserved() {
+        // The period field must be invisible at its 0.0 default so legacy
+        // grids/caches keep their exact bytes and fingerprints.
+        let legacy = KnowledgeModel::Gossip {
+            peers_per_refresh: 4,
+            refresh_period_s: 0.0,
+        };
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            "{\"Gossip\":{\"peers_per_refresh\":4}}"
+        );
+        assert_eq!(
+            serde_json::to_string(&KnowledgeModel::Global).unwrap(),
+            "\"Global\""
+        );
+        let timed = KnowledgeModel::Gossip {
+            peers_per_refresh: 4,
+            refresh_period_s: 0.5,
+        };
+        assert_eq!(
+            serde_json::to_string(&timed).unwrap(),
+            "{\"Gossip\":{\"peers_per_refresh\":4,\"refresh_period_s\":0.5}}"
+        );
+        for model in [KnowledgeModel::Global, legacy, timed] {
+            let back = KnowledgeModel::from_value(&model.to_value()).unwrap();
+            assert_eq!(back, model);
+        }
     }
 }

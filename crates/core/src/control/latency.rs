@@ -1,0 +1,125 @@
+//! Classical propagation latency, derived from the link fabric.
+//!
+//! Gossip rows and swap-coordination messages travel over the classical
+//! network that parallels the quantum links. Their latency is a *physical*
+//! quantity: light in fibre covers ~200 000 km/s, and the deployed-fiber
+//! numbers the stack already calibrates against (Craddock et al.) give real
+//! per-link lengths via [`qnet_topology::LinkFabric`]. This module folds
+//! those lengths into a dense per-pair one-way delay table so the stale
+//! control plane can age knowledge by exactly the time the bits spent in
+//! flight. Without a fabric every generation-graph hop is assumed to span
+//! [`DEFAULT_HOP_KM`] of metro fibre.
+
+use qnet_sim::SimDuration;
+use qnet_topology::pairs::all_pairs;
+use qnet_topology::{Graph, LinkFabric, NodePair, PairMatrix, PathOracle};
+
+/// Kilometres assumed per generation-graph hop when no link fabric is
+/// attached (a metro-scale default, matching the `metro-fiber` preset's
+/// mid-range link length).
+pub const DEFAULT_HOP_KM: f64 = 10.0;
+
+/// Speed of light in fibre, km/s (refractive index ≈ 1.5).
+pub const FIBER_KM_PER_S: f64 = 200_000.0;
+
+/// Fixed per-message classical processing delay in seconds (serialization,
+/// routing, and endpoint handling), added on top of propagation.
+pub const PROCESSING_DELAY_S: f64 = 1e-3;
+
+/// One-way classical propagation delays between every node pair.
+///
+/// The classical network is assumed to follow the generation graph: the
+/// delay between two nodes is the fibre length of the shortest
+/// generation-graph path between them (per-edge lengths from the link
+/// fabric when one is attached, [`DEFAULT_HOP_KM`] per hop otherwise)
+/// divided by [`FIBER_KM_PER_S`]. Pairs disconnected in the generation
+/// graph are still classically reachable and get one default hop.
+#[derive(Debug, Clone)]
+pub struct PropagationDelays {
+    delays_s: PairMatrix<f64>,
+    max_delay_s: f64,
+}
+
+impl PropagationDelays {
+    /// Build the dense delay table over `graph` (eager: the stale control
+    /// plane probes it on every exchange and every deferred swap).
+    pub fn new(graph: &Graph, fabric: Option<&LinkFabric>, oracle: &PathOracle) -> Self {
+        let n = graph.node_count();
+        let mut delays_s = PairMatrix::new(n);
+        let mut max_delay_s = 0.0f64;
+        for pair in all_pairs(n) {
+            let km = match oracle.path(graph, pair.lo(), pair.hi()) {
+                Some(path) => match fabric {
+                    Some(f) => path
+                        .nodes
+                        .windows(2)
+                        .map(|w| {
+                            f.profile(NodePair::new(w[0], w[1]))
+                                .map(|p| p.length_km)
+                                .unwrap_or(DEFAULT_HOP_KM)
+                        })
+                        .sum(),
+                    None => DEFAULT_HOP_KM * path.nodes.len().saturating_sub(1) as f64,
+                },
+                // Disconnected in the generation graph: the classical
+                // network still reaches the peer; assume one default hop.
+                None => DEFAULT_HOP_KM,
+            };
+            let d = km / FIBER_KM_PER_S;
+            delays_s.set(pair, d);
+            max_delay_s = max_delay_s.max(d);
+        }
+        PropagationDelays {
+            delays_s,
+            max_delay_s,
+        }
+    }
+
+    /// One-way propagation delay between the endpoints of `pair`, seconds.
+    pub fn delay_s(&self, pair: NodePair) -> f64 {
+        *self.delays_s.get(pair)
+    }
+
+    /// [`PropagationDelays::delay_s`] as a [`SimDuration`].
+    pub fn duration(&self, pair: NodePair) -> SimDuration {
+        SimDuration::from_secs_f64(self.delay_s(pair))
+    }
+
+    /// The largest one-way delay in the table (bounds gossip-row age).
+    pub fn max_delay_s(&self) -> f64 {
+        self.max_delay_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::{NodeId, Topology};
+
+    #[test]
+    fn hop_counts_drive_fabricless_delays() {
+        let graph = Topology::Cycle { nodes: 6 }.build(0);
+        let oracle = PathOracle::new(&graph);
+        let delays = PropagationDelays::new(&graph, None, &oracle);
+        let one_hop = delays.delay_s(NodePair::new(NodeId(0), NodeId(1)));
+        let three_hop = delays.delay_s(NodePair::new(NodeId(0), NodeId(3)));
+        assert!((one_hop - DEFAULT_HOP_KM / FIBER_KM_PER_S).abs() < 1e-15);
+        assert!((three_hop - 3.0 * one_hop).abs() < 1e-15);
+        assert!((delays.max_delay_s() - three_hop).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fabric_lengths_override_the_default_hop() {
+        use qnet_topology::{FabricSpec, HardwarePreset};
+        let topology = Topology::DeployedFiber;
+        let graph = topology.build(7);
+        let oracle = PathOracle::new(&graph);
+        let fabric = FabricSpec::new(HardwarePreset::MetroFiber).realize(&topology, &graph, 7);
+        let delays = PropagationDelays::new(&graph, Some(&fabric), &oracle);
+        // Every fabric edge has its own length; a direct edge's delay must
+        // equal its profile length over the fibre speed.
+        let (pair, profile) = fabric.iter().next().expect("fabric has edges");
+        assert!((delays.delay_s(pair) - profile.length_km / FIBER_KM_PER_S).abs() < 1e-15);
+        assert!(delays.max_delay_s() > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The simulated classical control plane: stale knowledge, gossip, latency.
+//!
+//! The paper's §6 relaxes the oblivious discipline's global-knowledge
+//! assumption with BitTorrent-like gossip. This module makes that
+//! relaxation *simulable* instead of merely counted: under
+//! [`crate::classical::KnowledgeModel::Gossip`] every node holds a
+//! [`KnowledgeView`] — its possibly-stale copy of the network-wide
+//! buffer-count state — refreshed by periodic latency-delayed gossip
+//! exchanges ([`StaleControl`]), while the world keeps mutating ground
+//! truth. Policies then decide on *believed* counts, and actions proposed
+//! on stale rows can miss when truth has drifted — a distinct failure
+//! class with its own observer hook, trace record, and run metrics.
+//!
+//! Backend selection follows the standing runtime-backend pattern
+//! (`QNET_EVENT_QUEUE`, `QNET_INVENTORY`, ...): the latency-aware stale
+//! plane is the default for gossip knowledge, and `QNET_KNOWLEDGE=truth`
+//! reverts to the legacy synchronous [`GossipState`] (per-scan instant
+//! refresh against truth, no staleness). [`KnowledgeModel::Global`] never
+//! builds a control plane at all and stays byte-identical everywhere.
+//!
+//! [`KnowledgeModel::Global`]: crate::classical::KnowledgeModel::Global
+
+pub mod gossip;
+pub mod latency;
+pub mod views;
+
+pub use gossip::StaleControl;
+pub use latency::{PropagationDelays, DEFAULT_HOP_KM, FIBER_KM_PER_S, PROCESSING_DELAY_S};
+pub use views::{KnowledgeView, OwnerAwareView};
+
+use crate::gossip::GossipState;
+use qnet_topology::NodePair;
+
+/// Which control-plane backend a gossip-knowledge world runs.
+#[derive(Debug)]
+pub enum ControlPlane {
+    /// Legacy synchronous gossip (`QNET_KNOWLEDGE=truth`): views refresh
+    /// instantly against ground truth at every swap scan and decisions
+    /// execute immediately — no staleness, no misses.
+    Legacy(GossipState),
+    /// The latency-aware stale plane (default): event-driven exchanges,
+    /// in-flight rows, believed-count decisions, deferred execution.
+    Stale(StaleControl),
+}
+
+impl ControlPlane {
+    /// The stale backend, if that is what this plane runs.
+    pub fn as_stale(&self) -> Option<&StaleControl> {
+        match self {
+            ControlPlane::Stale(s) => Some(s),
+            ControlPlane::Legacy(_) => None,
+        }
+    }
+}
+
+/// `true` when gossip knowledge should run the stale event-driven plane
+/// (the default); `QNET_KNOWLEDGE=truth` selects the legacy synchronous
+/// backend instead, mirroring `QNET_EVENT_QUEUE` / `QNET_INVENTORY`.
+pub fn stale_backend_from_env() -> bool {
+    !matches!(std::env::var("QNET_KNOWLEDGE").as_deref(), Ok("truth"))
+}
+
+/// Scratch pad the world hands policies (via
+/// [`crate::policy::PolicyCtx`]) to report what their stale decisions
+/// relied on. The world drains it into [`crate::observer::RunObserver`]
+/// hooks after every policy call; under global knowledge it is never
+/// written, which is what keeps `Global` runs byte-identical.
+#[derive(Debug, Default)]
+pub struct DecisionTelemetry {
+    row_ages_s: Vec<f64>,
+    missed: Vec<NodePair>,
+}
+
+impl DecisionTelemetry {
+    /// Record the age (seconds) of a believed row a decision consulted.
+    pub fn record_age(&mut self, age_s: f64) {
+        self.row_ages_s.push(age_s);
+    }
+
+    /// Record a missed action: believed-feasible, but ground truth had
+    /// drifted and the execution failed.
+    pub fn record_miss(&mut self, pair: NodePair) {
+        self.missed.push(pair);
+    }
+
+    /// `true` when there is nothing to drain.
+    pub fn is_empty(&self) -> bool {
+        self.row_ages_s.is_empty() && self.missed.is_empty()
+    }
+
+    /// Drain the recorded row ages.
+    pub fn take_ages(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.row_ages_s)
+    }
+
+    /// Drain the recorded misses.
+    pub fn take_misses(&mut self) -> Vec<NodePair> {
+        std::mem::take(&mut self.missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_topology::NodeId;
+
+    #[test]
+    fn telemetry_drains_clean() {
+        let mut t = DecisionTelemetry::default();
+        assert!(t.is_empty());
+        t.record_age(0.5);
+        t.record_miss(NodePair::new(NodeId(0), NodeId(1)));
+        assert!(!t.is_empty());
+        assert_eq!(t.take_ages(), vec![0.5]);
+        assert_eq!(t.take_misses().len(), 1);
+        assert!(t.is_empty());
+    }
+}

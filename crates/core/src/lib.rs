@@ -17,7 +17,9 @@
 //!   [`experiment`], [`metrics`]),
 //! * the §6 extensions: hybrid oblivious + minimal planning ([`hybrid`]),
 //!   partial-knowledge (gossip) dissemination of buffer counts ([`gossip`]),
-//!   and classical-overhead accounting ([`classical`]).
+//!   classical-overhead accounting ([`classical`]), and the simulated
+//!   classical control plane — stale per-node knowledge views refreshed by
+//!   latency-delayed gossip ([`control`]).
 //!
 //! ## Quick start
 //!
@@ -51,6 +53,7 @@
 pub mod balancer;
 pub mod classical;
 pub mod config;
+pub mod control;
 pub mod experiment;
 pub mod gossip;
 pub mod hybrid;

@@ -249,6 +249,16 @@ pub struct RunMetrics {
     /// Pairs still stored in the inventory at the end of the run (the
     /// "leftover value" the paper's conservative-scoring note mentions).
     pub leftover_pairs: u64,
+    /// Swap actions that were believed feasible on stale counts but failed
+    /// against drifted ground truth (stale control plane only; 0 under
+    /// global knowledge and the legacy gossip backend).
+    pub missed_swaps: u64,
+    /// Mean age in seconds of the believed knowledge rows consulted at
+    /// decision time (`None` outside the stale control plane).
+    pub stale_row_age_mean_s: Option<f64>,
+    /// 95th-percentile believed-row age in seconds at decision time
+    /// (`None` outside the stale control plane).
+    pub stale_row_age_p95_s: Option<f64>,
 }
 
 impl Serialize for RunMetrics {
@@ -295,6 +305,17 @@ impl Serialize for RunMetrics {
                 self.fidelity_rejected_requests.to_value(),
             ));
         }
+        // Staleness columns join only for stale-control-plane runs, so
+        // global-knowledge (and legacy-backend) cells keep legacy bytes.
+        if self.missed_swaps > 0 {
+            entries.push(("missed_swaps".to_string(), self.missed_swaps.to_value()));
+        }
+        if let Some(mean) = self.stale_row_age_mean_s {
+            entries.push(("stale_row_age_mean_s".to_string(), mean.to_value()));
+        }
+        if let Some(p95) = self.stale_row_age_p95_s {
+            entries.push(("stale_row_age_p95_s".to_string(), p95.to_value()));
+        }
         if let Some(summary) = &self.streamed {
             entries.push(("streamed".to_string(), summary.to_value()));
         }
@@ -312,6 +333,12 @@ impl Deserialize for RunMetrics {
             match field(name) {
                 Value::Null => Ok(0),
                 v => Deserialize::from_value(v),
+            }
+        };
+        let optional = |name: &str| -> Result<Option<f64>, DeError> {
+            match field(name) {
+                Value::Null => Ok(None),
+                v => Deserialize::from_value(v).map(Some),
             }
         };
         if !matches!(field("streamed"), Value::Null) {
@@ -337,6 +364,9 @@ impl Deserialize for RunMetrics {
             classical: Deserialize::from_value(field("classical"))?,
             ended_at: Deserialize::from_value(field("ended_at"))?,
             leftover_pairs: Deserialize::from_value(field("leftover_pairs"))?,
+            missed_swaps: counter("missed_swaps")?,
+            stale_row_age_mean_s: optional("stale_row_age_mean_s")?,
+            stale_row_age_p95_s: optional("stale_row_age_p95_s")?,
         })
     }
 }
@@ -537,6 +567,9 @@ mod tests {
             classical: ClassicalStats::new(),
             ended_at: SimTime::from_secs(10),
             leftover_pairs: 7,
+            missed_swaps: 0,
+            stale_row_age_mean_s: None,
+            stale_row_age_p95_s: None,
         }
     }
 
@@ -649,6 +682,26 @@ mod tests {
         let back = RunMetrics::from_value(&v).unwrap();
         assert_eq!(back, physical);
         assert_eq!(back.satisfied[1].fidelity, Some(0.83));
+    }
+
+    #[test]
+    fn staleness_fields_keep_legacy_bytes_when_inactive() {
+        let global = base_metrics();
+        let v = global.to_value();
+        assert!(v.get_field("missed_swaps").is_none());
+        assert!(v.get_field("stale_row_age_mean_s").is_none());
+        assert!(v.get_field("stale_row_age_p95_s").is_none());
+        let back = RunMetrics::from_value(&v).unwrap();
+        assert_eq!(back, global);
+
+        let mut stale = base_metrics();
+        stale.missed_swaps = 3;
+        stale.stale_row_age_mean_s = Some(0.42);
+        stale.stale_row_age_p95_s = Some(1.25);
+        let v = stale.to_value();
+        assert_eq!(*v.get_field("missed_swaps").unwrap(), 3u64);
+        let back = RunMetrics::from_value(&v).unwrap();
+        assert_eq!(back, stale);
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //! [`crate::experiment`] owns the engine, resolves a policy from the
 //! registry and extracts the metrics.
 
+use crate::balancer::SwapCandidate;
 use crate::classical::KnowledgeModel;
 use crate::config::NetworkConfig;
+use crate::control::{
+    self, ControlPlane, DecisionTelemetry, PropagationDelays, StaleControl, PROCESSING_DELAY_S,
+};
 use crate::gossip::GossipState;
 use crate::inventory::Inventory;
 use crate::metrics::{RunMetrics, SatisfiedRequest};
@@ -65,6 +69,23 @@ pub enum NetEvent {
     /// handled without touching the clocked world state, so lazily driven
     /// runs match eagerly scheduled ones.
     ArrivalWake,
+    /// A node runs one gossip exchange: it pulls `peers_per_refresh`
+    /// rotating peers' count rows, which arrive after their classical
+    /// propagation delay. Scheduled only under the stale control plane
+    /// (gossip knowledge without `QNET_KNOWLEDGE=truth`); never fires under
+    /// `Global` knowledge, keeping those runs byte-identical.
+    GossipExchange {
+        /// The exchanging (pulling) node.
+        node: NodeId,
+    },
+    /// Execute a balancing swap proposed on a node's (possibly stale)
+    /// believed counts. Scheduled one classical coordination round-trip
+    /// after the scan that proposed it; by the time it fires, ground truth
+    /// may have drifted and the swap can *miss*. Stale control plane only.
+    SwapExecute {
+        /// The proposed swap.
+        candidate: SwapCandidate,
+    },
 }
 
 /// How many lazily generated arrivals are scheduled per
@@ -148,7 +169,13 @@ pub struct QuantumNetworkWorld {
     knowledge: KnowledgeModel,
     graph: Graph,
     inventory: Inventory,
-    gossip: Option<GossipState>,
+    /// The classical control plane: `None` under `Global` knowledge
+    /// (instantaneous truth), the legacy synchronous gossip or the stale
+    /// event-driven plane otherwise (see [`crate::control`]).
+    control: Option<ControlPlane>,
+    /// Scratch the policy fills with row ages / misses during stale
+    /// decisions; drained into observer hooks after every policy call.
+    telemetry: DecisionTelemetry,
     pending: PendingQueue,
     /// Requests scheduled as arrival events but not yet delivered.
     arrivals_outstanding: usize,
@@ -250,16 +277,29 @@ impl QuantumNetworkWorld {
                     .map(|(pair, prof)| (pair, prof.initial_fidelity, prof.coherence_time_s)),
             );
         }
-        let gossip = match knowledge {
-            KnowledgeModel::Gossip { peers_per_refresh } => {
-                Some(GossipState::new(n, peers_per_refresh))
-            }
-            KnowledgeModel::Global => None,
-        };
         let rng = SimRng::new(seed).derive("network");
         let pending = PendingQueue::for_policy(policy.as_ref());
         let inert_blocked_hook = policy.blocked_hook_is_inert();
         let oracle = PathOracle::new(&graph);
+        let control = match knowledge {
+            KnowledgeModel::Global => None,
+            KnowledgeModel::Gossip {
+                peers_per_refresh,
+                refresh_period_s,
+            } => Some(if control::stale_backend_from_env() {
+                let delays = PropagationDelays::new(&graph, fabric.as_ref(), &oracle);
+                // Period 0.0 couples exchanges to the swap-scan cadence,
+                // the rate the legacy synchronous backend refreshed at.
+                let period = if refresh_period_s > 0.0 {
+                    refresh_period_s
+                } else {
+                    1.0 / config.swap_scan_rate
+                };
+                ControlPlane::Stale(StaleControl::new(n, peers_per_refresh, period, delays))
+            } else {
+                ControlPlane::Legacy(GossipState::new(n, peers_per_refresh))
+            }),
+        };
         let edge_index = EdgeIndex::new(&graph);
         let edge_rates = edge_index.table(|pair| {
             fabric
@@ -275,7 +315,8 @@ impl QuantumNetworkWorld {
             knowledge,
             graph,
             inventory,
-            gossip,
+            control,
+            telemetry: DecisionTelemetry::default(),
             pending,
             arrivals_outstanding: 0,
             arrival_stream: None,
@@ -358,6 +399,17 @@ impl QuantumNetworkWorld {
                 queue.schedule_at(SimTime::ZERO + offset, NetEvent::SwapScan { node });
             }
         }
+        // Stale gossip exchanges stagger deterministically (period · i/n)
+        // with no RNG draws, so adding the control plane never perturbs the
+        // draw sequence of the physical processes above.
+        if let Some(ControlPlane::Stale(ctl)) = &self.control {
+            let period = ctl.period();
+            let n = self.graph.node_count();
+            for (i, node) in self.graph.nodes().enumerate() {
+                let offset = period.mul_f64(i as f64 / n as f64);
+                queue.schedule_at(SimTime::ZERO + offset, NetEvent::GossipExchange { node });
+            }
+        }
     }
 
     /// Generation rate of `edge`: its fabric profile's rate when a link
@@ -424,24 +476,50 @@ impl QuantumNetworkWorld {
     }
 
     /// Hand the policy a decision context over the split-borrowed substrate.
-    fn blocked_request_action(&mut self, request: &ConsumptionRequest) -> RequestAction {
-        let QuantumNetworkWorld {
-            policy,
-            config,
-            graph,
-            inventory,
-            gossip,
-            oracle,
-            ..
-        } = self;
-        let mut ctx = PolicyCtx {
-            config,
-            graph,
-            inventory,
-            gossip: gossip.as_ref(),
-            oracle,
+    fn blocked_request_action(
+        &mut self,
+        now: SimTime,
+        request: &ConsumptionRequest,
+    ) -> RequestAction {
+        let action = {
+            let QuantumNetworkWorld {
+                policy,
+                config,
+                graph,
+                inventory,
+                control,
+                telemetry,
+                oracle,
+                ..
+            } = self;
+            let mut ctx = PolicyCtx {
+                config,
+                graph,
+                inventory,
+                control: control.as_ref(),
+                now,
+                telemetry,
+                oracle,
+            };
+            policy.on_blocked_request(&mut ctx, request)
         };
-        policy.on_blocked_request(&mut ctx, request)
+        self.drain_decision_telemetry(now);
+        action
+    }
+
+    /// Forward whatever row ages / misses the last policy call recorded to
+    /// the observers. A no-op (single branch) under global knowledge, where
+    /// the telemetry pad is never written.
+    fn drain_decision_telemetry(&mut self, now: SimTime) {
+        if self.telemetry.is_empty() {
+            return;
+        }
+        for age_s in self.telemetry.take_ages() {
+            self.notify(|o| o.on_stale_decision(now, age_s));
+        }
+        for pair in self.telemetry.take_misses() {
+            self.notify(|o| o.on_swap_missed(now, pair));
+        }
     }
 
     /// Account `swaps` repair swaps performed inside a policy hook.
@@ -508,7 +586,7 @@ impl QuantumNetworkWorld {
                 if self.inert_blocked_hook {
                     return;
                 }
-                match self.blocked_request_action(&head) {
+                match self.blocked_request_action(now, &head) {
                     RequestAction::Wait => return,
                     RequestAction::Drop => {
                         self.pending.fifo().pop_front();
@@ -608,7 +686,7 @@ impl QuantumNetworkWorld {
             let mut repair_swaps = 0u64;
             let mut ok = self.inventory.count(req.pair) >= k;
             if !ok {
-                match self.blocked_request_action(&req) {
+                match self.blocked_request_action(now, &req) {
                     RequestAction::Wait => {}
                     RequestAction::Drop => {
                         self.notify(|o| o.on_request_dropped(now, &req));
@@ -687,9 +765,10 @@ impl QuantumNetworkWorld {
     }
 
     fn handle_swap_scan(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<NetEvent>) {
-        // Knowledge refresh (and its classical cost) happens before the
-        // policy's decision.
-        if let Some(gossip) = &mut self.gossip {
+        // Legacy synchronous gossip: knowledge refresh (and its classical
+        // cost) happens right before the policy's decision. The stale plane
+        // refreshes via its own [`NetEvent::GossipExchange`] events instead.
+        if let Some(ControlPlane::Legacy(gossip)) = &mut self.control {
             let msgs = gossip.refresh(node, &self.inventory);
             self.notify(|o| o.on_count_updates(now, msgs));
         }
@@ -700,7 +779,8 @@ impl QuantumNetworkWorld {
                 config,
                 graph,
                 inventory,
-                gossip,
+                control,
+                telemetry,
                 oracle,
                 ..
             } = self;
@@ -708,31 +788,99 @@ impl QuantumNetworkWorld {
                 config,
                 graph,
                 inventory,
-                gossip: gossip.as_ref(),
+                control: control.as_ref(),
+                now,
+                telemetry,
                 oracle,
             };
             policy.on_swap_scan(&mut ctx, node)
         };
+        self.drain_decision_telemetry(now);
 
         if let Some(c) = candidate {
-            let k = self.config.pairs_per_distilled();
-            if self
-                .inventory
-                .apply_swap(c.repeater, c.left, c.right, k, k)
-                .is_ok()
-            {
-                self.notify(|o| o.on_swap(now, SwapKind::Balancing));
-                self.notify(|o| o.on_swap_correction(now));
-                self.record_inventory_change(now);
-                self.arm_cutoff_sweep(now, queue);
-                // The swap product is the only pair that gained inventory.
-                self.try_satisfy_after_gain(now, NodePair::new(c.left, c.right));
+            match &self.control {
+                // Stale plane: the repeater must coordinate the swap with
+                // both remote beneficiaries over the classical network, so
+                // execution lands one round-trip later — against a truth
+                // that may have drifted from the counts the scan believed.
+                Some(ControlPlane::Stale(ctl)) => {
+                    let delays = ctl.delays();
+                    let worst = delays
+                        .delay_s(NodePair::new(c.repeater, c.left))
+                        .max(delays.delay_s(NodePair::new(c.repeater, c.right)));
+                    let exec_delay = SimDuration::from_secs_f64(2.0 * worst + PROCESSING_DELAY_S);
+                    queue.schedule_at(now + exec_delay, NetEvent::SwapExecute { candidate: c });
+                }
+                _ => {
+                    self.execute_balancing_swap(now, c, queue);
+                }
             }
         }
 
         if !self.is_done() {
             let interval = SimDuration::from_secs_f64(1.0 / self.config.swap_scan_rate);
             queue.schedule_after(now, interval, NetEvent::SwapScan { node });
+        }
+    }
+
+    /// Apply a balancing-swap candidate against ground truth and account
+    /// it. Returns `false` when the inventory can no longer cover the swap
+    /// (only possible when the candidate was decided on stale counts).
+    fn execute_balancing_swap(
+        &mut self,
+        now: SimTime,
+        c: SwapCandidate,
+        queue: &mut EventQueue<NetEvent>,
+    ) -> bool {
+        let k = self.config.pairs_per_distilled();
+        if self
+            .inventory
+            .apply_swap(c.repeater, c.left, c.right, k, k)
+            .is_ok()
+        {
+            self.notify(|o| o.on_swap(now, SwapKind::Balancing));
+            self.notify(|o| o.on_swap_correction(now));
+            self.record_inventory_change(now);
+            self.arm_cutoff_sweep(now, queue);
+            // The swap product is the only pair that gained inventory.
+            self.try_satisfy_after_gain(now, NodePair::new(c.left, c.right));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A deferred (stale-decided) swap reaches its execution time: apply it
+    /// against ground truth, or record a miss when truth has drifted away
+    /// from the counts the proposing scan believed.
+    fn handle_swap_execute(
+        &mut self,
+        now: SimTime,
+        c: SwapCandidate,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        if !self.execute_balancing_swap(now, c, queue) {
+            self.notify(|o| o.on_swap_missed(now, NodePair::new(c.left, c.right)));
+        }
+    }
+
+    /// A gossip exchange fires under the stale control plane: pull the next
+    /// rotating peers' rows (they arrive after their propagation delay) and
+    /// charge the classical message cost.
+    fn handle_gossip_exchange(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let Some(ControlPlane::Stale(ctl)) = &mut self.control else {
+            return;
+        };
+        let period = ctl.period();
+        let msgs = ctl.exchange(now, node, &self.inventory);
+        self.notify(|o| o.on_count_updates(now, msgs));
+        if !self.is_done() {
+            queue.schedule_after(now, period, NetEvent::GossipExchange { node });
         }
     }
 
@@ -791,7 +939,7 @@ impl QuantumNetworkWorld {
         let mut repair_swaps = 0u64;
         let mut ok = self.inventory.count(req.pair) >= k;
         if !ok {
-            match self.blocked_request_action(&req) {
+            match self.blocked_request_action(now, &req) {
                 RequestAction::Wait => {}
                 RequestAction::Drop => {
                     self.notify(|o| o.on_request_dropped(now, &req));
@@ -813,23 +961,30 @@ impl QuantumNetworkWorld {
 
     /// Give the policy its end-of-run accounting hook.
     pub fn finish(&mut self) {
-        let QuantumNetworkWorld {
-            policy,
-            config,
-            graph,
-            inventory,
-            gossip,
-            oracle,
-            ..
-        } = self;
-        let mut ctx = PolicyCtx {
-            config,
-            graph,
-            inventory,
-            gossip: gossip.as_ref(),
-            oracle,
-        };
-        policy.on_run_end(&mut ctx);
+        let now = self.recorder.last_event_time();
+        {
+            let QuantumNetworkWorld {
+                policy,
+                config,
+                graph,
+                inventory,
+                control,
+                telemetry,
+                oracle,
+                ..
+            } = self;
+            let mut ctx = PolicyCtx {
+                config,
+                graph,
+                inventory,
+                control: control.as_ref(),
+                now,
+                telemetry,
+                oracle,
+            };
+            policy.on_run_end(&mut ctx);
+        }
+        self.drain_decision_telemetry(now);
     }
 
     /// Extract the run metrics (consumes nothing; can be called at any time).
@@ -858,12 +1013,20 @@ impl World for QuantumNetworkWorld {
         // inventory (including policy hooks). A no-op under ideal physics.
         self.inventory.set_clock(now);
         self.notify(|o| o.on_event(now));
+        // In-flight gossip rows mature before the event's decision logic,
+        // so views are as fresh as the classical network allows — never
+        // fresher. A single no-op branch under global knowledge.
+        if let Some(ControlPlane::Stale(ctl)) = &mut self.control {
+            ctl.deliver_matured(now);
+        }
         match event {
             NetEvent::Generate { edge } => self.handle_generate(now, edge, queue),
             NetEvent::SwapScan { node } => self.handle_swap_scan(now, node, queue),
             NetEvent::RequestArrival { request } => self.handle_request_arrival(now, request),
             NetEvent::CutoffSweep => self.handle_cutoff_sweep(now, queue),
             NetEvent::ArrivalWake => unreachable!("intercepted above"),
+            NetEvent::GossipExchange { node } => self.handle_gossip_exchange(now, node, queue),
+            NetEvent::SwapExecute { candidate } => self.handle_swap_execute(now, candidate, queue),
         }
     }
 }
@@ -923,6 +1086,7 @@ mod tests {
             PolicyId::OBLIVIOUS,
             KnowledgeModel::Gossip {
                 peers_per_refresh: 2,
+                refresh_period_s: 0.0,
             },
             19,
             600,

@@ -11,7 +11,7 @@
 use crate::classical::ClassicalStats;
 use crate::metrics::{RunMetrics, SatisfiedRequest, StreamedSummary};
 use crate::workload::ConsumptionRequest;
-use qnet_sim::stats::DEFAULT_EXACT_SAMPLE_THRESHOLD;
+use qnet_sim::stats::{RunningStats, StreamingQuantiles, DEFAULT_EXACT_SAMPLE_THRESHOLD};
 use qnet_sim::SimTime;
 use qnet_topology::NodePair;
 
@@ -65,6 +65,15 @@ pub trait RunObserver: std::fmt::Debug + Send {
         _fidelity: f64,
     ) {
     }
+    /// An action decided on stale believed counts failed against ground
+    /// truth (the counts had drifted): the proposed swap towards `pair`
+    /// *missed*. Fires only under the stale control plane
+    /// ([`crate::control`]); `Global`-knowledge runs never miss.
+    fn on_swap_missed(&mut self, _now: SimTime, _pair: NodePair) {}
+    /// A policy decision consulted a stale believed row that was
+    /// `row_age_s` seconds old. One hook per load-bearing row, fired only
+    /// under the stale control plane.
+    fn on_stale_decision(&mut self, _now: SimTime, _row_age_s: f64) {}
 }
 
 /// The standard observer: folds the run's events into [`RunMetrics`].
@@ -92,6 +101,9 @@ pub struct MetricsRecorder {
     fidelity_rejected_requests: u64,
     classical: ClassicalStats,
     last_event_time: SimTime,
+    missed_swaps: u64,
+    stale_age: RunningStats,
+    stale_age_quantiles: StreamingQuantiles,
 }
 
 impl Default for MetricsRecorder {
@@ -120,6 +132,9 @@ impl MetricsRecorder {
             fidelity_rejected_requests: 0,
             classical: ClassicalStats::default(),
             last_event_time: SimTime::ZERO,
+            missed_swaps: 0,
+            stale_age: RunningStats::new(),
+            stale_age_quantiles: StreamingQuantiles::new(exact_threshold),
         }
     }
 
@@ -129,6 +144,7 @@ impl MetricsRecorder {
     pub fn with_exact_threshold(exact_threshold: usize) -> Self {
         MetricsRecorder {
             exact_threshold,
+            stale_age_quantiles: StreamingQuantiles::new(exact_threshold),
             ..MetricsRecorder::new()
         }
     }
@@ -167,6 +183,9 @@ impl MetricsRecorder {
             classical: self.classical,
             ended_at: self.last_event_time,
             leftover_pairs,
+            missed_swaps: self.missed_swaps,
+            stale_row_age_mean_s: (self.stale_age.count() > 0).then(|| self.stale_age.mean()),
+            stale_row_age_p95_s: self.stale_age_quantiles.quantile(0.95),
         }
     }
 }
@@ -238,6 +257,15 @@ impl RunObserver for MetricsRecorder {
     ) {
         self.fidelity_rejected_requests += 1;
     }
+
+    fn on_swap_missed(&mut self, _now: SimTime, _pair: NodePair) {
+        self.missed_swaps += 1;
+    }
+
+    fn on_stale_decision(&mut self, _now: SimTime, row_age_s: f64) {
+        self.stale_age.record(row_age_s);
+        self.stale_age_quantiles.record(row_age_s);
+    }
 }
 
 /// Share one observer between the world and the caller: an
@@ -300,6 +328,16 @@ impl<O: RunObserver> RunObserver for std::sync::Arc<std::sync::Mutex<O>> {
             .expect("observer poisoned")
             .on_fidelity_rejected(now, request, fidelity);
     }
+    fn on_swap_missed(&mut self, now: SimTime, pair: NodePair) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_swap_missed(now, pair);
+    }
+    fn on_stale_decision(&mut self, now: SimTime, row_age_s: f64) {
+        self.lock()
+            .expect("observer poisoned")
+            .on_stale_decision(now, row_age_s);
+    }
 }
 
 /// A minimal auxiliary observer counting event categories — useful in tests
@@ -322,6 +360,10 @@ pub struct EventCounts {
     pub expired: u64,
     /// Deliveries rejected for falling below the fidelity floor.
     pub fidelity_rejected: u64,
+    /// Stale-decided swaps that missed against drifted ground truth.
+    pub missed_swaps: u64,
+    /// Stale believed rows consulted by policy decisions.
+    pub stale_decisions: u64,
 }
 
 impl RunObserver for EventCounts {
@@ -359,6 +401,14 @@ impl RunObserver for EventCounts {
         _fidelity: f64,
     ) {
         self.fidelity_rejected += 1;
+    }
+
+    fn on_swap_missed(&mut self, _now: SimTime, _pair: NodePair) {
+        self.missed_swaps += 1;
+    }
+
+    fn on_stale_decision(&mut self, _now: SimTime, _row_age_s: f64) {
+        self.stale_decisions += 1;
     }
 }
 

@@ -13,27 +13,38 @@
 //! executors from inside the simulation harness; the pure analytic optimum
 //! used by the swap-overhead metric lives in [`crate::nested`].
 
+use crate::balancer::CountView;
 use crate::inventory::Inventory;
 use qnet_topology::{NodeId, NodePair};
 use std::collections::BTreeMap;
 
 /// A count-space scratch view over an inventory: reads fall through to the
-/// ground truth, writes land in small overlay maps. Whether a nested build
+/// base counts, writes land in small overlay maps. Whether a nested build
 /// succeeds depends *only* on pool counts, node loads and the buffer limit
 /// — never on the lot store — so a dry run against this overlay predicts
 /// [`build_segment`]'s verdict exactly without cloning the inventory (whose
 /// count matrix alone is N²/2 words — the clone per blocked request was
-/// what dominated planned-baseline runs at |N| ≈ 10³).
+/// what dominated planned-baseline runs at |N| ≈ 10³). The base counts are
+/// ground truth for the exact dry run, or a stale believed view
+/// ([`crate::control::KnowledgeView`]) when predicting what a
+/// partial-knowledge consumer would decide; loads and the buffer limit
+/// always come from truth.
 struct CountOverlay<'a> {
     truth: &'a Inventory,
+    believed: &'a dyn CountView,
     counts: BTreeMap<NodePair, u64>,
     loads: BTreeMap<NodeId, u64>,
 }
 
 impl<'a> CountOverlay<'a> {
     fn new(truth: &'a Inventory) -> Self {
+        CountOverlay::with_believed(truth, truth)
+    }
+
+    fn with_believed(truth: &'a Inventory, believed: &'a dyn CountView) -> Self {
         CountOverlay {
             truth,
+            believed,
             counts: BTreeMap::new(),
             loads: BTreeMap::new(),
         }
@@ -43,7 +54,7 @@ impl<'a> CountOverlay<'a> {
         self.counts
             .get(&pair)
             .copied()
-            .unwrap_or_else(|| self.truth.count(pair))
+            .unwrap_or_else(|| self.believed.count(pair))
     }
 
     fn load(&self, node: NodeId) -> u64 {
@@ -189,6 +200,27 @@ pub fn execute_nested_along_path(
     let swaps = build_segment(inventory, path, 0, path.len() - 1, count, k)
         .expect("dry run verified count-space feasibility");
     Some(swaps)
+}
+
+/// Dry-run the nested build over *believed* counts: whether a consumer that
+/// trusts `believed` for pool counts would judge `count` pairs spanning
+/// `path` buildable. Node loads and the buffer limit still come from
+/// `truth` — they are local-node state every node knows exactly. Used by
+/// the stale control plane to separate "believed infeasible, wait" from
+/// "believed feasible but truth disagrees — a missed swap".
+pub(crate) fn dry_run_nested_along_path(
+    truth: &Inventory,
+    believed: &dyn CountView,
+    path: &[NodeId],
+    count: u64,
+    k: u64,
+) -> bool {
+    assert!(path.len() >= 2, "a swap path needs at least two nodes");
+    if count == 0 {
+        return true;
+    }
+    let mut overlay = CountOverlay::with_believed(truth, believed);
+    dry_run_segment(&mut overlay, path, 0, path.len() - 1, count, k)
 }
 
 /// The number of swaps [`execute_nested_along_path`] performs when every base

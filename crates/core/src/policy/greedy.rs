@@ -12,6 +12,8 @@
 //! `ProtocolMode` enum, and the registry's proof of extensibility.
 
 use super::{PolicyCtx, PolicyId, PolicyParams, RequestAction, SwapPolicy};
+use crate::balancer::CountView;
+use crate::control::ControlPlane;
 use crate::inventory::Inventory;
 use crate::workload::ConsumptionRequest;
 use qnet_topology::{NodeId, NodePair};
@@ -29,9 +31,12 @@ pub enum TieBreak {
 
 /// Pick the interior split index `j ∈ (from, to)` whose two sub-pools
 /// currently hold the most stock, measured by `min(count(from,j),
-/// count(j,to))`.
+/// count(j,to))`. The counts come from ground truth under global
+/// knowledge, or from the consumer's stale believed view under the
+/// partial-knowledge control plane — the *ordering* is then a decision
+/// made on possibly-out-of-date information.
 fn choose_split(
-    inventory: &Inventory,
+    counts: &dyn CountView,
     path: &[NodeId],
     from: usize,
     to: usize,
@@ -42,9 +47,9 @@ fn choose_split(
     let mut best = from + 1;
     let mut best_stock = 0u64;
     for j in from + 1..to {
-        let stock = inventory
+        let stock = counts
             .count(NodePair::new(path[from], path[j]))
-            .min(inventory.count(NodePair::new(path[j], path[to])));
+            .min(counts.count(NodePair::new(path[j], path[to])));
         let better = stock > best_stock
             || (stock == best_stock
                 && match tie {
@@ -59,8 +64,10 @@ fn choose_split(
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_segment_greedy(
     inventory: &mut Inventory,
+    believed: Option<&dyn CountView>,
     path: &[NodeId],
     from: usize,
     to: usize,
@@ -78,10 +85,13 @@ fn build_segment_greedy(
         return None;
     }
     let missing = need - have;
-    let j = choose_split(inventory, path, from, to, tie);
+    let j = match believed {
+        Some(view) => choose_split(view, path, from, to, tie),
+        None => choose_split(&*inventory, path, from, to, tie),
+    };
     let mut swaps = 0;
-    swaps += build_segment_greedy(inventory, path, from, j, k * missing, k, tie)?;
-    swaps += build_segment_greedy(inventory, path, j, to, k * missing, k, tie)?;
+    swaps += build_segment_greedy(inventory, believed, path, from, j, k * missing, k, tie)?;
+    swaps += build_segment_greedy(inventory, believed, path, j, to, k * missing, k, tie)?;
     for _ in 0..missing {
         inventory
             .apply_swap(path[j], path[from], path[to], k, k)
@@ -108,7 +118,46 @@ pub fn execute_greedy_along_path(
         return Some(0);
     }
     let mut trial = inventory.clone();
-    let swaps = build_segment_greedy(&mut trial, path, 0, path.len() - 1, count, k, tie)?;
+    let swaps = build_segment_greedy(&mut trial, None, path, 0, path.len() - 1, count, k, tie)?;
+    *inventory = trial;
+    Some(swaps)
+}
+
+/// [`execute_greedy_along_path`] with the split *ordering* decided on the
+/// consumer's believed counts instead of ground truth: the stale-control-
+/// plane variant. Feasibility checks and the swaps themselves still run
+/// against truth (atomically, on a trial clone) — only the decision of
+/// *where* to split is stale. The believed snapshot is fixed at entry (a
+/// consumer plans the whole order from one read of its view, with its own
+/// pools exact).
+pub fn execute_greedy_along_path_stale(
+    inventory: &mut Inventory,
+    view: &crate::control::KnowledgeView,
+    consumer: NodeId,
+    path: &[NodeId],
+    count: u64,
+    k: u64,
+    tie: TieBreak,
+) -> Option<u64> {
+    assert!(path.len() >= 2, "a swap path needs at least two nodes");
+    assert!(k >= 1, "the distillation draw factor is at least one");
+    if count == 0 {
+        return Some(0);
+    }
+    let mut trial = inventory.clone();
+    let swaps = {
+        let believed = view.for_owner(consumer, inventory);
+        build_segment_greedy(
+            &mut trial,
+            Some(&believed),
+            path,
+            0,
+            path.len() - 1,
+            count,
+            k,
+            tie,
+        )
+    }?;
     *inventory = trial;
     Some(swaps)
 }
@@ -170,6 +219,42 @@ impl SwapPolicy for GreedyOrderPolicy {
             return RequestAction::Drop;
         };
         let k = ctx.pairs_per_distilled();
+        if let Some(ControlPlane::Stale(ctl)) = ctx.control {
+            // The split ordering is decided on the consumer's believed
+            // counts; execution stays truth-checked. A believed ordering
+            // that fails where the fresh-knowledge ordering would have
+            // succeeded is damage attributable to staleness: a miss.
+            let consumer = request.pair.lo();
+            let view = ctl.view(consumer);
+            let age = {
+                let owner_aware = view.for_owner(consumer, ctx.inventory);
+                path.windows(2)
+                    .map(|w| owner_aware.pair_age_s(NodePair::new(w[0], w[1]), ctx.now))
+                    .fold(0.0, f64::max)
+            };
+            return match execute_greedy_along_path_stale(
+                ctx.inventory,
+                view,
+                consumer,
+                path,
+                k,
+                k,
+                self.tie_break,
+            ) {
+                Some(swaps) => {
+                    ctx.telemetry.record_age(age);
+                    RequestAction::Repaired(swaps)
+                }
+                None => {
+                    let mut probe = ctx.inventory.clone();
+                    if execute_greedy_along_path(&mut probe, path, k, k, self.tie_break).is_some() {
+                        ctx.telemetry.record_age(age);
+                        ctx.telemetry.record_miss(request.pair);
+                    }
+                    RequestAction::Wait
+                }
+            };
+        }
         match execute_greedy_along_path(ctx.inventory, path, k, k, self.tie_break) {
             Some(swaps) => RequestAction::Repaired(swaps),
             None => RequestAction::Wait,

@@ -3,9 +3,11 @@
 
 use super::{oblivious::ObliviousPolicy, PolicyCtx, PolicyId, RequestAction, SwapPolicy};
 use crate::balancer::{BalancerPolicy, SwapCandidate};
+use crate::control::ControlPlane;
 use crate::hybrid::hybrid_repair;
+use crate::planned::execute_nested_along_path;
 use crate::workload::ConsumptionRequest;
-use qnet_topology::NodeId;
+use qnet_topology::{bfs_path, Graph, NodeId, NodePair};
 
 /// Oblivious balancing plus consumer-side repair: when the head request is
 /// not directly satisfiable, search for a shortest path over the *existing*
@@ -42,6 +44,44 @@ impl SwapPolicy for HybridPolicy {
         request: &ConsumptionRequest,
     ) -> RequestAction {
         let k = ctx.pairs_per_distilled();
+        if let Some(ControlPlane::Stale(ctl)) = ctx.control {
+            // The consumer plans its repair over the entanglement graph *it
+            // believes in*: its own pools are exact, every remote-remote
+            // pair comes from its stale knowledge view. A believed path
+            // whose pairs were consumed while the row aged is a miss.
+            let consumer = request.pair.lo();
+            let (path, age) = {
+                let view = ctl.view(consumer).for_owner(consumer, ctx.inventory);
+                let mut believed = Graph::with_nodes(ctx.inventory.node_count());
+                for (pair, count) in view.nonzero_pairs() {
+                    if count >= k {
+                        believed.add_edge(pair.lo(), pair.hi());
+                    }
+                }
+                match bfs_path(&believed, request.pair.lo(), request.pair.hi()) {
+                    None => return RequestAction::Wait,
+                    Some(p) => {
+                        let age = p
+                            .nodes
+                            .windows(2)
+                            .map(|w| view.pair_age_s(NodePair::new(w[0], w[1]), ctx.now))
+                            .fold(0.0, f64::max);
+                        (p.nodes, age)
+                    }
+                }
+            };
+            if path.len() < 2 {
+                return RequestAction::Wait;
+            }
+            ctx.telemetry.record_age(age);
+            return match execute_nested_along_path(ctx.inventory, &path, k, k) {
+                Some(swaps) => RequestAction::Repaired(swaps),
+                None => {
+                    ctx.telemetry.record_miss(request.pair);
+                    RequestAction::Wait
+                }
+            };
+        }
         match hybrid_repair(ctx.inventory, request.pair, k, k) {
             Some(swaps) => RequestAction::Repaired(swaps),
             None => RequestAction::Wait,

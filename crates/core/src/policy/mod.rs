@@ -9,8 +9,9 @@
 //!   inventory, knowledge dissemination and the request queue; the policy
 //!   owns every protocol *decision*: whether periodic swap scans run
 //!   ([`SwapPolicy::schedules_swap_scans`]), which swap a scanning node
-//!   performs ([`SwapPolicy::on_swap_scan`], consulting the gossip view via
-//!   [`PolicyCtx`]), how a blocked consumption request is handled
+//!   performs ([`SwapPolicy::on_swap_scan`], consulting the control-plane
+//!   knowledge via [`PolicyCtx`]), how a blocked consumption request is
+//!   handled
 //!   ([`SwapPolicy::on_blocked_request`]), in what order the request queue
 //!   is drained ([`SwapPolicy::queue_discipline`]), and any end-of-run
 //!   accounting ([`SwapPolicy::on_run_end`]).
@@ -29,6 +30,7 @@
 //! Optimal Orders for Entanglement Swapping in Path Graphs") that was added
 //! *through* this API as its proof of extensibility.
 
+pub mod gossip_aware;
 pub mod greedy;
 pub mod hybrid;
 pub mod oblivious;
@@ -36,9 +38,10 @@ pub mod planned;
 
 use crate::balancer::SwapCandidate;
 use crate::config::NetworkConfig;
-use crate::gossip::GossipState;
+use crate::control::{ControlPlane, DecisionTelemetry};
 use crate::inventory::Inventory;
 use crate::workload::ConsumptionRequest;
+use qnet_sim::SimTime;
 use qnet_topology::{Graph, NodeId, PathOracle};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
@@ -63,10 +66,19 @@ pub struct PolicyCtx<'a> {
     /// swap executions; the world accounts for the classical cost of every
     /// swap a hook reports back.
     pub inventory: &'a mut Inventory,
-    /// The stale gossip knowledge state, when the run uses partial
-    /// knowledge (`None` under global knowledge — consult the inventory
-    /// directly, it is exact).
-    pub gossip: Option<&'a GossipState>,
+    /// The classical control plane, when the run uses partial knowledge
+    /// (`None` under global knowledge — consult the inventory directly, it
+    /// is exact). Under [`ControlPlane::Stale`] remote counts come from
+    /// per-node [`crate::control::KnowledgeView`]s that lag ground truth.
+    pub control: Option<&'a ControlPlane>,
+    /// The current simulated time (decision timestamp for staleness
+    /// accounting).
+    pub now: SimTime,
+    /// Scratch pad for staleness telemetry: policies deciding on believed
+    /// counts record consulted-row ages and believed-feasible-but-failed
+    /// misses here; the world drains it into observer hooks after each
+    /// policy call.
+    pub telemetry: &'a mut DecisionTelemetry,
     /// The world's shortest-path oracle over the immutable generation
     /// graph: memoized per-source BFS rows (all-pairs precomputed on small
     /// graphs). Planned/greedy disciplines query it instead of running
@@ -146,7 +158,7 @@ pub trait SwapPolicy: fmt::Debug + Send {
 
     /// A node's periodic swap scan fired: decide which (if any) swap `node`
     /// performs. The returned candidate is executed and accounted by the
-    /// world. Policies consult `ctx.gossip` for remote counts when present
+    /// world. Policies consult `ctx.control` for remote counts when present
     /// (a node always knows its own pools exactly via `ctx.inventory`).
     fn on_swap_scan(&mut self, _ctx: &mut PolicyCtx<'_>, _node: NodeId) -> Option<SwapCandidate> {
         None
@@ -216,6 +228,11 @@ impl PolicyId {
     /// Greedy nested-swap-ordering discipline (à la Mai et al.), added
     /// through the plugin API as its extensibility proof.
     pub const GREEDY: PolicyId = PolicyId { name: "greedy" };
+    /// Staleness-aware oblivious balancing: believed beneficiary counts are
+    /// discounted by `exp(-age/τ)` before the §4 preferable-swap test.
+    pub const GOSSIP_AWARE: PolicyId = PolicyId {
+        name: "gossip-aware",
+    };
 
     /// The canonical registry name (the CLI-facing spelling).
     pub fn name(&self) -> &'static str {
@@ -423,6 +440,17 @@ impl PolicyRegistry {
                               (à la Mai et al.)",
                     constructor: |params| Box::new(greedy::GreedyOrderPolicy::from_params(params)),
                 },
+                PolicyEntry {
+                    name: "gossip-aware",
+                    display: "GossipAware",
+                    aliases: &["stale-aware"],
+                    family: PolicyFamily::Oblivious,
+                    summary: "oblivious balancing over age-discounted believed counts \
+                              (exp(-age/τ) decay)",
+                    constructor: |params| {
+                        Box::new(gossip_aware::GossipAwarePolicy::from_params(params))
+                    },
+                },
             ],
         }
     }
@@ -559,6 +587,7 @@ mod tests {
             PolicyId::PLANNED,
             PolicyId::CONNECTIONLESS,
             PolicyId::GREEDY,
+            PolicyId::GOSSIP_AWARE,
         ] {
             assert_eq!(PolicyId::parse(id.name()).unwrap(), id);
             assert_eq!(PolicyId::parse(id.display_label()).unwrap(), id);
@@ -609,6 +638,7 @@ mod tests {
         assert_eq!(PolicyId::PLANNED.family(), PolicyFamily::Planned);
         assert_eq!(PolicyId::CONNECTIONLESS.family(), PolicyFamily::Planned);
         assert_eq!(PolicyId::GREEDY.family(), PolicyFamily::Planned);
+        assert_eq!(PolicyId::GOSSIP_AWARE.family(), PolicyFamily::Oblivious);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use super::{PolicyCtx, PolicyId, RequestAction, SwapPolicy};
 use crate::balancer::{BalancerPolicy, SwapCandidate};
+use crate::control::ControlPlane;
 use crate::workload::ConsumptionRequest;
 use qnet_topology::{NodeId, NodePair};
 
@@ -20,8 +21,11 @@ impl ObliviousPolicy {
     }
 
     /// The scan decision shared with the hybrid discipline: consult the
-    /// gossip view for remote counts when one exists, ground truth
-    /// otherwise.
+    /// control-plane knowledge for remote counts when one exists, ground
+    /// truth otherwise. Under the stale plane the beneficiary count comes
+    /// from the scanning node's [`crate::control::KnowledgeView`]; the
+    /// consulted row's age is recorded for the staleness metrics. Local
+    /// margins always come from truth — a node knows its own buffers.
     pub(crate) fn scan(
         balancer: &BalancerPolicy,
         ctx: &mut PolicyCtx<'_>,
@@ -29,10 +33,19 @@ impl ObliviousPolicy {
     ) -> Option<SwapCandidate> {
         let d = ctx.config.distillation_overhead();
         let overhead = move |_: NodePair| d;
-        match ctx.gossip {
-            Some(gossip) => {
+        match ctx.control {
+            Some(ControlPlane::Legacy(gossip)) => {
                 let view = gossip.view_of(node);
                 balancer.find_preferable_swap(ctx.inventory, &view, node, &overhead)
+            }
+            Some(ControlPlane::Stale(ctl)) => {
+                let view = ctl.view(node);
+                let candidate = balancer.find_preferable_swap(ctx.inventory, view, node, &overhead);
+                if let Some(c) = &candidate {
+                    ctx.telemetry
+                        .record_age(view.pair_age_s(c.beneficiary(), ctx.now));
+                }
+                candidate
             }
             None => balancer.find_preferable_swap(ctx.inventory, &*ctx.inventory, node, &overhead),
         }

@@ -7,7 +7,8 @@
 //! pending request execute as soon as its path has the pairs.
 
 use super::{PolicyCtx, PolicyId, QueueDiscipline, RequestAction, SwapPolicy};
-use crate::planned::execute_nested_along_path;
+use crate::control::ControlPlane;
+use crate::planned::{dry_run_nested_along_path, execute_nested_along_path};
 use crate::workload::ConsumptionRequest;
 use qnet_topology::{NodeId, NodePair};
 use std::collections::BTreeMap;
@@ -40,6 +41,12 @@ impl PathCache {
 
 /// Shared repair step: nested swapping along the request's shortest path.
 /// `None` means the endpoints are disconnected in the generation graph.
+///
+/// Under the stale control plane the consumer first dry-runs the build
+/// against its *believed* counts: believed-infeasible requests wait without
+/// touching truth (exactly what a real partial-knowledge consumer would
+/// do), and believed-feasible builds that then fail against drifted ground
+/// truth are recorded as missed swaps.
 fn nested_repair(
     ctx: &mut PolicyCtx<'_>,
     cache: &mut PathCache,
@@ -47,6 +54,32 @@ fn nested_repair(
 ) -> Option<RequestAction> {
     let k = ctx.pairs_per_distilled();
     let path = cache.nodes(ctx, request.pair)?;
+    if let Some(ControlPlane::Stale(ctl)) = ctx.control {
+        let consumer = request.pair.lo();
+        let feasible = {
+            let view = ctl.view(consumer).for_owner(consumer, ctx.inventory);
+            dry_run_nested_along_path(ctx.inventory, &view, path, k, k)
+        };
+        if !feasible {
+            return Some(RequestAction::Wait);
+        }
+        // The consumer commits to the build on believed counts: record the
+        // stalest base-pool row the decision rested on.
+        let age = {
+            let view = ctl.view(consumer).for_owner(consumer, ctx.inventory);
+            path.windows(2)
+                .map(|w| view.pair_age_s(NodePair::new(w[0], w[1]), ctx.now))
+                .fold(0.0, f64::max)
+        };
+        ctx.telemetry.record_age(age);
+        return Some(match execute_nested_along_path(ctx.inventory, path, k, k) {
+            Some(swaps) => RequestAction::Repaired(swaps),
+            None => {
+                ctx.telemetry.record_miss(request.pair);
+                RequestAction::Wait
+            }
+        });
+    }
     Some(match execute_nested_along_path(ctx.inventory, path, k, k) {
         Some(swaps) => RequestAction::Repaired(swaps),
         None => RequestAction::Wait,

@@ -241,6 +241,16 @@ impl<W: Write + Send> RunObserver for TraceWriter<W> {
         );
     }
 
+    fn on_swap_missed(&mut self, now: SimTime, pair: NodePair) {
+        // A stale-knowledge decision was believed feasible but failed
+        // against drifted ground truth (stale control plane only).
+        self.write_record(
+            "swap_missed",
+            now,
+            vec![("pair".to_string(), pair_value(pair))],
+        );
+    }
+
     fn on_request_arrival(&mut self, now: SimTime, request: &ConsumptionRequest) {
         self.write_record(
             "arrival",

@@ -3,14 +3,47 @@
 //! monotonicity, workload generation and the planned-path executor.
 
 use proptest::prelude::*;
-use qnet_core::balancer::BalancerPolicy;
+use qnet_core::balancer::{BalancerPolicy, CountView};
+use qnet_core::control::{PropagationDelays, StaleControl, PROCESSING_DELAY_S};
 use qnet_core::inventory::{Inventory, InventoryBackend};
 use qnet_core::nested::{nested_swap_cost, nested_swap_cost_with_joins};
 use qnet_core::physics::PhysicsModel;
 use qnet_core::planned::{execute_nested_along_path, planned_path_swap_cost};
 use qnet_core::workload::{PairSelection, WorkloadSpec};
 use qnet_sim::{SimDuration, SimTime};
-use qnet_topology::{builders, NodeId, NodePair};
+use qnet_topology::{builders, NodeId, NodePair, PathOracle, Topology};
+
+/// Build a cycle-topology stale control plane plus the matching delay
+/// table, and drive it through `rounds` synchronized exchange rounds at
+/// the given period while `mutate` reshapes ground truth between rounds.
+/// Returns the final exchange round's timestamp.
+fn drive_gossip_rounds(
+    ctl: &mut StaleControl,
+    truth: &mut Inventory,
+    rounds: usize,
+    period_s: f64,
+    mut mutate: impl FnMut(&mut Inventory, usize),
+) -> SimTime {
+    let n = ctl.node_count();
+    let mut last = SimTime::ZERO;
+    for round in 0..rounds {
+        let now = SimTime::from_secs_f64(round as f64 * period_s);
+        last = now;
+        ctl.deliver_matured(now);
+        mutate(truth, round);
+        for node in (0..n).map(NodeId::from) {
+            ctl.exchange(now, node, truth);
+        }
+    }
+    last
+}
+
+fn stale_control_on_cycle(n: usize, peers: usize, period_s: f64) -> StaleControl {
+    let graph = Topology::Cycle { nodes: n }.build(0);
+    let oracle = PathOracle::new(&graph);
+    let delays = PropagationDelays::new(&graph, None, &oracle);
+    StaleControl::new(n, peers, period_s, delays)
+}
 
 /// Apply a random sequence of adds/removes/swaps and check the inventory's
 /// global invariants at every step.
@@ -328,5 +361,114 @@ proptest! {
                 .expect("inventory to_string")
         };
         prop_assert_eq!(bytes(&flat), bytes(&btree));
+    }
+
+    /// Stale-knowledge freshness bound: once every node has completed one
+    /// full peer rotation, no believed row is ever older than the rotation
+    /// window (⌈(n−1)/K⌉ refresh periods) plus the worst classical
+    /// propagation delay plus the fixed processing delay — gossip never
+    /// lets a view fall further behind than the schedule allows, no matter
+    /// how truth mutates underneath.
+    #[test]
+    fn stale_row_age_is_bounded_by_rotation_window_plus_delay(
+        n in 4usize..9,
+        peers in 1usize..4,
+        period_cs in 10u32..100,
+        extra_rounds in 0usize..5,
+        ops in proptest::collection::vec((0usize..9, 0usize..9, any::<bool>()), 0..60),
+    ) {
+        let period_s = period_cs as f64 / 100.0;
+        let mut ctl = stale_control_on_cycle(n, peers, period_s);
+        let mut truth = Inventory::new(n);
+        let rotation = (n - 1).div_ceil(peers.min(n - 1));
+        let rounds = rotation + extra_rounds + 1;
+        let last = drive_gossip_rounds(&mut ctl, &mut truth, rounds, period_s, |inv, round| {
+            for (a, b, add) in ops.iter().skip(round % 7) {
+                if let Some(p) = pair_from(n, *a, *b) {
+                    if *add {
+                        inv.add_pair(p).unwrap();
+                    } else if inv.count(p) > 0 {
+                        inv.remove_pairs(p, 1).unwrap();
+                    }
+                }
+            }
+        });
+        // Let every in-flight row land, then audit row ages.
+        let max_delay = ctl.delays().max_delay_s() + PROCESSING_DELAY_S;
+        let now = last + SimDuration::from_secs_f64(max_delay + 1e-9);
+        ctl.deliver_matured(now);
+        let bound = rotation as f64 * period_s + max_delay + 1e-6;
+        for node in (0..n).map(NodeId::from) {
+            // A node never pulls its own row (its local pools come from
+            // ground truth, age zero); the bound covers every remote row.
+            for owner in (0..n).map(NodeId::from).filter(|&o| o != node) {
+                let age = now
+                    .saturating_since(ctl.view(node).row_refreshed_at(owner))
+                    .as_secs_f64();
+                prop_assert!(
+                    age <= bound,
+                    "node {:?}: believed row of {:?} is {age} s old, bound {bound} s \
+                     (n={n} K={peers} period={period_s})",
+                    node,
+                    owner
+                );
+            }
+        }
+    }
+
+    /// Stale-knowledge convergence: when truth stops mutating and gossip
+    /// keeps running for one full peer rotation (plus delivery time), every
+    /// node's believed counts agree with ground truth pair for pair — the
+    /// views are eventually consistent, staleness is purely transient.
+    #[test]
+    fn stale_views_converge_to_truth_once_mutations_stop(
+        n in 4usize..9,
+        peers in 1usize..4,
+        period_cs in 10u32..100,
+        churn_rounds in 1usize..6,
+        ops in proptest::collection::vec((0usize..9, 0usize..9, any::<bool>()), 1..80),
+    ) {
+        let period_s = period_cs as f64 / 100.0;
+        let mut ctl = stale_control_on_cycle(n, peers, period_s);
+        let mut truth = Inventory::new(n);
+        let rotation = (n - 1).div_ceil(peers.min(n - 1));
+        // Churn phase: mutations land between exchanges, views drift.
+        drive_gossip_rounds(&mut ctl, &mut truth, churn_rounds, period_s, |inv, round| {
+            for (a, b, add) in ops.iter().skip(round) {
+                if let Some(p) = pair_from(n, *a, *b) {
+                    if *add {
+                        inv.add_pair(p).unwrap();
+                    } else if inv.count(p) > 0 {
+                        inv.remove_pairs(p, 1).unwrap();
+                    }
+                }
+            }
+        });
+        // Quiet phase: truth is frozen; one full rotation re-reads every row.
+        let offset = churn_rounds as f64 * period_s;
+        let mut last = SimTime::ZERO;
+        for round in 0..rotation {
+            let now = SimTime::from_secs_f64(offset + round as f64 * period_s);
+            last = now;
+            ctl.deliver_matured(now);
+            for node in (0..n).map(NodeId::from) {
+                ctl.exchange(now, node, &truth);
+            }
+        }
+        let settle = ctl.delays().max_delay_s() + PROCESSING_DELAY_S + 1e-9;
+        ctl.deliver_matured(last + SimDuration::from_secs_f64(settle));
+        prop_assert_eq!(ctl.in_flight_len(), 0, "every delivery must mature");
+        for node in (0..n).map(NodeId::from) {
+            let view = ctl.view(node);
+            for p in qnet_topology::pairs::all_pairs(n) {
+                prop_assert_eq!(
+                    view.count(p),
+                    truth.count(p),
+                    "node {:?} disagrees with truth on {} after quiescence",
+                    node,
+                    p
+                );
+            }
+        }
     }
 }

@@ -513,6 +513,87 @@
 //!     .is_none());
 //! ```
 //!
+//! ## Modeling the classical control plane
+//!
+//! The paper's §6 concern is classical, not quantum: the oblivious
+//! balancer assumes every node knows every buffer count, and the proposed
+//! relaxation — BitTorrent-like gossip — was *counted* (messages saved)
+//! but never *simulated*. The control-plane subsystem ([`core::control`])
+//! simulates it. Under [`core::classical::KnowledgeModel::Gossip`] with a
+//! nonzero refresh period, every node holds a
+//! [`core::control::KnowledgeView`]: its possibly-stale copy of the
+//! network-wide buffer-count rows, refreshed by a rotating-peer gossip
+//! schedule ([`core::control::StaleControl`]) whose row transfers arrive
+//! only after the classical propagation delay of the node↔peer fiber path
+//! ([`core::control::PropagationDelays`]: link lengths from the fabric
+//! when one is configured, 200 000 km/s in fiber, plus a fixed processing
+//! delay). Policies decide on *believed* counts while the world mutates
+//! the true ones, and three things become measurable:
+//!
+//! * **row age** — how old the believed rows behind real decisions were
+//!   ([`core::metrics::RunMetrics::stale_row_age_mean_s`] / `_p95_s`);
+//! * **missed swaps** — a distinct failure class
+//!   ([`core::metrics::RunMetrics::missed_swaps`], the
+//!   [`core::observer::RunObserver::on_swap_missed`] hook): an action
+//!   that was believed-feasible but failed its ground-truth probe;
+//! * **the trade-off** — messages fall as the refresh period grows, while
+//!   age, misses and overhead climb (`cargo run --example gossip_staleness
+//!   --release` walks the curve; `results/gossip_staleness.jsonl` is the
+//!   campaign-grade sweep).
+//!
+//! [`core::classical::KnowledgeModel::Global`] never builds a control
+//! plane and stays byte-identical to pre-subsystem reports. Gossip
+//! knowledge runs the latency-aware stale plane by default;
+//! `QNET_KNOWLEDGE=truth` reverts to the legacy synchronous backend
+//! (instant refresh against truth — message counts survive, staleness
+//! disappears), mirroring the `QNET_EVENT_QUEUE` / `QNET_INVENTORY`
+//! backend escapes. On the CLI the knowledge axis is
+//! `campaign --knowledge global,gossip:K,gossip:K:PERIOD`, and gossip
+//! cells grow `stale_row_age_mean_s` / `stale_row_age_p95_s` /
+//! `missed_swaps_total` report columns (global cells keep the legacy
+//! layout). The `gossip-aware` built-in discipline shows a policy
+//! *using* the view's freshness: it discounts believed counts by row age
+//! before the §4 preferable-swap test.
+//!
+//! ```
+//! use qnet::prelude::*;
+//!
+//! let run = |knowledge| {
+//!     Experiment::new(ExperimentConfig {
+//!         network: NetworkConfig::new(Topology::Cycle { nodes: 9 }),
+//!         workload: WorkloadSpec::closed_loop(9, 10, 10),
+//!         mode: PolicyId::HYBRID,
+//!         knowledge,
+//!         seed: 13,
+//!         max_sim_time_s: 6_000.0,
+//!     })
+//!     .run()
+//! };
+//!
+//! // A 1-second refresh over 2 rotating peers: believed rows age, and
+//! // some believed-feasible actions fail their ground-truth probe.
+//! let gossip = run(KnowledgeModel::parse("gossip:2:1").unwrap());
+//! assert!(gossip.metrics.stale_row_age_mean_s.unwrap() > 0.0);
+//! assert!(gossip.metrics.missed_swaps > 0);
+//!
+//! // The same seed under global knowledge: no ages, no misses — and no
+//! // change against pre-control-plane behavior.
+//! let global = run(KnowledgeModel::Global);
+//! assert_eq!(global.metrics.stale_row_age_mean_s, None);
+//! assert_eq!(global.metrics.missed_swaps, 0);
+//!
+//! // Gossip without a period refreshes at every swap scan (the paper's
+//! // original message accounting); the grammar round-trips through the
+//! // CLI labels either way.
+//! let counted = KnowledgeModel::parse("gossip:4").unwrap();
+//! assert_eq!(counted.label(), "gossip:4");
+//! assert_eq!(
+//!     KnowledgeModel::parse("gossip:2:0.5").unwrap().label(),
+//!     "gossip:2:0.5"
+//! );
+//! assert!(!KnowledgeModel::Global.is_stale());
+//! ```
+//!
 //! ## Writing your own `SwapPolicy`
 //!
 //! Swapping disciplines are plugins: implement
